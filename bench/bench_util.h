@@ -1,0 +1,36 @@
+// Shared helpers for the figure/table bench binaries.
+//
+// Every bench runs the synthetic study at a default scale chosen to finish
+// in seconds; set WILDENERGY_DAYS / WILDENERGY_USERS / WILDENERGY_SEED to
+// rescale (e.g. WILDENERGY_DAYS=623 for the paper's full 22 months).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "sim/study_config.h"
+
+namespace wildenergy::benchutil {
+
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtol(v, nullptr, 10);
+}
+
+inline sim::StudyConfig config_from_env(std::int64_t default_days = 200) {
+  sim::StudyConfig cfg;
+  cfg.num_days = env_long("WILDENERGY_DAYS", default_days);
+  cfg.num_users = static_cast<std::uint32_t>(env_long("WILDENERGY_USERS", cfg.num_users));
+  cfg.seed = static_cast<std::uint64_t>(env_long("WILDENERGY_SEED", 42));
+  return cfg;
+}
+
+inline void print_header(const std::string& title, const sim::StudyConfig& cfg) {
+  std::cout << "=== " << title << " ===\n"
+            << "study: " << cfg.num_users << " users, " << cfg.num_days << " days, "
+            << cfg.total_apps << " apps, seed " << cfg.seed << "\n\n";
+}
+
+}  // namespace wildenergy::benchutil

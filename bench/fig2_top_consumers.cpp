@@ -1,0 +1,58 @@
+// Figure 2: "Highest cellular data and network energy usage by app across
+// all users."
+//
+// Paper shape: the top energy consumers and the top data consumers are NOT
+// the same. The default email app consumes energy disproportionate to its
+// data (tight small-payload polling => all tail); the built-in media server
+// moves far more bytes at far lower energy per byte (bulk transfers).
+#include <iostream>
+
+#include "analysis/figures.h"
+#include "core/pipeline.h"
+#include "util/table.h"
+
+#include "bench_util.h"
+
+int main() {
+  using namespace wildenergy;
+  const sim::StudyConfig cfg = benchutil::config_from_env();
+  benchutil::print_header("Figure 2: top data and energy consumers", cfg);
+
+  core::StudyPipeline pipeline{cfg};
+  pipeline.run();
+  const auto& ledger = pipeline.ledger();
+  const auto& catalog = pipeline.catalog();
+
+  std::cout << "-- top 10 by data --\n";
+  TextTable by_data({"app", "data (MB)", "energy (kJ)", "uJ/B"});
+  for (const auto& e : analysis::top_consumers_by_data(ledger)) {
+    by_data.add_row({catalog.name(e.app), fmt(static_cast<double>(e.bytes) / 1e6, 0),
+                     fmt(e.joules / 1e3, 1), fmt(e.micro_joules_per_byte(), 2)});
+  }
+  by_data.print(std::cout);
+
+  std::cout << "\n-- top 10 by network energy --\n";
+  TextTable by_energy({"app", "energy (kJ)", "data (MB)", "uJ/B"});
+  for (const auto& e : analysis::top_consumers_by_energy(ledger)) {
+    by_energy.add_row({catalog.name(e.app), fmt(e.joules / 1e3, 1),
+                       fmt(static_cast<double>(e.bytes) / 1e6, 0),
+                       fmt(e.micro_joules_per_byte(), 2)});
+  }
+  by_energy.print(std::cout);
+
+  // The paper's two call-outs.
+  const auto contrast = [&](const char* name) {
+    const trace::AppId id = catalog.find(name);
+    if (id == trace::kNoApp) return;
+    const auto t = ledger.app_total(id);
+    if (t.bytes == 0) return;
+    std::cout << name << ": " << fmt_bytes(static_cast<double>(t.bytes)) << ", "
+              << fmt(t.joules / 1e3, 1) << " kJ => "
+              << fmt(t.joules / static_cast<double>(t.bytes) * 1e6, 2) << " uJ/B\n";
+  };
+  std::cout << "\n-- energy-vs-data contrast (paper: email disproportionate,"
+               " media server cheap per byte) --\n";
+  contrast("Email");
+  contrast("Media Server");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 5: "Duration for which traffic continues to be sent/received after
+// the app is sent to the background. Each data point represents one
+// transition to the background."
+//
+// Paper shape (for Chrome): most transitions are followed by a few minutes
+// of persisting traffic, but the distribution is heavy-tailed — "in some
+// cases background traffic flows persist for more than a day!" Firefox and
+// the stock browser, which block background tabs, show no such tail.
+#include <iostream>
+
+#include "analysis/persistence.h"
+#include "core/pipeline.h"
+#include "util/table.h"
+
+#include "bench_util.h"
+
+int main() {
+  using namespace wildenergy;
+  const sim::StudyConfig cfg = benchutil::config_from_env();
+  benchutil::print_header("Figure 5: traffic persistence after fg->bg transitions", cfg);
+
+  core::StudyPipeline pipeline{cfg};
+  analysis::PersistenceAnalysis persistence;
+  pipeline.add_analysis(&persistence);
+  pipeline.run();
+
+  const char* browsers[] = {"Chrome", "Firefox", "Browser"};
+  for (const char* name : browsers) {
+    const trace::AppId id = pipeline.app(name);
+    if (id == trace::kNoApp) continue;
+    auto& dist = persistence.durations(id);
+    if (dist.count() == 0) continue;
+
+    std::cout << "-- " << name << " (" << dist.count() << " transitions) --\n";
+    TextTable table({"percentile", "persistence"});
+    for (double q : {0.25, 0.50, 0.75, 0.90, 0.99, 0.999}) {
+      table.add_row({fmt(100 * q, 1) + "%", format_duration(sec(dist.percentile(q)))});
+    }
+    table.add_row({"max", format_duration(sec(dist.percentile(1.0)))});
+    table.print(std::cout);
+    std::cout << "transitions with traffic persisting > 1 min:  "
+              << fmt(100 * persistence.fraction_persisting_longer_than(id, minutes(1.0)), 1)
+              << "%\n"
+              << "transitions with traffic persisting > 1 hour: "
+              << fmt(100 * persistence.fraction_persisting_longer_than(id, hours(1.0)), 2)
+              << "%\n"
+              << "transitions with traffic persisting > 1 day:  "
+              << fmt(100 * persistence.fraction_persisting_longer_than(id, days(1.0)), 3)
+              << "%  (paper: some Chrome flows persist >1 day)\n\n";
+  }
+  return 0;
+}

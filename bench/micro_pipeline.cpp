@@ -1,0 +1,106 @@
+// Performance microbenchmarks (google-benchmark): the radio state machine,
+// the attribution pipeline, and the study generator. These guard the
+// streaming design goal of DESIGN.md §4.2 — full-length 623-day studies must
+// stay practical on a laptop.
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.h"
+#include "energy/attributor.h"
+#include "radio/burst_machine.h"
+#include "sim/generator.h"
+#include "util/rng.h"
+
+namespace wildenergy {
+namespace {
+
+void BM_RadioModelBursts(benchmark::State& state) {
+  radio::BurstMachine lte{radio::lte_params()};
+  double joules = 0.0;
+  const radio::SegmentSink sink = [&](const radio::EnergySegment& s) { joules += s.joules; };
+  std::int64_t n = 0;
+  for (auto _ : state) {
+    lte.on_transfer({TimePoint{n * 20'000'000}, 5000, radio::Direction::kDownlink}, sink);
+    ++n;
+  }
+  lte.finish(TimePoint{n * 20'000'000 + 60'000'000}, sink);
+  benchmark::DoNotOptimize(joules);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RadioModelBursts);
+
+void BM_IsolatedBurstEnergy(benchmark::State& state) {
+  radio::BurstMachine lte{radio::lte_params()};
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += lte.isolated_burst_energy(static_cast<std::uint64_t>(state.range(0)),
+                                     radio::Direction::kDownlink);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_IsolatedBurstEnergy)->Arg(100)->Arg(100'000)->Arg(10'000'000);
+
+void BM_AttributionPipeline(benchmark::State& state) {
+  // Pre-generate a packet schedule, then measure attribution throughput.
+  Rng rng{7};
+  std::vector<trace::PacketRecord> packets;
+  TimePoint t{0};
+  for (int i = 0; i < 100'000; ++i) {
+    t += sec(rng.exponential(5.0));
+    trace::PacketRecord p;
+    p.time = t;
+    p.app = static_cast<trace::AppId>(rng.uniform_int(40));
+    p.bytes = 200 + rng.uniform_int(100'000);
+    p.state = trace::ProcessState::kService;
+    packets.push_back(p);
+  }
+  trace::StudyMeta meta;
+  meta.num_users = 1;
+  meta.study_end = t + hours(1.0);
+
+  for (auto _ : state) {
+    trace::TraceSink null_sink;
+    energy::EnergyAttributor attr{radio::make_lte_model, &null_sink};
+    attr.on_study_begin(meta);
+    attr.on_user_begin(0);
+    for (const auto& p : packets) attr.on_packet(p);
+    attr.on_user_end(0);
+    benchmark::DoNotOptimize(attr.device_joules());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(packets.size()));
+}
+BENCHMARK(BM_AttributionPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_StudyGeneration(benchmark::State& state) {
+  sim::StudyConfig cfg = sim::small_study(42);
+  cfg.num_users = 1;
+  cfg.num_days = state.range(0);
+  const sim::StudyGenerator gen{cfg};
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    class Counter final : public trace::TraceSink {
+     public:
+      std::uint64_t n = 0;
+      void on_packet(const trace::PacketRecord&) override { ++n; }
+    } counter;
+    gen.run(counter);
+    packets = counter.n;
+  }
+  state.counters["packets"] = static_cast<double>(packets);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(packets));
+}
+BENCHMARK(BM_StudyGeneration)->Arg(10)->Arg(60)->Unit(benchmark::kMillisecond);
+
+void BM_FullPipelineSmallStudy(benchmark::State& state) {
+  for (auto _ : state) {
+    core::StudyPipeline pipeline{sim::small_study(42)};
+    pipeline.run();
+    benchmark::DoNotOptimize(pipeline.ledger().total_joules());
+  }
+  state.SetLabel("6 users x 60 days x 80 apps");
+}
+BENCHMARK(BM_FullPipelineSmallStudy)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wildenergy
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Table 1: per-app case studies of background transfers.
+//
+// Columns match the paper: energy/day, energy/flow, MB/flow, average energy
+// per byte, and the detected update period early vs late in the study
+// (capturing the evolutions: Facebook 5 min -> 1 h, Pandora 1 min -> 2 h,
+// Go Weather 5 min -> 40 min, Maps 25 min -> hours, Spotify 5 -> 40 min).
+//
+// Units: the paper prints "MJ"; its columns are only mutually consistent as
+// J/day, J/flow, MB/flow and uJ/B (see DESIGN.md), which is what we report.
+// Shape targets: Weibo's uJ/B an order of magnitude above Twitter's;
+// Accuweather app far less efficient than its widget; Podcastaddict about
+// twice Pocketcasts' uJ/B.
+#include <iostream>
+
+#include "analysis/case_studies.h"
+#include "core/pipeline.h"
+#include "util/table.h"
+
+#include "bench_util.h"
+
+int main() {
+  using namespace wildenergy;
+  const sim::StudyConfig cfg = benchutil::config_from_env(/*default_days=*/623);
+  benchutil::print_header("Table 1: background-transfer case studies", cfg);
+
+  core::StudyPipeline pipeline{cfg};
+  const auto& catalog = pipeline.catalog();
+
+  const struct {
+    const char* group;
+    const char* name;
+  } rows[] = {
+      {"Social media", "Weibo"},
+      {"", "Twitter"},
+      {"", "Facebook"},
+      {"", "Plus"},
+      {"Periodic update services", "Samsung Push"},
+      {"", "Urbanairship"},
+      {"", "Maps"},
+      {"", "GMail"},
+      {"Widgets", "Go Weather widget"},
+      {"", "Go Weather"},
+      {"", "Accuweather"},
+      {"", "Accuweather widget"},
+      {"Streaming", "Spotify"},
+      {"", "Pandora"},
+      {"Podcasts", "Pocketcasts"},
+      {"", "Podcastaddict"},
+  };
+
+  std::vector<trace::AppId> ids;
+  for (const auto& row : rows) {
+    const trace::AppId id = catalog.find(row.name);
+    if (id != trace::kNoApp) ids.push_back(id);
+  }
+  analysis::CaseStudyAnalysis cases{ids};
+  pipeline.add_analysis(&cases);
+  pipeline.run();
+
+  TextTable table({"app", "J/day", "J/flow", "MB/flow", "uJ/B", "period (early)",
+                   "period (late)"});
+  for (const auto& row : rows) {
+    if (row.group[0] != '\0') table.add_row({std::string("-- ") + row.group, "", "", "", "", "", ""});
+    const trace::AppId id = catalog.find(row.name);
+    if (id == trace::kNoApp) continue;
+    auto r = cases.result(id);
+    if (r.flows == 0) {
+      table.add_row({row.name, "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    const auto period_str = [](double s) {
+      return s > 0 ? format_duration(sec(s)) : std::string("aperiodic");
+    };
+    table.add_row({row.name, fmt_sig(r.joules_per_day()), fmt_sig(r.joules_per_flow()),
+                   fmt_sig(r.mb_per_flow()), fmt_sig(r.micro_joules_per_byte()),
+                   period_str(r.early_period_s), period_str(r.late_period_s)});
+  }
+  table.print(std::cout);
+
+  // The paper's key ratios.
+  const auto ujb = [&](const char* name) {
+    return cases.result(catalog.find(name)).micro_joules_per_byte();
+  };
+  std::cout << "\nkey shape checks (paper):\n"
+            << "  Weibo uJ/B / Twitter uJ/B            = " << fmt(ujb("Weibo") / ujb("Twitter"), 1)
+            << "  (paper: ~290x)\n"
+            << "  Accuweather app / Accuweather widget = "
+            << fmt(ujb("Accuweather") / ujb("Accuweather widget"), 1) << "  (paper: ~170x)\n"
+            << "  Go Weather widget / Accuweather wdgt = "
+            << fmt(ujb("Go Weather widget") / ujb("Accuweather widget"), 1)
+            << "  (paper: ~80x; order-of-magnitude widget gap)\n"
+            << "  Podcastaddict / Pocketcasts          = "
+            << fmt(ujb("Podcastaddict") / ujb("Pocketcasts"), 2) << "  (paper: ~2x)\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Table 2: what-if analysis — suppressing background traffic of apps idle
+// for three consecutive days (§5).
+//
+// Rows: A = % of traffic days with only background traffic; B = max
+// consecutive background-only days (bounded by foreground days); C = average
+// per-user % energy saved by the kill-after-3-days policy.
+//
+// Paper shape: Weibo's energy "more than halved" (54%); overall savings
+// across all apps < 1%; for the users running Weibo the device-level saving
+// on affected days is ~16%.
+//
+// This bench computes the day-granularity estimate (analysis/whatif.h) AND
+// re-runs the whole study through the packet-level KillAfterIdlePolicy
+// (core/policy.h) to validate the estimate against exact radio-model
+// accounting.
+#include <iostream>
+#include <memory>
+
+#include "analysis/whatif.h"
+#include "core/pipeline.h"
+#include "core/policy.h"
+#include "util/table.h"
+
+#include "bench_util.h"
+
+int main() {
+  using namespace wildenergy;
+  const sim::StudyConfig cfg = benchutil::config_from_env(/*default_days=*/623);
+  benchutil::print_header("Table 2: preemptively killing idle background apps", cfg);
+
+  core::StudyPipeline pipeline{cfg};
+  pipeline.run();
+  const auto& ledger = pipeline.ledger();
+  const auto& catalog = pipeline.catalog();
+
+  const char* apps[] = {"Samsung Push", "Weibo",   "Messenger",
+                        "ESPN",         "4shared", "Stock Weather"};
+
+  TextTable table({"metric", "Samsung Push", "Weibo", "Messenger", "ESPN", "4shared",
+                   "Stock Weather"});
+  std::vector<std::string> row_a{"A: % days with only bg traffic"};
+  std::vector<std::string> row_b{"B: max consecutive bg days"};
+  std::vector<std::string> row_c{"C: kill after 3 days: avg % energy saved"};
+  for (const char* name : apps) {
+    const trace::AppId id = catalog.find(name);
+    const auto row = analysis::whatif_kill_after(ledger, id, 3);
+    row_a.push_back(fmt(row.pct_days_background_only, 0));
+    row_b.push_back(std::to_string(row.max_consecutive_bg_days));
+    row_c.push_back(fmt(row.pct_energy_saved, 1));
+  }
+  table.add_row(row_a);
+  table.add_row(row_b);
+  table.add_row(row_c);
+  table.print(std::cout);
+
+  // The paper's "<1% on average overall" applies the policy to the studied
+  // apps and divides by fleet-wide energy (each app individually is a small
+  // share of a user's total). Report that, the indiscriminate all-apps
+  // variant, and the paper's own refinement: whitelisting widgets and push
+  // services that legitimately live in the background.
+  double six_apps_saved = 0.0;
+  for (const char* name : apps) {
+    six_apps_saved += analysis::whatif_kill_after(ledger, catalog.find(name), 3).saved_joules;
+  }
+  std::cout << "\nsix studied apps vs fleet-wide energy: "
+            << fmt(100.0 * six_apps_saved / ledger.total_joules(), 2)
+            << "% saved  (paper: <1% on average; depends on how many users run them)\n";
+
+  const auto overall = analysis::whatif_overall(ledger, 3);
+  std::cout << "policy applied to ALL apps:            " << fmt(overall.pct_saved(), 2)
+            << "% saved\n";
+  double whitelisted_saved = 0.0;
+  for (trace::AppId app : ledger.apps()) {
+    const auto& profile = catalog[app];
+    if (profile.category == appmodel::AppCategory::kWidget ||
+        profile.category == appmodel::AppCategory::kPushService ||
+        profile.category == appmodel::AppCategory::kMediaPlayer) {
+      continue;  // "a new permission or whitelist could address corner cases"
+    }
+    whitelisted_saved += analysis::whatif_kill_after(ledger, app, 3).saved_joules;
+  }
+  std::cout << "ALL apps, widgets/push/media whitelisted: "
+            << fmt(100.0 * whitelisted_saved / ledger.total_joules(), 2) << "% saved\n";
+  const double weibo_affected =
+      analysis::pct_saved_on_affected_days(ledger, catalog.find("Weibo"), 3);
+  std::cout << "Weibo users, device-level savings on affected days: " << fmt(weibo_affected, 1)
+            << "%  (paper: 16%)\n";
+
+  // Exact validation: re-run the study with the packet-level policy so the
+  // radio model recomputes tails over the filtered stream.
+  core::StudyPipeline filtered{cfg};
+  filtered.set_policy([](trace::TraceSink* downstream) {
+    return std::make_unique<core::KillAfterIdlePolicy>(downstream, days(3.0));
+  });
+  filtered.run();
+  const double exact_saved =
+      ledger.total_joules() - filtered.ledger().total_joules();
+  std::cout << "\npacket-level policy re-run (exact tails): saved "
+            << fmt(100.0 * exact_saved / ledger.total_joules(), 2)
+            << "% of total network energy vs day-granularity estimate "
+            << fmt(overall.pct_saved(), 2) << "%\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Browser leak audit (paper §4.1): quantify foreground traffic that is not
+// terminated on minimize, per browser, and estimate the energy an OS-level
+// leak-termination feature would recover.
+//
+//   $ ./example_browser_leak_audit
+//
+// Demonstrates: PersistenceAnalysis, LeakTerminationPolicy, and per-app
+// ledger queries on the same study.
+#include <iostream>
+#include <memory>
+
+#include "analysis/persistence.h"
+#include "core/pipeline.h"
+#include "core/policy.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wildenergy;
+
+  sim::StudyConfig config = sim::small_study(/*seed=*/11);
+  config.num_users = 10;
+  config.num_days = 90;
+
+  // Pass 1: observe the leak.
+  core::StudyPipeline pipeline{config};
+  analysis::PersistenceAnalysis persistence{minutes(10.0)};
+  pipeline.add_analysis(&persistence);
+  pipeline.run();
+
+  std::cout << "=== Browser background-leak audit (" << config.num_users << " users, "
+            << config.num_days << " days) ===\n\n";
+
+  TextTable table({"browser", "fg->bg transitions", "median persist", "p99 persist",
+                   ">1h persist %", "bg energy share %"});
+  for (const char* name : {"Chrome", "Firefox", "Browser"}) {
+    const trace::AppId id = pipeline.app(name);
+    if (id == trace::kNoApp) continue;
+    auto& dist = persistence.durations(id);
+    const auto acc = pipeline.ledger().app_total(id);
+    const double bg_share = acc.joules > 0 ? 100.0 * acc.background_joules() / acc.joules : 0.0;
+    table.add_row({name, std::to_string(dist.count()),
+                   format_duration(sec(dist.percentile(0.5))),
+                   format_duration(sec(dist.percentile(0.99))),
+                   fmt(100 * persistence.fraction_persisting_longer_than(id, hours(1.0)), 2),
+                   fmt(bg_share, 1)});
+  }
+  table.print(std::cout);
+
+  // Pass 2: same study with OS-level leak termination (§6 recommendation).
+  core::StudyPipeline fixed{config};
+  fixed.set_policy([](trace::TraceSink* downstream) {
+    return std::make_unique<core::LeakTerminationPolicy>(downstream);
+  });
+  fixed.run();
+
+  std::cout << "\nWith OS-level termination of foreground-initiated flows on minimize:\n";
+  for (const char* name : {"Chrome", "Firefox", "Browser"}) {
+    const trace::AppId id = pipeline.app(name);
+    const double before = pipeline.ledger().app_total(id).joules;
+    const double after = fixed.ledger().app_total(id).joules;
+    if (before <= 0) continue;
+    std::cout << "  " << name << ": " << fmt(before / 1e3, 1) << " kJ -> "
+              << fmt(after / 1e3, 1) << " kJ  (" << fmt(100.0 * (before - after) / before, 1)
+              << "% recovered)\n";
+  }
+  std::cout << "\nChrome recovers the most: it is the only browser that lets pages keep\n"
+               "polling from the background (the paper's §4.1 finding). Sub-percent\n"
+               "negative deltas on leak-free browsers are tail re-attribution noise:\n"
+               "with Chrome's leak packets gone, nearby apps absorb different tails.\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Report card: the end-to-end "app management tool" experience the paper's
+// abstract asks for — run a study (or import a trace) and get a per-app
+// diagnosis with §6-style recommendations.
+//
+//   $ ./example_report_card
+#include <iostream>
+
+#include "analysis/persistence.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+
+int main() {
+  using namespace wildenergy;
+
+  sim::StudyConfig config = sim::small_study(/*seed=*/21);
+  config.num_users = 10;
+  config.num_days = 90;
+
+  core::StudyPipeline pipeline{config};
+  analysis::PersistenceAnalysis persistence;
+  pipeline.add_analysis(&persistence);
+  pipeline.run();
+
+  const auto report =
+      core::Report::build(pipeline.ledger(), pipeline.catalog(), &persistence);
+  report.print(std::cout);
+  return 0;
+}

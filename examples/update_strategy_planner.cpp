@@ -1,0 +1,74 @@
+// Update-strategy planner: the developer-facing use of the radio model.
+//
+// Given a daily background data budget, compare update scheduling strategies
+// the paper discusses — frequent small updates vs batched updates, with and
+// without fast dormancy — and print the battery cost of each.
+//
+//   $ ./example_update_strategy_planner
+//
+// Demonstrates: direct use of radio::BurstMachine as an energy oracle.
+#include <iostream>
+
+#include "radio/burst_machine.h"
+#include "util/table.h"
+
+namespace {
+
+struct Strategy {
+  const char* name;
+  double period_minutes;
+  int bursts_per_update;  // request/response exchanges per update
+};
+
+}  // namespace
+
+int main() {
+  using namespace wildenergy;
+  using radio::BurstMachine;
+  using radio::Direction;
+
+  constexpr double kDailyBytes = 12e6;        // 12 MB/day of sync payload
+  constexpr double kBatteryJoules = 32'000.0; // ~2400 mAh at 3.7 V
+
+  const Strategy strategies[] = {
+      {"poll every 1 min (2012 Pandora style)", 1.0, 1},
+      {"poll every 5 min (2012 Facebook style)", 5.0, 1},
+      {"poll every 5 min, chatty (3 exchanges)", 5.0, 3},
+      {"sync every 30 min", 30.0, 1},
+      {"sync hourly (2014 Facebook style)", 60.0, 1},
+      {"batch 4x per day", 360.0, 1},
+      {"push only (~10 notifications/day)", 144.0, 1},
+  };
+
+  BurstMachine lte{radio::lte_params()};
+  BurstMachine lte_fd{radio::lte_fast_dormancy_params()};
+
+  std::cout << "=== Background update strategy planner ===\n"
+            << "payload budget: " << fmt_bytes(kDailyBytes) << "/day over LTE\n\n";
+
+  TextTable table({"strategy", "updates/day", "J/day (LTE)", "J/day (LTE+FD)",
+                   "% of battery/day", "uJ/B"});
+  for (const auto& s : strategies) {
+    const double updates = 1440.0 / s.period_minutes;
+    const auto bytes_per_burst =
+        static_cast<std::uint64_t>(kDailyBytes / updates / s.bursts_per_update);
+    // Each exchange is an isolated wakeup when the period far exceeds the
+    // tail; that is exactly the regime background sync lives in.
+    const double j_lte =
+        updates * s.bursts_per_update * lte.isolated_burst_energy(bytes_per_burst,
+                                                                  Direction::kDownlink);
+    const double j_fd = updates * s.bursts_per_update *
+                        lte_fd.isolated_burst_energy(bytes_per_burst, Direction::kDownlink);
+    table.add_row({s.name, fmt(updates, 0), fmt(j_lte, 0), fmt(j_fd, 0),
+                   fmt(100.0 * j_lte / kBatteryJoules, 1), fmt(j_lte / kDailyBytes * 1e6, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nreadings:\n"
+      << "  * the same 12 MB costs ~40x more energy at 1-minute polling than batched —\n"
+      << "    tail energy, not payload, dominates small periodic transfers (paper §4.2)\n"
+      << "  * chatty protocols (multiple exchanges per update) multiply the cost\n"
+      << "  * fast dormancy recovers ~4x without changing the app (paper §6)\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// What-if policy explorer (paper §5): sweep the idle threshold of the
+// kill-idle-background-apps policy and compare against a Doze-like policy,
+// with and without a widget whitelist.
+//
+//   $ ./example_whatif_policy_explorer
+//
+// Demonstrates: StudyPipeline::set_policy with each core policy, and the
+// day-granularity estimator for cheap sweeps.
+#include <iostream>
+#include <memory>
+#include <unordered_set>
+
+#include "analysis/whatif.h"
+#include "core/pipeline.h"
+#include "core/policy.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wildenergy;
+
+  sim::StudyConfig config = sim::small_study(/*seed=*/5);
+  config.num_users = 10;
+  config.num_days = 120;
+
+  core::StudyPipeline baseline{config};
+  baseline.run();
+  const double base_joules = baseline.ledger().total_joules();
+  std::cout << "=== What-if policy explorer (" << config.num_users << " users, "
+            << config.num_days << " days) ===\n"
+            << "baseline network energy: " << fmt(base_joules / 1e3, 1) << " kJ\n\n";
+
+  // Sweep the idle threshold using the cheap day-granularity estimator.
+  std::cout << "-- kill-after-N-days sweep (day-granularity estimate) --\n";
+  TextTable sweep({"idle threshold (days)", "energy saved %", ""});
+  for (int n : {1, 2, 3, 5, 7, 14}) {
+    const auto overall = analysis::whatif_overall(baseline.ledger(), n);
+    sweep.add_row({std::to_string(n), fmt(overall.pct_saved(), 1),
+                   ascii_bar(overall.pct_saved(), 40.0, 30)});
+  }
+  sweep.print(std::cout);
+
+  // Exact packet-level comparison of three deployable policies.
+  std::cout << "\n-- packet-level policies (exact radio-model re-run) --\n";
+  const auto run_policy = [&](core::StudyPipeline::PolicyFactory factory) {
+    core::StudyPipeline p{config};
+    p.set_policy(std::move(factory));
+    p.run();
+    return p.ledger().total_joules();
+  };
+
+  // Whitelist: widgets legitimately live in the background (paper §5 —
+  // "a new permission or whitelist could address corner cases").
+  std::unordered_set<trace::AppId> whitelist;
+  for (trace::AppId id = 0; id < baseline.catalog().size(); ++id) {
+    if (baseline.catalog()[id].category == appmodel::AppCategory::kWidget) {
+      whitelist.insert(id);
+    }
+  }
+
+  TextTable policies({"policy", "energy kJ", "saved %"});
+  const auto add = [&](const char* name, double joules) {
+    policies.add_row({name, fmt(joules / 1e3, 1), fmt(100.0 * (base_joules - joules) / base_joules, 1)});
+  };
+  add("baseline (no policy)", base_joules);
+  add("kill after 3 idle days",
+      run_policy([](trace::TraceSink* d) {
+        return std::make_unique<core::KillAfterIdlePolicy>(d, days(3.0));
+      }));
+  add("kill after 3 idle days + widget whitelist",
+      run_policy([&](trace::TraceSink* d) {
+        return std::make_unique<core::KillAfterIdlePolicy>(d, days(3.0), whitelist);
+      }));
+  add("Doze-like (1 h idle, 4 h maintenance cycle)",
+      run_policy([](trace::TraceSink* d) { return std::make_unique<core::DozeLikePolicy>(d); }));
+  add("App-Standby-like (rate-limit idle apps)",
+      run_policy([](trace::TraceSink* d) { return std::make_unique<core::AppStandbyPolicy>(d); }));
+  add("terminate foreground flows on minimize",
+      run_policy([](trace::TraceSink* d) {
+        return std::make_unique<core::LeakTerminationPolicy>(d);
+      }));
+  policies.print(std::cout);
+
+  std::cout << "\nreadings: Doze attacks *all* idle-time background traffic and saves the\n"
+               "most; kill-after-N only touches long-unused apps (the paper's targeted\n"
+               "proposal); leak termination targets the §4.1 browser problem specifically.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "analysis/case_studies.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wildenergy::analysis {
+
+CaseStudyAnalysis::CaseStudyAnalysis(std::vector<trace::AppId> apps)
+    : apps_(std::move(apps)),
+      tracked_set_(apps_.begin(), apps_.end()),
+      assembler_([this](const trace::FlowRecord& flow) { on_flow(flow); }) {}
+
+void CaseStudyAnalysis::on_study_begin(const trace::StudyMeta& meta) {
+  meta_ = meta;
+  const auto num_days = static_cast<std::int64_t>(std::ceil(meta.span().days()));
+  era_split_lo_ = num_days / 3;
+  era_split_hi_ = num_days - num_days / 3;
+  per_app_.clear();
+  for (trace::AppId app : apps_) {
+    PerApp& pa = per_app_[app];
+    pa.active_day.assign(static_cast<std::size_t>(meta.num_users) *
+                             static_cast<std::size_t>(std::max<std::int64_t>(num_days, 1)),
+                         false);
+  }
+  assembler_.on_study_begin(meta);
+}
+
+void CaseStudyAnalysis::on_user_begin(trace::UserId user) { assembler_.on_user_begin(user); }
+
+void CaseStudyAnalysis::on_packet(const trace::PacketRecord& p) {
+  if (trace::is_foreground(p.state)) return;  // Table 1 is about background transfers
+  const auto it = per_app_.find(p.app);
+  if (it == per_app_.end()) return;
+  PerApp& pa = it->second;
+  pa.joules += p.joules;
+  pa.bytes += p.bytes;
+  const auto num_days = pa.active_day.size() / std::max<std::size_t>(meta_.num_users, 1);
+  const auto day = static_cast<std::size_t>(
+      std::clamp<std::int64_t>((p.time - meta_.study_begin).us / 86'400'000'000LL, 0,
+                               static_cast<std::int64_t>(num_days) - 1));
+  pa.active_day[p.user * num_days + day] = true;
+  assembler_.on_packet(p);
+}
+
+void CaseStudyAnalysis::on_transition(const trace::StateTransition&) {}
+
+void CaseStudyAnalysis::on_user_end(trace::UserId user) { assembler_.on_user_end(user); }
+
+void CaseStudyAnalysis::on_study_end() {}
+
+void CaseStudyAnalysis::on_flow(const trace::FlowRecord& flow) {
+  PerApp& pa = per_app_[flow.app];
+  pa.flows += 1;
+  const auto last = pa.last_flow_start.find(flow.user);
+  if (last != pa.last_flow_start.end()) {
+    const double gap_s = (flow.first_packet - last->second).seconds();
+    // Gaps above two days are app-dormancy, not an update period.
+    if (gap_s > 0 && gap_s < 2.0 * 86400.0) {
+      const std::int64_t day = (flow.first_packet - meta_.study_begin).us / 86'400'000'000LL;
+      if (day < era_split_lo_) {
+        pa.early_gaps.add(gap_s);
+      } else if (day >= era_split_hi_) {
+        pa.late_gaps.add(gap_s);
+      }
+    }
+  }
+  pa.last_flow_start[flow.user] = flow.first_packet;
+}
+
+CaseStudyResult CaseStudyAnalysis::result(trace::AppId app) {
+  CaseStudyResult out;
+  out.app = app;
+  const auto it = per_app_.find(app);
+  if (it == per_app_.end()) return out;
+  PerApp& pa = it->second;
+  out.joules_total = pa.joules;
+  out.bytes_total = pa.bytes;
+  out.flows = pa.flows;
+  out.days_active = static_cast<std::uint64_t>(
+      std::count(pa.active_day.begin(), pa.active_day.end(), true));
+  out.early_period_s = estimate_period_from_gaps(pa.early_gaps.sorted_samples()).period_s;
+  out.late_period_s = estimate_period_from_gaps(pa.late_gaps.sorted_samples()).period_s;
+  return out;
+}
+
+}  // namespace wildenergy::analysis

@@ -1,0 +1,90 @@
+// §4.2 / Table 1: per-app case studies of background-initiated transfers.
+//
+// For each app of interest we compute the paper's columns — energy/day,
+// energy/flow, MB/flow, average energy-per-byte — plus a detected background
+// update period for the early and late thirds of the study (catching the
+// behaviour evolutions: Facebook 5 min -> 1 h, Pandora 1 min -> 2 h, ...).
+//
+// Flow definition: idle-gap flow assembly (trace/flow_assembler.h); the
+// update period is estimated from the gaps between background flow starts.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/flow_assembler.h"
+#include "trace/sink.h"
+#include "util/stats.h"
+
+namespace wildenergy::analysis {
+
+struct CaseStudyResult {
+  trace::AppId app = 0;
+  double joules_total = 0.0;
+  std::uint64_t bytes_total = 0;
+  std::uint64_t flows = 0;
+  std::uint64_t days_active = 0;  ///< days with any traffic, summed over users
+
+  // Paper columns (per *background* flows; units per DESIGN.md note).
+  [[nodiscard]] double joules_per_day() const {
+    return days_active ? joules_total / static_cast<double>(days_active) : 0.0;
+  }
+  [[nodiscard]] double joules_per_flow() const {
+    return flows ? joules_total / static_cast<double>(flows) : 0.0;
+  }
+  [[nodiscard]] double mb_per_flow() const {
+    return flows ? static_cast<double>(bytes_total) / static_cast<double>(flows) / 1e6 : 0.0;
+  }
+  [[nodiscard]] double micro_joules_per_byte() const {
+    return bytes_total ? joules_total / static_cast<double>(bytes_total) * 1e6 : 0.0;
+  }
+
+  /// Dominant background update period (seconds) in the first and last third
+  /// of the study; 0 when aperiodic or not enough data.
+  double early_period_s = 0.0;
+  double late_period_s = 0.0;
+};
+
+class CaseStudyAnalysis final : public trace::TraceSink {
+ public:
+  /// Track the given apps; statistics cover *background* traffic only
+  /// (the subject of Table 1). Pass the full study stream.
+  explicit CaseStudyAnalysis(std::vector<trace::AppId> apps);
+
+  void on_study_begin(const trace::StudyMeta& meta) override;
+  void on_user_begin(trace::UserId user) override;
+  void on_packet(const trace::PacketRecord& packet) override;
+  void on_transition(const trace::StateTransition& transition) override;
+  void on_user_end(trace::UserId user) override;
+  void on_study_end() override;
+
+  [[nodiscard]] CaseStudyResult result(trace::AppId app);
+  [[nodiscard]] const std::vector<trace::AppId>& tracked() const { return apps_; }
+
+ private:
+  struct PerApp {
+    double joules = 0.0;
+    std::uint64_t bytes = 0;
+    std::uint64_t flows = 0;
+    std::vector<bool> active_day;  ///< (user-major) day activity bitmaps, merged
+    /// Gaps between consecutive background flow starts, split into eras.
+    Distribution early_gaps;
+    Distribution late_gaps;
+    std::unordered_map<trace::UserId, TimePoint> last_flow_start;
+  };
+
+  void on_flow(const trace::FlowRecord& flow);
+
+  std::vector<trace::AppId> apps_;
+  std::unordered_set<trace::AppId> tracked_set_;
+  trace::StudyMeta meta_;
+  std::int64_t era_split_lo_ = 0;  ///< first day of the middle era
+  std::int64_t era_split_hi_ = 0;  ///< first day of the late era
+  std::unordered_map<trace::AppId, PerApp> per_app_;
+  trace::FlowAssembler assembler_;
+};
+
+}  // namespace wildenergy::analysis

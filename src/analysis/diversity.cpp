@@ -1,0 +1,55 @@
+#include "analysis/diversity.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace wildenergy::analysis {
+
+DiversityResult top_n_diversity(const energy::EnergyLedger& ledger, std::size_t top_n) {
+  DiversityResult out;
+
+  std::map<trace::UserId, std::vector<const energy::AppUserAccount*>> by_user;
+  for (const auto& [key, acc] : ledger.accounts()) by_user[acc.user].push_back(&acc);
+
+  std::vector<std::set<trace::AppId>> top_sets;
+  for (auto& [user, accounts] : by_user) {
+    std::sort(accounts.begin(), accounts.end(),
+              [](const auto* a, const auto* b) { return a->bytes > b->bytes; });
+    std::set<trace::AppId> top;
+    for (std::size_t i = 0; i < std::min(top_n, accounts.size()); ++i) {
+      top.insert(accounts[i]->app);
+    }
+    top_sets.push_back(std::move(top));
+  }
+  out.users = top_sets.size();
+  if (out.users < 2) return out;
+
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < top_sets.size(); ++i) {
+    for (std::size_t j = i + 1; j < top_sets.size(); ++j) {
+      std::size_t inter = 0;
+      for (trace::AppId app : top_sets[i]) inter += top_sets[j].count(app);
+      const std::size_t uni = top_sets[i].size() + top_sets[j].size() - inter;
+      const double jaccard = uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni) : 0.0;
+      sum += jaccard;
+      out.min_pairwise_jaccard = std::min(out.min_pairwise_jaccard, jaccard);
+      out.max_pairwise_jaccard = std::max(out.max_pairwise_jaccard, jaccard);
+      ++pairs;
+    }
+  }
+  out.mean_pairwise_jaccard = sum / static_cast<double>(pairs);
+
+  std::map<trace::AppId, std::size_t> membership;
+  for (const auto& top : top_sets) {
+    for (trace::AppId app : top) membership[app]++;
+  }
+  for (const auto& [app, count] : membership) {
+    if (count == 1) ++out.single_user_apps;
+    if (count == out.users) ++out.universal_apps;
+  }
+  return out;
+}
+
+}  // namespace wildenergy::analysis

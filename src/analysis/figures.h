@@ -1,0 +1,62 @@
+// Ledger-derived figure queries: Fig. 1 (top-10 popularity), Fig. 2 (top
+// data/energy consumers), Fig. 3 (energy per process state).
+//
+// These are pure functions over an EnergyLedger so they can run on any
+// annotated trace — synthetic or imported via trace/csv_io.h.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "energy/ledger.h"
+
+namespace wildenergy::analysis {
+
+/// Fig. 1: for each app, in how many users' top-10 lists (ranked by total
+/// data consumption) does it appear? Sorted descending; only apps appearing
+/// in >= min_users lists are returned (the paper plots >= 2).
+struct PopularityEntry {
+  trace::AppId app = 0;
+  std::uint32_t users_with_app_in_top10 = 0;
+};
+[[nodiscard]] std::vector<PopularityEntry> top10_popularity(const energy::EnergyLedger& ledger,
+                                                            std::uint32_t min_users = 2,
+                                                            std::size_t top_n = 10);
+
+/// Fig. 2: apps ranked by total data and by total energy across all users.
+struct ConsumerEntry {
+  trace::AppId app = 0;
+  std::uint64_t bytes = 0;
+  double joules = 0.0;
+
+  /// Energy per byte — the "disproportionate" metric of §3.1 (uJ/B).
+  [[nodiscard]] double micro_joules_per_byte() const {
+    return bytes > 0 ? joules / static_cast<double>(bytes) * 1e6 : 0.0;
+  }
+};
+[[nodiscard]] std::vector<ConsumerEntry> top_consumers_by_data(const energy::EnergyLedger& ledger,
+                                                               std::size_t top_n = 10);
+[[nodiscard]] std::vector<ConsumerEntry> top_consumers_by_energy(
+    const energy::EnergyLedger& ledger, std::size_t top_n = 10);
+
+/// Fig. 3: fraction of an app's network energy in each of the five Android
+/// process states, plus the paper's headline aggregate ("84% of cellular
+/// network energy is consumed in a background state").
+struct StateBreakdown {
+  trace::AppId app = 0;
+  double total_joules = 0.0;
+  /// Fractions indexed by trace::ProcessState, summing to 1 when total > 0.
+  std::array<double, trace::kNumProcessStates> fraction{};
+
+  [[nodiscard]] double foreground_fraction() const { return fraction[0] + fraction[1]; }
+  [[nodiscard]] double background_fraction() const {
+    return fraction[2] + fraction[3] + fraction[4];
+  }
+};
+[[nodiscard]] StateBreakdown state_breakdown(const energy::EnergyLedger& ledger,
+                                             trace::AppId app);
+/// Study-wide breakdown across all apps.
+[[nodiscard]] StateBreakdown overall_state_breakdown(const energy::EnergyLedger& ledger);
+
+}  // namespace wildenergy::analysis

@@ -1,0 +1,73 @@
+#include "analysis/longitudinal.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wildenergy::analysis {
+
+double WeeklySeries::max_weekly_bg_fluctuation() const {
+  if (bg_joules.size() < 3) return 0.0;
+  double peak = 0.0;
+  for (double w : bg_joules) peak = std::max(peak, w);
+  double worst = 0.0;
+  // Skip the first and last week (partial weeks distort ratios).
+  for (std::size_t w = 2; w + 1 < bg_joules.size(); ++w) {
+    const double prev = bg_joules[w - 1];
+    if (prev < 0.02 * peak) continue;  // ramp-in noise
+    worst = std::max(worst, std::abs(bg_joules[w] - prev) / prev);
+  }
+  return worst;
+}
+
+LongitudinalAnalysis::LongitudinalAnalysis(std::vector<trace::AppId> tracked_apps)
+    : tracked_(std::move(tracked_apps)), tracked_set_(tracked_.begin(), tracked_.end()) {}
+
+void LongitudinalAnalysis::on_study_begin(const trace::StudyMeta& meta) {
+  meta_ = meta;
+  num_days_ = static_cast<std::int64_t>(std::ceil(meta.span().days()));
+  const auto weeks = static_cast<std::size_t>((num_days_ + 6) / 7);
+  overall_.fg_joules.assign(std::max<std::size_t>(weeks, 1), 0.0);
+  overall_.bg_joules.assign(std::max<std::size_t>(weeks, 1), 0.0);
+  eras_.clear();
+}
+
+void LongitudinalAnalysis::on_packet(const trace::PacketRecord& p) {
+  const std::int64_t day = (p.time - meta_.study_begin).us / 86'400'000'000LL;
+  const auto week = static_cast<std::size_t>(
+      std::clamp<std::int64_t>(day / 7, 0, static_cast<std::int64_t>(overall_.weeks()) - 1));
+  if (trace::is_foreground(p.state)) {
+    overall_.fg_joules[week] += p.joules;
+  } else {
+    overall_.bg_joules[week] += p.joules;
+  }
+
+  if (!tracked_set_.contains(p.app)) return;
+  EraAccum& era = eras_[p.app];
+  if (day < num_days_ / 3) {
+    era.early_joules += p.joules;
+    era.early_bytes += p.bytes;
+  } else if (day >= num_days_ - num_days_ / 3) {
+    era.late_joules += p.joules;
+    era.late_bytes += p.bytes;
+  }
+}
+
+EraComparison LongitudinalAnalysis::era_comparison(trace::AppId app) const {
+  EraComparison out;
+  out.app = app;
+  const auto it = eras_.find(app);
+  if (it == eras_.end() || num_days_ < 3) return out;
+  const EraAccum& era = it->second;
+  const double era_days = static_cast<double>(num_days_) / 3.0;
+  out.early_joules_per_day = era.early_joules / era_days;
+  out.late_joules_per_day = era.late_joules / era_days;
+  if (era.early_bytes > 0) {
+    out.early_uj_per_byte = era.early_joules / static_cast<double>(era.early_bytes) * 1e6;
+  }
+  if (era.late_bytes > 0) {
+    out.late_uj_per_byte = era.late_joules / static_cast<double>(era.late_bytes) * 1e6;
+  }
+  return out;
+}
+
+}  // namespace wildenergy::analysis

@@ -1,0 +1,70 @@
+// Longitudinal trends (§3.1).
+//
+// "Background energy fluctuated by up to 60% from week to week throughout
+//  the study. Examining specific apps, we did determine that some apps have
+//  become more energy-efficient due to adjusting the inter-packet intervals
+//  of background traffic."
+//
+// This sink accumulates weekly energy series (overall and per tracked app)
+// and compares early-era vs late-era per-app efficiency, surfacing the
+// behaviour evolutions Table 1 reports (Facebook 5 min -> 1 h, ...).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/sink.h"
+
+namespace wildenergy::analysis {
+
+struct WeeklySeries {
+  std::vector<double> fg_joules;
+  std::vector<double> bg_joules;
+
+  [[nodiscard]] std::size_t weeks() const { return bg_joules.size(); }
+  /// Largest relative week-over-week change of background energy, ignoring
+  /// ramp-in/out weeks with negligible traffic.
+  [[nodiscard]] double max_weekly_bg_fluctuation() const;
+};
+
+struct EraComparison {
+  trace::AppId app = 0;
+  double early_joules_per_day = 0.0;  ///< first third of the study
+  double late_joules_per_day = 0.0;   ///< last third
+  double early_uj_per_byte = 0.0;
+  double late_uj_per_byte = 0.0;
+
+  /// < 1 means the app became more energy-efficient per byte over the study.
+  [[nodiscard]] double efficiency_ratio() const {
+    return early_uj_per_byte > 0 ? late_uj_per_byte / early_uj_per_byte : 0.0;
+  }
+};
+
+class LongitudinalAnalysis final : public trace::TraceSink {
+ public:
+  explicit LongitudinalAnalysis(std::vector<trace::AppId> tracked_apps = {});
+
+  void on_study_begin(const trace::StudyMeta& meta) override;
+  void on_packet(const trace::PacketRecord& packet) override;
+
+  [[nodiscard]] const WeeklySeries& overall() const { return overall_; }
+  [[nodiscard]] EraComparison era_comparison(trace::AppId app) const;
+
+ private:
+  struct EraAccum {
+    double early_joules = 0.0;
+    double late_joules = 0.0;
+    std::uint64_t early_bytes = 0;
+    std::uint64_t late_bytes = 0;
+  };
+
+  trace::StudyMeta meta_;
+  std::int64_t num_days_ = 0;
+  std::vector<trace::AppId> tracked_;
+  std::unordered_set<trace::AppId> tracked_set_;
+  WeeklySeries overall_;
+  std::unordered_map<trace::AppId, EraAccum> eras_;
+};
+
+}  // namespace wildenergy::analysis

@@ -1,0 +1,35 @@
+#include "analysis/per_user.h"
+
+#include <algorithm>
+#include <map>
+
+namespace wildenergy::analysis {
+
+std::vector<UserSummary> per_user_summaries(const energy::EnergyLedger& ledger,
+                                            std::size_t top_apps) {
+  std::map<trace::UserId, std::vector<const energy::AppUserAccount*>> by_user;
+  for (const auto& [key, acc] : ledger.accounts()) by_user[acc.user].push_back(&acc);
+
+  std::vector<UserSummary> out;
+  out.reserve(by_user.size());
+  for (auto& [user, accounts] : by_user) {
+    UserSummary s;
+    s.user = user;
+    double bg = 0.0;
+    for (const auto* acc : accounts) {
+      s.joules += acc->joules;
+      s.bytes += acc->bytes;
+      bg += acc->background_joules();
+    }
+    s.background_fraction = s.joules > 0 ? bg / s.joules : 0.0;
+    std::sort(accounts.begin(), accounts.end(),
+              [](const auto* a, const auto* b) { return a->joules > b->joules; });
+    for (std::size_t i = 0; i < std::min(top_apps, accounts.size()); ++i) {
+      s.top_apps.push_back(accounts[i]->app);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace wildenergy::analysis

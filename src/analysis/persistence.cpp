@@ -1,0 +1,75 @@
+#include "analysis/persistence.h"
+
+#include <algorithm>
+
+namespace wildenergy::analysis {
+
+PersistenceAnalysis::PersistenceAnalysis(Duration quiet_gap) : quiet_gap_(quiet_gap) {}
+
+void PersistenceAnalysis::on_study_begin(const trace::StudyMeta&) {
+  episodes_.clear();
+  durations_.clear();
+}
+
+void PersistenceAnalysis::close(Episode& episode, trace::AppId app) {
+  if (!episode.open) return;
+  const double duration_s =
+      episode.saw_traffic ? std::max(0.0, (episode.last_packet - episode.transition).seconds())
+                          : 0.0;
+  durations_[app].add(duration_s);
+  episode.open = false;
+}
+
+void PersistenceAnalysis::on_transition(const trace::StateTransition& t) {
+  auto& episode = episodes_[key(t.user, t.app)];
+  if (t.is_fg_to_bg()) {
+    close(episode, t.app);  // back-to-back fg->bg (e.g. fg->perceptible->bg)
+    episode.transition = t.time;
+    episode.last_packet = t.time;
+    episode.open = true;
+    episode.saw_traffic = false;
+  } else if (t.is_bg_to_fg()) {
+    close(episode, t.app);
+  }
+}
+
+void PersistenceAnalysis::on_packet(const trace::PacketRecord& p) {
+  if (trace::is_foreground(p.state)) return;
+  const auto it = episodes_.find(key(p.user, p.app));
+  if (it == episodes_.end() || !it->second.open) return;
+  Episode& episode = it->second;
+  const TimePoint reference = episode.saw_traffic ? episode.last_packet : episode.transition;
+  if (p.time - reference > quiet_gap_) {
+    // Quiet period ended the episode; later traffic (e.g. a periodic timer
+    // hours later) is not "persisting foreground traffic".
+    close(episode, p.app);
+    return;
+  }
+  episode.last_packet = p.time;
+  episode.saw_traffic = true;
+}
+
+void PersistenceAnalysis::on_user_end(trace::UserId user) {
+  for (auto& [k, episode] : episodes_) {
+    if ((k >> 32) == user) close(episode, static_cast<trace::AppId>(k & 0xFFFFFFFFu));
+  }
+  episodes_.clear();
+}
+
+Distribution& PersistenceAnalysis::durations(trace::AppId app) { return durations_[app]; }
+
+std::vector<trace::AppId> PersistenceAnalysis::tracked_apps() const {
+  std::vector<trace::AppId> out;
+  out.reserve(durations_.size());
+  for (const auto& [app, dist] : durations_) out.push_back(app);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double PersistenceAnalysis::fraction_persisting_longer_than(trace::AppId app, Duration d) {
+  auto it = durations_.find(app);
+  if (it == durations_.end() || it->second.count() == 0) return 0.0;
+  return 1.0 - it->second.cdf_at(d.seconds());
+}
+
+}  // namespace wildenergy::analysis

@@ -1,0 +1,55 @@
+// §4.1 / Fig. 5: how long does traffic persist after an app is sent to the
+// background?
+//
+// For every foreground->background transition, we measure the duration for
+// which the app keeps transferring: from the transition until the last
+// packet preceding a quiet gap longer than `quiet_gap`. Each transition is
+// one data point (0 when nothing followed); the paper plots the
+// distribution for Chrome, where flows "persist for more than a day".
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "trace/sink.h"
+#include "util/stats.h"
+
+namespace wildenergy::analysis {
+
+class PersistenceAnalysis final : public trace::TraceSink {
+ public:
+  /// Track all apps; durations are recorded per app.
+  explicit PersistenceAnalysis(Duration quiet_gap = minutes(10.0));
+
+  void on_study_begin(const trace::StudyMeta& meta) override;
+  void on_packet(const trace::PacketRecord& packet) override;
+  void on_transition(const trace::StateTransition& transition) override;
+  void on_user_end(trace::UserId user) override;
+
+  /// Persistence durations (seconds) for one app, one per fg->bg transition.
+  /// Empty if the app was never foregrounded.
+  [[nodiscard]] Distribution& durations(trace::AppId app);
+  /// Apps with at least one recorded transition.
+  [[nodiscard]] std::vector<trace::AppId> tracked_apps() const;
+
+  /// Fraction of `app` transitions whose traffic persisted longer than `d`.
+  [[nodiscard]] double fraction_persisting_longer_than(trace::AppId app, Duration d);
+
+ private:
+  struct Episode {
+    TimePoint transition;
+    TimePoint last_packet;
+    bool open = false;
+    bool saw_traffic = false;
+  };
+  static std::uint64_t key(trace::UserId user, trace::AppId app) {
+    return (static_cast<std::uint64_t>(user) << 32) | app;
+  }
+  void close(Episode& episode, trace::AppId app);
+
+  Duration quiet_gap_;
+  std::unordered_map<std::uint64_t, Episode> episodes_;
+  std::unordered_map<trace::AppId, Distribution> durations_;
+};
+
+}  // namespace wildenergy::analysis

@@ -1,0 +1,67 @@
+// §4.1 / Fig. 6: background data volume as a function of time since the app
+// left the foreground.
+//
+// Reproduces the three features the paper calls out:
+//   1. a steep falloff — most background bytes land in the first minute,
+//   2. periodic spikes at 5- and 10-minute offsets (timers re-armed on the
+//      background transition),
+//   3. a long tail of persisting flows,
+// plus the headline criterion: the fraction of apps that send >=80% of their
+// background bytes within 60 s of going background ("84% of apps").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/sink.h"
+#include "util/stats.h"
+
+namespace wildenergy::analysis {
+
+class TimeSinceForegroundAnalysis final : public trace::TraceSink {
+ public:
+  /// `horizon`: how far past the transition the histogram extends.
+  /// `bin`: histogram resolution (must divide the 5-min spike cleanly to
+  /// keep the spikes visible; default 30 s).
+  explicit TimeSinceForegroundAnalysis(Duration horizon = hours(2.0), Duration bin = sec(30.0));
+
+  void on_study_begin(const trace::StudyMeta& meta) override;
+  void on_packet(const trace::PacketRecord& packet) override;
+  void on_transition(const trace::StateTransition& transition) override;
+
+  /// Histogram of background bytes vs seconds-since-foreground (all apps).
+  [[nodiscard]] const Histogram& bytes_histogram() const { return histogram_; }
+
+  struct AppTally {
+    std::uint64_t bg_bytes = 0;
+    std::uint64_t bg_bytes_first_minute = 0;
+  };
+  /// Per-app tallies (only packets after the app's first foreground use).
+  [[nodiscard]] const std::unordered_map<trace::AppId, AppTally>& app_tallies() const {
+    return tallies_;
+  }
+
+  /// The paper's criterion: fraction of apps (with >= min_bytes of tracked
+  /// background traffic) sending >= `share` of it within the first 60 s.
+  [[nodiscard]] double fraction_of_apps_frontloaded(double share = 0.8,
+                                                    std::uint64_t min_bytes = 10'000) const;
+
+  /// Spike detection: offsets (in seconds) of local maxima of the histogram
+  /// beyond the first 2 minutes — the 5/10-minute timers of Fig. 6.
+  [[nodiscard]] std::vector<double> spike_offsets_seconds(std::size_t max_spikes = 4) const;
+
+ private:
+  static std::uint64_t key(trace::UserId user, trace::AppId app) {
+    return (static_cast<std::uint64_t>(user) << 32) | app;
+  }
+
+  Duration horizon_;
+  Histogram histogram_;
+  /// Last fg->bg transition per (user, app); absent until first transition.
+  std::unordered_map<std::uint64_t, TimePoint> last_exit_;
+  std::unordered_map<std::uint64_t, bool> in_foreground_;
+  std::unordered_map<trace::AppId, AppTally> tallies_;
+};
+
+}  // namespace wildenergy::analysis

@@ -1,0 +1,84 @@
+#include "analysis/waste.h"
+
+namespace wildenergy::analysis {
+
+WastedUpdateAnalysis::WastedUpdateAnalysis(std::vector<trace::AppId> apps, Duration useful_window)
+    : apps_(std::move(apps)),
+      tracked_set_(apps_.begin(), apps_.end()),
+      useful_window_(useful_window),
+      assembler_([this](const trace::FlowRecord& flow) { on_flow(flow); }) {}
+
+void WastedUpdateAnalysis::on_study_begin(const trace::StudyMeta& meta) {
+  per_app_.clear();
+  for (trace::AppId app : apps_) per_app_[app].totals.app = app;
+  assembler_.on_study_begin(meta);
+}
+
+void WastedUpdateAnalysis::on_user_begin(trace::UserId user) { assembler_.on_user_begin(user); }
+
+void WastedUpdateAnalysis::on_packet(const trace::PacketRecord& packet) {
+  if (!tracked_set_.contains(packet.app)) return;
+  if (trace::is_foreground(packet.state)) {
+    // Foreground traffic itself proves the user is looking: settle pending.
+    settle_on_foreground(packet.app, packet.user, packet.time);
+    return;
+  }
+  expire(per_app_[packet.app], packet.user, packet.time);
+  assembler_.on_packet(packet);
+}
+
+void WastedUpdateAnalysis::on_transition(const trace::StateTransition& transition) {
+  if (!tracked_set_.contains(transition.app)) return;
+  if (transition.is_bg_to_fg()) {
+    settle_on_foreground(transition.app, transition.user, transition.time);
+  }
+}
+
+void WastedUpdateAnalysis::on_user_end(trace::UserId user) {
+  assembler_.on_user_end(user);
+  // Remaining pending updates were never followed by use: wasted.
+  for (auto& [app, pa] : per_app_) {
+    auto it = pa.pending.find(user);
+    if (it == pa.pending.end()) continue;
+    for (const auto& update : it->second) {
+      ++pa.totals.wasted_updates;
+      pa.totals.wasted_joules += update.joules;
+    }
+    pa.pending.erase(it);
+  }
+}
+
+void WastedUpdateAnalysis::on_flow(const trace::FlowRecord& flow) {
+  PerApp& pa = per_app_[flow.app];
+  pa.totals.updates += 1;
+  pa.totals.joules += flow.joules;
+  pa.pending[flow.user].push_back({flow.last_packet, flow.joules});
+}
+
+void WastedUpdateAnalysis::expire(PerApp& pa, trace::UserId user, TimePoint now) {
+  auto it = pa.pending.find(user);
+  if (it == pa.pending.end()) return;
+  auto& queue = it->second;
+  while (!queue.empty() && now - queue.front().completed > useful_window_) {
+    ++pa.totals.wasted_updates;
+    pa.totals.wasted_joules += queue.front().joules;
+    queue.pop_front();
+  }
+}
+
+void WastedUpdateAnalysis::settle_on_foreground(trace::AppId app, trace::UserId user,
+                                                TimePoint now) {
+  assembler_.flush_idle(now);  // surface logically-complete updates first
+  PerApp& pa = per_app_[app];
+  expire(pa, user, now);  // anything older than the window is still wasted
+  auto it = pa.pending.find(user);
+  if (it == pa.pending.end()) return;
+  it->second.clear();  // remaining updates were fresh when the user looked
+}
+
+WasteResult WastedUpdateAnalysis::result(trace::AppId app) const {
+  const auto it = per_app_.find(app);
+  return it == per_app_.end() ? WasteResult{.app = app} : it->second.totals;
+}
+
+}  // namespace wildenergy::analysis

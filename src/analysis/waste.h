@@ -1,0 +1,75 @@
+// Wasted background updates (§4.2 / §6).
+//
+// "There is often a tradeoff between ensuring updates are timely and
+//  avoiding wasted background updates the user never looks at." ... "app
+//  developers should ... tailor updates to reflect the frequency with which
+//  useful, new data is provided."
+//
+// An update is counted as *useful* when the user foregrounds the app within
+// `useful_window` after it (the freshly synced content had a chance to be
+// seen), and *wasted* otherwise. Updates are background flows reconstructed
+// with the same idle-gap assembler as Table 1.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/flow_assembler.h"
+#include "trace/sink.h"
+
+namespace wildenergy::analysis {
+
+struct WasteResult {
+  trace::AppId app = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t wasted_updates = 0;
+  double joules = 0.0;
+  double wasted_joules = 0.0;
+
+  [[nodiscard]] double wasted_update_fraction() const {
+    return updates ? static_cast<double>(wasted_updates) / static_cast<double>(updates) : 0.0;
+  }
+  [[nodiscard]] double wasted_energy_fraction() const {
+    return joules > 0 ? wasted_joules / joules : 0.0;
+  }
+};
+
+class WastedUpdateAnalysis final : public trace::TraceSink {
+ public:
+  /// Track background updates of `apps`; an update is useful if the app is
+  /// foregrounded within `useful_window` after the update completes.
+  WastedUpdateAnalysis(std::vector<trace::AppId> apps, Duration useful_window = hours(12.0));
+
+  void on_study_begin(const trace::StudyMeta& meta) override;
+  void on_user_begin(trace::UserId user) override;
+  void on_packet(const trace::PacketRecord& packet) override;
+  void on_transition(const trace::StateTransition& transition) override;
+  void on_user_end(trace::UserId user) override;
+
+  [[nodiscard]] WasteResult result(trace::AppId app) const;
+  [[nodiscard]] const std::vector<trace::AppId>& tracked() const { return apps_; }
+
+ private:
+  struct PendingUpdate {
+    TimePoint completed;
+    double joules = 0.0;
+  };
+  struct PerApp {
+    WasteResult totals;
+    std::unordered_map<trace::UserId, std::deque<PendingUpdate>> pending;
+  };
+
+  void on_flow(const trace::FlowRecord& flow);
+  void expire(PerApp& pa, trace::UserId user, TimePoint now);
+  void settle_on_foreground(trace::AppId app, trace::UserId user, TimePoint now);
+
+  std::vector<trace::AppId> apps_;
+  std::unordered_set<trace::AppId> tracked_set_;
+  Duration useful_window_;
+  std::unordered_map<trace::AppId, PerApp> per_app_;
+  trace::FlowAssembler assembler_;
+};
+
+}  // namespace wildenergy::analysis

@@ -1,0 +1,130 @@
+#include "analysis/whatif.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace wildenergy::analysis {
+
+namespace {
+
+/// Days (since the user's last foreground-traffic day) after which the
+/// policy suppresses a day's background energy.
+bool day_suppressed(std::int64_t days_since_fg, std::int64_t idle_days) {
+  return days_since_fg > idle_days;
+}
+
+/// Walk one account's day cells and report which days the policy suppresses.
+template <typename Fn>
+void for_each_suppressed_day(const energy::AppUserAccount& acc, std::int64_t idle_days, Fn&& fn) {
+  std::int64_t days_since_fg = idle_days;  // study start counts as "not recently used"
+  for (std::size_t d = 0; d < acc.days.size(); ++d) {
+    const energy::DayCell& cell = acc.days[d];
+    if (cell.fg_bytes > 0) {
+      days_since_fg = 0;
+    } else {
+      ++days_since_fg;
+    }
+    if (day_suppressed(days_since_fg, idle_days)) fn(d, cell);
+  }
+}
+
+}  // namespace
+
+WhatIfRow whatif_kill_after(const energy::EnergyLedger& ledger, trace::AppId app,
+                            std::int64_t idle_days) {
+  WhatIfRow row;
+  row.app = app;
+
+  std::uint64_t traffic_days = 0;
+  std::uint64_t bg_only_days = 0;
+  std::uint64_t total_days = 0;
+  double sum_user_pct = 0.0;
+
+  for (const auto& [key, acc] : ledger.accounts()) {
+    if (acc.app != app || acc.joules <= 0.0) continue;
+    ++row.users_with_app;
+
+    // Rows A and B. A is the fraction of study days with only background
+    // traffic; B counts consecutive such days, in stretches bounded by
+    // foreground use (paper: "only time periods where there is foreground
+    // traffic at the beginning and end").
+    std::int64_t run = 0;       // current run of background-only days
+    bool run_anchored = false;  // run started after a fg day (row B bound)
+    total_days += static_cast<std::uint64_t>(acc.days.size());
+    for (const auto& cell : acc.days) {
+      if (cell.fg_bytes > 0) {
+        if (run_anchored) {
+          row.max_consecutive_bg_days = std::max(row.max_consecutive_bg_days, run);
+        }
+        run = 0;
+        run_anchored = true;
+        ++traffic_days;
+      } else if (cell.bg_bytes > 0) {
+        ++run;
+        ++traffic_days;
+        ++bg_only_days;
+      } else {
+        run = 0;  // a silent day breaks the consecutive-bg-days run
+      }
+    }
+
+    // Row C: suppress background energy once idle for > idle_days.
+    double saved = 0.0;
+    for_each_suppressed_day(acc, idle_days,
+                            [&](std::size_t, const energy::DayCell& cell) {
+                              saved += cell.bg_joules;
+                            });
+    row.saved_joules += saved;
+    row.total_joules += acc.joules;
+    sum_user_pct += 100.0 * saved / acc.joules;
+  }
+
+  (void)traffic_days;
+  if (total_days > 0) {
+    row.pct_days_background_only =
+        100.0 * static_cast<double>(bg_only_days) / static_cast<double>(total_days);
+  }
+  if (row.users_with_app > 0) {
+    row.pct_energy_saved = sum_user_pct / row.users_with_app;
+  }
+  return row;
+}
+
+OverallWhatIf whatif_overall(const energy::EnergyLedger& ledger, std::int64_t idle_days) {
+  OverallWhatIf out;
+  out.total_joules = ledger.total_joules();
+  for (const auto& [key, acc] : ledger.accounts()) {
+    for_each_suppressed_day(acc, idle_days, [&](std::size_t, const energy::DayCell& cell) {
+      out.saved_joules += cell.bg_joules;
+    });
+  }
+  return out;
+}
+
+double pct_saved_on_affected_days(const energy::EnergyLedger& ledger, trace::AppId app,
+                                  std::int64_t idle_days) {
+  // Per-user-per-day whole-device energy, for the denominators.
+  std::unordered_map<trace::UserId, std::vector<double>> device_day_joules;
+  for (const auto& [key, acc] : ledger.accounts()) {
+    auto& days = device_day_joules[acc.user];
+    if (days.size() < acc.days.size()) days.resize(acc.days.size(), 0.0);
+    for (std::size_t d = 0; d < acc.days.size(); ++d) {
+      days[d] += acc.days[d].fg_joules + acc.days[d].bg_joules;
+    }
+  }
+
+  double saved = 0.0;
+  double device_total_on_affected_days = 0.0;
+  for (const auto& [key, acc] : ledger.accounts()) {
+    if (acc.app != app || acc.joules <= 0.0) continue;
+    const auto& days = device_day_joules[acc.user];
+    for_each_suppressed_day(acc, idle_days, [&](std::size_t d, const energy::DayCell& cell) {
+      if (cell.bg_joules <= 0.0) return;  // only days where suppression bites
+      saved += cell.bg_joules;
+      device_total_on_affected_days += days[d];
+    });
+  }
+  return device_total_on_affected_days > 0 ? 100.0 * saved / device_total_on_affected_days : 0.0;
+}
+
+}  // namespace wildenergy::analysis

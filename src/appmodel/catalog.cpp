@@ -1,0 +1,1121 @@
+#include "appmodel/catalog.h"
+
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace wildenergy::appmodel {
+
+trace::AppId AppCatalog::add(AppProfile profile) {
+  assert(index_.find(profile.name) == index_.end() && "duplicate app name");
+  const auto id = static_cast<trace::AppId>(profiles_.size());
+  index_.emplace(profile.name, id);
+  profiles_.push_back(std::move(profile));
+  return id;
+}
+
+trace::AppId AppCatalog::find(std::string_view name) const {
+  const auto it = index_.find(std::string{name});
+  return it == index_.end() ? trace::kNoApp : it->second;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Social media (Table 1): periodic server polls regardless of user activity.
+// ---------------------------------------------------------------------------
+
+AppProfile weibo() {
+  AppProfile app;
+  app.name = "Weibo";
+  app.category = AppCategory::kSocialMedia;
+  app.popularity = 0.8;
+  app.install_probability = 0.15;  // a few devoted users in the study
+  app.foreground = {.sessions_per_day = 1.5,
+                    .session_minutes_mean = 4.0,
+                    .session_minutes_sigma = 0.8,
+                    .burst_interval = sec(12.0),
+                    .burst_bytes_down = 120'000,
+                    .burst_bytes_up = 4'000};
+  // "Frequent, nearly-empty requests" every 5-10 min (Table 1). Forced
+  // closes make the realized flow count fall short of 288/day.
+  PeriodicSpec poll;
+  poll.period = minutes(7.0);
+  poll.period_jitter = 0.35;  // spreads over the 5-10 min band
+  poll.bytes_down = std::uint64_t{2'500};
+  poll.bytes_up = std::uint64_t{900};
+  poll.bursts_per_update = 3;
+  poll.state = trace::ProcessState::kService;
+  poll.forced_close_mean_days = 0.3;
+  poll.restart_mean_hours = 5.0;
+  app.periodic.push_back(poll);
+  app.flush = FlushSpec{.flush_probability = 0.7,
+                        .bytes_down = 30'000,
+                        .bytes_up = 20'000,
+                        .bursts = 3,
+                        .mean_spacing = sec(8.0)};
+  return app;
+}
+
+AppProfile twitter() {
+  AppProfile app;
+  app.name = "Twitter";
+  app.category = AppCategory::kSocialMedia;
+  app.popularity = 2.0;
+  app.install_probability = 0.55;
+  app.foreground = {.sessions_per_day = 4.0,
+                    .session_minutes_mean = 3.0,
+                    .session_minutes_sigma = 0.9,
+                    .burst_interval = sec(10.0),
+                    .burst_bytes_down = 60'000,
+                    .burst_bytes_up = 3'000};
+  // Hourly batched sync pulling a substantial timeline chunk: few joules per
+  // byte — the efficient contrast to Weibo.
+  PeriodicSpec sync;
+  sync.period = hours(1.0);
+  sync.period_jitter = 0.15;
+  sync.bytes_down = std::uint64_t{2'000'000};
+  sync.bytes_up = std::uint64_t{40'000};
+  sync.bursts_per_update = 2;
+  sync.state = trace::ProcessState::kService;
+  sync.forced_close_mean_days = 4.0;
+  app.periodic.push_back(sync);
+  app.flush = FlushSpec{.flush_probability = 0.8,
+                        .bytes_down = 40'000,
+                        .bytes_up = 25'000,
+                        .bursts = 2,
+                        .mean_spacing = sec(6.0)};
+  return app;
+}
+
+AppProfile facebook() {
+  AppProfile app;
+  app.name = "Facebook";
+  app.category = AppCategory::kSocialMedia;
+  app.popularity = 5.0;
+  app.install_probability = 0.95;  // popular among all users (Fig. 1)
+  app.foreground = {.sessions_per_day = 6.0,
+                    .session_minutes_mean = 3.0,
+                    .session_minutes_sigma = 1.0,
+                    .burst_interval = sec(14.0),
+                    .burst_bytes_down = 90'000,
+                    .burst_bytes_up = 5'000};
+  // "decreasing its background update frequency from 5 minutes to 1 hour"
+  // over the course of the study (§4.2). Day 330 ~ the observed switch.
+  PeriodicSpec sync;
+  sync.period = Schedule<Duration>{minutes(5.0)}.then(330, hours(1.0));
+  sync.period_jitter = 0.2;
+  sync.bytes_down = std::uint64_t{600'000};
+  sync.bytes_up = std::uint64_t{30'000};
+  sync.bursts_per_update = 2;
+  sync.state = trace::ProcessState::kService;
+  sync.forced_close_mean_days = 0.4;  // killed within hours on a 1 GB device
+  sync.restart_mean_hours = 8.0;
+  app.periodic.push_back(sync);
+  app.flush = FlushSpec{.flush_probability = 0.85,
+                        .bytes_down = 60'000,
+                        .bytes_up = 40'000,
+                        .bursts = 3,
+                        .mean_spacing = sec(7.0)};
+  return app;
+}
+
+AppProfile google_plus() {
+  AppProfile app;
+  app.name = "Plus";
+  app.category = AppCategory::kSocialMedia;
+  app.popularity = 0.3;  // "Rarely actively used but installed by default"
+  app.install_probability = 0.9;
+  app.foreground = {.sessions_per_day = 0.15,
+                    .session_minutes_mean = 2.0,
+                    .session_minutes_sigma = 0.7,
+                    .burst_interval = sec(12.0),
+                    .burst_bytes_down = 120'000,
+                    .burst_bytes_up = 4'000};
+  PeriodicSpec sync;
+  sync.period = hours(1.0);
+  sync.period_jitter = 0.15;
+  sync.bytes_down = std::uint64_t{1'100'000};
+  sync.bytes_up = std::uint64_t{25'000};
+  sync.bursts_per_update = 2;
+  sync.state = trace::ProcessState::kService;
+  sync.forced_close_mean_days = 5.0;
+  app.periodic.push_back(sync);
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// Periodic update services (Table 1).
+// ---------------------------------------------------------------------------
+
+AppProfile samsung_push() {
+  AppProfile app;
+  app.name = "Samsung Push";
+  app.category = AppCategory::kPushService;
+  app.popularity = 0.8;  // the push panel does get opened occasionally
+  app.install_probability = 0.8;  // preloaded on the study's Galaxy S III
+  app.foreground.sessions_per_day = 0.5;
+  // "15 min to 15 h": a keepalive whose period wanders wildly. Bursts are
+  // spread out within an update, so one update spans several radio wakeups
+  // (paper: 140 J per 2.2 MB flow).
+  PeriodicSpec keepalive;
+  keepalive.period = minutes(40.0);
+  keepalive.period_jitter = 1.5;  // lognormal-like spread: 15 min .. 15 h
+  keepalive.bytes_down = std::uint64_t{1'200'000};
+  keepalive.bytes_up = std::uint64_t{1'000'000};
+  keepalive.bursts_per_update = 6;
+  keepalive.intra_update_gap = sec(13.0);  // past the LTE tail: wakeup per burst
+  keepalive.user_visible_probability = 0.05;
+  keepalive.state = trace::ProcessState::kService;
+  keepalive.forced_close_mean_days = 2.0;   // pauses for stretches...
+  keepalive.restart_mean_hours = 40.0;      // ...until an alarm revives it
+  app.periodic.push_back(keepalive);
+  return app;
+}
+
+AppProfile urbanairship() {
+  AppProfile app;
+  app.name = "Urbanairship";
+  app.category = AppCategory::kPushService;
+  app.popularity = 0.1;
+  app.install_probability = 0.6;  // "Library; period varies by app"
+  app.foreground.sessions_per_day = 0.0;  // pure library, no UI
+  // The in-lab finding: "nearly empty HTTP requests every five minutes for
+  // hours, but only provided one user-visible notification".
+  PeriodicSpec poll;
+  poll.period = minutes(12.0);
+  poll.period_jitter = 0.9;  // 5-30 min across embedding apps
+  poll.bytes_down = std::uint64_t{1'500};
+  poll.bytes_up = std::uint64_t{700};
+  poll.bursts_per_update = 2;
+  poll.state = trace::ProcessState::kService;
+  poll.forced_close_mean_days = 0.5;
+  poll.restart_mean_hours = 6.0;
+  poll.user_visible_probability = 0.02;  // "only one user-visible notification"
+  app.periodic.push_back(poll);
+  return app;
+}
+
+AppProfile maps() {
+  AppProfile app;
+  app.name = "Maps";
+  app.category = AppCategory::kMaps;
+  app.popularity = 1.5;
+  app.install_probability = 0.95;
+  app.foreground = {.sessions_per_day = 1.2,
+                    .session_minutes_mean = 5.0,
+                    .session_minutes_sigma = 0.8,
+                    .burst_interval = sec(6.0),
+                    .burst_bytes_down = 200'000,  // map tiles
+                    .burst_bytes_up = 5'000};
+  // Background location service: 20-30 min, "decreased to a few hours near
+  // the end" (Table 1). It consumed up to 90% of the app's energy early on.
+  PeriodicSpec location;
+  location.period = Schedule<Duration>{minutes(28.0)}.then(520, hours(3.0));
+  location.period_jitter = 0.25;
+  location.bytes_down = std::uint64_t{30'000};
+  location.bytes_up = std::uint64_t{70'000};  // uploads anonymized fixes
+  location.bursts_per_update = 2;
+  location.state = trace::ProcessState::kService;
+  location.forced_close_mean_days = 0.5;
+  location.restart_mean_hours = 10.0;
+  app.periodic.push_back(location);
+  return app;
+}
+
+AppProfile gmail() {
+  AppProfile app;
+  app.name = "GMail";
+  app.category = AppCategory::kMail;
+  app.popularity = 2.5;
+  app.install_probability = 1.0;
+  app.foreground = {.sessions_per_day = 5.0,
+                    .session_minutes_mean = 1.5,
+                    .session_minutes_sigma = 0.7,
+                    .burst_interval = sec(10.0),
+                    .burst_bytes_down = 60'000,
+                    .burst_bytes_up = 12'000};
+  // "30 min in 2012; updates appear to become discontinuous" — the period
+  // lengthens and the jitter grows until arrivals look on-demand.
+  PeriodicSpec sync;
+  sync.period = Schedule<Duration>{minutes(30.0)}.then(350, hours(2.0));
+  sync.period_jitter = 0.2;
+  sync.bytes_down = std::uint64_t{500'000};
+  sync.bytes_up = std::uint64_t{60'000};
+  sync.bursts_per_update = 2;
+  sync.state = trace::ProcessState::kService;
+  sync.forced_close_mean_days = 0.0;
+  app.periodic.push_back(sync);
+  return app;
+}
+
+AppProfile default_email() {
+  AppProfile app;
+  app.name = "Email";
+  app.category = AppCategory::kMail;
+  app.popularity = 1.2;
+  app.install_probability = 0.85;
+  app.foreground = {.sessions_per_day = 2.0,
+                    .session_minutes_mean = 1.5,
+                    .session_minutes_sigma = 0.6,
+                    .burst_interval = sec(12.0),
+                    .burst_bytes_down = 40'000,
+                    .burst_bytes_up = 8'000};
+  // Fig. 2 contrast: "the default email app consumes network energy
+  // disproportionate to its data usage" — tight IMAP-style poll, tiny bytes.
+  PeriodicSpec poll;
+  poll.period = minutes(10.0);
+  poll.period_jitter = 0.1;
+  poll.bytes_down = std::uint64_t{4'000};
+  poll.bytes_up = std::uint64_t{1'500};
+  poll.bursts_per_update = 2;
+  poll.state = trace::ProcessState::kService;
+  poll.forced_close_mean_days = 1.5;
+  poll.restart_mean_hours = 3.0;  // mail sync comes back quickly
+  app.periodic.push_back(poll);
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// Widgets (Table 1): home-screen apps whose whole job is periodic refresh.
+// ---------------------------------------------------------------------------
+
+AppProfile go_weather_widget() {
+  AppProfile app;
+  app.name = "Go Weather widget";
+  app.category = AppCategory::kWidget;
+  app.popularity = 0.15;
+  app.install_probability = 0.25;
+  app.foreground.sessions_per_day = 0.0;  // widgets have no fg sessions
+  PeriodicSpec refresh;
+  refresh.period = minutes(5.0);
+  refresh.period_jitter = 0.1;
+  refresh.bytes_down = std::uint64_t{110'000};
+  refresh.bytes_up = std::uint64_t{2'000};
+  refresh.bursts_per_update = 2;
+  refresh.state = trace::ProcessState::kService;
+  refresh.forced_close_mean_days = 0.12;  // refresh runs a few hours at a time
+  refresh.restart_mean_hours = 14.0;
+  app.periodic.push_back(refresh);
+  return app;
+}
+
+AppProfile go_weather_app() {
+  AppProfile app;
+  app.name = "Go Weather";
+  app.category = AppCategory::kWidget;
+  app.popularity = 0.3;
+  app.install_probability = 0.25;
+  app.foreground = {.sessions_per_day = 0.8,
+                    .session_minutes_mean = 1.0,
+                    .session_minutes_sigma = 0.5,
+                    .burst_interval = sec(8.0),
+                    .burst_bytes_down = 150'000,
+                    .burst_bytes_up = 2'000};
+  // "5 min => 40 min: switched push notification approaches" (Table 1).
+  PeriodicSpec refresh;
+  refresh.period = Schedule<Duration>{minutes(5.0)}.then(280, minutes(40.0));
+  refresh.period_jitter = 0.15;
+  refresh.bytes_down = std::uint64_t{380'000};
+  refresh.bytes_up = std::uint64_t{4'000};
+  refresh.bursts_per_update = 2;
+  refresh.state = trace::ProcessState::kService;
+  refresh.forced_close_mean_days = 0.1;
+  refresh.restart_mean_hours = 18.0;
+  app.periodic.push_back(refresh);
+  return app;
+}
+
+AppProfile accuweather_app() {
+  AppProfile app;
+  app.name = "Accuweather";
+  app.category = AppCategory::kWidget;
+  app.popularity = 0.4;
+  app.install_probability = 0.3;
+  app.foreground = {.sessions_per_day = 1.0,
+                    .session_minutes_mean = 1.0,
+                    .session_minutes_sigma = 0.5,
+                    .burst_interval = sec(8.0),
+                    .burst_bytes_down = 200'000,
+                    .burst_bytes_up = 2'000};
+  // "7 min but high variation" — far less efficient than its own widget.
+  PeriodicSpec refresh;
+  refresh.period = minutes(7.0);
+  refresh.period_jitter = 0.8;
+  refresh.bytes_down = std::uint64_t{210'000};
+  refresh.bytes_up = std::uint64_t{3'000};
+  refresh.bursts_per_update = 3;
+  refresh.state = trace::ProcessState::kService;
+  refresh.forced_close_mean_days = 0.4;
+  refresh.restart_mean_hours = 7.0;
+  app.periodic.push_back(refresh);
+  return app;
+}
+
+AppProfile accuweather_widget() {
+  AppProfile app;
+  app.name = "Accuweather widget";
+  app.category = AppCategory::kWidget;
+  app.popularity = 0.15;
+  app.install_probability = 0.3;
+  app.foreground.sessions_per_day = 0.0;
+  // "~3 h; more efficient than the app" — batched refresh, order of
+  // magnitude lower J/B than Go Weather widget's 5-minute drip.
+  PeriodicSpec refresh;
+  refresh.period = hours(3.0);
+  refresh.period_jitter = 0.2;
+  refresh.bytes_down = std::uint64_t{6'000'000};
+  refresh.bytes_up = std::uint64_t{6'000};
+  refresh.bursts_per_update = 2;
+  refresh.state = trace::ProcessState::kService;
+  refresh.forced_close_mean_days = 0.5;
+  refresh.restart_mean_hours = 12.0;
+  app.periodic.push_back(refresh);
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming & podcasts (Table 1).
+// ---------------------------------------------------------------------------
+
+AppProfile spotify() {
+  AppProfile app;
+  app.name = "Spotify";
+  app.category = AppCategory::kStreaming;
+  app.popularity = 0.6;
+  app.install_probability = 0.25;
+  app.foreground = {.sessions_per_day = 0.6,
+                    .session_minutes_mean = 2.0,
+                    .session_minutes_sigma = 0.6,
+                    .burst_interval = sec(10.0),
+                    .burst_bytes_down = 120'000,
+                    .burst_bytes_up = 3'000};
+  MediaSpec listen;
+  listen.listen_sessions_per_day = 0.5;
+  listen.session_minutes_mean = 50.0;
+  // "5 min => 40 min": away from continuous streaming toward batches.
+  listen.chunk_period = Schedule<Duration>{minutes(5.0)}.then(300, minutes(40.0));
+  listen.chunk_bytes = Schedule<std::uint64_t>{std::uint64_t{6'000'000}}.then(
+      300, std::uint64_t{45'000'000});
+  app.media = listen;
+  return app;
+}
+
+AppProfile pandora() {
+  AppProfile app;
+  app.name = "Pandora";
+  app.category = AppCategory::kStreaming;
+  app.popularity = 0.5;
+  app.install_probability = 0.2;
+  app.foreground = {.sessions_per_day = 0.4,
+                    .session_minutes_mean = 1.5,
+                    .session_minutes_sigma = 0.6,
+                    .burst_interval = sec(10.0),
+                    .burst_bytes_down = 90'000,
+                    .burst_bytes_up = 3'000};
+  MediaSpec listen;
+  listen.listen_sessions_per_day = 0.1;
+  listen.session_minutes_mean = 45.0;
+  // "Previously every 1 min in 2012" => two-hour batches by the end.
+  listen.chunk_period = Schedule<Duration>{minutes(1.0)}.then(250, hours(2.0));
+  listen.chunk_bytes = Schedule<std::uint64_t>{std::uint64_t{900'000}}.then(
+      250, std::uint64_t{60'000'000});
+  app.media = listen;
+  return app;
+}
+
+AppProfile pocketcasts() {
+  AppProfile app;
+  app.name = "Pocketcasts";
+  app.category = AppCategory::kPodcast;
+  app.popularity = 0.5;
+  app.install_probability = 0.25;
+  app.foreground = {.sessions_per_day = 0.5,
+                    .session_minutes_mean = 1.5,
+                    .session_minutes_sigma = 0.5,
+                    .burst_interval = sec(10.0),
+                    .burst_bytes_down = 60'000,
+                    .burst_bytes_up = 2'000};
+  MediaSpec listen;
+  listen.listen_sessions_per_day = 0.25;
+  listen.session_minutes_mean = 45.0;
+  // "downloads an entire podcast in one chunk" — the efficient strategy.
+  listen.whole_file = true;
+  listen.whole_file_bytes = 55'000'000;
+  listen.chunk_period = hours(2.0);  // unused in whole-file mode
+  app.media = listen;
+  return app;
+}
+
+AppProfile podcastaddict() {
+  AppProfile app;
+  app.name = "Podcastaddict";
+  app.category = AppCategory::kPodcast;
+  app.popularity = 0.5;
+  app.install_probability = 0.25;
+  app.foreground = {.sessions_per_day = 0.5,
+                    .session_minutes_mean = 1.5,
+                    .session_minutes_sigma = 0.5,
+                    .burst_interval = sec(10.0),
+                    .burst_bytes_down = 60'000,
+                    .burst_bytes_up = 2'000};
+  MediaSpec listen;
+  listen.listen_sessions_per_day = 0.25;
+  listen.session_minutes_mean = 45.0;
+  // "downloads smaller chunks as needed" — saves data, costs energy (§4.2).
+  listen.whole_file = false;
+  listen.chunk_period = minutes(3.0);
+  listen.chunk_bytes = std::uint64_t{7'000'000};
+  app.media = listen;
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// Browsers (§4.1): the foreground-traffic-not-terminated case studies.
+// ---------------------------------------------------------------------------
+
+AppProfile chrome() {
+  AppProfile app;
+  app.name = "Chrome";
+  app.category = AppCategory::kBrowser;
+  app.popularity = 3.0;
+  app.install_probability = 0.9;
+  app.foreground = {.sessions_per_day = 5.0,
+                    .session_minutes_mean = 4.0,
+                    .session_minutes_sigma = 1.0,
+                    .burst_interval = sec(10.0),
+                    .burst_bytes_down = 130'000,
+                    .burst_bytes_up = 7'000};
+  // Chrome lets pages keep polling when minimized: XHR timers, ads,
+  // analytics. ~30% of its network energy ends up in the background (Fig. 3).
+  LeakSpec leak;
+  leak.leak_probability = 0.30;
+  leak.poll_period = sec(30.0);
+  leak.poll_period_sigma = 0.7;
+  leak.poll_bytes_down = 5'000;
+  leak.poll_bytes_up = 800;
+  leak.duration_minutes_mu = 1.6;   // median ~5 min of persisting traffic
+  leak.duration_minutes_sigma = 1.7;
+  leak.pareto_tail_probability = 0.02;  // the >1 day monsters of Fig. 5
+  leak.pareto_tail_alpha = 0.65;
+  leak.egregious_probability = 0.03;    // the 2-second transit page
+  leak.egregious_poll_period = sec(2.0);
+  app.leak = leak;
+  app.flush = FlushSpec{.flush_probability = 0.9,
+                        .bytes_down = 120'000,
+                        .bytes_up = 30'000,
+                        .bursts = 3,
+                        .mean_spacing = sec(6.0)};
+  return app;
+}
+
+AppProfile browser_without_leak(std::string name, double install_probability,
+                                double popularity) {
+  AppProfile app;
+  app.name = std::move(name);
+  app.category = AppCategory::kBrowser;
+  app.popularity = popularity;
+  app.install_probability = install_probability;
+  app.foreground = {.sessions_per_day = 3.0,
+                    .session_minutes_mean = 4.0,
+                    .session_minutes_sigma = 1.0,
+                    .burst_interval = sec(10.0),
+                    .burst_bytes_down = 130'000,
+                    .burst_bytes_up = 7'000};
+  // "Neither [Firefox nor the default browser] allow data to be sent when
+  // the app is in the background" — no LeakSpec, only a brief flush of
+  // already-queued transfers.
+  app.flush = FlushSpec{.flush_probability = 0.5,
+                        .bytes_down = 60'000,
+                        .bytes_up = 10'000,
+                        .bursts = 1,
+                        .mean_spacing = sec(4.0)};
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// System apps that top the Fig. 1/2 charts.
+// ---------------------------------------------------------------------------
+
+AppProfile media_server() {
+  AppProfile app;
+  app.name = "Media Server";
+  app.category = AppCategory::kMediaPlayer;
+  app.popularity = 4.0;
+  app.install_probability = 1.0;  // built-in, delegated traffic (§3)
+  app.foreground.sessions_per_day = 0.0;
+  // Bulk media fetches delegated by other apps: big transfers, few joules
+  // per byte — tops the data chart, not the energy chart (Fig. 2).
+  MediaSpec play;
+  play.listen_sessions_per_day = 1.3;
+  play.session_minutes_mean = 35.0;
+  play.chunk_period = minutes(2.0);
+  play.chunk_bytes = std::uint64_t{3'500'000};
+  play.delegated_service = true;
+  app.media = play;
+  return app;
+}
+
+AppProfile google_play() {
+  AppProfile app;
+  app.name = "Google Play";
+  app.category = AppCategory::kSystem;
+  app.popularity = 3.0;
+  app.install_probability = 1.0;
+  app.foreground = {.sessions_per_day = 0.8,
+                    .session_minutes_mean = 3.0,
+                    .session_minutes_sigma = 0.8,
+                    .burst_interval = sec(8.0),
+                    .burst_bytes_down = 400'000,
+                    .burst_bytes_up = 5'000};
+  // Nightly app auto-updates: rare, huge, efficient.
+  PeriodicSpec updates;
+  updates.period = hours(22.0);
+  updates.period_jitter = 0.3;
+  updates.bytes_down = std::uint64_t{60'000'000};
+  updates.bytes_up = std::uint64_t{200'000};
+  updates.bursts_per_update = 4;
+  updates.state = trace::ProcessState::kBackground;
+  updates.forced_close_mean_days = 0.0;
+  app.periodic.push_back(updates);
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 what-if candidates not already defined above.
+// The paper's column heads are partially garbled in extraction ("P. S.",
+// "Weib.", "Meso.", "ESP.", "4 com", "St. Weatter"); we map them to Samsung
+// Push, Weibo, Messenger, ESPN, 4shared and Stock Weather — six apps that are
+// rarely foregrounded yet keep generating background traffic. DESIGN.md notes
+// the reconstruction.
+// ---------------------------------------------------------------------------
+
+AppProfile messenger() {
+  AppProfile app;
+  app.name = "Messenger";
+  app.category = AppCategory::kSocialMedia;
+  app.popularity = 2.0;
+  app.install_probability = 0.5;
+  app.foreground = {.sessions_per_day = 1.0,
+                    .session_minutes_mean = 2.0,
+                    .session_minutes_sigma = 0.8,
+                    .burst_interval = sec(10.0),
+                    .burst_bytes_down = 50'000,
+                    .burst_bytes_up = 20'000};
+  PeriodicSpec keepalive;
+  keepalive.period = minutes(15.0);
+  keepalive.period_jitter = 0.3;
+  keepalive.bytes_down = std::uint64_t{3'000};
+  keepalive.bytes_up = std::uint64_t{1'200};
+  keepalive.bursts_per_update = 2;
+  keepalive.state = trace::ProcessState::kService;
+  keepalive.forced_close_mean_days = 1.0;
+  keepalive.restart_mean_hours = 20.0;
+  app.periodic.push_back(keepalive);
+  return app;
+}
+
+AppProfile espn() {
+  AppProfile app;
+  app.name = "ESPN";
+  app.category = AppCategory::kNews;
+  app.popularity = 3.0;
+  app.install_probability = 0.35;
+  app.foreground = {.sessions_per_day = 1.8,  // scores get checked often
+                    .session_minutes_mean = 2.5,
+                    .session_minutes_sigma = 0.8,
+                    .burst_interval = sec(8.0),
+                    .burst_bytes_down = 200'000,
+                    .burst_bytes_up = 3'000};
+  PeriodicSpec scores;
+  scores.period = minutes(30.0);
+  scores.period_jitter = 0.3;
+  scores.bytes_down = std::uint64_t{150'000};
+  scores.bytes_up = std::uint64_t{2'000};
+  scores.bursts_per_update = 2;
+  scores.state = trace::ProcessState::kBackground;
+  scores.forced_close_mean_days = 1.0;
+  scores.restart_on_foreground_only = true;
+  app.periodic.push_back(scores);
+  return app;
+}
+
+AppProfile fourshared() {
+  AppProfile app;
+  app.name = "4shared";
+  app.category = AppCategory::kOther;
+  app.popularity = 0.3;
+  app.install_probability = 0.2;
+  app.foreground = {.sessions_per_day = 0.5,
+                    .session_minutes_mean = 4.0,
+                    .session_minutes_sigma = 0.9,
+                    .burst_interval = sec(10.0),
+                    .burst_bytes_down = 800'000,
+                    .burst_bytes_up = 100'000};
+  PeriodicSpec sync;
+  sync.period = minutes(20.0);
+  sync.period_jitter = 0.3;
+  sync.bytes_down = std::uint64_t{40'000};
+  sync.bytes_up = std::uint64_t{30'000};
+  sync.bursts_per_update = 2;
+  sync.state = trace::ProcessState::kBackground;
+  sync.forced_close_mean_days = 2.5;
+  sync.restart_mean_hours = 30.0;
+  app.periodic.push_back(sync);
+  return app;
+}
+
+AppProfile stock_weather() {
+  AppProfile app;
+  app.name = "Stock Weather";
+  app.category = AppCategory::kWidget;
+  app.popularity = 1.2;
+  app.install_probability = 0.6;  // preloaded widget
+  app.foreground.sessions_per_day = 0.8;
+  PeriodicSpec refresh;
+  refresh.period = minutes(30.0);
+  refresh.period_jitter = 0.2;
+  refresh.bytes_down = std::uint64_t{90'000};
+  refresh.bytes_up = std::uint64_t{2'000};
+  refresh.bursts_per_update = 2;
+  refresh.state = trace::ProcessState::kService;
+  refresh.forced_close_mean_days = 0.8;
+  refresh.restart_mean_hours = 16.0;
+  app.periodic.push_back(refresh);
+  return app;
+}
+
+// Apps whose background timers reset on the fg->bg transition, producing the
+// 5- and 10-minute spikes in Fig. 6.
+AppProfile reset_phase_app(std::string name, double period_minutes, double install_probability) {
+  AppProfile app;
+  app.name = std::move(name);
+  app.category = AppCategory::kNews;
+  app.popularity = 1.0;
+  app.install_probability = install_probability;
+  app.foreground = {.sessions_per_day = 3.0,
+                    .session_minutes_mean = 2.5,
+                    .session_minutes_sigma = 0.8,
+                    .burst_interval = sec(10.0),
+                    .burst_bytes_down = 150'000,
+                    .burst_bytes_up = 4'000};
+  PeriodicSpec refresh;
+  refresh.period = minutes(period_minutes);
+  refresh.period_jitter = 0.02;  // tight: that is what makes the spike visible
+  refresh.bytes_down = std::uint64_t{1'800'000};
+  refresh.bytes_up = std::uint64_t{4'000};
+  refresh.bursts_per_update = 2;
+  refresh.state = trace::ProcessState::kService;
+  refresh.phase = PeriodPhase::kResetOnBackground;
+  refresh.forced_close_mean_days = 1.0;
+  refresh.restart_mean_hours = 48.0;  // effectively: runs for hours after use
+  app.periodic.push_back(refresh);
+  app.flush = FlushSpec{.flush_probability = 0.8,
+                        .bytes_down = 50'000,
+                        .bytes_up = 20'000,
+                        .bursts = 2,
+                        .mean_spacing = sec(10.0)};
+  return app;
+}
+
+
+// ---------------------------------------------------------------------------
+// Additional named archetypes rounding out the population of popular 2012-14
+// apps (Fig. 1's diverse top-10 lists). Parameters are plausible-period
+// reconstructions, not paper measurements.
+// ---------------------------------------------------------------------------
+
+AppProfile youtube() {
+  AppProfile app;
+  app.name = "YouTube";
+  app.category = AppCategory::kStreaming;
+  app.popularity = 3.5;
+  app.install_probability = 0.95;
+  app.foreground = {.sessions_per_day = 1.0,
+                    .session_minutes_mean = 5.0,
+                    .session_minutes_sigma = 1.0,
+                    .burst_interval = sec(5.0),  // progressive video chunks
+                    .burst_bytes_down = 600'000,
+                    .burst_bytes_up = 5'000};
+  app.flush = FlushSpec{.flush_probability = 0.7,
+                        .bytes_down = 150'000,  // prefetch completion
+                        .bytes_up = 20'000,
+                        .bursts = 2,
+                        .mean_spacing = sec(6.0)};
+  return app;
+}
+
+AppProfile instagram() {
+  AppProfile app;
+  app.name = "Instagram";
+  app.category = AppCategory::kSocialMedia;
+  app.popularity = 2.5;
+  app.install_probability = 0.6;
+  app.foreground = {.sessions_per_day = 5.0,
+                    .session_minutes_mean = 2.5,
+                    .session_minutes_sigma = 0.9,
+                    .burst_interval = sec(6.0),
+                    .burst_bytes_down = 110'000,  // image-heavy feed
+                    .burst_bytes_up = 15'000};
+  PeriodicSpec sync;
+  sync.period = minutes(30.0);
+  sync.period_jitter = 0.25;
+  sync.bytes_down = std::uint64_t{120'000};
+  sync.bytes_up = std::uint64_t{6'000};
+  sync.state = trace::ProcessState::kService;
+  sync.forced_close_mean_days = 1.0;
+  app.periodic.push_back(sync);
+  app.flush = FlushSpec{.flush_probability = 0.8,
+                        .bytes_down = 40'000,
+                        .bytes_up = 120'000,  // deferred photo uploads
+                        .bursts = 2,
+                        .mean_spacing = sec(9.0)};
+  return app;
+}
+
+AppProfile whatsapp() {
+  AppProfile app;
+  app.name = "WhatsApp";
+  app.category = AppCategory::kSocialMedia;
+  app.popularity = 3.0;
+  app.install_probability = 0.7;
+  app.foreground = {.sessions_per_day = 9.0,
+                    .session_minutes_mean = 1.2,
+                    .session_minutes_sigma = 0.8,
+                    .burst_interval = sec(8.0),
+                    .burst_bytes_down = 25'000,
+                    .burst_bytes_up = 15'000};
+  // Long-lived TCP keepalive pings: tiny, frequent-ish, sticky service.
+  PeriodicSpec keepalive;
+  keepalive.period = minutes(14.0);
+  keepalive.period_jitter = 0.15;
+  keepalive.bytes_down = std::uint64_t{600};
+  keepalive.bytes_up = std::uint64_t{400};
+  keepalive.bursts_per_update = 1;
+  keepalive.state = trace::ProcessState::kService;
+  keepalive.forced_close_mean_days = 3.0;
+  keepalive.restart_mean_hours = 0.5;  // reconnects almost immediately
+  app.periodic.push_back(keepalive);
+  return app;
+}
+
+AppProfile skype() {
+  AppProfile app;
+  app.name = "Skype";
+  app.category = AppCategory::kSocialMedia;
+  app.popularity = 1.0;
+  app.install_probability = 0.45;
+  app.foreground = {.sessions_per_day = 0.6,
+                    .session_minutes_mean = 8.0,  // calls
+                    .session_minutes_sigma = 1.0,
+                    .burst_interval = sec(2.0),
+                    .burst_bytes_down = 60'000,
+                    .burst_bytes_up = 60'000};
+  // The CoNEXT'13 "staying online while mobile" cost: presence keepalives.
+  PeriodicSpec presence;
+  presence.period = minutes(8.0);
+  presence.period_jitter = 0.2;
+  presence.bytes_down = std::uint64_t{2'000};
+  presence.bytes_up = std::uint64_t{1'500};
+  presence.bursts_per_update = 1;
+  presence.state = trace::ProcessState::kService;
+  presence.forced_close_mean_days = 1.5;
+  presence.restart_mean_hours = 12.0;
+  app.periodic.push_back(presence);
+  return app;
+}
+
+AppProfile netflix() {
+  AppProfile app;
+  app.name = "Netflix";
+  app.category = AppCategory::kStreaming;
+  app.popularity = 1.2;
+  app.install_probability = 0.4;
+  app.foreground = {.sessions_per_day = 0.25,
+                    .session_minutes_mean = 3.0,
+                    .session_minutes_sigma = 0.7,
+                    .burst_interval = sec(6.0),
+                    .burst_bytes_down = 300'000,
+                    .burst_bytes_up = 4'000};
+  MediaSpec watch;  // video sessions, mostly on WiFi in reality; heavy here
+  watch.listen_sessions_per_day = 0.15;
+  watch.session_minutes_mean = 40.0;
+  watch.chunk_period = minutes(1.5);
+  watch.chunk_bytes = std::uint64_t{18'000'000};
+  app.media = watch;
+  return app;
+}
+
+AppProfile kindle() {
+  AppProfile app;
+  app.name = "Kindle";
+  app.category = AppCategory::kOther;
+  app.popularity = 0.8;
+  app.install_probability = 0.35;
+  app.foreground = {.sessions_per_day = 1.2,
+                    .session_minutes_mean = 15.0,  // reading sessions
+                    .session_minutes_sigma = 0.9,
+                    .burst_interval = sec(120.0),  // page sync, rare
+                    .burst_bytes_down = 15'000,
+                    .burst_bytes_up = 2'000};
+  PeriodicSpec sync;  // nightly book/periodical delivery
+  sync.period = hours(20.0);
+  sync.period_jitter = 0.3;
+  sync.bytes_down = std::uint64_t{8'000'000};
+  sync.bytes_up = std::uint64_t{10'000};
+  sync.state = trace::ProcessState::kBackground;
+  sync.forced_close_mean_days = 4.0;
+  sync.restart_on_foreground_only = true;
+  app.periodic.push_back(sync);
+  return app;
+}
+
+AppProfile reddit_client() {
+  AppProfile app;
+  app.name = "RedditIsFun";
+  app.category = AppCategory::kNews;
+  app.popularity = 1.2;
+  app.install_probability = 0.3;
+  app.foreground = {.sessions_per_day = 6.0,
+                    .session_minutes_mean = 4.0,
+                    .session_minutes_sigma = 1.0,
+                    .burst_interval = sec(7.0),
+                    .burst_bytes_down = 90'000,
+                    .burst_bytes_up = 3'000};
+  PeriodicSpec mail_check;
+  mail_check.period = hours(1.0);
+  mail_check.period_jitter = 0.2;
+  mail_check.bytes_down = std::uint64_t{4'000};
+  mail_check.bytes_up = std::uint64_t{1'000};
+  mail_check.state = trace::ProcessState::kBackground;
+  mail_check.forced_close_mean_days = 1.0;
+  mail_check.restart_on_foreground_only = true;
+  app.periodic.push_back(mail_check);
+  app.flush = FlushSpec{.flush_probability = 0.7,
+                        .bytes_down = 30'000,
+                        .bytes_up = 10'000,
+                        .bursts = 2,
+                        .mean_spacing = sec(8.0)};
+  return app;
+}
+
+AppProfile antivirus() {
+  AppProfile app;
+  app.name = "Antivirus";
+  app.category = AppCategory::kSystem;
+  app.popularity = 0.3;
+  app.install_probability = 0.3;
+  app.foreground.sessions_per_day = 0.05;
+  // Definition updates + cloud lookups: a classic silent battery drainer.
+  PeriodicSpec defs;
+  defs.period = hours(6.0);
+  defs.period_jitter = 0.2;
+  defs.bytes_down = std::uint64_t{3'000'000};
+  defs.bytes_up = std::uint64_t{50'000};
+  defs.state = trace::ProcessState::kService;
+  defs.forced_close_mean_days = 0.0;  // sticky "protection" service
+  app.periodic.push_back(defs);
+  PeriodicSpec telemetry;
+  telemetry.period = minutes(45.0);
+  telemetry.period_jitter = 0.3;
+  telemetry.bytes_down = std::uint64_t{1'200};
+  telemetry.bytes_up = std::uint64_t{3'000};
+  telemetry.state = trace::ProcessState::kService;
+  telemetry.forced_close_mean_days = 0.0;
+  telemetry.user_visible_probability = 0.0;  // pure overhead
+  app.periodic.push_back(telemetry);
+  return app;
+}
+
+AppProfile dropbox() {
+  AppProfile app;
+  app.name = "Dropbox";
+  app.category = AppCategory::kOther;
+  app.popularity = 0.9;
+  app.install_probability = 0.45;
+  app.foreground = {.sessions_per_day = 0.4,
+                    .session_minutes_mean = 2.0,
+                    .session_minutes_sigma = 0.7,
+                    .burst_interval = sec(5.0),
+                    .burst_bytes_down = 400'000,
+                    .burst_bytes_up = 100'000};
+  // The paper's example of a *legitimate* post-minimize transfer: camera
+  // uploads continue right after the app is closed.
+  app.flush = FlushSpec{.flush_probability = 0.6,
+                        .bytes_down = 50'000,
+                        .bytes_up = 2'500'000,  // photo upload
+                        .bursts = 4,
+                        .mean_spacing = sec(12.0)};
+  PeriodicSpec sync;
+  sync.period = hours(2.0);
+  sync.period_jitter = 0.2;
+  sync.bytes_down = std::uint64_t{30'000};
+  sync.bytes_up = std::uint64_t{20'000};
+  sync.state = trace::ProcessState::kBackground;
+  sync.forced_close_mean_days = 2.0;
+  sync.restart_on_foreground_only = true;
+  app.periodic.push_back(sync);
+  return app;
+}
+
+AppProfile game_with_ads() {
+  AppProfile app;
+  app.name = "CandySaga";
+  app.category = AppCategory::kGame;
+  app.popularity = 2.2;
+  app.install_probability = 0.5;
+  app.foreground = {.sessions_per_day = 4.0,
+                    .session_minutes_mean = 6.0,
+                    .session_minutes_sigma = 0.9,
+                    .burst_interval = sec(25.0),  // ad refresh + score sync
+                    .burst_bytes_down = 120'000,
+                    .burst_bytes_up = 4'000};
+  // Lives/notification polling continues for a while after play.
+  PeriodicSpec lives;
+  lives.period = minutes(20.0);
+  lives.period_jitter = 0.15;
+  lives.bytes_down = std::uint64_t{5'000};
+  lives.bytes_up = std::uint64_t{1'500};
+  lives.state = trace::ProcessState::kBackground;
+  lives.phase = PeriodPhase::kResetOnBackground;
+  lives.forced_close_mean_days = 0.5;
+  lives.restart_mean_hours = 24.0;
+  app.periodic.push_back(lives);
+  return app;
+}
+
+}  // namespace
+
+AppCatalog AppCatalog::paper_catalog() {
+  AppCatalog catalog;
+  // Social media.
+  catalog.add(weibo());
+  catalog.add(twitter());
+  catalog.add(facebook());
+  catalog.add(google_plus());
+  // Periodic update services.
+  catalog.add(samsung_push());
+  catalog.add(urbanairship());
+  catalog.add(maps());
+  catalog.add(gmail());
+  catalog.add(default_email());
+  // Widgets.
+  catalog.add(go_weather_widget());
+  catalog.add(go_weather_app());
+  catalog.add(accuweather_app());
+  catalog.add(accuweather_widget());
+  // Streaming / podcasts.
+  catalog.add(spotify());
+  catalog.add(pandora());
+  catalog.add(pocketcasts());
+  catalog.add(podcastaddict());
+  // Browsers.
+  catalog.add(chrome());
+  catalog.add(browser_without_leak("Firefox", 0.3, 1.0));
+  catalog.add(browser_without_leak("Browser", 0.7, 1.2));
+  // System & Fig. 1/2 regulars.
+  catalog.add(media_server());
+  catalog.add(google_play());
+  // Table 2 what-if candidates.
+  catalog.add(messenger());
+  catalog.add(espn());
+  catalog.add(fourshared());
+  catalog.add(stock_weather());
+  // Fig. 6 spike sources.
+  catalog.add(reset_phase_app("NewsTicker", 5.2, 0.8));
+  catalog.add(reset_phase_app("SportsCenter", 10.4, 0.8));
+  // Popular-app archetypes rounding out the Fig. 1 top-10 diversity.
+  catalog.add(youtube());
+  catalog.add(instagram());
+  catalog.add(whatsapp());
+  catalog.add(skype());
+  catalog.add(netflix());
+  catalog.add(kindle());
+  catalog.add(reddit_client());
+  catalog.add(antivirus());
+  catalog.add(dropbox());
+  catalog.add(game_with_ads());
+  return catalog;
+}
+
+AppCatalog AppCatalog::full_catalog(std::uint64_t seed, std::size_t total_apps) {
+  AppCatalog catalog = paper_catalog();
+  Rng rng = Rng::keyed({seed, hash_name("synthetic-apps")});
+
+  std::size_t index = 0;
+  while (catalog.size() < total_apps) {
+    AppProfile app;
+    app.name = "app" + std::to_string(index++);
+    // Popularity follows a long tail; most synthetic apps are niche.
+    app.popularity = 0.05 + rng.pareto(0.05, 1.1);
+    app.install_probability = std::min(0.6, 0.02 + rng.pareto(0.02, 1.2));
+    app.foreground = {.sessions_per_day = 0.2 + rng.exponential(1.2),
+                      .session_minutes_mean = 1.0 + rng.exponential(2.5),
+                      .session_minutes_sigma = 0.8,
+                      .burst_interval = sec(rng.uniform(6.0, 25.0)),
+                      .burst_bytes_down =
+                          static_cast<std::uint64_t>(rng.lognormal(9.8, 1.0)),
+                      .burst_bytes_up = static_cast<std::uint64_t>(rng.lognormal(7.0, 1.0))};
+
+    const double archetype = rng.uniform();
+    if (archetype < 0.87) {
+      // Foreground-only app with a first-minute flush: the majority, and the
+      // reason 84% of apps send >80% of their bg bytes in the first minute.
+      app.category = rng.chance(0.5) ? AppCategory::kGame : AppCategory::kShopping;
+      app.flush = FlushSpec{
+          .flush_probability = rng.uniform(0.5, 0.95),
+          .bytes_down = static_cast<std::uint64_t>(rng.lognormal(10.0, 1.0)),
+          .bytes_up = static_cast<std::uint64_t>(rng.lognormal(9.0, 1.0)),
+          .bursts = static_cast<int>(1 + rng.uniform_int(3)),
+          .mean_spacing = sec(rng.uniform(4.0, 15.0))};
+    } else if (archetype < 0.93) {
+      // Light periodic sync: hours-scale.
+      app.category = AppCategory::kNews;
+      PeriodicSpec sync;
+      sync.period = hours(rng.uniform(1.0, 8.0));
+      sync.period_jitter = rng.uniform(0.1, 0.4);
+      sync.bytes_down = static_cast<std::uint64_t>(rng.lognormal(11.0, 1.2));
+      sync.bytes_up = static_cast<std::uint64_t>(rng.lognormal(8.0, 1.0));
+      sync.bursts_per_update = 2;
+      sync.state = trace::ProcessState::kBackground;  // killable sync process
+      sync.forced_close_mean_days = rng.uniform(1.0, 6.0);
+      sync.restart_on_foreground_only = true;
+      app.periodic.push_back(sync);
+      app.flush = FlushSpec{.flush_probability = 0.6,
+                            .bytes_down = 20'000,
+                            .bytes_up = 10'000,
+                            .bursts = 2,
+                            .mean_spacing = sec(8.0)};
+    } else if (archetype < 0.975) {
+      // Aggressive periodic sync: minutes-scale — "new apps will likely
+      // emerge that make the same mistakes" (§6).
+      app.category = AppCategory::kSocialMedia;
+      PeriodicSpec sync;
+      sync.period = minutes(rng.uniform(8.0, 45.0));
+      sync.period_jitter = rng.uniform(0.1, 0.5);
+      sync.bytes_down = static_cast<std::uint64_t>(rng.lognormal(8.5, 1.0));
+      sync.bytes_up = static_cast<std::uint64_t>(rng.lognormal(7.0, 1.0));
+      sync.bursts_per_update = 2;
+      sync.state = trace::ProcessState::kBackground;  // killable sync process
+      sync.forced_close_mean_days = rng.uniform(0.5, 3.0);
+      sync.restart_on_foreground_only = true;
+      app.periodic.push_back(sync);
+    } else {
+      // Leaky app: does not cancel foreground work on minimize.
+      app.category = AppCategory::kOther;
+      LeakSpec leak;
+      leak.leak_probability = rng.uniform(0.1, 0.4);
+      leak.poll_period = sec(rng.uniform(15.0, 90.0));
+      leak.poll_bytes_down = static_cast<std::uint64_t>(rng.lognormal(8.0, 0.8));
+      leak.poll_bytes_up = 500;
+      leak.duration_minutes_mu = rng.uniform(1.0, 2.0);
+      leak.duration_minutes_sigma = 1.4;
+      leak.pareto_tail_probability = rng.uniform(0.0, 0.03);
+      app.leak = leak;
+    }
+    catalog.add(std::move(app));
+  }
+  return catalog;
+}
+
+}  // namespace wildenergy::appmodel

@@ -1,0 +1,179 @@
+// App behaviour profiles: the parameterized traffic models behind every case
+// study in the paper (§4, Table 1) and the synthetic app population.
+//
+// A profile is pure data; src/sim/ turns profiles into packet streams. Each
+// spec models one of the traffic structures the paper identifies:
+//   ForegroundSpec  user-driven sessions (browsing, feeds)
+//   PeriodicSpec    transfers initiated in the background (§4.2)
+//   LeakSpec        foreground traffic not terminated on minimize (§4.1)
+//   FlushSpec       the first-minute post-minimize burst (§4.1, Fig. 6)
+//   MediaSpec       streaming/podcast listening sessions (perceptible state)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "appmodel/schedule.h"
+#include "trace/process_state.h"
+#include "util/time.h"
+
+namespace wildenergy::appmodel {
+
+enum class AppCategory : std::uint8_t {
+  kSocialMedia,
+  kPushService,
+  kWidget,
+  kStreaming,
+  kPodcast,
+  kBrowser,
+  kMail,
+  kMaps,
+  kMediaPlayer,
+  kSystem,
+  kNews,
+  kGame,
+  kShopping,
+  kOther,
+};
+
+[[nodiscard]] constexpr const char* to_string(AppCategory c) {
+  switch (c) {
+    case AppCategory::kSocialMedia: return "social";
+    case AppCategory::kPushService: return "push-service";
+    case AppCategory::kWidget: return "widget";
+    case AppCategory::kStreaming: return "streaming";
+    case AppCategory::kPodcast: return "podcast";
+    case AppCategory::kBrowser: return "browser";
+    case AppCategory::kMail: return "mail";
+    case AppCategory::kMaps: return "maps";
+    case AppCategory::kMediaPlayer: return "media";
+    case AppCategory::kSystem: return "system";
+    case AppCategory::kNews: return "news";
+    case AppCategory::kGame: return "game";
+    case AppCategory::kShopping: return "shopping";
+    case AppCategory::kOther: return "other";
+  }
+  return "?";
+}
+
+/// User-driven foreground sessions. Session counts scale with the per-user
+/// engagement factor and the per-(user, app) affinity; rarely-used apps (the
+/// §5 what-if candidates) simply have tiny affinities.
+struct ForegroundSpec {
+  double sessions_per_day = 0.0;      ///< mean daily sessions for an average user
+  double session_minutes_mean = 3.0;  ///< lognormal mean of session length
+  double session_minutes_sigma = 0.8; ///< lognormal sigma (of the underlying normal)
+  Duration burst_interval = sec(15.0);      ///< mean gap between fg bursts
+  std::uint64_t burst_bytes_down = 40'000;  ///< mean burst size (lognormal)
+  std::uint64_t burst_bytes_up = 2'000;
+};
+
+/// Where a background timer restarts its phase. Timers reset on the
+/// background transition produce the 5/10-minute spikes of Fig. 6.
+enum class PeriodPhase : std::uint8_t {
+  kFreeRunning,          ///< independent of user interaction
+  kResetOnBackground,    ///< rescheduled relative to each fg->bg transition
+};
+
+/// Transfers initiated in the background: sync, push, location beacons,
+/// widget refresh (§4.2). Period and sizes are Schedules so behaviour can
+/// evolve over the study.
+struct PeriodicSpec {
+  Schedule<Duration> period{minutes(30.0)};
+  double period_jitter = 0.1;  ///< relative timing jitter per update
+  Schedule<std::uint64_t> bytes_down{std::uint64_t{10'000}};
+  Schedule<std::uint64_t> bytes_up{std::uint64_t{1'000}};
+  int bursts_per_update = 2;           ///< request/response/ack burst train
+  Duration intra_update_gap = sec(1.5);///< spacing within the burst train
+  trace::ProcessState state = trace::ProcessState::kService;
+  PeriodPhase phase = PeriodPhase::kFreeRunning;
+  /// Mean days between forced closes ("background applications may be forced
+  /// to close for a variety of reasons", Table 1 caption). 0 = never closed.
+  double forced_close_mean_days = 0.0;
+  /// Mean hours until the service is restarted (alarm, sticky service, boot).
+  double restart_mean_hours = 6.0;
+  /// Non-sticky processes: once force-closed, background work only resumes
+  /// when the user foregrounds the app again. This is what keeps the §5
+  /// overall savings small — most long-dead apps are already silent.
+  bool restart_on_foreground_only = false;
+  /// Fraction of updates that yield user-visible value (a notification, new
+  /// content actually shown). The §4.2 in-lab push-library finding: polls
+  /// every 5 minutes, one visible notification in hours => ~0.02. Drives the
+  /// wasted-update analysis and lab reports.
+  double user_visible_probability = 0.25;
+};
+
+/// Foreground traffic that persists after the app is minimized (§4.1) — the
+/// paper's new finding, driven by web pages that keep polling (Chrome) or by
+/// apps that simply do not cancel foreground work.
+struct LeakSpec {
+  double leak_probability = 0.3;  ///< chance a fg session leaves a leaking flow
+  Schedule<Duration> poll_period{sec(30.0)};
+  double poll_period_sigma = 0.5;       ///< lognormal sigma on the poll gap
+  std::uint64_t poll_bytes_down = 4'000;
+  std::uint64_t poll_bytes_up = 600;
+  /// Leak lifetime: lognormal (of minutes) with a Pareto ceiling — most leaks
+  /// last minutes, a heavy tail persists for more than a day (Fig. 5).
+  double duration_minutes_mu = 2.0;     ///< underlying normal mean, log-minutes
+  double duration_minutes_sigma = 1.6;
+  double pareto_tail_probability = 0.02;///< chance of an "indefinite" leak
+  double pareto_tail_alpha = 0.7;       ///< shape of the heavy tail (hours)
+  /// Egregious pages (the "transit information" case): ~2 s polling.
+  double egregious_probability = 0.0;
+  Duration egregious_poll_period = sec(2.0);
+};
+
+/// The first-minute flush after minimize: pending transfers, analytics
+/// batches, prefetch completion. Explains the steep falloff and the
+/// "80% of apps send >80% of bg data in the first 60 s" statistic (Fig. 6).
+struct FlushSpec {
+  double flush_probability = 0.8;   ///< chance a fg->bg transition flushes
+  std::uint64_t bytes_down = 20'000;
+  std::uint64_t bytes_up = 15'000;
+  int bursts = 3;
+  Duration mean_spacing = sec(8.0); ///< exponential spacing => mostly <60 s
+};
+
+/// Streaming/podcast listening sessions (perceptible process state). The
+/// chunking strategy is the §4.2 podcast finding: whole-file downloads
+/// (Pocketcasts) beat continuous small chunks (Podcastaddict) on energy.
+struct MediaSpec {
+  double listen_sessions_per_day = 0.5;
+  double session_minutes_mean = 40.0;
+  double session_minutes_sigma = 0.5;
+  /// Gap between chunk downloads during a session; evolution models the
+  /// industry move from continuous streaming to larger batches.
+  Schedule<Duration> chunk_period{minutes(5.0)};
+  Schedule<std::uint64_t> chunk_bytes{std::uint64_t{5'000'000}};
+  /// Whole-file mode: one download at session start covers the session.
+  bool whole_file = false;
+  std::uint64_t whole_file_bytes = 40'000'000;
+  /// Delegated system service (the built-in Media Server, §3): it plays on
+  /// behalf of other apps and is never foregrounded itself — no process
+  /// state transitions, all traffic perceptible.
+  bool delegated_service = false;
+};
+
+/// A complete app profile.
+struct AppProfile {
+  std::string name;
+  AppCategory category = AppCategory::kOther;
+  /// Relative install/selection weight across the population (Fig. 1).
+  double popularity = 1.0;
+  /// Fraction of users who install the app at all.
+  double install_probability = 0.25;
+
+  ForegroundSpec foreground{};
+  std::vector<PeriodicSpec> periodic;
+  std::optional<LeakSpec> leak;
+  std::optional<FlushSpec> flush;
+  std::optional<MediaSpec> media;
+
+  [[nodiscard]] bool has_background_traffic() const {
+    return !periodic.empty() || leak.has_value() || flush.has_value();
+  }
+};
+
+}  // namespace wildenergy::appmodel

@@ -1,0 +1,59 @@
+// Piecewise-constant parameter schedules over study days.
+//
+// The paper's longitudinal findings hinge on apps changing behaviour over the
+// 22 months: Facebook moved from 5-minute to 1-hour background updates,
+// Pandora from 1-minute to 2-hour batches, Google Maps' location service
+// from 20-30 minutes to a few hours (§3.1, §4.2, Table 1). Schedule<T>
+// expresses such evolutions: a value per study-day range.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace wildenergy::appmodel {
+
+template <typename T>
+class Schedule {
+ public:
+  Schedule() = default;
+  /// Implicit conversion from a single value = constant schedule, so profile
+  /// definitions read naturally: `.period = minutes(5)`.
+  Schedule(T constant) : steps_{{0, constant}} {}  // NOLINT(google-explicit-constructor)
+
+  /// Builder: value changes to `value` starting at `day` (inclusive).
+  /// Days must be added in increasing order.
+  Schedule& then(std::int64_t day, T value) {
+    assert(steps_.empty() || day > steps_.back().day);
+    steps_.push_back({day, value});
+    return *this;
+  }
+
+  [[nodiscard]] bool empty() const { return steps_.empty(); }
+
+  /// Value in effect on `day` (clamped to the first step before day 0).
+  [[nodiscard]] const T& at(std::int64_t day) const {
+    assert(!steps_.empty());
+    const Step* current = &steps_.front();
+    for (const auto& s : steps_) {
+      if (s.day <= day) {
+        current = &s;
+      } else {
+        break;
+      }
+    }
+    return current->value;
+  }
+
+  /// True if any step changes the value after day 0.
+  [[nodiscard]] bool evolves() const { return steps_.size() > 1; }
+
+ private:
+  struct Step {
+    std::int64_t day = 0;
+    T value{};
+  };
+  std::vector<Step> steps_;
+};
+
+}  // namespace wildenergy::appmodel

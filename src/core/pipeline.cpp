@@ -1,0 +1,46 @@
+#include "core/pipeline.h"
+
+#include "radio/burst_machine.h"
+#include "trace/interface_filter.h"
+
+namespace wildenergy::core {
+
+namespace {
+energy::RadioModelFactory resolve_factory(PipelineOptions& options) {
+  if (!options.radio_factory) options.radio_factory = radio::make_lte_model;
+  return options.radio_factory;
+}
+}  // namespace
+
+StudyPipeline::StudyPipeline(sim::StudyConfig config, PipelineOptions options)
+    : generator_(config),
+      attributor_(resolve_factory(options), &downstream_, options.tail_policy),
+      interface_(options.interface) {
+  downstream_.add(&ledger_);
+}
+
+StudyPipeline::StudyPipeline(sim::StudyConfig config, appmodel::AppCatalog catalog,
+                             PipelineOptions options)
+    : generator_(config, std::move(catalog)),
+      attributor_(resolve_factory(options), &downstream_, options.tail_policy),
+      interface_(options.interface) {
+  downstream_.add(&ledger_);
+}
+
+void StudyPipeline::add_analysis(trace::TraceSink* sink) { downstream_.add(sink); }
+
+void StudyPipeline::set_policy(PolicyFactory factory) { policy_factory_ = std::move(factory); }
+
+void StudyPipeline::run() {
+  std::unique_ptr<trace::TraceSink> policy;
+  trace::TraceSink* head = &attributor_;
+  if (policy_factory_) {
+    policy = policy_factory_(head);
+    head = policy.get();
+  }
+  trace::InterfaceFilter filter{head, interface_};
+  generator_.run(filter);
+  off_interface_bytes_ = filter.dropped_bytes();
+}
+
+}  // namespace wildenergy::core

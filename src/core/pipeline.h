@@ -1,0 +1,83 @@
+// StudyPipeline: the top-level façade tying the whole system together.
+//
+//   generator (sim/)  ->  [optional policy filter (core/policy.h)]
+//                     ->  energy attribution (energy/attributor.h)
+//                     ->  ledger + user-registered analyses
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   sim::StudyConfig config;                       // or small_study()
+//   core::StudyPipeline pipeline{config};
+//   analysis::PersistenceAnalysis persistence;     // any TraceSink
+//   pipeline.add_analysis(&persistence);
+//   pipeline.run();
+//   auto breakdown = analysis::overall_state_breakdown(pipeline.ledger());
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "appmodel/catalog.h"
+#include "energy/attributor.h"
+#include "energy/ledger.h"
+#include "sim/generator.h"
+#include "trace/sink.h"
+
+namespace wildenergy::core {
+
+struct PipelineOptions {
+  /// Radio model per user device; defaults to LTE (set in pipeline.cpp).
+  energy::RadioModelFactory radio_factory;
+  /// Tail-energy attribution rule (paper rule by default).
+  energy::TailPolicy tail_policy = energy::TailPolicy::kLastPacket;
+  /// Interface under analysis; non-matching packets are dropped before
+  /// attribution (paper §3: the analyses are cellular-only).
+  trace::Interface interface = trace::Interface::kCellular;
+};
+
+class StudyPipeline {
+ public:
+  /// Full synthetic population (342 apps) derived from config.seed.
+  explicit StudyPipeline(sim::StudyConfig config, PipelineOptions options = {});
+  /// Caller-supplied catalog (e.g. AppCatalog::paper_catalog()).
+  StudyPipeline(sim::StudyConfig config, appmodel::AppCatalog catalog,
+                PipelineOptions options = {});
+
+  /// Register an analysis sink that receives the energy-annotated stream.
+  /// Non-owning; must outlive run().
+  void add_analysis(trace::TraceSink* sink);
+
+  /// Install a policy filter between the generator and attribution. The
+  /// factory receives the downstream sink the filter must forward to, and
+  /// the pipeline keeps the filter alive. Call before run().
+  using PolicyFactory = std::function<std::unique_ptr<trace::TraceSink>(trace::TraceSink*)>;
+  void set_policy(PolicyFactory factory);
+
+  /// Generate + attribute + analyze. May be called repeatedly; each run
+  /// resets the ledger and re-streams the study.
+  void run();
+
+  [[nodiscard]] const energy::EnergyLedger& ledger() const { return ledger_; }
+  /// Bytes on the non-analyzed interface, dropped before attribution.
+  [[nodiscard]] std::uint64_t off_interface_bytes() const { return off_interface_bytes_; }
+  [[nodiscard]] const sim::StudyGenerator& generator() const { return generator_; }
+  [[nodiscard]] const appmodel::AppCatalog& catalog() const { return generator_.catalog(); }
+  [[nodiscard]] const energy::EnergyAttributor& attributor() const { return attributor_; }
+
+  /// App id lookup by name, forwarding to the catalog (kNoApp if absent).
+  [[nodiscard]] trace::AppId app(std::string_view name) const {
+    return catalog().find(name);
+  }
+
+ private:
+  sim::StudyGenerator generator_;
+  energy::EnergyLedger ledger_;
+  trace::TraceMulticast downstream_;
+  energy::EnergyAttributor attributor_;
+  PolicyFactory policy_factory_;
+  trace::Interface interface_ = trace::Interface::kCellular;
+  std::uint64_t off_interface_bytes_ = 0;
+};
+
+}  // namespace wildenergy::core

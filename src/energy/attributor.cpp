@@ -1,0 +1,124 @@
+#include "energy/attributor.h"
+
+#include <cassert>
+#include <utility>
+
+namespace wildenergy::energy {
+
+EnergyAttributor::EnergyAttributor(RadioModelFactory factory, trace::TraceSink* downstream,
+                                   TailPolicy policy)
+    : factory_(std::move(factory)), downstream_(downstream), policy_(policy) {
+  assert(factory_);
+  assert(downstream_ != nullptr);
+}
+
+void EnergyAttributor::on_study_begin(const trace::StudyMeta& meta) {
+  meta_ = meta;
+  device_joules_ = attributed_joules_ = baseline_joules_ = 0.0;
+  tail_joules_ = promotion_joules_ = transfer_joules_ = 0.0;
+  downstream_->on_study_begin(meta);
+}
+
+void EnergyAttributor::on_user_begin(trace::UserId user) {
+  model_ = factory_();
+  window_.clear();
+  held_transitions_.clear();
+  pending_tail_ = 0.0;
+  downstream_->on_user_begin(user);
+}
+
+void EnergyAttributor::handle_segment(const radio::EnergySegment& segment) {
+  device_joules_ += segment.joules;
+  switch (segment.kind) {
+    case radio::SegmentKind::kIdle:
+      baseline_joules_ += segment.joules;
+      flush_pending();  // the radio went idle: the active window is over
+      break;
+    case radio::SegmentKind::kTail:
+      tail_joules_ += segment.joules;
+      attributed_joules_ += segment.joules;
+      assert(!window_.empty());
+      if (policy_ == TailPolicy::kLastPacket) {
+        window_.back().joules += segment.joules;
+      } else {
+        pending_tail_ += segment.joules;
+      }
+      break;
+    case radio::SegmentKind::kPromotion:
+      promotion_joules_ += segment.joules;
+      attributed_joules_ += segment.joules;
+      current_joules_ += segment.joules;
+      break;
+    case radio::SegmentKind::kTransfer:
+      transfer_joules_ += segment.joules;
+      attributed_joules_ += segment.joules;
+      current_joules_ += segment.joules;
+      break;
+  }
+}
+
+void EnergyAttributor::flush_pending() {
+  if (window_.empty() && held_transitions_.empty()) return;
+
+  if (policy_ == TailPolicy::kProportional && pending_tail_ > 0.0 && !window_.empty()) {
+    double total_bytes = 0.0;
+    for (const auto& p : window_) total_bytes += static_cast<double>(p.bytes);
+    for (auto& p : window_) {
+      const double share = total_bytes > 0.0
+                               ? static_cast<double>(p.bytes) / total_bytes
+                               : 1.0 / static_cast<double>(window_.size());
+      p.joules += pending_tail_ * share;
+    }
+  }
+  pending_tail_ = 0.0;
+
+  // Merge packets and held transitions back into time order.
+  while (!window_.empty() || !held_transitions_.empty()) {
+    const bool take_packet =
+        !window_.empty() &&
+        (held_transitions_.empty() || window_.front().time <= held_transitions_.front().time);
+    if (take_packet) {
+      downstream_->on_packet(window_.front());
+      window_.pop_front();
+    } else {
+      downstream_->on_transition(held_transitions_.front());
+      held_transitions_.pop_front();
+    }
+  }
+}
+
+void EnergyAttributor::on_packet(const trace::PacketRecord& packet) {
+  current_joules_ = 0.0;
+  model_->on_transfer({packet.time, packet.bytes, packet.direction},
+                      [this](const radio::EnergySegment& s) { handle_segment(s); });
+
+  // Under the paper's rule a packet's tail attribution is settled as soon as
+  // the next packet arrives, so the previous window can drain now. Under the
+  // proportional rule the window stays open until the radio reaches idle.
+  if (policy_ == TailPolicy::kLastPacket) flush_pending();
+
+  trace::PacketRecord annotated = packet;
+  annotated.joules = current_joules_;
+  window_.push_back(annotated);
+}
+
+void EnergyAttributor::on_transition(const trace::StateTransition& transition) {
+  if (window_.empty()) {
+    downstream_->on_transition(transition);
+  } else {
+    held_transitions_.push_back(transition);
+  }
+}
+
+void EnergyAttributor::on_user_end(trace::UserId user) {
+  if (model_) {
+    model_->finish(meta_.study_end,
+                   [this](const radio::EnergySegment& s) { handle_segment(s); });
+  }
+  flush_pending();
+  downstream_->on_user_end(user);
+}
+
+void EnergyAttributor::on_study_end() { downstream_->on_study_end(); }
+
+}  // namespace wildenergy::energy

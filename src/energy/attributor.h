@@ -1,0 +1,85 @@
+// Per-app network energy attribution (paper §3.1).
+//
+// "As we evaluate the impact of each app in the wild, rather than the impact
+//  of apps in isolation, we assign any tail energy to the last packet sent
+//  during the tail period to avoid double-counting energy when there are
+//  multiple concurrent flows. In this way, the total cellular network energy
+//  consumed by each device is the sum of the energy assigned to each app."
+//
+// EnergyAttributor implements exactly that: it merges the device-wide packet
+// stream of each user through one radio model instance, and attributes
+//   - promotion + transfer segments -> the packet that caused them,
+//   - tail segments                 -> the last packet before the tail,
+//   - idle segments                 -> the device baseline (no app).
+// Downstream sinks receive the same trace stream with PacketRecord::joules
+// filled in, preserving time order.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "radio/radio_model.h"
+#include "trace/sink.h"
+
+namespace wildenergy::energy {
+
+using RadioModelFactory = std::function<std::unique_ptr<radio::RadioModel>()>;
+
+/// Alternative attribution rules, for the ablation bench (DESIGN.md §4.1).
+enum class TailPolicy {
+  kLastPacket,   ///< the paper's rule: whole tail to the last packet
+  kProportional, ///< split each tail across apps by their bytes in the
+                 ///< preceding active period (double-counting-free variant)
+};
+
+class EnergyAttributor final : public trace::TraceSink {
+ public:
+  /// `downstream` receives the energy-annotated stream; it must outlive this.
+  EnergyAttributor(RadioModelFactory factory, trace::TraceSink* downstream,
+                   TailPolicy policy = TailPolicy::kLastPacket);
+
+  void on_study_begin(const trace::StudyMeta& meta) override;
+  void on_user_begin(trace::UserId user) override;
+  void on_packet(const trace::PacketRecord& packet) override;
+  void on_transition(const trace::StateTransition& transition) override;
+  void on_user_end(trace::UserId user) override;
+  void on_study_end() override;
+
+  /// Total energy of every segment (incl. idle baseline) — the device total.
+  [[nodiscard]] double device_joules() const { return device_joules_; }
+  /// Energy attributed to apps (promotion + transfer + tail).
+  [[nodiscard]] double attributed_joules() const { return attributed_joules_; }
+  /// Idle/paging baseline energy (never attributed).
+  [[nodiscard]] double baseline_joules() const { return baseline_joules_; }
+  [[nodiscard]] double tail_joules() const { return tail_joules_; }
+  [[nodiscard]] double promotion_joules() const { return promotion_joules_; }
+  [[nodiscard]] double transfer_joules() const { return transfer_joules_; }
+
+ private:
+  void handle_segment(const radio::EnergySegment& segment);
+  void flush_pending();
+
+  RadioModelFactory factory_;
+  trace::TraceSink* downstream_;
+  TailPolicy policy_;
+  std::unique_ptr<radio::RadioModel> model_;
+  trace::StudyMeta meta_;
+
+  // Packets whose tail attribution is not yet settled. Under kLastPacket this
+  // holds at most one packet; under kProportional, the whole active window.
+  std::deque<trace::PacketRecord> window_;
+  // Transitions arriving while packets are pending must not overtake them.
+  std::deque<trace::StateTransition> held_transitions_;
+  double pending_tail_ = 0.0;   ///< tail energy awaiting proportional split
+  double current_joules_ = 0.0; ///< promo+transfer energy of the packet being fed
+
+  double device_joules_ = 0.0;
+  double attributed_joules_ = 0.0;
+  double baseline_joules_ = 0.0;
+  double tail_joules_ = 0.0;
+  double promotion_joules_ = 0.0;
+  double transfer_joules_ = 0.0;
+};
+
+}  // namespace wildenergy::energy

@@ -1,0 +1,76 @@
+#include "energy/ledger.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wildenergy::energy {
+
+void EnergyLedger::on_study_begin(const trace::StudyMeta& meta) {
+  meta_ = meta;
+  num_days_ = static_cast<std::size_t>(std::ceil(meta.span().days()));
+  accounts_.clear();
+  total_joules_ = 0.0;
+  total_bytes_ = 0;
+  state_totals_.fill(0.0);
+}
+
+void EnergyLedger::on_packet(const trace::PacketRecord& p) {
+  auto [it, inserted] = accounts_.try_emplace(key(p.user, p.app));
+  AppUserAccount& acc = it->second;
+  if (inserted) {
+    acc.user = p.user;
+    acc.app = p.app;
+    acc.days.resize(std::max<std::size_t>(num_days_, 1));
+  }
+  acc.bytes += p.bytes;
+  acc.packets += 1;
+  acc.joules += p.joules;
+  acc.state_joules[static_cast<std::size_t>(p.state)] += p.joules;
+
+  const auto day = static_cast<std::size_t>(
+      std::clamp<std::int64_t>((p.time - meta_.study_begin).us / 86'400'000'000LL, 0,
+                               static_cast<std::int64_t>(acc.days.size()) - 1));
+  DayCell& cell = acc.days[day];
+  if (trace::is_foreground(p.state)) {
+    cell.fg_joules += p.joules;
+    cell.fg_bytes += p.bytes;
+  } else {
+    cell.bg_joules += p.joules;
+    cell.bg_bytes += p.bytes;
+  }
+
+  total_joules_ += p.joules;
+  total_bytes_ += p.bytes;
+  state_totals_[static_cast<std::size_t>(p.state)] += p.joules;
+}
+
+const AppUserAccount* EnergyLedger::find(trace::UserId user, trace::AppId app) const {
+  const auto it = accounts_.find(key(user, app));
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+AppUserAccount EnergyLedger::app_total(trace::AppId app) const {
+  AppUserAccount total;
+  total.app = app;
+  for (const auto& [k, acc] : accounts_) {
+    if (acc.app != app) continue;
+    total.bytes += acc.bytes;
+    total.packets += acc.packets;
+    total.joules += acc.joules;
+    for (std::size_t s = 0; s < trace::kNumProcessStates; ++s) {
+      total.state_joules[s] += acc.state_joules[s];
+    }
+  }
+  return total;
+}
+
+std::vector<trace::AppId> EnergyLedger::apps() const {
+  std::vector<trace::AppId> out;
+  for (const auto& [k, acc] : accounts_) out.push_back(acc.app);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace wildenergy::energy

@@ -1,0 +1,88 @@
+// EnergyLedger: per-(user, app) accounting over the annotated trace stream.
+//
+// One streaming pass populates everything Figures 1-3 and Tables 1-2 need:
+//   - total bytes and joules per (user, app),
+//   - joules per Android process state (Fig. 3),
+//   - per-day foreground/background joules and bytes plus a "had foreground
+//     traffic" flag (the §5 what-if analysis),
+// while keeping memory at O(users x apps x days) counters, independent of
+// packet count.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/sink.h"
+
+namespace wildenergy::energy {
+
+struct DayCell {
+  double fg_joules = 0.0;
+  double bg_joules = 0.0;
+  std::uint64_t fg_bytes = 0;
+  std::uint64_t bg_bytes = 0;
+
+  [[nodiscard]] bool any_traffic() const { return fg_bytes + bg_bytes > 0; }
+  [[nodiscard]] bool background_only() const { return bg_bytes > 0 && fg_bytes == 0; }
+};
+
+struct AppUserAccount {
+  trace::UserId user = 0;
+  trace::AppId app = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
+  double joules = 0.0;
+  /// Joules per Android process state, indexed by ProcessState.
+  std::array<double, trace::kNumProcessStates> state_joules{};
+  /// One cell per study day.
+  std::vector<DayCell> days;
+
+  [[nodiscard]] double foreground_joules() const {
+    return state_joules[0] + state_joules[1];
+  }
+  [[nodiscard]] double background_joules() const {
+    return state_joules[2] + state_joules[3] + state_joules[4];
+  }
+};
+
+class EnergyLedger final : public trace::TraceSink {
+ public:
+  void on_study_begin(const trace::StudyMeta& meta) override;
+  void on_packet(const trace::PacketRecord& packet) override;
+
+  [[nodiscard]] const trace::StudyMeta& meta() const { return meta_; }
+
+  /// All (user, app) accounts, unordered.
+  [[nodiscard]] const std::unordered_map<std::uint64_t, AppUserAccount>& accounts() const {
+    return accounts_;
+  }
+  /// Account for one (user, app); nullptr when the pair has no traffic.
+  [[nodiscard]] const AppUserAccount* find(trace::UserId user, trace::AppId app) const;
+
+  /// Sum of accounts for `app` across all users.
+  [[nodiscard]] AppUserAccount app_total(trace::AppId app) const;
+  /// All app ids with any traffic.
+  [[nodiscard]] std::vector<trace::AppId> apps() const;
+
+  [[nodiscard]] double total_joules() const { return total_joules_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  /// Total joules across apps per process state (Fig. 3 "all apps" row).
+  [[nodiscard]] const std::array<double, trace::kNumProcessStates>& state_totals() const {
+    return state_totals_;
+  }
+
+ private:
+  static std::uint64_t key(trace::UserId user, trace::AppId app) {
+    return (static_cast<std::uint64_t>(user) << 32) | app;
+  }
+
+  trace::StudyMeta meta_;
+  std::size_t num_days_ = 0;
+  std::unordered_map<std::uint64_t, AppUserAccount> accounts_;
+  double total_joules_ = 0.0;
+  std::uint64_t total_bytes_ = 0;
+  std::array<double, trace::kNumProcessStates> state_totals_{};
+};
+
+}  // namespace wildenergy::energy

@@ -1,0 +1,71 @@
+// In-lab experiment harness.
+//
+// The paper validates its trace findings with controlled single-app tests:
+// a custom web page firing XMLHttpRequests every second under Chrome vs
+// Firefox vs the stock browser (§4.1), and a push-notification library
+// polling every five minutes for hours while producing a single
+// user-visible notification (§4.2). This module is that testbed: it runs
+// one AppProfile through a *scripted* foreground/background sequence on one
+// device, attributes energy with the same EnergyAttributor used in the
+// wild-study pipeline, and reports per-phase traffic and energy plus the
+// full radio timeline.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "appmodel/profile.h"
+#include "energy/attributor.h"
+#include "radio/timeline.h"
+
+namespace wildenergy::lab {
+
+/// One scripted phase: the app is held in the foreground or the background
+/// for `duration` (e.g. "use for 5 minutes, then minimize for 2 hours").
+struct PhaseSpec {
+  Duration duration{};
+  bool foreground = false;
+};
+
+struct LabConfig {
+  std::uint64_t seed = 1;
+  energy::RadioModelFactory radio_factory;  ///< defaults to LTE
+};
+
+struct PhaseResult {
+  bool foreground = false;
+  TimePoint begin;
+  TimePoint end;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  double joules = 0.0;
+};
+
+struct LabReport {
+  std::vector<PhaseResult> phases;
+  std::uint64_t total_packets = 0;
+  std::uint64_t total_bytes = 0;
+  double total_joules = 0.0;
+  /// Periodic updates emitted and how many produced a user-visible
+  /// notification (the §4.2 "useful work" contrast).
+  std::uint64_t periodic_updates = 0;
+  std::uint64_t visible_notifications = 0;
+  /// Complete radio activity timeline (power-over-time), for dumps and for
+  /// the emulated power monitor.
+  radio::RadioTimeline timeline;
+
+  [[nodiscard]] double foreground_joules() const;
+  [[nodiscard]] double background_joules() const;
+};
+
+/// Run `profile` through the scripted phases starting from a cold (idle)
+/// radio. Deterministic in config.seed. Forced-close dynamics are disabled:
+/// in the lab nothing kills the app.
+[[nodiscard]] LabReport run_experiment(const appmodel::AppProfile& profile,
+                                       std::span<const PhaseSpec> script, LabConfig config = {});
+
+/// Convenience scripts.
+/// "Use briefly, then leave in background": fg `fg_minutes`, bg `bg_hours`.
+[[nodiscard]] std::vector<PhaseSpec> use_then_background(double fg_minutes, double bg_hours);
+
+}  // namespace wildenergy::lab

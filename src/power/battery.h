@@ -1,0 +1,40 @@
+// Battery accounting: translate network joules into user-facing battery
+// impact.
+//
+// The paper motivates everything with battery life ("CPU performance has
+// improved 250x while Li-Ion battery capacity has only doubled", §1). This
+// helper converts attributed network energy into percent-of-battery-per-day
+// figures, the unit a user (or an OS battery screen) actually sees.
+#pragma once
+
+namespace wildenergy::power {
+
+struct BatteryParams {
+  /// Samsung Galaxy S III (the study device): 2100 mAh at 3.8 V nominal.
+  double capacity_mah = 2100.0;
+  double nominal_voltage = 3.8;
+
+  [[nodiscard]] double capacity_joules() const {
+    return capacity_mah / 1000.0 * nominal_voltage * 3600.0;
+  }
+};
+
+/// Percent of a full battery consumed by `joules`.
+[[nodiscard]] inline double battery_percent(double joules, BatteryParams battery = {}) {
+  return 100.0 * joules / battery.capacity_joules();
+}
+
+/// Percent of battery per day given total joules over `days_observed`.
+[[nodiscard]] inline double battery_percent_per_day(double joules, double days_observed,
+                                                    BatteryParams battery = {}) {
+  return days_observed > 0 ? battery_percent(joules / days_observed, battery) : 0.0;
+}
+
+/// Hours of standby lost per day to `joules_per_day` of network energy,
+/// assuming the device otherwise idles at `idle_watts`.
+[[nodiscard]] inline double standby_hours_lost_per_day(double joules_per_day,
+                                                       double idle_watts = 0.025) {
+  return joules_per_day / idle_watts / 3600.0;
+}
+
+}  // namespace wildenergy::power

@@ -1,0 +1,58 @@
+#include "power/monitor.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace wildenergy::power {
+
+std::vector<PowerSample> PowerMonitor::sample(const radio::RadioTimeline& timeline) const {
+  std::vector<PowerSample> out;
+  if (timeline.empty()) return out;
+  assert(timeline.is_contiguous());
+
+  const auto step = usec(static_cast<std::int64_t>(1e6 / config_.sample_rate_hz));
+  assert(step.us > 0);
+  Rng noise = Rng::keyed({config_.seed, hash_name("monitor-noise")});
+
+  const TimePoint begin = timeline.begin_time();
+  const TimePoint end = timeline.end_time();
+  out.reserve(static_cast<std::size_t>((end - begin).us / step.us) + 1);
+
+  std::size_t seg = 0;
+  const auto& segments = timeline.segments();
+  for (TimePoint t = begin; t < end; t += step) {
+    while (seg + 1 < segments.size() && segments[seg].end <= t) ++seg;
+    double w = segments[seg].avg_power_w();
+    if (config_.noise_stddev_w > 0.0) {
+      // Zero-mean additive noise; real monitors report small negative
+      // readings too, and clamping here would bias low-power integrals.
+      w += noise.normal(0.0, config_.noise_stddev_w);
+    }
+    out.push_back({t, w});
+  }
+  return out;
+}
+
+double integrate_joules(const std::vector<PowerSample>& samples) {
+  if (samples.size() < 2) return 0.0;
+  double joules = 0.0;
+  for (std::size_t i = 0; i + 1 < samples.size(); ++i) {
+    joules += samples[i].watts * (samples[i + 1].time - samples[i].time).seconds();
+  }
+  // Account for the final sample's interval using the trailing step size.
+  joules += samples.back().watts *
+            (samples[samples.size() - 1].time - samples[samples.size() - 2].time).seconds();
+  return joules;
+}
+
+double analytic_joules(const radio::RadioTimeline& timeline) { return timeline.total_joules(); }
+
+double calibration_error(const radio::RadioTimeline& timeline, const MonitorConfig& config) {
+  const double analytic = analytic_joules(timeline);
+  if (analytic <= 0.0) return 0.0;
+  const PowerMonitor monitor{config};
+  const double sampled = integrate_joules(monitor.sample(timeline));
+  return std::abs(sampled - analytic) / analytic;
+}
+
+}  // namespace wildenergy::power

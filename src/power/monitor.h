@@ -1,0 +1,64 @@
+// Monsoon-style power monitor emulation.
+//
+// The paper's LTE power model is "supported by measurements gathered with a
+// Monsoon power monitor" (§3.1). We cannot attach real hardware, so this
+// module plays the monitor's role in reverse: it converts a radio-state
+// timeline into a sampled current/power waveform (with optional measurement
+// noise), and an integrator recovers energy from the samples. Tests
+// cross-validate the analytic segment energies against the sampled waveform,
+// which is exactly the calibration loop the authors ran against hardware.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "radio/timeline.h"
+#include "util/rng.h"
+
+namespace wildenergy::power {
+
+/// One sample of the emulated monitor output.
+struct PowerSample {
+  TimePoint time;
+  double watts = 0.0;
+};
+
+struct MonitorConfig {
+  double sample_rate_hz = 5000.0;  ///< Monsoon samples at 5 kHz
+  double noise_stddev_w = 0.0;     ///< additive Gaussian measurement noise
+  double voltage = 4.2;            ///< supply voltage, for current readout
+  std::uint64_t seed = 1;          ///< noise stream seed
+};
+
+/// Emulated monitor: samples the piecewise-constant power implied by a radio
+/// timeline at the configured rate.
+class PowerMonitor {
+ public:
+  explicit PowerMonitor(MonitorConfig config = {}) : config_(config) {}
+
+  /// Sample the whole timeline. Segments must be contiguous & time-ordered.
+  [[nodiscard]] std::vector<PowerSample> sample(const radio::RadioTimeline& timeline) const;
+
+  /// Current in amperes for a given power sample (what a Monsoon reports).
+  [[nodiscard]] double amps(const PowerSample& s) const { return s.watts / config_.voltage; }
+
+  [[nodiscard]] const MonitorConfig& config() const { return config_; }
+
+ private:
+  MonitorConfig config_;
+};
+
+/// Left-Riemann energy integral over uniformly spaced samples (what one does
+/// with real monitor data). For piecewise-constant power this converges to
+/// the true energy as the sample rate grows.
+[[nodiscard]] double integrate_joules(const std::vector<PowerSample>& samples);
+
+/// Convenience: analytic total from the timeline, for comparison.
+[[nodiscard]] double analytic_joules(const radio::RadioTimeline& timeline);
+
+/// Relative disagreement |sampled - analytic| / analytic; the model
+/// "calibration error" reported by the power/ tests.
+[[nodiscard]] double calibration_error(const radio::RadioTimeline& timeline,
+                                       const MonitorConfig& config = {});
+
+}  // namespace wildenergy::power

@@ -1,0 +1,135 @@
+#include "radio/burst_machine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wildenergy::radio {
+
+BurstMachine::BurstMachine(BurstMachineParams params) : params_(std::move(params)) {
+  assert(!params_.tail_phases.empty());
+}
+
+Duration BurstMachine::transfer_duration(std::uint64_t bytes, Direction dir) const {
+  const double rate = dir == Direction::kUplink ? params_.uplink_bps : params_.downlink_bps;
+  const auto airtime = sec(static_cast<double>(bytes) * 8.0 / rate);
+  return std::max(airtime, params_.min_transfer_time);
+}
+
+double BurstMachine::isolated_burst_energy(std::uint64_t bytes, Direction dir) const {
+  double joules = 0.0;
+  if (params_.idle_promotion.enabled()) {
+    joules += params_.idle_promotion.power_w * params_.idle_promotion.duration.seconds();
+  }
+  const Duration dur = transfer_duration(bytes, dir);
+  const double per_byte =
+      dir == Direction::kUplink ? params_.joules_per_byte_up : params_.joules_per_byte_down;
+  joules += params_.active_power_w * dur.seconds() + per_byte * static_cast<double>(bytes);
+  for (const auto& phase : params_.tail_phases) {
+    joules += phase.power_w * phase.duration.seconds();
+  }
+  return joules;
+}
+
+void BurstMachine::emit_gap(TimePoint until, const SegmentSink& sink,
+                            std::size_t& phase_at_until) {
+  assert(cursor_ >= active_until_);
+  phase_at_until = kIdlePhase;
+  TimePoint phase_start = active_until_;
+  for (std::size_t i = 0; i < params_.tail_phases.size(); ++i) {
+    const auto& phase = params_.tail_phases[i];
+    const TimePoint phase_end = phase_start + phase.duration;
+    const TimePoint lo = std::max(cursor_, phase_start);
+    const TimePoint hi = std::min(until, phase_end);
+    if (hi > lo) {
+      sink({lo, hi, phase.power_w * (hi - lo).seconds(), SegmentKind::kTail,
+            phase.state_name});
+    }
+    if (until < phase_end) {
+      phase_at_until = i;
+      cursor_ = until;
+      return;
+    }
+    phase_start = phase_end;
+  }
+  // Reached idle: phase_start is now the tail end.
+  const TimePoint lo = std::max(cursor_, phase_start);
+  if (until > lo) {
+    sink({lo, until, params_.idle_power_w * (until - lo).seconds(), SegmentKind::kIdle, "IDLE"});
+  }
+  cursor_ = std::max(cursor_, until);
+}
+
+void BurstMachine::on_transfer(const TransferEvent& event, const SegmentSink& sink) {
+  TimePoint start;
+  std::size_t phase = kIdlePhase;
+  if (!started_) {
+    started_ = true;
+    cursor_ = event.time;
+    active_until_ = event.time;
+    start = event.time;
+  } else if (event.time >= active_until_) {
+    emit_gap(event.time, sink, phase);
+    start = event.time;
+  } else {
+    // The radio is still busy with the previous burst's airtime: this burst
+    // queues behind it. No gap, no promotion.
+    start = active_until_;
+    phase = kNoPhase;
+  }
+
+  if (phase != kNoPhase) {
+    const PromotionParams& promo = phase == kIdlePhase
+                                       ? params_.idle_promotion
+                                       : params_.tail_phases[phase].repromotion;
+    if (promo.enabled()) {
+      const TimePoint promo_end = start + promo.duration;
+      sink({start, promo_end, promo.power_w * promo.duration.seconds(),
+            SegmentKind::kPromotion, promo.state_name});
+      start = promo_end;
+    }
+  }
+
+  const Duration dur = transfer_duration(event.bytes, event.direction);
+  const double per_byte = event.direction == Direction::kUplink ? params_.joules_per_byte_up
+                                                                : params_.joules_per_byte_down;
+  const TimePoint end = start + dur;
+  sink({start, end,
+        params_.active_power_w * dur.seconds() + per_byte * static_cast<double>(event.bytes),
+        SegmentKind::kTransfer, params_.active_state_name});
+  active_until_ = end;
+  cursor_ = end;
+}
+
+void BurstMachine::finish(TimePoint end, const SegmentSink& sink) {
+  if (started_ && end > cursor_) {
+    std::size_t phase = kIdlePhase;
+    emit_gap(end, sink, phase);
+  }
+  reset();
+}
+
+bool BurstMachine::is_powered_at(TimePoint t) const {
+  if (!started_) return false;
+  return t < active_until_ + params_.total_tail();
+}
+
+void BurstMachine::reset() {
+  started_ = false;
+  cursor_ = {};
+  active_until_ = {};
+}
+
+std::unique_ptr<RadioModel> make_lte_model() {
+  return std::make_unique<BurstMachine>(lte_params());
+}
+std::unique_ptr<RadioModel> make_lte_fast_dormancy_model() {
+  return std::make_unique<BurstMachine>(lte_fast_dormancy_params());
+}
+std::unique_ptr<RadioModel> make_umts_model() {
+  return std::make_unique<BurstMachine>(umts_params());
+}
+std::unique_ptr<RadioModel> make_wifi_model() {
+  return std::make_unique<BurstMachine>(wifi_params());
+}
+
+}  // namespace wildenergy::radio

@@ -1,0 +1,57 @@
+// Generic burst-driven radio state machine.
+//
+// LTE, UMTS and WiFi all share the same skeleton — promote, transfer,
+// multi-phase tail, idle — and differ only in parameters (power levels,
+// durations, whether a mid-tail arrival needs a repromotion). This class
+// implements the skeleton once; LteModel/UmtsModel/WifiModel are thin
+// parameterizations (R: avoid duplication; see DESIGN.md §2).
+#pragma once
+
+#include "radio/power_params.h"
+#include "radio/radio_model.h"
+
+namespace wildenergy::radio {
+
+class BurstMachine final : public RadioModel {
+ public:
+  explicit BurstMachine(BurstMachineParams params);
+
+  void on_transfer(const TransferEvent& event, const SegmentSink& sink) override;
+  void finish(TimePoint end, const SegmentSink& sink) override;
+  [[nodiscard]] bool is_powered_at(TimePoint t) const override;
+  [[nodiscard]] std::string name() const override { return params_.model_name; }
+  void reset() override;
+
+  [[nodiscard]] const BurstMachineParams& params() const { return params_; }
+
+  /// Airtime a burst of `bytes` occupies (rate-limited, floored at
+  /// min_transfer_time). Exposed for tests and workload sizing.
+  [[nodiscard]] Duration transfer_duration(std::uint64_t bytes, Direction dir) const;
+
+  /// Closed-form energy of one isolated burst starting from idle, including
+  /// promotion and the full tail. Used by tests as an oracle and by app
+  /// designers as a "cost of one update" query.
+  [[nodiscard]] double isolated_burst_energy(std::uint64_t bytes, Direction dir) const;
+
+ private:
+  /// Emit tail/idle segments covering [cursor_, until); updates cursor_.
+  /// `stop_mid_tail` receives the index of the tail phase active at `until`
+  /// (or npos if the machine reached idle).
+  void emit_gap(TimePoint until, const SegmentSink& sink, std::size_t& phase_at_until);
+
+  static constexpr std::size_t kIdlePhase = static_cast<std::size_t>(-1) - 1;
+  static constexpr std::size_t kNoPhase = static_cast<std::size_t>(-1);
+
+  BurstMachineParams params_;
+  bool started_ = false;
+  TimePoint cursor_{};        ///< segments emitted up to here
+  TimePoint active_until_{};  ///< end of the last transfer's airtime
+};
+
+/// Factory helpers matching the parameter sets in power_params.h.
+[[nodiscard]] std::unique_ptr<RadioModel> make_lte_model();
+[[nodiscard]] std::unique_ptr<RadioModel> make_lte_fast_dormancy_model();
+[[nodiscard]] std::unique_ptr<RadioModel> make_umts_model();
+[[nodiscard]] std::unique_ptr<RadioModel> make_wifi_model();
+
+}  // namespace wildenergy::radio

@@ -1,0 +1,71 @@
+#include "radio/power_params.h"
+
+namespace wildenergy::radio {
+
+BurstMachineParams lte_params() {
+  BurstMachineParams p;
+  p.model_name = "LTE";
+  p.idle_promotion = {msec(260), 1.2107, "LTE_PROMOTION"};
+  p.active_power_w = 1.0604;
+  p.active_state_name = "LTE_CRX";
+  // alpha_u = 438.39 mW/Mbps, alpha_d = 51.97 mW/Mbps  =>  J per payload byte.
+  p.joules_per_byte_up = 438.39e-3 / 1e6 * 8.0;
+  p.joules_per_byte_down = 51.97e-3 / 1e6 * 8.0;
+  p.downlink_bps = 12.74e6;
+  p.uplink_bps = 5.64e6;
+  p.min_transfer_time = msec(250);
+  p.tail_phases = {
+      {sec(1.0), 1.0604, "LTE_SHORT_DRX", {}},
+      {sec(10.576), 0.80, "LTE_LONG_DRX", {}},
+  };
+  p.idle_power_w = 0.0114;
+  return p;
+}
+
+BurstMachineParams lte_fast_dormancy_params() {
+  BurstMachineParams p = lte_params();
+  p.model_name = "LTE-FD";
+  p.tail_phases = {
+      {sec(1.5), 1.0604, "LTE_FD_TAIL", {}},
+  };
+  return p;
+}
+
+BurstMachineParams umts_params() {
+  BurstMachineParams p;
+  p.model_name = "UMTS";
+  p.idle_promotion = {sec(2.0), 0.55, "UMTS_IDLE_TO_DCH"};
+  p.active_power_w = 0.80;
+  p.active_state_name = "UMTS_DCH";
+  p.joules_per_byte_up = 0.9e-3 / 1e6 * 8.0 * 300.0;   // coarse: uplink costly
+  p.joules_per_byte_down = 0.9e-3 / 1e6 * 8.0 * 60.0;  // coarse: downlink cheaper
+  p.downlink_bps = 3.0e6;
+  p.uplink_bps = 1.0e6;
+  p.min_transfer_time = msec(400);
+  p.tail_phases = {
+      {sec(5.0), 0.80, "UMTS_DCH_TAIL", {}},
+      {sec(12.0), 0.46, "UMTS_FACH_TAIL", {sec(1.5), 0.70, "UMTS_FACH_TO_DCH"}},
+  };
+  p.idle_power_w = 0.010;
+  return p;
+}
+
+BurstMachineParams wifi_params() {
+  BurstMachineParams p;
+  p.model_name = "WiFi";
+  p.idle_promotion = {};  // association assumed; no RRC-style ramp
+  p.active_power_w = 0.77;
+  p.active_state_name = "WIFI_ACTIVE";
+  p.joules_per_byte_up = 0.10e-6;
+  p.joules_per_byte_down = 0.05e-6;
+  p.downlink_bps = 20.0e6;
+  p.uplink_bps = 10.0e6;
+  p.min_transfer_time = msec(30);
+  p.tail_phases = {
+      {msec(238), 0.77, "WIFI_TAIL", {}},
+  };
+  p.idle_power_w = 0.030;
+  return p;
+}
+
+}  // namespace wildenergy::radio

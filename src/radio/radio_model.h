@@ -1,0 +1,45 @@
+// Abstract radio interface power/state model.
+//
+// Implementations: LteModel (primary, §3.1 of the paper), UmtsModel (3G) and
+// WifiModel for comparison/what-if analyses. All are burst-driven state
+// machines; see DESIGN.md §2 "radio/".
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "radio/segment.h"
+
+namespace wildenergy::radio {
+
+class RadioModel {
+ public:
+  virtual ~RadioModel() = default;
+
+  RadioModel(const RadioModel&) = delete;
+  RadioModel& operator=(const RadioModel&) = delete;
+
+  /// Feed the next transfer. Events must arrive in non-decreasing time order;
+  /// the model emits every energy segment that is fully determined up to (and
+  /// including) the start of this transfer's active period.
+  virtual void on_transfer(const TransferEvent& event, const SegmentSink& sink) = 0;
+
+  /// Close out the model at `end`: emits any remaining tail and trailing idle
+  /// segments. The model returns to its initial (idle) state afterwards.
+  virtual void finish(TimePoint end, const SegmentSink& sink) = 0;
+
+  /// True if the radio would still be in a powered (non-idle) state at `t`,
+  /// assuming no transfers after the last one fed in.
+  [[nodiscard]] virtual bool is_powered_at(TimePoint t) const = 0;
+
+  /// Model name for reports ("LTE", "UMTS", "WiFi").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Reset to initial idle state, forgetting all history.
+  virtual void reset() = 0;
+
+ protected:
+  RadioModel() = default;
+};
+
+}  // namespace wildenergy::radio

@@ -1,0 +1,49 @@
+#include "radio/timeline.h"
+
+#include <algorithm>
+
+namespace wildenergy::radio {
+
+double RadioTimeline::total_joules() const {
+  double j = 0.0;
+  for (const auto& s : segments_) j += s.joules;
+  return j;
+}
+
+double RadioTimeline::joules_of_kind(SegmentKind kind) const {
+  double j = 0.0;
+  for (const auto& s : segments_) {
+    if (s.kind == kind) j += s.joules;
+  }
+  return j;
+}
+
+double RadioTimeline::joules_in_window(TimePoint begin, TimePoint end) const {
+  double j = 0.0;
+  for (const auto& s : segments_) {
+    const TimePoint lo = std::max(begin, s.begin);
+    const TimePoint hi = std::min(end, s.end);
+    if (hi > lo && s.end > s.begin) {
+      j += s.joules * (hi - lo).seconds() / (s.end - s.begin).seconds();
+    }
+  }
+  return j;
+}
+
+TimePoint RadioTimeline::begin_time() const {
+  return segments_.empty() ? TimePoint{} : segments_.front().begin;
+}
+
+TimePoint RadioTimeline::end_time() const {
+  return segments_.empty() ? TimePoint{} : segments_.back().end;
+}
+
+bool RadioTimeline::is_contiguous() const {
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i].end < segments_[i].begin) return false;
+    if (i > 0 && segments_[i].begin != segments_[i - 1].end) return false;
+  }
+  return true;
+}
+
+}  // namespace wildenergy::radio

@@ -1,0 +1,44 @@
+// RadioTimeline: an in-memory sequence of energy segments, with aggregate
+// queries. Used by tests, the power sampler, and the Fig. 4 trace dump.
+// Streaming analyses do NOT use this (they consume segments on the fly);
+// the timeline is for bounded windows only.
+#pragma once
+
+#include <vector>
+
+#include "radio/segment.h"
+
+namespace wildenergy::radio {
+
+class RadioTimeline {
+ public:
+  /// A sink that appends into this timeline.
+  [[nodiscard]] SegmentSink sink() {
+    return [this](const EnergySegment& s) { segments_.push_back(s); };
+  }
+
+  void add(const EnergySegment& s) { segments_.push_back(s); }
+  void clear() { segments_.clear(); }
+
+  [[nodiscard]] const std::vector<EnergySegment>& segments() const { return segments_; }
+  [[nodiscard]] bool empty() const { return segments_.empty(); }
+  [[nodiscard]] std::size_t size() const { return segments_.size(); }
+
+  [[nodiscard]] double total_joules() const;
+  [[nodiscard]] double joules_of_kind(SegmentKind kind) const;
+  /// Energy overlapping [begin, end), pro-rating partially overlapping
+  /// segments by time (segments have constant power).
+  [[nodiscard]] double joules_in_window(TimePoint begin, TimePoint end) const;
+
+  [[nodiscard]] TimePoint begin_time() const;
+  [[nodiscard]] TimePoint end_time() const;
+
+  /// True when segments are in order, non-overlapping and gap-free —
+  /// the contract of SegmentSink. Checked by property tests.
+  [[nodiscard]] bool is_contiguous() const;
+
+ private:
+  std::vector<EnergySegment> segments_;
+};
+
+}  // namespace wildenergy::radio

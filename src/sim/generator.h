@@ -1,0 +1,39 @@
+// StudyGenerator: turns a StudyConfig + AppCatalog into the full synthetic
+// trace stream, replacing the paper's proprietary 22-month user study
+// (DESIGN.md §1). Deterministic: identical (config, catalog) => identical
+// byte-for-byte stream.
+#pragma once
+
+#include "appmodel/catalog.h"
+#include "sim/study_config.h"
+#include "trace/sink.h"
+
+namespace wildenergy::sim {
+
+class StudyGenerator {
+ public:
+  /// Uses appmodel::AppCatalog::full_catalog(config.seed, config.total_apps).
+  explicit StudyGenerator(StudyConfig config);
+  /// Uses a caller-provided catalog (e.g. paper_catalog() for case studies).
+  StudyGenerator(StudyConfig config, appmodel::AppCatalog catalog);
+
+  /// Generate the whole study into `sink`: users in id order, each user's
+  /// packets and transitions in non-decreasing time order.
+  void run(trace::TraceSink& sink) const;
+
+  /// Generate only one user's stream (still bracketed by study begin/end).
+  /// Used by tests and by per-user parallel analyses.
+  void run_user(trace::UserId user, trace::TraceSink& sink) const;
+
+  [[nodiscard]] const StudyConfig& config() const { return config_; }
+  [[nodiscard]] const appmodel::AppCatalog& catalog() const { return catalog_; }
+  [[nodiscard]] trace::StudyMeta meta() const;
+
+ private:
+  void emit_user(trace::UserId user, trace::TraceSink& sink) const;
+
+  StudyConfig config_;
+  appmodel::AppCatalog catalog_;
+};
+
+}  // namespace wildenergy::sim

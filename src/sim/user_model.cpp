@@ -1,0 +1,57 @@
+#include "sim/user_model.h"
+
+#include <cmath>
+
+namespace wildenergy::sim {
+
+UserPlan make_user_plan(const StudyConfig& config, const appmodel::AppCatalog& catalog,
+                        trace::UserId user) {
+  UserPlan plan;
+  plan.user = user;
+  Rng rng = Rng::keyed({config.seed, hash_name("user-plan"), user});
+  plan.engagement = rng.lognormal(0.0, config.engagement_sigma);
+
+  for (trace::AppId id = 0; id < catalog.size(); ++id) {
+    const appmodel::AppProfile& profile = catalog[id];
+    if (!rng.chance(profile.install_probability)) continue;
+    InstalledApp ia;
+    ia.app = id;
+    // Heavy-tailed affinity: most installed apps are used occasionally, a
+    // few are favourites, and `abandon_probability` of them are essentially
+    // never foregrounded again (the §5 background-only pattern).
+    ia.affinity = rng.lognormal(0.0, config.affinity_sigma);
+    if (rng.chance(config.abandon_probability)) ia.affinity *= 0.04;
+    plan.installed.push_back(ia);
+  }
+  return plan;
+}
+
+double diurnal_weight(double hour) {
+  // Mixture of three Gaussian bumps (morning 8.5h, lunch 12.5h, evening 20h)
+  // over a small base; close to observed smartphone usage rhythms.
+  const auto bump = [](double h, double center, double width) {
+    const double d = (h - center) / width;
+    return std::exp(-0.5 * d * d);
+  };
+  const double base = 0.05;
+  return base + 0.6 * bump(hour, 8.5, 1.5) + 0.5 * bump(hour, 12.5, 1.8) +
+         1.0 * bump(hour, 20.0, 2.5);
+}
+
+double sample_diurnal_seconds(Rng& rng) {
+  // Rejection sampling against the (bounded) diurnal curve.
+  constexpr double kMaxWeight = 1.7;  // a safe bound on diurnal_weight
+  for (;;) {
+    const double hour = rng.uniform(0.0, 24.0);
+    if (rng.uniform(0.0, kMaxWeight) <= diurnal_weight(hour)) return hour * 3600.0;
+  }
+}
+
+double weekday_factor(std::int64_t day_index, double amplitude) {
+  // Weekends (days 5, 6 of each week) above the mean, midweek below.
+  const int dow = static_cast<int>(day_index % 7);
+  const double shape[7] = {-0.6, -0.8, -0.5, -0.2, 0.4, 1.0, 0.7};
+  return 1.0 + amplitude * shape[dow];
+}
+
+}  // namespace wildenergy::sim

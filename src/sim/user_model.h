@@ -1,0 +1,52 @@
+// Per-user behaviour plans: which apps a user installs, how engaged they are,
+// and when they pick the phone up.
+//
+// User diversity is a first-class finding of the paper (Fig. 1: top-10 lists
+// differ greatly across users), so install sets and affinities are sampled
+// per user with heavy tails rather than shared.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "appmodel/catalog.h"
+#include "sim/study_config.h"
+#include "util/rng.h"
+
+namespace wildenergy::sim {
+
+struct InstalledApp {
+  trace::AppId app = 0;
+  /// Multiplies the profile's foreground session rate for this user.
+  /// Near-zero for abandoned apps (the §5 what-if candidates).
+  double affinity = 1.0;
+};
+
+struct UserPlan {
+  trace::UserId user = 0;
+  double engagement = 1.0;  ///< scales pickups/day
+  std::vector<InstalledApp> installed;
+
+  [[nodiscard]] bool has(trace::AppId app) const {
+    for (const auto& ia : installed) {
+      if (ia.app == app) return true;
+    }
+    return false;
+  }
+};
+
+/// Deterministically build the plan for `user` (pure function of config+catalog).
+[[nodiscard]] UserPlan make_user_plan(const StudyConfig& config,
+                                      const appmodel::AppCatalog& catalog, trace::UserId user);
+
+/// Relative pickup intensity by hour of day [0, 24): near-zero at night,
+/// peaks in the morning, lunch and evening. Integrates to ~1 over the day.
+[[nodiscard]] double diurnal_weight(double hour);
+
+/// Sample a time-of-day (seconds into the day) from the diurnal distribution.
+[[nodiscard]] double sample_diurnal_seconds(Rng& rng);
+
+/// Day-of-week engagement factor, mean 1.0 across the week.
+[[nodiscard]] double weekday_factor(std::int64_t day_index, double amplitude);
+
+}  // namespace wildenergy::sim

@@ -1,0 +1,277 @@
+#include "trace/binary_io.h"
+
+#include <bit>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace wildenergy::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'W', 'E', 'T', 'R'};
+constexpr std::uint8_t kVersion = 1;
+
+constexpr std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void fnv_step(std::uint64_t& checksum, std::uint8_t b) {
+  checksum ^= b;
+  checksum *= 0x100000001B3ULL;
+}
+
+}  // namespace
+
+BinaryTraceWriter::BinaryTraceWriter(std::ostream& os) : os_(os) {
+  os_.write(kMagic, sizeof kMagic);
+  os_.put(static_cast<char>(kVersion));
+  bytes_written_ = sizeof kMagic + 1;
+}
+
+void BinaryTraceWriter::put_byte(std::uint8_t b) {
+  os_.put(static_cast<char>(b));
+  fnv_step(checksum_, b);
+  ++bytes_written_;
+}
+
+void BinaryTraceWriter::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    put_byte(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  put_byte(static_cast<std::uint8_t>(v));
+}
+
+void BinaryTraceWriter::put_f64(double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) put_byte(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+void BinaryTraceWriter::on_study_begin(const StudyMeta& meta) {
+  put_byte('M');
+  put_varint(meta.num_users);
+  put_varint(meta.num_apps);
+  put_varint(zigzag(meta.study_begin.us));
+  put_varint(zigzag(meta.study_end.us));
+}
+
+void BinaryTraceWriter::on_user_begin(UserId user) {
+  put_byte('U');
+  put_varint(user);
+  last_time_us_ = 0;
+}
+
+void BinaryTraceWriter::on_packet(const PacketRecord& p) {
+  put_byte('P');
+  put_varint(zigzag(p.time.us - last_time_us_));
+  last_time_us_ = p.time.us;
+  put_varint(p.user);
+  put_varint(p.app);
+  put_varint(p.flow);
+  put_varint(p.bytes);
+  put_byte(static_cast<std::uint8_t>(p.direction == radio::Direction::kUplink ? 1 : 0) |
+           static_cast<std::uint8_t>(p.interface == Interface::kWifi ? 2 : 0) |
+           static_cast<std::uint8_t>(static_cast<std::uint8_t>(p.state) << 2));
+  put_f64(p.joules);
+}
+
+void BinaryTraceWriter::on_transition(const StateTransition& t) {
+  put_byte('T');
+  put_varint(zigzag(t.time.us - last_time_us_));
+  last_time_us_ = t.time.us;
+  put_varint(t.user);
+  put_varint(t.app);
+  put_byte(static_cast<std::uint8_t>(t.from));
+  put_byte(static_cast<std::uint8_t>(t.to));
+}
+
+void BinaryTraceWriter::on_user_end(UserId user) {
+  put_byte('V');
+  put_varint(user);
+}
+
+void BinaryTraceWriter::on_study_end() {
+  put_byte('E');
+  // Trailing checksum (not itself checksummed).
+  const std::uint64_t sum = checksum_;
+  for (int i = 0; i < 8; ++i) {
+    os_.put(static_cast<char>(static_cast<std::uint8_t>(sum >> (8 * i))));
+    ++bytes_written_;
+  }
+  os_.flush();
+}
+
+namespace {
+
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+
+  bool get_byte(std::uint8_t& b) {
+    const int c = is_.get();
+    if (c == EOF) return false;
+    b = static_cast<std::uint8_t>(c);
+    fnv_step(checksum_, b);
+    return true;
+  }
+
+  bool get_varint(std::uint64_t& v) {
+    v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      std::uint8_t b = 0;
+      if (!get_byte(b)) return false;
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return true;
+    }
+    return false;  // overlong varint
+  }
+
+  bool get_f64(double& v) {
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      std::uint8_t b = 0;
+      if (!get_byte(b)) return false;
+      bits |= static_cast<std::uint64_t>(b) << (8 * i);
+    }
+    v = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  /// Reads the trailing checksum without feeding it into the running sum.
+  bool get_trailer(std::uint64_t& sum) {
+    sum = 0;
+    for (int i = 0; i < 8; ++i) {
+      const int c = is_.get();
+      if (c == EOF) return false;
+      sum |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(c)) << (8 * i);
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t checksum() const { return checksum_; }
+
+ private:
+  std::istream& is_;
+  std::uint64_t checksum_ = 0xCBF29CE484222325ULL;
+};
+
+}  // namespace
+
+BinaryReadResult read_binary_trace(std::istream& is, TraceSink& sink) {
+  BinaryReadResult result;
+  const auto fail = [&](const char* why) {
+    result.ok = false;
+    result.error = why;
+    return result;
+  };
+
+  char magic[4] = {};
+  is.read(magic, sizeof magic);
+  if (is.gcount() != sizeof magic || std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    return fail("bad magic");
+  }
+  const int version = is.get();
+  if (version != kVersion) return fail("unsupported version");
+
+  Reader reader{is};
+  std::int64_t last_time_us = 0;
+  for (;;) {
+    std::uint8_t tag = 0;
+    if (!reader.get_byte(tag)) return fail("truncated stream");
+    ++result.records;
+    switch (tag) {
+      case 'M': {
+        StudyMeta meta;
+        std::uint64_t users = 0;
+        std::uint64_t apps = 0;
+        std::uint64_t begin = 0;
+        std::uint64_t end = 0;
+        if (!reader.get_varint(users) || !reader.get_varint(apps) ||
+            !reader.get_varint(begin) || !reader.get_varint(end)) {
+          return fail("bad meta");
+        }
+        meta.num_users = static_cast<std::uint32_t>(users);
+        meta.num_apps = static_cast<std::uint32_t>(apps);
+        meta.study_begin.us = unzigzag(begin);
+        meta.study_end.us = unzigzag(end);
+        sink.on_study_begin(meta);
+        break;
+      }
+      case 'U':
+      case 'V': {
+        std::uint64_t user = 0;
+        if (!reader.get_varint(user)) return fail("bad user record");
+        if (tag == 'U') {
+          last_time_us = 0;
+          sink.on_user_begin(static_cast<UserId>(user));
+        } else {
+          sink.on_user_end(static_cast<UserId>(user));
+        }
+        break;
+      }
+      case 'P': {
+        PacketRecord p;
+        std::uint64_t dt = 0;
+        std::uint64_t user = 0;
+        std::uint64_t app = 0;
+        std::uint8_t flags = 0;
+        if (!reader.get_varint(dt) || !reader.get_varint(user) || !reader.get_varint(app) ||
+            !reader.get_varint(p.flow) || !reader.get_varint(p.bytes) ||
+            !reader.get_byte(flags) || !reader.get_f64(p.joules)) {
+          return fail("bad packet record");
+        }
+        last_time_us += unzigzag(dt);
+        p.time.us = last_time_us;
+        p.user = static_cast<UserId>(user);
+        p.app = static_cast<AppId>(app);
+        p.direction = (flags & 1) ? radio::Direction::kUplink : radio::Direction::kDownlink;
+        p.interface = (flags & 2) ? Interface::kWifi : Interface::kCellular;
+        const auto state = static_cast<std::uint8_t>(flags >> 2);
+        if (state >= kNumProcessStates) return fail("bad process state");
+        p.state = static_cast<ProcessState>(state);
+        sink.on_packet(p);
+        break;
+      }
+      case 'T': {
+        StateTransition t;
+        std::uint64_t dt = 0;
+        std::uint64_t user = 0;
+        std::uint64_t app = 0;
+        std::uint8_t from = 0;
+        std::uint8_t to = 0;
+        if (!reader.get_varint(dt) || !reader.get_varint(user) || !reader.get_varint(app) ||
+            !reader.get_byte(from) || !reader.get_byte(to)) {
+          return fail("bad transition record");
+        }
+        if (from >= kNumProcessStates || to >= kNumProcessStates) {
+          return fail("bad process state");
+        }
+        last_time_us += unzigzag(dt);
+        t.time.us = last_time_us;
+        t.user = static_cast<UserId>(user);
+        t.app = static_cast<AppId>(app);
+        t.from = static_cast<ProcessState>(from);
+        t.to = static_cast<ProcessState>(to);
+        sink.on_transition(t);
+        break;
+      }
+      case 'E': {
+        const std::uint64_t computed = reader.checksum();
+        std::uint64_t stored = 0;
+        if (!reader.get_trailer(stored)) return fail("missing checksum");
+        if (stored != computed) return fail("checksum mismatch");
+        sink.on_study_end();
+        result.ok = true;
+        return result;
+      }
+      default:
+        return fail("unknown record tag");
+    }
+  }
+}
+
+}  // namespace wildenergy::trace

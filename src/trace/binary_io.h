@@ -1,0 +1,57 @@
+// Compact binary trace serialization.
+//
+// The study's raw dataset was 125 GB (§3); CSV is convenient but ~4x larger
+// and slower to parse than necessary for archival. This format stores the
+// same stream as csv_io.h with varint fields and delta-encoded timestamps:
+//
+//   header:  magic "WETR", u8 version (=1)
+//   records: u8 tag ('M','U','P','T','V','E') followed by varint fields;
+//            'P' and 'T' timestamps are deltas from the previous event of
+//            the same user (signed zig-zag), joules are f64 bits.
+//
+// Integrity: a running FNV-1a checksum over the payload is appended after
+// the final 'E' record and verified on read.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/sink.h"
+
+namespace wildenergy::trace {
+
+class BinaryTraceWriter final : public TraceSink {
+ public:
+  explicit BinaryTraceWriter(std::ostream& os);
+
+  void on_study_begin(const StudyMeta& meta) override;
+  void on_user_begin(UserId user) override;
+  void on_packet(const PacketRecord& packet) override;
+  void on_transition(const StateTransition& transition) override;
+  void on_user_end(UserId user) override;
+  void on_study_end() override;
+
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  void put_byte(std::uint8_t b);
+  void put_varint(std::uint64_t v);
+  void put_f64(double v);
+
+  std::ostream& os_;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t checksum_ = 0xCBF29CE484222325ULL;
+  std::int64_t last_time_us_ = 0;
+};
+
+struct BinaryReadResult {
+  bool ok = false;
+  std::string error;
+  std::uint64_t records = 0;
+};
+
+/// Parse a binary trace and replay it into `sink`. Verifies magic, version
+/// and checksum; stops at the first malformed record.
+[[nodiscard]] BinaryReadResult read_binary_trace(std::istream& is, TraceSink& sink);
+
+}  // namespace wildenergy::trace

@@ -1,0 +1,135 @@
+#include "trace/csv_io.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace wildenergy::trace {
+
+void CsvTraceWriter::on_study_begin(const StudyMeta& meta) {
+  os_ << "M," << meta.num_users << ',' << meta.num_apps << ',' << meta.study_begin.us << ','
+      << meta.study_end.us << '\n';
+}
+
+void CsvTraceWriter::on_user_begin(UserId user) { os_ << "U," << user << '\n'; }
+
+void CsvTraceWriter::on_packet(const PacketRecord& p) {
+  os_ << "P," << p.time.us << ',' << p.user << ',' << p.app << ',' << p.flow << ',' << p.bytes
+      << ',' << (p.direction == radio::Direction::kUplink ? "up" : "down") << ','
+      << to_string(p.interface) << ',' << to_string(p.state) << ',' << p.joules << '\n';
+}
+
+void CsvTraceWriter::on_transition(const StateTransition& t) {
+  os_ << "T," << t.time.us << ',' << t.user << ',' << t.app << ',' << to_string(t.from) << ','
+      << to_string(t.to) << '\n';
+}
+
+void CsvTraceWriter::on_user_end(UserId user) { os_ << "V," << user << '\n'; }
+
+void CsvTraceWriter::on_study_end() { os_ << "E\n"; }
+
+namespace {
+
+std::vector<std::string_view> split(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      fields.push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+template <typename T>
+bool parse_int(std::string_view s, T& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+bool parse_double(std::string_view s, double& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+CsvReadResult read_csv_trace(std::istream& is, TraceSink& sink) {
+  CsvReadResult result;
+  std::string line;
+  const auto fail = [&](const std::string& why) {
+    result.ok = false;
+    result.error = "line " + std::to_string(result.lines + 1) + ": " + why;
+    return result;
+  };
+
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      ++result.lines;
+      continue;
+    }
+    const auto fields = split(line);
+    const std::string_view tag = fields[0];
+    if (tag == "M") {
+      StudyMeta meta;
+      if (fields.size() != 5 || !parse_int(fields[1], meta.num_users) ||
+          !parse_int(fields[2], meta.num_apps) || !parse_int(fields[3], meta.study_begin.us) ||
+          !parse_int(fields[4], meta.study_end.us)) {
+        return fail("bad meta record");
+      }
+      sink.on_study_begin(meta);
+    } else if (tag == "U" || tag == "V") {
+      UserId user = 0;
+      if (fields.size() != 2 || !parse_int(fields[1], user)) return fail("bad user record");
+      if (tag == "U") {
+        sink.on_user_begin(user);
+      } else {
+        sink.on_user_end(user);
+      }
+    } else if (tag == "P") {
+      PacketRecord p;
+      if (fields.size() != 10 || !parse_int(fields[1], p.time.us) ||
+          !parse_int(fields[2], p.user) || !parse_int(fields[3], p.app) ||
+          !parse_int(fields[4], p.flow) || !parse_int(fields[5], p.bytes) ||
+          !parse_double(fields[9], p.joules)) {
+        return fail("bad packet record");
+      }
+      if (fields[6] == "up") {
+        p.direction = radio::Direction::kUplink;
+      } else if (fields[6] == "down") {
+        p.direction = radio::Direction::kDownlink;
+      } else {
+        return fail("bad direction");
+      }
+      if (fields[7] == "cell") {
+        p.interface = Interface::kCellular;
+      } else if (fields[7] == "wifi") {
+        p.interface = Interface::kWifi;
+      } else {
+        return fail("bad interface");
+      }
+      if (!parse_process_state(fields[8], p.state)) return fail("bad process state");
+      sink.on_packet(p);
+    } else if (tag == "T") {
+      StateTransition t;
+      if (fields.size() != 6 || !parse_int(fields[1], t.time.us) ||
+          !parse_int(fields[2], t.user) || !parse_int(fields[3], t.app) ||
+          !parse_process_state(fields[4], t.from) || !parse_process_state(fields[5], t.to)) {
+        return fail("bad transition record");
+      }
+      sink.on_transition(t);
+    } else if (tag == "E") {
+      sink.on_study_end();
+    } else {
+      return fail("unknown record tag");
+    }
+    ++result.lines;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace wildenergy::trace

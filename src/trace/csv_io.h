@@ -1,0 +1,49 @@
+// CSV serialization of trace streams.
+//
+// Lets users persist synthetic traces, re-analyze external traces, and
+// round-trip data between tools. One line per event:
+//   M,<num_users>,<num_apps>,<begin_us>,<end_us>          (study meta, once)
+//   U,<user>                                              (user begin)
+//   P,<time_us>,<user>,<app>,<flow>,<bytes>,<dir>,<iface>,<state>,<joules>
+//   T,<time_us>,<user>,<app>,<from_state>,<to_state>
+//   V,<user>                                              (user end)
+//   E                                                     (study end)
+// Directions are "up"/"down"; interfaces "cell"/"wifi"; states use
+// trace::to_string spellings.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/sink.h"
+
+namespace wildenergy::trace {
+
+/// A TraceSink that writes the stream as CSV lines.
+class CsvTraceWriter final : public TraceSink {
+ public:
+  explicit CsvTraceWriter(std::ostream& os) : os_(os) {}
+
+  void on_study_begin(const StudyMeta& meta) override;
+  void on_user_begin(UserId user) override;
+  void on_packet(const PacketRecord& packet) override;
+  void on_transition(const StateTransition& transition) override;
+  void on_user_end(UserId user) override;
+  void on_study_end() override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Result of replaying a CSV stream into a sink.
+struct CsvReadResult {
+  bool ok = false;
+  std::string error;       ///< first parse error, empty when ok
+  std::uint64_t lines = 0; ///< lines consumed
+};
+
+/// Parse a CSV trace and replay it into `sink`. Stops at the first malformed
+/// line and reports it (I: validate inputs at the boundary).
+[[nodiscard]] CsvReadResult read_csv_trace(std::istream& is, TraceSink& sink);
+
+}  // namespace wildenergy::trace

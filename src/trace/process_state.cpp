@@ -1,0 +1,15 @@
+#include "trace/process_state.h"
+
+namespace wildenergy::trace {
+
+bool parse_process_state(std::string_view text, ProcessState& out) {
+  for (ProcessState s : kAllProcessStates) {
+    if (text == to_string(s)) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace wildenergy::trace

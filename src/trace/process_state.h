@@ -1,0 +1,48 @@
+// Android process states (paper §4, citing ActivityManager.RunningAppProcessInfo).
+//
+// The paper groups the five states into "foreground" = {foreground, visible}
+// and "background" = {perceptible, service, background}; Figure 3 reports all
+// five separately.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace wildenergy::trace {
+
+enum class ProcessState : std::uint8_t {
+  kForeground = 0,  ///< owns the main UI
+  kVisible = 1,     ///< owns a secondary UI element
+  kPerceptible = 2, ///< not visible but user-perceptible (e.g. playing music)
+  kService = 3,     ///< background service; avoid killing if possible
+  kBackground = 4,  ///< killable when memory is low
+};
+
+inline constexpr std::size_t kNumProcessStates = 5;
+
+inline constexpr std::array<ProcessState, kNumProcessStates> kAllProcessStates = {
+    ProcessState::kForeground, ProcessState::kVisible, ProcessState::kPerceptible,
+    ProcessState::kService, ProcessState::kBackground};
+
+/// Paper definition: first two states are "foreground", the rest "background".
+[[nodiscard]] constexpr bool is_foreground(ProcessState s) {
+  return s == ProcessState::kForeground || s == ProcessState::kVisible;
+}
+[[nodiscard]] constexpr bool is_background(ProcessState s) { return !is_foreground(s); }
+
+[[nodiscard]] constexpr std::string_view to_string(ProcessState s) {
+  switch (s) {
+    case ProcessState::kForeground: return "foreground";
+    case ProcessState::kVisible: return "visible";
+    case ProcessState::kPerceptible: return "perceptible";
+    case ProcessState::kService: return "service";
+    case ProcessState::kBackground: return "background";
+  }
+  return "?";
+}
+
+/// Parse the exact strings produced by to_string; returns false on mismatch.
+[[nodiscard]] bool parse_process_state(std::string_view text, ProcessState& out);
+
+}  // namespace wildenergy::trace

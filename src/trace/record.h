@@ -1,0 +1,79 @@
+// Trace records: the tuples every analysis in the paper consumes.
+//
+// The study's raw traces were full packet captures; all published analyses
+// reduce to (timestamp, bytes, direction, app, process state) per packet
+// burst plus foreground/background transition events. These records are that
+// reduction (see DESIGN.md §1 substitution table).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "radio/segment.h"
+#include "trace/process_state.h"
+#include "util/time.h"
+
+namespace wildenergy::trace {
+
+using AppId = std::uint32_t;
+using UserId = std::uint32_t;
+using FlowId = std::uint64_t;
+
+/// Network interface a burst used. The study phones had unlimited LTE plans
+/// (§3), so cellular dominates; WiFi modeling is opt-in (sim::StudyConfig).
+enum class Interface : std::uint8_t { kCellular = 0, kWifi = 1 };
+
+[[nodiscard]] constexpr const char* to_string(Interface i) {
+  return i == Interface::kCellular ? "cell" : "wifi";
+}
+
+inline constexpr AppId kNoApp = std::numeric_limits<AppId>::max();
+
+/// One packet burst on the wire. `joules` is zero until the energy
+/// attribution stage fills it in (paper §3.1 tail-assignment rule).
+struct PacketRecord {
+  TimePoint time;
+  UserId user = 0;
+  AppId app = 0;
+  FlowId flow = 0;  ///< logical flow the burst belongs to (generator- or assembler-assigned)
+  std::uint64_t bytes = 0;
+  radio::Direction direction = radio::Direction::kDownlink;
+  Interface interface = Interface::kCellular;
+  ProcessState state = ProcessState::kBackground;  ///< owning app's state at send time
+  double joules = 0.0;  ///< attributed network energy (promotion+transfer+tail share)
+};
+
+/// An app's process-state transition (e.g. user minimizes the app:
+/// foreground -> background). Drives Figures 3, 5, 6 and §5.
+struct StateTransition {
+  TimePoint time;
+  UserId user = 0;
+  AppId app = 0;
+  ProcessState from = ProcessState::kBackground;
+  ProcessState to = ProcessState::kBackground;
+
+  [[nodiscard]] bool is_fg_to_bg() const { return is_foreground(from) && is_background(to); }
+  [[nodiscard]] bool is_bg_to_fg() const { return is_background(from) && is_foreground(to); }
+};
+
+/// A reconstructed flow: consecutive bursts of one (user, app) separated by
+/// idle gaps below the assembler threshold. Table 1 reports per-flow energy
+/// and bytes averages over these.
+struct FlowRecord {
+  UserId user = 0;
+  AppId app = 0;
+  FlowId flow = 0;
+  TimePoint first_packet;
+  TimePoint last_packet;
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+  std::uint32_t packets = 0;
+  double joules = 0.0;
+  ProcessState first_state = ProcessState::kBackground;
+  bool any_foreground = false;  ///< any burst sent while app was in fg
+
+  [[nodiscard]] std::uint64_t total_bytes() const { return bytes_up + bytes_down; }
+  [[nodiscard]] Duration span() const { return last_packet - first_packet; }
+};
+
+}  // namespace wildenergy::trace

@@ -1,0 +1,78 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace wildenergy {
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0);
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - uniform());
+}
+
+double Rng::normal(double mean, double stddev) {
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+double Rng::pareto(double x_m, double alpha) {
+  assert(x_m > 0 && alpha > 0);
+  return x_m / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  assert(mean >= 0);
+  if (mean <= 0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    double product = uniform();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction — adequate for workload
+  // sizing where mean is large and exactness is irrelevant.
+  const double draw = normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  assert(n > 0);
+  // Rejection-inversion (Hörmann) is overkill for n ~ few hundred; use direct
+  // inversion over the CDF computed on the fly. O(n) worst case but n is small
+  // and this is called at setup time only.
+  double harmonic = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) harmonic += 1.0 / std::pow(static_cast<double>(k), s);
+  const double target = uniform() * harmonic;
+  double acc = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    if (acc >= target) return k - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace wildenergy

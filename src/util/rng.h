@@ -1,0 +1,105 @@
+// Deterministic random number generation for the study simulator.
+//
+// Reproducibility is a hard requirement (DESIGN.md §4.3): the entire synthetic
+// study must be a pure function of the study seed. We use splitmix64 to derive
+// independent stream seeds from (study seed, user, app, purpose) keys and
+// xoshiro256** as the per-stream generator. No global state, no wall clock.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace wildenergy {
+
+/// splitmix64 step — used both as a seed-mixing function and a tiny PRNG.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Mix an arbitrary list of 64-bit keys into one seed.
+[[nodiscard]] constexpr std::uint64_t mix_keys(std::initializer_list<std::uint64_t> keys) {
+  std::uint64_t s = 0x8E51'2CAF'7B3D'91E5ULL;
+  for (std::uint64_t k : keys) {
+    s ^= k + 0x9E3779B97F4A7C15ULL + (s << 6) + (s >> 2);
+    (void)splitmix64(s);
+  }
+  return s;
+}
+
+/// FNV-1a hash for deriving stream keys from names (e.g. app package names).
+[[nodiscard]] constexpr std::uint64_t hash_name(std::string_view name) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// xoshiro256** — fast, high-quality, 2^256-1 period. Satisfies
+/// std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+  /// Derive an independent stream from named keys, e.g.
+  /// Rng::keyed(study_seed, user_id, hash_name(app), hash_name("sessions")).
+  [[nodiscard]] static Rng keyed(std::initializer_list<std::uint64_t> keys) {
+    return Rng{mix_keys(keys)};
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  /// Uniform integer in [0, n). n must be > 0.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t n);
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p) { return uniform() < p; }
+  /// Exponential with the given mean (not rate).
+  [[nodiscard]] double exponential(double mean);
+  /// Standard normal via Marsaglia polar method (no cached spare: stateless).
+  [[nodiscard]] double normal(double mean, double stddev);
+  /// Log-normal parameterized by the *underlying* normal's mu/sigma.
+  [[nodiscard]] double lognormal(double mu, double sigma);
+  /// Pareto with scale x_m > 0 and shape alpha > 0 (heavy-tailed durations).
+  [[nodiscard]] double pareto(double x_m, double alpha);
+  /// Poisson-distributed count (inversion for small mean, PTRS-like for large).
+  [[nodiscard]] std::uint64_t poisson(double mean);
+  /// Zipf-distributed rank in [0, n) with exponent s (popularity sampling).
+  [[nodiscard]] std::uint64_t zipf(std::uint64_t n, double s);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace wildenergy

@@ -1,0 +1,181 @@
+#include "util/stats.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace wildenergy {
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0.0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x, double weight) {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins_per_decade)
+    : log_lo_(std::log10(lo)), log_step_(1.0 / static_cast<double>(bins_per_decade)) {
+  assert(lo > 0 && hi > lo && bins_per_decade > 0);
+  const double decades = std::log10(hi) - log_lo_;
+  counts_.assign(static_cast<std::size_t>(std::ceil(decades * static_cast<double>(bins_per_decade))),
+                 0.0);
+}
+
+void LogHistogram::add(double x, double weight) {
+  std::ptrdiff_t idx = 0;
+  if (x > 0) {
+    idx = static_cast<std::ptrdiff_t>((std::log10(x) - log_lo_) / log_step_);
+  }
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double LogHistogram::bin_lo(std::size_t i) const {
+  return std::pow(10.0, log_lo_ + static_cast<double>(i) * log_step_);
+}
+
+void Distribution::ensure_sorted() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Distribution::percentile(double q) {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[rank];
+}
+
+double Distribution::cdf_at(double x) {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+std::span<const double> Distribution::sorted_samples() {
+  ensure_sorted();
+  return samples_;
+}
+
+PeriodEstimate estimate_period(std::span<const double> timestamps_s) {
+  if (timestamps_s.size() < 3) return {};
+
+  std::vector<double> gaps;
+  gaps.reserve(timestamps_s.size() - 1);
+  for (std::size_t i = 1; i < timestamps_s.size(); ++i) {
+    const double g = timestamps_s[i] - timestamps_s[i - 1];
+    if (g > 0) gaps.push_back(g);
+  }
+  return estimate_period_from_gaps(gaps);
+}
+
+PeriodEstimate estimate_period_from_gaps(std::span<const double> gaps_s) {
+  PeriodEstimate out;
+  std::vector<double> gaps;
+  gaps.reserve(gaps_s.size());
+  for (double g : gaps_s) {
+    if (g > 0) gaps.push_back(g);
+  }
+  if (gaps.size() < 2) return out;
+
+  double sum = 0.0;
+  for (double g : gaps) sum += g;
+  out.mean_gap_s = sum / static_cast<double>(gaps.size());
+
+  // Mode of the gap distribution on a log grid (10 bins/decade) — robust to
+  // jitter and to occasional long gaps from forced app closes.
+  std::map<int, std::size_t> log_bins;
+  for (double g : gaps) {
+    log_bins[static_cast<int>(std::floor(std::log10(g) * 10.0))]++;
+  }
+  int best_bin = 0;
+  std::size_t best_count = 0;
+  for (const auto& [bin, count] : log_bins) {
+    if (count > best_count) {
+      best_count = count;
+      best_bin = bin;
+    }
+  }
+  // Refine: mean of gaps within the winning log bin.
+  const double bin_lo = std::pow(10.0, best_bin / 10.0);
+  const double bin_hi = std::pow(10.0, (best_bin + 1) / 10.0);
+  double mode_sum = 0.0;
+  std::size_t mode_n = 0;
+  for (double g : gaps) {
+    if (g >= bin_lo && g < bin_hi) {
+      mode_sum += g;
+      ++mode_n;
+    }
+  }
+  if (mode_n == 0) return out;
+  const double mode = mode_sum / static_cast<double>(mode_n);
+
+  std::size_t near = 0;
+  for (double g : gaps) {
+    if (std::abs(g - mode) <= 0.2 * mode) ++near;
+  }
+  out.confidence = static_cast<double>(near) / static_cast<double>(gaps.size());
+  // Require at least a modest plurality before calling the process periodic.
+  if (out.confidence >= 0.3) out.period_s = mode;
+  return out;
+}
+
+std::size_t dominant_lag(std::span<const double> series, std::size_t min_lag,
+                         std::size_t max_lag, double threshold) {
+  const std::size_t n = series.size();
+  if (n < 4 || min_lag == 0 || min_lag > max_lag || max_lag >= n) return 0;
+
+  double mean = 0.0;
+  for (double v : series) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double v : series) var += (v - mean) * (v - mean);
+  if (var <= 0.0) return 0;
+
+  std::size_t best = 0;
+  double best_r = threshold;
+  for (std::size_t lag = min_lag; lag <= max_lag; ++lag) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i) {
+      acc += (series[i] - mean) * (series[i + lag] - mean);
+    }
+    const double r = acc / var;
+    if (r > best_r) {
+      best_r = r;
+      best = lag;
+    }
+  }
+  return best;
+}
+
+}  // namespace wildenergy

@@ -1,0 +1,136 @@
+// Streaming and batch statistics used by the analysis modules.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace wildenergy {
+
+/// Welford online mean/variance plus min/max. O(1) memory; used by streaming
+/// analyses that cannot retain all samples (DESIGN.md §4.2).
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merge another accumulator (parallel reduction over users).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range mass is clamped
+/// into the edge bins so total mass is conserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_width() const { return width_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const { return lo_ + static_cast<double>(i) * width_; }
+  [[nodiscard]] double bin_mass(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double total_mass() const { return total_; }
+  [[nodiscard]] std::span<const double> masses() const { return counts_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  double total_ = 0.0;
+  std::vector<double> counts_;
+};
+
+/// Log-spaced histogram for heavy-tailed quantities (persistence durations in
+/// Fig. 5 span seconds to more than a day).
+class LogHistogram {
+ public:
+  /// Buckets per decade of the value range [lo, hi); lo must be > 0.
+  LogHistogram(double lo, double hi, std::size_t bins_per_decade);
+
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+  [[nodiscard]] double bin_mass(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double total_mass() const { return total_; }
+
+ private:
+  double log_lo_;
+  double log_step_;
+  double total_ = 0.0;
+  std::vector<double> counts_;
+};
+
+/// Exact empirical distribution for modest sample counts (retains samples).
+class Distribution {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  /// q in [0, 1]; nearest-rank. Returns 0 when empty.
+  [[nodiscard]] double percentile(double q);
+  [[nodiscard]] double median() { return percentile(0.5); }
+  /// Empirical CDF value at x.
+  [[nodiscard]] double cdf_at(double x);
+  [[nodiscard]] std::span<const double> sorted_samples();
+
+ private:
+  void ensure_sorted();
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// Detect the dominant period of a point process (event timestamps in
+/// seconds) by histogram of inter-arrival gaps. Used by the Table 1 case
+/// studies to report per-app "update frequency" the way the paper does.
+struct PeriodEstimate {
+  double period_s = 0.0;      ///< dominant inter-update gap; 0 if aperiodic
+  double confidence = 0.0;    ///< fraction of gaps within ±20% of the mode
+  double mean_gap_s = 0.0;    ///< mean inter-arrival gap
+};
+[[nodiscard]] PeriodEstimate estimate_period(std::span<const double> timestamps_s);
+
+/// Same estimator, fed directly with inter-arrival gaps (seconds).
+[[nodiscard]] PeriodEstimate estimate_period_from_gaps(std::span<const double> gaps_s);
+
+/// Circular autocorrelation of a binned rate series; returns the lag (in
+/// bins) with the highest autocorrelation in [min_lag, max_lag], or 0 when no
+/// lag exceeds `threshold`. Exposed for the Fig. 6 spike analysis.
+[[nodiscard]] std::size_t dominant_lag(std::span<const double> series, std::size_t min_lag,
+                                       std::size_t max_lag, double threshold = 0.2);
+
+}  // namespace wildenergy

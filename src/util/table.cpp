@@ -1,0 +1,113 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace wildenergy {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        for (std::size_t pad = row[c].size(); pad < widths[c] + 2; ++pad) os << ' ';
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::vector<std::string> rule;
+  rule.reserve(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) rule.emplace_back(widths[c], '-');
+  emit(rule);
+  for (const auto& row : rows_) emit(row);
+}
+
+namespace {
+void csv_field(std::ostream& os, const std::string& f) {
+  if (f.find_first_of(",\"\n") == std::string::npos) {
+    os << f;
+    return;
+  }
+  os << '"';
+  for (char ch : f) {
+    if (ch == '"') os << '"';
+    os << ch;
+  }
+  os << '"';
+}
+}  // namespace
+
+void TextTable::print_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      csv_field(os, row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_sig(double v, int sig_digits) {
+  if (v == 0.0) return "0";
+  const double mag = std::abs(v);
+  if (mag >= 1e6) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*gM", sig_digits, v / 1e6);
+    return buf;
+  }
+  if (mag >= 1e3) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*gk", sig_digits, v / 1e3);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", sig_digits, v);
+  return buf;
+}
+
+std::string fmt_bytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f GB", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f MB", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2f KB", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f B", bytes);
+  }
+  return buf;
+}
+
+std::string ascii_bar(double value, double max_value, int width) {
+  if (max_value <= 0 || value <= 0 || width <= 0) return "";
+  const int n = std::clamp(
+      static_cast<int>(std::lround(value / max_value * static_cast<double>(width))), 0, width);
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+}  // namespace wildenergy

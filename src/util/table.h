@@ -1,0 +1,49 @@
+// Plain-text table and CSV rendering for bench binaries and reports.
+//
+// Every figure/table bench prints its result through TextTable so the output
+// rows line up with the paper's tables, and can optionally dump CSV for
+// re-plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wildenergy {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; it must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Render with aligned columns:
+  ///   name        J/day   J/flow
+  ///   ----        -----   ------
+  ///   Weibo        3500       57
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (quotes fields containing commas/quotes/newlines).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting helpers (std::to_string prints 6 digits).
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+/// Engineering-style: picks 3 significant digits, e.g. "3.5k", "190", "0.094".
+[[nodiscard]] std::string fmt_sig(double v, int sig_digits = 3);
+/// Bytes with unit: "1.5 KB", "3.2 MB", "1.1 GB".
+[[nodiscard]] std::string fmt_bytes(double bytes);
+
+/// Render a horizontal ASCII bar of `value` scaled so that `max_value` maps
+/// to `width` characters. Used by the figure benches for in-terminal plots.
+[[nodiscard]] std::string ascii_bar(double value, double max_value, int width = 50);
+
+}  // namespace wildenergy

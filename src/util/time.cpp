@@ -1,0 +1,41 @@
+#include "util/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wildenergy {
+
+std::string format_time(TimePoint t) {
+  const std::int64_t total_ms = t.us / 1000;
+  const std::int64_t ms = total_ms % 1000;
+  const std::int64_t total_s = total_ms / 1000;
+  const std::int64_t s = total_s % 60;
+  const std::int64_t m = (total_s / 60) % 60;
+  const std::int64_t h = (total_s / 3600) % 24;
+  const std::int64_t d = total_s / 86400;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%lldd %02lld:%02lld:%02lld.%03lld",
+                static_cast<long long>(d), static_cast<long long>(h),
+                static_cast<long long>(m), static_cast<long long>(s),
+                static_cast<long long>(ms));
+  return buf;
+}
+
+std::string format_duration(Duration d) {
+  const double s = std::abs(d.seconds());
+  char buf[32];
+  if (s < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.0fms", d.seconds() * 1e3);
+  } else if (s < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.1fs", d.seconds());
+  } else if (s < 2.0 * 3600.0) {
+    std::snprintf(buf, sizeof buf, "%.1fm", d.seconds() / 60.0);
+  } else if (s < 2.0 * 86400.0) {
+    std::snprintf(buf, sizeof buf, "%.1fh", d.seconds() / 3600.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fd", d.seconds() / 86400.0);
+  }
+  return buf;
+}
+
+}  // namespace wildenergy

@@ -1,0 +1,71 @@
+// Strong time types for the simulation and analysis pipeline.
+//
+// All simulation time is integer microseconds since the study epoch (the
+// midnight before the first simulated day). Integer time keeps the
+// discrete-event simulator exactly deterministic and makes round-trip
+// serialization lossless; doubles appear only at the power-model boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wildenergy {
+
+/// Time duration in microseconds. Plain struct (not std::chrono) so that it
+/// can be used freely in aggregates and trivially serialized.
+struct Duration {
+  std::int64_t us = 0;
+
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(us) / 1e6; }
+  [[nodiscard]] constexpr double minutes() const { return seconds() / 60.0; }
+  [[nodiscard]] constexpr double hours() const { return seconds() / 3600.0; }
+  [[nodiscard]] constexpr double days() const { return seconds() / 86400.0; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return {us + o.us}; }
+  constexpr Duration operator-(Duration o) const { return {us - o.us}; }
+  constexpr Duration& operator+=(Duration o) {
+    us += o.us;
+    return *this;
+  }
+  constexpr Duration operator*(std::int64_t k) const { return {us * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return {us / k}; }
+};
+
+[[nodiscard]] constexpr Duration usec(std::int64_t v) { return {v}; }
+[[nodiscard]] constexpr Duration msec(std::int64_t v) { return {v * 1000}; }
+[[nodiscard]] constexpr Duration sec(double v) { return {static_cast<std::int64_t>(v * 1e6)}; }
+[[nodiscard]] constexpr Duration minutes(double v) { return sec(v * 60.0); }
+[[nodiscard]] constexpr Duration hours(double v) { return sec(v * 3600.0); }
+[[nodiscard]] constexpr Duration days(double v) { return sec(v * 86400.0); }
+
+/// Absolute simulation time: microseconds since the study epoch.
+struct TimePoint {
+  std::int64_t us = 0;
+
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(us) / 1e6; }
+  /// Index of the simulated day this instant falls in (day 0 = first day).
+  [[nodiscard]] constexpr std::int64_t day_index() const { return us / 86'400'000'000LL; }
+  /// Seconds elapsed since the midnight that started this simulated day.
+  [[nodiscard]] constexpr double seconds_into_day() const {
+    return static_cast<double>(us % 86'400'000'000LL) / 1e6;
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+  constexpr TimePoint operator+(Duration d) const { return {us + d.us}; }
+  constexpr TimePoint operator-(Duration d) const { return {us - d.us}; }
+  constexpr Duration operator-(TimePoint o) const { return {us - o.us}; }
+  constexpr TimePoint& operator+=(Duration d) {
+    us += d.us;
+    return *this;
+  }
+};
+
+inline constexpr TimePoint kEpoch{0};
+
+/// "12d 03:04:05.678" — used in trace dumps and the Fig. 4 timeline.
+[[nodiscard]] std::string format_time(TimePoint t);
+/// "95.2s" / "13.4m" / "2.1h" / "3.0d" — picks the most readable unit.
+[[nodiscard]] std::string format_duration(Duration d);
+
+}  // namespace wildenergy

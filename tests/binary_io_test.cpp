@@ -1,0 +1,117 @@
+// Tests for the compact binary trace format (trace/binary_io.h).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/generator.h"
+#include "trace/binary_io.h"
+#include "trace/csv_io.h"
+
+namespace wildenergy::trace {
+namespace {
+
+sim::StudyConfig tiny_config() {
+  sim::StudyConfig cfg = sim::small_study(7);
+  cfg.num_users = 2;
+  cfg.num_days = 7;
+  cfg.total_apps = 40;
+  return cfg;
+}
+
+std::string serialize_binary(const sim::StudyGenerator& gen) {
+  std::ostringstream os;
+  BinaryTraceWriter writer{os};
+  gen.run(writer);
+  return os.str();
+}
+
+TEST(BinaryIo, RoundTripPreservesEveryField) {
+  const sim::StudyGenerator gen{tiny_config()};
+  TraceCollector original;
+  gen.run(original);
+
+  std::istringstream is{serialize_binary(gen)};
+  TraceCollector replayed;
+  const auto result = read_binary_trace(is, replayed);
+  ASSERT_TRUE(result.ok) << result.error;
+
+  ASSERT_EQ(replayed.packets().size(), original.packets().size());
+  ASSERT_EQ(replayed.transitions().size(), original.transitions().size());
+  EXPECT_EQ(replayed.meta().num_users, original.meta().num_users);
+  EXPECT_EQ(replayed.meta().study_end.us, original.meta().study_end.us);
+  for (std::size_t i = 0; i < original.packets().size(); ++i) {
+    const auto& a = original.packets()[i];
+    const auto& b = replayed.packets()[i];
+    EXPECT_EQ(a.time.us, b.time.us);
+    EXPECT_EQ(a.user, b.user);
+    EXPECT_EQ(a.app, b.app);
+    EXPECT_EQ(a.flow, b.flow);
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.direction, b.direction);
+    EXPECT_EQ(a.interface, b.interface);
+    EXPECT_EQ(a.state, b.state);
+    EXPECT_DOUBLE_EQ(a.joules, b.joules);
+  }
+  for (std::size_t i = 0; i < original.transitions().size(); ++i) {
+    EXPECT_EQ(original.transitions()[i].time.us, replayed.transitions()[i].time.us);
+    EXPECT_EQ(original.transitions()[i].from, replayed.transitions()[i].from);
+    EXPECT_EQ(original.transitions()[i].to, replayed.transitions()[i].to);
+  }
+}
+
+TEST(BinaryIo, SubstantiallySmallerThanCsv) {
+  const sim::StudyGenerator gen{tiny_config()};
+  std::ostringstream csv;
+  CsvTraceWriter csv_writer{csv};
+  gen.run(csv_writer);
+  const std::string binary = serialize_binary(gen);
+  EXPECT_LT(binary.size() * 2, csv.str().size());  // at least 2x smaller
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::istringstream is{"NOPE...."};
+  TraceCollector sink;
+  const auto result = read_binary_trace(is, sink);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, "bad magic");
+}
+
+TEST(BinaryIo, DetectsCorruption) {
+  const sim::StudyGenerator gen{tiny_config()};
+  std::string data = serialize_binary(gen);
+  // Flip a byte in the middle of the payload.
+  data[data.size() / 2] ^= 0x40;
+  std::istringstream is{data};
+  TraceCollector sink;
+  const auto result = read_binary_trace(is, sink);
+  EXPECT_FALSE(result.ok);  // checksum mismatch or parse failure
+}
+
+TEST(BinaryIo, DetectsTruncation) {
+  const sim::StudyGenerator gen{tiny_config()};
+  std::string data = serialize_binary(gen);
+  data.resize(data.size() / 2);
+  std::istringstream is{data};
+  TraceCollector sink;
+  const auto result = read_binary_trace(is, sink);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(BinaryIo, EmptyStudyRoundTrips) {
+  std::ostringstream os;
+  BinaryTraceWriter writer{os};
+  StudyMeta meta;
+  meta.num_users = 0;
+  meta.num_apps = 0;
+  writer.on_study_begin(meta);
+  writer.on_study_end();
+
+  std::istringstream is{os.str()};
+  TraceCollector sink;
+  const auto result = read_binary_trace(is, sink);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(sink.packets().empty());
+}
+
+}  // namespace
+}  // namespace wildenergy::trace

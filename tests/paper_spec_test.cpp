@@ -1,0 +1,140 @@
+// Spec tests: the named app profiles must encode the behaviours Table 1 and
+// §4 of the paper report. These pin the catalog against accidental drift —
+// if a profile edit breaks a paper-documented period or evolution, the
+// failure names the paper row.
+#include <gtest/gtest.h>
+
+#include "appmodel/catalog.h"
+
+namespace wildenergy::appmodel {
+namespace {
+
+class PaperSpec : public ::testing::Test {
+ protected:
+  const AppProfile& app(const char* name) {
+    const trace::AppId id = catalog_.find(name);
+    EXPECT_NE(id, trace::kNoApp) << name;
+    return catalog_[id];
+  }
+  AppCatalog catalog_ = AppCatalog::paper_catalog();
+};
+
+TEST_F(PaperSpec, WeiboFrequentNearlyEmptyRequests) {
+  const auto& weibo = app("Weibo");
+  ASSERT_EQ(weibo.periodic.size(), 1u);
+  const auto& poll = weibo.periodic[0];
+  // "5-10 min" updates of "frequent, nearly-empty requests".
+  EXPECT_GE(poll.period.at(0).minutes(), 4.0);
+  EXPECT_LE(poll.period.at(0).minutes(), 10.0);
+  EXPECT_LT(poll.bytes_down.at(0), 10'000u);
+}
+
+TEST_F(PaperSpec, TwitterHourlyBatchedSync) {
+  const auto& sync = app("Twitter").periodic.at(0);
+  EXPECT_NEAR(sync.period.at(0).hours(), 1.0, 0.2);
+  EXPECT_GT(sync.bytes_down.at(0), 500'000u);  // batched, not nearly-empty
+}
+
+TEST_F(PaperSpec, FacebookEvolvesFiveMinutesToOneHour) {
+  const auto& sync = app("Facebook").periodic.at(0);
+  EXPECT_TRUE(sync.period.evolves());
+  EXPECT_NEAR(sync.period.at(0).minutes(), 5.0, 1.0);
+  EXPECT_NEAR(sync.period.at(622).hours(), 1.0, 0.2);
+}
+
+TEST_F(PaperSpec, PandoraMovesAwayFromContinuousStreaming) {
+  const auto& media = app("Pandora").media;
+  ASSERT_TRUE(media.has_value());
+  EXPECT_TRUE(media->chunk_period.evolves());
+  EXPECT_NEAR(media->chunk_period.at(0).minutes(), 1.0, 0.3);  // "every 1 min in 2012"
+  EXPECT_GE(media->chunk_period.at(622).hours(), 1.5);         // "=> 2 h"
+}
+
+TEST_F(PaperSpec, SpotifyBatchesGrow) {
+  const auto& media = app("Spotify").media;
+  ASSERT_TRUE(media.has_value());
+  EXPECT_NEAR(media->chunk_period.at(0).minutes(), 5.0, 1.0);
+  EXPECT_NEAR(media->chunk_period.at(622).minutes(), 40.0, 8.0);
+}
+
+TEST_F(PaperSpec, PodcastStrategiesDiffer) {
+  const auto& pocket = app("Pocketcasts").media;
+  const auto& addict = app("Podcastaddict").media;
+  ASSERT_TRUE(pocket.has_value());
+  ASSERT_TRUE(addict.has_value());
+  EXPECT_TRUE(pocket->whole_file);    // "downloads an entire podcast in one chunk"
+  EXPECT_FALSE(addict->whole_file);   // "downloads smaller chunks as needed"
+  EXPECT_LT(addict->chunk_period.at(0).minutes(), 15.0);
+}
+
+TEST_F(PaperSpec, GoWeatherSwitchedPushApproaches) {
+  const auto& refresh = app("Go Weather").periodic.at(0);
+  EXPECT_TRUE(refresh.period.evolves());
+  EXPECT_NEAR(refresh.period.at(0).minutes(), 5.0, 1.0);
+  EXPECT_NEAR(refresh.period.at(622).minutes(), 40.0, 8.0);
+}
+
+TEST_F(PaperSpec, WidgetsDifferByOrderOfMagnitudeInFrequency) {
+  const auto& go = app("Go Weather widget").periodic.at(0);
+  const auto& accu = app("Accuweather widget").periodic.at(0);
+  EXPECT_NEAR(go.period.at(0).minutes(), 5.0, 1.0);   // every 5 min
+  EXPECT_NEAR(accu.period.at(0).hours(), 3.0, 0.5);   // ~3 h
+  EXPECT_GT(accu.period.at(0).us / go.period.at(0).us, 20);
+}
+
+TEST_F(PaperSpec, MapsLocationServiceSlowsDown) {
+  const auto& loc = app("Maps").periodic.at(0);
+  EXPECT_TRUE(loc.period.evolves());
+  EXPECT_GE(loc.period.at(0).minutes(), 20.0);
+  EXPECT_LE(loc.period.at(0).minutes(), 30.0);
+  EXPECT_GE(loc.period.at(622).hours(), 2.0);  // "a few hours near the end"
+}
+
+TEST_F(PaperSpec, GMailLengthensItsInterval) {
+  const auto& sync = app("GMail").periodic.at(0);
+  EXPECT_TRUE(sync.period.evolves());
+  EXPECT_NEAR(sync.period.at(0).minutes(), 30.0, 5.0);  // "30 min in 2012"
+  EXPECT_GT(sync.period.at(622).us, sync.period.at(0).us);
+}
+
+TEST_F(PaperSpec, UrbanairshipPollsRarelyNotify) {
+  const auto& poll = app("Urbanairship").periodic.at(0);
+  EXPECT_LT(poll.bytes_down.at(0), 5'000u);  // "nearly empty HTTP requests"
+  EXPECT_LT(poll.user_visible_probability, 0.05);  // "one notification in hours"
+  EXPECT_EQ(app("Urbanairship").foreground.sessions_per_day, 0.0);  // a library
+}
+
+TEST_F(PaperSpec, OnlyChromeLeaksAmongBrowsers) {
+  EXPECT_TRUE(app("Chrome").leak.has_value());
+  EXPECT_FALSE(app("Firefox").leak.has_value());
+  EXPECT_FALSE(app("Browser").leak.has_value());
+  // Chrome's leak includes the egregious ~2 s transit page.
+  EXPECT_GT(app("Chrome").leak->egregious_probability, 0.0);
+  EXPECT_NEAR(app("Chrome").leak->egregious_poll_period.seconds(), 2.0, 0.5);
+  // And a heavy tail capable of exceeding a day (Fig. 5).
+  EXPECT_GT(app("Chrome").leak->pareto_tail_probability, 0.0);
+}
+
+TEST_F(PaperSpec, MediaServerIsDelegatedService) {
+  const auto& media = app("Media Server").media;
+  ASSERT_TRUE(media.has_value());
+  EXPECT_TRUE(media->delegated_service);  // never foregrounded itself (§3)
+  EXPECT_EQ(app("Media Server").foreground.sessions_per_day, 0.0);
+}
+
+TEST_F(PaperSpec, SpikeAppsResetOnBackground) {
+  // The Fig. 6 5/10-minute spikes need timers re-armed on the bg transition.
+  EXPECT_EQ(app("NewsTicker").periodic.at(0).phase, PeriodPhase::kResetOnBackground);
+  EXPECT_EQ(app("SportsCenter").periodic.at(0).phase, PeriodPhase::kResetOnBackground);
+  EXPECT_NEAR(app("NewsTicker").periodic.at(0).period.at(0).minutes(), 5.0, 0.5);
+  EXPECT_NEAR(app("SportsCenter").periodic.at(0).period.at(0).minutes(), 10.0, 0.8);
+}
+
+TEST_F(PaperSpec, PlusInstalledByDefaultRarelyUsed) {
+  const auto& plus = app("Plus");
+  EXPECT_GE(plus.install_probability, 0.8);           // "installed by default"
+  EXPECT_LE(plus.foreground.sessions_per_day, 0.3);   // "rarely actively used"
+}
+
+}  // namespace
+}  // namespace wildenergy::appmodel

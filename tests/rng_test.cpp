@@ -1,0 +1,125 @@
+// Unit tests for util/rng.h: determinism and distribution sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wildenergy {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{12345};
+  Rng b{12345};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, KeyedStreamsAreIndependent) {
+  Rng a = Rng::keyed({42, hash_name("periodic"), 0, 7});
+  Rng b = Rng::keyed({42, hash_name("periodic"), 0, 8});
+  Rng a2 = Rng::keyed({42, hash_name("periodic"), 0, 7});
+  EXPECT_NE(a(), b());
+  Rng a_replay = Rng::keyed({42, hash_name("periodic"), 0, 7});
+  (void)a2;
+  Rng fresh = Rng::keyed({42, hash_name("periodic"), 0, 7});
+  EXPECT_EQ(a_replay(), fresh());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntRespectsBound) {
+  Rng rng{7};
+  for (std::uint64_t n : {1ULL, 2ULL, 7ULL, 100ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_int(n), n);
+  }
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng{11};
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, NormalMomentsConverge) {
+  Rng rng{13};
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng{17};
+  std::vector<double> xs;
+  const int n = 100001;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(rng.lognormal(std::log(60.0), 0.5));
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], 60.0, 2.0);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng{19};
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, PoissonMeanConverges) {
+  Rng rng{23};
+  for (double mean : {0.3, 4.0, 80.0}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.02) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng{29};
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ZipfFavorsLowRanks) {
+  Rng rng{31};
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) counts[rng.zipf(10, 1.2)]++;
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(Rng, HashNameStableAndDistinct) {
+  EXPECT_EQ(hash_name("Chrome"), hash_name("Chrome"));
+  EXPECT_NE(hash_name("Chrome"), hash_name("chrome"));
+  EXPECT_NE(hash_name(""), hash_name("a"));
+}
+
+}  // namespace
+}  // namespace wildenergy

@@ -1,0 +1,160 @@
+// Unit tests for util/stats.h.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace wildenergy {
+namespace {
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  OnlineStats s;
+  const std::vector<double> xs = {4.0, 7.0, 13.0, 16.0};
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  EXPECT_NEAR(s.variance(), 30.0, 1e-12);  // sample variance
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  Rng rng{5};
+  OnlineStats all;
+  OnlineStats left;
+  OnlineStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    all.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Histogram, MassConserved) {
+  Histogram h{0.0, 10.0, 20};
+  double total = 0.0;
+  Rng rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    const double w = rng.uniform(0.0, 5.0);
+    h.add(rng.uniform(-2.0, 14.0), w);  // includes out-of-range -> clamped
+    total += w;
+  }
+  EXPECT_NEAR(h.total_mass(), total, 1e-9);
+  double bins = 0.0;
+  for (std::size_t i = 0; i < h.bins(); ++i) bins += h.bin_mass(i);
+  EXPECT_NEAR(bins, total, 1e-9);
+}
+
+TEST(Histogram, ValuesLandInCorrectBin) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.5);
+  h.add(9.99);
+  h.add(5.0);
+  EXPECT_EQ(h.bin_mass(0), 1.0);
+  EXPECT_EQ(h.bin_mass(9), 1.0);
+  EXPECT_EQ(h.bin_mass(5), 1.0);
+}
+
+TEST(LogHistogram, SpansDecades) {
+  LogHistogram h{1.0, 1e5, 2};
+  h.add(1.5);
+  h.add(150.0);
+  h.add(99'000.0);
+  EXPECT_NEAR(h.total_mass(), 3.0, 1e-12);
+  // bin boundaries grow multiplicatively
+  EXPECT_GT(h.bin_lo(4) / h.bin_lo(3), 1.5);
+}
+
+TEST(Distribution, PercentilesSorted) {
+  Distribution d;
+  for (int i = 100; i >= 1; --i) d.add(i);
+  EXPECT_EQ(d.count(), 100u);
+  EXPECT_DOUBLE_EQ(d.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.percentile(1.0), 100.0);
+  EXPECT_NEAR(d.median(), 50.0, 1.0);
+  EXPECT_NEAR(d.cdf_at(25.0), 0.25, 0.01);
+  EXPECT_DOUBLE_EQ(d.cdf_at(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf_at(1000.0), 1.0);
+}
+
+TEST(PeriodEstimate, DetectsCleanPeriod) {
+  std::vector<double> ts;
+  for (int i = 0; i < 200; ++i) ts.push_back(i * 300.0);  // 5-minute period
+  const auto est = estimate_period(ts);
+  EXPECT_NEAR(est.period_s, 300.0, 5.0);
+  EXPECT_GT(est.confidence, 0.9);
+}
+
+TEST(PeriodEstimate, RobustToJitterAndDropouts) {
+  Rng rng{77};
+  std::vector<double> ts;
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    t += 600.0 * rng.lognormal(0.0, 0.15);
+    if (rng.chance(0.1)) t += 3600.0 * rng.uniform(1.0, 8.0);  // forced close
+    ts.push_back(t);
+  }
+  const auto est = estimate_period(ts);
+  EXPECT_NEAR(est.period_s, 600.0, 90.0);
+}
+
+TEST(PeriodEstimate, AperiodicGivesZero) {
+  Rng rng{78};
+  std::vector<double> ts;
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    t += rng.lognormal(std::log(120.0), 1.8);  // wildly spread gaps
+    ts.push_back(t);
+  }
+  const auto est = estimate_period(ts);
+  EXPECT_EQ(est.period_s, 0.0);
+  EXPECT_GT(est.mean_gap_s, 0.0);
+}
+
+TEST(PeriodEstimate, TooFewSamples) {
+  EXPECT_EQ(estimate_period(std::vector<double>{1.0, 2.0}).period_s, 0.0);
+  EXPECT_EQ(estimate_period(std::vector<double>{}).period_s, 0.0);
+}
+
+TEST(DominantLag, FindsPeriodicSignal) {
+  std::vector<double> series(120, 0.0);
+  for (std::size_t i = 0; i < series.size(); i += 10) series[i] = 5.0;
+  EXPECT_EQ(dominant_lag(series, 2, 40), 10u);
+}
+
+TEST(DominantLag, FlatSeriesHasNone) {
+  std::vector<double> series(100, 3.0);
+  EXPECT_EQ(dominant_lag(series, 2, 40), 0u);
+}
+
+// Property sweep: histogram mass conservation over bin counts.
+class HistogramBins : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramBins, MassConservedForAnyBinCount) {
+  Histogram h{0.0, 1.0, static_cast<std::size_t>(GetParam())};
+  Rng rng{101};
+  for (int i = 0; i < 500; ++i) h.add(rng.uniform(), 2.0);
+  EXPECT_NEAR(h.total_mass(), 1000.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HistogramBins, ::testing::Values(1, 2, 7, 64, 1000));
+
+}  // namespace
+}  // namespace wildenergy

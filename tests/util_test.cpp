@@ -1,0 +1,106 @@
+// Tests for util/time.h, util/table.h and appmodel/schedule.h.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "appmodel/schedule.h"
+#include "util/table.h"
+#include "util/time.h"
+
+namespace wildenergy {
+namespace {
+
+TEST(Time, ConstructorsAndArithmetic) {
+  EXPECT_EQ(sec(1.5).us, 1'500'000);
+  EXPECT_EQ(minutes(2.0).us, 120'000'000);
+  EXPECT_EQ(hours(1.0).us, 3'600'000'000LL);
+  EXPECT_EQ(days(1.0).us, 86'400'000'000LL);
+  const TimePoint t = kEpoch + days(2.0) + sec(10.0);
+  EXPECT_EQ(t.day_index(), 2);
+  EXPECT_NEAR(t.seconds_into_day(), 10.0, 1e-9);
+  EXPECT_EQ((t - kEpoch).us, days(2.0).us + sec(10.0).us);
+  EXPECT_LT(kEpoch, t);
+}
+
+TEST(Time, DurationHelpers) {
+  EXPECT_NEAR(minutes(90.0).hours(), 1.5, 1e-12);
+  EXPECT_NEAR(days(0.5).hours(), 12.0, 1e-12);
+  EXPECT_NEAR((sec(30.0) * 4).minutes(), 2.0, 1e-12);
+  EXPECT_NEAR((minutes(10.0) / 2).minutes(), 5.0, 1e-12);
+}
+
+TEST(Time, Formatting) {
+  EXPECT_EQ(format_time(kEpoch + days(12.0) + hours(3.0) + minutes(4.0) + sec(5.678)),
+            "12d 03:04:05.678");
+  EXPECT_EQ(format_duration(sec(95.2)), "95.2s");
+  EXPECT_EQ(format_duration(minutes(13.4)), "13.4m");
+  EXPECT_EQ(format_duration(hours(26.0)), "26.0h");
+  EXPECT_EQ(format_duration(days(3.0)), "3.0d");
+  EXPECT_EQ(format_duration(msec(500)), "500ms");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name    value"), std::string::npos);
+  EXPECT_NE(s.find("longer  22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\",\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Format, Numbers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_sig(3500.0), "3.5k");
+  EXPECT_EQ(fmt_sig(2'500'000.0), "2.5M");
+  EXPECT_EQ(fmt_sig(0.094), "0.094");
+  EXPECT_EQ(fmt_sig(0.0), "0");
+  EXPECT_EQ(fmt_bytes(1'500.0), "1.50 KB");
+  EXPECT_EQ(fmt_bytes(3'200'000.0), "3.20 MB");
+  EXPECT_EQ(fmt_bytes(1'100'000'000.0), "1.10 GB");
+  EXPECT_EQ(fmt_bytes(12.0), "12 B");
+}
+
+TEST(Format, AsciiBar) {
+  EXPECT_EQ(ascii_bar(5.0, 10.0, 10), "#####");
+  EXPECT_EQ(ascii_bar(20.0, 10.0, 10), "##########");  // clamped
+  EXPECT_EQ(ascii_bar(0.0, 10.0, 10), "");
+  EXPECT_EQ(ascii_bar(5.0, 0.0, 10), "");
+}
+
+TEST(Schedule, ConstantAndEvolution) {
+  appmodel::Schedule<int> constant{7};
+  EXPECT_EQ(constant.at(0), 7);
+  EXPECT_EQ(constant.at(1000), 7);
+  EXPECT_FALSE(constant.evolves());
+
+  appmodel::Schedule<int> evolving{5};
+  evolving.then(100, 60).then(400, 120);
+  EXPECT_TRUE(evolving.evolves());
+  EXPECT_EQ(evolving.at(0), 5);
+  EXPECT_EQ(evolving.at(99), 5);
+  EXPECT_EQ(evolving.at(100), 60);
+  EXPECT_EQ(evolving.at(399), 60);
+  EXPECT_EQ(evolving.at(400), 120);
+  EXPECT_EQ(evolving.at(10'000), 120);
+}
+
+TEST(Schedule, DurationSchedule) {
+  appmodel::Schedule<Duration> s{minutes(5.0)};
+  s.then(330, hours(1.0));
+  EXPECT_EQ(s.at(0).us, minutes(5.0).us);
+  EXPECT_EQ(s.at(330).us, hours(1.0).us);
+}
+
+}  // namespace
+}  // namespace wildenergy
