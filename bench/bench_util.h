@@ -3,27 +3,49 @@
 // Every bench runs the synthetic study at a default scale chosen to finish
 // in seconds; set WILDENERGY_DAYS / WILDENERGY_USERS / WILDENERGY_SEED to
 // rescale (e.g. WILDENERGY_DAYS=623 for the paper's full 22 months).
+//
+// Perf trajectory: each bench ends with a "[perf]" footer (wall time,
+// packets/s) and, when WILDENERGY_BENCH_JSON=<path> is set, appends one
+// machine-readable JSON line per run to that file:
+//   {"bench":...,"users":...,"days":...,"seed":...,"wall_ms":...,
+//    "packets":...,"packets_per_sec":...,"joules":...}
 #pragma once
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "core/pipeline.h"
 #include "sim/study_config.h"
+#include "util/table.h"
 
 namespace wildenergy::benchutil {
 
-inline long env_long(const char* name, long fallback) {
+/// Strict env var parse: the whole value must be an integer >= min_value;
+/// anything else (e.g. WILDENERGY_DAYS=foo, which atol would turn into 0)
+/// is a usage error that exits rather than silently running a zero-day study.
+inline long env_long(const char* name, long fallback, long min_value = 1) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
-  return std::strtol(v, nullptr, 10);
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || parsed < min_value) {
+    std::cerr << "env " << name << "='" << v << "' is not an integer >= " << min_value << "\n";
+    std::exit(2);
+  }
+  return parsed;
 }
 
 inline sim::StudyConfig config_from_env(std::int64_t default_days = 200) {
   sim::StudyConfig cfg;
   cfg.num_days = env_long("WILDENERGY_DAYS", default_days);
-  cfg.num_users = static_cast<std::uint32_t>(env_long("WILDENERGY_USERS", cfg.num_users));
-  cfg.seed = static_cast<std::uint64_t>(env_long("WILDENERGY_SEED", 42));
+  cfg.num_users =
+      static_cast<std::uint32_t>(env_long("WILDENERGY_USERS", cfg.num_users));
+  cfg.seed = static_cast<std::uint64_t>(env_long("WILDENERGY_SEED", 42, /*min_value=*/0));
   return cfg;
 }
 
@@ -31,6 +53,33 @@ inline void print_header(const std::string& title, const sim::StudyConfig& cfg) 
   std::cout << "=== " << title << " ===\n"
             << "study: " << cfg.num_users << " users, " << cfg.num_days << " days, "
             << cfg.total_apps << " apps, seed " << cfg.seed << "\n\n";
+}
+
+/// Perf footer + optional WILDENERGY_BENCH_JSON record for one measured run.
+inline void report_perf(const std::string& bench, const sim::StudyConfig& cfg, double wall_ms,
+                        std::uint64_t packets, double joules) {
+  const double pps = wall_ms > 0.0 ? static_cast<double>(packets) / (wall_ms / 1e3) : 0.0;
+  std::cout << "\n[perf] " << bench << ": " << fmt(wall_ms, 1) << " ms wall, " << packets
+            << " packets (" << fmt(pps / 1e6, 2) << " Mpkt/s), " << fmt(joules / 1e3, 1)
+            << " kJ\n";
+  const char* path = std::getenv("WILDENERGY_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream os{path, std::ios::app};
+  if (!os) {
+    std::cerr << "cannot append bench record to WILDENERGY_BENCH_JSON=" << path << "\n";
+    return;
+  }
+  os << "{\"bench\":\"" << bench << "\",\"users\":" << cfg.num_users
+     << ",\"days\":" << cfg.num_days << ",\"seed\":" << cfg.seed << ",\"wall_ms\":" << wall_ms
+     << ",\"packets\":" << packets << ",\"packets_per_sec\":" << pps << ",\"joules\":" << joules
+     << "}\n";
+}
+
+/// Convenience overload: read the measurement off the pipeline's RunStats.
+inline void report_perf(const std::string& bench, const sim::StudyConfig& cfg,
+                        const core::StudyPipeline& pipeline) {
+  const obs::RunStats& stats = pipeline.last_run_stats();
+  report_perf(bench, cfg, stats.wall_ms, stats.packets, stats.joules);
 }
 
 }  // namespace wildenergy::benchutil

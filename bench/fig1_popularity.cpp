@@ -39,5 +39,6 @@ int main() {
             << "apps universal to all users' lists: " << diversity.universal_apps
             << "; apps unique to one user's list: " << diversity.single_user_apps
             << "  (paper: a handful universal, otherwise significant diversity)\n";
+  benchutil::report_perf("fig1_popularity", cfg, pipeline);
   return 0;
 }

@@ -54,5 +54,6 @@ int main() {
                " media server cheap per byte) --\n";
   contrast("Email");
   contrast("Media Server");
+  benchutil::report_perf("fig2_top_consumers", cfg, pipeline);
   return 0;
 }

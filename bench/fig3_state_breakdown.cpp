@@ -45,5 +45,6 @@ int main() {
             << "%  (paper: 84%)   perceptible " << fmt(100 * overall.fraction[2], 1)
             << "%  (paper: 8%)   service " << fmt(100 * overall.fraction[3], 1)
             << "%  (paper: 32%)\n";
+  benchutil::report_perf("fig3_state_breakdown", cfg, pipeline);
   return 0;
 }

@@ -82,5 +82,6 @@ int main() {
   table.print(std::cout);
   std::cout << "\nbackground bytes in the 10 min after minimize: "
             << fmt_bytes(best->bg_bytes) << "\n";
+  benchutil::report_perf("fig4_browser_timeline", cfg, pipeline);
   return 0;
 }

@@ -48,5 +48,6 @@ int main() {
               << fmt(100 * persistence.fraction_persisting_longer_than(id, days(1.0)), 3)
               << "%  (paper: some Chrome flows persist >1 day)\n\n";
   }
+  benchutil::report_perf("fig5_persistence", cfg, pipeline);
   return 0;
 }

@@ -48,5 +48,6 @@ int main() {
 
   std::cout << "apps sending >=80% of bg bytes within 60 s: "
             << fmt(100 * tsf.fraction_of_apps_frontloaded(), 1) << "%  (paper: 84%)\n";
+  benchutil::report_perf("fig6_time_since_fg", cfg, pipeline);
   return 0;
 }

@@ -10,6 +10,8 @@
 #include "sim/generator.h"
 #include "util/rng.h"
 
+#include "bench_util.h"
+
 namespace wildenergy {
 namespace {
 
@@ -103,4 +105,19 @@ BENCHMARK(BM_FullPipelineSmallStudy)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace wildenergy
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): after the microbenches, run the
+// end-to-end pipeline once at the env-configured scale and emit the perf
+// footer / WILDENERGY_BENCH_JSON record tracking the bench trajectory.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using namespace wildenergy;
+  const sim::StudyConfig cfg = benchutil::config_from_env(/*default_days=*/60);
+  core::StudyPipeline pipeline{cfg};
+  pipeline.run();
+  benchutil::report_perf("micro_pipeline", cfg, pipeline);
+  return 0;
+}

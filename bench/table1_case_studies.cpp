@@ -91,5 +91,6 @@ int main() {
             << "  (paper: ~80x; order-of-magnitude widget gap)\n"
             << "  Podcastaddict / Pocketcasts          = "
             << fmt(ujb("Podcastaddict") / ujb("Pocketcasts"), 2) << "  (paper: ~2x)\n";
+  benchutil::report_perf("table1_case_studies", cfg, pipeline);
   return 0;
 }

@@ -12,6 +12,12 @@
 //
 //   example_wildenergy_cli figures [--days N] [--users N] [--seed S]
 //       Print the headline numbers of every paper figure in one run.
+//
+// Observability (generate/report/figures): --stats prints the per-stage
+// wall-time + throughput breakdown after the run; --trace-out FILE writes
+// Chrome trace-event spans loadable at https://ui.perfetto.dev.
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -23,6 +29,7 @@
 #include "core/pipeline.h"
 #include "core/report.h"
 #include "energy/attributor.h"
+#include "obs/trace_writer.h"
 #include "power/battery.h"
 #include "radio/burst_machine.h"
 #include "trace/binary_io.h"
@@ -36,51 +43,116 @@ using namespace wildenergy;
 struct CliOptions {
   sim::StudyConfig study;
   std::string format = "csv";
+  bool stats = false;
+  std::string trace_out;
 };
+
+/// Strict base-10 parse: the whole string must be a number (no "12abc" -> 12,
+/// no "foo" -> 0 as with atol) and it must satisfy min_value.
+bool parse_int_flag(std::string_view flag, const char* value, long long min_value,
+                    long long& out) {
+  if (value == nullptr || *value == '\0') {
+    std::cerr << flag << " requires a value\n";
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (errno != 0 || end == value || *end != '\0' || parsed < min_value) {
+    std::cerr << flag << " expects an integer >= " << min_value << ", got '" << value << "'\n";
+    return false;
+  }
+  out = parsed;
+  return true;
+}
 
 bool parse_flags(int argc, char** argv, int start, CliOptions& options) {
   for (int i = start; i < argc; ++i) {
     const std::string_view flag = argv[i];
     const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    long long value = 0;
     if (flag == "--days") {
-      const char* v = next();
-      if (!v) return false;
-      options.study.num_days = std::atol(v);
+      if (!parse_int_flag(flag, next(), 1, value)) return false;
+      options.study.num_days = value;
     } else if (flag == "--users") {
-      const char* v = next();
-      if (!v) return false;
-      options.study.num_users = static_cast<std::uint32_t>(std::atol(v));
+      if (!parse_int_flag(flag, next(), 1, value)) return false;
+      options.study.num_users = static_cast<std::uint32_t>(value);
     } else if (flag == "--seed") {
-      const char* v = next();
-      if (!v) return false;
-      options.study.seed = static_cast<std::uint64_t>(std::atoll(v));
+      if (!parse_int_flag(flag, next(), 0, value)) return false;
+      options.study.seed = static_cast<std::uint64_t>(value);
     } else if (flag == "--format") {
       const char* v = next();
-      if (!v) return false;
+      if (!v) {
+        std::cerr << "--format requires a value\n";
+        return false;
+      }
       options.format = v;
+    } else if (flag == "--stats") {
+      options.stats = true;
+    } else if (flag == "--trace-out") {
+      const char* v = next();
+      if (!v || *v == '\0') {
+        std::cerr << "--trace-out requires a file path\n";
+        return false;
+      }
+      options.trace_out = v;
     } else {
       std::cerr << "unknown flag: " << flag << "\n";
       return false;
     }
   }
-  return options.format == "csv" || options.format == "bin";
+  if (options.format != "csv" && options.format != "bin") {
+    std::cerr << "--format expects csv or bin, got '" << options.format << "'\n";
+    return false;
+  }
+  return true;
+}
+
+/// Pipeline options for the requested observability level, bound to `writer`
+/// (which must outlive the pipeline's run).
+core::PipelineOptions observed_options(const CliOptions& options, obs::TraceWriter& writer) {
+  core::PipelineOptions pipeline_options;
+  pipeline_options.collect_stage_stats = options.stats;
+  if (!options.trace_out.empty()) pipeline_options.trace_writer = &writer;
+  return pipeline_options;
+}
+
+/// After run(): print --stats to `os` and write --trace-out. Returns false
+/// (and complains) only if the trace file cannot be written.
+bool finish_observability(const CliOptions& options, const core::StudyPipeline& pipeline,
+                          const obs::TraceWriter& writer, std::ostream& os) {
+  if (options.stats) {
+    os << "\n";
+    pipeline.last_run_stats().print(os);
+  }
+  if (!options.trace_out.empty()) {
+    if (!writer.write_file(options.trace_out)) {
+      std::cerr << "cannot write trace to " << options.trace_out << "\n";
+      return false;
+    }
+    std::cerr << "wrote " << writer.span_count() << " spans to " << options.trace_out
+              << " (open at https://ui.perfetto.dev)\n";
+  }
+  return true;
 }
 
 int cmd_generate(const CliOptions& options) {
-  core::StudyPipeline pipeline{options.study};
+  obs::TraceWriter spans;
+  core::StudyPipeline pipeline{options.study, observed_options(options, spans)};
   if (options.format == "bin") {
     trace::BinaryTraceWriter writer{std::cout};
-    pipeline.add_analysis(&writer);
+    pipeline.add_analysis("binary-out", &writer);
     pipeline.run();
   } else {
     trace::CsvTraceWriter writer{std::cout};
-    pipeline.add_analysis(&writer);
+    pipeline.add_analysis("csv-out", &writer);
     pipeline.run();
   }
   std::cerr << "generated " << options.study.num_users << " users x "
             << options.study.num_days << " days; "
             << fmt(pipeline.ledger().total_joules() / 1e3, 1) << " kJ attributed\n";
-  return 0;
+  // stdout carries the trace stream, so stats go to stderr here.
+  return finish_observability(options, pipeline, spans, std::cerr) ? 0 : 1;
 }
 
 int cmd_analyze(const CliOptions& options) {
@@ -112,9 +184,10 @@ int cmd_analyze(const CliOptions& options) {
 }
 
 int cmd_report(const CliOptions& options) {
-  core::StudyPipeline pipeline{options.study};
+  obs::TraceWriter spans;
+  core::StudyPipeline pipeline{options.study, observed_options(options, spans)};
   analysis::PersistenceAnalysis persistence;
-  pipeline.add_analysis(&persistence);
+  pipeline.add_analysis("persistence", &persistence);
   pipeline.run();
   const auto report =
       core::Report::build(pipeline.ledger(), pipeline.catalog(), &persistence);
@@ -126,15 +199,16 @@ int cmd_report(const CliOptions& options) {
   std::cout << "\nbattery impact: network energy costs the average user "
             << fmt(power::battery_percent(per_user_day), 1)
             << "% of a Galaxy S III battery per day\n";
-  return 0;
+  return finish_observability(options, pipeline, spans, std::cout) ? 0 : 1;
 }
 
 int cmd_figures(const CliOptions& options) {
-  core::StudyPipeline pipeline{options.study};
+  obs::TraceWriter spans;
+  core::StudyPipeline pipeline{options.study, observed_options(options, spans)};
   analysis::PersistenceAnalysis persistence;
   analysis::TimeSinceForegroundAnalysis tsf;
-  pipeline.add_analysis(&persistence);
-  pipeline.add_analysis(&tsf);
+  pipeline.add_analysis("persistence", &persistence);
+  pipeline.add_analysis("time-since-fg", &tsf);
   pipeline.run();
   const auto& ledger = pipeline.ledger();
 
@@ -156,7 +230,7 @@ int cmd_figures(const CliOptions& options) {
             << "%\n"
             << "  [Fig 6] apps frontloading >=80% of bg bytes into 60 s: "
             << fmt(100 * tsf.fraction_of_apps_frontloaded(), 1) << "%  (paper: 84%)\n";
-  return 0;
+  return finish_observability(options, pipeline, spans, std::cout) ? 0 : 1;
 }
 
 }  // namespace
@@ -164,7 +238,8 @@ int cmd_figures(const CliOptions& options) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: " << argv[0] << " generate|analyze|report|figures [flags]\n"
-              << "flags: --days N --users N --seed S --format csv|bin\n";
+              << "flags: --days N --users N --seed S --format csv|bin\n"
+              << "       --stats (per-stage profile)  --trace-out FILE (Perfetto spans)\n";
     return 2;
   }
   CliOptions options;

@@ -1,6 +1,11 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
 #include "radio/burst_machine.h"
+#include "trace/instrumented_sink.h"
 #include "trace/interface_filter.h"
 
 namespace wildenergy::core {
@@ -10,37 +15,143 @@ energy::RadioModelFactory resolve_factory(PipelineOptions& options) {
   if (!options.radio_factory) options.radio_factory = radio::make_lte_model;
   return options.radio_factory;
 }
+
+// Names of the global radio counters snapshotted around each run so
+// RunStats reports per-run deltas even though the registry is process-wide.
+struct RadioCounterSnapshot {
+  std::uint64_t bursts, bursts_queued, promotions, repromotions;
+
+  static RadioCounterSnapshot take() {
+    const auto& reg = obs::MetricsRegistry::global();
+    return {reg.counter_value("radio.bursts"), reg.counter_value("radio.bursts_queued"),
+            reg.counter_value("radio.promotions"), reg.counter_value("radio.repromotions")};
+  }
+};
 }  // namespace
 
 StudyPipeline::StudyPipeline(sim::StudyConfig config, PipelineOptions options)
     : generator_(config),
       attributor_(resolve_factory(options), &downstream_, options.tail_policy),
-      interface_(options.interface) {
-  downstream_.add(&ledger_);
-}
+      interface_(options.interface),
+      collect_stage_stats_(options.collect_stage_stats),
+      trace_writer_(options.trace_writer) {}
 
 StudyPipeline::StudyPipeline(sim::StudyConfig config, appmodel::AppCatalog catalog,
                              PipelineOptions options)
     : generator_(config, std::move(catalog)),
       attributor_(resolve_factory(options), &downstream_, options.tail_policy),
-      interface_(options.interface) {
-  downstream_.add(&ledger_);
+      interface_(options.interface),
+      collect_stage_stats_(options.collect_stage_stats),
+      trace_writer_(options.trace_writer) {}
+
+void StudyPipeline::add_analysis(trace::TraceSink* sink) {
+  add_analysis("analysis " + std::to_string(analyses_.size()), sink);
 }
 
-void StudyPipeline::add_analysis(trace::TraceSink* sink) { downstream_.add(sink); }
+void StudyPipeline::add_analysis(std::string name, trace::TraceSink* sink) {
+  analyses_.emplace_back(std::move(name), sink);
+}
 
 void StudyPipeline::set_policy(PolicyFactory factory) { policy_factory_ = std::move(factory); }
 
 void StudyPipeline::run() {
+  stats_ = {};
+  const bool timed = collect_stage_stats_ || trace_writer_ != nullptr;
+  const RadioCounterSnapshot radio_before = RadioCounterSnapshot::take();
+
+  // When profiling, every stage is decorated with an InstrumentedSink sharing
+  // one PhaseStack, so nested callbacks charge each stage only its own work.
+  obs::PhaseStack phase_stack;
+  std::vector<std::unique_ptr<trace::InstrumentedSink>> wrappers;
+  int next_tid = 2;  // tid 0 = pipeline, tid 1 = generate
+  const auto wrap = [&](std::string name, trace::TraceSink* sink) -> trace::TraceSink* {
+    if (!timed) return sink;
+    const int tid = next_tid++;
+    wrappers.push_back(std::make_unique<trace::InstrumentedSink>(std::move(name), sink,
+                                                                 &phase_stack, trace_writer_, tid));
+    if (trace_writer_ != nullptr) trace_writer_->set_track_name(tid, wrappers.back()->name());
+    return wrappers.back().get();
+  };
+
+  // Rebuild the fan-out chain (wrapped or bare) for this run. The attributor
+  // was constructed pointing at downstream_, so only its contents change.
+  downstream_.clear();
+  downstream_.add(wrap("ledger", &ledger_));
+  for (const auto& [name, sink] : analyses_) downstream_.add(wrap(name, sink));
+
+  trace::TraceSink* head = wrap("attribute", &attributor_);
   std::unique_ptr<trace::TraceSink> policy;
-  trace::TraceSink* head = &attributor_;
   if (policy_factory_) {
     policy = policy_factory_(head);
-    head = policy.get();
+    head = wrap("policy", policy.get());
   }
   trace::InterfaceFilter filter{head, interface_};
-  generator_.run(filter);
+  trace::TraceSink* entry = wrap("filter", &filter);
+
+  const std::int64_t run_start_us = trace_writer_ != nullptr ? trace_writer_->now_us() : 0;
+  obs::Stopwatch total;
+  generator_.run(*entry);
+  stats_.wall_ms = total.elapsed_ms();
   off_interface_bytes_ = filter.dropped_bytes();
+
+  // Totals come from counters the stages maintain regardless of profiling.
+  stats_.users = generator_.config().num_users;
+  stats_.packets = ledger_.total_packets();
+  stats_.bytes = ledger_.total_bytes();
+  stats_.joules = ledger_.total_joules();
+  stats_.off_interface_packets = filter.dropped_packets();
+  stats_.off_interface_bytes = filter.dropped_bytes();
+
+  const energy::AttributionCounters& ac = attributor_.counters();
+  stats_.transitions = ac.transitions;
+  stats_.tail_attributions = ac.tail_attributions;
+  stats_.proportional_splits = ac.proportional_splits;
+  stats_.promotion_segments = ac.promotion_segments;
+  stats_.transfer_segments = ac.transfer_segments;
+  stats_.tail_segments = ac.tail_segments;
+  stats_.drx_segments = ac.drx_segments;
+  stats_.idle_segments = ac.idle_segments;
+
+  const RadioCounterSnapshot radio_after = RadioCounterSnapshot::take();
+  stats_.radio_bursts = radio_after.bursts - radio_before.bursts;
+  stats_.radio_bursts_queued = radio_after.bursts_queued - radio_before.bursts_queued;
+  stats_.radio_promotions = radio_after.promotions - radio_before.promotions;
+  stats_.radio_repromotions = radio_after.repromotions - radio_before.repromotions;
+
+  stats_.timed = timed;
+  if (timed) {
+    // Display in pipeline order: generate, filter, policy, attribute, sinks.
+    // Wrappers were created in reverse chain order (sinks first), so collect
+    // them back to front; "generate" is the wall time no stage accounted for.
+    double accounted_ms = 0.0;
+    for (const auto& w : wrappers) accounted_ms += w->stats().self_ms;
+    obs::StageStats generate;
+    generate.name = "generate";
+    generate.self_ms = std::max(0.0, stats_.wall_ms - accounted_ms);
+    generate.packets = stats_.packets + stats_.off_interface_packets;
+    generate.transitions = stats_.transitions;
+    generate.bytes = stats_.bytes + stats_.off_interface_bytes;
+    stats_.stages.push_back(generate);
+    // wrappers = [ledger, analyses..., attribute, (policy), filter]: emit the
+    // head chain reversed (filter, policy, attribute), then the fan-out sinks
+    // in registration order.
+    const std::size_t num_sinks = 1 + analyses_.size();
+    for (std::size_t i = wrappers.size(); i > num_sinks; --i) {
+      stats_.stages.push_back(wrappers[i - 1]->stats());
+    }
+    for (std::size_t i = 0; i < num_sinks; ++i) {
+      stats_.stages.push_back(wrappers[i]->stats());
+    }
+
+    if (trace_writer_ != nullptr) {
+      trace_writer_->set_track_name(0, "pipeline");
+      trace_writer_->set_track_name(1, "generate");
+      trace_writer_->add_complete("run", "pipeline", run_start_us,
+                                  static_cast<std::int64_t>(stats_.wall_ms * 1e3), 0);
+      trace_writer_->add_complete("generate (self time)", "generate", run_start_us,
+                                  static_cast<std::int64_t>(generate.self_ms * 1e3), 1);
+    }
+  }
 }
 
 }  // namespace wildenergy::core

@@ -17,10 +17,15 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "appmodel/catalog.h"
 #include "energy/attributor.h"
 #include "energy/ledger.h"
+#include "obs/run_stats.h"
+#include "obs/trace_writer.h"
 #include "sim/generator.h"
 #include "trace/sink.h"
 
@@ -34,6 +39,13 @@ struct PipelineOptions {
   /// Interface under analysis; non-matching packets are dropped before
   /// attribution (paper §3: the analyses are cellular-only).
   trace::Interface interface = trace::Interface::kCellular;
+  /// Profile each stage's self time and per-sink throughput during run()
+  /// (obs::RunStats::stages). Off by default: it costs two clock reads per
+  /// callback per stage; totals and counters are collected regardless.
+  bool collect_stage_stats = false;
+  /// Optional Chrome-trace span export (implies stage profiling). Non-owning;
+  /// must outlive run(). Load the written file at https://ui.perfetto.dev.
+  obs::TraceWriter* trace_writer = nullptr;
 };
 
 class StudyPipeline {
@@ -45,8 +57,10 @@ class StudyPipeline {
                 PipelineOptions options = {});
 
   /// Register an analysis sink that receives the energy-annotated stream.
-  /// Non-owning; must outlive run().
+  /// Non-owning; must outlive run(). The named overload labels the sink in
+  /// RunStats::stages and trace spans; the unnamed one auto-numbers it.
   void add_analysis(trace::TraceSink* sink);
+  void add_analysis(std::string name, trace::TraceSink* sink);
 
   /// Install a policy filter between the generator and attribution. The
   /// factory receives the downstream sink the filter must forward to, and
@@ -59,6 +73,9 @@ class StudyPipeline {
   void run();
 
   [[nodiscard]] const energy::EnergyLedger& ledger() const { return ledger_; }
+  /// Summary of the most recent run(): wall time, throughput, attribution
+  /// and radio counters, and (when enabled) the per-stage profile.
+  [[nodiscard]] const obs::RunStats& last_run_stats() const { return stats_; }
   /// Bytes on the non-analyzed interface, dropped before attribution.
   [[nodiscard]] std::uint64_t off_interface_bytes() const { return off_interface_bytes_; }
   [[nodiscard]] const sim::StudyGenerator& generator() const { return generator_; }
@@ -78,6 +95,11 @@ class StudyPipeline {
   PolicyFactory policy_factory_;
   trace::Interface interface_ = trace::Interface::kCellular;
   std::uint64_t off_interface_bytes_ = 0;
+  /// Registered analyses, in registration order; fan-out is rebuilt per run.
+  std::vector<std::pair<std::string, trace::TraceSink*>> analyses_;
+  bool collect_stage_stats_ = false;
+  obs::TraceWriter* trace_writer_ = nullptr;
+  obs::RunStats stats_;
 };
 
 }  // namespace wildenergy::core

@@ -1,6 +1,7 @@
 #include "energy/attributor.h"
 
 #include <cassert>
+#include <cstring>
 #include <utility>
 
 namespace wildenergy::energy {
@@ -16,10 +17,12 @@ void EnergyAttributor::on_study_begin(const trace::StudyMeta& meta) {
   meta_ = meta;
   device_joules_ = attributed_joules_ = baseline_joules_ = 0.0;
   tail_joules_ = promotion_joules_ = transfer_joules_ = 0.0;
+  counters_ = {};
   downstream_->on_study_begin(meta);
 }
 
 void EnergyAttributor::on_user_begin(trace::UserId user) {
+  ++counters_.users;
   model_ = factory_();
   window_.clear();
   held_transitions_.clear();
@@ -31,25 +34,33 @@ void EnergyAttributor::handle_segment(const radio::EnergySegment& segment) {
   device_joules_ += segment.joules;
   switch (segment.kind) {
     case radio::SegmentKind::kIdle:
+      ++counters_.idle_segments;
       baseline_joules_ += segment.joules;
       flush_pending();  // the radio went idle: the active window is over
       break;
     case radio::SegmentKind::kTail:
+      ++counters_.tail_segments;
+      if (segment.state_name != nullptr && std::strstr(segment.state_name, "DRX") != nullptr) {
+        ++counters_.drx_segments;
+      }
       tail_joules_ += segment.joules;
       attributed_joules_ += segment.joules;
       assert(!window_.empty());
       if (policy_ == TailPolicy::kLastPacket) {
+        ++counters_.tail_attributions;
         window_.back().joules += segment.joules;
       } else {
         pending_tail_ += segment.joules;
       }
       break;
     case radio::SegmentKind::kPromotion:
+      ++counters_.promotion_segments;
       promotion_joules_ += segment.joules;
       attributed_joules_ += segment.joules;
       current_joules_ += segment.joules;
       break;
     case radio::SegmentKind::kTransfer:
+      ++counters_.transfer_segments;
       transfer_joules_ += segment.joules;
       attributed_joules_ += segment.joules;
       current_joules_ += segment.joules;
@@ -61,6 +72,8 @@ void EnergyAttributor::flush_pending() {
   if (window_.empty() && held_transitions_.empty()) return;
 
   if (policy_ == TailPolicy::kProportional && pending_tail_ > 0.0 && !window_.empty()) {
+    ++counters_.proportional_splits;
+    counters_.tail_attributions += window_.size();  // each packet gets a tail share
     double total_bytes = 0.0;
     for (const auto& p : window_) total_bytes += static_cast<double>(p.bytes);
     for (auto& p : window_) {
@@ -88,6 +101,7 @@ void EnergyAttributor::flush_pending() {
 }
 
 void EnergyAttributor::on_packet(const trace::PacketRecord& packet) {
+  ++counters_.packets;
   current_joules_ = 0.0;
   model_->on_transfer({packet.time, packet.bytes, packet.direction},
                       [this](const radio::EnergySegment& s) { handle_segment(s); });
@@ -103,6 +117,7 @@ void EnergyAttributor::on_packet(const trace::PacketRecord& packet) {
 }
 
 void EnergyAttributor::on_transition(const trace::StateTransition& transition) {
+  ++counters_.transitions;
   if (window_.empty()) {
     downstream_->on_transition(transition);
   } else {

@@ -33,6 +33,23 @@ enum class TailPolicy {
                  ///< preceding active period (double-counting-free variant)
 };
 
+/// Plain event counters the attributor bumps as it works. They feed
+/// obs::RunStats; incrementing them never touches the energy math, so they
+/// cannot perturb attribution (obs_test proves joules are bit-identical
+/// with and without stats collection).
+struct AttributionCounters {
+  std::uint64_t packets = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t users = 0;
+  std::uint64_t tail_attributions = 0;    ///< tail segments assigned to a packet
+  std::uint64_t proportional_splits = 0;  ///< active windows split under kProportional
+  std::uint64_t promotion_segments = 0;
+  std::uint64_t transfer_segments = 0;
+  std::uint64_t tail_segments = 0;
+  std::uint64_t drx_segments = 0;  ///< tail segments whose radio state is a DRX phase
+  std::uint64_t idle_segments = 0;
+};
+
 class EnergyAttributor final : public trace::TraceSink {
  public:
   /// `downstream` receives the energy-annotated stream; it must outlive this.
@@ -55,6 +72,8 @@ class EnergyAttributor final : public trace::TraceSink {
   [[nodiscard]] double tail_joules() const { return tail_joules_; }
   [[nodiscard]] double promotion_joules() const { return promotion_joules_; }
   [[nodiscard]] double transfer_joules() const { return transfer_joules_; }
+  /// Event counters for this run (reset on each study begin).
+  [[nodiscard]] const AttributionCounters& counters() const { return counters_; }
 
  private:
   void handle_segment(const radio::EnergySegment& segment);
@@ -80,6 +99,7 @@ class EnergyAttributor final : public trace::TraceSink {
   double tail_joules_ = 0.0;
   double promotion_joules_ = 0.0;
   double transfer_joules_ = 0.0;
+  AttributionCounters counters_;
 };
 
 }  // namespace wildenergy::energy

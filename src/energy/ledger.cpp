@@ -12,6 +12,7 @@ void EnergyLedger::on_study_begin(const trace::StudyMeta& meta) {
   accounts_.clear();
   total_joules_ = 0.0;
   total_bytes_ = 0;
+  total_packets_ = 0;
   state_totals_.fill(0.0);
 }
 
@@ -42,6 +43,7 @@ void EnergyLedger::on_packet(const trace::PacketRecord& p) {
 
   total_joules_ += p.joules;
   total_bytes_ += p.bytes;
+  total_packets_ += 1;
   state_totals_[static_cast<std::size_t>(p.state)] += p.joules;
 }
 

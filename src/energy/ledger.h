@@ -67,6 +67,7 @@ class EnergyLedger final : public trace::TraceSink {
 
   [[nodiscard]] double total_joules() const { return total_joules_; }
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t total_packets() const { return total_packets_; }
   /// Total joules across apps per process state (Fig. 3 "all apps" row).
   [[nodiscard]] const std::array<double, trace::kNumProcessStates>& state_totals() const {
     return state_totals_;
@@ -82,6 +83,7 @@ class EnergyLedger final : public trace::TraceSink {
   std::unordered_map<std::uint64_t, AppUserAccount> accounts_;
   double total_joules_ = 0.0;
   std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_packets_ = 0;
   std::array<double, trace::kNumProcessStates> state_totals_{};
 };
 

@@ -1,0 +1,111 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+namespace wildenergy::obs {
+
+std::size_t Histogram::bucket_index(std::uint64_t sample) {
+  return static_cast<std::size_t>(std::bit_width(sample));  // 0 -> 0, 1 -> 1, 2..3 -> 2, ...
+}
+
+std::uint64_t Histogram::bucket_lo(std::size_t i) {
+  if (i == 0) return 0;
+  return std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t Histogram::bucket_hi(std::size_t i) {
+  if (i == 0) return 1;
+  if (i >= 64) return ~std::uint64_t{0};
+  return std::uint64_t{1} << i;
+}
+
+void Histogram::record(std::uint64_t sample) {
+  buckets_[bucket_index(sample)] += 1;
+  if (count_ == 0 || sample < min_) min_ = sample;
+  if (sample > max_) max_ = sample;
+  count_ += 1;
+  sum_ += static_cast<double>(sample);
+}
+
+double Histogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return static_cast<double>(min_);
+  if (q >= 1.0) return static_cast<double>(max_);
+  const double target = q * static_cast<double>(count_);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double next = seen + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      // Interpolate inside [lo, hi), clipped to the observed extrema.
+      const double lo = std::max(static_cast<double>(bucket_lo(i)), static_cast<double>(min_));
+      const double hi = std::min(static_cast<double>(bucket_hi(i)), static_cast<double>(max_));
+      const double frac = (target - seen) / static_cast<double>(buckets_[i]);
+      return lo + (hi - lo) * frac;
+    }
+    seen = next;
+  }
+  return static_cast<double>(max_);
+}
+
+void Histogram::reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0;
+  max_ = 0;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string{name}, Counter{}).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string{name}, Gauge{}).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string{name}, Histogram{}).first->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+void MetricsRegistry::print(std::ostream& os) const {
+  for (const auto& [name, c] : counters_) {
+    if (c.value() != 0) os << name << " " << c.value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (g.value() != 0.0) os << name << " " << g.value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (h.count() != 0) {
+      os << name << " count=" << h.count() << " mean=" << h.mean() << " p50=" << h.percentile(0.5)
+         << " p99=" << h.percentile(0.99) << " max=" << h.max() << "\n";
+    }
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace wildenergy::obs

@@ -1,0 +1,118 @@
+// Process-wide metrics: named counters, gauges, and log-scale histograms.
+//
+// The pipeline is instrumented with plain uint64_t/double cells that cost one
+// arithmetic op to bump and nothing to ignore — hot paths (burst machine,
+// attributor) resolve their Counter* once at construction and increment a raw
+// pointer thereafter. Reading is pull-based: RunStats and the --stats report
+// snapshot the registry; nothing is published unless asked for.
+//
+// Single-threaded by design, like the rest of the streaming pipeline
+// (DESIGN.md §4.2): cells are not atomic. A future sharded pipeline would
+// give each shard its own registry and merge, rather than contend on one.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace wildenergy::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (also usable as a double accumulator).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double v) { value_ += v; }
+  [[nodiscard]] double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket log2-scale histogram of non-negative integer samples
+/// (bytes, microseconds, counts). Bucket i holds samples in [2^(i-1), 2^i)
+/// with bucket 0 reserved for zero, so the full uint64 range fits in 65
+/// cells and record() is a bit_width plus an increment.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t sample);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+  [[nodiscard]] std::uint64_t min() const { return count_ > 0 ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+
+  /// Inclusive lower bound of bucket i (0, 1, 2, 4, 8, ...).
+  [[nodiscard]] static std::uint64_t bucket_lo(std::size_t i);
+  /// Exclusive upper bound of bucket i.
+  [[nodiscard]] static std::uint64_t bucket_hi(std::size_t i);
+  /// Bucket index a sample lands in.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t sample);
+
+  /// Approximate quantile (q in [0, 1]) by linear interpolation within the
+  /// containing bucket. Exact for q=0/q=1 (tracked min/max).
+  [[nodiscard]] double percentile(double q) const;
+
+  void reset();
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Name -> cell registry. Cells are created on first use and never move
+/// (node-based map), so callers may cache references across calls.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Current value of a counter, 0 if it was never touched (does not create).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge, std::less<>>& gauges() const { return gauges_; }
+  [[nodiscard]] const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  /// Zero every cell (names stay registered; cached pointers stay valid).
+  void reset();
+
+  /// "name value" dump of all non-zero cells, for debugging and --stats.
+  void print(std::ostream& os) const;
+
+  /// The process-wide registry the library's built-in instrumentation uses.
+  static MetricsRegistry& global();
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace wildenergy::obs

@@ -1,0 +1,50 @@
+#include "obs/run_stats.h"
+
+#include <ostream>
+
+#include "util/table.h"
+
+namespace wildenergy::obs {
+
+void RunStats::print(std::ostream& os) const {
+  os << "-- run stats --\n"
+     << "wall time:     " << fmt(wall_ms, 1) << " ms\n"
+     << "throughput:    " << fmt_sig(packets_per_sec()) << " packets/s, "
+     << fmt_bytes(bytes_per_sec()) << "/s\n"
+     << "stream:        " << users << " users, " << packets << " packets, " << fmt_bytes(static_cast<double>(bytes))
+     << ", " << transitions << " transitions\n"
+     << "off-interface: " << off_interface_packets << " packets ("
+     << fmt_bytes(static_cast<double>(off_interface_bytes)) << ") dropped before attribution\n"
+     << "energy:        " << fmt(joules / 1e3, 1) << " kJ attributed\n";
+
+  os << "attribution:   " << tail_attributions << " tail attributions";
+  if (proportional_splits > 0) os << " (" << proportional_splits << " proportional splits)";
+  os << ", " << promotion_segments << " promotions, " << transfer_segments << " transfers, "
+     << tail_segments << " tail segments (" << drx_segments << " DRX), " << idle_segments
+     << " idle\n";
+  os << "radio:         " << radio_bursts << " bursts (" << radio_bursts_queued
+     << " queued behind airtime), " << radio_promotions << " promotions, " << radio_repromotions
+     << " re-promotions\n";
+
+  if (!timed || stages.empty()) {
+    os << "(per-stage breakdown not collected; enable stage stats / --stats)\n";
+    return;
+  }
+
+  double accounted = 0.0;
+  for (const auto& s : stages) accounted += s.self_ms;
+
+  os << "\n-- per-stage self time --\n";
+  TextTable table({"stage", "self (ms)", "% wall", "packets", "transitions", "Mpkt/s"});
+  for (const auto& s : stages) {
+    table.add_row({s.name, fmt(s.self_ms, 1),
+                   fmt(wall_ms > 0.0 ? 100.0 * s.self_ms / wall_ms : 0.0, 1),
+                   std::to_string(s.packets), std::to_string(s.transitions),
+                   fmt(s.packets_per_sec() / 1e6, 2)});
+  }
+  table.print(os);
+  os << "(self times sum to " << fmt(accounted, 1) << " ms of " << fmt(wall_ms, 1)
+     << " ms wall)\n";
+}
+
+}  // namespace wildenergy::obs

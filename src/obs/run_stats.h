@@ -1,0 +1,74 @@
+// RunStats: the summary one StudyPipeline::run() leaves behind.
+//
+// The cheap part (wall time, packet/byte/joule totals, attributor and radio
+// state-machine counters) is collected on every run from counters the
+// pipeline maintains anyway. The per-stage breakdown (`stages`, self-time
+// profiling of generator vs filter vs policy vs attributor vs each sink) is
+// only populated when PipelineOptions::collect_stage_stats or a trace writer
+// asks for it, because it costs two clock reads per callback per stage.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wildenergy::obs {
+
+/// One pipeline stage's share of a run, as seen by its InstrumentedSink.
+struct StageStats {
+  std::string name;
+  double self_ms = 0.0;  ///< callback time net of downstream stages
+  std::uint64_t packets = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] double packets_per_sec() const {
+    return self_ms > 0.0 ? static_cast<double>(packets) / (self_ms / 1e3) : 0.0;
+  }
+};
+
+struct RunStats {
+  // Always collected.
+  double wall_ms = 0.0;
+  std::uint64_t users = 0;
+  std::uint64_t packets = 0;      ///< attributed packets (post interface filter)
+  std::uint64_t transitions = 0;  ///< process-state transitions streamed
+  std::uint64_t bytes = 0;
+  std::uint64_t off_interface_packets = 0;  ///< dropped before attribution
+  std::uint64_t off_interface_bytes = 0;
+  double joules = 0.0;
+
+  // Attribution counters (energy/attributor.cpp).
+  std::uint64_t tail_attributions = 0;    ///< tail segments assigned to a packet
+  std::uint64_t proportional_splits = 0;  ///< windows split under kProportional
+  std::uint64_t promotion_segments = 0;
+  std::uint64_t transfer_segments = 0;
+  std::uint64_t tail_segments = 0;
+  std::uint64_t drx_segments = 0;  ///< tail segments spent in a DRX phase
+  std::uint64_t idle_segments = 0;
+
+  // Radio state-machine counters (radio/burst_machine.cpp, via the global
+  // MetricsRegistry; deltas over this run).
+  std::uint64_t radio_bursts = 0;
+  std::uint64_t radio_bursts_queued = 0;  ///< bursts that queued behind airtime
+  std::uint64_t radio_promotions = 0;     ///< idle -> active promotions
+  std::uint64_t radio_repromotions = 0;   ///< mid-tail re-promotions
+
+  // Per-stage profile; empty unless stage stats were requested.
+  bool timed = false;
+  std::vector<StageStats> stages;
+
+  [[nodiscard]] double packets_per_sec() const {
+    return wall_ms > 0.0 ? static_cast<double>(packets) / (wall_ms / 1e3) : 0.0;
+  }
+  [[nodiscard]] double bytes_per_sec() const {
+    return wall_ms > 0.0 ? static_cast<double>(bytes) / (wall_ms / 1e3) : 0.0;
+  }
+
+  /// Human-readable report: totals, throughput, attribution counters, and —
+  /// when timed — the per-stage wall-time breakdown (the --stats output).
+  void print(std::ostream& os) const;
+};
+
+}  // namespace wildenergy::obs

@@ -1,0 +1,104 @@
+// Wall-clock timing primitives for pipeline profiling.
+//
+// Stopwatch is a trivial steady_clock wrapper. PhaseStack + ScopedPhase
+// implement *self-time* accounting for the nested-callback shape of the
+// streaming pipeline: when the attributor's on_packet pushes into the ledger
+// and the analyses, the inner sinks' scopes pause the attributor's frame, so
+// each stage is charged only for its own work. By construction the self
+// times of a frame tree sum exactly to the root frame's wall time.
+//
+// Clock reads go through an injectable function pointer (default:
+// steady_clock) so tests can drive the accounting with a fake clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace wildenergy::obs {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+  [[nodiscard]] std::int64_t elapsed_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_ms() const { return static_cast<double>(elapsed_us()) / 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Stack of timing frames, one per active ScopedPhase. Entering a child
+/// frame charges the elapsed interval to the parent; exiting charges the
+/// remainder to the child and resumes the parent.
+class PhaseStack {
+ public:
+  using NowFn = std::int64_t (*)();  ///< monotonic nanoseconds
+
+  explicit PhaseStack(NowFn now = &steady_now_ns) : now_(now) {}
+
+  void enter(double* self_ns) {
+    const std::int64_t t = now_();
+    if (!frames_.empty()) *frames_.back().self_ns += static_cast<double>(t - frames_.back().resumed);
+    frames_.push_back({self_ns, t});
+  }
+
+  void exit() {
+    const std::int64_t t = now_();
+    *frames_.back().self_ns += static_cast<double>(t - frames_.back().resumed);
+    frames_.pop_back();
+    if (!frames_.empty()) frames_.back().resumed = t;
+  }
+
+  [[nodiscard]] std::size_t depth() const { return frames_.size(); }
+
+  static std::int64_t steady_now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  struct Frame {
+    double* self_ns;       ///< accumulator this frame charges into
+    std::int64_t resumed;  ///< when this frame last became the active one
+  };
+  NowFn now_;
+  std::vector<Frame> frames_;
+};
+
+/// RAII frame on a PhaseStack. A null stack makes it a no-op, so call sites
+/// can be instrumented unconditionally and pay nothing when profiling is off.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseStack* stack, double* self_ns) : stack_(stack) {
+    if (stack_ != nullptr) stack_->enter(self_ns);
+  }
+  ~ScopedPhase() {
+    if (stack_ != nullptr) stack_->exit();
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseStack* stack_;
+};
+
+/// Flat scoped timer: adds its lifetime (in milliseconds) to *acc_ms.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* acc_ms) : acc_ms_(acc_ms) {}
+  ~ScopedTimer() { *acc_ms_ += watch_.elapsed_ms(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* acc_ms_;
+  Stopwatch watch_;
+};
+
+}  // namespace wildenergy::obs

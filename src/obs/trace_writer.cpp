@@ -1,0 +1,74 @@
+#include "obs/trace_writer.h"
+
+#include <fstream>
+#include <ostream>
+
+namespace wildenergy::obs {
+
+namespace {
+// Span/track names are library-generated, but escape defensively so the
+// output is valid JSON whatever the analysis names contain.
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+}  // namespace
+
+void TraceWriter::add_complete(std::string name, std::string category, std::int64_t ts_us,
+                               std::int64_t dur_us, int tid) {
+  events_.push_back({std::move(name), std::move(category), ts_us, dur_us, tid});
+}
+
+void TraceWriter::set_track_name(int tid, std::string name) {
+  tracks_.push_back({tid, std::move(name)});
+}
+
+void TraceWriter::write(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  for (const auto& t : tracks_) {
+    sep();
+    os << R"({"ph":"M","name":"thread_name","pid":1,"tid":)" << t.tid << R"(,"args":{"name":)";
+    write_json_string(os, t.name);
+    os << "}}";
+  }
+  for (const auto& e : events_) {
+    sep();
+    os << R"({"ph":"X","name":)";
+    write_json_string(os, e.name);
+    os << R"(,"cat":)";
+    write_json_string(os, e.category.empty() ? "pipeline" : e.category);
+    os << R"(,"ts":)" << e.ts_us << R"(,"dur":)" << e.dur_us << R"(,"pid":1,"tid":)" << e.tid
+       << "}";
+  }
+  os << "\n]\n";
+}
+
+bool TraceWriter::write_file(const std::string& path) const {
+  std::ofstream os{path};
+  if (!os) return false;
+  write(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace wildenergy::obs

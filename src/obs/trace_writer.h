@@ -1,0 +1,58 @@
+// Chrome trace-event JSON export (chrome://tracing / Perfetto "JSON array"
+// format). The pipeline emits one "complete" (ph:"X") span per unit of work
+// — the whole run, and one span per (stage, user) sized by that stage's
+// self time in that user's window — plus ph:"M" metadata events naming each
+// stage's track. Open the resulting file at https://ui.perfetto.dev.
+//
+// Timestamps are microseconds relative to the writer's construction, taken
+// from the same steady clock as Stopwatch.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/stopwatch.h"
+
+namespace wildenergy::obs {
+
+class TraceWriter {
+ public:
+  /// Record a completed span of `dur_us` starting at `ts_us` (writer-relative
+  /// microseconds) on track `tid`.
+  void add_complete(std::string name, std::string category, std::int64_t ts_us,
+                    std::int64_t dur_us, int tid);
+
+  /// Name a track (emitted as a thread_name metadata event).
+  void set_track_name(int tid, std::string name);
+
+  /// Microseconds since this writer was constructed — the span time base.
+  [[nodiscard]] std::int64_t now_us() const { return epoch_.elapsed_us(); }
+
+  [[nodiscard]] std::size_t span_count() const { return events_.size(); }
+
+  /// Serialize all events as a JSON trace-event array.
+  void write(std::ostream& os) const;
+  /// write() to `path`; false if the file cannot be opened.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string category;
+    std::int64_t ts_us = 0;
+    std::int64_t dur_us = 0;
+    int tid = 0;
+  };
+  struct Track {
+    int tid = 0;
+    std::string name;
+  };
+
+  Stopwatch epoch_;
+  std::vector<Event> events_;
+  std::vector<Track> tracks_;
+};
+
+}  // namespace wildenergy::obs

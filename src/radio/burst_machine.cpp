@@ -7,6 +7,11 @@ namespace wildenergy::radio {
 
 BurstMachine::BurstMachine(BurstMachineParams params) : params_(std::move(params)) {
   assert(!params_.tail_phases.empty());
+  auto& registry = obs::MetricsRegistry::global();
+  ctr_bursts_ = &registry.counter("radio.bursts");
+  ctr_bursts_queued_ = &registry.counter("radio.bursts_queued");
+  ctr_promotions_ = &registry.counter("radio.promotions");
+  ctr_repromotions_ = &registry.counter("radio.repromotions");
 }
 
 Duration BurstMachine::transfer_duration(std::uint64_t bytes, Direction dir) const {
@@ -60,6 +65,7 @@ void BurstMachine::emit_gap(TimePoint until, const SegmentSink& sink,
 }
 
 void BurstMachine::on_transfer(const TransferEvent& event, const SegmentSink& sink) {
+  ctr_bursts_->inc();
   TimePoint start;
   std::size_t phase = kIdlePhase;
   if (!started_) {
@@ -75,6 +81,7 @@ void BurstMachine::on_transfer(const TransferEvent& event, const SegmentSink& si
     // queues behind it. No gap, no promotion.
     start = active_until_;
     phase = kNoPhase;
+    ctr_bursts_queued_->inc();
   }
 
   if (phase != kNoPhase) {
@@ -82,6 +89,7 @@ void BurstMachine::on_transfer(const TransferEvent& event, const SegmentSink& si
                                        ? params_.idle_promotion
                                        : params_.tail_phases[phase].repromotion;
     if (promo.enabled()) {
+      (phase == kIdlePhase ? ctr_promotions_ : ctr_repromotions_)->inc();
       const TimePoint promo_end = start + promo.duration;
       sink({start, promo_end, promo.power_w * promo.duration.seconds(),
             SegmentKind::kPromotion, promo.state_name});

@@ -7,6 +7,7 @@
 // parameterizations (R: avoid duplication; see DESIGN.md §2).
 #pragma once
 
+#include "obs/metrics.h"
 #include "radio/power_params.h"
 #include "radio/radio_model.h"
 
@@ -46,6 +47,14 @@ class BurstMachine final : public RadioModel {
   bool started_ = false;
   TimePoint cursor_{};        ///< segments emitted up to here
   TimePoint active_until_{};  ///< end of the last transfer's airtime
+
+  // Instrumentation: process-wide counters (obs::MetricsRegistry::global(),
+  // "radio.*"), resolved once at construction so the hot path pays a single
+  // pointer increment. Counting never feeds back into the energy math.
+  obs::Counter* ctr_bursts_;
+  obs::Counter* ctr_bursts_queued_;
+  obs::Counter* ctr_promotions_;
+  obs::Counter* ctr_repromotions_;
 };
 
 /// Factory helpers matching the parameter sets in power_params.h.

@@ -42,6 +42,8 @@ class TraceMulticast final : public TraceSink {
  public:
   /// Pointers are non-owning; callers keep the sinks alive for the run.
   void add(TraceSink* sink) { sinks_.push_back(sink); }
+  /// Drop all registered sinks (the pipeline rebuilds its fan-out per run).
+  void clear() { sinks_.clear(); }
 
   void on_study_begin(const StudyMeta& meta) override {
     for (auto* s : sinks_) s->on_study_begin(meta);
