@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_radio.dir/bench/ablation_radio.cpp.o"
+  "CMakeFiles/ablation_radio.dir/bench/ablation_radio.cpp.o.d"
+  "bench/ablation_radio"
+  "bench/ablation_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tail_policy.dir/bench/ablation_tail_policy.cpp.o"
+  "CMakeFiles/ablation_tail_policy.dir/bench/ablation_tail_policy.cpp.o.d"
+  "bench/ablation_tail_policy"
+  "bench/ablation_tail_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tail_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

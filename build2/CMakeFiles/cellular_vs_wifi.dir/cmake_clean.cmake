@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellular_vs_wifi.dir/bench/cellular_vs_wifi.cpp.o"
+  "CMakeFiles/cellular_vs_wifi.dir/bench/cellular_vs_wifi.cpp.o.d"
+  "bench/cellular_vs_wifi"
+  "bench/cellular_vs_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellular_vs_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

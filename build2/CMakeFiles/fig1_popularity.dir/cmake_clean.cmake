@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_popularity.dir/bench/fig1_popularity.cpp.o"
+  "CMakeFiles/fig1_popularity.dir/bench/fig1_popularity.cpp.o.d"
+  "bench/fig1_popularity"
+  "bench/fig1_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_top_consumers.dir/bench/fig2_top_consumers.cpp.o"
+  "CMakeFiles/fig2_top_consumers.dir/bench/fig2_top_consumers.cpp.o.d"
+  "bench/fig2_top_consumers"
+  "bench/fig2_top_consumers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_top_consumers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

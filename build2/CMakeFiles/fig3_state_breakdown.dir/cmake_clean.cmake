@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_state_breakdown.dir/bench/fig3_state_breakdown.cpp.o"
+  "CMakeFiles/fig3_state_breakdown.dir/bench/fig3_state_breakdown.cpp.o.d"
+  "bench/fig3_state_breakdown"
+  "bench/fig3_state_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_state_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_browser_timeline.dir/bench/fig4_browser_timeline.cpp.o"
+  "CMakeFiles/fig4_browser_timeline.dir/bench/fig4_browser_timeline.cpp.o.d"
+  "bench/fig4_browser_timeline"
+  "bench/fig4_browser_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_browser_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

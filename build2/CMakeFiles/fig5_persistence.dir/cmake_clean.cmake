@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_persistence.dir/bench/fig5_persistence.cpp.o"
+  "CMakeFiles/fig5_persistence.dir/bench/fig5_persistence.cpp.o.d"
+  "bench/fig5_persistence"
+  "bench/fig5_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

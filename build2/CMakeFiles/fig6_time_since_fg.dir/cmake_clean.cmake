@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_time_since_fg.dir/bench/fig6_time_since_fg.cpp.o"
+  "CMakeFiles/fig6_time_since_fg.dir/bench/fig6_time_since_fg.cpp.o.d"
+  "bench/fig6_time_since_fg"
+  "bench/fig6_time_since_fg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_time_since_fg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

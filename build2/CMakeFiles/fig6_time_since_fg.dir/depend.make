@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_time_since_fg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inlab_validation.dir/bench/inlab_validation.cpp.o"
+  "CMakeFiles/inlab_validation.dir/bench/inlab_validation.cpp.o.d"
+  "bench/inlab_validation"
+  "bench/inlab_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inlab_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longitudinal_trends.dir/bench/longitudinal_trends.cpp.o"
+  "CMakeFiles/longitudinal_trends.dir/bench/longitudinal_trends.cpp.o.d"
+  "bench/longitudinal_trends"
+  "bench/longitudinal_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longitudinal_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_case_studies.dir/bench/table1_case_studies.cpp.o"
+  "CMakeFiles/table1_case_studies.dir/bench/table1_case_studies.cpp.o.d"
+  "bench/table1_case_studies"
+  "bench/table1_case_studies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_case_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

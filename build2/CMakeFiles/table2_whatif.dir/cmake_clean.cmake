@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_whatif.dir/bench/table2_whatif.cpp.o"
+  "CMakeFiles/table2_whatif.dir/bench/table2_whatif.cpp.o.d"
+  "bench/table2_whatif"
+  "bench/table2_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_browser_leak_audit.dir/browser_leak_audit.cpp.o"
+  "CMakeFiles/example_browser_leak_audit.dir/browser_leak_audit.cpp.o.d"
+  "example_browser_leak_audit"
+  "example_browser_leak_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_browser_leak_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

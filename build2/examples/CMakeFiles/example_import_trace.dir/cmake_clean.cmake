@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_import_trace.dir/import_trace.cpp.o"
+  "CMakeFiles/example_import_trace.dir/import_trace.cpp.o.d"
+  "example_import_trace"
+  "example_import_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_import_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

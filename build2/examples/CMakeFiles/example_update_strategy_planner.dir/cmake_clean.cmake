@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_update_strategy_planner.dir/update_strategy_planner.cpp.o"
+  "CMakeFiles/example_update_strategy_planner.dir/update_strategy_planner.cpp.o.d"
+  "example_update_strategy_planner"
+  "example_update_strategy_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_update_strategy_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

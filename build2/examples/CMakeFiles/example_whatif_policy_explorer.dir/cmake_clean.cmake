@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_whatif_policy_explorer.dir/whatif_policy_explorer.cpp.o"
+  "CMakeFiles/example_whatif_policy_explorer.dir/whatif_policy_explorer.cpp.o.d"
+  "example_whatif_policy_explorer"
+  "example_whatif_policy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_whatif_policy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_whatif_policy_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_wildenergy_cli.dir/wildenergy_cli.cpp.o"
+  "CMakeFiles/example_wildenergy_cli.dir/wildenergy_cli.cpp.o.d"
+  "example_wildenergy_cli"
+  "example_wildenergy_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_wildenergy_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

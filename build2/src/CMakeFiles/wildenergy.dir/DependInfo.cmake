@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/case_studies.cpp" "src/CMakeFiles/wildenergy.dir/analysis/case_studies.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/analysis/case_studies.cpp.o.d"
+  "/root/repo/src/analysis/diversity.cpp" "src/CMakeFiles/wildenergy.dir/analysis/diversity.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/analysis/diversity.cpp.o.d"
+  "/root/repo/src/analysis/figures.cpp" "src/CMakeFiles/wildenergy.dir/analysis/figures.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/analysis/figures.cpp.o.d"
+  "/root/repo/src/analysis/longitudinal.cpp" "src/CMakeFiles/wildenergy.dir/analysis/longitudinal.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/analysis/longitudinal.cpp.o.d"
+  "/root/repo/src/analysis/per_user.cpp" "src/CMakeFiles/wildenergy.dir/analysis/per_user.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/analysis/per_user.cpp.o.d"
+  "/root/repo/src/analysis/persistence.cpp" "src/CMakeFiles/wildenergy.dir/analysis/persistence.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/analysis/persistence.cpp.o.d"
+  "/root/repo/src/analysis/time_since_fg.cpp" "src/CMakeFiles/wildenergy.dir/analysis/time_since_fg.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/analysis/time_since_fg.cpp.o.d"
+  "/root/repo/src/analysis/waste.cpp" "src/CMakeFiles/wildenergy.dir/analysis/waste.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/analysis/waste.cpp.o.d"
+  "/root/repo/src/analysis/whatif.cpp" "src/CMakeFiles/wildenergy.dir/analysis/whatif.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/analysis/whatif.cpp.o.d"
+  "/root/repo/src/appmodel/catalog.cpp" "src/CMakeFiles/wildenergy.dir/appmodel/catalog.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/appmodel/catalog.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/wildenergy.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/CMakeFiles/wildenergy.dir/core/policy.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/core/policy.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/wildenergy.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/core/report.cpp.o.d"
+  "/root/repo/src/energy/attributor.cpp" "src/CMakeFiles/wildenergy.dir/energy/attributor.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/energy/attributor.cpp.o.d"
+  "/root/repo/src/energy/ledger.cpp" "src/CMakeFiles/wildenergy.dir/energy/ledger.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/energy/ledger.cpp.o.d"
+  "/root/repo/src/lab/experiment.cpp" "src/CMakeFiles/wildenergy.dir/lab/experiment.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/lab/experiment.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/CMakeFiles/wildenergy.dir/obs/metrics.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/run_stats.cpp" "src/CMakeFiles/wildenergy.dir/obs/run_stats.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/obs/run_stats.cpp.o.d"
+  "/root/repo/src/obs/trace_writer.cpp" "src/CMakeFiles/wildenergy.dir/obs/trace_writer.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/obs/trace_writer.cpp.o.d"
+  "/root/repo/src/power/monitor.cpp" "src/CMakeFiles/wildenergy.dir/power/monitor.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/power/monitor.cpp.o.d"
+  "/root/repo/src/radio/burst_machine.cpp" "src/CMakeFiles/wildenergy.dir/radio/burst_machine.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/radio/burst_machine.cpp.o.d"
+  "/root/repo/src/radio/power_params.cpp" "src/CMakeFiles/wildenergy.dir/radio/power_params.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/radio/power_params.cpp.o.d"
+  "/root/repo/src/radio/timeline.cpp" "src/CMakeFiles/wildenergy.dir/radio/timeline.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/radio/timeline.cpp.o.d"
+  "/root/repo/src/sim/generator.cpp" "src/CMakeFiles/wildenergy.dir/sim/generator.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/sim/generator.cpp.o.d"
+  "/root/repo/src/sim/user_model.cpp" "src/CMakeFiles/wildenergy.dir/sim/user_model.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/sim/user_model.cpp.o.d"
+  "/root/repo/src/trace/binary_io.cpp" "src/CMakeFiles/wildenergy.dir/trace/binary_io.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/trace/binary_io.cpp.o.d"
+  "/root/repo/src/trace/csv_io.cpp" "src/CMakeFiles/wildenergy.dir/trace/csv_io.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/trace/csv_io.cpp.o.d"
+  "/root/repo/src/trace/flow_assembler.cpp" "src/CMakeFiles/wildenergy.dir/trace/flow_assembler.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/trace/flow_assembler.cpp.o.d"
+  "/root/repo/src/trace/process_state.cpp" "src/CMakeFiles/wildenergy.dir/trace/process_state.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/trace/process_state.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/wildenergy.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/wildenergy.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/wildenergy.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/time.cpp" "src/CMakeFiles/wildenergy.dir/util/time.cpp.o" "gcc" "src/CMakeFiles/wildenergy.dir/util/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

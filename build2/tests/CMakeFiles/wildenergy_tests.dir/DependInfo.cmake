@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/attributor_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/attributor_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/attributor_test.cpp.o.d"
+  "/root/repo/tests/battery_diversity_standby_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/battery_diversity_standby_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/battery_diversity_standby_test.cpp.o.d"
+  "/root/repo/tests/binary_io_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/binary_io_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/binary_io_test.cpp.o.d"
+  "/root/repo/tests/case_studies_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/case_studies_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/case_studies_test.cpp.o.d"
+  "/root/repo/tests/coverage_gaps_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/coverage_gaps_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/coverage_gaps_test.cpp.o.d"
+  "/root/repo/tests/determinism_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/determinism_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/generator_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/generator_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/generator_test.cpp.o.d"
+  "/root/repo/tests/lab_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/lab_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/lab_test.cpp.o.d"
+  "/root/repo/tests/monitor_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/monitor_test.cpp.o.d"
+  "/root/repo/tests/obs_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/obs_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/obs_test.cpp.o.d"
+  "/root/repo/tests/paper_spec_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/paper_spec_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/paper_spec_test.cpp.o.d"
+  "/root/repo/tests/per_user_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/per_user_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/per_user_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/policy_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/policy_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/policy_test.cpp.o.d"
+  "/root/repo/tests/radio_model_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/radio_model_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/radio_model_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/waste_longitudinal_test.cpp" "tests/CMakeFiles/wildenergy_tests.dir/waste_longitudinal_test.cpp.o" "gcc" "tests/CMakeFiles/wildenergy_tests.dir/waste_longitudinal_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/wildenergy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
