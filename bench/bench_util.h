@@ -8,7 +8,10 @@
 // packets/s) and, when WILDENERGY_BENCH_JSON=<path> is set, appends one
 // machine-readable JSON line per run to that file:
 //   {"bench":...,"users":...,"days":...,"seed":...,"wall_ms":...,
-//    "packets":...,"packets_per_sec":...,"joules":...}
+//    "packets":...,"packets_per_sec":...,"joules":...,"threads":...,
+//    "speedup":...}
+// `threads` is the pipeline's worker count and `speedup` the serial wall time
+// divided by this run's wall time (1 for serial runs by definition).
 #pragma once
 
 #include <cerrno>
@@ -56,12 +59,17 @@ inline void print_header(const std::string& title, const sim::StudyConfig& cfg) 
 }
 
 /// Perf footer + optional WILDENERGY_BENCH_JSON record for one measured run.
+/// `threads` is the worker count the run used; `speedup` is serial wall time
+/// over this run's wall time (pass 1.0 for serial runs).
 inline void report_perf(const std::string& bench, const sim::StudyConfig& cfg, double wall_ms,
-                        std::uint64_t packets, double joules) {
+                        std::uint64_t packets, double joules, unsigned threads = 1,
+                        double speedup = 1.0) {
   const double pps = wall_ms > 0.0 ? static_cast<double>(packets) / (wall_ms / 1e3) : 0.0;
   std::cout << "\n[perf] " << bench << ": " << fmt(wall_ms, 1) << " ms wall, " << packets
             << " packets (" << fmt(pps / 1e6, 2) << " Mpkt/s), " << fmt(joules / 1e3, 1)
-            << " kJ\n";
+            << " kJ";
+  if (threads > 1) std::cout << " [" << threads << " threads, " << fmt(speedup, 2) << "x]";
+  std::cout << "\n";
   const char* path = std::getenv("WILDENERGY_BENCH_JSON");
   if (path == nullptr || *path == '\0') return;
   std::ofstream os{path, std::ios::app};
@@ -72,14 +80,17 @@ inline void report_perf(const std::string& bench, const sim::StudyConfig& cfg, d
   os << "{\"bench\":\"" << bench << "\",\"users\":" << cfg.num_users
      << ",\"days\":" << cfg.num_days << ",\"seed\":" << cfg.seed << ",\"wall_ms\":" << wall_ms
      << ",\"packets\":" << packets << ",\"packets_per_sec\":" << pps << ",\"joules\":" << joules
-     << "}\n";
+     << ",\"threads\":" << threads << ",\"speedup\":" << speedup << "}\n";
 }
 
 /// Convenience overload: read the measurement off the pipeline's RunStats.
+/// `serial_wall_ms` <= 0 means "this run is the serial baseline".
 inline void report_perf(const std::string& bench, const sim::StudyConfig& cfg,
-                        const core::StudyPipeline& pipeline) {
+                        const core::StudyPipeline& pipeline, double serial_wall_ms = 0.0) {
   const obs::RunStats& stats = pipeline.last_run_stats();
-  report_perf(bench, cfg, stats.wall_ms, stats.packets, stats.joules);
+  const double speedup =
+      serial_wall_ms > 0.0 && stats.wall_ms > 0.0 ? serial_wall_ms / stats.wall_ms : 1.0;
+  report_perf(bench, cfg, stats.wall_ms, stats.packets, stats.joules, stats.num_threads, speedup);
 }
 
 }  // namespace wildenergy::benchutil

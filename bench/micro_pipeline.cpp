@@ -102,12 +102,28 @@ void BM_FullPipelineSmallStudy(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipelineSmallStudy)->Unit(benchmark::kMillisecond);
 
+void BM_ShardedPipeline(benchmark::State& state) {
+  core::PipelineOptions options;
+  options.num_threads = static_cast<unsigned>(state.range(0));
+  sim::StudyConfig cfg = sim::small_study(42);
+  cfg.num_users = 8;  // enough users to keep every worker in the sweep busy
+  for (auto _ : state) {
+    core::StudyPipeline pipeline{cfg, options};
+    pipeline.run();
+    benchmark::DoNotOptimize(pipeline.ledger().total_joules());
+  }
+  state.counters["threads"] = static_cast<double>(options.num_threads);
+}
+BENCHMARK(BM_ShardedPipeline)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace wildenergy
 
-// Custom main instead of BENCHMARK_MAIN(): after the microbenches, run the
-// end-to-end pipeline once at the env-configured scale and emit the perf
-// footer / WILDENERGY_BENCH_JSON record tracking the bench trajectory.
+// Custom main instead of BENCHMARK_MAIN(): after the microbenches, sweep the
+// end-to-end pipeline across worker-thread counts at the env-configured scale
+// and emit one perf footer / WILDENERGY_BENCH_JSON record per thread count
+// (with `threads` and `speedup` = serial wall over that run's wall). On a
+// single-CPU host the sweep honestly reports speedup ~= 1.
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
@@ -116,8 +132,14 @@ int main(int argc, char** argv) {
 
   using namespace wildenergy;
   const sim::StudyConfig cfg = benchutil::config_from_env(/*default_days=*/60);
-  core::StudyPipeline pipeline{cfg};
-  pipeline.run();
-  benchutil::report_perf("micro_pipeline", cfg, pipeline);
+  double serial_wall_ms = 0.0;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    core::PipelineOptions options;
+    options.num_threads = threads;
+    core::StudyPipeline pipeline{cfg, options};
+    pipeline.run();
+    if (threads == 1) serial_wall_ms = pipeline.last_run_stats().wall_ms;
+    benchutil::report_perf("micro_pipeline", cfg, pipeline, serial_wall_ms);
+  }
   return 0;
 }

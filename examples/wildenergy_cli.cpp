@@ -16,6 +16,9 @@
 // Observability (generate/report/figures): --stats prints the per-stage
 // wall-time + throughput breakdown after the run; --trace-out FILE writes
 // Chrome trace-event spans loadable at https://ui.perfetto.dev.
+//
+// Execution: --threads N shards the study by user across a worker pool
+// (core/pipeline.h); every number printed is bit-identical to --threads 1.
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -45,6 +48,7 @@ struct CliOptions {
   std::string format = "csv";
   bool stats = false;
   std::string trace_out;
+  unsigned threads = 1;
 };
 
 /// Strict base-10 parse: the whole string must be a number (no "12abc" -> 12,
@@ -87,6 +91,9 @@ bool parse_flags(int argc, char** argv, int start, CliOptions& options) {
         return false;
       }
       options.format = v;
+    } else if (flag == "--threads") {
+      if (!parse_int_flag(flag, next(), 1, value)) return false;
+      options.threads = static_cast<unsigned>(value);
     } else if (flag == "--stats") {
       options.stats = true;
     } else if (flag == "--trace-out") {
@@ -113,6 +120,7 @@ bool parse_flags(int argc, char** argv, int start, CliOptions& options) {
 core::PipelineOptions observed_options(const CliOptions& options, obs::TraceWriter& writer) {
   core::PipelineOptions pipeline_options;
   pipeline_options.collect_stage_stats = options.stats;
+  pipeline_options.num_threads = options.threads;
   if (!options.trace_out.empty()) pipeline_options.trace_writer = &writer;
   return pipeline_options;
 }
@@ -239,6 +247,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: " << argv[0] << " generate|analyze|report|figures [flags]\n"
               << "flags: --days N --users N --seed S --format csv|bin\n"
+              << "       --threads N (shard the study by user; results identical to serial)\n"
               << "       --stats (per-stage profile)  --trace-out FILE (Perfetto spans)\n";
     return 2;
   }

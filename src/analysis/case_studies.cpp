@@ -32,7 +32,7 @@ void CaseStudyAnalysis::on_packet(const trace::PacketRecord& p) {
   const auto it = per_app_.find(p.app);
   if (it == per_app_.end()) return;
   PerApp& pa = it->second;
-  pa.joules += p.joules;
+  pa.joules_by_user[p.user] += p.joules;
   pa.bytes += p.bytes;
   const auto num_days = pa.active_day.size() / std::max<std::size_t>(meta_.num_users, 1);
   const auto day = static_cast<std::size_t>(
@@ -47,6 +47,26 @@ void CaseStudyAnalysis::on_transition(const trace::StateTransition&) {}
 void CaseStudyAnalysis::on_user_end(trace::UserId user) { assembler_.on_user_end(user); }
 
 void CaseStudyAnalysis::on_study_end() {}
+
+std::unique_ptr<trace::TraceSink> CaseStudyAnalysis::clone_shard() const {
+  return std::make_unique<CaseStudyAnalysis>(apps_);
+}
+
+void CaseStudyAnalysis::merge_from(trace::TraceSink& shard) {
+  auto& other = dynamic_cast<CaseStudyAnalysis&>(shard);
+  for (const auto& [app, pa] : other.per_app_) {
+    PerApp& mine = per_app_[app];
+    for (const auto& [user, joules] : pa.joules_by_user) mine.joules_by_user.emplace(user, joules);
+    mine.bytes += pa.bytes;
+    mine.flows += pa.flows;
+    if (mine.active_day.size() < pa.active_day.size()) mine.active_day.resize(pa.active_day.size());
+    for (std::size_t i = 0; i < pa.active_day.size(); ++i) {
+      if (pa.active_day[i]) mine.active_day[i] = true;
+    }
+    mine.early_gaps.merge_from(pa.early_gaps);
+    mine.late_gaps.merge_from(pa.late_gaps);
+  }
+}
 
 void CaseStudyAnalysis::on_flow(const trace::FlowRecord& flow) {
   PerApp& pa = per_app_[flow.app];
@@ -73,7 +93,7 @@ CaseStudyResult CaseStudyAnalysis::result(trace::AppId app) {
   const auto it = per_app_.find(app);
   if (it == per_app_.end()) return out;
   PerApp& pa = it->second;
-  out.joules_total = pa.joules;
+  for (const auto& [user, joules] : pa.joules_by_user) out.joules_total += joules;
   out.bytes_total = pa.bytes;
   out.flows = pa.flows;
   out.days_active = static_cast<std::uint64_t>(

@@ -9,6 +9,8 @@
 // update period is estimated from the gaps between background flow starts.
 #pragma once
 
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "trace/flow_assembler.h"
+#include "trace/shardable.h"
 #include "trace/sink.h"
 #include "util/stats.h"
 
@@ -48,7 +51,7 @@ struct CaseStudyResult {
   double late_period_s = 0.0;
 };
 
-class CaseStudyAnalysis final : public trace::TraceSink {
+class CaseStudyAnalysis final : public trace::TraceSink, public trace::ShardableSink {
  public:
   /// Track the given apps; statistics cover *background* traffic only
   /// (the subject of Table 1). Pass the full study stream.
@@ -61,12 +64,18 @@ class CaseStudyAnalysis final : public trace::TraceSink {
   void on_user_end(trace::UserId user) override;
   void on_study_end() override;
 
+  // ShardableSink: counters add, day bitmaps OR (users touch disjoint
+  // ranges), gap samples append in user-id order, and per-app joules are
+  // kept as per-user partials folded by result() (trace/shardable.h).
+  [[nodiscard]] std::unique_ptr<trace::TraceSink> clone_shard() const override;
+  void merge_from(trace::TraceSink& shard) override;
+
   [[nodiscard]] CaseStudyResult result(trace::AppId app);
   [[nodiscard]] const std::vector<trace::AppId>& tracked() const { return apps_; }
 
  private:
   struct PerApp {
-    double joules = 0.0;
+    std::map<trace::UserId, double> joules_by_user;
     std::uint64_t bytes = 0;
     std::uint64_t flows = 0;
     std::vector<bool> active_day;  ///< (user-major) day activity bitmaps, merged

@@ -8,6 +8,12 @@
 // This sink accumulates weekly energy series (overall and per tracked app)
 // and compares early-era vs late-era per-app efficiency, surfacing the
 // behaviour evolutions Table 1 reports (Facebook 5 min -> 1 h, ...).
+//
+// Deliberately NOT shardable (trace/shardable.h): the weekly series are
+// cross-user double accumulators indexed by calendar week, so a bit-exact
+// merge would need per-user partials for every week cell; the sharded
+// pipeline instead feeds this sink through its serial-replay fallback, which
+// is deterministic by generator construction.
 #pragma once
 
 #include <unordered_map>

@@ -49,6 +49,15 @@ void PersistenceAnalysis::on_packet(const trace::PacketRecord& p) {
   episode.saw_traffic = true;
 }
 
+std::unique_ptr<trace::TraceSink> PersistenceAnalysis::clone_shard() const {
+  return std::make_unique<PersistenceAnalysis>(quiet_gap_);
+}
+
+void PersistenceAnalysis::merge_from(trace::TraceSink& shard) {
+  auto& other = dynamic_cast<PersistenceAnalysis&>(shard);
+  for (const auto& [app, dist] : other.durations_) durations_[app].merge_from(dist);
+}
+
 void PersistenceAnalysis::on_user_end(trace::UserId user) {
   for (auto& [k, episode] : episodes_) {
     if ((k >> 32) == user) close(episode, static_cast<trace::AppId>(k & 0xFFFFFFFFu));

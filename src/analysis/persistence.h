@@ -8,15 +8,17 @@
 // distribution for Chrome, where flows "persist for more than a day".
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "trace/shardable.h"
 #include "trace/sink.h"
 #include "util/stats.h"
 
 namespace wildenergy::analysis {
 
-class PersistenceAnalysis final : public trace::TraceSink {
+class PersistenceAnalysis final : public trace::TraceSink, public trace::ShardableSink {
  public:
   /// Track all apps; durations are recorded per app.
   explicit PersistenceAnalysis(Duration quiet_gap = minutes(10.0));
@@ -25,6 +27,11 @@ class PersistenceAnalysis final : public trace::TraceSink {
   void on_packet(const trace::PacketRecord& packet) override;
   void on_transition(const trace::StateTransition& transition) override;
   void on_user_end(trace::UserId user) override;
+
+  // ShardableSink: per-app duration samples append in shard (user-id) order,
+  // reproducing the serial user-major sample sequence.
+  [[nodiscard]] std::unique_ptr<trace::TraceSink> clone_shard() const override;
+  void merge_from(trace::TraceSink& shard) override;
 
   /// Persistence durations (seconds) for one app, one per fg->bg transition.
   /// Empty if the app was never foregrounded.

@@ -7,8 +7,23 @@ namespace wildenergy::analysis {
 
 TimeSinceForegroundAnalysis::TimeSinceForegroundAnalysis(Duration horizon, Duration bin)
     : horizon_(horizon),
+      bin_(bin),
       histogram_(0.0, horizon.seconds(),
                  static_cast<std::size_t>(horizon.us / std::max<std::int64_t>(bin.us, 1))) {}
+
+std::unique_ptr<trace::TraceSink> TimeSinceForegroundAnalysis::clone_shard() const {
+  return std::make_unique<TimeSinceForegroundAnalysis>(horizon_, bin_);
+}
+
+void TimeSinceForegroundAnalysis::merge_from(trace::TraceSink& shard) {
+  auto& other = dynamic_cast<TimeSinceForegroundAnalysis&>(shard);
+  histogram_.merge_from(other.histogram_);
+  for (const auto& [app, tally] : other.tallies_) {
+    AppTally& mine = tallies_[app];
+    mine.bg_bytes += tally.bg_bytes;
+    mine.bg_bytes_first_minute += tally.bg_bytes_first_minute;
+  }
+}
 
 void TimeSinceForegroundAnalysis::on_study_begin(const trace::StudyMeta&) {
   last_exit_.clear();

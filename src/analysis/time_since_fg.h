@@ -11,15 +11,17 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "trace/shardable.h"
 #include "trace/sink.h"
 #include "util/stats.h"
 
 namespace wildenergy::analysis {
 
-class TimeSinceForegroundAnalysis final : public trace::TraceSink {
+class TimeSinceForegroundAnalysis final : public trace::TraceSink, public trace::ShardableSink {
  public:
   /// `horizon`: how far past the transition the histogram extends.
   /// `bin`: histogram resolution (must divide the 5-min spike cleanly to
@@ -29,6 +31,11 @@ class TimeSinceForegroundAnalysis final : public trace::TraceSink {
   void on_study_begin(const trace::StudyMeta& meta) override;
   void on_packet(const trace::PacketRecord& packet) override;
   void on_transition(const trace::StateTransition& transition) override;
+
+  // ShardableSink: byte tallies add; the histogram merges binwise, which is
+  // exact (order-free) because its masses are integer byte counts.
+  [[nodiscard]] std::unique_ptr<trace::TraceSink> clone_shard() const override;
+  void merge_from(trace::TraceSink& shard) override;
 
   /// Histogram of background bytes vs seconds-since-foreground (all apps).
   [[nodiscard]] const Histogram& bytes_histogram() const { return histogram_; }
@@ -57,6 +64,7 @@ class TimeSinceForegroundAnalysis final : public trace::TraceSink {
   }
 
   Duration horizon_;
+  Duration bin_;  ///< retained so clone_shard() rebuilds an identical histogram
   Histogram histogram_;
   /// Last fg->bg transition per (user, app); absent until first transition.
   std::unordered_map<std::uint64_t, TimePoint> last_exit_;

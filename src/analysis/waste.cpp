@@ -10,7 +10,7 @@ WastedUpdateAnalysis::WastedUpdateAnalysis(std::vector<trace::AppId> apps, Durat
 
 void WastedUpdateAnalysis::on_study_begin(const trace::StudyMeta& meta) {
   per_app_.clear();
-  for (trace::AppId app : apps_) per_app_[app].totals.app = app;
+  for (trace::AppId app : apps_) per_app_.try_emplace(app);
   assembler_.on_study_begin(meta);
 }
 
@@ -41,8 +41,8 @@ void WastedUpdateAnalysis::on_user_end(trace::UserId user) {
     auto it = pa.pending.find(user);
     if (it == pa.pending.end()) continue;
     for (const auto& update : it->second) {
-      ++pa.totals.wasted_updates;
-      pa.totals.wasted_joules += update.joules;
+      ++pa.wasted_updates;
+      pa.user_parts[user].wasted_joules += update.joules;
     }
     pa.pending.erase(it);
   }
@@ -50,8 +50,8 @@ void WastedUpdateAnalysis::on_user_end(trace::UserId user) {
 
 void WastedUpdateAnalysis::on_flow(const trace::FlowRecord& flow) {
   PerApp& pa = per_app_[flow.app];
-  pa.totals.updates += 1;
-  pa.totals.joules += flow.joules;
+  pa.updates += 1;
+  pa.user_parts[flow.user].joules += flow.joules;
   pa.pending[flow.user].push_back({flow.last_packet, flow.joules});
 }
 
@@ -60,8 +60,8 @@ void WastedUpdateAnalysis::expire(PerApp& pa, trace::UserId user, TimePoint now)
   if (it == pa.pending.end()) return;
   auto& queue = it->second;
   while (!queue.empty() && now - queue.front().completed > useful_window_) {
-    ++pa.totals.wasted_updates;
-    pa.totals.wasted_joules += queue.front().joules;
+    ++pa.wasted_updates;
+    pa.user_parts[user].wasted_joules += queue.front().joules;
     queue.pop_front();
   }
 }
@@ -76,9 +76,33 @@ void WastedUpdateAnalysis::settle_on_foreground(trace::AppId app, trace::UserId 
   it->second.clear();  // remaining updates were fresh when the user looked
 }
 
+std::unique_ptr<trace::TraceSink> WastedUpdateAnalysis::clone_shard() const {
+  return std::make_unique<WastedUpdateAnalysis>(apps_, useful_window_);
+}
+
+void WastedUpdateAnalysis::merge_from(trace::TraceSink& shard) {
+  auto& other = dynamic_cast<WastedUpdateAnalysis&>(shard);
+  for (const auto& [app, pa] : other.per_app_) {
+    PerApp& mine = per_app_[app];
+    mine.updates += pa.updates;
+    mine.wasted_updates += pa.wasted_updates;
+    for (const auto& [user, part] : pa.user_parts) mine.user_parts.emplace(user, part);
+  }
+}
+
 WasteResult WastedUpdateAnalysis::result(trace::AppId app) const {
+  WasteResult out;
+  out.app = app;
   const auto it = per_app_.find(app);
-  return it == per_app_.end() ? WasteResult{.app = app} : it->second.totals;
+  if (it == per_app_.end()) return out;
+  const PerApp& pa = it->second;
+  out.updates = pa.updates;
+  out.wasted_updates = pa.wasted_updates;
+  for (const auto& [user, part] : pa.user_parts) {
+    out.joules += part.joules;
+    out.wasted_joules += part.wasted_joules;
+  }
+  return out;
 }
 
 }  // namespace wildenergy::analysis

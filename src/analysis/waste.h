@@ -12,11 +12,14 @@
 #pragma once
 
 #include <deque>
+#include <map>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "trace/flow_assembler.h"
+#include "trace/shardable.h"
 #include "trace/sink.h"
 
 namespace wildenergy::analysis {
@@ -36,7 +39,7 @@ struct WasteResult {
   }
 };
 
-class WastedUpdateAnalysis final : public trace::TraceSink {
+class WastedUpdateAnalysis final : public trace::TraceSink, public trace::ShardableSink {
  public:
   /// Track background updates of `apps`; an update is useful if the app is
   /// foregrounded within `useful_window` after the update completes.
@@ -48,6 +51,11 @@ class WastedUpdateAnalysis final : public trace::TraceSink {
   void on_transition(const trace::StateTransition& transition) override;
   void on_user_end(trace::UserId user) override;
 
+  // ShardableSink: update counts add; joules are kept as per-user partials
+  // and folded in user-id order by result() (trace/shardable.h).
+  [[nodiscard]] std::unique_ptr<trace::TraceSink> clone_shard() const override;
+  void merge_from(trace::TraceSink& shard) override;
+
   [[nodiscard]] WasteResult result(trace::AppId app) const;
   [[nodiscard]] const std::vector<trace::AppId>& tracked() const { return apps_; }
 
@@ -56,8 +64,16 @@ class WastedUpdateAnalysis final : public trace::TraceSink {
     TimePoint completed;
     double joules = 0.0;
   };
+  /// Energy partials for one user; all of a user's updates settle within
+  /// that user's stream, so the split is exact.
+  struct UserPart {
+    double joules = 0.0;
+    double wasted_joules = 0.0;
+  };
   struct PerApp {
-    WasteResult totals;
+    std::uint64_t updates = 0;
+    std::uint64_t wasted_updates = 0;
+    std::map<trace::UserId, UserPart> user_parts;
     std::unordered_map<trace::UserId, std::deque<PendingUpdate>> pending;
   };
 

@@ -1,12 +1,18 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
 #include "radio/burst_machine.h"
 #include "trace/instrumented_sink.h"
 #include "trace/interface_filter.h"
+#include "trace/shardable.h"
+#include "util/thread_pool.h"
 
 namespace wildenergy::core {
 
@@ -32,7 +38,10 @@ struct RadioCounterSnapshot {
 StudyPipeline::StudyPipeline(sim::StudyConfig config, PipelineOptions options)
     : generator_(config),
       attributor_(resolve_factory(options), &downstream_, options.tail_policy),
+      radio_factory_(options.radio_factory),
+      tail_policy_(options.tail_policy),
       interface_(options.interface),
+      num_threads_(options.num_threads),
       collect_stage_stats_(options.collect_stage_stats),
       trace_writer_(options.trace_writer) {}
 
@@ -40,7 +49,10 @@ StudyPipeline::StudyPipeline(sim::StudyConfig config, appmodel::AppCatalog catal
                              PipelineOptions options)
     : generator_(config, std::move(catalog)),
       attributor_(resolve_factory(options), &downstream_, options.tail_policy),
+      radio_factory_(options.radio_factory),
+      tail_policy_(options.tail_policy),
       interface_(options.interface),
+      num_threads_(options.num_threads),
       collect_stage_stats_(options.collect_stage_stats),
       trace_writer_(options.trace_writer) {}
 
@@ -56,6 +68,19 @@ void StudyPipeline::set_policy(PolicyFactory factory) { policy_factory_ = std::m
 
 void StudyPipeline::run() {
   stats_ = {};
+  off_interface_bytes_ = 0;  // repeated run() must not report a stale count
+
+  const std::uint32_t num_users = generator_.config().num_users;
+  const unsigned shard_threads =
+      std::min<unsigned>(num_threads_, std::max<std::uint32_t>(num_users, 1));
+  if (shard_threads <= 1 || num_users <= 1) {
+    run_serial();
+  } else {
+    run_sharded(shard_threads);
+  }
+}
+
+void StudyPipeline::run_serial() {
   const bool timed = collect_stage_stats_ || trace_writer_ != nullptr;
   const RadioCounterSnapshot radio_before = RadioCounterSnapshot::take();
 
@@ -95,6 +120,7 @@ void StudyPipeline::run() {
   off_interface_bytes_ = filter.dropped_bytes();
 
   // Totals come from counters the stages maintain regardless of profiling.
+  stats_.num_threads = 1;
   stats_.users = generator_.config().num_users;
   stats_.packets = ledger_.total_packets();
   stats_.bytes = ledger_.total_bytes();
@@ -151,6 +177,178 @@ void StudyPipeline::run() {
       trace_writer_->add_complete("generate (self time)", "generate", run_start_us,
                                   static_cast<std::int64_t>(generate.self_ms * 1e3), 1);
     }
+  }
+}
+
+void StudyPipeline::run_sharded(unsigned num_threads) {
+  const std::uint32_t num_users = generator_.config().num_users;
+  const trace::StudyMeta meta = generator_.meta();
+  const RadioCounterSnapshot radio_before = RadioCounterSnapshot::take();
+
+  // The parent sink list, ledger first (matching the serial fan-out order).
+  std::vector<std::pair<std::string, trace::TraceSink*>> sinks;
+  sinks.emplace_back("ledger", &ledger_);
+  for (const auto& [name, sink] : analyses_) sinks.emplace_back(name, sink);
+
+  std::vector<trace::ShardableSink*> shardable;   // parallel to `sharded_parents`
+  std::vector<trace::TraceSink*> sharded_parents;
+  std::vector<trace::TraceSink*> fallback;        // fed by the serial replay below
+  for (const auto& [name, sink] : sinks) {
+    if (auto* s = trace::as_shardable(sink)) {
+      shardable.push_back(s);
+      sharded_parents.push_back(sink);
+    } else {
+      fallback.push_back(sink);
+    }
+  }
+
+  // One shard per user. Heap-allocated: each shard's filter/attributor hold
+  // pointers into the shard, so the objects must not move. Everything with
+  // caller-visible state is built here, serially — the policy factory and
+  // clone_shard() are not required to be thread-safe; only the radio factory
+  // runs on workers (inside EnergyAttributor::on_user_begin).
+  struct Shard {
+    obs::MetricsRegistry registry;
+    trace::TraceMulticast fanout;
+    std::vector<std::unique_ptr<trace::TraceSink>> clones;
+    std::unique_ptr<energy::EnergyAttributor> attributor;
+    std::unique_ptr<trace::TraceSink> policy;
+    std::unique_ptr<trace::InterfaceFilter> filter;
+    double wall_ms = 0.0;
+    unsigned worker = 0;
+    std::int64_t span_start_us = 0;
+  };
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(num_users);
+  for (std::uint32_t user = 0; user < num_users; ++user) {
+    auto shard = std::make_unique<Shard>();
+    for (const auto* parent : shardable) {
+      shard->clones.push_back(parent->clone_shard());
+      shard->fanout.add(shard->clones.back().get());
+    }
+    shard->attributor = std::make_unique<energy::EnergyAttributor>(radio_factory_, &shard->fanout,
+                                                                   tail_policy_);
+    trace::TraceSink* head = shard->attributor.get();
+    if (policy_factory_) {
+      shard->policy = policy_factory_(head);
+      head = shard->policy.get();
+    }
+    shard->filter = std::make_unique<trace::InterfaceFilter>(head, interface_);
+    shards.push_back(std::move(shard));
+  }
+
+  const std::int64_t run_start_us = trace_writer_ != nullptr ? trace_writer_->now_us() : 0;
+  obs::Stopwatch total;
+  {
+    util::ThreadPool pool{num_threads};
+    pool.run_indexed(num_users, [&](std::size_t index, unsigned worker) {
+      Shard& shard = *shards[index];
+      // Shard-local metrics: the radio model built in on_user_begin resolves
+      // its counters from current(), i.e. this shard's registry.
+      const obs::ScopedMetricsRegistry scoped{&shard.registry};
+      shard.worker = worker;
+      shard.span_start_us = trace_writer_ != nullptr ? trace_writer_->now_us() : 0;
+      const obs::Stopwatch watch;
+      generator_.run_user(static_cast<trace::UserId>(index), *shard.filter);
+      shard.wall_ms = watch.elapsed_ms();
+    });
+  }
+
+  // Deterministic merge, in user-id order. Parents are reset through the
+  // standard study bracket first so repeated run() calls stay idempotent.
+  downstream_.clear();
+  attributor_.on_study_begin(meta);  // resets parent totals; fan-out is empty
+  for (auto* parent : sharded_parents) parent->on_study_begin(meta);
+  std::uint64_t dropped_packets = 0;
+  for (std::uint32_t user = 0; user < num_users; ++user) {
+    Shard& shard = *shards[user];
+    attributor_.merge_from(*shard.attributor);
+    for (std::size_t i = 0; i < shardable.size(); ++i) {
+      shardable[i]->merge_from(*shard.clones[i]);
+    }
+    dropped_packets += shard.filter->dropped_packets();
+    off_interface_bytes_ += shard.filter->dropped_bytes();
+    obs::MetricsRegistry::global().merge_from(shard.registry);
+  }
+  for (auto* parent : sharded_parents) parent->on_study_end();
+
+  // Non-shardable sinks get the exact serial stream via a replay pass: the
+  // generator is deterministic, so this is the stream a serial run would
+  // have fed them. The replay's radio/attribution work happens under a
+  // scratch registry so global counters are not double-counted.
+  if (!fallback.empty()) {
+    stats_.serial_fallback_sinks = fallback.size();
+    trace::TraceMulticast fan;
+    for (auto* sink : fallback) fan.add(sink);
+    energy::EnergyAttributor replay_attributor{radio_factory_, &fan, tail_policy_};
+    trace::TraceSink* head = &replay_attributor;
+    std::unique_ptr<trace::TraceSink> policy;
+    if (policy_factory_) {
+      policy = policy_factory_(head);
+      head = policy.get();
+    }
+    trace::InterfaceFilter filter{head, interface_};
+    obs::MetricsRegistry scratch;
+    const obs::ScopedMetricsRegistry scoped{&scratch};
+    generator_.run(filter);
+  }
+  stats_.wall_ms = total.elapsed_ms();
+
+  stats_.num_threads = num_threads;
+  stats_.users = num_users;
+  stats_.packets = ledger_.total_packets();
+  stats_.bytes = ledger_.total_bytes();
+  stats_.joules = ledger_.total_joules();
+  stats_.off_interface_packets = dropped_packets;
+  stats_.off_interface_bytes = off_interface_bytes_;
+
+  const energy::AttributionCounters& ac = attributor_.counters();
+  stats_.transitions = ac.transitions;
+  stats_.tail_attributions = ac.tail_attributions;
+  stats_.proportional_splits = ac.proportional_splits;
+  stats_.promotion_segments = ac.promotion_segments;
+  stats_.transfer_segments = ac.transfer_segments;
+  stats_.tail_segments = ac.tail_segments;
+  stats_.drx_segments = ac.drx_segments;
+  stats_.idle_segments = ac.idle_segments;
+
+  const RadioCounterSnapshot radio_after = RadioCounterSnapshot::take();
+  stats_.radio_bursts = radio_after.bursts - radio_before.bursts;
+  stats_.radio_bursts_queued = radio_after.bursts_queued - radio_before.bursts_queued;
+  stats_.radio_promotions = radio_after.promotions - radio_before.promotions;
+  stats_.radio_repromotions = radio_after.repromotions - radio_before.repromotions;
+
+  stats_.shards.reserve(num_users);
+  for (std::uint32_t user = 0; user < num_users; ++user) {
+    const Shard& shard = *shards[user];
+    const auto& shard_ledger =
+        dynamic_cast<const energy::EnergyLedger&>(*shard.clones[0]);  // ledger is sinks[0]
+    obs::ShardRunStats s;
+    s.user = user;
+    s.worker = shard.worker;
+    s.wall_ms = shard.wall_ms;
+    s.packets = shard_ledger.total_packets();
+    s.bytes = shard_ledger.total_bytes();
+    s.joules = shard_ledger.total_joules();
+    stats_.shards.push_back(s);
+  }
+
+  // Per-stage self-time profiling assumes one serial callback chain, so
+  // sharded runs export per-shard spans on per-worker tracks instead.
+  stats_.timed = collect_stage_stats_ || trace_writer_ != nullptr;
+  if (trace_writer_ != nullptr) {
+    trace_writer_->set_track_name(0, "pipeline");
+    for (unsigned w = 0; w < num_threads; ++w) {
+      trace_writer_->set_track_name(1 + static_cast<int>(w), "worker " + std::to_string(w));
+    }
+    for (const auto& s : stats_.shards) {
+      trace_writer_->add_complete("user " + std::to_string(s.user), "shard",
+                                  shards[s.user]->span_start_us,
+                                  static_cast<std::int64_t>(s.wall_ms * 1e3),
+                                  1 + static_cast<int>(s.worker));
+    }
+    trace_writer_->add_complete("run", "pipeline", run_start_us,
+                                static_cast<std::int64_t>(stats_.wall_ms * 1e3), 0);
   }
 }
 

@@ -46,6 +46,12 @@ struct PipelineOptions {
   /// Optional Chrome-trace span export (implies stage profiling). Non-owning;
   /// must outlive run(). Load the written file at https://ui.perfetto.dev.
   obs::TraceWriter* trace_writer = nullptr;
+  /// Worker threads for the sharded execution engine. 1 (default) runs the
+  /// classic single-pass serial pipeline; N > 1 runs one shard per user on
+  /// min(N, num_users) pool workers and merges results in user-id order.
+  /// Every output is bit-identical for every value (see trace/shardable.h).
+  /// With N > 1 the radio factory must be safe to invoke concurrently.
+  unsigned num_threads = 1;
 };
 
 class StudyPipeline {
@@ -69,7 +75,9 @@ class StudyPipeline {
   void set_policy(PolicyFactory factory);
 
   /// Generate + attribute + analyze. May be called repeatedly; each run
-  /// resets the ledger and re-streams the study.
+  /// resets the ledger and re-streams the study. With num_threads > 1 the
+  /// study is sharded by user across a worker pool; results (ledger,
+  /// analyses, figures) are bit-identical to the serial run.
   void run();
 
   [[nodiscard]] const energy::EnergyLedger& ledger() const { return ledger_; }
@@ -88,12 +96,23 @@ class StudyPipeline {
   }
 
  private:
+  /// The classic single-pass serial pipeline (num_threads == 1).
+  void run_serial();
+  /// One shard per user on `num_threads` workers; deterministic merge in
+  /// user-id order, plus a serial replay pass for non-shardable sinks.
+  void run_sharded(unsigned num_threads);
+
   sim::StudyGenerator generator_;
   energy::EnergyLedger ledger_;
   trace::TraceMulticast downstream_;
   energy::EnergyAttributor attributor_;
+  // Retained from PipelineOptions so run_sharded() can build per-shard
+  // attributor chains (the members above only serve the serial path).
+  energy::RadioModelFactory radio_factory_;
+  energy::TailPolicy tail_policy_ = energy::TailPolicy::kLastPacket;
   PolicyFactory policy_factory_;
   trace::Interface interface_ = trace::Interface::kCellular;
+  unsigned num_threads_ = 1;
   std::uint64_t off_interface_bytes_ = 0;
   /// Registered analyses, in registration order; fan-out is rebuilt per run.
   std::vector<std::pair<std::string, trace::TraceSink*>> analyses_;

@@ -6,6 +6,19 @@
 
 namespace wildenergy::energy {
 
+void AttributionCounters::merge_from(const AttributionCounters& other) {
+  packets += other.packets;
+  transitions += other.transitions;
+  users += other.users;
+  tail_attributions += other.tail_attributions;
+  proportional_splits += other.proportional_splits;
+  promotion_segments += other.promotion_segments;
+  transfer_segments += other.transfer_segments;
+  tail_segments += other.tail_segments;
+  drx_segments += other.drx_segments;
+  idle_segments += other.idle_segments;
+}
+
 EnergyAttributor::EnergyAttributor(RadioModelFactory factory, trace::TraceSink* downstream,
                                    TailPolicy policy)
     : factory_(std::move(factory)), downstream_(downstream), policy_(policy) {
@@ -15,8 +28,8 @@ EnergyAttributor::EnergyAttributor(RadioModelFactory factory, trace::TraceSink* 
 
 void EnergyAttributor::on_study_begin(const trace::StudyMeta& meta) {
   meta_ = meta;
-  device_joules_ = attributed_joules_ = baseline_joules_ = 0.0;
-  tail_joules_ = promotion_joules_ = transfer_joules_ = 0.0;
+  per_user_.clear();
+  current_ = nullptr;
   counters_ = {};
   downstream_->on_study_begin(meta);
 }
@@ -24,6 +37,7 @@ void EnergyAttributor::on_study_begin(const trace::StudyMeta& meta) {
 void EnergyAttributor::on_user_begin(trace::UserId user) {
   ++counters_.users;
   model_ = factory_();
+  current_ = &per_user_[user];
   window_.clear();
   held_transitions_.clear();
   pending_tail_ = 0.0;
@@ -31,11 +45,12 @@ void EnergyAttributor::on_user_begin(trace::UserId user) {
 }
 
 void EnergyAttributor::handle_segment(const radio::EnergySegment& segment) {
-  device_joules_ += segment.joules;
+  assert(current_ != nullptr);
+  current_->device += segment.joules;
   switch (segment.kind) {
     case radio::SegmentKind::kIdle:
       ++counters_.idle_segments;
-      baseline_joules_ += segment.joules;
+      current_->baseline += segment.joules;
       flush_pending();  // the radio went idle: the active window is over
       break;
     case radio::SegmentKind::kTail:
@@ -43,8 +58,8 @@ void EnergyAttributor::handle_segment(const radio::EnergySegment& segment) {
       if (segment.state_name != nullptr && std::strstr(segment.state_name, "DRX") != nullptr) {
         ++counters_.drx_segments;
       }
-      tail_joules_ += segment.joules;
-      attributed_joules_ += segment.joules;
+      current_->tail += segment.joules;
+      current_->attributed += segment.joules;
       assert(!window_.empty());
       if (policy_ == TailPolicy::kLastPacket) {
         ++counters_.tail_attributions;
@@ -55,14 +70,14 @@ void EnergyAttributor::handle_segment(const radio::EnergySegment& segment) {
       break;
     case radio::SegmentKind::kPromotion:
       ++counters_.promotion_segments;
-      promotion_joules_ += segment.joules;
-      attributed_joules_ += segment.joules;
+      current_->promotion += segment.joules;
+      current_->attributed += segment.joules;
       current_joules_ += segment.joules;
       break;
     case radio::SegmentKind::kTransfer:
       ++counters_.transfer_segments;
-      transfer_joules_ += segment.joules;
-      attributed_joules_ += segment.joules;
+      current_->transfer += segment.joules;
+      current_->attributed += segment.joules;
       current_joules_ += segment.joules;
       break;
   }
@@ -135,5 +150,49 @@ void EnergyAttributor::on_user_end(trace::UserId user) {
 }
 
 void EnergyAttributor::on_study_end() { downstream_->on_study_end(); }
+
+double EnergyAttributor::device_joules() const {
+  double total = 0.0;
+  for (const auto& [user, e] : per_user_) total += e.device;
+  return total;
+}
+
+double EnergyAttributor::attributed_joules() const {
+  double total = 0.0;
+  for (const auto& [user, e] : per_user_) total += e.attributed;
+  return total;
+}
+
+double EnergyAttributor::baseline_joules() const {
+  double total = 0.0;
+  for (const auto& [user, e] : per_user_) total += e.baseline;
+  return total;
+}
+
+double EnergyAttributor::tail_joules() const {
+  double total = 0.0;
+  for (const auto& [user, e] : per_user_) total += e.tail;
+  return total;
+}
+
+double EnergyAttributor::promotion_joules() const {
+  double total = 0.0;
+  for (const auto& [user, e] : per_user_) total += e.promotion;
+  return total;
+}
+
+double EnergyAttributor::transfer_joules() const {
+  double total = 0.0;
+  for (const auto& [user, e] : per_user_) total += e.transfer;
+  return total;
+}
+
+void EnergyAttributor::merge_from(const EnergyAttributor& shard) {
+  for (const auto& [user, e] : shard.per_user_) {
+    assert(per_user_.find(user) == per_user_.end());
+    per_user_.emplace(user, e);
+  }
+  counters_.merge_from(shard.counters_);
+}
 
 }  // namespace wildenergy::energy

@@ -17,6 +17,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 
 #include "radio/radio_model.h"
@@ -48,6 +49,9 @@ struct AttributionCounters {
   std::uint64_t tail_segments = 0;
   std::uint64_t drx_segments = 0;  ///< tail segments whose radio state is a DRX phase
   std::uint64_t idle_segments = 0;
+
+  /// Fold another attributor's counters in (shard merge; order-free).
+  void merge_from(const AttributionCounters& other);
 };
 
 class EnergyAttributor final : public trace::TraceSink {
@@ -63,19 +67,37 @@ class EnergyAttributor final : public trace::TraceSink {
   void on_user_end(trace::UserId user) override;
   void on_study_end() override;
 
+  // Study-wide energy totals. Each is kept as per-user partial sums and
+  // folded in user-id order here, so a sharded run merged in user order
+  // yields bit-identical values to the serial pass (trace/shardable.h).
+
   /// Total energy of every segment (incl. idle baseline) — the device total.
-  [[nodiscard]] double device_joules() const { return device_joules_; }
+  [[nodiscard]] double device_joules() const;
   /// Energy attributed to apps (promotion + transfer + tail).
-  [[nodiscard]] double attributed_joules() const { return attributed_joules_; }
+  [[nodiscard]] double attributed_joules() const;
   /// Idle/paging baseline energy (never attributed).
-  [[nodiscard]] double baseline_joules() const { return baseline_joules_; }
-  [[nodiscard]] double tail_joules() const { return tail_joules_; }
-  [[nodiscard]] double promotion_joules() const { return promotion_joules_; }
-  [[nodiscard]] double transfer_joules() const { return transfer_joules_; }
+  [[nodiscard]] double baseline_joules() const;
+  [[nodiscard]] double tail_joules() const;
+  [[nodiscard]] double promotion_joules() const;
+  [[nodiscard]] double transfer_joules() const;
   /// Event counters for this run (reset on each study begin).
   [[nodiscard]] const AttributionCounters& counters() const { return counters_; }
 
+  /// Fold a shard attributor's per-user energy and counters into this one
+  /// (called by the pipeline in user-id order; users must be disjoint).
+  void merge_from(const EnergyAttributor& shard);
+
  private:
+  /// Energy partials for one user (see determinism note above).
+  struct UserEnergy {
+    double device = 0.0;
+    double attributed = 0.0;
+    double baseline = 0.0;
+    double tail = 0.0;
+    double promotion = 0.0;
+    double transfer = 0.0;
+  };
+
   void handle_segment(const radio::EnergySegment& segment);
   void flush_pending();
 
@@ -93,12 +115,8 @@ class EnergyAttributor final : public trace::TraceSink {
   double pending_tail_ = 0.0;   ///< tail energy awaiting proportional split
   double current_joules_ = 0.0; ///< promo+transfer energy of the packet being fed
 
-  double device_joules_ = 0.0;
-  double attributed_joules_ = 0.0;
-  double baseline_joules_ = 0.0;
-  double tail_joules_ = 0.0;
-  double promotion_joules_ = 0.0;
-  double transfer_joules_ = 0.0;
+  std::map<trace::UserId, UserEnergy> per_user_;
+  UserEnergy* current_ = nullptr;  ///< this user's partials (set in on_user_begin)
   AttributionCounters counters_;
 };
 

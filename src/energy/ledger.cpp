@@ -10,20 +10,26 @@ void EnergyLedger::on_study_begin(const trace::StudyMeta& meta) {
   meta_ = meta;
   num_days_ = static_cast<std::size_t>(std::ceil(meta.span().days()));
   accounts_.clear();
-  total_joules_ = 0.0;
-  total_bytes_ = 0;
-  total_packets_ = 0;
-  state_totals_.fill(0.0);
+  per_user_.clear();
+  last_key_ = 0;
+  last_account_ = nullptr;
+  last_user_ = 0;
+  last_totals_ = nullptr;
 }
 
 void EnergyLedger::on_packet(const trace::PacketRecord& p) {
-  auto [it, inserted] = accounts_.try_emplace(key(p.user, p.app));
-  AppUserAccount& acc = it->second;
-  if (inserted) {
-    acc.user = p.user;
-    acc.app = p.app;
-    acc.days.resize(std::max<std::size_t>(num_days_, 1));
+  const std::uint64_t k = key(p.user, p.app);
+  if (last_account_ == nullptr || last_key_ != k) {
+    auto [it, inserted] = accounts_.try_emplace(k);
+    if (inserted) {
+      it->second.user = p.user;
+      it->second.app = p.app;
+      it->second.days.resize(std::max<std::size_t>(num_days_, 1));
+    }
+    last_key_ = k;
+    last_account_ = &it->second;
   }
+  AppUserAccount& acc = *last_account_;
   acc.bytes += p.bytes;
   acc.packets += 1;
   acc.joules += p.joules;
@@ -41,10 +47,34 @@ void EnergyLedger::on_packet(const trace::PacketRecord& p) {
     cell.bg_bytes += p.bytes;
   }
 
-  total_joules_ += p.joules;
-  total_bytes_ += p.bytes;
-  total_packets_ += 1;
-  state_totals_[static_cast<std::size_t>(p.state)] += p.joules;
+  if (last_totals_ == nullptr || last_user_ != p.user) {
+    last_user_ = p.user;
+    last_totals_ = &per_user_[p.user];
+  }
+  UserTotals& totals = *last_totals_;
+  totals.joules += p.joules;
+  totals.bytes += p.bytes;
+  totals.packets += 1;
+  totals.state_joules[static_cast<std::size_t>(p.state)] += p.joules;
+}
+
+std::unique_ptr<trace::TraceSink> EnergyLedger::clone_shard() const {
+  return std::make_unique<EnergyLedger>();
+}
+
+void EnergyLedger::merge_from(trace::TraceSink& shard) {
+  merge(dynamic_cast<EnergyLedger&>(shard));
+}
+
+void EnergyLedger::merge(const EnergyLedger& shard) {
+  for (const auto& [k, acc] : shard.accounts_) {
+    assert(accounts_.find(k) == accounts_.end());
+    accounts_.emplace(k, acc);
+  }
+  for (const auto& [user, totals] : shard.per_user_) {
+    assert(per_user_.find(user) == per_user_.end());
+    per_user_.emplace(user, totals);
+  }
 }
 
 const AppUserAccount* EnergyLedger::find(trace::UserId user, trace::AppId app) const {
@@ -73,6 +103,34 @@ std::vector<trace::AppId> EnergyLedger::apps() const {
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+double EnergyLedger::total_joules() const {
+  double total = 0.0;
+  for (const auto& [user, t] : per_user_) total += t.joules;
+  return total;
+}
+
+std::uint64_t EnergyLedger::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [user, t] : per_user_) total += t.bytes;
+  return total;
+}
+
+std::uint64_t EnergyLedger::total_packets() const {
+  std::uint64_t total = 0;
+  for (const auto& [user, t] : per_user_) total += t.packets;
+  return total;
+}
+
+std::array<double, trace::kNumProcessStates> EnergyLedger::state_totals() const {
+  std::array<double, trace::kNumProcessStates> totals{};
+  for (const auto& [user, t] : per_user_) {
+    for (std::size_t s = 0; s < trace::kNumProcessStates; ++s) {
+      totals[s] += t.state_joules[s];
+    }
+  }
+  return totals;
 }
 
 }  // namespace wildenergy::energy

@@ -7,12 +7,22 @@
 //     traffic" flag (the §5 what-if analysis),
 // while keeping memory at O(users x apps x days) counters, independent of
 // packet count.
+//
+// Shardable (trace/shardable.h): one clone per user, folded back with
+// merge(). Determinism is by construction: study-wide double totals are
+// stored as per-user partial sums and folded in user-id order at query time,
+// so the serial pass (which fills one partial per user, in order) and the
+// sharded merge produce the exact same floating-point fold. Accounts are
+// keyed (user << 32 | app) in an ordered map, giving every consumer the same
+// user-major iteration order regardless of how the ledger was built.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
+#include <memory>
 #include <vector>
 
+#include "trace/shardable.h"
 #include "trace/sink.h"
 
 namespace wildenergy::energy {
@@ -46,15 +56,24 @@ struct AppUserAccount {
   }
 };
 
-class EnergyLedger final : public trace::TraceSink {
+class EnergyLedger final : public trace::TraceSink, public trace::ShardableSink {
  public:
   void on_study_begin(const trace::StudyMeta& meta) override;
   void on_packet(const trace::PacketRecord& packet) override;
 
+  // ShardableSink: one ledger clone per user shard, merged in user-id order.
+  [[nodiscard]] std::unique_ptr<trace::TraceSink> clone_shard() const override;
+  void merge_from(trace::TraceSink& shard) override;
+
+  /// Fold a shard ledger's accounts and per-user totals into this one. The
+  /// shard's users must be disjoint from this ledger's.
+  void merge(const EnergyLedger& shard);
+
   [[nodiscard]] const trace::StudyMeta& meta() const { return meta_; }
 
-  /// All (user, app) accounts, unordered.
-  [[nodiscard]] const std::unordered_map<std::uint64_t, AppUserAccount>& accounts() const {
+  /// All (user, app) accounts, keyed (user << 32 | app) — iteration is
+  /// user-major and deterministic.
+  [[nodiscard]] const std::map<std::uint64_t, AppUserAccount>& accounts() const {
     return accounts_;
   }
   /// Account for one (user, app); nullptr when the pair has no traffic.
@@ -65,26 +84,38 @@ class EnergyLedger final : public trace::TraceSink {
   /// All app ids with any traffic.
   [[nodiscard]] std::vector<trace::AppId> apps() const;
 
-  [[nodiscard]] double total_joules() const { return total_joules_; }
-  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
-  [[nodiscard]] std::uint64_t total_packets() const { return total_packets_; }
+  // Study-wide totals, folded from per-user partials in user-id order.
+  [[nodiscard]] double total_joules() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+  [[nodiscard]] std::uint64_t total_packets() const;
   /// Total joules across apps per process state (Fig. 3 "all apps" row).
-  [[nodiscard]] const std::array<double, trace::kNumProcessStates>& state_totals() const {
-    return state_totals_;
-  }
+  [[nodiscard]] std::array<double, trace::kNumProcessStates> state_totals() const;
 
  private:
+  /// Running sums for one user — the unit that makes cross-user double
+  /// totals mergeable without changing their value (see header comment).
+  struct UserTotals {
+    double joules = 0.0;
+    std::uint64_t bytes = 0;
+    std::uint64_t packets = 0;
+    std::array<double, trace::kNumProcessStates> state_joules{};
+  };
+
   static std::uint64_t key(trace::UserId user, trace::AppId app) {
     return (static_cast<std::uint64_t>(user) << 32) | app;
   }
 
   trace::StudyMeta meta_;
   std::size_t num_days_ = 0;
-  std::unordered_map<std::uint64_t, AppUserAccount> accounts_;
-  double total_joules_ = 0.0;
-  std::uint64_t total_bytes_ = 0;
-  std::uint64_t total_packets_ = 0;
-  std::array<double, trace::kNumProcessStates> state_totals_{};
+  std::map<std::uint64_t, AppUserAccount> accounts_;
+  std::map<trace::UserId, UserTotals> per_user_;
+
+  // Hot-path caches into the node-stable maps above (packets arrive grouped
+  // by user and bursty per app, so both hit almost always).
+  std::uint64_t last_key_ = 0;
+  AppUserAccount* last_account_ = nullptr;
+  trace::UserId last_user_ = 0;
+  UserTotals* last_totals_ = nullptr;
 };
 
 }  // namespace wildenergy::energy

@@ -51,6 +51,15 @@ double Histogram::percentile(double q) const {
   return static_cast<double>(max_);
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 void Histogram::reset() {
   buckets_.fill(0);
   count_ = 0;
@@ -103,9 +112,25 @@ void MetricsRegistry::print(std::ostream& os) const {
   }
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).inc(c.value());
+  for (const auto& [name, g] : other.gauges_) gauge(name).add(g.value());
+  for (const auto& [name, h] : other.histograms_) histogram(name).merge_from(h);
+}
+
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry;
   return registry;
+}
+
+MetricsRegistry*& MetricsRegistry::current_slot() {
+  thread_local MetricsRegistry* current = nullptr;
+  return current;
+}
+
+MetricsRegistry& MetricsRegistry::current() {
+  MetricsRegistry* const scoped = current_slot();
+  return scoped != nullptr ? *scoped : global();
 }
 
 }  // namespace wildenergy::obs

@@ -6,9 +6,13 @@
 // pointer thereafter. Reading is pull-based: RunStats and the --stats report
 // snapshot the registry; nothing is published unless asked for.
 //
-// Single-threaded by design, like the rest of the streaming pipeline
-// (DESIGN.md §4.2): cells are not atomic. A future sharded pipeline would
-// give each shard its own registry and merge, rather than contend on one.
+// Cells are plain (non-atomic) on purpose: the sharded pipeline gives each
+// shard its own registry instead of contending on one. Instrumentation sites
+// resolve their cells from MetricsRegistry::current() — a thread-local
+// pointer the pipeline redirects to the shard's registry for the duration of
+// a worker task (ScopedMetricsRegistry) and merges into global() after the
+// shards join. Outside a shard, current() is global(), so single-threaded
+// code behaves exactly as before.
 #pragma once
 
 #include <array>
@@ -71,6 +75,9 @@ class Histogram {
   /// containing bucket. Exact for q=0/q=1 (tracked min/max).
   [[nodiscard]] double percentile(double q) const;
 
+  /// Fold another histogram's samples into this one (binwise).
+  void merge_from(const Histogram& other);
+
   void reset();
 
  private:
@@ -106,13 +113,44 @@ class MetricsRegistry {
   /// "name value" dump of all non-zero cells, for debugging and --stats.
   void print(std::ostream& os) const;
 
+  /// Fold another registry's cells into this one: counters and gauges add,
+  /// histograms merge binwise. Cells missing here are created.
+  void merge_from(const MetricsRegistry& other);
+
   /// The process-wide registry the library's built-in instrumentation uses.
   static MetricsRegistry& global();
 
+  /// The registry instrumentation on this thread should write to: the one
+  /// installed by the innermost live ScopedMetricsRegistry, else global().
+  static MetricsRegistry& current();
+
  private:
+  friend class ScopedMetricsRegistry;
+  static MetricsRegistry*& current_slot();
+
+
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Redirects MetricsRegistry::current() on this thread to `registry` for the
+/// scope's lifetime (restores the previous target on destruction). The shard
+/// scheduler wraps each worker task in one of these so per-shard radio/
+/// attribution counters land in shard-local cells.
+class ScopedMetricsRegistry {
+ public:
+  explicit ScopedMetricsRegistry(MetricsRegistry* registry)
+      : previous_(MetricsRegistry::current_slot()) {
+    MetricsRegistry::current_slot() = registry;
+  }
+  ~ScopedMetricsRegistry() { MetricsRegistry::current_slot() = previous_; }
+
+  ScopedMetricsRegistry(const ScopedMetricsRegistry&) = delete;
+  ScopedMetricsRegistry& operator=(const ScopedMetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
 };
 
 }  // namespace wildenergy::obs

@@ -8,7 +8,9 @@ namespace wildenergy::obs {
 
 void RunStats::print(std::ostream& os) const {
   os << "-- run stats --\n"
-     << "wall time:     " << fmt(wall_ms, 1) << " ms\n"
+     << "wall time:     " << fmt(wall_ms, 1) << " ms";
+  if (num_threads > 1) os << " (" << num_threads << " worker threads)";
+  os << "\n"
      << "throughput:    " << fmt_sig(packets_per_sec()) << " packets/s, "
      << fmt_bytes(bytes_per_sec()) << "/s\n"
      << "stream:        " << users << " users, " << packets << " packets, " << fmt_bytes(static_cast<double>(bytes))
@@ -26,8 +28,26 @@ void RunStats::print(std::ostream& os) const {
      << " queued behind airtime), " << radio_promotions << " promotions, " << radio_repromotions
      << " re-promotions\n";
 
+  if (!shards.empty()) {
+    os << "\n-- per-shard (user) breakdown --\n";
+    TextTable shard_table({"user", "worker", "wall (ms)", "packets", "joules"});
+    for (const auto& s : shards) {
+      shard_table.add_row({std::to_string(s.user), std::to_string(s.worker), fmt(s.wall_ms, 1),
+                           std::to_string(s.packets), fmt(s.joules, 1)});
+    }
+    shard_table.print(os);
+    if (serial_fallback_sinks > 0) {
+      os << "(" << serial_fallback_sinks
+         << " non-shardable sink(s) fed by an extra serial replay pass)\n";
+    }
+  }
+
   if (!timed || stages.empty()) {
-    os << "(per-stage breakdown not collected; enable stage stats / --stats)\n";
+    if (num_threads > 1) {
+      os << "(per-stage self times are serial-only; sharded runs report per-shard walls)\n";
+    } else {
+      os << "(per-stage breakdown not collected; enable stage stats / --stats)\n";
+    }
     return;
   }
 

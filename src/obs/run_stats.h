@@ -28,9 +28,20 @@ struct StageStats {
   }
 };
 
+/// One user-shard's share of a sharded run (core/pipeline.cpp).
+struct ShardRunStats {
+  std::uint64_t user = 0;
+  unsigned worker = 0;   ///< worker-pool thread that ran the shard
+  double wall_ms = 0.0;  ///< generate+attribute time for this shard
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  double joules = 0.0;
+};
+
 struct RunStats {
   // Always collected.
   double wall_ms = 0.0;
+  unsigned num_threads = 1;  ///< worker threads the run actually used
   std::uint64_t users = 0;
   std::uint64_t packets = 0;      ///< attributed packets (post interface filter)
   std::uint64_t transitions = 0;  ///< process-state transitions streamed
@@ -55,9 +66,16 @@ struct RunStats {
   std::uint64_t radio_promotions = 0;     ///< idle -> active promotions
   std::uint64_t radio_repromotions = 0;   ///< mid-tail re-promotions
 
-  // Per-stage profile; empty unless stage stats were requested.
+  // Per-stage profile; empty unless stage stats were requested. Sharded runs
+  // leave it empty: self-time accounting assumes one serial callback chain.
   bool timed = false;
   std::vector<StageStats> stages;
+
+  // Sharded runs only (num_threads > 1): one entry per user shard, in
+  // user-id order, plus how many registered sinks fell back to the serial
+  // replay pass because they are not shardable.
+  std::vector<ShardRunStats> shards;
+  std::uint64_t serial_fallback_sinks = 0;
 
   [[nodiscard]] double packets_per_sec() const {
     return wall_ms > 0.0 ? static_cast<double>(packets) / (wall_ms / 1e3) : 0.0;

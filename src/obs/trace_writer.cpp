@@ -31,14 +31,22 @@ void write_json_string(std::ostream& os, const std::string& s) {
 
 void TraceWriter::add_complete(std::string name, std::string category, std::int64_t ts_us,
                                std::int64_t dur_us, int tid) {
+  const std::lock_guard<std::mutex> lock{mu_};
   events_.push_back({std::move(name), std::move(category), ts_us, dur_us, tid});
 }
 
 void TraceWriter::set_track_name(int tid, std::string name) {
+  const std::lock_guard<std::mutex> lock{mu_};
   tracks_.push_back({tid, std::move(name)});
 }
 
+std::size_t TraceWriter::span_count() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return events_.size();
+}
+
 void TraceWriter::write(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock{mu_};
   os << "[";
   bool first = true;
   const auto sep = [&] {

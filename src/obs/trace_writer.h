@@ -6,10 +6,15 @@
 //
 // Timestamps are microseconds relative to the writer's construction, taken
 // from the same steady clock as Stopwatch.
+//
+// Thread-safe: pipeline workers append shard spans concurrently, so the
+// event list is guarded by a mutex (now_us() stays lock-free — it only reads
+// the steady clock).
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,7 +35,7 @@ class TraceWriter {
   /// Microseconds since this writer was constructed — the span time base.
   [[nodiscard]] std::int64_t now_us() const { return epoch_.elapsed_us(); }
 
-  [[nodiscard]] std::size_t span_count() const { return events_.size(); }
+  [[nodiscard]] std::size_t span_count() const;
 
   /// Serialize all events as a JSON trace-event array.
   void write(std::ostream& os) const;
@@ -51,6 +56,7 @@ class TraceWriter {
   };
 
   Stopwatch epoch_;
+  mutable std::mutex mu_;
   std::vector<Event> events_;
   std::vector<Track> tracks_;
 };

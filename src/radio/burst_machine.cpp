@@ -7,7 +7,7 @@ namespace wildenergy::radio {
 
 BurstMachine::BurstMachine(BurstMachineParams params) : params_(std::move(params)) {
   assert(!params_.tail_phases.empty());
-  auto& registry = obs::MetricsRegistry::global();
+  auto& registry = obs::MetricsRegistry::current();
   ctr_bursts_ = &registry.counter("radio.bursts");
   ctr_bursts_queued_ = &registry.counter("radio.bursts_queued");
   ctr_promotions_ = &registry.counter("radio.promotions");

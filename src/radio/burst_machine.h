@@ -48,8 +48,9 @@ class BurstMachine final : public RadioModel {
   TimePoint cursor_{};        ///< segments emitted up to here
   TimePoint active_until_{};  ///< end of the last transfer's airtime
 
-  // Instrumentation: process-wide counters (obs::MetricsRegistry::global(),
-  // "radio.*"), resolved once at construction so the hot path pays a single
+  // Instrumentation: "radio.*" counters resolved once at construction from
+  // obs::MetricsRegistry::current() — the shard-local registry when built on
+  // a pipeline worker, global() otherwise — so the hot path pays a single
   // pointer increment. Counting never feeds back into the energy math.
   obs::Counter* ctr_bursts_;
   obs::Counter* ctr_bursts_queued_;

@@ -1,0 +1,53 @@
+// Shard/merge protocol for the parallel study pipeline (core/pipeline.cpp).
+//
+// Every analysis consumes independent per-user streams, so the pipeline can
+// run one shard per user on a worker pool — if the sinks can be cloned and
+// merged. A sink opts in by also deriving from ShardableSink:
+//
+//   - clone_shard() returns a fresh, empty sink of the same type and
+//     configuration. The engine sends each clone a full study bracket
+//     (on_study_begin .. on_study_end) containing exactly one user.
+//   - After all shards finish, the engine resets the parent sink with
+//     on_study_begin(meta), then calls parent.merge_from(shard) once per
+//     shard in ascending user-id order, and finally on_study_end().
+//
+// Determinism contract: for any thread count, merged results must be
+// bit-identical to the serial single-pass run. Integer aggregates merge by
+// addition. Cross-user double aggregates are NOT associative under addition,
+// so sinks must keep per-user partial sums and fold them in user-id order at
+// query time — then the serial pass and the sharded merge produce the exact
+// same fold (see energy/ledger.h for the pattern). Sample collections
+// (util::Distribution) merge by appending, which reproduces the serial
+// user-major insertion order.
+//
+// Sinks that fundamentally need the cross-user serial stream (e.g.
+// analysis/longitudinal.h, trace::TraceCollector) simply do not implement
+// this interface; the pipeline feeds them through a serial replay of the
+// generator, which is deterministic and therefore exact.
+#pragma once
+
+#include <memory>
+
+#include "trace/sink.h"
+
+namespace wildenergy::trace {
+
+class ShardableSink {
+ public:
+  virtual ~ShardableSink() = default;
+
+  /// A fresh sink of the same type/configuration, ready to consume one
+  /// user's bracketed stream on a worker thread.
+  [[nodiscard]] virtual std::unique_ptr<TraceSink> clone_shard() const = 0;
+
+  /// Fold a completed shard (previously returned by this sink's
+  /// clone_shard()) into this sink. Called serially, in user-id order.
+  virtual void merge_from(TraceSink& shard) = 0;
+};
+
+/// The sink's shard interface, or nullptr if it opted out.
+[[nodiscard]] inline ShardableSink* as_shardable(TraceSink* sink) {
+  return dynamic_cast<ShardableSink*>(sink);
+}
+
+}  // namespace wildenergy::trace

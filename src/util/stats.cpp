@@ -38,6 +38,12 @@ void Histogram::add(double x, double weight) {
   total_ += weight;
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  assert(other.counts_.size() == counts_.size() && other.lo_ == lo_ && other.hi_ == hi_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
 LogHistogram::LogHistogram(double lo, double hi, std::size_t bins_per_decade)
     : log_lo_(std::log10(lo)), log_step_(1.0 / static_cast<double>(bins_per_decade)) {
   assert(lo > 0 && hi > lo && bins_per_decade > 0);

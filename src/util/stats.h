@@ -63,6 +63,11 @@ class Histogram {
   [[nodiscard]] double total_mass() const { return total_; }
   [[nodiscard]] std::span<const double> masses() const { return counts_; }
 
+  /// Binwise fold of an identically-shaped histogram (shard merge). Exact —
+  /// and therefore order-independent — when the recorded weights are
+  /// integer-valued, as the byte-weighted analyses' are.
+  void merge_from(const Histogram& other);
+
  private:
   double lo_;
   double hi_;
@@ -107,6 +112,14 @@ class Distribution {
   /// Empirical CDF value at x.
   [[nodiscard]] double cdf_at(double x);
   [[nodiscard]] std::span<const double> sorted_samples();
+
+  /// Append another distribution's samples in their insertion order. Merging
+  /// shards in user-id order reproduces the serial user-major sample
+  /// sequence exactly, so downstream sorts/quantiles are bit-identical.
+  void merge_from(const Distribution& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    if (!other.samples_.empty()) sorted_ = false;
+  }
 
  private:
   void ensure_sorted();

@@ -1,0 +1,60 @@
+// A small fixed-size worker pool for the sharded study pipeline.
+//
+// The pipeline's unit of parallelism is one user (DESIGN.md §7): shards are
+// independent, so the pool only needs fork-join batches — run_indexed(n, fn)
+// executes fn(i, worker) for every index in [0, n) across the workers and
+// blocks until all complete. Indices are handed out in ascending order from a
+// shared cursor, so early-finishing workers steal the remaining users instead
+// of idling behind a static partition.
+//
+// Determinism note: the pool makes no ordering promises between indices —
+// callers that need deterministic results must write fn so that index i only
+// touches slot i (the pipeline stores each shard in its own slot and merges
+// serially afterwards, in user-id order).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wildenergy::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1). Workers idle until a
+  /// run_indexed batch arrives and are joined by the destructor.
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Run fn(index, worker) for every index in [0, n); blocks until the whole
+  /// batch completes. `worker` is the executing worker's index in [0, size()).
+  /// If any invocation throws, the first exception is rethrown here after the
+  /// batch drains (remaining indices still run). Not reentrant: one batch at
+  /// a time, and fn must not call run_indexed on the same pool.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t, unsigned)>& fn);
+
+ private:
+  void worker_loop(unsigned worker);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers wait here for a batch
+  std::condition_variable done_cv_;   ///< run_indexed waits here for drain
+  const std::function<void(std::size_t, unsigned)>* job_ = nullptr;
+  std::size_t next_ = 0;       ///< next index to hand out
+  std::size_t total_ = 0;      ///< batch size
+  std::size_t remaining_ = 0;  ///< indices not yet completed
+  std::exception_ptr error_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wildenergy::util

@@ -1,0 +1,381 @@
+// Sharded execution engine (core/pipeline.cpp, trace/shardable.h).
+//
+// The hard requirement under test: for ANY num_threads, every output —
+// ledger totals, per-account values, attributor totals, and the Fig. 1-3
+// queries — is bit-identical to the serial run, and repeated run() calls are
+// idempotent. Plus unit coverage for the pieces: util::ThreadPool,
+// ScopedMetricsRegistry, EnergyLedger::merge, and the serial-replay fallback
+// for non-shardable sinks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/case_studies.h"
+#include "analysis/figures.h"
+#include "analysis/longitudinal.h"
+#include "analysis/persistence.h"
+#include "analysis/time_since_fg.h"
+#include "analysis/waste.h"
+#include "core/pipeline.h"
+#include "energy/attributor.h"
+#include "energy/ledger.h"
+#include "obs/metrics.h"
+#include "radio/burst_machine.h"
+#include "sim/generator.h"
+#include "sim/study_config.h"
+#include "trace/sink.h"
+#include "util/thread_pool.h"
+
+namespace wildenergy {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  util::ThreadPool pool{4};
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(100);
+  pool.run_indexed(hits.size(), [&](std::size_t i, unsigned) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WorkerIdsAreWithinPoolSize) {
+  util::ThreadPool pool{3};
+  std::vector<unsigned> worker_of(64, 999);
+  pool.run_indexed(worker_of.size(), [&](std::size_t i, unsigned w) { worker_of[i] = w; });
+  for (const unsigned w : worker_of) EXPECT_LT(w, 3u);
+}
+
+TEST(ThreadPool, ReusableAcrossBatchesAndZeroIsNoop) {
+  util::ThreadPool pool{2};
+  pool.run_indexed(0, [](std::size_t, unsigned) { FAIL() << "no indices to run"; });
+  std::atomic<int> total{0};
+  pool.run_indexed(10, [&](std::size_t, unsigned) { total.fetch_add(1); });
+  pool.run_indexed(7, [&](std::size_t, unsigned) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 17);
+}
+
+TEST(ThreadPool, PropagatesFirstExceptionAfterDrainingBatch) {
+  util::ThreadPool pool{2};
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.run_indexed(8,
+                                [&](std::size_t i, unsigned) {
+                                  if (i == 3) throw std::runtime_error{"shard failed"};
+                                  completed.fetch_add(1);
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(completed.load(), 7);
+  // The pool survives a throwing batch.
+  pool.run_indexed(2, [&](std::size_t, unsigned) { completed.fetch_add(1); });
+  EXPECT_EQ(completed.load(), 9);
+}
+
+TEST(ThreadPool, SizeClampedToAtLeastOneWorker) {
+  util::ThreadPool pool{0};
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+// ---------------------------------------------------- per-shard metrics cells
+
+TEST(ScopedMetricsRegistry, RedirectsCurrentAndRestores) {
+  obs::MetricsRegistry shard;
+  EXPECT_EQ(&obs::MetricsRegistry::current(), &obs::MetricsRegistry::global());
+  {
+    const obs::ScopedMetricsRegistry scoped{&shard};
+    EXPECT_EQ(&obs::MetricsRegistry::current(), &shard);
+    obs::MetricsRegistry::current().counter("scoped.test").inc(5);
+  }
+  EXPECT_EQ(&obs::MetricsRegistry::current(), &obs::MetricsRegistry::global());
+  EXPECT_EQ(shard.counter_value("scoped.test"), 5u);
+  EXPECT_EQ(obs::MetricsRegistry::global().counter_value("scoped.test"), 0u);
+}
+
+TEST(MetricsRegistryMerge, FoldsCountersGaugesAndHistograms) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("c").inc(2);
+  b.counter("c").inc(3);
+  b.counter("only_b").inc(1);
+  a.gauge("g").add(1.5);
+  b.gauge("g").add(2.5);
+  a.histogram("h").record(4);
+  b.histogram("h").record(1024);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter_value("c"), 5u);
+  EXPECT_EQ(a.counter_value("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(a.gauge("g").value(), 4.0);
+  EXPECT_EQ(a.histogram("h").count(), 2u);
+  EXPECT_EQ(a.histogram("h").min(), 4u);
+  EXPECT_EQ(a.histogram("h").max(), 1024u);
+}
+
+// ------------------------------------------------------------- ledger merge
+
+void expect_identical_ledgers(const energy::EnergyLedger& a, const energy::EnergyLedger& b) {
+  EXPECT_EQ(a.total_joules(), b.total_joules());  // exact, not NEAR
+  EXPECT_EQ(a.total_bytes(), b.total_bytes());
+  EXPECT_EQ(a.total_packets(), b.total_packets());
+  const auto a_states = a.state_totals();
+  const auto b_states = b.state_totals();
+  for (std::size_t s = 0; s < a_states.size(); ++s) EXPECT_EQ(a_states[s], b_states[s]);
+  ASSERT_EQ(a.accounts().size(), b.accounts().size());
+  auto bit = b.accounts().begin();
+  for (const auto& [key, acc] : a.accounts()) {
+    ASSERT_EQ(key, bit->first);  // same deterministic user-major order
+    const auto& other = bit->second;
+    EXPECT_EQ(acc.joules, other.joules);
+    EXPECT_EQ(acc.bytes, other.bytes);
+    EXPECT_EQ(acc.packets, other.packets);
+    for (std::size_t s = 0; s < acc.state_joules.size(); ++s) {
+      EXPECT_EQ(acc.state_joules[s], other.state_joules[s]);
+    }
+    ASSERT_EQ(acc.days.size(), other.days.size());
+    for (std::size_t d = 0; d < acc.days.size(); ++d) {
+      EXPECT_EQ(acc.days[d].fg_joules, other.days[d].fg_joules);
+      EXPECT_EQ(acc.days[d].bg_joules, other.days[d].bg_joules);
+      EXPECT_EQ(acc.days[d].fg_bytes, other.days[d].fg_bytes);
+      EXPECT_EQ(acc.days[d].bg_bytes, other.days[d].bg_bytes);
+    }
+    ++bit;
+  }
+}
+
+TEST(EnergyLedgerMerge, PerUserShardsMergeToTheSerialLedger) {
+  const sim::StudyGenerator generator{sim::small_study(/*seed=*/11)};
+
+  energy::EnergyLedger serial;
+  energy::EnergyAttributor serial_attr{radio::make_lte_model, &serial};
+  generator.run(serial_attr);
+
+  energy::EnergyLedger merged;
+  merged.on_study_begin(generator.meta());
+  for (trace::UserId user = 0; user < generator.config().num_users; ++user) {
+    energy::EnergyLedger shard;
+    energy::EnergyAttributor shard_attr{radio::make_lte_model, &shard};
+    generator.run_user(user, shard_attr);
+    merged.merge(shard);
+  }
+  EXPECT_GT(serial.total_joules(), 0.0);
+  expect_identical_ledgers(serial, merged);
+}
+
+// ----------------------------------------------- full-pipeline determinism
+
+/// All paper analyses wired into one pipeline, so the determinism assertion
+/// covers every sink kind: shardable (persistence, time-since-fg, waste,
+/// case studies) and the serial-fallback path (longitudinal).
+struct AnalysisSet {
+  std::vector<trace::AppId> tracked{0, 1, 2, 3, 4};
+  analysis::PersistenceAnalysis persistence;
+  analysis::TimeSinceForegroundAnalysis time_since_fg;
+  analysis::WastedUpdateAnalysis waste{tracked};
+  analysis::CaseStudyAnalysis cases{tracked};
+  analysis::LongitudinalAnalysis longitudinal{tracked};
+
+  void attach(core::StudyPipeline& pipeline) {
+    pipeline.add_analysis("persistence", &persistence);
+    pipeline.add_analysis("time_since_fg", &time_since_fg);
+    pipeline.add_analysis("waste", &waste);
+    pipeline.add_analysis("cases", &cases);
+    pipeline.add_analysis("longitudinal", &longitudinal);
+  }
+};
+
+void expect_identical_figures(const energy::EnergyLedger& a, const energy::EnergyLedger& b) {
+  // Fig. 1: top-10 popularity.
+  const auto pop_a = analysis::top10_popularity(a);
+  const auto pop_b = analysis::top10_popularity(b);
+  ASSERT_EQ(pop_a.size(), pop_b.size());
+  for (std::size_t i = 0; i < pop_a.size(); ++i) {
+    EXPECT_EQ(pop_a[i].app, pop_b[i].app);
+    EXPECT_EQ(pop_a[i].users_with_app_in_top10, pop_b[i].users_with_app_in_top10);
+  }
+  // Fig. 2: top consumers by data and by energy.
+  for (const bool by_energy : {false, true}) {
+    const auto cons_a =
+        by_energy ? analysis::top_consumers_by_energy(a) : analysis::top_consumers_by_data(a);
+    const auto cons_b =
+        by_energy ? analysis::top_consumers_by_energy(b) : analysis::top_consumers_by_data(b);
+    ASSERT_EQ(cons_a.size(), cons_b.size());
+    for (std::size_t i = 0; i < cons_a.size(); ++i) {
+      EXPECT_EQ(cons_a[i].app, cons_b[i].app);
+      EXPECT_EQ(cons_a[i].bytes, cons_b[i].bytes);
+      EXPECT_EQ(cons_a[i].joules, cons_b[i].joules);
+    }
+  }
+  // Fig. 3: process-state energy breakdown.
+  const auto brk_a = analysis::overall_state_breakdown(a);
+  const auto brk_b = analysis::overall_state_breakdown(b);
+  EXPECT_EQ(brk_a.total_joules, brk_b.total_joules);
+  for (std::size_t s = 0; s < brk_a.fraction.size(); ++s) {
+    EXPECT_EQ(brk_a.fraction[s], brk_b.fraction[s]);
+  }
+}
+
+void expect_identical_analyses(AnalysisSet& a, AnalysisSet& b) {
+  for (const trace::AppId app : a.tracked) {
+    // Persistence (Fig. 5): same samples in the same order.
+    auto sa = a.persistence.durations(app).sorted_samples();
+    auto sb = b.persistence.durations(app).sorted_samples();
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
+    // Waste (§4.2): counts exactly, energy bit-identically.
+    const auto wa = a.waste.result(app);
+    const auto wb = b.waste.result(app);
+    EXPECT_EQ(wa.updates, wb.updates);
+    EXPECT_EQ(wa.wasted_updates, wb.wasted_updates);
+    EXPECT_EQ(wa.joules, wb.joules);
+    EXPECT_EQ(wa.wasted_joules, wb.wasted_joules);
+    // Case studies (Table 1).
+    const auto ca = a.cases.result(app);
+    const auto cb = b.cases.result(app);
+    EXPECT_EQ(ca.joules_total, cb.joules_total);
+    EXPECT_EQ(ca.bytes_total, cb.bytes_total);
+    EXPECT_EQ(ca.flows, cb.flows);
+    EXPECT_EQ(ca.days_active, cb.days_active);
+    EXPECT_EQ(ca.early_period_s, cb.early_period_s);
+    EXPECT_EQ(ca.late_period_s, cb.late_period_s);
+    // Longitudinal (serial fallback).
+    const auto ea = a.longitudinal.era_comparison(app);
+    const auto eb = b.longitudinal.era_comparison(app);
+    EXPECT_EQ(ea.early_uj_per_byte, eb.early_uj_per_byte);
+    EXPECT_EQ(ea.late_uj_per_byte, eb.late_uj_per_byte);
+  }
+  // Time-since-foreground (Fig. 6): histogram masses and headline fraction.
+  const auto ha = a.time_since_fg.bytes_histogram().masses();
+  const auto hb = b.time_since_fg.bytes_histogram().masses();
+  ASSERT_EQ(ha.size(), hb.size());
+  for (std::size_t i = 0; i < ha.size(); ++i) EXPECT_EQ(ha[i], hb[i]);
+  EXPECT_EQ(a.time_since_fg.fraction_of_apps_frontloaded(),
+            b.time_since_fg.fraction_of_apps_frontloaded());
+  // Longitudinal weekly series.
+  ASSERT_EQ(a.longitudinal.overall().weeks(), b.longitudinal.overall().weeks());
+  for (std::size_t w = 0; w < a.longitudinal.overall().weeks(); ++w) {
+    EXPECT_EQ(a.longitudinal.overall().fg_joules[w], b.longitudinal.overall().fg_joules[w]);
+    EXPECT_EQ(a.longitudinal.overall().bg_joules[w], b.longitudinal.overall().bg_joules[w]);
+  }
+}
+
+TEST(ParallelDeterminism, ThreadCountsProduceBitIdenticalOutputs) {
+  core::StudyPipeline serial{sim::small_study(/*seed=*/7)};
+  AnalysisSet serial_set;
+  serial_set.attach(serial);
+  serial.run();
+  ASSERT_GT(serial.ledger().total_joules(), 0.0);
+  EXPECT_EQ(serial.last_run_stats().num_threads, 1u);
+
+  for (const unsigned threads : {2u, 8u}) {
+    core::PipelineOptions options;
+    options.num_threads = threads;
+    core::StudyPipeline sharded{sim::small_study(/*seed=*/7), options};
+    AnalysisSet sharded_set;
+    sharded_set.attach(sharded);
+    sharded.run();
+
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    expect_identical_ledgers(serial.ledger(), sharded.ledger());
+    expect_identical_figures(serial.ledger(), sharded.ledger());
+    expect_identical_analyses(serial_set, sharded_set);
+
+    // Attributor totals and counters survive the per-user merge bit-exactly.
+    EXPECT_EQ(serial.attributor().device_joules(), sharded.attributor().device_joules());
+    EXPECT_EQ(serial.attributor().attributed_joules(), sharded.attributor().attributed_joules());
+    EXPECT_EQ(serial.attributor().baseline_joules(), sharded.attributor().baseline_joules());
+    EXPECT_EQ(serial.attributor().tail_joules(), sharded.attributor().tail_joules());
+    EXPECT_EQ(serial.attributor().counters().packets, sharded.attributor().counters().packets);
+    EXPECT_EQ(serial.attributor().counters().transitions,
+              sharded.attributor().counters().transitions);
+    EXPECT_EQ(serial.attributor().counters().tail_attributions,
+              sharded.attributor().counters().tail_attributions);
+
+    // Per-shard stats cover every user and add up to the stream totals.
+    const obs::RunStats& stats = sharded.last_run_stats();
+    EXPECT_EQ(stats.num_threads, std::min<unsigned>(threads, 6));  // capped at num_users
+    ASSERT_EQ(stats.shards.size(), 6u);
+    std::uint64_t shard_packets = 0;
+    for (std::size_t i = 0; i < stats.shards.size(); ++i) {
+      EXPECT_EQ(stats.shards[i].user, i);  // user-id order
+      shard_packets += stats.shards[i].packets;
+    }
+    EXPECT_EQ(shard_packets, stats.packets);
+    EXPECT_EQ(stats.serial_fallback_sinks, 1u);  // longitudinal opted out
+  }
+}
+
+TEST(ParallelDeterminism, RepeatedShardedRunsAreIdempotent) {
+  core::PipelineOptions options;
+  options.num_threads = 8;
+  core::StudyPipeline pipeline{sim::small_study(/*seed=*/7), options};
+  pipeline.run();
+  const double joules = pipeline.ledger().total_joules();
+  const std::uint64_t bytes = pipeline.ledger().total_bytes();
+  const std::uint64_t tails = pipeline.attributor().counters().tail_attributions;
+  pipeline.run();
+  EXPECT_EQ(pipeline.ledger().total_joules(), joules);
+  EXPECT_EQ(pipeline.ledger().total_bytes(), bytes);
+  EXPECT_EQ(pipeline.attributor().counters().tail_attributions, tails);
+
+  // And flipping back to a serial pipeline still agrees.
+  core::StudyPipeline serial{sim::small_study(/*seed=*/7)};
+  serial.run();
+  expect_identical_ledgers(serial.ledger(), pipeline.ledger());
+}
+
+TEST(ParallelDeterminism, NonShardableSinkSeesTheExactSerialStream) {
+  trace::TraceCollector serial_collector;
+  core::StudyPipeline serial{sim::small_study(/*seed=*/3)};
+  serial.add_analysis("collector", &serial_collector);
+  serial.run();
+
+  trace::TraceCollector sharded_collector;
+  core::PipelineOptions options;
+  options.num_threads = 4;
+  core::StudyPipeline sharded{sim::small_study(/*seed=*/3), options};
+  sharded.add_analysis("collector", &sharded_collector);
+  sharded.run();
+  EXPECT_EQ(sharded.last_run_stats().serial_fallback_sinks, 1u);
+
+  ASSERT_EQ(serial_collector.packets().size(), sharded_collector.packets().size());
+  for (std::size_t i = 0; i < serial_collector.packets().size(); ++i) {
+    const auto& p = serial_collector.packets()[i];
+    const auto& q = sharded_collector.packets()[i];
+    EXPECT_EQ(p.time.us, q.time.us);
+    EXPECT_EQ(p.user, q.user);
+    EXPECT_EQ(p.app, q.app);
+    EXPECT_EQ(p.bytes, q.bytes);
+    EXPECT_EQ(p.joules, q.joules);  // replay attribution is bit-identical too
+  }
+  ASSERT_EQ(serial_collector.transitions().size(), sharded_collector.transitions().size());
+
+  // The ledger itself was sharded — and still matches the serial run.
+  expect_identical_ledgers(serial.ledger(), sharded.ledger());
+}
+
+// ------------------------------------------- off-interface byte accounting
+
+TEST(OffInterfaceBytes, ResetAtRunStartNotAccumulatedAcrossRuns) {
+  sim::StudyConfig config = sim::small_study(/*seed=*/5);
+  config.wifi_availability = 0.3;  // so the cellular filter actually drops bytes
+  core::StudyPipeline pipeline{config};
+  pipeline.run();
+  const std::uint64_t dropped = pipeline.off_interface_bytes();
+  EXPECT_GT(dropped, 0u);
+  pipeline.run();
+  EXPECT_EQ(pipeline.off_interface_bytes(), dropped);  // not 2x
+
+  // Sharded runs account the same drops by summing per-shard filters.
+  core::PipelineOptions options;
+  options.num_threads = 8;
+  core::StudyPipeline sharded{config, options};
+  sharded.run();
+  EXPECT_EQ(sharded.off_interface_bytes(), dropped);
+  sharded.run();
+  EXPECT_EQ(sharded.off_interface_bytes(), dropped);
+}
+
+}  // namespace
+}  // namespace wildenergy
