@@ -44,8 +44,8 @@ int main(int argc, char** argv) {
   energy::EnergyLedger ledger;
   energy::EnergyAttributor attributor{radio::make_lte_model, &ledger};
   const auto result = trace::read_csv_trace(buffer, attributor);
-  if (!result.ok) {
-    std::cerr << "parse error: " << result.error << "\n";
+  if (!result.ok()) {
+    std::cerr << "parse error: " << result.error() << "\n";
     return 1;
   }
 

@@ -4,8 +4,13 @@
 //                                   [--format csv|bin] > trace.{csv,bin}
 //       Synthesize a study and stream the energy-annotated trace to stdout.
 //
-//   example_wildenergy_cli analyze [--format csv|bin] < trace.{csv,bin}
+//   example_wildenergy_cli analyze [--format csv|bin] [--replay FILE]
+//                                  [--read-policy strict|skip-and-count|best-effort]
+//                                  [--corrupt KIND [--corrupt-seed N]] < trace.{csv,bin}
 //       Re-attribute an external trace (LTE model) and print the report card.
+//       --replay reads FILE instead of stdin; --read-policy picks how hard
+//       the reader fails on damage; --corrupt injects one deterministic
+//       corruption (fault/injector.h) before parsing, for demos and tests.
 //
 //   example_wildenergy_cli report [--days N] [--users N] [--seed S]
 //       Simulate and print the report card directly (no intermediate file).
@@ -19,11 +24,24 @@
 //
 // Execution: --threads N shards the study by user across a worker pool
 // (core/pipeline.h); every number printed is bit-identical to --threads 1.
+//
+// Resilience (generate/report/figures): --inject-fault user=U,nth=N[,attempts=A]
+// scripts a shard failure (repeatable); --failure-policy retry-then-skip with
+// --max-shard-retries N retries failed shards and skips their users instead
+// of aborting the run.
+//
+// Exit codes: 0 success; 1 runtime/data failure (unreadable or corrupt input,
+// run aborted by a fault, unwritable output); 2 usage error (bad command or
+// flag value).
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/diversity.h"
 #include "analysis/figures.h"
@@ -32,11 +50,15 @@
 #include "core/pipeline.h"
 #include "core/report.h"
 #include "energy/attributor.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "obs/trace_writer.h"
 #include "power/battery.h"
 #include "radio/burst_machine.h"
 #include "trace/binary_io.h"
 #include "trace/csv_io.h"
+#include "trace/read_policy.h"
+#include "trace/validating_sink.h"
 #include "util/table.h"
 
 namespace {
@@ -46,9 +68,19 @@ using namespace wildenergy;
 struct CliOptions {
   sim::StudyConfig study;
   std::string format = "csv";
+  bool format_set = false;  ///< --format given explicitly (analyze sniffs otherwise)
   bool stats = false;
   std::string trace_out;
   unsigned threads = 1;
+  // Ingestion robustness (analyze).
+  std::string replay;  ///< file to read instead of stdin
+  trace::ReadPolicy read_policy = trace::ReadPolicy::kStrict;
+  std::optional<fault::CorruptionKind> corrupt_kind;
+  std::uint64_t corrupt_seed = 0;
+  // Execution resilience (generate/report/figures).
+  std::vector<fault::ShardFaultSpec> faults;
+  core::FailurePolicy failure_policy = core::FailurePolicy::kFailFast;
+  unsigned max_shard_retries = 2;
 };
 
 /// Strict base-10 parse: the whole string must be a number (no "12abc" -> 12,
@@ -91,9 +123,64 @@ bool parse_flags(int argc, char** argv, int start, CliOptions& options) {
         return false;
       }
       options.format = v;
+      options.format_set = true;
     } else if (flag == "--threads") {
       if (!parse_int_flag(flag, next(), 1, value)) return false;
       options.threads = static_cast<unsigned>(value);
+    } else if (flag == "--replay") {
+      const char* v = next();
+      if (!v || *v == '\0') {
+        std::cerr << "--replay requires a file path\n";
+        return false;
+      }
+      options.replay = v;
+    } else if (flag == "--read-policy") {
+      const char* v = next();
+      const std::string_view name = v != nullptr ? v : "";
+      if (name == "strict") {
+        options.read_policy = trace::ReadPolicy::kStrict;
+      } else if (name == "skip-and-count") {
+        options.read_policy = trace::ReadPolicy::kSkipAndCount;
+      } else if (name == "best-effort") {
+        options.read_policy = trace::ReadPolicy::kBestEffort;
+      } else {
+        std::cerr << "--read-policy expects strict|skip-and-count|best-effort, got '" << name
+                  << "'\n";
+        return false;
+      }
+    } else if (flag == "--corrupt") {
+      const char* v = next();
+      const auto kind = fault::parse_corruption_kind(v != nullptr ? v : "");
+      if (!kind.ok()) {
+        std::cerr << "--corrupt: " << kind.status().message() << "\n";
+        return false;
+      }
+      options.corrupt_kind = kind.value();
+    } else if (flag == "--corrupt-seed") {
+      if (!parse_int_flag(flag, next(), 0, value)) return false;
+      options.corrupt_seed = static_cast<std::uint64_t>(value);
+    } else if (flag == "--inject-fault") {
+      const char* v = next();
+      const auto spec = fault::parse_shard_fault_spec(v != nullptr ? v : "");
+      if (!spec.ok()) {
+        std::cerr << "--inject-fault: " << spec.status().message() << "\n";
+        return false;
+      }
+      options.faults.push_back(spec.value());
+    } else if (flag == "--failure-policy") {
+      const char* v = next();
+      const std::string_view name = v != nullptr ? v : "";
+      if (name == "failfast") {
+        options.failure_policy = core::FailurePolicy::kFailFast;
+      } else if (name == "retry-then-skip") {
+        options.failure_policy = core::FailurePolicy::kRetryThenSkip;
+      } else {
+        std::cerr << "--failure-policy expects failfast|retry-then-skip, got '" << name << "'\n";
+        return false;
+      }
+    } else if (flag == "--max-shard-retries") {
+      if (!parse_int_flag(flag, next(), 0, value)) return false;
+      options.max_shard_retries = static_cast<unsigned>(value);
     } else if (flag == "--stats") {
       options.stats = true;
     } else if (flag == "--trace-out") {
@@ -115,14 +202,38 @@ bool parse_flags(int argc, char** argv, int start, CliOptions& options) {
   return true;
 }
 
-/// Pipeline options for the requested observability level, bound to `writer`
-/// (which must outlive the pipeline's run).
-core::PipelineOptions observed_options(const CliOptions& options, obs::TraceWriter& writer) {
+/// Pipeline options for the requested observability and resilience level,
+/// bound to `writer` and `plan` (both must outlive the pipeline's run).
+core::PipelineOptions observed_options(const CliOptions& options, obs::TraceWriter& writer,
+                                       fault::FaultPlan& plan) {
   core::PipelineOptions pipeline_options;
   pipeline_options.collect_stage_stats = options.stats;
   pipeline_options.num_threads = options.threads;
   if (!options.trace_out.empty()) pipeline_options.trace_writer = &writer;
+  pipeline_options.failure_policy = options.failure_policy;
+  pipeline_options.max_shard_retries = options.max_shard_retries;
+  for (const auto& spec : options.faults) plan.add(spec);
+  if (!options.faults.empty()) pipeline_options.fault_plan = &plan;
   return pipeline_options;
+}
+
+/// run() with failures surfaced as an exit-code-1 diagnostic instead of an
+/// unhandled exception (an injected fault under --failure-policy failfast
+/// propagates out of run() by design).
+bool run_guarded(core::StudyPipeline& pipeline) {
+  try {
+    pipeline.run();
+  } catch (const std::exception& e) {
+    std::cerr << "run failed: " << e.what() << "\n";
+    return false;
+  }
+  const auto& stats = pipeline.last_run_stats();
+  if (!stats.failed_users.empty()) {
+    std::cerr << "warning: skipped " << stats.failed_users.size() << " user(s) after "
+              << stats.shard_retries << " shard retr" << (stats.shard_retries == 1 ? "y" : "ies")
+              << "; results cover the surviving users only (--stats for details)\n";
+  }
+  return true;
 }
 
 /// After run(): print --stats to `os` and write --trace-out. Returns false
@@ -146,15 +257,16 @@ bool finish_observability(const CliOptions& options, const core::StudyPipeline& 
 
 int cmd_generate(const CliOptions& options) {
   obs::TraceWriter spans;
-  core::StudyPipeline pipeline{options.study, observed_options(options, spans)};
+  fault::FaultPlan plan;
+  core::StudyPipeline pipeline{options.study, observed_options(options, spans, plan)};
   if (options.format == "bin") {
     trace::BinaryTraceWriter writer{std::cout};
     pipeline.add_analysis("binary-out", &writer);
-    pipeline.run();
+    if (!run_guarded(pipeline)) return 1;
   } else {
     trace::CsvTraceWriter writer{std::cout};
     pipeline.add_analysis("csv-out", &writer);
-    pipeline.run();
+    if (!run_guarded(pipeline)) return 1;
   }
   std::cerr << "generated " << options.study.num_users << " users x "
             << options.study.num_days << " days; "
@@ -163,27 +275,105 @@ int cmd_generate(const CliOptions& options) {
   return finish_observability(options, pipeline, spans, std::cerr) ? 0 : 1;
 }
 
+/// First few quarantined records, one line each, to stderr.
+void print_quarantine(const std::vector<trace::QuarantinedRecord>& quarantine) {
+  for (const auto& q : quarantine) {
+    std::cerr << "  quarantined [" << q.location << "] " << q.reason;
+    if (!q.snippet.empty()) std::cerr << ": " << q.snippet;
+    std::cerr << "\n";
+  }
+}
+
 int cmd_analyze(const CliOptions& options) {
+  // Input: stdin by default, --replay FILE otherwise; always opened binary so
+  // WETR payloads survive untranslated.
+  std::ifstream file;
+  if (!options.replay.empty()) {
+    file.open(options.replay, std::ios::binary);
+    if (!file) {
+      std::cerr << "cannot read --replay file '" << options.replay
+                << "': " << std::strerror(errno) << "\n";
+      return 1;
+    }
+  }
+  std::istream& raw = options.replay.empty() ? std::cin : file;
+
+  // --corrupt: buffer the whole input and damage it deterministically first.
+  std::istringstream corrupted;
+  std::istream* input = &raw;
+  if (options.corrupt_kind) {
+    std::ostringstream buffer;
+    buffer << raw.rdbuf();
+    auto damaged = fault::apply_corruption(
+        std::move(buffer).str(), {*options.corrupt_kind, options.corrupt_seed});
+    if (!damaged.ok()) {
+      std::cerr << "cannot corrupt input: " << damaged.status().message() << "\n";
+      return 1;
+    }
+    std::cerr << "injected " << fault::to_string(*options.corrupt_kind) << " (seed "
+              << options.corrupt_seed << ") before parsing\n";
+    corrupted.str(std::move(damaged).value());
+    input = &corrupted;
+  }
+
   energy::EnergyLedger ledger;
   analysis::PersistenceAnalysis persistence;
   trace::TraceMulticast sinks;
   sinks.add(&ledger);
   sinks.add(&persistence);
   energy::EnergyAttributor attributor{radio::make_lte_model, &sinks};
+  // The reader validates syntax/fields; the ValidatingSink behind it enforces
+  // the stream protocol (bracketing, time order) under the same policy.
+  const trace::ReadOptions read_options{options.read_policy};
+  trace::ValidatingSink validator{&attributor, read_options};
 
-  if (options.format == "bin") {
-    const auto result = trace::read_binary_trace(std::cin, attributor);
-    if (!result.ok) {
-      std::cerr << "parse error: " << result.error << "\n";
+  // Without an explicit --format, sniff the input: the WETR magic starts
+  // with 'W', which no CSV record tag (M/U/P/T/V/E) does. A one-byte peek
+  // works on unseekable stdin too.
+  bool binary = options.format == "bin";
+  if (!options.format_set) binary = input->peek() == 'W';
+
+  std::uint64_t dropped = 0;
+  std::uint64_t repaired = 0;
+  bool truncated = false;
+  if (binary) {
+    const auto result = trace::read_binary_trace(*input, validator, read_options);
+    if (!result.ok()) {
+      std::cerr << "parse error: " << result.error() << "\n";
+      print_quarantine(result.quarantine);
       return 1;
     }
+    dropped = result.records_dropped;
+    repaired = result.records_repaired;
+    truncated = result.truncated;
+    if (!result.checksum_ok) std::cerr << "warning: checksum mismatch (best-effort read)\n";
+    print_quarantine(result.quarantine);
   } else {
-    const auto result = trace::read_csv_trace(std::cin, attributor);
-    if (!result.ok) {
-      std::cerr << "parse error: " << result.error << "\n";
+    const auto result = trace::read_csv_trace(*input, validator, read_options);
+    if (!result.ok()) {
+      std::cerr << "parse error: " << result.error() << "\n";
+      print_quarantine(result.quarantine);
       return 1;
     }
+    dropped = result.records_dropped;
+    repaired = result.records_repaired;
+    truncated = result.truncated;
+    print_quarantine(result.quarantine);
   }
+  if (!validator.status().ok()) {
+    std::cerr << "protocol error: " << validator.status().message() << "\n";
+    print_quarantine(validator.quarantine());
+    return 1;
+  }
+  dropped += validator.records_dropped();
+  repaired += validator.records_repaired();
+  print_quarantine(validator.quarantine());
+  if (dropped > 0 || repaired > 0 || truncated) {
+    std::cerr << "degraded read: " << dropped << " record(s) dropped, " << repaired
+              << " repaired" << (truncated ? ", stream truncated before the E record" : "")
+              << "\n";
+  }
+
   // App names are unknown for external traces; use the default catalog's
   // names where ids overlap, "appN" otherwise.
   const auto catalog = appmodel::AppCatalog::full_catalog(options.study.seed);
@@ -193,10 +383,11 @@ int cmd_analyze(const CliOptions& options) {
 
 int cmd_report(const CliOptions& options) {
   obs::TraceWriter spans;
-  core::StudyPipeline pipeline{options.study, observed_options(options, spans)};
+  fault::FaultPlan plan;
+  core::StudyPipeline pipeline{options.study, observed_options(options, spans, plan)};
   analysis::PersistenceAnalysis persistence;
   pipeline.add_analysis("persistence", &persistence);
-  pipeline.run();
+  if (!run_guarded(pipeline)) return 1;
   const auto report =
       core::Report::build(pipeline.ledger(), pipeline.catalog(), &persistence);
   report.print(std::cout);
@@ -212,12 +403,13 @@ int cmd_report(const CliOptions& options) {
 
 int cmd_figures(const CliOptions& options) {
   obs::TraceWriter spans;
-  core::StudyPipeline pipeline{options.study, observed_options(options, spans)};
+  fault::FaultPlan plan;
+  core::StudyPipeline pipeline{options.study, observed_options(options, spans, plan)};
   analysis::PersistenceAnalysis persistence;
   analysis::TimeSinceForegroundAnalysis tsf;
   pipeline.add_analysis("persistence", &persistence);
   pipeline.add_analysis("time-since-fg", &tsf);
-  pipeline.run();
+  if (!run_guarded(pipeline)) return 1;
   const auto& ledger = pipeline.ledger();
 
   const auto overall = analysis::overall_state_breakdown(ledger);
@@ -248,7 +440,16 @@ int main(int argc, char** argv) {
     std::cerr << "usage: " << argv[0] << " generate|analyze|report|figures [flags]\n"
               << "flags: --days N --users N --seed S --format csv|bin\n"
               << "       --threads N (shard the study by user; results identical to serial)\n"
-              << "       --stats (per-stage profile)  --trace-out FILE (Perfetto spans)\n";
+              << "       --stats (per-stage profile)  --trace-out FILE (Perfetto spans)\n"
+              << "analyze: --replay FILE (read FILE instead of stdin)\n"
+              << "         --read-policy strict|skip-and-count|best-effort\n"
+              << "         --corrupt bit-flip|truncate|duplicate-span|swap-spans|bad-enum|"
+                 "bad-timestamp --corrupt-seed N\n"
+              << "resilience: --inject-fault user=U,nth=N[,attempts=A][,stall_ms=S] "
+                 "(repeatable)\n"
+              << "            --failure-policy failfast|retry-then-skip  "
+                 "--max-shard-retries N\n"
+              << "exit codes: 0 ok; 1 runtime/data failure; 2 usage error\n";
     return 2;
   }
   CliOptions options;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "fault/plan.h"
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
 #include "radio/burst_machine.h"
@@ -21,6 +23,37 @@ energy::RadioModelFactory resolve_factory(PipelineOptions& options) {
   if (!options.radio_factory) options.radio_factory = radio::make_lte_model;
   return options.radio_factory;
 }
+
+// Drops the whole bracket (begin, events, end) of every user in `skip`, so
+// the fallback replay pass feeds non-shardable sinks the same surviving-user
+// study the shard merge produced.
+class UserSkipFilter final : public trace::TraceSink {
+ public:
+  UserSkipFilter(trace::TraceSink* downstream, const std::set<std::uint64_t>& skip)
+      : downstream_(downstream), skip_(skip) {}
+
+  void on_study_begin(const trace::StudyMeta& meta) override { downstream_->on_study_begin(meta); }
+  void on_user_begin(trace::UserId user) override {
+    skipping_ = skip_.count(user) > 0;
+    if (!skipping_) downstream_->on_user_begin(user);
+  }
+  void on_packet(const trace::PacketRecord& p) override {
+    if (!skipping_) downstream_->on_packet(p);
+  }
+  void on_transition(const trace::StateTransition& t) override {
+    if (!skipping_) downstream_->on_transition(t);
+  }
+  void on_user_end(trace::UserId user) override {
+    if (!skipping_) downstream_->on_user_end(user);
+    skipping_ = false;
+  }
+  void on_study_end() override { downstream_->on_study_end(); }
+
+ private:
+  trace::TraceSink* downstream_;
+  const std::set<std::uint64_t>& skip_;
+  bool skipping_ = false;
+};
 
 // Names of the global radio counters snapshotted around each run so
 // RunStats reports per-run deltas even though the registry is process-wide.
@@ -42,6 +75,9 @@ StudyPipeline::StudyPipeline(sim::StudyConfig config, PipelineOptions options)
       tail_policy_(options.tail_policy),
       interface_(options.interface),
       num_threads_(options.num_threads),
+      failure_policy_(options.failure_policy),
+      max_shard_retries_(options.max_shard_retries),
+      fault_plan_(options.fault_plan),
       collect_stage_stats_(options.collect_stage_stats),
       trace_writer_(options.trace_writer) {}
 
@@ -53,6 +89,9 @@ StudyPipeline::StudyPipeline(sim::StudyConfig config, appmodel::AppCatalog catal
       tail_policy_(options.tail_policy),
       interface_(options.interface),
       num_threads_(options.num_threads),
+      failure_policy_(options.failure_policy),
+      max_shard_retries_(options.max_shard_retries),
+      fault_plan_(options.fault_plan),
       collect_stage_stats_(options.collect_stage_stats),
       trace_writer_(options.trace_writer) {}
 
@@ -73,7 +112,12 @@ void StudyPipeline::run() {
   const std::uint32_t num_users = generator_.config().num_users;
   const unsigned shard_threads =
       std::min<unsigned>(num_threads_, std::max<std::uint32_t>(num_users, 1));
-  if (shard_threads <= 1 || num_users <= 1) {
+  // Retry/skip and scripted faults need per-user isolation, which only the
+  // sharded engine provides — route through it even at num_threads == 1
+  // (results are bit-identical for every thread count by construction).
+  const bool needs_isolation = failure_policy_ == FailurePolicy::kRetryThenSkip ||
+                               (fault_plan_ != nullptr && !fault_plan_->empty());
+  if (num_users == 0 || (!needs_isolation && (shard_threads <= 1 || num_users <= 1))) {
     run_serial();
   } else {
     run_sharded(shard_threads);
@@ -214,13 +258,17 @@ void StudyPipeline::run_sharded(unsigned num_threads) {
     std::unique_ptr<energy::EnergyAttributor> attributor;
     std::unique_ptr<trace::TraceSink> policy;
     std::unique_ptr<trace::InterfaceFilter> filter;
+    std::unique_ptr<trace::TraceSink> fault;  ///< FaultPlan decorator, if any
+    trace::TraceSink* entry = nullptr;        ///< fault ? fault : filter
     double wall_ms = 0.0;
     unsigned worker = 0;
     std::int64_t span_start_us = 0;
+    unsigned attempts = 0;
+    util::Status error;  ///< non-OK while the latest attempt has failed
   };
-  std::vector<std::unique_ptr<Shard>> shards;
-  shards.reserve(num_users);
-  for (std::uint32_t user = 0; user < num_users; ++user) {
+  // Building a shard is also how a failed one is retried: a fresh build has
+  // no partial state, so a re-run is the same deterministic computation.
+  const auto build_shard = [&](std::uint32_t user) {
     auto shard = std::make_unique<Shard>();
     for (const auto* parent : shardable) {
       shard->clones.push_back(parent->clone_shard());
@@ -234,9 +282,22 @@ void StudyPipeline::run_sharded(unsigned num_threads) {
       head = shard->policy.get();
     }
     shard->filter = std::make_unique<trace::InterfaceFilter>(head, interface_);
-    shards.push_back(std::move(shard));
+    shard->entry = shard->filter.get();
+    if (fault_plan_ != nullptr) {
+      // wrap() counts one attempt per call, so a retry's rebuild re-arms or
+      // disarms the fault deterministically.
+      shard->fault = fault_plan_->wrap(static_cast<trace::UserId>(user), shard->filter.get());
+      if (shard->fault != nullptr) shard->entry = shard->fault.get();
+    }
+    return shard;
+  };
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(num_users);
+  for (std::uint32_t user = 0; user < num_users; ++user) {
+    shards.push_back(build_shard(user));
   }
 
+  const bool retry_then_skip = failure_policy_ == FailurePolicy::kRetryThenSkip;
   const std::int64_t run_start_us = trace_writer_ != nullptr ? trace_writer_->now_us() : 0;
   obs::Stopwatch total;
   {
@@ -247,21 +308,61 @@ void StudyPipeline::run_sharded(unsigned num_threads) {
       // its counters from current(), i.e. this shard's registry.
       const obs::ScopedMetricsRegistry scoped{&shard.registry};
       shard.worker = worker;
+      ++shard.attempts;
       shard.span_start_us = trace_writer_ != nullptr ? trace_writer_->now_us() : 0;
       const obs::Stopwatch watch;
-      generator_.run_user(static_cast<trace::UserId>(index), *shard.filter);
+      if (retry_then_skip) {
+        try {
+          generator_.run_user(static_cast<trace::UserId>(index), *shard.entry);
+        } catch (const std::exception& e) {
+          shard.error = util::Status::aborted(e.what());
+        }
+      } else {
+        // kFailFast: the pool rethrows the first exception out of run().
+        generator_.run_user(static_cast<trace::UserId>(index), *shard.entry);
+      }
       shard.wall_ms = watch.elapsed_ms();
     });
   }
 
-  // Deterministic merge, in user-id order. Parents are reset through the
-  // standard study bracket first so repeated run() calls stay idempotent.
+  // Retry failed shards serially (failures are the exception, and the
+  // builders — policy factory, clone_shard — need not be thread-safe). Each
+  // retry is a fresh build, so the re-run is deterministic by construction;
+  // a shard that exhausts its retries gets its user skipped below.
+  if (retry_then_skip) {
+    for (std::uint32_t user = 0; user < num_users; ++user) {
+      Shard* shard = shards[user].get();
+      for (unsigned retry = 0; !shard->error.ok() && retry < max_shard_retries_; ++retry) {
+        auto fresh = build_shard(user);
+        fresh->worker = shard->worker;
+        fresh->attempts = shard->attempts + 1;
+        ++stats_.shard_retries;
+        const obs::ScopedMetricsRegistry scoped{&fresh->registry};
+        fresh->span_start_us = trace_writer_ != nullptr ? trace_writer_->now_us() : 0;
+        const obs::Stopwatch watch;
+        try {
+          generator_.run_user(static_cast<trace::UserId>(user), *fresh->entry);
+        } catch (const std::exception& e) {
+          fresh->error = util::Status::aborted(e.what());
+        }
+        fresh->wall_ms = watch.elapsed_ms();
+        shards[user] = std::move(fresh);
+        shard = shards[user].get();
+      }
+      if (!shard->error.ok()) stats_.failed_users.push_back(user);
+    }
+  }
+
+  // Deterministic merge, in user-id order, skipping failed shards. Parents
+  // are reset through the standard study bracket first so repeated run()
+  // calls stay idempotent.
   downstream_.clear();
   attributor_.on_study_begin(meta);  // resets parent totals; fan-out is empty
   for (auto* parent : sharded_parents) parent->on_study_begin(meta);
   std::uint64_t dropped_packets = 0;
   for (std::uint32_t user = 0; user < num_users; ++user) {
     Shard& shard = *shards[user];
+    if (!shard.error.ok()) continue;  // skipped user: nothing of it survives
     attributor_.merge_from(*shard.attributor);
     for (std::size_t i = 0; i < shardable.size(); ++i) {
       shardable[i]->merge_from(*shard.clones[i]);
@@ -275,7 +376,9 @@ void StudyPipeline::run_sharded(unsigned num_threads) {
   // Non-shardable sinks get the exact serial stream via a replay pass: the
   // generator is deterministic, so this is the stream a serial run would
   // have fed them. The replay's radio/attribution work happens under a
-  // scratch registry so global counters are not double-counted.
+  // scratch registry so global counters are not double-counted. Users whose
+  // shard was skipped are filtered out of the replay too, so every sink —
+  // shardable or not — sees the same surviving-user study.
   if (!fallback.empty()) {
     stats_.serial_fallback_sinks = fallback.size();
     trace::TraceMulticast fan;
@@ -288,9 +391,12 @@ void StudyPipeline::run_sharded(unsigned num_threads) {
       head = policy.get();
     }
     trace::InterfaceFilter filter{head, interface_};
+    const std::set<std::uint64_t> skipped(stats_.failed_users.begin(),
+                                          stats_.failed_users.end());
+    UserSkipFilter skip_filter{&filter, skipped};
     obs::MetricsRegistry scratch;
     const obs::ScopedMetricsRegistry scoped{&scratch};
-    generator_.run(filter);
+    generator_.run(skipped.empty() ? static_cast<trace::TraceSink&>(filter) : skip_filter);
   }
   stats_.wall_ms = total.elapsed_ms();
 
@@ -321,15 +427,20 @@ void StudyPipeline::run_sharded(unsigned num_threads) {
   stats_.shards.reserve(num_users);
   for (std::uint32_t user = 0; user < num_users; ++user) {
     const Shard& shard = *shards[user];
-    const auto& shard_ledger =
-        dynamic_cast<const energy::EnergyLedger&>(*shard.clones[0]);  // ledger is sinks[0]
     obs::ShardRunStats s;
     s.user = user;
     s.worker = shard.worker;
     s.wall_ms = shard.wall_ms;
-    s.packets = shard_ledger.total_packets();
-    s.bytes = shard_ledger.total_bytes();
-    s.joules = shard_ledger.total_joules();
+    s.attempts = std::max(1u, shard.attempts);
+    s.skipped = !shard.error.ok();
+    s.status = shard.error;
+    if (!s.skipped) {
+      const auto& shard_ledger =
+          dynamic_cast<const energy::EnergyLedger&>(*shard.clones[0]);  // ledger is sinks[0]
+      s.packets = shard_ledger.total_packets();
+      s.bytes = shard_ledger.total_bytes();
+      s.joules = shard_ledger.total_joules();
+    }
     stats_.shards.push_back(s);
   }
 

@@ -29,7 +29,23 @@
 #include "sim/generator.h"
 #include "trace/sink.h"
 
+namespace wildenergy::fault {
+class FaultPlan;
+}  // namespace wildenergy::fault
+
 namespace wildenergy::core {
+
+/// What a throwing shard means for the rest of the run.
+enum class FailurePolicy : std::uint8_t {
+  /// Propagate the first shard failure out of run() (the pre-PR-3 behavior).
+  kFailFast = 0,
+  /// Retry the failed shard up to max_shard_retries times (re-running a
+  /// shard is deterministic by construction); if it still fails, skip that
+  /// user, record the failure in RunStats (failed_users, shard_retries,
+  /// per-shard status), and keep going. The merged result is bit-identical
+  /// to a serial run over the surviving users.
+  kRetryThenSkip,
+};
 
 struct PipelineOptions {
   /// Radio model per user device; defaults to LTE (set in pipeline.cpp).
@@ -52,6 +68,18 @@ struct PipelineOptions {
   /// Every output is bit-identical for every value (see trace/shardable.h).
   /// With N > 1 the radio factory must be safe to invoke concurrently.
   unsigned num_threads = 1;
+  /// Shard failure handling. kRetryThenSkip (like a non-empty fault_plan)
+  /// routes the run through the sharded engine even when num_threads == 1,
+  /// because retry/skip needs per-user isolation; outputs stay bit-identical
+  /// across thread counts either way.
+  FailurePolicy failure_policy = FailurePolicy::kFailFast;
+  /// Extra attempts a failed shard gets under kRetryThenSkip before its
+  /// user is skipped.
+  unsigned max_shard_retries = 2;
+  /// Scripted shard faults for tests/benches/CLI (--inject-fault).
+  /// Non-owning; must outlive run(). Under kFailFast an injected fault
+  /// propagates out of run() as fault::ShardFault.
+  fault::FaultPlan* fault_plan = nullptr;
 };
 
 class StudyPipeline {
@@ -113,6 +141,9 @@ class StudyPipeline {
   PolicyFactory policy_factory_;
   trace::Interface interface_ = trace::Interface::kCellular;
   unsigned num_threads_ = 1;
+  FailurePolicy failure_policy_ = FailurePolicy::kFailFast;
+  unsigned max_shard_retries_ = 2;
+  fault::FaultPlan* fault_plan_ = nullptr;
   std::uint64_t off_interface_bytes_ = 0;
   /// Registered analyses, in registration order; fan-out is rebuilt per run.
   std::vector<std::pair<std::string, trace::TraceSink*>> analyses_;

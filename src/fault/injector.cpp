@@ -1,0 +1,171 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wildenergy::fault {
+
+namespace {
+
+// Split the buffer into lines (without trailing '\n'); returns the indices
+// of lines that look like CSV data records with at least `min_fields`
+// comma-separated fields and the given tag.
+struct CsvLines {
+  std::vector<std::string> lines;
+  std::vector<std::size_t> packet_lines;      // "P,..." lines
+  std::vector<std::size_t> timestamped_lines; // "P,..." and "T,..." lines
+};
+
+CsvLines split_csv(const std::string& data) {
+  CsvLines out;
+  std::size_t start = 0;
+  while (start <= data.size()) {
+    const std::size_t nl = data.find('\n', start);
+    const std::size_t end = nl == std::string::npos ? data.size() : nl;
+    if (end > start || nl != std::string::npos) {
+      out.lines.emplace_back(data.substr(start, end - start));
+    }
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+  for (std::size_t i = 0; i < out.lines.size(); ++i) {
+    const std::string& line = out.lines[i];
+    if (line.rfind("P,", 0) == 0) {
+      out.packet_lines.push_back(i);
+      out.timestamped_lines.push_back(i);
+    } else if (line.rfind("T,", 0) == 0) {
+      out.timestamped_lines.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Replace field `index` (0-based) of a CSV line with `value`.
+std::string replace_field(const std::string& line, std::size_t index, std::string_view value) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      fields.push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (index < fields.size()) fields[index] = value;
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += fields[i];
+  }
+  return out;
+}
+
+util::StatusOr<std::string> bit_flip(std::string data, Rng& rng) {
+  const std::size_t offset = rng.uniform_int(data.size());
+  const int bit = static_cast<int>(rng.uniform_int(8));
+  data[offset] = static_cast<char>(static_cast<unsigned char>(data[offset]) ^ (1u << bit));
+  return data;
+}
+
+util::StatusOr<std::string> truncate(std::string data, Rng& rng) {
+  // Never the full length: a "truncation" that keeps every byte is no fault.
+  data.resize(rng.uniform_int(data.size()));
+  return data;
+}
+
+util::StatusOr<std::string> duplicate_span(std::string data, Rng& rng) {
+  const std::size_t len = 1 + rng.uniform_int(std::min<std::size_t>(data.size(), 16));
+  const std::size_t offset = rng.uniform_int(data.size() - len + 1);
+  data.insert(offset + len, data.substr(offset, len));
+  return data;
+}
+
+util::StatusOr<std::string> swap_spans(std::string data, Rng& rng) {
+  if (data.size() < 2) return util::Status::invalid_argument("buffer too short to swap spans");
+  const std::size_t len = 1 + rng.uniform_int(std::min<std::size_t>(data.size() / 2, 16));
+  // Pick two non-overlapping spans: a from the front half, b after a.
+  const std::size_t a = rng.uniform_int(data.size() - 2 * len + 1);
+  const std::size_t b = a + len + rng.uniform_int(data.size() - a - 2 * len + 1);
+  for (std::size_t i = 0; i < len; ++i) std::swap(data[a + i], data[b + i]);
+  return data;
+}
+
+util::StatusOr<std::string> bad_enum(const std::string& data, Rng& rng) {
+  CsvLines csv = split_csv(data);
+  if (csv.packet_lines.empty()) {
+    return util::Status::invalid_argument("no CSV packet records to corrupt");
+  }
+  const std::size_t line = csv.packet_lines[rng.uniform_int(csv.packet_lines.size())];
+  // Packet fields 6/7/8 are direction/interface/state (csv_io.h header).
+  static constexpr std::string_view kJunk[] = {"sideways", "carrier-pigeon", "zombie"};
+  const std::size_t field = 6 + rng.uniform_int(3);
+  csv.lines[line] = replace_field(csv.lines[line], field, kJunk[field - 6]);
+  return join_lines(csv.lines);
+}
+
+util::StatusOr<std::string> bad_timestamp(const std::string& data, Rng& rng) {
+  CsvLines csv = split_csv(data);
+  if (csv.timestamped_lines.empty()) {
+    return util::Status::invalid_argument("no timestamped CSV records to corrupt");
+  }
+  const std::size_t line =
+      csv.timestamped_lines[rng.uniform_int(csv.timestamped_lines.size())];
+  // Out-of-range in either direction: long before the study, or ~292 years
+  // after the epoch — both violate per-user monotonicity or the study window.
+  const bool backwards = rng.chance(0.5);
+  csv.lines[line] =
+      replace_field(csv.lines[line], 1, backwards ? "-1" : "9223372036854775807");
+  return join_lines(csv.lines);
+}
+
+}  // namespace
+
+std::string_view to_string(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kBitFlip: return "bit-flip";
+    case CorruptionKind::kTruncate: return "truncate";
+    case CorruptionKind::kDuplicateSpan: return "duplicate-span";
+    case CorruptionKind::kSwapSpans: return "swap-spans";
+    case CorruptionKind::kBadEnum: return "bad-enum";
+    case CorruptionKind::kBadTimestamp: return "bad-timestamp";
+  }
+  return "?";
+}
+
+util::StatusOr<CorruptionKind> parse_corruption_kind(std::string_view text) {
+  for (const CorruptionKind kind :
+       {CorruptionKind::kBitFlip, CorruptionKind::kTruncate, CorruptionKind::kDuplicateSpan,
+        CorruptionKind::kSwapSpans, CorruptionKind::kBadEnum, CorruptionKind::kBadTimestamp}) {
+    if (text == to_string(kind)) return kind;
+  }
+  return util::Status::invalid_argument("unknown corruption kind '" + std::string(text) +
+                                        "' (want bit-flip|truncate|duplicate-span|swap-spans|"
+                                        "bad-enum|bad-timestamp)");
+}
+
+util::StatusOr<std::string> apply_corruption(std::string data, const CorruptionSpec& spec) {
+  if (data.empty()) return util::Status::invalid_argument("cannot corrupt an empty buffer");
+  Rng rng = Rng::keyed({spec.seed, static_cast<std::uint64_t>(spec.kind), data.size()});
+  switch (spec.kind) {
+    case CorruptionKind::kBitFlip: return bit_flip(std::move(data), rng);
+    case CorruptionKind::kTruncate: return truncate(std::move(data), rng);
+    case CorruptionKind::kDuplicateSpan: return duplicate_span(std::move(data), rng);
+    case CorruptionKind::kSwapSpans: return swap_spans(std::move(data), rng);
+    case CorruptionKind::kBadEnum: return bad_enum(data, rng);
+    case CorruptionKind::kBadTimestamp: return bad_timestamp(data, rng);
+  }
+  return util::Status::internal("unhandled corruption kind");
+}
+
+}  // namespace wildenergy::fault

@@ -1,0 +1,146 @@
+#include "fault/plan.h"
+
+#include <charconv>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace wildenergy::fault {
+
+namespace {
+
+/// The decorator wrap() returns: forwards every callback, and at the Nth one
+/// (counting all six callback kinds) stalls and/or throws per the spec.
+class FaultySink final : public trace::TraceSink {
+ public:
+  FaultySink(const ShardFaultSpec& spec, bool armed, trace::TraceSink* downstream)
+      : spec_(spec), armed_(armed), downstream_(downstream) {}
+
+  void on_study_begin(const trace::StudyMeta& meta) override {
+    tick();
+    downstream_->on_study_begin(meta);
+  }
+  void on_user_begin(trace::UserId user) override {
+    tick();
+    downstream_->on_user_begin(user);
+  }
+  void on_packet(const trace::PacketRecord& packet) override {
+    tick();
+    downstream_->on_packet(packet);
+  }
+  void on_transition(const trace::StateTransition& transition) override {
+    tick();
+    downstream_->on_transition(transition);
+  }
+  void on_user_end(trace::UserId user) override {
+    tick();
+    downstream_->on_user_end(user);
+  }
+  void on_study_end() override {
+    tick();
+    downstream_->on_study_end();
+  }
+
+ private:
+  void tick() {
+    if (++callbacks_ != spec_.nth_callback || !armed_) return;
+    if (spec_.stall_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec_.stall_ms));
+    }
+    throw ShardFault("injected fault: user " + std::to_string(spec_.user) + " at callback " +
+                     std::to_string(callbacks_));
+  }
+
+  ShardFaultSpec spec_;
+  bool armed_;  ///< false once the user's attempts exceed fail_attempts
+  trace::TraceSink* downstream_;
+  std::uint64_t callbacks_ = 0;
+};
+
+}  // namespace
+
+util::StatusOr<ShardFaultSpec> parse_shard_fault_spec(std::string_view text) {
+  constexpr std::string_view kUsage =
+      " (want user=U,nth=N[,attempts=A][,stall_ms=S])";
+  ShardFaultSpec spec;
+  bool saw_user = false;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string_view pair =
+        text.substr(start, (comma == std::string_view::npos ? text.size() : comma) - start);
+    start = comma == std::string_view::npos ? text.size() + 1 : comma + 1;
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return util::Status::invalid_argument("fault spec '" + std::string(text) +
+                                            "': missing '=' in '" + std::string(pair) + "'" +
+                                            std::string(kUsage));
+    }
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view value = pair.substr(eq + 1);
+    std::uint64_t parsed = 0;
+    const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (ec != std::errc{} || ptr != value.data() + value.size()) {
+      return util::Status::invalid_argument("fault spec '" + std::string(text) + "': '" +
+                                            std::string(value) + "' is not a non-negative integer" +
+                                            std::string(kUsage));
+    }
+    if (key == "user") {
+      spec.user = static_cast<trace::UserId>(parsed);
+      saw_user = true;
+    } else if (key == "nth") {
+      spec.nth_callback = parsed;
+    } else if (key == "attempts") {
+      spec.fail_attempts = static_cast<unsigned>(parsed);
+    } else if (key == "stall_ms") {
+      spec.stall_ms = static_cast<unsigned>(parsed);
+    } else {
+      return util::Status::invalid_argument("fault spec '" + std::string(text) +
+                                            "': unknown key '" + std::string(key) + "'" +
+                                            std::string(kUsage));
+    }
+  }
+  if (!saw_user) {
+    return util::Status::invalid_argument("fault spec '" + std::string(text) +
+                                          "': user=U is required" + std::string(kUsage));
+  }
+  if (spec.nth_callback == 0) {
+    return util::Status::invalid_argument("fault spec '" + std::string(text) +
+                                          "': nth must be >= 1" + std::string(kUsage));
+  }
+  return spec;
+}
+
+void FaultPlan::add(const ShardFaultSpec& spec) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  faults_[spec.user] = spec;
+}
+
+bool FaultPlan::has_fault_for(trace::UserId user) const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return faults_.count(user) > 0;
+}
+
+bool FaultPlan::empty() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return faults_.empty();
+}
+
+unsigned FaultPlan::attempts(trace::UserId user) const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  const auto it = attempts_.find(user);
+  return it == attempts_.end() ? 0 : it->second;
+}
+
+std::unique_ptr<trace::TraceSink> FaultPlan::wrap(trace::UserId user,
+                                                  trace::TraceSink* downstream) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  const auto it = faults_.find(user);
+  if (it == faults_.end()) return nullptr;
+  const unsigned attempt = ++attempts_[user];  // 1-based
+  const bool armed = attempt <= it->second.fail_attempts;
+  return std::make_unique<FaultySink>(it->second, armed, downstream);
+}
+
+}  // namespace wildenergy::fault

@@ -28,12 +28,28 @@ void RunStats::print(std::ostream& os) const {
      << " queued behind airtime), " << radio_promotions << " promotions, " << radio_repromotions
      << " re-promotions\n";
 
+  if (shard_retries > 0 || !failed_users.empty()) {
+    os << "resilience:    " << shard_retries << " shard retr" << (shard_retries == 1 ? "y" : "ies")
+       << ", " << failed_users.size() << " user(s) skipped";
+    if (!failed_users.empty()) {
+      os << " (";
+      for (std::size_t i = 0; i < failed_users.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << failed_users[i];
+      }
+      os << ")";
+    }
+    os << "\n";
+  }
+
   if (!shards.empty()) {
     os << "\n-- per-shard (user) breakdown --\n";
-    TextTable shard_table({"user", "worker", "wall (ms)", "packets", "joules"});
+    TextTable shard_table({"user", "worker", "wall (ms)", "packets", "joules", "attempts"});
     for (const auto& s : shards) {
       shard_table.add_row({std::to_string(s.user), std::to_string(s.worker), fmt(s.wall_ms, 1),
-                           std::to_string(s.packets), fmt(s.joules, 1)});
+                           std::to_string(s.packets), fmt(s.joules, 1),
+                           s.skipped ? "skipped: " + s.status.message()
+                                     : std::to_string(s.attempts)});
     }
     shard_table.print(os);
     if (serial_fallback_sinks > 0) {

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace wildenergy::obs {
 
 /// One pipeline stage's share of a run, as seen by its InstrumentedSink.
@@ -36,6 +38,10 @@ struct ShardRunStats {
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
   double joules = 0.0;
+  // Failure handling (PipelineOptions::FailurePolicy::kRetryThenSkip).
+  unsigned attempts = 1;   ///< 1 = succeeded first try; >1 = retried
+  bool skipped = false;    ///< user excluded from the merge after retries
+  util::Status status;     ///< last failure; OK for healthy shards
 };
 
 struct RunStats {
@@ -76,6 +82,12 @@ struct RunStats {
   // replay pass because they are not shardable.
   std::vector<ShardRunStats> shards;
   std::uint64_t serial_fallback_sinks = 0;
+
+  // Failure handling (FailurePolicy::kRetryThenSkip): total extra shard
+  // attempts this run, and the users dropped from the merge after their
+  // shard exhausted max_shard_retries (each shard's error is in `shards`).
+  std::uint64_t shard_retries = 0;
+  std::vector<std::uint64_t> failed_users;
 
   [[nodiscard]] double packets_per_sec() const {
     return wall_ms > 0.0 ? static_cast<double>(packets) / (wall_ms / 1e3) : 0.0;

@@ -5,12 +5,16 @@
 #include <istream>
 #include <ostream>
 
+#include "obs/metrics.h"
+
 namespace wildenergy::trace {
 
 namespace {
 
 constexpr char kMagic[4] = {'W', 'E', 'T', 'R'};
 constexpr std::uint8_t kVersion = 1;
+// 10 7-bit groups cover 64 bits; an 11th continuation byte is always corrupt.
+constexpr int kMaxVarintBytes = 10;
 
 constexpr std::uint64_t zigzag(std::int64_t v) {
   return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
@@ -107,27 +111,43 @@ void BinaryTraceWriter::on_study_end() {
 
 namespace {
 
+/// Why a primitive read failed: framing damage comes in two distinct
+/// flavors that must produce distinct errors (truncation is expected in the
+/// wild; an overlong varint is always corruption).
+enum class ReadFail { kNone, kEof, kOverlongVarint };
+
 class Reader {
  public:
   explicit Reader(std::istream& is) : is_(is) {}
 
   bool get_byte(std::uint8_t& b) {
     const int c = is_.get();
-    if (c == EOF) return false;
+    if (c == EOF) {
+      fail_ = ReadFail::kEof;
+      return false;
+    }
     b = static_cast<std::uint8_t>(c);
     fnv_step(checksum_, b);
+    ++offset_;
     return true;
   }
 
   bool get_varint(std::uint64_t& v) {
     v = 0;
-    for (int shift = 0; shift < 64; shift += 7) {
+    for (int i = 0; i < kMaxVarintBytes; ++i) {
       std::uint8_t b = 0;
       if (!get_byte(b)) return false;
-      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      // The 10th byte may only contribute the top bit of the 64-bit value:
+      // anything else (including a continuation bit) is an overlong varint.
+      if (i == kMaxVarintBytes - 1 && b > 1) {
+        fail_ = ReadFail::kOverlongVarint;
+        return false;
+      }
+      v |= static_cast<std::uint64_t>(b & 0x7F) << (7 * i);
       if ((b & 0x80) == 0) return true;
     }
-    return false;  // overlong varint
+    fail_ = ReadFail::kOverlongVarint;
+    return false;
   }
 
   bool get_f64(double& v) {
@@ -146,26 +166,39 @@ class Reader {
     sum = 0;
     for (int i = 0; i < 8; ++i) {
       const int c = is_.get();
-      if (c == EOF) return false;
+      if (c == EOF) {
+        fail_ = ReadFail::kEof;
+        return false;
+      }
       sum |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(c)) << (8 * i);
+      ++offset_;
     }
     return true;
   }
 
+  /// True if any byte remains after the trailer (trailing garbage).
+  bool at_eof() { return is_.peek() == EOF; }
+
   [[nodiscard]] std::uint64_t checksum() const { return checksum_; }
+  [[nodiscard]] ReadFail last_fail() const { return fail_; }
+  /// Payload bytes consumed so far (excludes magic + version).
+  [[nodiscard]] std::uint64_t offset() const { return offset_; }
 
  private:
   std::istream& is_;
   std::uint64_t checksum_ = 0xCBF29CE484222325ULL;
+  std::uint64_t offset_ = 0;
+  ReadFail fail_ = ReadFail::kNone;
 };
 
 }  // namespace
 
-BinaryReadResult read_binary_trace(std::istream& is, TraceSink& sink) {
+BinaryReadResult read_binary_trace(std::istream& is, TraceSink& sink,
+                                   const ReadOptions& options) {
   BinaryReadResult result;
-  const auto fail = [&](const char* why) {
-    result.ok = false;
-    result.error = why;
+  auto& registry = obs::MetricsRegistry::current();
+  const auto fail = [&](std::string why) {
+    result.status = util::Status::data_loss(std::move(why));
     return result;
   };
 
@@ -179,9 +212,43 @@ BinaryReadResult read_binary_trace(std::istream& is, TraceSink& sink) {
 
   Reader reader{is};
   std::int64_t last_time_us = 0;
+
+  // Skip the rest of the current (fully framed) record under the lenient
+  // policies, or report `why` as fatal under kStrict.
+  const auto drop_record = [&](const std::string& why, const std::string& snippet) {
+    ++result.records_dropped;
+    registry.counter("ingest.records_dropped").inc();
+    if (result.quarantine.size() < options.max_quarantine) {
+      result.quarantine.push_back({reader.offset(), why, snippet});
+    }
+  };
+  // Framing damage: the record boundary is lost, so no policy can resync.
+  // kBestEffort degrades to "stream ends here"; the others fail.
+  const auto framing = [&](const std::string& why) {
+    if (options.policy == ReadPolicy::kBestEffort) {
+      result.truncated = true;
+      if (result.quarantine.size() < options.max_quarantine) {
+        result.quarantine.push_back({reader.offset(), why, ""});
+      }
+      return result;
+    }
+    return fail(why);
+  };
+  // EOF vs overlong varint mid-record yield distinct, located errors.
+  const auto record_cut = [&](const char* record) {
+    const std::string where = " at offset " + std::to_string(reader.offset());
+    if (reader.last_fail() == ReadFail::kOverlongVarint) {
+      return framing("overlong varint in " + std::string(record) + where);
+    }
+    return framing("truncated stream: EOF mid-" + std::string(record) + where);
+  };
+
   for (;;) {
     std::uint8_t tag = 0;
-    if (!reader.get_byte(tag)) return fail("truncated stream");
+    if (!reader.get_byte(tag)) {
+      return framing("truncated stream: no study end (E) record at offset " +
+                     std::to_string(reader.offset()));
+    }
     ++result.records;
     switch (tag) {
       case 'M': {
@@ -192,7 +259,7 @@ BinaryReadResult read_binary_trace(std::istream& is, TraceSink& sink) {
         std::uint64_t end = 0;
         if (!reader.get_varint(users) || !reader.get_varint(apps) ||
             !reader.get_varint(begin) || !reader.get_varint(end)) {
-          return fail("bad meta");
+          return record_cut("meta record");
         }
         meta.num_users = static_cast<std::uint32_t>(users);
         meta.num_apps = static_cast<std::uint32_t>(apps);
@@ -204,7 +271,7 @@ BinaryReadResult read_binary_trace(std::istream& is, TraceSink& sink) {
       case 'U':
       case 'V': {
         std::uint64_t user = 0;
-        if (!reader.get_varint(user)) return fail("bad user record");
+        if (!reader.get_varint(user)) return record_cut("user record");
         if (tag == 'U') {
           last_time_us = 0;
           sink.on_user_begin(static_cast<UserId>(user));
@@ -222,16 +289,39 @@ BinaryReadResult read_binary_trace(std::istream& is, TraceSink& sink) {
         if (!reader.get_varint(dt) || !reader.get_varint(user) || !reader.get_varint(app) ||
             !reader.get_varint(p.flow) || !reader.get_varint(p.bytes) ||
             !reader.get_byte(flags) || !reader.get_f64(p.joules)) {
-          return fail("bad packet record");
+          return record_cut("packet record");
         }
-        last_time_us += unzigzag(dt);
+        const std::int64_t time_us = last_time_us + unzigzag(dt);
+        const auto state = static_cast<std::uint8_t>(flags >> 2);
+        if (state >= kNumProcessStates) {
+          // The record is fully framed, so lenient policies can skip just it.
+          if (options.policy == ReadPolicy::kStrict) {
+            return fail("bad process state in packet record at offset " +
+                        std::to_string(reader.offset()));
+          }
+          last_time_us = time_us;  // later deltas still chain off this record
+          drop_record("bad process state in packet record",
+                      "state=" + std::to_string(state));
+          break;
+        }
+        if (time_us < last_time_us && options.policy == ReadPolicy::kBestEffort) {
+          // A backwards delta violates the per-user time order the writer
+          // guarantees; clamp rather than poison downstream analyses.
+          ++result.records_repaired;
+          registry.counter("ingest.records_repaired").inc();
+          if (result.quarantine.size() < options.max_quarantine) {
+            result.quarantine.push_back(
+                {reader.offset(), "backwards packet timestamp clamped",
+                 "dt=" + std::to_string(unzigzag(dt)) + "us"});
+          }
+        } else {
+          last_time_us = time_us;
+        }
         p.time.us = last_time_us;
         p.user = static_cast<UserId>(user);
         p.app = static_cast<AppId>(app);
         p.direction = (flags & 1) ? radio::Direction::kUplink : radio::Direction::kDownlink;
         p.interface = (flags & 2) ? Interface::kWifi : Interface::kCellular;
-        const auto state = static_cast<std::uint8_t>(flags >> 2);
-        if (state >= kNumProcessStates) return fail("bad process state");
         p.state = static_cast<ProcessState>(state);
         sink.on_packet(p);
         break;
@@ -245,12 +335,30 @@ BinaryReadResult read_binary_trace(std::istream& is, TraceSink& sink) {
         std::uint8_t to = 0;
         if (!reader.get_varint(dt) || !reader.get_varint(user) || !reader.get_varint(app) ||
             !reader.get_byte(from) || !reader.get_byte(to)) {
-          return fail("bad transition record");
+          return record_cut("transition record");
         }
+        const std::int64_t time_us = last_time_us + unzigzag(dt);
         if (from >= kNumProcessStates || to >= kNumProcessStates) {
-          return fail("bad process state");
+          if (options.policy == ReadPolicy::kStrict) {
+            return fail("bad process state in transition record at offset " +
+                        std::to_string(reader.offset()));
+          }
+          last_time_us = time_us;
+          drop_record("bad process state in transition record",
+                      "from=" + std::to_string(from) + " to=" + std::to_string(to));
+          break;
         }
-        last_time_us += unzigzag(dt);
+        if (time_us < last_time_us && options.policy == ReadPolicy::kBestEffort) {
+          ++result.records_repaired;
+          registry.counter("ingest.records_repaired").inc();
+          if (result.quarantine.size() < options.max_quarantine) {
+            result.quarantine.push_back(
+                {reader.offset(), "backwards transition timestamp clamped",
+                 "dt=" + std::to_string(unzigzag(dt)) + "us"});
+          }
+        } else {
+          last_time_us = time_us;
+        }
         t.time.us = last_time_us;
         t.user = static_cast<UserId>(user);
         t.app = static_cast<AppId>(app);
@@ -262,14 +370,41 @@ BinaryReadResult read_binary_trace(std::istream& is, TraceSink& sink) {
       case 'E': {
         const std::uint64_t computed = reader.checksum();
         std::uint64_t stored = 0;
-        if (!reader.get_trailer(stored)) return fail("missing checksum");
-        if (stored != computed) return fail("checksum mismatch");
+        if (!reader.get_trailer(stored)) {
+          return framing("truncated stream: EOF mid-checksum at offset " +
+                         std::to_string(reader.offset()));
+        }
+        if (stored != computed) {
+          if (options.policy == ReadPolicy::kBestEffort) {
+            result.checksum_ok = false;
+            if (result.quarantine.size() < options.max_quarantine) {
+              result.quarantine.push_back({reader.offset(), "checksum mismatch", ""});
+            }
+          } else {
+            return fail("checksum mismatch");
+          }
+        }
+        if (!reader.at_eof()) {
+          if (options.policy == ReadPolicy::kBestEffort) {
+            if (result.quarantine.size() < options.max_quarantine) {
+              result.quarantine.push_back(
+                  {reader.offset(), "trailing garbage after checksum ignored", ""});
+            }
+          } else {
+            return fail("trailing garbage after checksum at offset " +
+                        std::to_string(reader.offset()));
+          }
+        }
         sink.on_study_end();
-        result.ok = true;
         return result;
       }
       default:
-        return fail("unknown record tag");
+        if (options.policy == ReadPolicy::kBestEffort) {
+          return framing("unknown record tag " + std::to_string(tag) + " at offset " +
+                         std::to_string(reader.offset()) + "; cannot resync");
+        }
+        return fail("unknown record tag " + std::to_string(tag) + " at offset " +
+                    std::to_string(reader.offset()));
     }
   }
 }

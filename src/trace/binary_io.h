@@ -10,13 +10,18 @@
 //            the same user (signed zig-zag), joules are f64 bits.
 //
 // Integrity: a running FNV-1a checksum over the payload is appended after
-// the final 'E' record and verified on read.
+// the final 'E' record and verified on read; any byte after the checksum is
+// trailing garbage and rejected. Varints are capped at 10 bytes ("overlong
+// varint"), and EOF mid-record is a distinct, clean truncation error.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "trace/read_policy.h"
 #include "trace/sink.h"
+#include "util/status.h"
 
 namespace wildenergy::trace {
 
@@ -44,14 +49,31 @@ class BinaryTraceWriter final : public TraceSink {
   std::int64_t last_time_us_ = 0;
 };
 
+/// Result of replaying a binary stream. Error messages carry the byte offset
+/// of the failure.
 struct BinaryReadResult {
-  bool ok = false;
-  std::string error;
-  std::uint64_t records = 0;
+  util::Status status;
+  std::uint64_t records = 0;          ///< records consumed (including skipped)
+  std::uint64_t records_dropped = 0;  ///< records skipped (lenient policies)
+  std::uint64_t records_repaired = 0; ///< records salvaged under kBestEffort
+  bool truncated = false;   ///< kBestEffort: stream ended mid-record
+  bool checksum_ok = true;  ///< kBestEffort: false when the trailer mismatched
+  std::vector<QuarantinedRecord> quarantine;  ///< first few rejects
+
+  [[nodiscard]] bool ok() const { return status.ok(); }
+  [[nodiscard]] const std::string& error() const { return status.message(); }
 };
 
 /// Parse a binary trace and replay it into `sink`. Verifies magic, version
-/// and checksum; stops at the first malformed record.
-[[nodiscard]] BinaryReadResult read_binary_trace(std::istream& is, TraceSink& sink);
+/// and checksum. Under ReadPolicy::kStrict any damage is fatal; under
+/// kSkipAndCount records with out-of-range fields are skipped and counted
+/// (framing damage — truncation, overlong varints, unknown tags, checksum
+/// mismatch — is still fatal, since the format cannot resync past it); under
+/// kBestEffort framing damage ends the stream instead (truncated=true) and a
+/// checksum mismatch is reported via checksum_ok rather than an error.
+/// Drops/repairs are also counted in obs::MetricsRegistry::current() under
+/// "ingest.records_dropped" / "ingest.records_repaired".
+[[nodiscard]] BinaryReadResult read_binary_trace(std::istream& is, TraceSink& sink,
+                                                 const ReadOptions& options = {});
 
 }  // namespace wildenergy::trace

@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace wildenergy::trace {
 
 void CsvTraceWriter::on_study_begin(const StudyMeta& meta) {
@@ -55,80 +57,176 @@ bool parse_double(std::string_view s, double& out) {
   return ec == std::errc{} && ptr == s.data() + s.size();
 }
 
+constexpr std::size_t kNoField = static_cast<std::size_t>(-1);
+constexpr std::size_t kSnippetMax = 80;
+
+std::string snippet_of(std::string_view line) {
+  std::string s{line.substr(0, kSnippetMax)};
+  if (line.size() > kSnippetMax) s += "...";
+  return s;
+}
+
+/// What went wrong on one line, precise enough to act on: which field
+/// (kNoField for line-level problems) and why.
+struct LineError {
+  std::size_t field = kNoField;
+  std::string reason;
+};
+
+std::string format_error(std::uint64_t line_no, const LineError& err,
+                         const std::vector<std::string_view>& fields, std::string_view line) {
+  std::string msg = "line " + std::to_string(line_no) + ": ";
+  if (err.field != kNoField) {
+    msg += "field " + std::to_string(err.field);
+    if (err.field < fields.size()) msg += " ('" + std::string(fields[err.field]) + "')";
+    msg += ": ";
+  }
+  msg += err.reason;
+  msg += "; line: \"" + snippet_of(line) + "\"";
+  return msg;
+}
+
 }  // namespace
 
-CsvReadResult read_csv_trace(std::istream& is, TraceSink& sink) {
+CsvReadResult read_csv_trace(std::istream& is, TraceSink& sink, const ReadOptions& options) {
   CsvReadResult result;
+  auto& registry = obs::MetricsRegistry::current();
   std::string line;
-  const auto fail = [&](const std::string& why) {
-    result.ok = false;
-    result.error = "line " + std::to_string(result.lines + 1) + ": " + why;
-    return result;
-  };
+  bool saw_any_record = false;
+  bool study_ended = false;
 
   while (std::getline(is, line)) {
-    if (line.empty()) {
-      ++result.lines;
-      continue;
-    }
+    ++result.lines;
+    if (line.empty()) continue;
     const auto fields = split(line);
     const std::string_view tag = fields[0];
-    if (tag == "M") {
+    LineError err;
+    const auto bad = [&](std::size_t field, std::string reason) {
+      err = {field, std::move(reason)};
+      return false;
+    };
+    const auto want_fields = [&](std::size_t n) {
+      if (fields.size() == n) return true;
+      return bad(kNoField, "expected " + std::to_string(n) + " fields, got " +
+                               std::to_string(fields.size()));
+    };
+    const auto want_int = [&](std::size_t field, auto& out) {
+      if (parse_int(fields[field], out)) return true;
+      return bad(field, "not an integer");
+    };
+
+    bool line_ok = true;
+    bool repaired_line = false;
+    std::string repair_reason;
+    if (study_ended) {
+      line_ok = bad(kNoField, "record after study end (E)");
+    } else if (tag == "M") {
       StudyMeta meta;
-      if (fields.size() != 5 || !parse_int(fields[1], meta.num_users) ||
-          !parse_int(fields[2], meta.num_apps) || !parse_int(fields[3], meta.study_begin.us) ||
-          !parse_int(fields[4], meta.study_end.us)) {
-        return fail("bad meta record");
-      }
-      sink.on_study_begin(meta);
+      line_ok = want_fields(5) && want_int(1, meta.num_users) && want_int(2, meta.num_apps) &&
+                want_int(3, meta.study_begin.us) && want_int(4, meta.study_end.us);
+      if (line_ok) sink.on_study_begin(meta);
     } else if (tag == "U" || tag == "V") {
       UserId user = 0;
-      if (fields.size() != 2 || !parse_int(fields[1], user)) return fail("bad user record");
-      if (tag == "U") {
-        sink.on_user_begin(user);
-      } else {
-        sink.on_user_end(user);
+      line_ok = want_fields(2) && want_int(1, user);
+      if (line_ok) {
+        if (tag == "U") {
+          sink.on_user_begin(user);
+        } else {
+          sink.on_user_end(user);
+        }
       }
     } else if (tag == "P") {
       PacketRecord p;
-      if (fields.size() != 10 || !parse_int(fields[1], p.time.us) ||
-          !parse_int(fields[2], p.user) || !parse_int(fields[3], p.app) ||
-          !parse_int(fields[4], p.flow) || !parse_int(fields[5], p.bytes) ||
-          !parse_double(fields[9], p.joules)) {
-        return fail("bad packet record");
+      line_ok = want_fields(10) && want_int(1, p.time.us) && want_int(2, p.user) &&
+                want_int(3, p.app) && want_int(4, p.flow) && want_int(5, p.bytes);
+      if (line_ok) {
+        if (fields[6] == "up") {
+          p.direction = radio::Direction::kUplink;
+        } else if (fields[6] == "down") {
+          p.direction = radio::Direction::kDownlink;
+        } else {
+          line_ok = bad(6, "bad direction (want up|down)");
+        }
       }
-      if (fields[6] == "up") {
-        p.direction = radio::Direction::kUplink;
-      } else if (fields[6] == "down") {
-        p.direction = radio::Direction::kDownlink;
-      } else {
-        return fail("bad direction");
+      if (line_ok) {
+        if (fields[7] == "cell") {
+          p.interface = Interface::kCellular;
+        } else if (fields[7] == "wifi") {
+          p.interface = Interface::kWifi;
+        } else {
+          line_ok = bad(7, "bad interface (want cell|wifi)");
+        }
       }
-      if (fields[7] == "cell") {
-        p.interface = Interface::kCellular;
-      } else if (fields[7] == "wifi") {
-        p.interface = Interface::kWifi;
-      } else {
-        return fail("bad interface");
+      if (line_ok && !parse_process_state(fields[8], p.state)) {
+        line_ok = bad(8, "bad process state");
       }
-      if (!parse_process_state(fields[8], p.state)) return fail("bad process state");
-      sink.on_packet(p);
+      if (line_ok && !parse_double(fields[9], p.joules)) {
+        if (options.policy == ReadPolicy::kBestEffort) {
+          // Energy is recomputed by the attribution stage on re-analysis, so
+          // a garbled joules field alone need not cost the whole record.
+          p.joules = 0.0;
+          repaired_line = true;
+          repair_reason = "unparseable joules repaired to 0";
+        } else {
+          line_ok = bad(9, "bad joules value");
+        }
+      }
+      if (line_ok) sink.on_packet(p);
     } else if (tag == "T") {
       StateTransition t;
-      if (fields.size() != 6 || !parse_int(fields[1], t.time.us) ||
-          !parse_int(fields[2], t.user) || !parse_int(fields[3], t.app) ||
-          !parse_process_state(fields[4], t.from) || !parse_process_state(fields[5], t.to)) {
-        return fail("bad transition record");
+      line_ok = want_fields(6) && want_int(1, t.time.us) && want_int(2, t.user) &&
+                want_int(3, t.app);
+      if (line_ok && !parse_process_state(fields[4], t.from)) {
+        line_ok = bad(4, "bad process state");
       }
-      sink.on_transition(t);
+      if (line_ok && !parse_process_state(fields[5], t.to)) {
+        line_ok = bad(5, "bad process state");
+      }
+      if (line_ok) sink.on_transition(t);
     } else if (tag == "E") {
-      sink.on_study_end();
+      if ((line_ok = want_fields(1))) {
+        sink.on_study_end();
+        study_ended = true;
+      }
     } else {
-      return fail("unknown record tag");
+      line_ok = bad(0, "unknown record tag");
     }
-    ++result.lines;
+
+    if (line_ok) {
+      saw_any_record = true;
+      if (repaired_line) {
+        ++result.records_repaired;
+        registry.counter("ingest.records_repaired").inc();
+        if (result.quarantine.size() < options.max_quarantine) {
+          result.quarantine.push_back({result.lines, repair_reason, snippet_of(line)});
+        }
+      }
+      continue;
+    }
+    const std::string message = format_error(result.lines, err, fields, line);
+    if (options.policy == ReadPolicy::kStrict) {
+      result.status = util::Status::data_loss(message);
+      return result;
+    }
+    ++result.records_dropped;
+    registry.counter("ingest.records_dropped").inc();
+    if (result.quarantine.size() < options.max_quarantine) {
+      result.quarantine.push_back({result.lines, message, snippet_of(line)});
+    }
   }
-  result.ok = true;
+
+  if (saw_any_record && !study_ended) {
+    if (options.policy == ReadPolicy::kBestEffort) {
+      result.truncated = true;
+      if (result.quarantine.size() < options.max_quarantine) {
+        result.quarantine.push_back(
+            {result.lines, "truncated stream: no study end (E) record", ""});
+      }
+    } else {
+      result.status = util::Status::data_loss(
+          "truncated stream: no study end (E) record after line " + std::to_string(result.lines));
+    }
+  }
   return result;
 }
 

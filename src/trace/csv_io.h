@@ -14,8 +14,11 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "trace/read_policy.h"
 #include "trace/sink.h"
+#include "util/status.h"
 
 namespace wildenergy::trace {
 
@@ -35,15 +38,27 @@ class CsvTraceWriter final : public TraceSink {
   std::ostream& os_;
 };
 
-/// Result of replaying a CSV stream into a sink.
+/// Result of replaying a CSV stream into a sink. Error messages carry the
+/// 1-based line number, the offending field index, and a truncated echo of
+/// the line.
 struct CsvReadResult {
-  bool ok = false;
-  std::string error;       ///< first parse error, empty when ok
-  std::uint64_t lines = 0; ///< lines consumed
+  util::Status status;
+  std::uint64_t lines = 0;            ///< lines read (including skipped ones)
+  std::uint64_t records_dropped = 0;  ///< malformed lines skipped (lenient policies)
+  std::uint64_t records_repaired = 0; ///< lines salvaged under kBestEffort
+  bool truncated = false;  ///< kBestEffort: stream ended without the E record
+  std::vector<QuarantinedRecord> quarantine;  ///< first few rejects, verbatim
+
+  [[nodiscard]] bool ok() const { return status.ok(); }
+  [[nodiscard]] const std::string& error() const { return status.message(); }
 };
 
-/// Parse a CSV trace and replay it into `sink`. Stops at the first malformed
-/// line and reports it (I: validate inputs at the boundary).
-[[nodiscard]] CsvReadResult read_csv_trace(std::istream& is, TraceSink& sink);
+/// Parse a CSV trace and replay it into `sink` (I: validate inputs at the
+/// boundary). Under ReadPolicy::kStrict the first malformed line is fatal;
+/// the lenient policies skip-and-count it (see trace/read_policy.h). Drops
+/// and repairs are also counted in obs::MetricsRegistry::current() under
+/// "ingest.records_dropped" / "ingest.records_repaired".
+[[nodiscard]] CsvReadResult read_csv_trace(std::istream& is, TraceSink& sink,
+                                           const ReadOptions& options = {});
 
 }  // namespace wildenergy::trace

@@ -1,0 +1,54 @@
+// Shared vocabulary for fault-tolerant trace ingestion (csv_io.h,
+// binary_io.h, validating_sink.h).
+//
+// In-the-wild trace files are routinely truncated or garbled (the paper's
+// corpus was 125 GB collected over 22 months, §3). Each reader therefore
+// takes a ReadPolicy deciding what a malformed record means, counts what it
+// dropped or repaired (also mirrored into obs::MetricsRegistry under
+// "ingest.records_dropped" / "ingest.records_repaired"), and quarantines the
+// first few offenders verbatim so a failed ingest can be debugged without
+// re-reading gigabytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wildenergy::trace {
+
+enum class ReadPolicy : std::uint8_t {
+  /// Any malformed record is fatal: the reader stops and reports it.
+  kStrict = 0,
+  /// Malformed records are skipped, counted, and quarantined; structural
+  /// damage the reader cannot resync past (bad magic, truncation, checksum
+  /// mismatch) is still fatal.
+  kSkipAndCount,
+  /// Like kSkipAndCount, but repairable damage is repaired (e.g. a
+  /// backwards timestamp clamped to the previous one) and a truncated tail
+  /// ends the stream instead of failing — everything still counted.
+  kBestEffort,
+};
+
+[[nodiscard]] constexpr const char* to_string(ReadPolicy policy) {
+  switch (policy) {
+    case ReadPolicy::kStrict: return "strict";
+    case ReadPolicy::kSkipAndCount: return "skip-and-count";
+    case ReadPolicy::kBestEffort: return "best-effort";
+  }
+  return "?";
+}
+
+struct ReadOptions {
+  ReadPolicy policy = ReadPolicy::kStrict;
+  /// Keep at most this many rejected records for post-mortems.
+  std::size_t max_quarantine = 8;
+};
+
+/// One rejected (or repaired) record, kept verbatim for diagnosis.
+struct QuarantinedRecord {
+  std::uint64_t location = 0;  ///< 1-based line (CSV) or byte offset (binary)
+  std::string reason;
+  std::string snippet;  ///< truncated echo of the offending input
+};
+
+}  // namespace wildenergy::trace

@@ -1,0 +1,86 @@
+// ValidatingSink: a reusable decorator enforcing the stream protocol.
+//
+// The TraceSink contract (sink.h) promises begin/end bracketing, per-user
+// non-decreasing timestamps, and in-range enums — promises a reader replaying
+// an external (possibly corrupted) file cannot keep by construction. Chain a
+// ValidatingSink in front of any sink graph to turn protocol violations into
+// counted, quarantined drops (lenient policies) or a poisoned stream with a
+// precise Status (strict), instead of undefined downstream behavior.
+//
+// Invariants enforced:
+//   - exactly one study bracket; nothing before on_study_begin or after
+//     on_study_end
+//   - user brackets nest inside the study and do not nest in each other;
+//     on_user_end names the open user
+//   - packets/transitions arrive inside the bracket of the user they name,
+//     with per-user non-decreasing timestamps
+//   - timestamps lie inside the study window meta declared (when it declared
+//     one) — a wildly out-of-range timestamp would otherwise make day-binned
+//     consumers allocate absurd ranges
+//   - enums (direction, interface, process states) are in range
+//
+// Policy semantics (trace/read_policy.h):
+//   kStrict       first violation records a Status and stops forwarding
+//                 everything after it (the stream is poisoned)
+//   kSkipAndCount violating records are dropped + counted + quarantined
+//   kBestEffort   additionally, a backwards timestamp is clamped to the
+//                 user's previous one and forwarded (counted as repaired)
+//
+// Drops/repairs are mirrored into obs::MetricsRegistry::current() under
+// "validate.records_dropped" / "validate.records_repaired".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/read_policy.h"
+#include "trace/sink.h"
+#include "util/status.h"
+
+namespace wildenergy::trace {
+
+class ValidatingSink final : public TraceSink {
+ public:
+  explicit ValidatingSink(TraceSink* downstream, ReadOptions options = {});
+
+  void on_study_begin(const StudyMeta& meta) override;
+  void on_user_begin(UserId user) override;
+  void on_packet(const PacketRecord& packet) override;
+  void on_transition(const StateTransition& transition) override;
+  void on_user_end(UserId user) override;
+  void on_study_end() override;
+
+  /// OK until the first violation under kStrict; always OK under the
+  /// lenient policies (consult the counters instead).
+  [[nodiscard]] const util::Status& status() const { return status_; }
+  [[nodiscard]] std::uint64_t records_dropped() const { return records_dropped_; }
+  [[nodiscard]] std::uint64_t records_repaired() const { return records_repaired_; }
+  [[nodiscard]] std::uint64_t violations() const { return records_dropped_ + records_repaired_; }
+  [[nodiscard]] const std::vector<QuarantinedRecord>& quarantine() const { return quarantine_; }
+
+ private:
+  /// Record one violation. Returns true if the current record must be
+  /// dropped (false under best-effort repairs and strict-after-poison).
+  bool flag(const std::string& reason, const std::string& snippet);
+  void note(std::uint64_t& counter, const char* metric, const std::string& reason,
+            const std::string& snippet);
+
+  TraceSink* downstream_;
+  ReadOptions options_;
+  util::Status status_;
+  bool in_study_ = false;
+  bool study_ended_ = false;
+  bool has_window_ = false;  ///< meta declared a non-degenerate study window
+  std::int64_t window_begin_us_ = 0;
+  std::int64_t window_end_us_ = 0;
+  std::optional<UserId> open_user_;
+  std::int64_t last_time_us_ = 0;  ///< per open user; reset at on_user_begin
+  std::uint64_t records_seen_ = 0;
+  std::uint64_t records_dropped_ = 0;
+  std::uint64_t records_repaired_ = 0;
+  std::vector<QuarantinedRecord> quarantine_;
+};
+
+}  // namespace wildenergy::trace

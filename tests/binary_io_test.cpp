@@ -33,7 +33,7 @@ TEST(BinaryIo, RoundTripPreservesEveryField) {
   std::istringstream is{serialize_binary(gen)};
   TraceCollector replayed;
   const auto result = read_binary_trace(is, replayed);
-  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_TRUE(result.ok()) << result.error();
 
   ASSERT_EQ(replayed.packets().size(), original.packets().size());
   ASSERT_EQ(replayed.transitions().size(), original.transitions().size());
@@ -72,8 +72,8 @@ TEST(BinaryIo, RejectsBadMagic) {
   std::istringstream is{"NOPE...."};
   TraceCollector sink;
   const auto result = read_binary_trace(is, sink);
-  EXPECT_FALSE(result.ok);
-  EXPECT_EQ(result.error, "bad magic");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), "bad magic");
 }
 
 TEST(BinaryIo, DetectsCorruption) {
@@ -84,7 +84,7 @@ TEST(BinaryIo, DetectsCorruption) {
   std::istringstream is{data};
   TraceCollector sink;
   const auto result = read_binary_trace(is, sink);
-  EXPECT_FALSE(result.ok);  // checksum mismatch or parse failure
+  EXPECT_FALSE(result.ok());  // checksum mismatch or parse failure
 }
 
 TEST(BinaryIo, DetectsTruncation) {
@@ -94,7 +94,7 @@ TEST(BinaryIo, DetectsTruncation) {
   std::istringstream is{data};
   TraceCollector sink;
   const auto result = read_binary_trace(is, sink);
-  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.ok());
 }
 
 TEST(BinaryIo, EmptyStudyRoundTrips) {
@@ -109,7 +109,7 @@ TEST(BinaryIo, EmptyStudyRoundTrips) {
   std::istringstream is{os.str()};
   TraceCollector sink;
   const auto result = read_binary_trace(is, sink);
-  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.ok()) << result.error();
   EXPECT_TRUE(sink.packets().empty());
 }
 

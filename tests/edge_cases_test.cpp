@@ -167,7 +167,7 @@ TEST_P(RoundTripAcrossSeeds, CsvPreservesLedger) {
 
   energy::EnergyLedger replayed;
   const auto result = trace::read_csv_trace(csv, replayed);
-  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_TRUE(result.ok()) << result.error();
   EXPECT_EQ(replayed.total_bytes(), pipeline.ledger().total_bytes());
   EXPECT_NEAR(replayed.total_joules(), pipeline.ledger().total_joules(),
               pipeline.ledger().total_joules() * 1e-6);

@@ -1,0 +1,468 @@
+// Robustness tests for trace ingestion: hardened CSV/binary readers
+// (trace/csv_io.h, trace/binary_io.h), the protocol-enforcing ValidatingSink
+// (trace/validating_sink.h), and the corruption property "an injected fault
+// is surfaced or counted — a read that looks clean produces the clean ledger".
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "energy/ledger.h"
+#include "fault/injector.h"
+#include "obs/metrics.h"
+#include "sim/generator.h"
+#include "trace/binary_io.h"
+#include "trace/csv_io.h"
+#include "trace/validating_sink.h"
+
+namespace wildenergy {
+namespace {
+
+using trace::ReadOptions;
+using trace::ReadPolicy;
+
+sim::StudyConfig tiny_config() {
+  sim::StudyConfig cfg = sim::small_study(/*seed=*/7);
+  cfg.num_users = 1;
+  cfg.num_days = 1;
+  cfg.total_apps = 30;
+  return cfg;
+}
+
+std::string tiny_csv() {
+  std::ostringstream os;
+  trace::CsvTraceWriter writer{os};
+  sim::StudyGenerator{tiny_config()}.run(writer);
+  return os.str();
+}
+
+std::string tiny_binary() {
+  std::ostringstream os;
+  trace::BinaryTraceWriter writer{os};
+  sim::StudyGenerator{tiny_config()}.run(writer);
+  return os.str();
+}
+
+ReadOptions with_policy(ReadPolicy policy) {
+  ReadOptions options;
+  options.policy = policy;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Binary framing damage
+
+TEST(BinaryRobustness, TruncationAtEveryByteOffsetFailsCleanly) {
+  // A hand-built stream small enough for an exhaustive O(n^2) sweep: every
+  // record tag and every varint/f64 field boundary gets cut at least once.
+  std::ostringstream os;
+  trace::BinaryTraceWriter writer{os};
+  trace::StudyMeta meta;
+  meta.num_users = 1;
+  meta.num_apps = 4;
+  meta.study_end.us = 10'000'000;
+  writer.on_study_begin(meta);
+  writer.on_user_begin(0);
+  trace::PacketRecord p;
+  p.time.us = 123'456;
+  p.app = 3;
+  p.flow = 1;
+  p.bytes = 1500;
+  p.joules = 0.25;
+  writer.on_packet(p);
+  trace::StateTransition t;
+  t.time.us = 200'000;
+  t.app = 3;
+  t.from = trace::ProcessState::kForeground;
+  t.to = trace::ProcessState::kService;
+  writer.on_transition(t);
+  writer.on_user_end(0);
+  writer.on_study_end();
+  const std::string data = os.str();
+  ASSERT_GT(data.size(), 16u);
+  for (std::size_t cut = 0; cut < data.size(); ++cut) {
+    std::istringstream is{data.substr(0, cut)};
+    trace::TraceCollector sink;
+    const auto result = trace::read_binary_trace(is, sink);
+    EXPECT_FALSE(result.ok()) << "prefix of " << cut << " bytes unexpectedly parsed";
+    // kSkipAndCount cannot resync past framing damage either.
+    std::istringstream is2{data.substr(0, cut)};
+    trace::TraceCollector sink2;
+    EXPECT_FALSE(
+        trace::read_binary_trace(is2, sink2, with_policy(ReadPolicy::kSkipAndCount)).ok())
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(BinaryRobustness, TruncationOfAGeneratedStudySampledOffsets) {
+  // The generated stream is too large for an exhaustive sweep; a prime
+  // stride still lands cuts in the middle of real delta-coded records.
+  const std::string data = tiny_binary();
+  ASSERT_GT(data.size(), 1000u);
+  for (std::size_t cut = 0; cut < data.size(); cut += 97) {
+    std::istringstream is{data.substr(0, cut)};
+    trace::TraceCollector sink;
+    EXPECT_FALSE(trace::read_binary_trace(is, sink).ok())
+        << "prefix of " << cut << " bytes unexpectedly parsed";
+  }
+}
+
+TEST(BinaryRobustness, OverlongVarintIsADistinctError) {
+  std::string data{"WETR"};
+  data += '\x01';
+  data += 'M';
+  data += std::string(10, '\x80');  // 10 continuation bytes: one too many
+  std::istringstream is{data};
+  trace::TraceCollector sink;
+  const auto result = trace::read_binary_trace(is, sink);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("overlong varint"), std::string::npos) << result.error();
+}
+
+TEST(BinaryRobustness, EofMidVarintIsATruncationError) {
+  std::string data{"WETR"};
+  data += '\x01';
+  data += 'M';
+  data += '\x80';  // continuation bit set, then EOF
+  std::istringstream is{data};
+  trace::TraceCollector sink;
+  const auto result = trace::read_binary_trace(is, sink);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("truncated stream: EOF mid-meta record"), std::string::npos)
+      << result.error();
+}
+
+TEST(BinaryRobustness, EofMidChecksumIsATruncationError) {
+  std::string data = tiny_binary();
+  data.resize(data.size() - 3);  // cut into the 8-byte trailer
+  std::istringstream is{data};
+  trace::TraceCollector sink;
+  const auto result = trace::read_binary_trace(is, sink);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("EOF mid-checksum"), std::string::npos) << result.error();
+}
+
+TEST(BinaryRobustness, SkipAndCountSkipsBadEnumRecordsOnly) {
+  // A bad process state is a fully framed record: lenient policies skip it
+  // and keep going; strict fails with the offset.
+  std::ostringstream os;
+  trace::BinaryTraceWriter writer{os};
+  trace::StudyMeta meta;
+  meta.num_users = 1;
+  meta.study_end.us = 10'000'000;
+  writer.on_study_begin(meta);
+  writer.on_user_begin(0);
+  trace::StateTransition t;
+  t.time.us = 1000;
+  t.from = static_cast<trace::ProcessState>(200);  // out of range, still framed
+  writer.on_transition(t);
+  trace::PacketRecord p;
+  p.time.us = 2000;
+  p.bytes = 64;
+  writer.on_packet(p);
+  writer.on_user_end(0);
+  writer.on_study_end();
+  const std::string data = os.str();
+
+  {
+    std::istringstream is{data};
+    trace::TraceCollector sink;
+    const auto result = trace::read_binary_trace(is, sink);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().find("bad process state"), std::string::npos) << result.error();
+    EXPECT_NE(result.error().find("offset"), std::string::npos) << result.error();
+  }
+  {
+    std::istringstream is{data};
+    trace::TraceCollector sink;
+    const auto result =
+        trace::read_binary_trace(is, sink, with_policy(ReadPolicy::kSkipAndCount));
+    ASSERT_TRUE(result.ok()) << result.error();
+    EXPECT_EQ(result.records_dropped, 1u);
+    ASSERT_EQ(result.quarantine.size(), 1u);
+    EXPECT_NE(result.quarantine[0].reason.find("bad process state"), std::string::npos);
+    ASSERT_EQ(sink.packets().size(), 1u);  // the later, healthy packet survived
+    EXPECT_EQ(sink.packets()[0].time.us, 2000);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CSV diagnostics
+
+TEST(CsvRobustness, ErrorsCarryLineFieldAndEcho) {
+  const std::string csv =
+      "M,1,80,0,86400000000\n"
+      "U,0\n"
+      "P,xyz,0,5,384,900,up,cell,service,0.5\n"
+      "V,0\n"
+      "E\n";
+  std::istringstream is{csv};
+  trace::TraceCollector sink;
+  const auto result = trace::read_csv_trace(is, sink);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("line 3"), std::string::npos) << result.error();
+  EXPECT_NE(result.error().find("field 1"), std::string::npos) << result.error();
+  EXPECT_NE(result.error().find("'xyz'"), std::string::npos) << result.error();
+  EXPECT_NE(result.error().find("P,xyz,0,5"), std::string::npos) << result.error();  // echo
+}
+
+TEST(CsvRobustness, FieldCountErrorsNameTheLine) {
+  std::istringstream is{"M,1,80,0,86400000000\nU,0\nP,100\n"};
+  trace::TraceCollector sink;
+  const auto result = trace::read_csv_trace(is, sink);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("line 3"), std::string::npos) << result.error();
+  EXPECT_NE(result.error().find("expected 10 fields, got 2"), std::string::npos)
+      << result.error();
+}
+
+TEST(CsvRobustness, MissingEndRecordIsTruncation) {
+  const std::string csv = "M,1,80,0,86400000000\nU,0\nV,0\n";  // no E
+  {
+    std::istringstream is{csv};
+    trace::TraceCollector sink;
+    const auto result = trace::read_csv_trace(is, sink);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().find("truncated stream"), std::string::npos) << result.error();
+  }
+  {
+    std::istringstream is{csv};
+    trace::TraceCollector sink;
+    const auto result = trace::read_csv_trace(is, sink, with_policy(ReadPolicy::kBestEffort));
+    ASSERT_TRUE(result.ok()) << result.error();
+    EXPECT_TRUE(result.truncated);
+  }
+}
+
+TEST(CsvRobustness, RecordsAfterStudyEndAreErrors) {
+  std::istringstream is{"M,1,80,0,86400000000\nE\nU,0\n"};
+  trace::TraceCollector sink;
+  const auto result = trace::read_csv_trace(is, sink);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("after study end"), std::string::npos) << result.error();
+}
+
+TEST(CsvRobustness, SkipAndCountCountsDropsAndMetrics) {
+  const std::string csv =
+      "M,1,80,0,86400000000\n"
+      "U,0\n"
+      "P,1000,0,5,1,100,sideways,cell,service,0.5\n"  // bad direction
+      "P,2000,0,5,1,200,up,cell,service,0.5\n"
+      "X,what\n"  // unknown tag
+      "V,0\n"
+      "E\n";
+  obs::MetricsRegistry registry;
+  const obs::ScopedMetricsRegistry scoped{&registry};
+  std::istringstream is{csv};
+  trace::TraceCollector sink;
+  const auto result = trace::read_csv_trace(is, sink, with_policy(ReadPolicy::kSkipAndCount));
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result.records_dropped, 2u);
+  EXPECT_EQ(registry.counter_value("ingest.records_dropped"), 2u);
+  ASSERT_EQ(result.quarantine.size(), 2u);
+  EXPECT_EQ(result.quarantine[0].location, 3u);  // 1-based line numbers
+  EXPECT_EQ(result.quarantine[1].location, 5u);
+  ASSERT_EQ(sink.packets().size(), 1u);
+  EXPECT_EQ(sink.packets()[0].bytes, 200u);
+}
+
+TEST(CsvRobustness, BestEffortRepairsUnparseableJoules) {
+  const std::string csv =
+      "M,1,80,0,86400000000\n"
+      "U,0\n"
+      "P,1000,0,5,1,100,up,cell,service,garbage\n"
+      "V,0\n"
+      "E\n";
+  std::istringstream is{csv};
+  trace::TraceCollector sink;
+  const auto result = trace::read_csv_trace(is, sink, with_policy(ReadPolicy::kBestEffort));
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result.records_repaired, 1u);
+  ASSERT_EQ(sink.packets().size(), 1u);
+  EXPECT_EQ(sink.packets()[0].joules, 0.0);
+  EXPECT_EQ(sink.packets()[0].bytes, 100u);
+}
+
+// ---------------------------------------------------------------------------
+// ValidatingSink protocol enforcement
+
+trace::PacketRecord packet_at(std::int64_t us, trace::UserId user = 0) {
+  trace::PacketRecord p;
+  p.time.us = us;
+  p.user = user;
+  p.bytes = 100;
+  return p;
+}
+
+trace::StudyMeta windowed_meta() {
+  trace::StudyMeta meta;
+  meta.num_users = 2;
+  meta.study_begin.us = 0;
+  meta.study_end.us = 1'000'000;
+  return meta;
+}
+
+TEST(ValidatingSink, StrictPoisonsTheStreamAtTheFirstViolation) {
+  trace::TraceCollector collector;
+  trace::ValidatingSink validator{&collector};
+  validator.on_study_begin(windowed_meta());
+  validator.on_user_begin(0);
+  validator.on_packet(packet_at(500));
+  validator.on_packet(packet_at(100));  // backwards: first violation
+  validator.on_packet(packet_at(900));  // poisoned: not forwarded
+  validator.on_user_end(0);
+  validator.on_study_end();
+  EXPECT_FALSE(validator.status().ok());
+  EXPECT_NE(validator.status().message().find("backwards"), std::string::npos)
+      << validator.status().message();
+  EXPECT_EQ(collector.packets().size(), 1u);  // only the pre-violation packet
+}
+
+TEST(ValidatingSink, SkipAndCountDropsOnlyTheViolatingRecords) {
+  trace::TraceCollector collector;
+  trace::ValidatingSink validator{&collector, with_policy(ReadPolicy::kSkipAndCount)};
+  validator.on_study_begin(windowed_meta());
+  validator.on_packet(packet_at(10));  // outside any user bracket
+  validator.on_user_begin(0);
+  validator.on_packet(packet_at(500));
+  validator.on_packet(packet_at(100));      // backwards
+  validator.on_packet(packet_at(600, 1));   // wrong user inside user 0's bracket
+  validator.on_packet(packet_at(2'000'000));  // outside the study window
+  validator.on_packet(packet_at(900));
+  validator.on_user_end(0);
+  validator.on_study_end();
+  EXPECT_TRUE(validator.status().ok());
+  EXPECT_EQ(validator.records_dropped(), 4u);
+  EXPECT_EQ(collector.packets().size(), 2u);
+  EXPECT_EQ(validator.quarantine().size(), 4u);
+}
+
+TEST(ValidatingSink, BestEffortClampsBackwardsTimestampsAndClosesOpenUsers) {
+  obs::MetricsRegistry registry;
+  const obs::ScopedMetricsRegistry scoped{&registry};
+  trace::TraceCollector collector;
+  trace::ValidatingSink validator{&collector, with_policy(ReadPolicy::kBestEffort)};
+  validator.on_study_begin(windowed_meta());
+  validator.on_user_begin(0);
+  validator.on_packet(packet_at(500));
+  validator.on_packet(packet_at(100));  // clamped to 500, forwarded
+  validator.on_user_begin(1);           // user 0 left open: auto-closed
+  validator.on_packet(packet_at(50, 1));
+  validator.on_study_end();  // user 1 left open: auto-closed
+  EXPECT_TRUE(validator.status().ok());
+  EXPECT_EQ(validator.records_repaired(), 3u);
+  EXPECT_EQ(registry.counter_value("validate.records_repaired"), 3u);
+  ASSERT_EQ(collector.packets().size(), 3u);
+  EXPECT_EQ(collector.packets()[1].time.us, 500);  // the clamp
+}
+
+TEST(ValidatingSink, RejectsEnumAndBracketViolations) {
+  trace::TraceCollector collector;
+  trace::ValidatingSink validator{&collector, with_policy(ReadPolicy::kSkipAndCount)};
+  validator.on_study_begin(windowed_meta());
+  validator.on_study_begin(windowed_meta());  // nested study begin
+  validator.on_user_begin(0);
+  trace::PacketRecord bad_enum = packet_at(10);
+  bad_enum.state = static_cast<trace::ProcessState>(97);
+  validator.on_packet(bad_enum);
+  validator.on_user_end(1);  // ends a user that is not open
+  validator.on_user_end(0);
+  validator.on_study_end();
+  validator.on_study_end();  // second study end
+  EXPECT_EQ(validator.records_dropped(), 4u);
+  EXPECT_TRUE(collector.packets().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption property: a fault is surfaced or counted; a read with nothing
+// to report reproduces the clean ledger exactly.
+
+struct ReplayOutcome {
+  bool surfaced = false;  ///< any error, drop, repair, truncation, or quarantine
+  double joules = 0.0;
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
+};
+
+ReplayOutcome replay(const std::string& data, bool binary, ReadPolicy policy) {
+  ReplayOutcome out;
+  obs::MetricsRegistry registry;  // keep test metrics off the global registry
+  const obs::ScopedMetricsRegistry scoped{&registry};
+  energy::EnergyLedger ledger;
+  trace::ValidatingSink validator{&ledger, with_policy(policy)};
+  std::istringstream is{data};
+  std::uint64_t dropped = 0;
+  std::uint64_t repaired = 0;
+  bool clean_framing = true;
+  if (binary) {
+    const auto result = trace::read_binary_trace(is, validator, with_policy(policy));
+    dropped = result.records_dropped;
+    repaired = result.records_repaired;
+    clean_framing = result.ok() && !result.truncated && result.checksum_ok &&
+                    result.quarantine.empty();
+  } else {
+    const auto result = trace::read_csv_trace(is, validator, with_policy(policy));
+    dropped = result.records_dropped;
+    repaired = result.records_repaired;
+    clean_framing = result.ok() && !result.truncated && result.quarantine.empty();
+  }
+  out.surfaced = !clean_framing || dropped > 0 || repaired > 0 ||
+                 !validator.status().ok() || validator.violations() > 0;
+  out.joules = ledger.total_joules();
+  out.bytes = ledger.total_bytes();
+  out.packets = ledger.total_packets();
+  return out;
+}
+
+TEST(CorruptionProperty, BinaryFaultsAreNeverSilent) {
+  const std::string clean_data = tiny_binary();
+  const ReplayOutcome clean = replay(clean_data, /*binary=*/true, ReadPolicy::kStrict);
+  ASSERT_FALSE(clean.surfaced);
+  ASSERT_GT(clean.packets, 0u);
+
+  for (const auto kind :
+       {fault::CorruptionKind::kBitFlip, fault::CorruptionKind::kTruncate,
+        fault::CorruptionKind::kDuplicateSpan, fault::CorruptionKind::kSwapSpans}) {
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      const auto damaged = fault::apply_corruption(clean_data, {kind, seed});
+      ASSERT_TRUE(damaged.ok());
+      for (const auto policy :
+           {ReadPolicy::kStrict, ReadPolicy::kSkipAndCount, ReadPolicy::kBestEffort}) {
+        const ReplayOutcome out = replay(damaged.value(), /*binary=*/true, policy);
+        // The checksum makes every silent-byte-damage scenario detectable: if
+        // nothing was surfaced, the ledger must be the clean one.
+        if (!out.surfaced) {
+          EXPECT_EQ(out.packets, clean.packets)
+              << fault::to_string(kind) << " seed " << seed;
+          EXPECT_EQ(out.bytes, clean.bytes);
+          EXPECT_DOUBLE_EQ(out.joules, clean.joules);
+        }
+      }
+    }
+  }
+}
+
+TEST(CorruptionProperty, CsvFieldFaultsAreAlwaysSurfaced) {
+  const std::string clean_data = tiny_csv();
+  const ReplayOutcome clean = replay(clean_data, /*binary=*/false, ReadPolicy::kStrict);
+  ASSERT_FALSE(clean.surfaced);
+  ASSERT_GT(clean.packets, 0u);
+
+  for (const auto kind :
+       {fault::CorruptionKind::kBadEnum, fault::CorruptionKind::kBadTimestamp}) {
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      const auto damaged = fault::apply_corruption(clean_data, {kind, seed});
+      ASSERT_TRUE(damaged.ok());
+      for (const auto policy :
+           {ReadPolicy::kStrict, ReadPolicy::kSkipAndCount, ReadPolicy::kBestEffort}) {
+        const ReplayOutcome out = replay(damaged.value(), /*binary=*/false, policy);
+        EXPECT_TRUE(out.surfaced)
+            << fault::to_string(kind) << " seed " << seed << " policy "
+            << trace::to_string(policy);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wildenergy

@@ -157,7 +157,7 @@ TEST(Pipeline, CsvRoundTripThroughAnalysis) {
   std::istringstream is{os.str()};
   energy::EnergyLedger replayed;
   const auto result = trace::read_csv_trace(is, replayed);
-  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_TRUE(result.ok()) << result.error();
   EXPECT_NEAR(replayed.total_joules(), pipeline.ledger().total_joules(),
               pipeline.ledger().total_joules() * 1e-6);
   EXPECT_EQ(replayed.total_bytes(), pipeline.ledger().total_bytes());

@@ -149,7 +149,7 @@ TEST(CsvIo, RoundTripPreservesStream) {
   std::istringstream is{os.str()};
   TraceCollector collector;
   const auto result = read_csv_trace(is, collector);
-  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_TRUE(result.ok()) << result.error();
   EXPECT_EQ(collector.meta().num_users, 2u);
   ASSERT_EQ(collector.packets().size(), 1u);
   const auto& rp = collector.packets()[0];
@@ -169,20 +169,20 @@ TEST(CsvIo, RejectsMalformedLines) {
   {
     std::istringstream is{"P,notanumber,0,0,0,100,down,cell,service,0\n"};
     const auto r = read_csv_trace(is, collector);
-    EXPECT_FALSE(r.ok);
-    EXPECT_NE(r.error.find("line 1"), std::string::npos);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("line 1"), std::string::npos);
   }
   {
     std::istringstream is{"X,1,2\n"};
-    EXPECT_FALSE(read_csv_trace(is, collector).ok);
+    EXPECT_FALSE(read_csv_trace(is, collector).ok());
   }
   {
     std::istringstream is{"P,1,0,0,0,100,sideways,cell,service,0\n"};
-    EXPECT_FALSE(read_csv_trace(is, collector).ok);
+    EXPECT_FALSE(read_csv_trace(is, collector).ok());
   }
   {
     std::istringstream is{"T,1,0,0,service\n"};  // missing to-state
-    EXPECT_FALSE(read_csv_trace(is, collector).ok);
+    EXPECT_FALSE(read_csv_trace(is, collector).ok());
   }
 }
 
