@@ -61,9 +61,11 @@ inline void print_header(const std::string& title, const sim::StudyConfig& cfg) 
 /// Perf footer + optional WILDENERGY_BENCH_JSON record for one measured run.
 /// `threads` is the worker count the run used; `speedup` is serial wall time
 /// over this run's wall time (pass 1.0 for serial runs).
+/// `extra_json` (optional) is spliced verbatim into the JSON record as
+/// additional fields, e.g. "\"batch_size\":64".
 inline void report_perf(const std::string& bench, const sim::StudyConfig& cfg, double wall_ms,
                         std::uint64_t packets, double joules, unsigned threads = 1,
-                        double speedup = 1.0) {
+                        double speedup = 1.0, const std::string& extra_json = {}) {
   const double pps = wall_ms > 0.0 ? static_cast<double>(packets) / (wall_ms / 1e3) : 0.0;
   std::cout << "\n[perf] " << bench << ": " << fmt(wall_ms, 1) << " ms wall, " << packets
             << " packets (" << fmt(pps / 1e6, 2) << " Mpkt/s), " << fmt(joules / 1e3, 1)
@@ -80,7 +82,9 @@ inline void report_perf(const std::string& bench, const sim::StudyConfig& cfg, d
   os << "{\"bench\":\"" << bench << "\",\"users\":" << cfg.num_users
      << ",\"days\":" << cfg.num_days << ",\"seed\":" << cfg.seed << ",\"wall_ms\":" << wall_ms
      << ",\"packets\":" << packets << ",\"packets_per_sec\":" << pps << ",\"joules\":" << joules
-     << ",\"threads\":" << threads << ",\"speedup\":" << speedup << "}\n";
+     << ",\"threads\":" << threads << ",\"speedup\":" << speedup;
+  if (!extra_json.empty()) os << ',' << extra_json;
+  os << "}\n";
 }
 
 /// Convenience overload: read the measurement off the pipeline's RunStats.

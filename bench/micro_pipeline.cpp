@@ -4,10 +4,17 @@
 // stay practical on a laptop.
 #include <benchmark/benchmark.h>
 
+#include <utility>
+#include <vector>
+
 #include "core/pipeline.h"
 #include "energy/attributor.h"
+#include "obs/stopwatch.h"
 #include "radio/burst_machine.h"
 #include "sim/generator.h"
+#include "trace/batch.h"
+#include "trace/instrumented_sink.h"
+#include "trace/interface_filter.h"
 #include "util/rng.h"
 
 #include "bench_util.h"
@@ -116,6 +123,109 @@ void BM_ShardedPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardedPipeline)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Event-path sweep: per-record virtual dispatch vs EventBatch delivery
+// through a realistic sink chain (trace/batch.h). This is the number the
+// batched-event-path refactor is accountable to: single-thread batched
+// throughput must be >= 1.5x the per-record path.
+
+/// A cheap analysis leaf; batch-aware like the migrated production sinks.
+class CountingSink final : public trace::TraceSink {
+ public:
+  void on_packet(const trace::PacketRecord& p) override {
+    ++packets_;
+    bytes_ += p.bytes;
+  }
+  void on_transition(const trace::StateTransition&) override { ++transitions_; }
+  void on_batch(const trace::EventBatch& batch) override {
+    packets_ += batch.packets.size();
+    transitions_ += batch.transitions.size();
+    for (const auto& p : batch.packets) bytes_ += p.bytes;
+  }
+  [[nodiscard]] std::uint64_t packets() const { return packets_; }
+
+ private:
+  std::uint64_t packets_ = 0;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// The generated study, captured once as one whole-stream batch per user so
+/// the sweep measures sink-chain dispatch, not generation.
+struct CapturedStudy final : trace::TraceSink {
+  trace::StudyMeta meta;
+  std::vector<trace::EventBatch> users;
+  std::uint64_t packets = 0;
+  std::uint64_t events = 0;
+
+  void on_study_begin(const trace::StudyMeta& m) override { meta = m; }
+  void on_user_begin(trace::UserId user) override {
+    users.emplace_back();
+    users.back().user = user;
+  }
+  void on_packet(const trace::PacketRecord& p) override {
+    users.back().add(p);
+    ++packets;
+    ++events;
+  }
+  void on_transition(const trace::StateTransition& t) override {
+    users.back().add(t);
+    ++events;
+  }
+};
+
+/// Slice one user's captured stream into contiguous spans of `batch_size`
+/// events (done outside the timed region; a real producer fills batches as
+/// it generates, which costs no extra pass).
+std::vector<trace::EventBatch> slice(const trace::EventBatch& whole, std::size_t batch_size) {
+  std::vector<trace::EventBatch> slices;
+  std::size_t pi = 0;
+  std::size_t ti = 0;
+  trace::EventBatch current;
+  current.user = whole.user;
+  for (const trace::EventKind kind : whole.order) {
+    if (kind == trace::EventKind::kPacket) {
+      current.add(whole.packets[pi++]);
+    } else {
+      current.add(whole.transitions[ti++]);
+    }
+    if (current.size() >= batch_size) {
+      slices.push_back(std::move(current));
+      current = trace::EventBatch{};
+      current.user = whole.user;
+    }
+  }
+  if (!current.empty()) slices.push_back(std::move(current));
+  return slices;
+}
+
+/// One timed delivery of the captured study through the chain
+///   InterfaceFilter -> InstrumentedSink -> TraceMulticast -> 8 counters,
+/// per record (batch_size == 0) or as EventBatches. Returns wall ms.
+double run_event_path(const CapturedStudy& study,
+                      const std::vector<std::vector<trace::EventBatch>>& slices,
+                      std::size_t batch_size) {
+  std::vector<CountingSink> leaves(8);
+  trace::TraceMulticast fan;
+  for (auto& leaf : leaves) fan.add(&leaf);
+  trace::InstrumentedSink instrumented{"bench", &fan};
+  trace::InterfaceFilter head{&instrumented, trace::Interface::kCellular};
+
+  obs::Stopwatch watch;
+  head.on_study_begin(study.meta);
+  for (std::size_t u = 0; u < study.users.size(); ++u) {
+    head.on_user_begin(study.users[u].user);
+    if (batch_size == 0) {
+      trace::replay(study.users[u], head);
+    } else {
+      for (const auto& batch : slices[u]) head.on_batch(batch);
+    }
+    head.on_user_end(study.users[u].user);
+  }
+  head.on_study_end();
+  return watch.elapsed_ms();
+}
+
 }  // namespace
 }  // namespace wildenergy
 
@@ -123,7 +233,11 @@ BENCHMARK(BM_ShardedPipeline)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::k
 // end-to-end pipeline across worker-thread counts at the env-configured scale
 // and emit one perf footer / WILDENERGY_BENCH_JSON record per thread count
 // (with `threads` and `speedup` = serial wall over that run's wall). On a
-// single-CPU host the sweep honestly reports speedup ~= 1.
+// single-CPU host the sweep honestly reports speedup ~= 1. Then two batched
+// event-path sweeps: sink-chain dispatch per record vs batch sizes
+// {1, 64, 4096}, and the full pipeline per record vs the default batch size
+// (each record carries "batch_size":N; speedup is per-record wall over that
+// run's wall).
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
@@ -140,6 +254,58 @@ int main(int argc, char** argv) {
     pipeline.run();
     if (threads == 1) serial_wall_ms = pipeline.last_run_stats().wall_ms;
     benchutil::report_perf("micro_pipeline", cfg, pipeline, serial_wall_ms);
+  }
+
+  // Sink-chain dispatch: per-record vs batched, single thread. Each
+  // configuration keeps the best of kReps runs (dispatch benches are noisy).
+  {
+    CapturedStudy study;
+    sim::StudyGenerator{cfg}.run(study);
+    constexpr int kReps = 5;
+    double per_record_ms = 0.0;
+    const std::vector<std::vector<trace::EventBatch>> no_slices;
+    for (const std::size_t batch_size : {std::size_t{0}, std::size_t{1}, std::size_t{64},
+                                         std::size_t{4096}}) {
+      std::vector<std::vector<trace::EventBatch>> slices;
+      if (batch_size > 0) {
+        slices.reserve(study.users.size());
+        for (const auto& user : study.users) slices.push_back(slice(user, batch_size));
+      }
+      double best_ms = 0.0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        const double ms = run_event_path(study, batch_size > 0 ? slices : no_slices, batch_size);
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+      }
+      if (batch_size == 0) per_record_ms = best_ms;
+      const double speedup = batch_size == 0 || best_ms <= 0.0 ? 1.0 : per_record_ms / best_ms;
+      benchutil::report_perf("micro_pipeline.event_path", cfg, best_ms, study.packets,
+                             /*joules=*/0.0, /*threads=*/1, speedup,
+                             "\"batch_size\":" + std::to_string(batch_size));
+    }
+  }
+
+  // Full pipeline, generation and attribution included: the honest end-to-end
+  // cost of flipping batching off vs the default batch size.
+  {
+    constexpr int kReps = 3;
+    double per_record_ms = 0.0;
+    for (const std::size_t batch_size : {std::size_t{0}, core::PipelineOptions{}.batch_size}) {
+      core::PipelineOptions options;
+      options.batch_size = batch_size;
+      core::StudyPipeline pipeline{cfg, options};
+      double best_ms = 0.0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        pipeline.run();
+        const double ms = pipeline.last_run_stats().wall_ms;
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+      }
+      if (batch_size == 0) per_record_ms = best_ms;
+      const double speedup = batch_size == 0 || best_ms <= 0.0 ? 1.0 : per_record_ms / best_ms;
+      benchutil::report_perf("micro_pipeline.full_batched", cfg, best_ms,
+                             pipeline.last_run_stats().packets,
+                             pipeline.last_run_stats().joules, /*threads=*/1, speedup,
+                             "\"batch_size\":" + std::to_string(batch_size));
+    }
   }
   return 0;
 }

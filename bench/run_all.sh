@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run every bench binary and collect their perf records into one JSONL file
+# (one JSON object per measured run; see bench_util.h for the schema).
+#
+#   bench/run_all.sh <build>/bench          # writes BENCH_pipeline.json at repo root
+#   WILDENERGY_BENCH_JSON=out.json bench/run_all.sh <build>/bench
+#
+# Scale knobs pass through: WILDENERGY_DAYS / WILDENERGY_USERS / WILDENERGY_SEED.
+# The cmake target `bench_run_all` builds the binaries and invokes this script.
+set -euo pipefail
+
+bench_dir="${1:?usage: run_all.sh <build>/bench}"
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+export WILDENERGY_BENCH_JSON="${WILDENERGY_BENCH_JSON:-${repo_root}/BENCH_pipeline.json}"
+
+: > "${WILDENERGY_BENCH_JSON}"  # fresh file per suite run; benches append
+
+for bench in "${bench_dir}"/*; do
+  [[ -f ${bench} && -x ${bench} ]] || continue
+  name="$(basename "${bench}")"
+  echo "=== ${name}"
+  if [[ ${name} == micro_* ]]; then
+    # Skip the google-benchmark microbenches ('$^' matches nothing); the
+    # custom-main perf sweeps still run and emit the JSON records.
+    "${bench}" --benchmark_filter='$^'
+  else
+    "${bench}"
+  fi
+  echo
+done
+
+echo "perf records: ${WILDENERGY_BENCH_JSON}"

@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
 #include "radio/burst_machine.h"
+#include "trace/batch.h"
 #include "trace/instrumented_sink.h"
 #include "trace/interface_filter.h"
 #include "trace/shardable.h"
@@ -48,6 +49,10 @@ class UserSkipFilter final : public trace::TraceSink {
     skipping_ = false;
   }
   void on_study_end() override { downstream_->on_study_end(); }
+  void on_batch(const trace::EventBatch& batch) override {
+    // A batch belongs to exactly one user, so skipping is all-or-nothing.
+    if (!skipping_) downstream_->on_batch(batch);
+  }
 
  private:
   trace::TraceSink* downstream_;
@@ -78,6 +83,7 @@ StudyPipeline::StudyPipeline(sim::StudyConfig config, PipelineOptions options)
       failure_policy_(options.failure_policy),
       max_shard_retries_(options.max_shard_retries),
       fault_plan_(options.fault_plan),
+      batch_size_(options.batch_size),
       collect_stage_stats_(options.collect_stage_stats),
       trace_writer_(options.trace_writer) {}
 
@@ -92,6 +98,7 @@ StudyPipeline::StudyPipeline(sim::StudyConfig config, appmodel::AppCatalog catal
       failure_policy_(options.failure_policy),
       max_shard_retries_(options.max_shard_retries),
       fault_plan_(options.fault_plan),
+      batch_size_(options.batch_size),
       collect_stage_stats_(options.collect_stage_stats),
       trace_writer_(options.trace_writer) {}
 
@@ -159,7 +166,7 @@ void StudyPipeline::run_serial() {
 
   const std::int64_t run_start_us = trace_writer_ != nullptr ? trace_writer_->now_us() : 0;
   obs::Stopwatch total;
-  generator_.run(*entry);
+  generator_.run(*entry, batch_size_);
   stats_.wall_ms = total.elapsed_ms();
   off_interface_bytes_ = filter.dropped_bytes();
 
@@ -313,13 +320,13 @@ void StudyPipeline::run_sharded(unsigned num_threads) {
       const obs::Stopwatch watch;
       if (retry_then_skip) {
         try {
-          generator_.run_user(static_cast<trace::UserId>(index), *shard.entry);
+          generator_.run_user(static_cast<trace::UserId>(index), *shard.entry, batch_size_);
         } catch (const std::exception& e) {
           shard.error = util::Status::aborted(e.what());
         }
       } else {
         // kFailFast: the pool rethrows the first exception out of run().
-        generator_.run_user(static_cast<trace::UserId>(index), *shard.entry);
+        generator_.run_user(static_cast<trace::UserId>(index), *shard.entry, batch_size_);
       }
       shard.wall_ms = watch.elapsed_ms();
     });
@@ -341,7 +348,7 @@ void StudyPipeline::run_sharded(unsigned num_threads) {
         fresh->span_start_us = trace_writer_ != nullptr ? trace_writer_->now_us() : 0;
         const obs::Stopwatch watch;
         try {
-          generator_.run_user(static_cast<trace::UserId>(user), *fresh->entry);
+          generator_.run_user(static_cast<trace::UserId>(user), *fresh->entry, batch_size_);
         } catch (const std::exception& e) {
           fresh->error = util::Status::aborted(e.what());
         }
@@ -396,7 +403,8 @@ void StudyPipeline::run_sharded(unsigned num_threads) {
     UserSkipFilter skip_filter{&filter, skipped};
     obs::MetricsRegistry scratch;
     const obs::ScopedMetricsRegistry scoped{&scratch};
-    generator_.run(skipped.empty() ? static_cast<trace::TraceSink&>(filter) : skip_filter);
+    generator_.run(skipped.empty() ? static_cast<trace::TraceSink&>(filter) : skip_filter,
+                   batch_size_);
   }
   stats_.wall_ms = total.elapsed_ms();
 

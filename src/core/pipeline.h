@@ -80,6 +80,12 @@ struct PipelineOptions {
   /// Non-owning; must outlive run(). Under kFailFast an injected fault
   /// propagates out of run() as fault::ShardFault.
   fault::FaultPlan* fault_plan = nullptr;
+  /// Events per EventBatch on the generator -> sinks path (both serial and
+  /// sharded engines). 0 streams per record (the classic path). Outputs are
+  /// bit-identical for every value — batching only amortizes dispatch
+  /// (trace/batch.h); the default is a cache-friendly span that measures
+  /// well on the micro_pipeline sweep.
+  std::size_t batch_size = 256;
 };
 
 class StudyPipeline {
@@ -144,6 +150,7 @@ class StudyPipeline {
   FailurePolicy failure_policy_ = FailurePolicy::kFailFast;
   unsigned max_shard_retries_ = 2;
   fault::FaultPlan* fault_plan_ = nullptr;
+  std::size_t batch_size_ = 256;
   std::uint64_t off_interface_bytes_ = 0;
   /// Registered analyses, in registration order; fan-out is rebuilt per run.
   std::vector<std::pair<std::string, trace::TraceSink*>> analyses_;

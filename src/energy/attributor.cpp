@@ -1,7 +1,7 @@
 #include "energy/attributor.h"
 
 #include <cassert>
-#include <cstring>
+#include <string_view>
 #include <utility>
 
 namespace wildenergy::energy {
@@ -21,7 +21,11 @@ void AttributionCounters::merge_from(const AttributionCounters& other) {
 
 EnergyAttributor::EnergyAttributor(RadioModelFactory factory, trace::TraceSink* downstream,
                                    TailPolicy policy)
-    : factory_(std::move(factory)), downstream_(downstream), policy_(policy) {
+    : factory_(std::move(factory)),
+      downstream_(downstream),
+      policy_(policy),
+      segment_sink_([this](const radio::EnergySegment& s) { handle_segment(s); }),
+      run_sink_([this](std::size_t i, const radio::EnergySegment& s) { on_run_segment(i, s); }) {
   assert(factory_);
   assert(downstream_ != nullptr);
 }
@@ -41,6 +45,7 @@ void EnergyAttributor::on_user_begin(trace::UserId user) {
   window_.clear();
   held_transitions_.clear();
   pending_tail_ = 0.0;
+  current_joules_ = 0.0;
   downstream_->on_user_begin(user);
 }
 
@@ -55,7 +60,7 @@ void EnergyAttributor::handle_segment(const radio::EnergySegment& segment) {
       break;
     case radio::SegmentKind::kTail:
       ++counters_.tail_segments;
-      if (segment.state_name != nullptr && std::strstr(segment.state_name, "DRX") != nullptr) {
+      if (segment.state_name.find("DRX") != std::string_view::npos) {
         ++counters_.drx_segments;
       }
       current_->tail += segment.joules;
@@ -106,21 +111,32 @@ void EnergyAttributor::flush_pending() {
         !window_.empty() &&
         (held_transitions_.empty() || window_.front().time <= held_transitions_.front().time);
     if (take_packet) {
-      downstream_->on_packet(window_.front());
+      emit_packet(window_.front());
       window_.pop_front();
     } else {
-      downstream_->on_transition(held_transitions_.front());
+      emit_transition(held_transitions_.front());
       held_transitions_.pop_front();
     }
   }
 }
 
-void EnergyAttributor::on_packet(const trace::PacketRecord& packet) {
-  ++counters_.packets;
-  current_joules_ = 0.0;
-  model_->on_transfer({packet.time, packet.bytes, packet.direction},
-                      [this](const radio::EnergySegment& s) { handle_segment(s); });
+void EnergyAttributor::emit_packet(const trace::PacketRecord& packet) {
+  if (batching_) {
+    out_.add(packet);
+  } else {
+    downstream_->on_packet(packet);
+  }
+}
 
+void EnergyAttributor::emit_transition(const trace::StateTransition& transition) {
+  if (batching_) {
+    out_.add(transition);
+  } else {
+    downstream_->on_transition(transition);
+  }
+}
+
+void EnergyAttributor::finalize_packet(const trace::PacketRecord& packet) {
   // Under the paper's rule a packet's tail attribution is settled as soon as
   // the next packet arrives, so the previous window can drain now. Under the
   // proportional rule the window stays open until the radio reaches idle.
@@ -129,12 +145,72 @@ void EnergyAttributor::on_packet(const trace::PacketRecord& packet) {
   trace::PacketRecord annotated = packet;
   annotated.joules = current_joules_;
   window_.push_back(annotated);
+  current_joules_ = 0.0;
+}
+
+void EnergyAttributor::on_packet(const trace::PacketRecord& packet) {
+  ++counters_.packets;
+  model_->on_transfer({packet.time, packet.bytes, packet.direction}, segment_sink_);
+  finalize_packet(packet);
+}
+
+void EnergyAttributor::on_run_segment(std::size_t index, const radio::EnergySegment& segment) {
+  // Segments of run event `index` must see exactly the state the per-record
+  // path would have: every earlier packet of the run already finalized (its
+  // gap segments all carry indices < `index`, so they have been handled).
+  while (run_finalized_ < index) finalize_packet(run_packets_[run_finalized_++]);
+  handle_segment(segment);
+}
+
+void EnergyAttributor::on_batch(const trace::EventBatch& batch) {
+  batching_ = true;
+  out_.clear();
+  out_.user = batch.user;
+
+  std::size_t pi = 0;
+  std::size_t ti = 0;
+  std::size_t run_begin = 0;  // index into batch.packets of the current run
+  run_events_.clear();
+  const auto flush_run = [&] {
+    if (run_events_.empty()) return;
+    counters_.packets += run_events_.size();
+    run_packets_ = batch.packets.data() + run_begin;
+    run_finalized_ = 0;
+    model_->on_transfers(run_events_.data(), run_events_.size(), run_sink_);
+    while (run_finalized_ < run_events_.size()) {
+      finalize_packet(run_packets_[run_finalized_++]);
+    }
+    run_packets_ = nullptr;
+    run_events_.clear();
+  };
+
+  for (const trace::EventKind kind : batch.order) {
+    if (kind == trace::EventKind::kPacket) {
+      const trace::PacketRecord& p = batch.packets[pi];
+      if (run_events_.empty()) run_begin = pi;
+      run_events_.push_back({p.time, p.bytes, p.direction});
+      ++pi;
+    } else {
+      flush_run();
+      const trace::StateTransition& t = batch.transitions[ti++];
+      ++counters_.transitions;
+      if (window_.empty()) {
+        emit_transition(t);
+      } else {
+        held_transitions_.push_back(t);
+      }
+    }
+  }
+  flush_run();
+
+  batching_ = false;
+  if (!out_.empty()) downstream_->on_batch(out_);
 }
 
 void EnergyAttributor::on_transition(const trace::StateTransition& transition) {
   ++counters_.transitions;
   if (window_.empty()) {
-    downstream_->on_transition(transition);
+    emit_transition(transition);
   } else {
     held_transitions_.push_back(transition);
   }
@@ -142,8 +218,7 @@ void EnergyAttributor::on_transition(const trace::StateTransition& transition) {
 
 void EnergyAttributor::on_user_end(trace::UserId user) {
   if (model_) {
-    model_->finish(meta_.study_end,
-                   [this](const radio::EnergySegment& s) { handle_segment(s); });
+    model_->finish(meta_.study_end, segment_sink_);
   }
   flush_pending();
   downstream_->on_user_end(user);

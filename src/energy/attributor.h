@@ -19,8 +19,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "radio/radio_model.h"
+#include "trace/batch.h"
 #include "trace/sink.h"
 
 namespace wildenergy::energy {
@@ -66,6 +68,11 @@ class EnergyAttributor final : public trace::TraceSink {
   void on_transition(const trace::StateTransition& transition) override;
   void on_user_end(trace::UserId user) override;
   void on_study_end() override;
+  /// Batched attribution: feeds consecutive-packet runs to the radio model
+  /// through RadioModel::on_transfers (one segment adapter per run instead
+  /// of one per packet) and emits the annotated events as one batch.
+  /// Bit-identical to the per-record path for every batch size.
+  void on_batch(const trace::EventBatch& batch) override;
 
   // Study-wide energy totals. Each is kept as per-user partial sums and
   // folded in user-id order here, so a sharded run merged in user order
@@ -100,6 +107,19 @@ class EnergyAttributor final : public trace::TraceSink {
 
   void handle_segment(const radio::EnergySegment& segment);
   void flush_pending();
+  /// Settle `packet` after the model consumed its transfer: flush the
+  /// previous window under kLastPacket, then append the packet (annotated
+  /// with the promotion+transfer energy accumulated in current_joules_) to
+  /// the window and reset the accumulator.
+  void finalize_packet(const trace::PacketRecord& packet);
+  /// Batch path: a segment produced by run event `index` arrived. Finalizes
+  /// every earlier event of the run first, so attribution state matches the
+  /// per-record path exactly when the segment is handled.
+  void on_run_segment(std::size_t index, const radio::EnergySegment& segment);
+  /// Forward one annotated event: into out_ during on_batch, straight to
+  /// downstream_ otherwise.
+  void emit_packet(const trace::PacketRecord& packet);
+  void emit_transition(const trace::StateTransition& transition);
 
   RadioModelFactory factory_;
   trace::TraceSink* downstream_;
@@ -118,6 +138,16 @@ class EnergyAttributor final : public trace::TraceSink {
   std::map<trace::UserId, UserEnergy> per_user_;
   UserEnergy* current_ = nullptr;  ///< this user's partials (set in on_user_begin)
   AttributionCounters counters_;
+
+  // Hoisted sink adapters (building a std::function per packet was a
+  // measurable per-record cost) and reused batch-path scratch state.
+  radio::SegmentSink segment_sink_;
+  radio::IndexedSegmentSink run_sink_;
+  trace::EventBatch out_;             ///< annotated output batch (reused)
+  bool batching_ = false;             ///< emit target: out_ vs downstream_
+  std::vector<radio::TransferEvent> run_events_;  ///< current packet run
+  const trace::PacketRecord* run_packets_ = nullptr;  ///< run's source packets
+  std::size_t run_finalized_ = 0;     ///< run packets settled so far
 };
 
 }  // namespace wildenergy::energy

@@ -60,6 +60,7 @@ class EnergyLedger final : public trace::TraceSink, public trace::ShardableSink 
  public:
   void on_study_begin(const trace::StudyMeta& meta) override;
   void on_packet(const trace::PacketRecord& packet) override;
+  void on_batch(const trace::EventBatch& batch) override;
 
   // ShardableSink: one ledger clone per user shard, merged in user-id order.
   [[nodiscard]] std::unique_ptr<trace::TraceSink> clone_shard() const override;

@@ -108,6 +108,15 @@ void BurstMachine::on_transfer(const TransferEvent& event, const SegmentSink& si
   cursor_ = end;
 }
 
+void BurstMachine::on_transfers(const TransferEvent* events, std::size_t count,
+                                const IndexedSegmentSink& sink) {
+  // One adapter for the whole run — the default implementation's per-event
+  // std::function construction is the cost this override amortizes.
+  std::size_t index = 0;
+  const SegmentSink adapter = [&sink, &index](const EnergySegment& s) { sink(index, s); };
+  for (; index < count; ++index) on_transfer(events[index], adapter);
+}
+
 void BurstMachine::finish(TimePoint end, const SegmentSink& sink) {
   if (started_ && end > cursor_) {
     std::size_t phase = kIdlePhase;

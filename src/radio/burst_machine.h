@@ -18,6 +18,8 @@ class BurstMachine final : public RadioModel {
   explicit BurstMachine(BurstMachineParams params);
 
   void on_transfer(const TransferEvent& event, const SegmentSink& sink) override;
+  void on_transfers(const TransferEvent* events, std::size_t count,
+                    const IndexedSegmentSink& sink) override;
   void finish(TimePoint end, const SegmentSink& sink) override;
   [[nodiscard]] bool is_powered_at(TimePoint t) const override;
   [[nodiscard]] std::string name() const override { return params_.model_name; }

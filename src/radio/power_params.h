@@ -13,6 +13,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/time.h"
@@ -23,7 +24,10 @@ namespace wildenergy::radio {
 struct PromotionParams {
   Duration duration{};
   double power_w = 0.0;
-  const char* state_name = "PROMOTION";
+  /// Segments emitted for this ramp carry this view; point it at storage
+  /// that outlives the model (string literals, or a caller-owned string for
+  /// dynamically built parameter sets).
+  std::string_view state_name = "PROMOTION";
 
   [[nodiscard]] bool enabled() const { return duration.us > 0; }
 };
@@ -32,7 +36,7 @@ struct PromotionParams {
 struct TailPhaseParams {
   Duration duration{};
   double power_w = 0.0;
-  const char* state_name = "TAIL";
+  std::string_view state_name = "TAIL";
   /// Promotion required when a transfer arrives while in this phase
   /// (UMTS FACH -> DCH). Zero-duration means resume directly.
   PromotionParams repromotion{};
@@ -47,7 +51,7 @@ struct BurstMachineParams {
 
   /// Power while actively transferring (base, excludes per-byte component).
   double active_power_w = 0.0;
-  const char* active_state_name = "ACTIVE";
+  std::string_view active_state_name = "ACTIVE";
 
   /// Incremental energy per payload byte (captures the rate-dependent power
   /// term alpha_u/alpha_d of [16] folded over the transfer).

@@ -5,6 +5,7 @@
 // machines; see DESIGN.md §2 "radio/".
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 
@@ -24,6 +25,15 @@ class RadioModel {
   /// including) the start of this transfer's active period.
   virtual void on_transfer(const TransferEvent& event, const SegmentSink& sink) = 0;
 
+  /// Feed a run of consecutive transfers (the batched event path). Exactly
+  /// equivalent to calling on_transfer for each event in order; `sink`
+  /// additionally receives the index of the event that produced each
+  /// segment, so a batch consumer can settle earlier events lazily. The
+  /// default loops over on_transfer; models override it to hoist per-event
+  /// sink setup out of the loop.
+  virtual void on_transfers(const TransferEvent* events, std::size_t count,
+                            const IndexedSegmentSink& sink);
+
   /// Close out the model at `end`: emits any remaining tail and trailing idle
   /// segments. The model returns to its initial (idle) state afterwards.
   virtual void finish(TimePoint end, const SegmentSink& sink) = 0;
@@ -41,5 +51,12 @@ class RadioModel {
  protected:
   RadioModel() = default;
 };
+
+inline void RadioModel::on_transfers(const TransferEvent* events, std::size_t count,
+                                     const IndexedSegmentSink& sink) {
+  for (std::size_t i = 0; i < count; ++i) {
+    on_transfer(events[i], [&sink, i](const EnergySegment& s) { sink(i, s); });
+  }
+}
 
 }  // namespace wildenergy::radio

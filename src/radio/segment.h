@@ -8,8 +8,10 @@
 // (tail -> last packet in the tail period, §3.1).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string_view>
 
 #include "util/time.h"
 
@@ -51,8 +53,9 @@ struct EnergySegment {
   TimePoint end;
   double joules = 0.0;
   SegmentKind kind = SegmentKind::kIdle;
-  /// Human-readable hardware state, e.g. "LTE_CRX", "UMTS_FACH_TAIL".
-  const char* state_name = "idle";
+  /// Human-readable hardware state, e.g. "LTE_CRX", "UMTS_FACH_TAIL". A
+  /// view into the model's parameter set; valid while the model is alive.
+  std::string_view state_name = "idle";
 
   [[nodiscard]] Duration duration() const { return end - begin; }
   [[nodiscard]] double avg_power_w() const {
@@ -64,5 +67,10 @@ struct EnergySegment {
 /// Receives segments in non-decreasing time order with no gaps or overlaps
 /// between consecutive segments from one model instance.
 using SegmentSink = std::function<void(const EnergySegment&)>;
+
+/// Batch variant: additionally receives the index (into the fed run of
+/// transfer events) of the event that produced each segment. Indices are
+/// non-decreasing across one run.
+using IndexedSegmentSink = std::function<void(std::size_t, const EnergySegment&)>;
 
 }  // namespace wildenergy::radio

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/user_model.h"
+#include "trace/batch.h"
 
 namespace wildenergy::sim {
 
@@ -48,13 +49,13 @@ class UserSim {
     }
   }
 
-  void generate(trace::TraceSink& sink) {
+  void generate(trace::TraceSink& sink, std::size_t batch_size) {
     build_sessions();
     build_media_sessions();
     index_foreground_intervals();
     emit_session_traffic();
     emit_periodic_traffic();
-    emit_stream(sink);
+    emit_stream(sink, batch_size);
   }
 
  private:
@@ -432,7 +433,7 @@ class UserSim {
 
   // -- phase 5: sort and emit -------------------------------------------------
 
-  void emit_stream(trace::TraceSink& sink) {
+  void emit_stream(trace::TraceSink& sink, std::size_t batch_size) {
     std::stable_sort(packets_.begin(), packets_.end(),
                      [](const PacketRecord& a, const PacketRecord& b) { return a.time < b.time; });
     std::stable_sort(transitions_.begin(), transitions_.end(),
@@ -443,16 +444,38 @@ class UserSim {
     // transition into the new state.
     std::size_t pi = 0;
     std::size_t ti = 0;
+    if (batch_size == 0) {
+      while (pi < packets_.size() || ti < transitions_.size()) {
+        const bool take_transition =
+            ti < transitions_.size() &&
+            (pi >= packets_.size() || transitions_[ti].time <= packets_[pi].time);
+        if (take_transition) {
+          sink.on_transition(transitions_[ti++]);
+        } else {
+          sink.on_packet(packets_[pi++]);
+        }
+      }
+      return;
+    }
+    // Batched delivery: same merge, buffered into spans of batch_size events.
+    trace::EventBatch batch;
+    batch.user = user_;
+    batch.reserve(std::min(batch_size, packets_.size() + transitions_.size()));
     while (pi < packets_.size() || ti < transitions_.size()) {
       const bool take_transition =
           ti < transitions_.size() &&
           (pi >= packets_.size() || transitions_[ti].time <= packets_[pi].time);
       if (take_transition) {
-        sink.on_transition(transitions_[ti++]);
+        batch.add(transitions_[ti++]);
       } else {
-        sink.on_packet(packets_[pi++]);
+        batch.add(packets_[pi++]);
+      }
+      if (batch.size() >= batch_size) {
+        sink.on_batch(batch);
+        batch.clear();
       }
     }
+    if (!batch.empty()) sink.on_batch(batch);
   }
 
   const StudyConfig& config_;
@@ -486,20 +509,21 @@ trace::StudyMeta StudyGenerator::meta() const {
   return meta;
 }
 
-void StudyGenerator::run(trace::TraceSink& sink) const {
+void StudyGenerator::run(trace::TraceSink& sink, std::size_t batch_size) const {
   sink.on_study_begin(meta());
   for (UserId u = 0; u < config_.num_users; ++u) {
     sink.on_user_begin(u);
-    UserSim{config_, catalog_, u}.generate(sink);
+    UserSim{config_, catalog_, u}.generate(sink, batch_size);
     sink.on_user_end(u);
   }
   sink.on_study_end();
 }
 
-void StudyGenerator::run_user(trace::UserId user, trace::TraceSink& sink) const {
+void StudyGenerator::run_user(trace::UserId user, trace::TraceSink& sink,
+                              std::size_t batch_size) const {
   sink.on_study_begin(meta());
   sink.on_user_begin(user);
-  UserSim{config_, catalog_, user}.generate(sink);
+  UserSim{config_, catalog_, user}.generate(sink, batch_size);
   sink.on_user_end(user);
   sink.on_study_end();
 }

@@ -18,20 +18,21 @@ class StudyGenerator {
   StudyGenerator(StudyConfig config, appmodel::AppCatalog catalog);
 
   /// Generate the whole study into `sink`: users in id order, each user's
-  /// packets and transitions in non-decreasing time order.
-  void run(trace::TraceSink& sink) const;
+  /// packets and transitions in non-decreasing time order. With
+  /// `batch_size > 0` events are delivered via sink.on_batch in spans of
+  /// that many events (brackets stay per-record); outputs are bit-identical
+  /// for every batch size because on_batch defaults to per-record replay.
+  void run(trace::TraceSink& sink, std::size_t batch_size = 0) const;
 
   /// Generate only one user's stream (still bracketed by study begin/end).
   /// Used by tests and by per-user parallel analyses.
-  void run_user(trace::UserId user, trace::TraceSink& sink) const;
+  void run_user(trace::UserId user, trace::TraceSink& sink, std::size_t batch_size = 0) const;
 
   [[nodiscard]] const StudyConfig& config() const { return config_; }
   [[nodiscard]] const appmodel::AppCatalog& catalog() const { return catalog_; }
   [[nodiscard]] trace::StudyMeta meta() const;
 
  private:
-  void emit_user(trace::UserId user, trace::TraceSink& sink) const;
-
   StudyConfig config_;
   appmodel::AppCatalog catalog_;
 };

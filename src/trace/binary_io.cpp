@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "obs/metrics.h"
+#include "trace/batch.h"
 
 namespace wildenergy::trace {
 
@@ -195,6 +196,13 @@ class Reader {
 
 BinaryReadResult read_binary_trace(std::istream& is, TraceSink& sink,
                                    const ReadOptions& options) {
+  if (options.batch_size > 0) {
+    // Batched ingestion: see read_csv_trace — same wrapper, same guarantee.
+    EventBatcher batcher{&sink, options.batch_size};
+    ReadOptions per_record = options;
+    per_record.batch_size = 0;
+    return read_binary_trace(is, batcher, per_record);
+  }
   BinaryReadResult result;
   auto& registry = obs::MetricsRegistry::current();
   const auto fail = [&](std::string why) {

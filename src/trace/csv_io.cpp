@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "trace/batch.h"
 
 namespace wildenergy::trace {
 
@@ -89,6 +90,15 @@ std::string format_error(std::uint64_t line_no, const LineError& err,
 }  // namespace
 
 CsvReadResult read_csv_trace(std::istream& is, TraceSink& sink, const ReadOptions& options) {
+  if (options.batch_size > 0) {
+    // Batched ingestion: parse per record as usual but hand the sink
+    // EventBatches. The batcher flushes before every bracket, so the sink
+    // sees a bit-identical stream.
+    EventBatcher batcher{&sink, options.batch_size};
+    ReadOptions per_record = options;
+    per_record.batch_size = 0;
+    return read_csv_trace(is, batcher, per_record);
+  }
   CsvReadResult result;
   auto& registry = obs::MetricsRegistry::current();
   std::string line;

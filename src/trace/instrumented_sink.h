@@ -14,6 +14,7 @@
 #include "obs/run_stats.h"
 #include "obs/stopwatch.h"
 #include "obs/trace_writer.h"
+#include "trace/batch.h"
 #include "trace/sink.h"
 
 namespace wildenergy::trace {
@@ -54,6 +55,16 @@ class InstrumentedSink final : public TraceSink {
     obs::ScopedPhase phase{stack_, &self_ns_};
     ++stats_.transitions;
     inner_->on_transition(transition);
+  }
+
+  void on_batch(const EventBatch& batch) override {
+    // One timing frame and one counter update per batch — this is where the
+    // per-record profiling overhead (two clock reads per callback) amortizes.
+    obs::ScopedPhase phase{stack_, &self_ns_};
+    stats_.packets += batch.packets.size();
+    stats_.transitions += batch.transitions.size();
+    for (const auto& p : batch.packets) stats_.bytes += p.bytes;
+    inner_->on_batch(batch);
   }
 
   void on_user_end(UserId user) override {

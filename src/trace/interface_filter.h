@@ -6,6 +6,7 @@
 // counters feed the cellular-vs-WiFi comparison bench.
 #pragma once
 
+#include "trace/batch.h"
 #include "trace/sink.h"
 
 namespace wildenergy::trace {
@@ -36,6 +37,40 @@ class InterfaceFilter final : public TraceSink {
   void on_user_end(UserId user) override { downstream_->on_user_end(user); }
   void on_study_end() override { downstream_->on_study_end(); }
 
+  void on_batch(const EventBatch& batch) override {
+    // Common case (single-interface studies): nothing to drop, forward the
+    // batch untouched. Only rebuild when a packet actually fails the filter.
+    bool all_kept = true;
+    for (const auto& p : batch.packets) {
+      if (p.interface != keep_) {
+        all_kept = false;
+        break;
+      }
+    }
+    if (all_kept) {
+      downstream_->on_batch(batch);
+      return;
+    }
+    scratch_.clear();
+    scratch_.user = batch.user;
+    std::size_t pi = 0;
+    std::size_t ti = 0;
+    for (const EventKind kind : batch.order) {
+      if (kind == EventKind::kPacket) {
+        const PacketRecord& p = batch.packets[pi++];
+        if (p.interface == keep_) {
+          scratch_.add(p);
+        } else {
+          ++dropped_packets_;
+          dropped_bytes_ += p.bytes;
+        }
+      } else {
+        scratch_.add(batch.transitions[ti++]);
+      }
+    }
+    if (!scratch_.empty()) downstream_->on_batch(scratch_);
+  }
+
   [[nodiscard]] std::uint64_t dropped_packets() const { return dropped_packets_; }
   [[nodiscard]] std::uint64_t dropped_bytes() const { return dropped_bytes_; }
 
@@ -44,6 +79,7 @@ class InterfaceFilter final : public TraceSink {
   Interface keep_;
   std::uint64_t dropped_packets_ = 0;
   std::uint64_t dropped_bytes_ = 0;
+  EventBatch scratch_;  ///< reused output batch for the drop path
 };
 
 }  // namespace wildenergy::trace

@@ -42,6 +42,10 @@ struct ReadOptions {
   ReadPolicy policy = ReadPolicy::kStrict;
   /// Keep at most this many rejected records for post-mortems.
   std::size_t max_quarantine = 8;
+  /// When > 0, the readers deliver parsed events to the sink as EventBatches
+  /// of this many events (trace/batch.h) instead of per-record callbacks.
+  /// Outputs are bit-identical either way; batching only amortizes dispatch.
+  std::size_t batch_size = 0;
 };
 
 /// One rejected (or repaired) record, kept verbatim for diagnosis.

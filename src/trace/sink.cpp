@@ -1,0 +1,24 @@
+#include "trace/sink.h"
+
+#include "trace/batch.h"
+
+namespace wildenergy::trace {
+
+// The default batch handler IS the per-record stream: replaying through this
+// sink's own virtual callbacks makes every unmigrated sink — including ones
+// that count or intercept individual callbacks, like fault::FaultySink —
+// behave bit-identically whether upstream batches or not.
+void TraceSink::on_batch(const EventBatch& batch) { replay(batch, *this); }
+
+void TraceMulticast::on_batch(const EventBatch& batch) {
+  for (auto* s : sinks_) s->on_batch(batch);
+}
+
+void TraceCollector::on_batch(const EventBatch& batch) {
+  // Events of each kind are in array order, so bulk appends reproduce
+  // exactly what replaying the interleaved stream would collect.
+  packets_.insert(packets_.end(), batch.packets.begin(), batch.packets.end());
+  transitions_.insert(transitions_.end(), batch.transitions.begin(), batch.transitions.end());
+}
+
+}  // namespace wildenergy::trace

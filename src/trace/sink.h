@@ -14,6 +14,8 @@
 
 namespace wildenergy::trace {
 
+class EventBatch;  // trace/batch.h
+
 /// Study-level metadata passed to sinks up front.
 struct StudyMeta {
   std::uint32_t num_users = 0;
@@ -35,6 +37,13 @@ class TraceSink {
   virtual void on_transition(const StateTransition& /*transition*/) {}
   virtual void on_user_end(UserId /*user*/) {}
   virtual void on_study_end() {}
+
+  /// A time-ordered span of one user's events (trace/batch.h). Arrives
+  /// strictly inside the user's bracket. The default implementation replays
+  /// the per-record callbacks on this sink, so implementing on_batch is an
+  /// optimization, never a requirement: any sink behaves bit-identically
+  /// whether its input arrives per record or in batches of any size.
+  virtual void on_batch(const EventBatch& batch);
 };
 
 /// Fans one stream out to several sinks, in registration order.
@@ -63,6 +72,7 @@ class TraceMulticast final : public TraceSink {
   void on_study_end() override {
     for (auto* s : sinks_) s->on_study_end();
   }
+  void on_batch(const EventBatch& batch) override;
 
  private:
   std::vector<TraceSink*> sinks_;
@@ -74,6 +84,7 @@ class TraceCollector final : public TraceSink {
   void on_study_begin(const StudyMeta& meta) override { meta_ = meta; }
   void on_packet(const PacketRecord& p) override { packets_.push_back(p); }
   void on_transition(const StateTransition& t) override { transitions_.push_back(t); }
+  void on_batch(const EventBatch& batch) override;
 
   [[nodiscard]] const StudyMeta& meta() const { return meta_; }
   [[nodiscard]] const std::vector<PacketRecord>& packets() const { return packets_; }

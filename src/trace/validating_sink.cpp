@@ -37,12 +37,15 @@ std::string describe(const StateTransition& t) {
 }  // namespace
 
 ValidatingSink::ValidatingSink(TraceSink* downstream, ReadOptions options)
-    : downstream_(downstream), options_(options) {}
+    : downstream_(downstream),
+      options_(options),
+      dropped_metric_(&obs::MetricsRegistry::current().counter("validate.records_dropped")),
+      repaired_metric_(&obs::MetricsRegistry::current().counter("validate.records_repaired")) {}
 
-void ValidatingSink::note(std::uint64_t& counter, const char* metric, const std::string& reason,
+void ValidatingSink::note(std::uint64_t& counter, obs::Counter* metric, const std::string& reason,
                           const std::string& snippet) {
   ++counter;
-  obs::MetricsRegistry::current().counter(metric).inc();
+  metric->inc();
   if (quarantine_.size() < options_.max_quarantine) {
     quarantine_.push_back({records_seen_, reason, truncate_snippet(snippet)});
   }
@@ -56,11 +59,47 @@ bool ValidatingSink::flag(const std::string& reason, const std::string& snippet)
                                                   truncate_snippet(snippet) + "]");
     }
     ++records_dropped_;
-    obs::MetricsRegistry::current().counter("validate.records_dropped").inc();
+    dropped_metric_->inc();
     return true;
   }
-  note(records_dropped_, "validate.records_dropped", reason, snippet);
+  note(records_dropped_, dropped_metric_, reason, snippet);
   return true;
+}
+
+void ValidatingSink::emit(const PacketRecord& packet) {
+  if (batching_) {
+    out_.add(packet);
+  } else {
+    downstream_->on_packet(packet);
+  }
+}
+
+void ValidatingSink::emit(const StateTransition& transition) {
+  if (batching_) {
+    out_.add(transition);
+  } else {
+    downstream_->on_transition(transition);
+  }
+}
+
+void ValidatingSink::on_batch(const EventBatch& batch) {
+  // Run every event through the per-record validation (so drop/repair/poison
+  // semantics, counters and quarantine are bit-identical to a per-record
+  // stream), collecting survivors into one output batch.
+  batching_ = true;
+  out_.clear();
+  out_.user = batch.user;
+  std::size_t pi = 0;
+  std::size_t ti = 0;
+  for (const EventKind kind : batch.order) {
+    if (kind == EventKind::kPacket) {
+      on_packet(batch.packets[pi++]);
+    } else {
+      on_transition(batch.transitions[ti++]);
+    }
+  }
+  batching_ = false;
+  if (!out_.empty()) downstream_->on_batch(out_);
 }
 
 void ValidatingSink::on_study_begin(const StudyMeta& meta) {
@@ -94,7 +133,7 @@ void ValidatingSink::on_user_begin(UserId user) {
   if (open_user_.has_value()) {
     if (options_.policy == ReadPolicy::kBestEffort) {
       // Repair: the previous user's end record went missing — close it.
-      note(records_repaired_, "validate.records_repaired",
+      note(records_repaired_, repaired_metric_,
            "user " + std::to_string(*open_user_) + " left open; auto-closed", snippet);
       downstream_->on_user_end(*open_user_);
     } else {
@@ -132,18 +171,18 @@ void ValidatingSink::on_packet(const PacketRecord& packet) {
   }
   if (packet.time.us < last_time_us_) {
     if (options_.policy == ReadPolicy::kBestEffort) {
-      note(records_repaired_, "validate.records_repaired",
+      note(records_repaired_, repaired_metric_,
            "backwards packet timestamp clamped", describe(packet));
       PacketRecord repaired = packet;
       repaired.time.us = last_time_us_;
-      downstream_->on_packet(repaired);
+      emit(repaired);
       return;
     }
     flag("packet timestamp goes backwards", describe(packet));
     return;
   }
   last_time_us_ = packet.time.us;
-  downstream_->on_packet(packet);
+  emit(packet);
 }
 
 void ValidatingSink::on_transition(const StateTransition& transition) {
@@ -171,18 +210,18 @@ void ValidatingSink::on_transition(const StateTransition& transition) {
   }
   if (transition.time.us < last_time_us_) {
     if (options_.policy == ReadPolicy::kBestEffort) {
-      note(records_repaired_, "validate.records_repaired",
+      note(records_repaired_, repaired_metric_,
            "backwards transition timestamp clamped", describe(transition));
       StateTransition repaired = transition;
       repaired.time.us = last_time_us_;
-      downstream_->on_transition(repaired);
+      emit(repaired);
       return;
     }
     flag("transition timestamp goes backwards", describe(transition));
     return;
   }
   last_time_us_ = transition.time.us;
-  downstream_->on_transition(transition);
+  emit(transition);
 }
 
 void ValidatingSink::on_user_end(UserId user) {
@@ -216,7 +255,7 @@ void ValidatingSink::on_study_end() {
   }
   if (open_user_.has_value()) {
     if (options_.policy == ReadPolicy::kBestEffort) {
-      note(records_repaired_, "validate.records_repaired",
+      note(records_repaired_, repaired_metric_,
            "user " + std::to_string(*open_user_) + " left open at study end; auto-closed",
            "study_end");
       downstream_->on_user_end(*open_user_);

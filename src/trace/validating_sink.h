@@ -35,9 +35,14 @@
 #include <string>
 #include <vector>
 
+#include "trace/batch.h"
 #include "trace/read_policy.h"
 #include "trace/sink.h"
 #include "util/status.h"
+
+namespace wildenergy::obs {
+class Counter;
+}  // namespace wildenergy::obs
 
 namespace wildenergy::trace {
 
@@ -51,6 +56,9 @@ class ValidatingSink final : public TraceSink {
   void on_transition(const StateTransition& transition) override;
   void on_user_end(UserId user) override;
   void on_study_end() override;
+  /// Validates every event of the batch with the exact per-record logic and
+  /// forwards the survivors (including best-effort repairs) as one batch.
+  void on_batch(const EventBatch& batch) override;
 
   /// OK until the first violation under kStrict; always OK under the
   /// lenient policies (consult the counters instead).
@@ -64,11 +72,22 @@ class ValidatingSink final : public TraceSink {
   /// Record one violation. Returns true if the current record must be
   /// dropped (false under best-effort repairs and strict-after-poison).
   bool flag(const std::string& reason, const std::string& snippet);
-  void note(std::uint64_t& counter, const char* metric, const std::string& reason,
+  void note(std::uint64_t& counter, obs::Counter* metric, const std::string& reason,
             const std::string& snippet);
+  /// Forward a surviving record: appended to out_ inside on_batch, straight
+  /// to downstream_ otherwise.
+  void emit(const PacketRecord& packet);
+  void emit(const StateTransition& transition);
 
   TraceSink* downstream_;
   ReadOptions options_;
+  // "validate.*" counters resolved once at construction from
+  // obs::MetricsRegistry::current() — per-record string-keyed map lookups
+  // were the dominant cost of validation on the hot path.
+  obs::Counter* dropped_metric_;
+  obs::Counter* repaired_metric_;
+  EventBatch out_;        ///< reused output batch for on_batch
+  bool batching_ = false; ///< emit() target: out_ vs downstream_
   util::Status status_;
   bool in_study_ = false;
   bool study_ended_ = false;

@@ -1,0 +1,698 @@
+// Batched event path (trace/batch.h and every batch-aware sink).
+//
+// The contract under test is absolute: for ANY batch size — including the
+// degenerate 1 and the oversized 4096 — every output is bit-identical to the
+// per-record stream, for every sink in the chain, for every thread count,
+// and through the fault-tolerant retry path. EXPECT_EQ on doubles
+// throughout; NEAR would hide a real divergence.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/case_studies.h"
+#include "analysis/figures.h"
+#include "analysis/longitudinal.h"
+#include "analysis/persistence.h"
+#include "analysis/time_since_fg.h"
+#include "analysis/waste.h"
+#include "core/pipeline.h"
+#include "energy/attributor.h"
+#include "energy/ledger.h"
+#include "fault/plan.h"
+#include "obs/metrics.h"
+#include "radio/burst_machine.h"
+#include "sim/generator.h"
+#include "sim/study_config.h"
+#include "trace/batch.h"
+#include "trace/binary_io.h"
+#include "trace/csv_io.h"
+#include "trace/interface_filter.h"
+#include "trace/sink.h"
+#include "trace/validating_sink.h"
+
+namespace wildenergy {
+namespace {
+
+using trace::EventBatch;
+using trace::EventBatcher;
+using trace::EventKind;
+using trace::PacketRecord;
+using trace::ReadOptions;
+using trace::ReadPolicy;
+using trace::StateTransition;
+
+PacketRecord packet_at(std::int64_t us, trace::UserId user = 0) {
+  PacketRecord p;
+  p.time.us = us;
+  p.user = user;
+  p.app = 1;
+  p.bytes = 100;
+  return p;
+}
+
+StateTransition transition_at(std::int64_t us, trace::UserId user = 0) {
+  StateTransition t;
+  t.time.us = us;
+  t.user = user;
+  t.app = 1;
+  t.from = trace::ProcessState::kBackground;
+  t.to = trace::ProcessState::kForeground;
+  return t;
+}
+
+trace::StudyMeta two_user_meta() {
+  trace::StudyMeta meta;
+  meta.num_users = 2;
+  meta.num_apps = 4;
+  meta.study_begin.us = 0;
+  meta.study_end.us = 10'000'000;
+  return meta;
+}
+
+/// "P<time>" etc. — built char-by-char; the obvious `"P" + to_string(...)`
+/// trips a gcc-12 -Wrestrict false positive under -Werror.
+std::string tagged(char tag, std::int64_t value) {
+  std::string s(1, tag);
+  s += std::to_string(value);
+  return s;
+}
+
+/// Logs the exact callback sequence, per record — never overrides on_batch,
+/// so it also exercises the default replay path.
+class SequenceProbe : public trace::TraceSink {
+ public:
+  void on_study_begin(const trace::StudyMeta&) override { events.push_back("SB"); }
+  void on_user_begin(trace::UserId user) override { events.push_back(tagged('U', user)); }
+  void on_packet(const PacketRecord& p) override { events.push_back(tagged('P', p.time.us)); }
+  void on_transition(const StateTransition& t) override {
+    events.push_back(tagged('T', t.time.us));
+  }
+  void on_user_end(trace::UserId user) override { events.push_back(tagged('V', user)); }
+  void on_study_end() override { events.push_back("SE"); }
+
+  std::vector<std::string> events;
+};
+
+/// SequenceProbe that additionally records each batch boundary, to assert
+/// how a producer sliced the stream.
+class BatchProbe final : public SequenceProbe {
+ public:
+  void on_batch(const EventBatch& batch) override {
+    batch_sizes.push_back(batch.size());
+    batch_users.push_back(batch.user);
+    replay(batch, *this);
+  }
+
+  std::vector<std::size_t> batch_sizes;
+  std::vector<trace::UserId> batch_users;
+};
+
+// ------------------------------------------------------------- EventBatch
+
+TEST(EventBatch, PreservesInterleavingAndClearKeepsCapacity) {
+  EventBatch batch;
+  batch.user = 3;
+  batch.add(packet_at(10, 3));
+  batch.add(transition_at(10, 3));  // same timestamp: order must be kept
+  batch.add(packet_at(20, 3));
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_FALSE(batch.empty());
+  ASSERT_EQ(batch.order.size(), 3u);
+  EXPECT_EQ(batch.order[0], EventKind::kPacket);
+  EXPECT_EQ(batch.order[1], EventKind::kTransition);
+  EXPECT_EQ(batch.order[2], EventKind::kPacket);
+
+  SequenceProbe probe;
+  trace::replay(batch, probe);
+  const std::vector<std::string> want{"P10", "T10", "P20"};
+  EXPECT_EQ(probe.events, want);
+
+  const auto packet_cap = batch.packets.capacity();
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.packets.capacity(), packet_cap);  // reuse-hot contract
+}
+
+TEST(DefaultOnBatch, ReplaysThePerRecordCallbacks) {
+  EventBatch batch;
+  batch.add(packet_at(5));
+  batch.add(transition_at(7));
+  batch.add(packet_at(9));
+  SequenceProbe probe;
+  static_cast<trace::TraceSink&>(probe).on_batch(batch);  // base implementation
+  const std::vector<std::string> want{"P5", "T7", "P9"};
+  EXPECT_EQ(probe.events, want);
+}
+
+// ----------------------------------------------------------- EventBatcher
+
+TEST(EventBatcher, SlicesIntoFullBatchesAndFlushesBeforeEveryBracket) {
+  BatchProbe probe;
+  EventBatcher batcher{&probe, /*batch_size=*/4};
+  batcher.on_study_begin(two_user_meta());
+  batcher.on_user_begin(0);
+  for (int i = 0; i < 9; ++i) batcher.on_packet(packet_at(10 * i, 0));
+  batcher.on_user_end(0);  // flushes the short tail batch of 1
+  batcher.on_user_begin(1);
+  batcher.on_packet(packet_at(5, 1));
+  batcher.on_transition(transition_at(6, 1));
+  batcher.on_user_end(1);
+  batcher.on_study_end();
+
+  const std::vector<std::size_t> want_sizes{4, 4, 1, 2};
+  EXPECT_EQ(probe.batch_sizes, want_sizes);
+  const std::vector<trace::UserId> want_users{0, 0, 0, 1};
+  EXPECT_EQ(probe.batch_users, want_users);
+
+  // The replayed stream is the exact per-record stream, brackets in place.
+  const std::vector<std::string> want_events{"SB", "U0",  "P0",  "P10", "P20", "P30",
+                                             "P40", "P50", "P60", "P70", "P80", "V0",
+                                             "U1",  "P5",  "T6",  "V1",  "SE"};
+  EXPECT_EQ(probe.events, want_events);
+}
+
+TEST(EventBatcher, PassesAlreadyBatchedInputThroughUnsliced) {
+  BatchProbe probe;
+  EventBatcher batcher{&probe, /*batch_size=*/2};
+  EventBatch big;
+  big.user = 0;
+  for (int i = 0; i < 7; ++i) big.add(packet_at(i, 0));
+  batcher.on_packet(packet_at(100, 0));  // buffered
+  batcher.on_batch(big);                 // flushes the buffer, then passes through
+  const std::vector<std::size_t> want_sizes{1, 7};
+  EXPECT_EQ(probe.batch_sizes, want_sizes);
+}
+
+TEST(EventBatcher, ZeroBatchSizeIsClampedToOne) {
+  BatchProbe probe;
+  EventBatcher batcher{&probe, /*batch_size=*/0};
+  batcher.on_user_begin(0);
+  batcher.on_packet(packet_at(1, 0));
+  batcher.on_packet(packet_at(2, 0));
+  batcher.on_user_end(0);
+  const std::vector<std::size_t> want_sizes{1, 1};
+  EXPECT_EQ(probe.batch_sizes, want_sizes);
+}
+
+// --------------------------------------------- multicast + collector sinks
+
+TEST(TraceMulticast, ForwardsBatchesToEveryChildInOrder) {
+  BatchProbe a;
+  SequenceProbe b;  // per-record-only child: default replay inside multicast
+  trace::TraceMulticast fan;
+  fan.add(&a);
+  fan.add(&b);
+  EventBatch batch;
+  batch.add(packet_at(1));
+  batch.add(transition_at(2));
+  fan.on_batch(batch);
+  const std::vector<std::size_t> want_sizes{2};
+  EXPECT_EQ(a.batch_sizes, want_sizes);
+  const std::vector<std::string> want_events{"P1", "T2"};
+  EXPECT_EQ(a.events, want_events);
+  EXPECT_EQ(b.events, want_events);
+}
+
+TEST(TraceCollector, BatchedAndPerRecordIngestCollectTheSameStream) {
+  const sim::StudyGenerator generator{sim::small_study(/*seed=*/9)};
+  trace::TraceCollector per_record;
+  generator.run(per_record);
+  trace::TraceCollector batched;
+  generator.run(batched, /*batch_size=*/33);
+
+  ASSERT_EQ(per_record.packets().size(), batched.packets().size());
+  ASSERT_EQ(per_record.transitions().size(), batched.transitions().size());
+  for (std::size_t i = 0; i < per_record.packets().size(); ++i) {
+    EXPECT_EQ(per_record.packets()[i].time.us, batched.packets()[i].time.us);
+    EXPECT_EQ(per_record.packets()[i].user, batched.packets()[i].user);
+    EXPECT_EQ(per_record.packets()[i].app, batched.packets()[i].app);
+    EXPECT_EQ(per_record.packets()[i].bytes, batched.packets()[i].bytes);
+  }
+  for (std::size_t i = 0; i < per_record.transitions().size(); ++i) {
+    EXPECT_EQ(per_record.transitions()[i].time.us, batched.transitions()[i].time.us);
+    EXPECT_EQ(per_record.transitions()[i].app, batched.transitions()[i].app);
+  }
+}
+
+// --------------------------------------------------------- interface filter
+
+TEST(InterfaceFilter, BatchPathMatchesPerRecordIncludingDropCounters) {
+  // A stream with both interfaces so the filter's rebuild path runs.
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 20; ++i) {
+    PacketRecord p = packet_at(100 * i, 0);
+    p.bytes = 50 + i;
+    p.interface = (i % 3 == 0) ? trace::Interface::kWifi : trace::Interface::kCellular;
+    packets.push_back(p);
+  }
+
+  trace::TraceCollector per_record_out;
+  trace::InterfaceFilter per_record{&per_record_out, trace::Interface::kCellular};
+  per_record.on_study_begin(two_user_meta());
+  per_record.on_user_begin(0);
+  for (const auto& p : packets) per_record.on_packet(p);
+  per_record.on_transition(transition_at(1'999, 0));
+  per_record.on_user_end(0);
+  per_record.on_study_end();
+
+  trace::TraceCollector batched_out;
+  trace::InterfaceFilter batched{&batched_out, trace::Interface::kCellular};
+  EventBatcher batcher{&batched, /*batch_size=*/6};
+  batcher.on_study_begin(two_user_meta());
+  batcher.on_user_begin(0);
+  for (const auto& p : packets) batcher.on_packet(p);
+  batcher.on_transition(transition_at(1'999, 0));
+  batcher.on_user_end(0);
+  batcher.on_study_end();
+
+  EXPECT_EQ(per_record.dropped_packets(), batched.dropped_packets());
+  EXPECT_EQ(per_record.dropped_bytes(), batched.dropped_bytes());
+  ASSERT_EQ(per_record_out.packets().size(), batched_out.packets().size());
+  for (std::size_t i = 0; i < per_record_out.packets().size(); ++i) {
+    EXPECT_EQ(per_record_out.packets()[i].time.us, batched_out.packets()[i].time.us);
+    EXPECT_EQ(per_record_out.packets()[i].bytes, batched_out.packets()[i].bytes);
+  }
+  ASSERT_EQ(per_record_out.transitions().size(), batched_out.transitions().size());
+}
+
+TEST(InterfaceFilter, AllKeptBatchIsForwardedWithoutRebuilding) {
+  BatchProbe probe;
+  trace::InterfaceFilter filter{&probe, trace::Interface::kCellular};
+  EventBatch batch;
+  for (int i = 0; i < 5; ++i) batch.add(packet_at(i, 0));
+  filter.on_batch(batch);
+  const std::vector<std::size_t> want_sizes{5};
+  EXPECT_EQ(probe.batch_sizes, want_sizes);
+  EXPECT_EQ(filter.dropped_packets(), 0u);
+}
+
+// --------------------------------------------------------- validating sink
+
+/// Drives the same corrupted (but bracket-respecting) stream through a
+/// ValidatingSink, per record or via an EventBatcher, and summarizes what
+/// came out the other side.
+struct ValidationOutcome {
+  bool ok = false;
+  std::uint64_t dropped = 0;
+  std::uint64_t repaired = 0;
+  std::size_t quarantined = 0;
+  std::vector<std::int64_t> forwarded_times;
+};
+
+ValidationOutcome validate_corrupted(ReadPolicy policy, std::size_t batch_size) {
+  obs::MetricsRegistry registry;  // keep test metrics off the global registry
+  const obs::ScopedMetricsRegistry scoped{&registry};
+  ReadOptions options;
+  options.policy = policy;
+  trace::TraceCollector collector;
+  trace::ValidatingSink validator{&collector, options};
+  EventBatcher batcher{&validator, batch_size == 0 ? 1 : batch_size};
+  trace::TraceSink& in = batch_size == 0 ? static_cast<trace::TraceSink&>(validator) : batcher;
+
+  in.on_study_begin(two_user_meta());
+  in.on_user_begin(0);
+  in.on_packet(packet_at(500, 0));
+  in.on_packet(packet_at(100, 0));  // backwards timestamp
+  in.on_packet(packet_at(600, 1));  // wrong user inside user 0's bracket
+  PacketRecord bad_enum = packet_at(700, 0);
+  bad_enum.state = static_cast<trace::ProcessState>(97);
+  in.on_packet(bad_enum);
+  in.on_transition(transition_at(800, 0));
+  in.on_packet(packet_at(20'000'000, 0));  // outside the declared study window
+  in.on_packet(packet_at(900, 0));
+  in.on_user_end(0);
+  in.on_user_begin(1);
+  in.on_packet(packet_at(50, 1));
+  in.on_user_end(1);
+  in.on_study_end();
+
+  ValidationOutcome out;
+  out.ok = validator.status().ok();
+  out.dropped = validator.records_dropped();
+  out.repaired = validator.records_repaired();
+  out.quarantined = validator.quarantine().size();
+  for (const auto& p : collector.packets()) out.forwarded_times.push_back(p.time.us);
+  for (const auto& t : collector.transitions()) out.forwarded_times.push_back(-t.time.us);
+  return out;
+}
+
+TEST(ValidatingSink, BatchedValidationMatchesPerRecordUnderEveryPolicy) {
+  for (const ReadPolicy policy :
+       {ReadPolicy::kStrict, ReadPolicy::kSkipAndCount, ReadPolicy::kBestEffort}) {
+    const ValidationOutcome per_record = validate_corrupted(policy, 0);
+    for (const std::size_t batch_size : {1u, 3u, 64u}) {
+      SCOPED_TRACE(std::string("policy=") + trace::to_string(policy) +
+                   " batch_size=" + std::to_string(batch_size));
+      const ValidationOutcome batched = validate_corrupted(policy, batch_size);
+      EXPECT_EQ(per_record.ok, batched.ok);
+      EXPECT_EQ(per_record.dropped, batched.dropped);
+      EXPECT_EQ(per_record.repaired, batched.repaired);
+      EXPECT_EQ(per_record.quarantined, batched.quarantined);
+      EXPECT_EQ(per_record.forwarded_times, batched.forwarded_times);
+    }
+  }
+}
+
+TEST(ValidatingSink, ForwardsSurvivorsOfABatchAsOneBatch) {
+  ReadOptions options;
+  options.policy = ReadPolicy::kSkipAndCount;
+  BatchProbe probe;
+  trace::ValidatingSink validator{&probe, options};
+  validator.on_study_begin(two_user_meta());
+  validator.on_user_begin(0);
+  EventBatch batch;
+  batch.user = 0;
+  batch.add(packet_at(100, 0));
+  batch.add(packet_at(50, 0));   // backwards: dropped
+  batch.add(packet_at(200, 0));
+  validator.on_batch(batch);
+  validator.on_user_end(0);
+  validator.on_study_end();
+  const std::vector<std::size_t> want_sizes{2};  // survivors travel as a batch
+  EXPECT_EQ(probe.batch_sizes, want_sizes);
+  EXPECT_EQ(validator.records_dropped(), 1u);
+}
+
+// ------------------------------------------------------- energy attribution
+
+TEST(EnergyAttributor, BatchPathIsBitIdenticalForBothTailPolicies) {
+  sim::StudyConfig config = sim::small_study(/*seed=*/13);
+  config.num_users = 2;
+  config.num_days = 5;
+  const sim::StudyGenerator generator{config};
+
+  for (const energy::TailPolicy policy :
+       {energy::TailPolicy::kLastPacket, energy::TailPolicy::kProportional}) {
+    trace::TraceCollector per_record_out;
+    energy::EnergyAttributor per_record{radio::make_lte_model, &per_record_out, policy};
+    generator.run(per_record);
+
+    for (const std::size_t batch_size : {1u, 7u, 256u}) {
+      SCOPED_TRACE(std::string("policy=") +
+                   (policy == energy::TailPolicy::kLastPacket ? "last-packet" : "proportional") +
+                   " batch_size=" + std::to_string(batch_size));
+      trace::TraceCollector batched_out;
+      energy::EnergyAttributor batched{radio::make_lte_model, &batched_out, policy};
+      generator.run(batched, batch_size);
+
+      EXPECT_EQ(per_record.device_joules(), batched.device_joules());
+      EXPECT_EQ(per_record.attributed_joules(), batched.attributed_joules());
+      EXPECT_EQ(per_record.baseline_joules(), batched.baseline_joules());
+      EXPECT_EQ(per_record.tail_joules(), batched.tail_joules());
+      EXPECT_EQ(per_record.promotion_joules(), batched.promotion_joules());
+      EXPECT_EQ(per_record.transfer_joules(), batched.transfer_joules());
+      EXPECT_EQ(per_record.counters().packets, batched.counters().packets);
+      EXPECT_EQ(per_record.counters().transitions, batched.counters().transitions);
+      EXPECT_EQ(per_record.counters().tail_attributions, batched.counters().tail_attributions);
+      EXPECT_EQ(per_record.counters().proportional_splits,
+                batched.counters().proportional_splits);
+      EXPECT_EQ(per_record.counters().tail_segments, batched.counters().tail_segments);
+      EXPECT_EQ(per_record.counters().idle_segments, batched.counters().idle_segments);
+
+      // The annotated stream downstream is identical packet for packet.
+      ASSERT_EQ(per_record_out.packets().size(), batched_out.packets().size());
+      for (std::size_t i = 0; i < per_record_out.packets().size(); ++i) {
+        EXPECT_EQ(per_record_out.packets()[i].time.us, batched_out.packets()[i].time.us);
+        EXPECT_EQ(per_record_out.packets()[i].joules, batched_out.packets()[i].joules);
+      }
+      ASSERT_EQ(per_record_out.transitions().size(), batched_out.transitions().size());
+    }
+  }
+}
+
+// -------------------------------------------------- full-pipeline property
+
+/// All paper analyses attached at once, so the batch-size property covers
+/// every sink kind including the serial-fallback path (longitudinal).
+struct AnalysisSet {
+  std::vector<trace::AppId> tracked{0, 1, 2, 3, 4};
+  analysis::PersistenceAnalysis persistence;
+  analysis::TimeSinceForegroundAnalysis time_since_fg;
+  analysis::WastedUpdateAnalysis waste{tracked};
+  analysis::CaseStudyAnalysis cases{tracked};
+  analysis::LongitudinalAnalysis longitudinal{tracked};
+
+  void attach(core::StudyPipeline& pipeline) {
+    pipeline.add_analysis("persistence", &persistence);
+    pipeline.add_analysis("time_since_fg", &time_since_fg);
+    pipeline.add_analysis("waste", &waste);
+    pipeline.add_analysis("cases", &cases);
+    pipeline.add_analysis("longitudinal", &longitudinal);
+  }
+};
+
+void expect_identical_ledgers(const energy::EnergyLedger& a, const energy::EnergyLedger& b) {
+  EXPECT_EQ(a.total_joules(), b.total_joules());  // exact, not NEAR
+  EXPECT_EQ(a.total_bytes(), b.total_bytes());
+  EXPECT_EQ(a.total_packets(), b.total_packets());
+  const auto a_states = a.state_totals();
+  const auto b_states = b.state_totals();
+  for (std::size_t s = 0; s < a_states.size(); ++s) EXPECT_EQ(a_states[s], b_states[s]);
+  ASSERT_EQ(a.accounts().size(), b.accounts().size());
+  auto bit = b.accounts().begin();
+  for (const auto& [key, acc] : a.accounts()) {
+    ASSERT_EQ(key, bit->first);
+    const auto& other = bit->second;
+    EXPECT_EQ(acc.joules, other.joules);
+    EXPECT_EQ(acc.bytes, other.bytes);
+    EXPECT_EQ(acc.packets, other.packets);
+    for (std::size_t s = 0; s < acc.state_joules.size(); ++s) {
+      EXPECT_EQ(acc.state_joules[s], other.state_joules[s]);
+    }
+    ASSERT_EQ(acc.days.size(), other.days.size());
+    for (std::size_t d = 0; d < acc.days.size(); ++d) {
+      EXPECT_EQ(acc.days[d].fg_joules, other.days[d].fg_joules);
+      EXPECT_EQ(acc.days[d].bg_joules, other.days[d].bg_joules);
+      EXPECT_EQ(acc.days[d].fg_bytes, other.days[d].fg_bytes);
+      EXPECT_EQ(acc.days[d].bg_bytes, other.days[d].bg_bytes);
+    }
+    ++bit;
+  }
+}
+
+void expect_identical_figures(const energy::EnergyLedger& a, const energy::EnergyLedger& b) {
+  const auto pop_a = analysis::top10_popularity(a);
+  const auto pop_b = analysis::top10_popularity(b);
+  ASSERT_EQ(pop_a.size(), pop_b.size());
+  for (std::size_t i = 0; i < pop_a.size(); ++i) {
+    EXPECT_EQ(pop_a[i].app, pop_b[i].app);
+    EXPECT_EQ(pop_a[i].users_with_app_in_top10, pop_b[i].users_with_app_in_top10);
+  }
+  for (const bool by_energy : {false, true}) {
+    const auto cons_a =
+        by_energy ? analysis::top_consumers_by_energy(a) : analysis::top_consumers_by_data(a);
+    const auto cons_b =
+        by_energy ? analysis::top_consumers_by_energy(b) : analysis::top_consumers_by_data(b);
+    ASSERT_EQ(cons_a.size(), cons_b.size());
+    for (std::size_t i = 0; i < cons_a.size(); ++i) {
+      EXPECT_EQ(cons_a[i].app, cons_b[i].app);
+      EXPECT_EQ(cons_a[i].bytes, cons_b[i].bytes);
+      EXPECT_EQ(cons_a[i].joules, cons_b[i].joules);
+    }
+  }
+  const auto brk_a = analysis::overall_state_breakdown(a);
+  const auto brk_b = analysis::overall_state_breakdown(b);
+  EXPECT_EQ(brk_a.total_joules, brk_b.total_joules);
+  for (std::size_t s = 0; s < brk_a.fraction.size(); ++s) {
+    EXPECT_EQ(brk_a.fraction[s], brk_b.fraction[s]);
+  }
+}
+
+void expect_identical_analyses(AnalysisSet& a, AnalysisSet& b) {
+  for (const trace::AppId app : a.tracked) {
+    auto sa = a.persistence.durations(app).sorted_samples();
+    auto sb = b.persistence.durations(app).sorted_samples();
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
+    const auto wa = a.waste.result(app);
+    const auto wb = b.waste.result(app);
+    EXPECT_EQ(wa.updates, wb.updates);
+    EXPECT_EQ(wa.wasted_updates, wb.wasted_updates);
+    EXPECT_EQ(wa.joules, wb.joules);
+    EXPECT_EQ(wa.wasted_joules, wb.wasted_joules);
+    const auto ca = a.cases.result(app);
+    const auto cb = b.cases.result(app);
+    EXPECT_EQ(ca.joules_total, cb.joules_total);
+    EXPECT_EQ(ca.bytes_total, cb.bytes_total);
+    EXPECT_EQ(ca.flows, cb.flows);
+    EXPECT_EQ(ca.days_active, cb.days_active);
+    const auto ea = a.longitudinal.era_comparison(app);
+    const auto eb = b.longitudinal.era_comparison(app);
+    EXPECT_EQ(ea.early_uj_per_byte, eb.early_uj_per_byte);
+    EXPECT_EQ(ea.late_uj_per_byte, eb.late_uj_per_byte);
+  }
+  const auto ha = a.time_since_fg.bytes_histogram().masses();
+  const auto hb = b.time_since_fg.bytes_histogram().masses();
+  ASSERT_EQ(ha.size(), hb.size());
+  for (std::size_t i = 0; i < ha.size(); ++i) EXPECT_EQ(ha[i], hb[i]);
+  EXPECT_EQ(a.time_since_fg.fraction_of_apps_frontloaded(),
+            b.time_since_fg.fraction_of_apps_frontloaded());
+  ASSERT_EQ(a.longitudinal.overall().weeks(), b.longitudinal.overall().weeks());
+  for (std::size_t w = 0; w < a.longitudinal.overall().weeks(); ++w) {
+    EXPECT_EQ(a.longitudinal.overall().fg_joules[w], b.longitudinal.overall().fg_joules[w]);
+    EXPECT_EQ(a.longitudinal.overall().bg_joules[w], b.longitudinal.overall().bg_joules[w]);
+  }
+}
+
+sim::StudyConfig property_config() {
+  sim::StudyConfig config = sim::small_study(/*seed=*/21);
+  config.num_users = 4;
+  config.num_days = 15;
+  return config;
+}
+
+TEST(BatchProperty, EveryBatchSizeAndThreadCountIsBitIdenticalToPerRecord) {
+  // Baseline: the classic per-record serial pipeline (batch_size = 0).
+  core::PipelineOptions baseline_options;
+  baseline_options.batch_size = 0;
+  core::StudyPipeline baseline{property_config(), baseline_options};
+  AnalysisSet baseline_set;
+  baseline_set.attach(baseline);
+  baseline.run();
+  ASSERT_GT(baseline.ledger().total_joules(), 0.0);
+
+  for (const std::size_t batch_size : {1u, 7u, 64u, 4096u}) {
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE("batch_size=" + std::to_string(batch_size) +
+                   " threads=" + std::to_string(threads));
+      core::PipelineOptions options;
+      options.batch_size = batch_size;
+      options.num_threads = threads;
+      core::StudyPipeline pipeline{property_config(), options};
+      AnalysisSet set;
+      set.attach(pipeline);
+      pipeline.run();
+
+      expect_identical_ledgers(baseline.ledger(), pipeline.ledger());
+      expect_identical_figures(baseline.ledger(), pipeline.ledger());
+      expect_identical_analyses(baseline_set, set);
+      EXPECT_EQ(baseline.attributor().device_joules(), pipeline.attributor().device_joules());
+      EXPECT_EQ(baseline.attributor().attributed_joules(),
+                pipeline.attributor().attributed_joules());
+      EXPECT_EQ(baseline.attributor().tail_joules(), pipeline.attributor().tail_joules());
+      EXPECT_EQ(baseline.attributor().counters().packets,
+                pipeline.attributor().counters().packets);
+      EXPECT_EQ(baseline.attributor().counters().tail_attributions,
+                pipeline.attributor().counters().tail_attributions);
+      EXPECT_EQ(baseline.off_interface_bytes(), pipeline.off_interface_bytes());
+    }
+  }
+}
+
+TEST(BatchProperty, MidBatchShardFaultRetryStaysBitIdentical) {
+  core::PipelineOptions clean_options;
+  clean_options.batch_size = 64;
+  core::StudyPipeline clean{property_config(), clean_options};
+  clean.run();
+
+  for (const unsigned threads : {1u, 2u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    // nth_callback = 5 with batch_size = 64 fires inside the first batch's
+    // replay through the FaultySink (which is batch-unaware by design, so
+    // per-callback fault positions keep their exact per-record meaning).
+    fault::FaultPlan plan;
+    plan.add({/*user=*/1, /*nth_callback=*/5, /*fail_attempts=*/1, /*stall_ms=*/0});
+    core::PipelineOptions options;
+    options.batch_size = 64;
+    options.num_threads = threads;
+    options.failure_policy = core::FailurePolicy::kRetryThenSkip;
+    options.fault_plan = &plan;
+    core::StudyPipeline pipeline{property_config(), options};
+    pipeline.run();
+
+    const auto& stats = pipeline.last_run_stats();
+    EXPECT_EQ(stats.shard_retries, 1u);
+    EXPECT_TRUE(stats.failed_users.empty());
+    ASSERT_EQ(stats.shards.size(), 4u);
+    EXPECT_EQ(stats.shards[1].attempts, 2u);  // failed mid-batch, recovered
+
+    expect_identical_ledgers(clean.ledger(), pipeline.ledger());
+    EXPECT_EQ(clean.attributor().device_joules(), pipeline.attributor().device_joules());
+  }
+}
+
+// ---------------------------------------------------------------- readers
+
+TEST(Readers, BatchedIngestIsBitIdenticalToPerRecord) {
+  sim::StudyConfig config = sim::small_study(/*seed=*/7);
+  config.num_users = 2;
+  config.num_days = 2;
+  config.total_apps = 30;
+  const sim::StudyGenerator generator{config};
+
+  for (const bool binary : {false, true}) {
+    std::ostringstream os;
+    if (binary) {
+      trace::BinaryTraceWriter writer{os};
+      generator.run(writer);
+    } else {
+      trace::CsvTraceWriter writer{os};
+      generator.run(writer);
+    }
+    const std::string data = os.str();
+
+    const auto ingest = [&](std::size_t batch_size, trace::TraceCollector& out) {
+      ReadOptions options;
+      options.batch_size = batch_size;
+      std::istringstream is{data};
+      if (binary) {
+        ASSERT_TRUE(trace::read_binary_trace(is, out, options).ok());
+      } else {
+        ASSERT_TRUE(trace::read_csv_trace(is, out, options).ok());
+      }
+    };
+
+    SCOPED_TRACE(binary ? "binary" : "csv");
+    trace::TraceCollector per_record;
+    ingest(0, per_record);
+    trace::TraceCollector batched;
+    ingest(32, batched);
+    ASSERT_GT(per_record.packets().size(), 0u);
+    ASSERT_EQ(per_record.packets().size(), batched.packets().size());
+    for (std::size_t i = 0; i < per_record.packets().size(); ++i) {
+      EXPECT_EQ(per_record.packets()[i].time.us, batched.packets()[i].time.us);
+      EXPECT_EQ(per_record.packets()[i].user, batched.packets()[i].user);
+      EXPECT_EQ(per_record.packets()[i].bytes, batched.packets()[i].bytes);
+      EXPECT_EQ(per_record.packets()[i].joules, batched.packets()[i].joules);
+    }
+    ASSERT_EQ(per_record.transitions().size(), batched.transitions().size());
+  }
+}
+
+TEST(Readers, BatchedIngestCountsMalformedRecordsIdentically) {
+  // Corrupt one CSV line; batched and per-record ingest must agree on what
+  // was dropped and what survived.
+  sim::StudyConfig config = sim::small_study(/*seed=*/7);
+  config.num_users = 1;
+  config.num_days = 1;
+  config.total_apps = 30;
+  std::ostringstream os;
+  trace::CsvTraceWriter writer{os};
+  sim::StudyGenerator{config}.run(writer);
+  std::string data = os.str();
+  const auto first_packet = data.find("\nP,");
+  ASSERT_NE(first_packet, std::string::npos);
+  data[first_packet + 1] = 'X';  // unknown record tag
+
+  const auto ingest = [&](std::size_t batch_size) {
+    ReadOptions options;
+    options.policy = ReadPolicy::kSkipAndCount;
+    options.batch_size = batch_size;
+    std::istringstream is{data};
+    energy::EnergyLedger ledger;
+    const auto result = trace::read_csv_trace(is, ledger, options);
+    EXPECT_TRUE(result.ok());
+    return std::make_pair(result.records_dropped, ledger.total_bytes());
+  };
+  const auto per_record = ingest(0);
+  const auto batched = ingest(32);
+  EXPECT_EQ(per_record.first, 1u);
+  EXPECT_EQ(per_record.first, batched.first);
+  EXPECT_EQ(per_record.second, batched.second);
+}
+
+}  // namespace
+}  // namespace wildenergy
