@@ -4,8 +4,10 @@
 //
 //   $ ./example_whatif_policy_explorer
 //
-// Demonstrates: StudyPipeline::set_policy with each core policy, and the
-// day-granularity estimator for cheap sweeps.
+// Demonstrates: core::SweepEngine — the study is simulated ONCE into a
+// cached trace store, then every packet-level policy variant replays the
+// cached columns instead of re-running the generator (core/sweep.h) — plus
+// the day-granularity estimator for even cheaper sweeps.
 #include <iostream>
 #include <memory>
 #include <unordered_set>
@@ -13,6 +15,7 @@
 #include "analysis/whatif.h"
 #include "core/pipeline.h"
 #include "core/policy.h"
+#include "core/sweep.h"
 #include "util/table.h"
 
 int main() {
@@ -39,14 +42,9 @@ int main() {
   }
   sweep.print(std::cout);
 
-  // Exact packet-level comparison of three deployable policies.
-  std::cout << "\n-- packet-level policies (exact radio-model re-run) --\n";
-  const auto run_policy = [&](core::StudyPipeline::PolicyFactory factory) {
-    core::StudyPipeline p{config};
-    p.set_policy(std::move(factory));
-    p.run();
-    return p.ledger().total_joules();
-  };
+  // Exact packet-level comparison of the deployable policies: one sweep over
+  // one cached trace, instead of one full generator re-run per policy.
+  std::cout << "\n-- packet-level policies (exact radio-model replay) --\n";
 
   // Whitelist: widgets legitimately live in the background (paper §5 —
   // "a new permission or whitelist could address corner cases").
@@ -57,27 +55,43 @@ int main() {
     }
   }
 
+  sim::StudyGenerator generator{config};
+  core::SweepEngine engine{&generator};
+  engine.add_scenario({.name = "kill after 3 idle days",
+                       .policy = [](trace::TraceSink* d) {
+                         return std::make_unique<core::KillAfterIdlePolicy>(d, days(3.0));
+                       }});
+  engine.add_scenario({.name = "kill after 3 idle days + widget whitelist",
+                       .policy = [&](trace::TraceSink* d) {
+                         return std::make_unique<core::KillAfterIdlePolicy>(d, days(3.0),
+                                                                            whitelist);
+                       }});
+  engine.add_scenario({.name = "Doze-like (1 h idle, 4 h maintenance cycle)",
+                       .policy = [](trace::TraceSink* d) {
+                         return std::make_unique<core::DozeLikePolicy>(d);
+                       }});
+  engine.add_scenario({.name = "App-Standby-like (rate-limit idle apps)",
+                       .policy = [](trace::TraceSink* d) {
+                         return std::make_unique<core::AppStandbyPolicy>(d);
+                       }});
+  engine.add_scenario({.name = "terminate foreground flows on minimize",
+                       .policy = [](trace::TraceSink* d) {
+                         return std::make_unique<core::LeakTerminationPolicy>(d);
+                       }});
+  const auto stats = engine.run();
+  if (!stats.ok()) {
+    std::cerr << "sweep failed: " << stats.status() << "\n";
+    return 1;
+  }
+
   TextTable policies({"policy", "energy kJ", "saved %"});
-  const auto add = [&](const char* name, double joules) {
+  const auto add = [&](const std::string& name, double joules) {
     policies.add_row({name, fmt(joules / 1e3, 1), fmt(100.0 * (base_joules - joules) / base_joules, 1)});
   };
   add("baseline (no policy)", base_joules);
-  add("kill after 3 idle days",
-      run_policy([](trace::TraceSink* d) {
-        return std::make_unique<core::KillAfterIdlePolicy>(d, days(3.0));
-      }));
-  add("kill after 3 idle days + widget whitelist",
-      run_policy([&](trace::TraceSink* d) {
-        return std::make_unique<core::KillAfterIdlePolicy>(d, days(3.0), whitelist);
-      }));
-  add("Doze-like (1 h idle, 4 h maintenance cycle)",
-      run_policy([](trace::TraceSink* d) { return std::make_unique<core::DozeLikePolicy>(d); }));
-  add("App-Standby-like (rate-limit idle apps)",
-      run_policy([](trace::TraceSink* d) { return std::make_unique<core::AppStandbyPolicy>(d); }));
-  add("terminate foreground flows on minimize",
-      run_policy([](trace::TraceSink* d) {
-        return std::make_unique<core::LeakTerminationPolicy>(d);
-      }));
+  for (const auto& result : engine.results()) {
+    add(result.name, result.ledger.total_joules());
+  }
   policies.print(std::cout);
 
   std::cout << "\nreadings: Doze attacks *all* idle-time background traffic and saves the\n"

@@ -72,7 +72,10 @@ struct CliOptions {
   bool stats = false;
   std::string trace_out;
   unsigned threads = 1;
-  std::size_t batch_size = 256;  ///< 0 = per-record event path
+  /// 0 = per-record event path. Threads through both the pipeline
+  /// (PipelineOptions::batch_size) and the analyze readers
+  /// (ReadOptions::batch_size) — one knob, one shared default.
+  std::size_t batch_size = trace::kDefaultBatchSize;
   // Ingestion robustness (analyze).
   std::string replay;  ///< file to read instead of stdin
   trace::ReadPolicy read_policy = trace::ReadPolicy::kStrict;
@@ -226,16 +229,20 @@ core::PipelineOptions observed_options(const CliOptions& options, obs::TraceWrit
 /// unhandled exception (an injected fault under --failure-policy failfast
 /// propagates out of run() by design).
 bool run_guarded(core::StudyPipeline& pipeline) {
+  util::StatusOr<obs::RunStats> stats = util::Status::internal("run did not start");
   try {
-    pipeline.run();
+    stats = pipeline.run();
   } catch (const std::exception& e) {
     std::cerr << "run failed: " << e.what() << "\n";
     return false;
   }
-  const auto& stats = pipeline.last_run_stats();
-  if (!stats.failed_users.empty()) {
-    std::cerr << "warning: skipped " << stats.failed_users.size() << " user(s) after "
-              << stats.shard_retries << " shard retr" << (stats.shard_retries == 1 ? "y" : "ies")
+  if (!stats.ok()) {
+    std::cerr << "run failed: " << stats.status().to_string() << "\n";
+    return false;
+  }
+  if (!stats->failed_users.empty()) {
+    std::cerr << "warning: skipped " << stats->failed_users.size() << " user(s) after "
+              << stats->shard_retries << " shard retr" << (stats->shard_retries == 1 ? "y" : "ies")
               << "; results cover the surviving users only (--stats for details)\n";
   }
   return true;
@@ -329,7 +336,8 @@ int cmd_analyze(const CliOptions& options) {
   energy::EnergyAttributor attributor{radio::make_lte_model, &sinks};
   // The reader validates syntax/fields; the ValidatingSink behind it enforces
   // the stream protocol (bracketing, time order) under the same policy.
-  const trace::ReadOptions read_options{options.read_policy};
+  trace::ReadOptions read_options{options.read_policy};
+  read_options.batch_size = options.batch_size;
   trace::ValidatingSink validator{&attributor, read_options};
 
   // Without an explicit --format, sniff the input: the WETR magic starts
@@ -338,33 +346,26 @@ int cmd_analyze(const CliOptions& options) {
   bool binary = options.format == "bin";
   if (!options.format_set) binary = input->peek() == 'W';
 
-  std::uint64_t dropped = 0;
-  std::uint64_t repaired = 0;
-  bool truncated = false;
-  if (binary) {
-    const auto result = trace::read_binary_trace(*input, validator, read_options);
-    if (!result.ok()) {
-      std::cerr << "parse error: " << result.error() << "\n";
-      print_quarantine(result.quarantine);
-      return 1;
-    }
-    dropped = result.records_dropped;
-    repaired = result.records_repaired;
-    truncated = result.truncated;
-    if (!result.checksum_ok) std::cerr << "warning: checksum mismatch (best-effort read)\n";
-    print_quarantine(result.quarantine);
-  } else {
-    const auto result = trace::read_csv_trace(*input, validator, read_options);
-    if (!result.ok()) {
-      std::cerr << "parse error: " << result.error() << "\n";
-      print_quarantine(result.quarantine);
-      return 1;
-    }
-    dropped = result.records_dropped;
-    repaired = result.records_repaired;
-    truncated = result.truncated;
-    print_quarantine(result.quarantine);
+  // Both readers are TraceSources reporting through one format-independent
+  // ReadSummary, so a single result block covers CSV and binary (previously
+  // one hand-rolled copy per reader result type).
+  trace::CsvTraceSource csv_source{*input, read_options};
+  trace::BinaryTraceSource binary_source{*input, read_options};
+  trace::TraceSource& source =
+      binary ? static_cast<trace::TraceSource&>(binary_source) : csv_source;
+  const util::Status read_status = source.emit(validator, options.batch_size);
+  const trace::ReadSummary& summary =
+      binary ? binary_source.summary() : csv_source.summary();
+  if (!read_status.ok()) {
+    std::cerr << "parse error: " << read_status.message() << "\n";
+    print_quarantine(summary.quarantine);
+    return 1;
   }
+  if (!summary.checksum_ok) std::cerr << "warning: checksum mismatch (best-effort read)\n";
+  print_quarantine(summary.quarantine);
+  std::uint64_t dropped = summary.records_dropped;
+  std::uint64_t repaired = summary.records_repaired;
+  const bool truncated = summary.truncated;
   if (!validator.status().ok()) {
     std::cerr << "protocol error: " << validator.status().message() << "\n";
     print_quarantine(validator.quarantine());

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <memory>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/shard_chain.h"
 #include "fault/plan.h"
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
@@ -25,41 +27,6 @@ energy::RadioModelFactory resolve_factory(PipelineOptions& options) {
   return options.radio_factory;
 }
 
-// Drops the whole bracket (begin, events, end) of every user in `skip`, so
-// the fallback replay pass feeds non-shardable sinks the same surviving-user
-// study the shard merge produced.
-class UserSkipFilter final : public trace::TraceSink {
- public:
-  UserSkipFilter(trace::TraceSink* downstream, const std::set<std::uint64_t>& skip)
-      : downstream_(downstream), skip_(skip) {}
-
-  void on_study_begin(const trace::StudyMeta& meta) override { downstream_->on_study_begin(meta); }
-  void on_user_begin(trace::UserId user) override {
-    skipping_ = skip_.count(user) > 0;
-    if (!skipping_) downstream_->on_user_begin(user);
-  }
-  void on_packet(const trace::PacketRecord& p) override {
-    if (!skipping_) downstream_->on_packet(p);
-  }
-  void on_transition(const trace::StateTransition& t) override {
-    if (!skipping_) downstream_->on_transition(t);
-  }
-  void on_user_end(trace::UserId user) override {
-    if (!skipping_) downstream_->on_user_end(user);
-    skipping_ = false;
-  }
-  void on_study_end() override { downstream_->on_study_end(); }
-  void on_batch(const trace::EventBatch& batch) override {
-    // A batch belongs to exactly one user, so skipping is all-or-nothing.
-    if (!skipping_) downstream_->on_batch(batch);
-  }
-
- private:
-  trace::TraceSink* downstream_;
-  const std::set<std::uint64_t>& skip_;
-  bool skipping_ = false;
-};
-
 // Names of the global radio counters snapshotted around each run so
 // RunStats reports per-run deltas even though the registry is process-wide.
 struct RadioCounterSnapshot {
@@ -74,7 +41,17 @@ struct RadioCounterSnapshot {
 }  // namespace
 
 StudyPipeline::StudyPipeline(sim::StudyConfig config, PipelineOptions options)
-    : generator_(config),
+    : StudyPipeline(std::make_unique<sim::StudyGenerator>(config), std::move(options)) {}
+
+StudyPipeline::StudyPipeline(sim::StudyConfig config, appmodel::AppCatalog catalog,
+                             PipelineOptions options)
+    : StudyPipeline(std::make_unique<sim::StudyGenerator>(config, std::move(catalog)),
+                    std::move(options)) {}
+
+StudyPipeline::StudyPipeline(std::unique_ptr<sim::StudyGenerator> generator,
+                             PipelineOptions options)
+    : owned_generator_(std::move(generator)),
+      source_(owned_generator_.get()),
       attributor_(resolve_factory(options), &downstream_, options.tail_policy),
       radio_factory_(options.radio_factory),
       tail_policy_(options.tail_policy),
@@ -87,9 +64,8 @@ StudyPipeline::StudyPipeline(sim::StudyConfig config, PipelineOptions options)
       collect_stage_stats_(options.collect_stage_stats),
       trace_writer_(options.trace_writer) {}
 
-StudyPipeline::StudyPipeline(sim::StudyConfig config, appmodel::AppCatalog catalog,
-                             PipelineOptions options)
-    : generator_(config, std::move(catalog)),
+StudyPipeline::StudyPipeline(trace::TraceSource* source, PipelineOptions options)
+    : source_(source),
       attributor_(resolve_factory(options), &downstream_, options.tail_policy),
       radio_factory_(options.radio_factory),
       tail_policy_(options.tail_policy),
@@ -112,26 +88,35 @@ void StudyPipeline::add_analysis(std::string name, trace::TraceSink* sink) {
 
 void StudyPipeline::set_policy(PolicyFactory factory) { policy_factory_ = std::move(factory); }
 
-void StudyPipeline::run() {
+util::StatusOr<obs::RunStats> StudyPipeline::run() {
   stats_ = {};
   off_interface_bytes_ = 0;  // repeated run() must not report a stale count
 
-  const std::uint32_t num_users = generator_.config().num_users;
-  const unsigned shard_threads =
-      std::min<unsigned>(num_threads_, std::max<std::uint32_t>(num_users, 1));
+  // Sharding requires per-user random access; forward-only sources (the file
+  // readers) always stream through the serial engine.
+  const bool random_access = source_->supports_user_access();
+  const std::vector<trace::UserId> user_ids =
+      random_access ? source_->users() : std::vector<trace::UserId>{};
+  const std::size_t num_users = user_ids.size();
+  const unsigned shard_threads = std::min<unsigned>(
+      num_threads_, static_cast<unsigned>(std::max<std::size_t>(num_users, 1)));
   // Retry/skip and scripted faults need per-user isolation, which only the
   // sharded engine provides — route through it even at num_threads == 1
   // (results are bit-identical for every thread count by construction).
   const bool needs_isolation = failure_policy_ == FailurePolicy::kRetryThenSkip ||
                                (fault_plan_ != nullptr && !fault_plan_->empty());
-  if (num_users == 0 || (!needs_isolation && (shard_threads <= 1 || num_users <= 1))) {
-    run_serial();
+  util::Status status;
+  if (!random_access || num_users == 0 ||
+      (!needs_isolation && (shard_threads <= 1 || num_users <= 1))) {
+    status = run_serial();
   } else {
-    run_sharded(shard_threads);
+    status = run_sharded(shard_threads, user_ids);
   }
+  if (!status.ok()) return status;
+  return stats_;
 }
 
-void StudyPipeline::run_serial() {
+util::Status StudyPipeline::run_serial() {
   const bool timed = collect_stage_stats_ || trace_writer_ != nullptr;
   const RadioCounterSnapshot radio_before = RadioCounterSnapshot::take();
 
@@ -166,13 +151,14 @@ void StudyPipeline::run_serial() {
 
   const std::int64_t run_start_us = trace_writer_ != nullptr ? trace_writer_->now_us() : 0;
   obs::Stopwatch total;
-  generator_.run(*entry, batch_size_);
+  const util::Status status = source_->emit(*entry, batch_size_);
   stats_.wall_ms = total.elapsed_ms();
   off_interface_bytes_ = filter.dropped_bytes();
 
   // Totals come from counters the stages maintain regardless of profiling.
+  // meta() is read after emit so stream sources have seen their header.
   stats_.num_threads = 1;
-  stats_.users = generator_.config().num_users;
+  stats_.users = source_->meta().num_users;
   stats_.packets = ledger_.total_packets();
   stats_.bytes = ledger_.total_bytes();
   stats_.joules = ledger_.total_joules();
@@ -229,11 +215,13 @@ void StudyPipeline::run_serial() {
                                   static_cast<std::int64_t>(generate.self_ms * 1e3), 1);
     }
   }
+  return status;
 }
 
-void StudyPipeline::run_sharded(unsigned num_threads) {
-  const std::uint32_t num_users = generator_.config().num_users;
-  const trace::StudyMeta meta = generator_.meta();
+util::Status StudyPipeline::run_sharded(unsigned num_threads,
+                                        const std::vector<trace::UserId>& user_ids) {
+  const std::size_t num_users = user_ids.size();
+  const trace::StudyMeta meta = source_->meta();
   const RadioCounterSnapshot radio_before = RadioCounterSnapshot::take();
 
   // The parent sink list, ledger first (matching the serial fan-out order).
@@ -253,55 +241,15 @@ void StudyPipeline::run_sharded(unsigned num_threads) {
     }
   }
 
-  // One shard per user. Heap-allocated: each shard's filter/attributor hold
-  // pointers into the shard, so the objects must not move. Everything with
-  // caller-visible state is built here, serially — the policy factory and
-  // clone_shard() are not required to be thread-safe; only the radio factory
-  // runs on workers (inside EnergyAttributor::on_user_begin).
-  struct Shard {
-    obs::MetricsRegistry registry;
-    trace::TraceMulticast fanout;
-    std::vector<std::unique_ptr<trace::TraceSink>> clones;
-    std::unique_ptr<energy::EnergyAttributor> attributor;
-    std::unique_ptr<trace::TraceSink> policy;
-    std::unique_ptr<trace::InterfaceFilter> filter;
-    std::unique_ptr<trace::TraceSink> fault;  ///< FaultPlan decorator, if any
-    trace::TraceSink* entry = nullptr;        ///< fault ? fault : filter
-    double wall_ms = 0.0;
-    unsigned worker = 0;
-    std::int64_t span_start_us = 0;
-    unsigned attempts = 0;
-    util::Status error;  ///< non-OK while the latest attempt has failed
-  };
-  // Building a shard is also how a failed one is retried: a fresh build has
-  // no partial state, so a re-run is the same deterministic computation.
-  const auto build_shard = [&](std::uint32_t user) {
-    auto shard = std::make_unique<Shard>();
-    for (const auto* parent : shardable) {
-      shard->clones.push_back(parent->clone_shard());
-      shard->fanout.add(shard->clones.back().get());
-    }
-    shard->attributor = std::make_unique<energy::EnergyAttributor>(radio_factory_, &shard->fanout,
-                                                                   tail_policy_);
-    trace::TraceSink* head = shard->attributor.get();
-    if (policy_factory_) {
-      shard->policy = policy_factory_(head);
-      head = shard->policy.get();
-    }
-    shard->filter = std::make_unique<trace::InterfaceFilter>(head, interface_);
-    shard->entry = shard->filter.get();
-    if (fault_plan_ != nullptr) {
-      // wrap() counts one attempt per call, so a retry's rebuild re-arms or
-      // disarms the fault deterministically.
-      shard->fault = fault_plan_->wrap(static_cast<trace::UserId>(user), shard->filter.get());
-      if (shard->fault != nullptr) shard->entry = shard->fault.get();
-    }
-    return shard;
-  };
-  std::vector<std::unique_ptr<Shard>> shards;
+  // One shard per user, built serially via the shared chain builder
+  // (core/shard_chain.h) — the same chain the sweep engine stamps out per
+  // (scenario, user).
+  const internal::ChainConfig chain_config{radio_factory_, tail_policy_, policy_factory_,
+                                           interface_, fault_plan_};
+  std::vector<std::unique_ptr<internal::ShardChain>> shards;
   shards.reserve(num_users);
-  for (std::uint32_t user = 0; user < num_users; ++user) {
-    shards.push_back(build_shard(user));
+  for (const trace::UserId user : user_ids) {
+    shards.push_back(internal::build_chain(chain_config, shardable, user));
   }
 
   const bool retry_then_skip = failure_policy_ == FailurePolicy::kRetryThenSkip;
@@ -310,7 +258,7 @@ void StudyPipeline::run_sharded(unsigned num_threads) {
   {
     util::ThreadPool pool{num_threads};
     pool.run_indexed(num_users, [&](std::size_t index, unsigned worker) {
-      Shard& shard = *shards[index];
+      internal::ShardChain& shard = *shards[index];
       // Shard-local metrics: the radio model built in on_user_begin resolves
       // its counters from current(), i.e. this shard's registry.
       const obs::ScopedMetricsRegistry scoped{&shard.registry};
@@ -320,13 +268,14 @@ void StudyPipeline::run_sharded(unsigned num_threads) {
       const obs::Stopwatch watch;
       if (retry_then_skip) {
         try {
-          generator_.run_user(static_cast<trace::UserId>(index), *shard.entry, batch_size_);
+          shard.error = source_->emit_user(user_ids[index], *shard.entry, batch_size_);
         } catch (const std::exception& e) {
           shard.error = util::Status::aborted(e.what());
         }
       } else {
         // kFailFast: the pool rethrows the first exception out of run().
-        generator_.run_user(static_cast<trace::UserId>(index), *shard.entry, batch_size_);
+        const util::Status st = source_->emit_user(user_ids[index], *shard.entry, batch_size_);
+        if (!st.ok()) throw std::runtime_error(st.to_string());
       }
       shard.wall_ms = watch.elapsed_ms();
     });
@@ -337,10 +286,11 @@ void StudyPipeline::run_sharded(unsigned num_threads) {
   // retry is a fresh build, so the re-run is deterministic by construction;
   // a shard that exhausts its retries gets its user skipped below.
   if (retry_then_skip) {
-    for (std::uint32_t user = 0; user < num_users; ++user) {
-      Shard* shard = shards[user].get();
+    for (std::size_t index = 0; index < num_users; ++index) {
+      const trace::UserId user = user_ids[index];
+      internal::ShardChain* shard = shards[index].get();
       for (unsigned retry = 0; !shard->error.ok() && retry < max_shard_retries_; ++retry) {
-        auto fresh = build_shard(user);
+        auto fresh = internal::build_chain(chain_config, shardable, user);
         fresh->worker = shard->worker;
         fresh->attempts = shard->attempts + 1;
         ++stats_.shard_retries;
@@ -348,27 +298,27 @@ void StudyPipeline::run_sharded(unsigned num_threads) {
         fresh->span_start_us = trace_writer_ != nullptr ? trace_writer_->now_us() : 0;
         const obs::Stopwatch watch;
         try {
-          generator_.run_user(static_cast<trace::UserId>(user), *fresh->entry, batch_size_);
+          fresh->error = source_->emit_user(user, *fresh->entry, batch_size_);
         } catch (const std::exception& e) {
           fresh->error = util::Status::aborted(e.what());
         }
         fresh->wall_ms = watch.elapsed_ms();
-        shards[user] = std::move(fresh);
-        shard = shards[user].get();
+        shards[index] = std::move(fresh);
+        shard = shards[index].get();
       }
       if (!shard->error.ok()) stats_.failed_users.push_back(user);
     }
   }
 
-  // Deterministic merge, in user-id order, skipping failed shards. Parents
-  // are reset through the standard study bracket first so repeated run()
-  // calls stay idempotent.
+  // Deterministic merge, in stream (user-id) order, skipping failed shards.
+  // Parents are reset through the standard study bracket first so repeated
+  // run() calls stay idempotent.
   downstream_.clear();
   attributor_.on_study_begin(meta);  // resets parent totals; fan-out is empty
   for (auto* parent : sharded_parents) parent->on_study_begin(meta);
   std::uint64_t dropped_packets = 0;
-  for (std::uint32_t user = 0; user < num_users; ++user) {
-    Shard& shard = *shards[user];
+  for (std::size_t index = 0; index < num_users; ++index) {
+    internal::ShardChain& shard = *shards[index];
     if (!shard.error.ok()) continue;  // skipped user: nothing of it survives
     attributor_.merge_from(*shard.attributor);
     for (std::size_t i = 0; i < shardable.size(); ++i) {
@@ -381,35 +331,28 @@ void StudyPipeline::run_sharded(unsigned num_threads) {
   for (auto* parent : sharded_parents) parent->on_study_end();
 
   // Non-shardable sinks get the exact serial stream via a replay pass: the
-  // generator is deterministic, so this is the stream a serial run would
-  // have fed them. The replay's radio/attribution work happens under a
-  // scratch registry so global counters are not double-counted. Users whose
-  // shard was skipped are filtered out of the replay too, so every sink —
-  // shardable or not — sees the same surviving-user study.
+  // source is deterministic and replayable, so this is the stream a serial
+  // run would have fed them. The replay's radio/attribution work happens
+  // under a scratch registry so global counters are not double-counted.
+  // Users whose shard was skipped are filtered out of the replay too, so
+  // every sink — shardable or not — sees the same surviving-user study.
+  util::Status replay_status;
   if (!fallback.empty()) {
     stats_.serial_fallback_sinks = fallback.size();
-    trace::TraceMulticast fan;
-    for (auto* sink : fallback) fan.add(sink);
-    energy::EnergyAttributor replay_attributor{radio_factory_, &fan, tail_policy_};
-    trace::TraceSink* head = &replay_attributor;
-    std::unique_ptr<trace::TraceSink> policy;
-    if (policy_factory_) {
-      policy = policy_factory_(head);
-      head = policy.get();
-    }
-    trace::InterfaceFilter filter{head, interface_};
+    const auto chain = internal::build_replay_chain(chain_config, fallback);
     const std::set<std::uint64_t> skipped(stats_.failed_users.begin(),
                                           stats_.failed_users.end());
-    UserSkipFilter skip_filter{&filter, skipped};
+    internal::UserSkipFilter skip_filter{chain->entry, skipped};
     obs::MetricsRegistry scratch;
     const obs::ScopedMetricsRegistry scoped{&scratch};
-    generator_.run(skipped.empty() ? static_cast<trace::TraceSink&>(filter) : skip_filter,
-                   batch_size_);
+    replay_status = source_->emit(
+        skipped.empty() ? *chain->entry : static_cast<trace::TraceSink&>(skip_filter),
+        batch_size_);
   }
   stats_.wall_ms = total.elapsed_ms();
 
   stats_.num_threads = num_threads;
-  stats_.users = num_users;
+  stats_.users = static_cast<std::uint64_t>(num_users);
   stats_.packets = ledger_.total_packets();
   stats_.bytes = ledger_.total_bytes();
   stats_.joules = ledger_.total_joules();
@@ -433,10 +376,10 @@ void StudyPipeline::run_sharded(unsigned num_threads) {
   stats_.radio_repromotions = radio_after.repromotions - radio_before.repromotions;
 
   stats_.shards.reserve(num_users);
-  for (std::uint32_t user = 0; user < num_users; ++user) {
-    const Shard& shard = *shards[user];
+  for (std::size_t index = 0; index < num_users; ++index) {
+    const internal::ShardChain& shard = *shards[index];
     obs::ShardRunStats s;
-    s.user = user;
+    s.user = user_ids[index];
     s.worker = shard.worker;
     s.wall_ms = shard.wall_ms;
     s.attempts = std::max(1u, shard.attempts);
@@ -460,15 +403,17 @@ void StudyPipeline::run_sharded(unsigned num_threads) {
     for (unsigned w = 0; w < num_threads; ++w) {
       trace_writer_->set_track_name(1 + static_cast<int>(w), "worker " + std::to_string(w));
     }
-    for (const auto& s : stats_.shards) {
+    for (std::size_t index = 0; index < stats_.shards.size(); ++index) {
+      const obs::ShardRunStats& s = stats_.shards[index];
       trace_writer_->add_complete("user " + std::to_string(s.user), "shard",
-                                  shards[s.user]->span_start_us,
+                                  shards[index]->span_start_us,
                                   static_cast<std::int64_t>(s.wall_ms * 1e3),
                                   1 + static_cast<int>(s.worker));
     }
     trace_writer_->add_complete("run", "pipeline", run_start_us,
                                 static_cast<std::int64_t>(stats_.wall_ms * 1e3), 0);
   }
+  return replay_status;
 }
 
 }  // namespace wildenergy::core

@@ -1,8 +1,15 @@
 // StudyPipeline: the top-level façade tying the whole system together.
 //
-//   generator (sim/)  ->  [optional policy filter (core/policy.h)]
+//   trace source (trace/trace_source.h)
+//                     ->  [optional policy filter (core/policy.h)]
 //                     ->  energy attribution (energy/attributor.h)
 //                     ->  ledger + user-registered analyses
+//
+// The source is anything emitting the canonical event stream: the config
+// constructors build an owned sim::StudyGenerator (the common case); the
+// TraceSource constructor plugs in a file reader (trace/csv_io.h,
+// trace/binary_io.h) or a cached trace::TraceStore instead — one execution
+// engine for live simulation and replay alike.
 //
 // Typical use (see examples/quickstart.cpp):
 //
@@ -10,7 +17,7 @@
 //   core::StudyPipeline pipeline{config};
 //   analysis::PersistenceAnalysis persistence;     // any TraceSink
 //   pipeline.add_analysis(&persistence);
-//   pipeline.run();
+//   auto stats = pipeline.run();                   // StatusOr<obs::RunStats>
 //   auto breakdown = analysis::overall_state_breakdown(pipeline.ledger());
 #pragma once
 
@@ -27,13 +34,21 @@
 #include "obs/run_stats.h"
 #include "obs/trace_writer.h"
 #include "sim/generator.h"
+#include "trace/batch.h"
 #include "trace/sink.h"
+#include "trace/trace_source.h"
+#include "util/status.h"
 
 namespace wildenergy::fault {
 class FaultPlan;
 }  // namespace wildenergy::fault
 
 namespace wildenergy::core {
+
+/// Builds a policy filter (core/policy.h) given the downstream sink the
+/// filter must forward to. Shared by StudyPipeline::set_policy and
+/// Scenario::policy (core/sweep.h).
+using PolicyFactory = std::function<std::unique_ptr<trace::TraceSink>(trace::TraceSink*)>;
 
 /// What a throwing shard means for the rest of the run.
 enum class FailurePolicy : std::uint8_t {
@@ -80,21 +95,29 @@ struct PipelineOptions {
   /// Non-owning; must outlive run(). Under kFailFast an injected fault
   /// propagates out of run() as fault::ShardFault.
   fault::FaultPlan* fault_plan = nullptr;
-  /// Events per EventBatch on the generator -> sinks path (both serial and
+  /// Events per EventBatch on the source -> sinks path (both serial and
   /// sharded engines). 0 streams per record (the classic path). Outputs are
   /// bit-identical for every value — batching only amortizes dispatch
-  /// (trace/batch.h); the default is a cache-friendly span that measures
-  /// well on the micro_pipeline sweep.
-  std::size_t batch_size = 256;
+  /// (trace/batch.h); the shared default (trace::kDefaultBatchSize, also
+  /// used by trace::ReadOptions and the CLI --batch-size flag) is a
+  /// cache-friendly span that measures well on the micro_pipeline sweep.
+  std::size_t batch_size = trace::kDefaultBatchSize;
 };
 
 class StudyPipeline {
  public:
-  /// Full synthetic population (342 apps) derived from config.seed.
+  /// Full synthetic population (342 apps) derived from config.seed. Owns a
+  /// sim::StudyGenerator as its source.
   explicit StudyPipeline(sim::StudyConfig config, PipelineOptions options = {});
   /// Caller-supplied catalog (e.g. AppCatalog::paper_catalog()).
   StudyPipeline(sim::StudyConfig config, appmodel::AppCatalog catalog,
                 PipelineOptions options = {});
+  /// Run over an arbitrary trace source (file reader, cached TraceStore, or
+  /// a caller-owned generator). Non-owning; must outlive the pipeline.
+  /// Forward-only sources (supports_user_access() == false) always run the
+  /// serial engine regardless of num_threads, and scripted fault plans /
+  /// retry policies — which need per-user isolation — do not apply to them.
+  explicit StudyPipeline(trace::TraceSource* source, PipelineOptions options = {});
 
   /// Register an analysis sink that receives the energy-annotated stream.
   /// Non-owning; must outlive run(). The named overload labels the sink in
@@ -102,26 +125,38 @@ class StudyPipeline {
   void add_analysis(trace::TraceSink* sink);
   void add_analysis(std::string name, trace::TraceSink* sink);
 
-  /// Install a policy filter between the generator and attribution. The
+  /// Install a policy filter between the source and attribution. The
   /// factory receives the downstream sink the filter must forward to, and
   /// the pipeline keeps the filter alive. Call before run().
-  using PolicyFactory = std::function<std::unique_ptr<trace::TraceSink>(trace::TraceSink*)>;
+  using PolicyFactory = core::PolicyFactory;
   void set_policy(PolicyFactory factory);
 
-  /// Generate + attribute + analyze. May be called repeatedly; each run
+  /// Stream + attribute + analyze. May be called repeatedly; each run
   /// resets the ledger and re-streams the study. With num_threads > 1 the
   /// study is sharded by user across a worker pool; results (ledger,
   /// analyses, figures) are bit-identical to the serial run.
-  void run();
+  ///
+  /// Returns the run's RunStats, or the source's error when it failed to
+  /// emit (unreadable file, corrupt stream under a strict read policy).
+  /// Under FailurePolicy::kFailFast a shard failure still propagates as an
+  /// exception (fault::ShardFault); under kRetryThenSkip exhausted shards
+  /// are reported inside the returned stats, not as an error.
+  util::StatusOr<obs::RunStats> run();
 
   [[nodiscard]] const energy::EnergyLedger& ledger() const { return ledger_; }
   /// Summary of the most recent run(): wall time, throughput, attribution
   /// and radio counters, and (when enabled) the per-stage profile.
+  /// Deprecated in favor of the StatusOr<RunStats> run() returns — kept as a
+  /// shim for callers that discard run()'s result.
   [[nodiscard]] const obs::RunStats& last_run_stats() const { return stats_; }
   /// Bytes on the non-analyzed interface, dropped before attribution.
   [[nodiscard]] std::uint64_t off_interface_bytes() const { return off_interface_bytes_; }
-  [[nodiscard]] const sim::StudyGenerator& generator() const { return generator_; }
-  [[nodiscard]] const appmodel::AppCatalog& catalog() const { return generator_.catalog(); }
+  /// The trace source this pipeline streams from.
+  [[nodiscard]] trace::TraceSource& source() const { return *source_; }
+  /// The owned generator. Precondition: the pipeline was built from a
+  /// StudyConfig (source-constructed pipelines have no generator).
+  [[nodiscard]] const sim::StudyGenerator& generator() const { return *owned_generator_; }
+  [[nodiscard]] const appmodel::AppCatalog& catalog() const { return generator().catalog(); }
   [[nodiscard]] const energy::EnergyAttributor& attributor() const { return attributor_; }
 
   /// App id lookup by name, forwarding to the catalog (kNoApp if absent).
@@ -130,13 +165,19 @@ class StudyPipeline {
   }
 
  private:
-  /// The classic single-pass serial pipeline (num_threads == 1).
-  void run_serial();
-  /// One shard per user on `num_threads` workers; deterministic merge in
-  /// user-id order, plus a serial replay pass for non-shardable sinks.
-  void run_sharded(unsigned num_threads);
+  /// Shared tail of the config constructors: owns the generator it sources.
+  StudyPipeline(std::unique_ptr<sim::StudyGenerator> generator, PipelineOptions options);
 
-  sim::StudyGenerator generator_;
+  /// The classic single-pass serial pipeline (num_threads == 1, or any
+  /// forward-only source). Returns the source's emit status.
+  util::Status run_serial();
+  /// One shard per user (in `user_ids` stream order) on `num_threads`
+  /// workers; deterministic merge in stream order, plus a serial replay pass
+  /// for non-shardable sinks.
+  util::Status run_sharded(unsigned num_threads, const std::vector<trace::UserId>& user_ids);
+
+  std::unique_ptr<sim::StudyGenerator> owned_generator_;  ///< config ctors only
+  trace::TraceSource* source_;  ///< owned_generator_.get() or caller-supplied
   energy::EnergyLedger ledger_;
   trace::TraceMulticast downstream_;
   energy::EnergyAttributor attributor_;
@@ -150,7 +191,7 @@ class StudyPipeline {
   FailurePolicy failure_policy_ = FailurePolicy::kFailFast;
   unsigned max_shard_retries_ = 2;
   fault::FaultPlan* fault_plan_ = nullptr;
-  std::size_t batch_size_ = 256;
+  std::size_t batch_size_ = trace::kDefaultBatchSize;
   std::uint64_t off_interface_bytes_ = 0;
   /// Registered analyses, in registration order; fan-out is rebuilt per run.
   std::vector<std::pair<std::string, trace::TraceSink*>> analyses_;

@@ -1,0 +1,153 @@
+// Internal: the per-shard sink chain shared by the sharded execution engines
+// (core/pipeline.cpp and core/sweep.cpp).
+//
+// A shard is one unit of isolated work — one user in a pipeline run, one
+// (scenario, user) pair in a sweep: clones of every shardable parent sink
+// fanned out behind a private attributor / policy / interface-filter chain,
+// plus the scheduling bookkeeping (attempts, wall time, status) the engines
+// keep per shard. Building a chain is also how a failed one is retried: a
+// fresh build has no partial state, so a re-run is the same deterministic
+// computation (trace/shardable.h invariants).
+//
+// Everything here is built and merged serially by the engines — the policy
+// factory and clone_shard() are not required to be thread-safe; only the
+// radio factory runs on workers (inside EnergyAttributor::on_user_begin).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "energy/attributor.h"
+#include "fault/plan.h"
+#include "obs/metrics.h"
+#include "trace/interface_filter.h"
+#include "trace/shardable.h"
+#include "trace/sink.h"
+#include "util/status.h"
+
+namespace wildenergy::core::internal {
+
+/// Everything needed to build one shard chain. One per engine run (or per
+/// sweep scenario); cheap to copy.
+struct ChainConfig {
+  energy::RadioModelFactory radio_factory;
+  energy::TailPolicy tail_policy = energy::TailPolicy::kLastPacket;
+  PolicyFactory policy_factory;  ///< may be empty (no policy stage)
+  trace::Interface interface = trace::Interface::kCellular;
+  fault::FaultPlan* fault_plan = nullptr;  ///< non-owning; may be null
+};
+
+/// One shard's private sink chain plus its scheduling record.
+struct ShardChain {
+  obs::MetricsRegistry registry;  ///< shard-local radio/ingest counters
+  trace::TraceMulticast fanout;
+  std::vector<std::unique_ptr<trace::TraceSink>> clones;  ///< parallel to the shardable list
+  std::unique_ptr<energy::EnergyAttributor> attributor;
+  std::unique_ptr<trace::TraceSink> policy;
+  std::unique_ptr<trace::InterfaceFilter> filter;
+  std::unique_ptr<trace::TraceSink> fault;  ///< FaultPlan decorator, if any
+  trace::TraceSink* entry = nullptr;        ///< fault ? fault : filter
+  double wall_ms = 0.0;
+  unsigned worker = 0;
+  std::int64_t span_start_us = 0;
+  unsigned attempts = 0;
+  util::Status error;  ///< non-OK while the latest attempt has failed
+};
+
+/// Build the chain for `user`: clones of `shardable` fanned out behind a
+/// fresh attributor, optional policy filter, interface filter, and — when a
+/// fault plan covers the user — the fault decorator at the entry.
+/// Heap-allocated because the filter/attributor hold pointers into the
+/// shard, so the objects must not move.
+inline std::unique_ptr<ShardChain> build_chain(
+    const ChainConfig& cfg, const std::vector<trace::ShardableSink*>& shardable,
+    trace::UserId user) {
+  auto shard = std::make_unique<ShardChain>();
+  for (const auto* parent : shardable) {
+    shard->clones.push_back(parent->clone_shard());
+    shard->fanout.add(shard->clones.back().get());
+  }
+  shard->attributor = std::make_unique<energy::EnergyAttributor>(cfg.radio_factory,
+                                                                 &shard->fanout, cfg.tail_policy);
+  trace::TraceSink* head = shard->attributor.get();
+  if (cfg.policy_factory) {
+    shard->policy = cfg.policy_factory(head);
+    head = shard->policy.get();
+  }
+  shard->filter = std::make_unique<trace::InterfaceFilter>(head, cfg.interface);
+  shard->entry = shard->filter.get();
+  if (cfg.fault_plan != nullptr) {
+    // wrap() counts one attempt per call, so a retry's rebuild re-arms or
+    // disarms the fault deterministically.
+    shard->fault = cfg.fault_plan->wrap(user, shard->filter.get());
+    if (shard->fault != nullptr) shard->entry = shard->fault.get();
+  }
+  return shard;
+}
+
+/// The serial replay chain feeding non-shardable sinks: the same
+/// filter -> policy -> attributor stages as a shard, fanned out over the
+/// parent sinks directly (no clones, no fault decorator — replay happens
+/// after faults are resolved).
+struct ReplayChain {
+  trace::TraceMulticast fanout;
+  std::unique_ptr<energy::EnergyAttributor> attributor;
+  std::unique_ptr<trace::TraceSink> policy;
+  std::unique_ptr<trace::InterfaceFilter> filter;
+  trace::TraceSink* entry = nullptr;
+};
+
+inline std::unique_ptr<ReplayChain> build_replay_chain(
+    const ChainConfig& cfg, const std::vector<trace::TraceSink*>& sinks) {
+  auto chain = std::make_unique<ReplayChain>();
+  for (auto* sink : sinks) chain->fanout.add(sink);
+  chain->attributor = std::make_unique<energy::EnergyAttributor>(cfg.radio_factory,
+                                                                 &chain->fanout, cfg.tail_policy);
+  trace::TraceSink* head = chain->attributor.get();
+  if (cfg.policy_factory) {
+    chain->policy = cfg.policy_factory(head);
+    head = chain->policy.get();
+  }
+  chain->filter = std::make_unique<trace::InterfaceFilter>(head, cfg.interface);
+  chain->entry = chain->filter.get();
+  return chain;
+}
+
+/// Drops the whole bracket (begin, events, end) of every user in `skip`, so
+/// the fallback replay pass feeds non-shardable sinks the same surviving-user
+/// study the shard merge produced.
+class UserSkipFilter final : public trace::TraceSink {
+ public:
+  UserSkipFilter(trace::TraceSink* downstream, const std::set<std::uint64_t>& skip)
+      : downstream_(downstream), skip_(skip) {}
+
+  void on_study_begin(const trace::StudyMeta& meta) override { downstream_->on_study_begin(meta); }
+  void on_user_begin(trace::UserId user) override {
+    skipping_ = skip_.count(user) > 0;
+    if (!skipping_) downstream_->on_user_begin(user);
+  }
+  void on_packet(const trace::PacketRecord& p) override {
+    if (!skipping_) downstream_->on_packet(p);
+  }
+  void on_transition(const trace::StateTransition& t) override {
+    if (!skipping_) downstream_->on_transition(t);
+  }
+  void on_user_end(trace::UserId user) override {
+    if (!skipping_) downstream_->on_user_end(user);
+    skipping_ = false;
+  }
+  void on_study_end() override { downstream_->on_study_end(); }
+  void on_batch(const trace::EventBatch& batch) override {
+    // A batch belongs to exactly one user, so skipping is all-or-nothing.
+    if (!skipping_) downstream_->on_batch(batch);
+  }
+
+ private:
+  trace::TraceSink* downstream_;
+  const std::set<std::uint64_t>& skip_;
+  bool skipping_ = false;
+};
+
+}  // namespace wildenergy::core::internal

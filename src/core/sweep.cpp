@@ -1,0 +1,267 @@
+#include "core/sweep.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/shard_chain.h"
+#include "fault/plan.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
+#include "radio/burst_machine.h"
+#include "trace/shardable.h"
+#include "util/thread_pool.h"
+
+namespace wildenergy::core {
+
+SweepEngine::SweepEngine(trace::TraceSource* base, SweepOptions options)
+    : base_(base), store_(&owned_store_), options_(options) {}
+
+SweepEngine::SweepEngine(trace::TraceStore* store, SweepOptions options)
+    : store_(store), options_(options) {}
+
+void SweepEngine::add_scenario(Scenario scenario) {
+  scenarios_.push_back(std::move(scenario));
+}
+
+const ScenarioResult* SweepEngine::result(std::string_view name) const {
+  for (const auto& r : results_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+util::Status SweepEngine::ensure_captured() {
+  if (!store_->empty()) return util::Status::ok_status();  // simulate once
+  if (base_ == nullptr) {
+    return util::Status::failed_precondition(
+        "sweep store is empty and no base source was given");
+  }
+  return store_->capture(*base_, options_.batch_size);
+}
+
+util::StatusOr<obs::RunStats> SweepEngine::run() {
+  obs::Stopwatch total;
+  if (const util::Status captured = ensure_captured(); !captured.ok()) return captured;
+
+  const trace::StudyMeta meta = store_->meta();
+  const std::vector<trace::UserId> user_ids = store_->users();
+  const std::size_t num_users = user_ids.size();
+  const std::size_t num_scenarios = scenarios_.size();
+
+  // Results are rebuilt per run; the ledgers living here are the shardable
+  // parents the per-shard clones merge back into, so the vector must not
+  // reallocate once chains hold pointers to them — size it up front.
+  results_.clear();
+  results_.resize(num_scenarios);
+
+  // Per-scenario sink split and per-(scenario, user) chains, built serially
+  // up front (policy factories and clone_shard() need not be thread-safe).
+  struct ScenarioPlan {
+    internal::ChainConfig config;
+    std::vector<trace::ShardableSink*> shardable;
+    std::vector<trace::TraceSink*> sharded_parents;
+    std::vector<trace::TraceSink*> fallback;
+    std::vector<std::unique_ptr<internal::ShardChain>> shards;  ///< one per user
+  };
+  std::vector<ScenarioPlan> plans(num_scenarios);
+  for (std::size_t si = 0; si < num_scenarios; ++si) {
+    const Scenario& scenario = scenarios_[si];
+    results_[si].name = scenario.name;
+    ScenarioPlan& plan = plans[si];
+    plan.config = internal::ChainConfig{
+        scenario.radio_factory ? scenario.radio_factory : radio::make_lte_model,
+        scenario.tail_policy, scenario.policy, scenario.interface, options_.fault_plan};
+    // Ledger first, matching the pipeline fan-out order.
+    std::vector<std::pair<std::string, trace::TraceSink*>> sinks;
+    sinks.emplace_back("ledger", &results_[si].ledger);
+    for (const auto& [name, sink] : scenario.analyses) sinks.emplace_back(name, sink);
+    for (const auto& [name, sink] : sinks) {
+      if (auto* s = trace::as_shardable(sink)) {
+        plan.shardable.push_back(s);
+        plan.sharded_parents.push_back(sink);
+      } else {
+        plan.fallback.push_back(sink);
+      }
+    }
+    plan.shards.reserve(num_users);
+    for (const trace::UserId user : user_ids) {
+      plan.shards.push_back(internal::build_chain(plan.config, plan.shardable, user));
+    }
+  }
+
+  // Flat (scenario × user) task space on ONE pool — scenario-major, so task
+  // index maps to (index / num_users, index % num_users). Replay is const
+  // over the store's columns, so any number of workers can read one user
+  // concurrently across scenarios.
+  const bool retry_then_skip = options_.failure_policy == FailurePolicy::kRetryThenSkip;
+  const std::size_t total_shards = num_scenarios * num_users;
+  if (total_shards > 0) {
+    const unsigned pool_threads = std::max<unsigned>(
+        1, std::min<unsigned>(options_.num_threads,
+                              static_cast<unsigned>(std::min<std::size_t>(
+                                  total_shards, 1u << 16))));
+    util::ThreadPool pool{pool_threads};
+    pool.run_indexed(total_shards, [&](std::size_t index, unsigned worker) {
+      const std::size_t si = index / num_users;
+      const std::size_t ui = index % num_users;
+      internal::ShardChain& shard = *plans[si].shards[ui];
+      // Shard-local metrics: each scenario's radio model counts into its own
+      // shard registry (summed per scenario below).
+      const obs::ScopedMetricsRegistry scoped{&shard.registry};
+      shard.worker = worker;
+      ++shard.attempts;
+      const obs::Stopwatch watch;
+      if (retry_then_skip) {
+        try {
+          shard.error = store_->emit_user(user_ids[ui], *shard.entry, options_.batch_size);
+        } catch (const std::exception& e) {
+          shard.error = util::Status::aborted(e.what());
+        }
+      } else {
+        // kFailFast: the pool rethrows the first exception out of run().
+        const util::Status st =
+            store_->emit_user(user_ids[ui], *shard.entry, options_.batch_size);
+        if (!st.ok()) throw std::runtime_error(st.to_string());
+      }
+      shard.wall_ms = watch.elapsed_ms();
+    });
+  }
+
+  // Per-scenario: serial retries, deterministic merge in stream order,
+  // fallback replay for non-shardable sinks, stats. Exactly the pipeline's
+  // discipline, applied K times.
+  obs::RunStats aggregate;
+  for (std::size_t si = 0; si < num_scenarios; ++si) {
+    ScenarioPlan& plan = plans[si];
+    ScenarioResult& res = results_[si];
+
+    if (retry_then_skip) {
+      for (std::size_t ui = 0; ui < num_users; ++ui) {
+        const trace::UserId user = user_ids[ui];
+        internal::ShardChain* shard = plan.shards[ui].get();
+        for (unsigned retry = 0; !shard->error.ok() && retry < options_.max_shard_retries;
+             ++retry) {
+          auto fresh = internal::build_chain(plan.config, plan.shardable, user);
+          fresh->worker = shard->worker;
+          fresh->attempts = shard->attempts + 1;
+          ++res.stats.shard_retries;
+          const obs::ScopedMetricsRegistry scoped{&fresh->registry};
+          const obs::Stopwatch watch;
+          try {
+            fresh->error = store_->emit_user(user, *fresh->entry, options_.batch_size);
+          } catch (const std::exception& e) {
+            fresh->error = util::Status::aborted(e.what());
+          }
+          fresh->wall_ms = watch.elapsed_ms();
+          plan.shards[ui] = std::move(fresh);
+          shard = plan.shards[ui].get();
+        }
+        if (!shard->error.ok()) res.stats.failed_users.push_back(user);
+      }
+    }
+
+    // Merge in stream (user-id) order, skipping failed shards. The parent
+    // attributor exists only to fold the scenario's attribution counters in
+    // the same order a standalone pipeline would.
+    trace::TraceMulticast parent_fanout;  // stays empty
+    energy::EnergyAttributor parent_attributor{plan.config.radio_factory, &parent_fanout,
+                                               plan.config.tail_policy};
+    parent_attributor.on_study_begin(meta);
+    for (auto* parent : plan.sharded_parents) parent->on_study_begin(meta);
+    std::uint64_t dropped_packets = 0;
+    std::uint64_t dropped_bytes = 0;
+    for (std::size_t ui = 0; ui < num_users; ++ui) {
+      internal::ShardChain& shard = *plan.shards[ui];
+      if (!shard.error.ok()) continue;  // skipped user: nothing of it survives
+      parent_attributor.merge_from(*shard.attributor);
+      for (std::size_t i = 0; i < plan.shardable.size(); ++i) {
+        plan.shardable[i]->merge_from(*shard.clones[i]);
+      }
+      dropped_packets += shard.filter->dropped_packets();
+      dropped_bytes += shard.filter->dropped_bytes();
+      res.stats.radio_bursts += shard.registry.counter_value("radio.bursts");
+      res.stats.radio_bursts_queued += shard.registry.counter_value("radio.bursts_queued");
+      res.stats.radio_promotions += shard.registry.counter_value("radio.promotions");
+      res.stats.radio_repromotions += shard.registry.counter_value("radio.repromotions");
+      obs::MetricsRegistry::global().merge_from(shard.registry);
+    }
+    for (auto* parent : plan.sharded_parents) parent->on_study_end();
+
+    // Non-shardable analyses get the exact serial stream via a replay pass
+    // over the store, minus skipped users, under a scratch registry.
+    if (!plan.fallback.empty()) {
+      res.stats.serial_fallback_sinks = plan.fallback.size();
+      const auto chain = internal::build_replay_chain(plan.config, plan.fallback);
+      const std::set<std::uint64_t> skipped(res.stats.failed_users.begin(),
+                                            res.stats.failed_users.end());
+      internal::UserSkipFilter skip_filter{chain->entry, skipped};
+      obs::MetricsRegistry scratch;
+      const obs::ScopedMetricsRegistry scoped{&scratch};
+      res.status.update(store_->emit(
+          skipped.empty() ? *chain->entry : static_cast<trace::TraceSink&>(skip_filter),
+          options_.batch_size));
+    }
+
+    res.stats.num_threads = options_.num_threads;
+    res.stats.users = static_cast<std::uint64_t>(num_users);
+    res.stats.packets = res.ledger.total_packets();
+    res.stats.bytes = res.ledger.total_bytes();
+    res.stats.joules = res.ledger.total_joules();
+    res.stats.off_interface_packets = dropped_packets;
+    res.stats.off_interface_bytes = dropped_bytes;
+    const energy::AttributionCounters& ac = parent_attributor.counters();
+    res.stats.transitions = ac.transitions;
+    res.stats.tail_attributions = ac.tail_attributions;
+    res.stats.proportional_splits = ac.proportional_splits;
+    res.stats.promotion_segments = ac.promotion_segments;
+    res.stats.transfer_segments = ac.transfer_segments;
+    res.stats.tail_segments = ac.tail_segments;
+    res.stats.drx_segments = ac.drx_segments;
+    res.stats.idle_segments = ac.idle_segments;
+
+    res.stats.shards.reserve(num_users);
+    for (std::size_t ui = 0; ui < num_users; ++ui) {
+      const internal::ShardChain& shard = *plan.shards[ui];
+      obs::ShardRunStats s;
+      s.user = user_ids[ui];
+      s.worker = shard.worker;
+      s.wall_ms = shard.wall_ms;
+      s.attempts = std::max(1u, shard.attempts);
+      s.skipped = !shard.error.ok();
+      s.status = shard.error;
+      if (!s.skipped) {
+        const auto& shard_ledger =
+            dynamic_cast<const energy::EnergyLedger&>(*shard.clones[0]);  // ledger is sinks[0]
+        s.packets = shard_ledger.total_packets();
+        s.bytes = shard_ledger.total_bytes();
+        s.joules = shard_ledger.total_joules();
+      }
+      res.stats.shards.push_back(s);
+    }
+
+    aggregate.packets += res.stats.packets;
+    aggregate.transitions += res.stats.transitions;
+    aggregate.bytes += res.stats.bytes;
+    aggregate.joules += res.stats.joules;
+    aggregate.off_interface_packets += res.stats.off_interface_packets;
+    aggregate.off_interface_bytes += res.stats.off_interface_bytes;
+    aggregate.shard_retries += res.stats.shard_retries;
+    aggregate.serial_fallback_sinks += res.stats.serial_fallback_sinks;
+    aggregate.radio_bursts += res.stats.radio_bursts;
+    aggregate.radio_bursts_queued += res.stats.radio_bursts_queued;
+    aggregate.radio_promotions += res.stats.radio_promotions;
+    aggregate.radio_repromotions += res.stats.radio_repromotions;
+  }
+
+  aggregate.num_threads = options_.num_threads;
+  aggregate.users = static_cast<std::uint64_t>(num_users);
+  aggregate.wall_ms = total.elapsed_ms();
+  return aggregate;
+}
+
+}  // namespace wildenergy::core

@@ -1,0 +1,126 @@
+// SweepEngine: simulate once, replay many.
+//
+// A what-if study ("kill background traffic after N idle days, for N in
+// 1..14", "LTE vs fast dormancy vs UMTS") evaluates many scenarios over the
+// SAME canonical event stream. Running one StudyPipeline per scenario pays
+// trace generation — ~75% of pipeline wall time — once per scenario for
+// byte-identical events. The sweep engine captures the base source into a
+// trace::TraceStore once, then fans N scenarios out as (scenario × user)
+// shards over one worker pool, replaying the cached columns:
+//
+//   core::SweepEngine sweep{&generator};              // or a ready TraceStore
+//   sweep.add_scenario({.name = "baseline"});
+//   sweep.add_scenario({.name = "kill-3d",
+//                       .policy = core::KillAfterIdlePolicy::factory(...)});
+//   auto stats = sweep.run();                         // StatusOr<obs::RunStats>
+//   const core::ScenarioResult* kill = sweep.result("kill-3d");
+//
+// Every scenario's outputs (ledger, analyses, per-scenario RunStats counters)
+// are bit-identical to a standalone StudyPipeline run of that scenario over
+// the same source, for every thread count: shards merge in stream (user-id)
+// order through the same chain builder (core/shard_chain.h) and the same
+// ShardableSink merge discipline (trace/shardable.h) the pipeline uses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "energy/attributor.h"
+#include "energy/ledger.h"
+#include "obs/run_stats.h"
+#include "trace/trace_source.h"
+#include "trace/trace_store.h"
+#include "util/status.h"
+
+namespace wildenergy::core {
+
+/// One what-if variant: a policy filter × radio/tail-policy variant × set of
+/// analysis sinks, evaluated over the shared cached trace.
+struct Scenario {
+  std::string name;
+  /// Policy filter between replay and attribution; empty = baseline.
+  PolicyFactory policy;
+  /// Radio model for this scenario's devices; empty = LTE (the pipeline
+  /// default). Must be safe to invoke concurrently when num_threads > 1.
+  energy::RadioModelFactory radio_factory;
+  energy::TailPolicy tail_policy = energy::TailPolicy::kLastPacket;
+  trace::Interface interface = trace::Interface::kCellular;
+  /// Analysis sinks receiving this scenario's energy-annotated stream.
+  /// Non-owning; must outlive run(). Shardable sinks ride the parallel
+  /// merge; others are fed by a per-scenario serial replay pass.
+  std::vector<std::pair<std::string, trace::TraceSink*>> analyses;
+};
+
+struct SweepOptions {
+  /// Worker threads shared by ALL (scenario × user) shards. 1 keeps the
+  /// whole sweep serial (still one capture, K replays).
+  unsigned num_threads = 1;
+  /// Events per EventBatch on both the capture and replay paths. Shares
+  /// trace::kDefaultBatchSize with PipelineOptions / ReadOptions.
+  std::size_t batch_size = trace::kDefaultBatchSize;
+  /// Shard failure handling, applied per scenario: kRetryThenSkip retries a
+  /// failed (scenario, user) shard up to max_shard_retries times, then skips
+  /// that user in THAT scenario only (other scenarios keep the user).
+  FailurePolicy failure_policy = FailurePolicy::kFailFast;
+  unsigned max_shard_retries = 2;
+  /// Scripted shard faults (--inject-fault). Non-owning; must outlive run().
+  /// A spec matching user U arms once per (scenario, user) chain build, in
+  /// scenario order.
+  fault::FaultPlan* fault_plan = nullptr;
+};
+
+/// One scenario's outcome: its ledger, its per-scenario RunStats (totals,
+/// attribution/radio counters, shard retries and skipped users), and an
+/// overall status (non-OK when the scenario's replay itself failed).
+struct ScenarioResult {
+  std::string name;
+  energy::EnergyLedger ledger;
+  obs::RunStats stats;
+  util::Status status;
+};
+
+class SweepEngine {
+ public:
+  /// Capture `base` into an internal TraceStore on the first run() —
+  /// simulate once — then replay it for every scenario. Non-owning; `base`
+  /// must outlive the first run() and support whole-study emission.
+  explicit SweepEngine(trace::TraceSource* base, SweepOptions options = {});
+  /// Replay a caller-owned, already-captured store (non-owning). Lets one
+  /// store back several engines, or a store loaded from a file reader.
+  explicit SweepEngine(trace::TraceStore* store, SweepOptions options = {});
+
+  /// Register a scenario. Order is preserved; results() matches it.
+  void add_scenario(Scenario scenario);
+
+  /// Capture (first run only) + replay every scenario. Returns the sweep's
+  /// aggregate RunStats — wall time, thread count, store users, and totals
+  /// summed across scenarios — or the capture error. Per-scenario detail
+  /// (including per-scenario replay status) is in results(). Under
+  /// FailurePolicy::kFailFast a shard failure propagates as an exception,
+  /// exactly like StudyPipeline::run().
+  util::StatusOr<obs::RunStats> run();
+
+  [[nodiscard]] const std::vector<ScenarioResult>& results() const { return results_; }
+  /// Lookup by scenario name; nullptr when absent.
+  [[nodiscard]] const ScenarioResult* result(std::string_view name) const;
+  [[nodiscard]] std::size_t num_scenarios() const { return scenarios_.size(); }
+  /// The cached trace backing the sweep (empty until the first run() when
+  /// capturing from a base source). Exposes memory_bytes()/event_count().
+  [[nodiscard]] const trace::TraceStore& store() const { return *store_; }
+
+ private:
+  util::Status ensure_captured();
+
+  trace::TraceSource* base_ = nullptr;  ///< captured on first run(); may be null
+  trace::TraceStore owned_store_;       ///< backing store for the base ctor
+  trace::TraceStore* store_;            ///< &owned_store_ or caller-supplied
+  SweepOptions options_;
+  std::vector<Scenario> scenarios_;
+  std::vector<ScenarioResult> results_;
+};
+
+}  // namespace wildenergy::core

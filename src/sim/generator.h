@@ -7,10 +7,11 @@
 #include "appmodel/catalog.h"
 #include "sim/study_config.h"
 #include "trace/sink.h"
+#include "trace/trace_source.h"
 
 namespace wildenergy::sim {
 
-class StudyGenerator {
+class StudyGenerator : public trace::TraceSource {
  public:
   /// Uses appmodel::AppCatalog::full_catalog(config.seed, config.total_apps).
   explicit StudyGenerator(StudyConfig config);
@@ -28,9 +29,23 @@ class StudyGenerator {
   /// Used by tests and by per-user parallel analyses.
   void run_user(trace::UserId user, trace::TraceSink& sink, std::size_t batch_size = 0) const;
 
+  // TraceSource: the generator is the synthetic-study source. Generation is
+  // deterministic and repeatable, so emit()/emit_user() always succeed and
+  // per-user random access is free.
+  util::Status emit(trace::TraceSink& sink, std::size_t batch_size) override {
+    run(sink, batch_size);
+    return util::Status::ok_status();
+  }
+  util::Status emit_user(trace::UserId user, trace::TraceSink& sink,
+                         std::size_t batch_size) override {
+    run_user(user, sink, batch_size);
+    return util::Status::ok_status();
+  }
+  [[nodiscard]] bool supports_user_access() const override { return true; }
+
   [[nodiscard]] const StudyConfig& config() const { return config_; }
   [[nodiscard]] const appmodel::AppCatalog& catalog() const { return catalog_; }
-  [[nodiscard]] trace::StudyMeta meta() const;
+  [[nodiscard]] trace::StudyMeta meta() const override;
 
  private:
   StudyConfig config_;

@@ -417,4 +417,24 @@ BinaryReadResult read_binary_trace(std::istream& is, TraceSink& sink,
   }
 }
 
+util::Status BinaryTraceSource::emit(TraceSink& sink, std::size_t batch_size) {
+  if (consumed_) {
+    is_.clear();
+    is_.seekg(0);
+    if (!is_) {
+      return util::Status::failed_precondition(
+          "binary trace source: stream already consumed and not seekable");
+    }
+  }
+  consumed_ = true;
+  ReadOptions options = options_;
+  options.batch_size = batch_size;
+  MetaCaptureSink capture(&sink, &meta_);
+  BinaryReadResult result = read_binary_trace(is_, capture, options);
+  summary_ = ReadSummary{result.status,          result.records_dropped,
+                         result.records_repaired, result.truncated,
+                         result.checksum_ok,      std::move(result.quarantine)};
+  return summary_.status;
+}
+
 }  // namespace wildenergy::trace

@@ -21,6 +21,7 @@
 
 #include "trace/read_policy.h"
 #include "trace/sink.h"
+#include "trace/trace_source.h"
 #include "util/status.h"
 
 namespace wildenergy::trace {
@@ -75,5 +76,28 @@ struct BinaryReadResult {
 /// "ingest.records_dropped" / "ingest.records_repaired".
 [[nodiscard]] BinaryReadResult read_binary_trace(std::istream& is, TraceSink& sink,
                                                  const ReadOptions& options = {});
+
+/// TraceSource over a binary trace stream; the binary twin of
+/// CsvTraceSource (csv_io.h) with identical semantics: forward-only,
+/// rewind-on-reemit, per-emit batch_size override, ReadSummary reporting.
+class BinaryTraceSource final : public TraceSource {
+ public:
+  explicit BinaryTraceSource(std::istream& is, ReadOptions options = {})
+      : is_(is), options_(options) {}
+
+  util::Status emit(TraceSink& sink, std::size_t batch_size) override;
+  /// Zero-valued until the first emit() has passed the 'M' record.
+  [[nodiscard]] StudyMeta meta() const override { return meta_; }
+
+  /// Degradation detail of the last emit(), including checksum status.
+  [[nodiscard]] const ReadSummary& summary() const { return summary_; }
+
+ private:
+  std::istream& is_;
+  ReadOptions options_;
+  StudyMeta meta_{};
+  ReadSummary summary_;
+  bool consumed_ = false;
+};
 
 }  // namespace wildenergy::trace

@@ -240,4 +240,25 @@ CsvReadResult read_csv_trace(std::istream& is, TraceSink& sink, const ReadOption
   return result;
 }
 
+util::Status CsvTraceSource::emit(TraceSink& sink, std::size_t batch_size) {
+  if (consumed_) {
+    // Rewind for replay-many consumers (sweep fallback, repeated runs).
+    is_.clear();
+    is_.seekg(0);
+    if (!is_) {
+      return util::Status::failed_precondition(
+          "csv trace source: stream already consumed and not seekable");
+    }
+  }
+  consumed_ = true;
+  ReadOptions options = options_;
+  options.batch_size = batch_size;
+  MetaCaptureSink capture(&sink, &meta_);
+  CsvReadResult result = read_csv_trace(is_, capture, options);
+  summary_ = ReadSummary{result.status,          result.records_dropped,
+                         result.records_repaired, result.truncated,
+                         /*checksum_ok=*/true,    std::move(result.quarantine)};
+  return summary_.status;
+}
+
 }  // namespace wildenergy::trace

@@ -18,6 +18,7 @@
 
 #include "trace/read_policy.h"
 #include "trace/sink.h"
+#include "trace/trace_source.h"
 #include "util/status.h"
 
 namespace wildenergy::trace {
@@ -60,5 +61,32 @@ struct CsvReadResult {
 /// "ingest.records_dropped" / "ingest.records_repaired".
 [[nodiscard]] CsvReadResult read_csv_trace(std::istream& is, TraceSink& sink,
                                            const ReadOptions& options = {});
+
+/// TraceSource over a CSV stream: the reader behind StudyPipeline / CLI
+/// --replay, lifted onto the one producer API. Forward-only — no per-user
+/// random access — so the sharded engines run it through their serial path.
+/// A second emit() rewinds seekable streams and fails cleanly on pipes.
+class CsvTraceSource final : public TraceSource {
+ public:
+  /// `options.batch_size` is overridden per emit() by the caller's
+  /// batch_size; the other ReadOptions fields (policy, quarantine cap) stick.
+  explicit CsvTraceSource(std::istream& is, ReadOptions options = {})
+      : is_(is), options_(options) {}
+
+  util::Status emit(TraceSink& sink, std::size_t batch_size) override;
+  /// Zero-valued until the first emit() has passed the header line.
+  [[nodiscard]] StudyMeta meta() const override { return meta_; }
+
+  /// Degradation detail of the last emit() (drops, repairs, quarantine) in
+  /// the format-independent shape shared with the binary reader.
+  [[nodiscard]] const ReadSummary& summary() const { return summary_; }
+
+ private:
+  std::istream& is_;
+  ReadOptions options_;
+  StudyMeta meta_{};
+  ReadSummary summary_;
+  bool consumed_ = false;
+};
 
 }  // namespace wildenergy::trace

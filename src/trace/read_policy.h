@@ -14,6 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "trace/batch.h"
+#include "util/status.h"
+
 namespace wildenergy::trace {
 
 enum class ReadPolicy : std::uint8_t {
@@ -45,7 +48,10 @@ struct ReadOptions {
   /// When > 0, the readers deliver parsed events to the sink as EventBatches
   /// of this many events (trace/batch.h) instead of per-record callbacks.
   /// Outputs are bit-identical either way; batching only amortizes dispatch.
-  std::size_t batch_size = 0;
+  /// Shares trace::kDefaultBatchSize with core::PipelineOptions::batch_size —
+  /// one documented default; CLI --batch-size threads through both. 0 streams
+  /// per record.
+  std::size_t batch_size = kDefaultBatchSize;
 };
 
 /// One rejected (or repaired) record, kept verbatim for diagnosis.
@@ -53,6 +59,23 @@ struct QuarantinedRecord {
   std::uint64_t location = 0;  ///< 1-based line (CSV) or byte offset (binary)
   std::string reason;
   std::string snippet;  ///< truncated echo of the offending input
+};
+
+/// Format-independent summary of one degraded read, so consumers (the CLI's
+/// analyze path, the sweep engine) report CSV and binary sources through one
+/// code path instead of one block per CsvReadResult / BinaryReadResult.
+struct ReadSummary {
+  util::Status status;
+  std::uint64_t records_dropped = 0;
+  std::uint64_t records_repaired = 0;
+  bool truncated = false;
+  bool checksum_ok = true;  ///< binary only; CSV reads always report true
+  std::vector<QuarantinedRecord> quarantine;
+
+  [[nodiscard]] bool ok() const { return status.ok(); }
+  [[nodiscard]] bool degraded() const {
+    return records_dropped > 0 || records_repaired > 0 || truncated || !checksum_ok;
+  }
 };
 
 }  // namespace wildenergy::trace

@@ -1,0 +1,95 @@
+// TraceSource: the one producer API every trace consumer plugs into.
+//
+// Before this interface the system had three ad-hoc entry points into the
+// sink pipeline — sim::StudyGenerator::run for synthetic studies,
+// read_csv_trace / read_binary_trace for replayed files — and every consumer
+// (StudyPipeline, the CLI's analyze path, benches) hard-coded which one it
+// spoke to. A TraceSource is anything that can emit the canonical event
+// stream (study bracket, users in order, time-ordered events per user) into
+// a TraceSink; StudyPipeline, the CLI and the sweep engine consume the
+// interface and no longer care whether events come from the simulator, a
+// file, or an in-memory TraceStore.
+//
+// Contract:
+//   - emit() streams the whole study, including the study/user brackets.
+//     With batch_size > 0 events are delivered via TraceSink::on_batch in
+//     spans of that many events; 0 streams per record. Outputs downstream
+//     are bit-identical for every batch_size (trace/batch.h).
+//   - meta() is the study header. Sources that only learn it from the stream
+//     itself (the file readers) return a zero StudyMeta until their first
+//     emit() has passed the header.
+//   - supports_user_access() advertises random access: emit_user() streams a
+//     single user's bracketed stream, and users() lists the user ids in
+//     stream order. The sharded engines (core/pipeline.cpp, core/sweep.cpp)
+//     require it; forward-only stream sources leave it false and are run
+//     through the serial path instead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/sink.h"
+#include "util/status.h"
+
+namespace wildenergy::trace {
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Stream the whole study into `sink`. Returns non-OK when the source
+  /// itself failed (unreadable file, corrupt stream under a strict read
+  /// policy); sink-side exceptions propagate unchanged.
+  virtual util::Status emit(TraceSink& sink, std::size_t batch_size) = 0;
+
+  /// Study header. Zero-valued for stream sources before their first emit().
+  [[nodiscard]] virtual StudyMeta meta() const = 0;
+
+  /// True when emit_user()/users() work without a full pass. Required by the
+  /// sharded engines; stream readers return false.
+  [[nodiscard]] virtual bool supports_user_access() const { return false; }
+
+  /// Stream one user's events, still bracketed by study begin/end.
+  virtual util::Status emit_user(UserId /*user*/, TraceSink& /*sink*/,
+                                 std::size_t /*batch_size*/) {
+    return util::Status::failed_precondition(
+        "trace source does not support per-user access");
+  }
+
+  /// User ids in stream order. Default: 0 .. meta().num_users - 1, which is
+  /// what the generator and generator-derived stores produce.
+  [[nodiscard]] virtual std::vector<UserId> users() const {
+    std::vector<UserId> ids;
+    ids.reserve(meta().num_users);
+    for (UserId u = 0; u < meta().num_users; ++u) ids.push_back(u);
+    return ids;
+  }
+};
+
+/// Forwarding decorator that remembers the StudyMeta passing through. The
+/// file readers use it so their meta() works after the first emit without
+/// re-parsing the header.
+class MetaCaptureSink final : public TraceSink {
+ public:
+  MetaCaptureSink(TraceSink* downstream, StudyMeta* out)
+      : downstream_(downstream), out_(out) {}
+
+  void on_study_begin(const StudyMeta& meta) override {
+    *out_ = meta;
+    downstream_->on_study_begin(meta);
+  }
+  void on_user_begin(UserId user) override { downstream_->on_user_begin(user); }
+  void on_packet(const PacketRecord& packet) override { downstream_->on_packet(packet); }
+  void on_transition(const StateTransition& transition) override {
+    downstream_->on_transition(transition);
+  }
+  void on_user_end(UserId user) override { downstream_->on_user_end(user); }
+  void on_study_end() override { downstream_->on_study_end(); }
+  void on_batch(const EventBatch& batch) override { downstream_->on_batch(batch); }
+
+ private:
+  TraceSink* downstream_;
+  StudyMeta* out_;
+};
+
+}  // namespace wildenergy::trace

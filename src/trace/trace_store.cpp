@@ -1,0 +1,130 @@
+#include "trace/trace_store.h"
+
+#include <algorithm>
+#include <string>
+
+namespace wildenergy::trace {
+
+void TraceStore::on_study_begin(const StudyMeta& meta) {
+  clear();
+  meta_ = meta;
+}
+
+void TraceStore::on_user_begin(UserId user) {
+  users_.emplace_back();
+  users_.back().user = user;
+  index_[user] = users_.size() - 1;
+  current_ = &users_.back();
+}
+
+void TraceStore::on_packet(const PacketRecord& packet) {
+  if (current_ != nullptr) current_->add(packet);
+}
+
+void TraceStore::on_transition(const StateTransition& transition) {
+  if (current_ != nullptr) current_->add(transition);
+}
+
+void TraceStore::on_user_end(UserId /*user*/) { current_ = nullptr; }
+
+void TraceStore::on_study_end() { current_ = nullptr; }
+
+void TraceStore::on_batch(const EventBatch& batch) {
+  if (current_ == nullptr) return;
+  // Wholesale column append — no per-event dispatch on the capture path.
+  current_->packets.insert(current_->packets.end(), batch.packets.begin(), batch.packets.end());
+  current_->transitions.insert(current_->transitions.end(), batch.transitions.begin(),
+                               batch.transitions.end());
+  current_->order.insert(current_->order.end(), batch.order.begin(), batch.order.end());
+}
+
+util::Status TraceStore::capture(TraceSource& source, std::size_t batch_size) {
+  return source.emit(*this, batch_size);
+}
+
+void TraceStore::replay_user(const EventBatch& events, TraceSink& sink,
+                             std::size_t batch_size) const {
+  sink.on_user_begin(events.user);
+  if (batch_size == 0) {
+    replay(events, sink);  // the per-record stream, in interleave order
+  } else if (events.size() <= batch_size) {
+    if (!events.empty()) sink.on_batch(events);  // whole user in one span, zero copies
+  } else {
+    // Slice the columns into batch_size spans, preserving the interleave.
+    EventBatch scratch;
+    scratch.user = events.user;
+    scratch.reserve(batch_size);
+    std::size_t pi = 0;
+    std::size_t ti = 0;
+    for (const EventKind kind : events.order) {
+      if (kind == EventKind::kPacket) {
+        scratch.add(events.packets[pi++]);
+      } else {
+        scratch.add(events.transitions[ti++]);
+      }
+      if (scratch.size() >= batch_size) {
+        sink.on_batch(scratch);
+        scratch.clear();
+      }
+    }
+    if (!scratch.empty()) sink.on_batch(scratch);
+  }
+  sink.on_user_end(events.user);
+}
+
+util::Status TraceStore::emit(TraceSink& sink, std::size_t batch_size) {
+  sink.on_study_begin(meta_);
+  for (const EventBatch& events : users_) replay_user(events, sink, batch_size);
+  sink.on_study_end();
+  return util::Status::ok_status();
+}
+
+util::Status TraceStore::emit_user(UserId user, TraceSink& sink, std::size_t batch_size) {
+  const auto it = index_.find(user);
+  if (it == index_.end()) {
+    return util::Status::not_found("trace store holds no user " + std::to_string(user));
+  }
+  sink.on_study_begin(meta_);
+  replay_user(users_[it->second], sink, batch_size);
+  sink.on_study_end();
+  return util::Status::ok_status();
+}
+
+std::vector<UserId> TraceStore::users() const {
+  std::vector<UserId> ids;
+  ids.reserve(users_.size());
+  for (const EventBatch& events : users_) ids.push_back(events.user);
+  return ids;
+}
+
+std::uint64_t TraceStore::event_count() const {
+  std::uint64_t n = 0;
+  for (const EventBatch& events : users_) n += events.size();
+  return n;
+}
+
+std::uint64_t TraceStore::memory_bytes() const {
+  std::uint64_t bytes = sizeof(*this);
+  for (const EventBatch& events : users_) {
+    bytes += events.packets.capacity() * sizeof(PacketRecord);
+    bytes += events.transitions.capacity() * sizeof(StateTransition);
+    bytes += events.order.capacity() * sizeof(EventKind);
+    bytes += sizeof(EventBatch);
+  }
+  bytes += index_.size() * (sizeof(UserId) + sizeof(std::size_t) + 3 * sizeof(void*));
+  return bytes;
+}
+
+const EventBatch* TraceStore::find_user(UserId user) const {
+  const auto it = index_.find(user);
+  return it == index_.end() ? nullptr : &users_[it->second];
+}
+
+void TraceStore::clear() {
+  meta_ = {};
+  users_.clear();
+  index_.clear();
+  current_ = nullptr;
+}
+
+}  // namespace wildenergy::trace

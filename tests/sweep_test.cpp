@@ -1,0 +1,622 @@
+// Scenario sweep engine (core/sweep.h) and the trace layer behind it
+// (trace/trace_source.h, trace/trace_store.h).
+//
+// The hard requirements under test:
+//   - TraceSource conformance: the generator, both file readers, and the
+//     TraceStore emit byte-identical canonical streams for the same study.
+//   - Store replay == live generation: a pipeline fed from a captured store
+//     produces EXPECT_EQ-identical ledgers, figures, and analyses.
+//   - A K-scenario sweep == K independent StudyPipeline runs, scenario by
+//     scenario, for every thread count.
+//   - Retry-then-skip semantics per scenario under scripted shard faults.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/case_studies.h"
+#include "analysis/figures.h"
+#include "analysis/longitudinal.h"
+#include "analysis/persistence.h"
+#include "analysis/time_since_fg.h"
+#include "analysis/waste.h"
+#include "core/pipeline.h"
+#include "core/policy.h"
+#include "core/sweep.h"
+#include "energy/attributor.h"
+#include "energy/ledger.h"
+#include "fault/plan.h"
+#include "radio/burst_machine.h"
+#include "sim/generator.h"
+#include "sim/study_config.h"
+#include "trace/batch.h"
+#include "trace/binary_io.h"
+#include "trace/csv_io.h"
+#include "trace/sink.h"
+#include "trace/trace_source.h"
+#include "trace/trace_store.h"
+#include "util/time.h"
+
+namespace wildenergy {
+namespace {
+
+// ------------------------------------------------------- stream comparison
+
+void expect_identical_streams(const trace::TraceCollector& a, const trace::TraceCollector& b) {
+  EXPECT_EQ(a.meta().num_users, b.meta().num_users);
+  EXPECT_EQ(a.meta().num_apps, b.meta().num_apps);
+  EXPECT_EQ(a.meta().study_begin.us, b.meta().study_begin.us);
+  EXPECT_EQ(a.meta().study_end.us, b.meta().study_end.us);
+  ASSERT_EQ(a.packets().size(), b.packets().size());
+  for (std::size_t i = 0; i < a.packets().size(); ++i) {
+    const trace::PacketRecord& pa = a.packets()[i];
+    const trace::PacketRecord& pb = b.packets()[i];
+    ASSERT_EQ(pa.time.us, pb.time.us);
+    ASSERT_EQ(pa.user, pb.user);
+    ASSERT_EQ(pa.app, pb.app);
+    ASSERT_EQ(pa.flow, pb.flow);
+    ASSERT_EQ(pa.bytes, pb.bytes);
+    ASSERT_EQ(pa.direction, pb.direction);
+    ASSERT_EQ(pa.interface, pb.interface);
+    ASSERT_EQ(pa.state, pb.state);
+    ASSERT_EQ(pa.joules, pb.joules);
+  }
+  ASSERT_EQ(a.transitions().size(), b.transitions().size());
+  for (std::size_t i = 0; i < a.transitions().size(); ++i) {
+    const trace::StateTransition& ta = a.transitions()[i];
+    const trace::StateTransition& tb = b.transitions()[i];
+    ASSERT_EQ(ta.time.us, tb.time.us);
+    ASSERT_EQ(ta.user, tb.user);
+    ASSERT_EQ(ta.app, tb.app);
+    ASSERT_EQ(ta.from, tb.from);
+    ASSERT_EQ(ta.to, tb.to);
+  }
+}
+
+// --------------------------------------------------- output comparison kit
+// Same assertions as parallel_pipeline_test.cpp: EXPECT_EQ everywhere, never
+// NEAR — replay must be bit-identical, not merely close.
+
+void expect_identical_ledgers(const energy::EnergyLedger& a, const energy::EnergyLedger& b) {
+  EXPECT_EQ(a.total_joules(), b.total_joules());
+  EXPECT_EQ(a.total_bytes(), b.total_bytes());
+  EXPECT_EQ(a.total_packets(), b.total_packets());
+  const auto a_states = a.state_totals();
+  const auto b_states = b.state_totals();
+  for (std::size_t s = 0; s < a_states.size(); ++s) EXPECT_EQ(a_states[s], b_states[s]);
+  ASSERT_EQ(a.accounts().size(), b.accounts().size());
+  auto bit = b.accounts().begin();
+  for (const auto& [key, acc] : a.accounts()) {
+    ASSERT_EQ(key, bit->first);
+    const auto& other = bit->second;
+    EXPECT_EQ(acc.joules, other.joules);
+    EXPECT_EQ(acc.bytes, other.bytes);
+    EXPECT_EQ(acc.packets, other.packets);
+    for (std::size_t s = 0; s < acc.state_joules.size(); ++s) {
+      EXPECT_EQ(acc.state_joules[s], other.state_joules[s]);
+    }
+    ASSERT_EQ(acc.days.size(), other.days.size());
+    for (std::size_t d = 0; d < acc.days.size(); ++d) {
+      EXPECT_EQ(acc.days[d].fg_joules, other.days[d].fg_joules);
+      EXPECT_EQ(acc.days[d].bg_joules, other.days[d].bg_joules);
+      EXPECT_EQ(acc.days[d].fg_bytes, other.days[d].fg_bytes);
+      EXPECT_EQ(acc.days[d].bg_bytes, other.days[d].bg_bytes);
+    }
+    ++bit;
+  }
+}
+
+void expect_identical_figures(const energy::EnergyLedger& a, const energy::EnergyLedger& b) {
+  const auto pop_a = analysis::top10_popularity(a);
+  const auto pop_b = analysis::top10_popularity(b);
+  ASSERT_EQ(pop_a.size(), pop_b.size());
+  for (std::size_t i = 0; i < pop_a.size(); ++i) {
+    EXPECT_EQ(pop_a[i].app, pop_b[i].app);
+    EXPECT_EQ(pop_a[i].users_with_app_in_top10, pop_b[i].users_with_app_in_top10);
+  }
+  for (const bool by_energy : {false, true}) {
+    const auto cons_a =
+        by_energy ? analysis::top_consumers_by_energy(a) : analysis::top_consumers_by_data(a);
+    const auto cons_b =
+        by_energy ? analysis::top_consumers_by_energy(b) : analysis::top_consumers_by_data(b);
+    ASSERT_EQ(cons_a.size(), cons_b.size());
+    for (std::size_t i = 0; i < cons_a.size(); ++i) {
+      EXPECT_EQ(cons_a[i].app, cons_b[i].app);
+      EXPECT_EQ(cons_a[i].bytes, cons_b[i].bytes);
+      EXPECT_EQ(cons_a[i].joules, cons_b[i].joules);
+    }
+  }
+  const auto brk_a = analysis::overall_state_breakdown(a);
+  const auto brk_b = analysis::overall_state_breakdown(b);
+  EXPECT_EQ(brk_a.total_joules, brk_b.total_joules);
+  for (std::size_t s = 0; s < brk_a.fraction.size(); ++s) {
+    EXPECT_EQ(brk_a.fraction[s], brk_b.fraction[s]);
+  }
+}
+
+/// Every paper analysis, so sweep comparisons cover shardable sinks
+/// (persistence, time-since-fg, waste, cases) AND the per-scenario serial
+/// replay fallback (longitudinal is not shardable).
+struct AnalysisSet {
+  std::vector<trace::AppId> tracked{0, 1, 2, 3, 4};
+  analysis::PersistenceAnalysis persistence;
+  analysis::TimeSinceForegroundAnalysis time_since_fg;
+  analysis::WastedUpdateAnalysis waste{tracked};
+  analysis::CaseStudyAnalysis cases{tracked};
+  analysis::LongitudinalAnalysis longitudinal{tracked};
+
+  void attach(core::StudyPipeline& pipeline) {
+    pipeline.add_analysis("persistence", &persistence);
+    pipeline.add_analysis("time_since_fg", &time_since_fg);
+    pipeline.add_analysis("waste", &waste);
+    pipeline.add_analysis("cases", &cases);
+    pipeline.add_analysis("longitudinal", &longitudinal);
+  }
+
+  void attach(core::Scenario& scenario) {
+    scenario.analyses.emplace_back("persistence", &persistence);
+    scenario.analyses.emplace_back("time_since_fg", &time_since_fg);
+    scenario.analyses.emplace_back("waste", &waste);
+    scenario.analyses.emplace_back("cases", &cases);
+    scenario.analyses.emplace_back("longitudinal", &longitudinal);
+  }
+};
+
+void expect_identical_analyses(AnalysisSet& a, AnalysisSet& b) {
+  for (const trace::AppId app : a.tracked) {
+    auto sa = a.persistence.durations(app).sorted_samples();
+    auto sb = b.persistence.durations(app).sorted_samples();
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
+    const auto wa = a.waste.result(app);
+    const auto wb = b.waste.result(app);
+    EXPECT_EQ(wa.updates, wb.updates);
+    EXPECT_EQ(wa.wasted_updates, wb.wasted_updates);
+    EXPECT_EQ(wa.joules, wb.joules);
+    EXPECT_EQ(wa.wasted_joules, wb.wasted_joules);
+    const auto ca = a.cases.result(app);
+    const auto cb = b.cases.result(app);
+    EXPECT_EQ(ca.joules_total, cb.joules_total);
+    EXPECT_EQ(ca.bytes_total, cb.bytes_total);
+    EXPECT_EQ(ca.flows, cb.flows);
+    EXPECT_EQ(ca.days_active, cb.days_active);
+    EXPECT_EQ(ca.early_period_s, cb.early_period_s);
+    EXPECT_EQ(ca.late_period_s, cb.late_period_s);
+    const auto ea = a.longitudinal.era_comparison(app);
+    const auto eb = b.longitudinal.era_comparison(app);
+    EXPECT_EQ(ea.early_uj_per_byte, eb.early_uj_per_byte);
+    EXPECT_EQ(ea.late_uj_per_byte, eb.late_uj_per_byte);
+  }
+  const auto ha = a.time_since_fg.bytes_histogram().masses();
+  const auto hb = b.time_since_fg.bytes_histogram().masses();
+  ASSERT_EQ(ha.size(), hb.size());
+  for (std::size_t i = 0; i < ha.size(); ++i) EXPECT_EQ(ha[i], hb[i]);
+  EXPECT_EQ(a.time_since_fg.fraction_of_apps_frontloaded(),
+            b.time_since_fg.fraction_of_apps_frontloaded());
+  ASSERT_EQ(a.longitudinal.overall().weeks(), b.longitudinal.overall().weeks());
+  for (std::size_t w = 0; w < a.longitudinal.overall().weeks(); ++w) {
+    EXPECT_EQ(a.longitudinal.overall().fg_joules[w], b.longitudinal.overall().fg_joules[w]);
+    EXPECT_EQ(a.longitudinal.overall().bg_joules[w], b.longitudinal.overall().bg_joules[w]);
+  }
+}
+
+// ----------------------------------------------- TraceSource conformance
+
+TEST(TraceSourceConformance, GeneratorStoreAndReadersEmitIdenticalStreams) {
+  sim::StudyGenerator generator{sim::small_study(/*seed=*/3)};
+
+  trace::TraceCollector baseline;
+  ASSERT_TRUE(generator.emit(baseline, /*batch_size=*/0).ok());
+  ASSERT_GT(baseline.packets().size(), 0u);
+  EXPECT_TRUE(generator.supports_user_access());
+  const auto ids = generator.users();
+  ASSERT_EQ(ids.size(), generator.config().num_users);
+  for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+
+  // TraceStore: capture once, replay identically.
+  trace::TraceStore store;
+  ASSERT_TRUE(store.capture(generator).ok());
+  EXPECT_TRUE(store.supports_user_access());
+  EXPECT_EQ(store.num_users(), generator.config().num_users);
+  EXPECT_EQ(store.event_count(), baseline.packets().size() + baseline.transitions().size());
+  EXPECT_GT(store.memory_bytes(), 0u);
+  trace::TraceCollector from_store;
+  ASSERT_TRUE(store.emit(from_store, trace::kDefaultBatchSize).ok());
+  expect_identical_streams(baseline, from_store);
+
+  // CSV reader: forward-only source over a serialized copy; rewindable.
+  std::ostringstream csv_text;
+  {
+    trace::CsvTraceWriter writer{csv_text};
+    generator.run(writer);
+  }
+  std::istringstream csv_in{csv_text.str()};
+  trace::CsvTraceSource csv_source{csv_in};
+  EXPECT_FALSE(csv_source.supports_user_access());
+  EXPECT_EQ(csv_source.meta().num_users, 0u);  // header not seen yet
+  trace::TraceCollector from_csv;
+  ASSERT_TRUE(csv_source.emit(from_csv, /*batch_size=*/7).ok());
+  EXPECT_EQ(csv_source.meta().num_users, generator.config().num_users);
+  EXPECT_FALSE(csv_source.summary().degraded());
+  expect_identical_streams(baseline, from_csv);
+  trace::TraceCollector csv_again;
+  ASSERT_TRUE(csv_source.emit(csv_again, /*batch_size=*/0).ok());  // seekable: rewinds
+  expect_identical_streams(baseline, csv_again);
+
+  // Binary reader: same contract, same stream.
+  std::ostringstream bin_text;
+  {
+    trace::BinaryTraceWriter writer{bin_text};
+    generator.run(writer);
+  }
+  std::istringstream bin_in{bin_text.str()};
+  trace::BinaryTraceSource bin_source{bin_in};
+  EXPECT_FALSE(bin_source.supports_user_access());
+  trace::TraceCollector from_bin;
+  ASSERT_TRUE(bin_source.emit(from_bin, trace::kDefaultBatchSize).ok());
+  EXPECT_EQ(bin_source.meta().num_users, generator.config().num_users);
+  EXPECT_TRUE(bin_source.summary().checksum_ok);
+  expect_identical_streams(baseline, from_bin);
+}
+
+TEST(TraceSourceConformance, EmitUserStreamsOneBracketedUser) {
+  sim::StudyGenerator generator{sim::small_study(/*seed=*/4)};
+  trace::TraceStore store;
+  ASSERT_TRUE(store.capture(generator).ok());
+
+  for (const trace::UserId user : store.users()) {
+    trace::TraceCollector from_generator;
+    trace::TraceCollector from_store;
+    ASSERT_TRUE(generator.emit_user(user, from_generator, /*batch_size=*/0).ok());
+    ASSERT_TRUE(store.emit_user(user, from_store, /*batch_size=*/5).ok());
+    expect_identical_streams(from_generator, from_store);
+    for (const auto& p : from_store.packets()) EXPECT_EQ(p.user, user);
+    for (const auto& t : from_store.transitions()) EXPECT_EQ(t.user, user);
+  }
+  trace::TraceCollector unused;
+  const util::Status missing = store.emit_user(/*user=*/9999, unused, 0);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.code(), util::StatusCode::kNotFound);
+}
+
+TEST(TraceStore, ReplayIsBatchSizeInvariant) {
+  sim::StudyGenerator generator{sim::small_study(/*seed=*/5)};
+  trace::TraceStore store;
+  ASSERT_TRUE(store.capture(generator, /*batch_size=*/64).ok());
+
+  trace::TraceCollector per_record;
+  ASSERT_TRUE(store.emit(per_record, 0).ok());
+  for (const std::size_t batch_size : {std::size_t{1}, std::size_t{3},
+                                       trace::kDefaultBatchSize, std::size_t{1u << 20}}) {
+    trace::TraceCollector batched;
+    ASSERT_TRUE(store.emit(batched, batch_size).ok());
+    expect_identical_streams(per_record, batched);
+  }
+}
+
+TEST(TraceStore, BatchedAndPerRecordCaptureProduceTheSameStore) {
+  sim::StudyGenerator generator{sim::small_study(/*seed=*/6)};
+  trace::TraceStore batched;
+  trace::TraceStore per_record;
+  ASSERT_TRUE(batched.capture(generator, /*batch_size=*/33).ok());
+  ASSERT_TRUE(per_record.capture(generator, /*batch_size=*/0).ok());
+  ASSERT_EQ(batched.num_users(), per_record.num_users());
+  EXPECT_EQ(batched.event_count(), per_record.event_count());
+  trace::TraceCollector a;
+  trace::TraceCollector b;
+  ASSERT_TRUE(batched.emit(a, 0).ok());
+  ASSERT_TRUE(per_record.emit(b, 0).ok());
+  expect_identical_streams(a, b);
+}
+
+// ----------------------------------------- store replay == live generation
+
+TEST(TraceStore, PipelineOverStoreMatchesLiveGeneration) {
+  const sim::StudyConfig config = sim::small_study(/*seed=*/7);
+
+  core::StudyPipeline live{config};
+  AnalysisSet live_set;
+  live_set.attach(live);
+  const auto live_stats = live.run();
+  ASSERT_TRUE(live_stats.ok());
+  ASSERT_GT(live.ledger().total_joules(), 0.0);
+
+  sim::StudyGenerator generator{config};
+  trace::TraceStore store;
+  ASSERT_TRUE(store.capture(generator).ok());
+  core::StudyPipeline replayed{&store};
+  AnalysisSet replay_set;
+  replay_set.attach(replayed);
+  const auto replay_stats = replayed.run();
+  ASSERT_TRUE(replay_stats.ok());
+  EXPECT_EQ(replay_stats->users, live_stats->users);
+  EXPECT_EQ(replay_stats->packets, live_stats->packets);
+
+  expect_identical_ledgers(live.ledger(), replayed.ledger());
+  expect_identical_figures(live.ledger(), replayed.ledger());
+  expect_identical_analyses(live_set, replay_set);
+}
+
+TEST(TraceStore, ShardedPipelineOverStoreMatchesLiveGeneration) {
+  const sim::StudyConfig config = sim::small_study(/*seed=*/8);
+
+  core::StudyPipeline live{config};
+  live.run();
+
+  sim::StudyGenerator generator{config};
+  trace::TraceStore store;
+  ASSERT_TRUE(store.capture(generator).ok());
+  core::PipelineOptions options;
+  options.num_threads = 4;
+  core::StudyPipeline replayed{&store, options};
+  const auto stats = replayed.run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_threads, 4u);
+  expect_identical_ledgers(live.ledger(), replayed.ledger());
+}
+
+// Forward-only reader sources run the serial engine even when threads are
+// requested, and still match live generation.
+TEST(TraceSourcePipeline, CsvReaderSourceRunsSerialAndMatches) {
+  const sim::StudyConfig config = sim::small_study(/*seed=*/9);
+  core::StudyPipeline live{config};
+  live.run();
+
+  std::ostringstream csv_text;
+  {
+    trace::CsvTraceWriter writer{csv_text};
+    sim::StudyGenerator generator{config};
+    generator.run(writer);
+  }
+  std::istringstream csv_in{csv_text.str()};
+  trace::CsvTraceSource source{csv_in};
+  core::PipelineOptions options;
+  options.num_threads = 8;  // ignored: the reader is forward-only
+  core::StudyPipeline replayed{&source, options};
+  const auto stats = replayed.run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_threads, 1u);
+  expect_identical_ledgers(live.ledger(), replayed.ledger());
+}
+
+// --------------------------------- sweep == K independent pipeline runs
+
+struct ScenarioSpec {
+  std::string name;
+  core::PolicyFactory policy;
+  energy::RadioModelFactory radio_factory;
+  energy::TailPolicy tail_policy = energy::TailPolicy::kLastPacket;
+};
+
+std::vector<ScenarioSpec> test_scenarios() {
+  std::vector<ScenarioSpec> specs;
+  specs.push_back({"baseline", {}, {}, energy::TailPolicy::kLastPacket});
+  specs.push_back({"kill-3d",
+                   [](trace::TraceSink* d) {
+                     return std::make_unique<core::KillAfterIdlePolicy>(d, days(3.0));
+                   },
+                   {},
+                   energy::TailPolicy::kLastPacket});
+  specs.push_back({"doze", [](trace::TraceSink* d) { return std::make_unique<core::DozeLikePolicy>(d); },
+                   {}, energy::TailPolicy::kLastPacket});
+  specs.push_back({"fast-dormancy-proportional", {}, radio::make_lte_fast_dormancy_model,
+                   energy::TailPolicy::kProportional});
+  return specs;
+}
+
+TEST(SweepEngine, MatchesIndependentPipelineRunsPerScenario) {
+  const sim::StudyConfig config = sim::small_study(/*seed=*/13);
+  const auto specs = test_scenarios();
+
+  // K independent pipelines, each regenerating the study from scratch.
+  std::vector<std::unique_ptr<core::StudyPipeline>> pipelines;
+  std::vector<std::unique_ptr<AnalysisSet>> pipeline_sets;
+  for (const auto& spec : specs) {
+    core::PipelineOptions options;
+    options.radio_factory = spec.radio_factory;
+    options.tail_policy = spec.tail_policy;
+    auto pipeline = std::make_unique<core::StudyPipeline>(config, options);
+    if (spec.policy) pipeline->set_policy(spec.policy);
+    pipeline_sets.push_back(std::make_unique<AnalysisSet>());
+    pipeline_sets.back()->attach(*pipeline);
+    ASSERT_TRUE(pipeline->run().ok());
+    pipelines.push_back(std::move(pipeline));
+  }
+
+  // One sweep: simulate once, replay K times.
+  sim::StudyGenerator generator{config};
+  core::SweepEngine sweep{&generator};
+  std::vector<std::unique_ptr<AnalysisSet>> sweep_sets;
+  for (const auto& spec : specs) {
+    core::Scenario scenario;
+    scenario.name = spec.name;
+    scenario.policy = spec.policy;
+    scenario.radio_factory = spec.radio_factory;
+    scenario.tail_policy = spec.tail_policy;
+    sweep_sets.push_back(std::make_unique<AnalysisSet>());
+    sweep_sets.back()->attach(scenario);
+    sweep.add_scenario(std::move(scenario));
+  }
+  const auto stats = sweep.run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->users, config.num_users);
+  EXPECT_GT(sweep.store().event_count(), 0u);
+  ASSERT_EQ(sweep.results().size(), specs.size());
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE(specs[i].name);
+    const core::ScenarioResult* result = sweep.result(specs[i].name);
+    ASSERT_NE(result, nullptr);
+    EXPECT_TRUE(result->status.ok());
+    expect_identical_ledgers(pipelines[i]->ledger(), result->ledger);
+    expect_identical_figures(pipelines[i]->ledger(), result->ledger);
+    expect_identical_analyses(*pipeline_sets[i], *sweep_sets[i]);
+    // Per-scenario RunStats counters match the standalone run too.
+    const obs::RunStats& expect = pipelines[i]->last_run_stats();
+    EXPECT_EQ(result->stats.packets, expect.packets);
+    EXPECT_EQ(result->stats.bytes, expect.bytes);
+    EXPECT_EQ(result->stats.joules, expect.joules);
+    EXPECT_EQ(result->stats.transitions, expect.transitions);
+    EXPECT_EQ(result->stats.tail_attributions, expect.tail_attributions);
+    EXPECT_EQ(result->stats.radio_bursts, expect.radio_bursts);
+    EXPECT_EQ(result->stats.radio_promotions, expect.radio_promotions);
+  }
+}
+
+TEST(SweepEngine, ThreadCountsProduceBitIdenticalScenarios) {
+  const sim::StudyConfig config = sim::small_study(/*seed=*/17);
+  const auto specs = test_scenarios();
+
+  // Shared store captured once; each engine replays it (TraceStore ctor).
+  sim::StudyGenerator generator{config};
+  trace::TraceStore store;
+  ASSERT_TRUE(store.capture(generator).ok());
+
+  std::vector<energy::EnergyLedger> reference;
+  std::unique_ptr<std::vector<std::unique_ptr<AnalysisSet>>> reference_sets;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(threads);
+    core::SweepOptions options;
+    options.num_threads = threads;
+    core::SweepEngine sweep{&store, options};
+    auto sets = std::make_unique<std::vector<std::unique_ptr<AnalysisSet>>>();
+    for (const auto& spec : specs) {
+      core::Scenario scenario;
+      scenario.name = spec.name;
+      scenario.policy = spec.policy;
+      scenario.radio_factory = spec.radio_factory;
+      scenario.tail_policy = spec.tail_policy;
+      sets->push_back(std::make_unique<AnalysisSet>());
+      sets->back()->attach(scenario);
+      sweep.add_scenario(std::move(scenario));
+    }
+    const auto stats = sweep.run();
+    ASSERT_TRUE(stats.ok());
+    ASSERT_EQ(sweep.results().size(), specs.size());
+    if (reference.empty()) {
+      for (const auto& result : sweep.results()) reference.push_back(result.ledger);
+      reference_sets = std::move(sets);
+    } else {
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(specs[i].name);
+        expect_identical_ledgers(reference[i], sweep.results()[i].ledger);
+        expect_identical_analyses(*(*reference_sets)[i], *(*sets)[i]);
+      }
+    }
+  }
+}
+
+// ------------------------------------------- fault handling per scenario
+
+TEST(SweepEngine, RetryRecoversMidScenarioFault) {
+  const sim::StudyConfig config = sim::small_study(/*seed=*/19);
+
+  // Fault-free reference for both scenarios.
+  core::StudyPipeline baseline{config};
+  baseline.run();
+  core::StudyPipeline killed{config};
+  killed.set_policy(
+      [](trace::TraceSink* d) { return std::make_unique<core::KillAfterIdlePolicy>(d, days(3.0)); });
+  killed.run();
+
+  // One transient fault: user 1 throws mid-stream on its first attempt only.
+  // Chains build in scenario order, so scenario 0 absorbs the armed attempt
+  // and its retry (a fresh, disarmed build) must recover bit-identically.
+  fault::FaultPlan plan;
+  plan.add({/*user=*/1, /*nth_callback=*/40, /*fail_attempts=*/1});
+  core::SweepOptions options;
+  options.failure_policy = core::FailurePolicy::kRetryThenSkip;
+  options.fault_plan = &plan;
+  options.num_threads = 2;
+
+  sim::StudyGenerator generator{config};
+  core::SweepEngine sweep{&generator, options};
+  core::Scenario s_baseline;
+  s_baseline.name = "baseline";
+  sweep.add_scenario(std::move(s_baseline));
+  core::Scenario s_killed;
+  s_killed.name = "kill-3d";
+  s_killed.policy = [](trace::TraceSink* d) {
+    return std::make_unique<core::KillAfterIdlePolicy>(d, days(3.0));
+  };
+  sweep.add_scenario(std::move(s_killed));
+  const auto stats = sweep.run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->shard_retries, 1u);
+
+  const core::ScenarioResult* s0 = sweep.result("baseline");
+  const core::ScenarioResult* s1 = sweep.result("kill-3d");
+  ASSERT_NE(s0, nullptr);
+  ASSERT_NE(s1, nullptr);
+  EXPECT_EQ(s0->stats.shard_retries, 1u);
+  EXPECT_TRUE(s0->stats.failed_users.empty());
+  EXPECT_TRUE(s1->stats.failed_users.empty());
+  expect_identical_ledgers(baseline.ledger(), s0->ledger);
+  expect_identical_ledgers(killed.ledger(), s1->ledger);
+}
+
+TEST(SweepEngine, ExhaustedRetriesSkipTheUserInThatScenarioOnly) {
+  const sim::StudyConfig config = sim::small_study(/*seed=*/23);
+  const trace::UserId victim = 2;
+
+  // Reference: a pipeline run with an equivalent always-failing fault skips
+  // the same user (merge over the survivors is the contract from PR 3).
+  fault::FaultPlan pipeline_plan;
+  pipeline_plan.add({victim, /*nth_callback=*/10, /*fail_attempts=*/99});
+  core::PipelineOptions pipeline_options;
+  pipeline_options.failure_policy = core::FailurePolicy::kRetryThenSkip;
+  pipeline_options.fault_plan = &pipeline_plan;
+  core::StudyPipeline reference{config, pipeline_options};
+  const auto reference_stats = reference.run();
+  ASSERT_TRUE(reference_stats.ok());
+  ASSERT_EQ(reference_stats->failed_users, std::vector<std::uint64_t>{victim});
+
+  fault::FaultPlan sweep_plan;
+  sweep_plan.add({victim, /*nth_callback=*/10, /*fail_attempts=*/99});
+  core::SweepOptions options;
+  options.failure_policy = core::FailurePolicy::kRetryThenSkip;
+  options.fault_plan = &sweep_plan;
+  sim::StudyGenerator generator{config};
+  core::SweepEngine sweep{&generator, options};
+  for (const char* name : {"a", "b"}) {
+    core::Scenario scenario;
+    scenario.name = name;
+    sweep.add_scenario(std::move(scenario));
+  }
+  const auto stats = sweep.run();
+  ASSERT_TRUE(stats.ok());
+
+  for (const char* name : {"a", "b"}) {
+    SCOPED_TRACE(name);
+    const core::ScenarioResult* result = sweep.result(name);
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result->stats.failed_users, std::vector<std::uint64_t>{victim});
+    expect_identical_ledgers(reference.ledger(), result->ledger);
+    // The skipped shard is visible in per-shard stats.
+    bool found = false;
+    for (const auto& shard : result->stats.shards) {
+      if (shard.user == victim) {
+        EXPECT_TRUE(shard.skipped);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(SweepEngine, EmptyStoreWithoutBaseFails) {
+  trace::TraceStore store;
+  core::SweepEngine sweep{&store};
+  core::Scenario scenario;
+  scenario.name = "x";
+  sweep.add_scenario(std::move(scenario));
+  const auto stats = sweep.run();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace wildenergy
