@@ -9,12 +9,16 @@
 // machine-readable JSON line per run to that file:
 //   {"bench":...,"users":...,"days":...,"seed":...,"wall_ms":...,
 //    "packets":...,"packets_per_sec":...,"joules":...,"threads":...,
-//    "speedup":...}
+//    "speedup":...,"peak_rss_bytes":...}
 // `threads` is the pipeline's worker count and `speedup` the serial wall time
 // divided by this run's wall time (1 for serial runs by definition).
+// `joules` is omitted (pass no_joules()) for benches with no attribution
+// stage; `peak_rss_bytes` is the process max RSS at report time (monotone
+// over the process life). tools/bench_diff consumes these records.
 #pragma once
 
 #include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -22,6 +26,7 @@
 #include <string>
 
 #include "core/pipeline.h"
+#include "obs/memory.h"
 #include "sim/study_config.h"
 #include "util/table.h"
 
@@ -58,18 +63,27 @@ inline void print_header(const std::string& title, const sim::StudyConfig& cfg) 
             << cfg.total_apps << " apps, seed " << cfg.seed << "\n\n";
 }
 
+/// Sentinel for report_perf's `joules`: the bench has no energy measurement
+/// (e.g. raw-read paths with no attribution stage), so the field is omitted
+/// from the footer and the JSON record instead of logging a bogus zero.
+inline double no_joules() { return std::nan(""); }
+
 /// Perf footer + optional WILDENERGY_BENCH_JSON record for one measured run.
 /// `threads` is the worker count the run used; `speedup` is serial wall time
-/// over this run's wall time (pass 1.0 for serial runs).
+/// over this run's wall time (pass 1.0 for serial runs). Pass no_joules()
+/// when the bench path attributes no energy. Every record also carries the
+/// process peak RSS (obs/memory.h) for the memory trajectory.
 /// `extra_json` (optional) is spliced verbatim into the JSON record as
 /// additional fields, e.g. "\"batch_size\":64".
 inline void report_perf(const std::string& bench, const sim::StudyConfig& cfg, double wall_ms,
                         std::uint64_t packets, double joules, unsigned threads = 1,
                         double speedup = 1.0, const std::string& extra_json = {}) {
   const double pps = wall_ms > 0.0 ? static_cast<double>(packets) / (wall_ms / 1e3) : 0.0;
+  const std::uint64_t peak_rss = obs::peak_rss_bytes();
   std::cout << "\n[perf] " << bench << ": " << fmt(wall_ms, 1) << " ms wall, " << packets
-            << " packets (" << fmt(pps / 1e6, 2) << " Mpkt/s), " << fmt(joules / 1e3, 1)
-            << " kJ";
+            << " packets (" << fmt(pps / 1e6, 2) << " Mpkt/s)";
+  if (!std::isnan(joules)) std::cout << ", " << fmt(joules / 1e3, 1) << " kJ";
+  if (peak_rss > 0) std::cout << ", peak RSS " << fmt_bytes(static_cast<double>(peak_rss));
   if (threads > 1) std::cout << " [" << threads << " threads, " << fmt(speedup, 2) << "x]";
   std::cout << "\n";
   const char* path = std::getenv("WILDENERGY_BENCH_JSON");
@@ -81,17 +95,18 @@ inline void report_perf(const std::string& bench, const sim::StudyConfig& cfg, d
   }
   os << "{\"bench\":\"" << bench << "\",\"users\":" << cfg.num_users
      << ",\"days\":" << cfg.num_days << ",\"seed\":" << cfg.seed << ",\"wall_ms\":" << wall_ms
-     << ",\"packets\":" << packets << ",\"packets_per_sec\":" << pps << ",\"joules\":" << joules
-     << ",\"threads\":" << threads << ",\"speedup\":" << speedup;
+     << ",\"packets\":" << packets << ",\"packets_per_sec\":" << pps;
+  if (!std::isnan(joules)) os << ",\"joules\":" << joules;
+  os << ",\"threads\":" << threads << ",\"speedup\":" << speedup
+     << ",\"peak_rss_bytes\":" << peak_rss;
   if (!extra_json.empty()) os << ',' << extra_json;
   os << "}\n";
 }
 
-/// Convenience overload: read the measurement off the pipeline's RunStats.
+/// Convenience overload: read the measurement off a run's RunStats.
 /// `serial_wall_ms` <= 0 means "this run is the serial baseline".
 inline void report_perf(const std::string& bench, const sim::StudyConfig& cfg,
-                        const core::StudyPipeline& pipeline, double serial_wall_ms = 0.0) {
-  const obs::RunStats& stats = pipeline.last_run_stats();
+                        const obs::RunStats& stats, double serial_wall_ms = 0.0) {
   const double speedup =
       serial_wall_ms > 0.0 && stats.wall_ms > 0.0 ? serial_wall_ms / stats.wall_ms : 1.0;
   report_perf(bench, cfg, stats.wall_ms, stats.packets, stats.joules, stats.num_threads, speedup);

@@ -45,7 +45,6 @@ struct ReadOutcome {
   std::uint64_t dropped = 0;
   std::uint64_t repaired = 0;
   std::uint64_t packets = 0;
-  double joules = 0.0;
 };
 
 ReadOutcome timed_read(const std::string& data, bool binary, trace::ReadPolicy policy) {
@@ -80,7 +79,6 @@ ReadOutcome timed_read(const std::string& data, bool binary, trace::ReadPolicy p
                 : surfaced                           ? "degraded"
                                                      : "clean";
   out.packets = ledger.total_packets();
-  out.joules = ledger.total_joules();
   return out;
 }
 
@@ -142,10 +140,12 @@ int main() {
       table.add_row({c.binary ? "binary" : "csv", c.label, trace::to_string(policy),
                      fmt(out.wall_ms, 1), out.outcome, std::to_string(out.dropped),
                      std::to_string(out.repaired)});
+      // The read path has no attribution stage, so there is no energy total
+      // to report; no_joules() keeps a bogus "joules":0 out of the record.
       benchutil::report_perf(std::string{"fault_injection/read/"} +
                                  (c.binary ? "binary" : "csv") + "-" + c.label + "-" +
                                  trace::to_string(policy),
-                             cfg, out.wall_ms, out.packets, out.joules);
+                             cfg, out.wall_ms, out.packets, benchutil::no_joules());
     }
   }
   std::cout << "\n";
@@ -176,11 +176,15 @@ int main() {
     options.max_shard_retries = 2;
     options.fault_plan = ec.fail_attempts > 0 ? &plan : nullptr;
     core::StudyPipeline pipeline{cfg, options};
-    pipeline.run();
-    const obs::RunStats& stats = pipeline.last_run_stats();
+    const auto result = pipeline.run();
+    if (!result.ok()) {
+      std::cerr << ec.label << ": run failed: " << result.status().message() << "\n";
+      return 1;
+    }
+    const obs::RunStats& stats = result.value();
     std::cout << ec.label << ": retries=" << stats.shard_retries
               << " skipped_users=" << stats.failed_users.size() << "\n";
-    benchutil::report_perf(ec.label, cfg, pipeline);
+    benchutil::report_perf(ec.label, cfg, stats);
   }
   return 0;
 }

@@ -19,7 +19,8 @@ int main() {
   benchutil::print_header("Figure 1: top-10 (by data) membership counts", cfg);
 
   core::StudyPipeline pipeline{cfg};
-  pipeline.run();
+  const auto run_stats = pipeline.run();
+  if (!run_stats.ok()) return 1;
 
   const auto entries = analysis::top10_popularity(pipeline.ledger(), /*min_users=*/2);
   TextTable table({"app", "users with app in top-10", ""});
@@ -39,6 +40,6 @@ int main() {
             << "apps universal to all users' lists: " << diversity.universal_apps
             << "; apps unique to one user's list: " << diversity.single_user_apps
             << "  (paper: a handful universal, otherwise significant diversity)\n";
-  benchutil::report_perf("fig1_popularity", cfg, pipeline);
+  benchutil::report_perf("fig1_popularity", cfg, run_stats.value());
   return 0;
 }

@@ -19,7 +19,8 @@ int main() {
   benchutil::print_header("Figure 2: top data and energy consumers", cfg);
 
   core::StudyPipeline pipeline{cfg};
-  pipeline.run();
+  const auto run_stats = pipeline.run();
+  if (!run_stats.ok()) return 1;
   const auto& ledger = pipeline.ledger();
   const auto& catalog = pipeline.catalog();
 
@@ -54,6 +55,6 @@ int main() {
                " media server cheap per byte) --\n";
   contrast("Email");
   contrast("Media Server");
-  benchutil::report_perf("fig2_top_consumers", cfg, pipeline);
+  benchutil::report_perf("fig2_top_consumers", cfg, run_stats.value());
   return 0;
 }

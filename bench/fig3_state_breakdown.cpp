@@ -20,7 +20,8 @@ int main() {
   benchutil::print_header("Figure 3: energy fraction per Android process state", cfg);
 
   core::StudyPipeline pipeline{cfg};
-  pipeline.run();
+  const auto run_stats = pipeline.run();
+  if (!run_stats.ok()) return 1;
   const auto& catalog = pipeline.catalog();
 
   const std::vector<std::string> apps = {
@@ -45,6 +46,6 @@ int main() {
             << "%  (paper: 84%)   perceptible " << fmt(100 * overall.fraction[2], 1)
             << "%  (paper: 8%)   service " << fmt(100 * overall.fraction[3], 1)
             << "%  (paper: 32%)\n";
-  benchutil::report_perf("fig3_state_breakdown", cfg, pipeline);
+  benchutil::report_perf("fig3_state_breakdown", cfg, run_stats.value());
   return 0;
 }

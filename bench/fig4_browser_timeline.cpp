@@ -24,7 +24,8 @@ int main() {
   core::StudyPipeline pipeline{cfg};
   trace::TraceCollector collector;
   pipeline.add_analysis(&collector);
-  pipeline.run();
+  const auto run_stats = pipeline.run();
+  if (!run_stats.ok()) return 1;
 
   const trace::AppId chrome = pipeline.app("Chrome");
   if (chrome == trace::kNoApp) {
@@ -82,6 +83,6 @@ int main() {
   table.print(std::cout);
   std::cout << "\nbackground bytes in the 10 min after minimize: "
             << fmt_bytes(best->bg_bytes) << "\n";
-  benchutil::report_perf("fig4_browser_timeline", cfg, pipeline);
+  benchutil::report_perf("fig4_browser_timeline", cfg, run_stats.value());
   return 0;
 }

@@ -22,7 +22,8 @@ int main() {
   core::StudyPipeline pipeline{cfg};
   analysis::PersistenceAnalysis persistence;
   pipeline.add_analysis(&persistence);
-  pipeline.run();
+  const auto run_stats = pipeline.run();
+  if (!run_stats.ok()) return 1;
 
   const char* browsers[] = {"Chrome", "Firefox", "Browser"};
   for (const char* name : browsers) {
@@ -48,6 +49,6 @@ int main() {
               << fmt(100 * persistence.fraction_persisting_longer_than(id, days(1.0)), 3)
               << "%  (paper: some Chrome flows persist >1 day)\n\n";
   }
-  benchutil::report_perf("fig5_persistence", cfg, pipeline);
+  benchutil::report_perf("fig5_persistence", cfg, run_stats.value());
   return 0;
 }

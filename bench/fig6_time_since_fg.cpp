@@ -22,7 +22,8 @@ int main() {
   core::StudyPipeline pipeline{cfg};
   analysis::TimeSinceForegroundAnalysis tsf{hours(1.0), sec(30.0)};
   pipeline.add_analysis(&tsf);
-  pipeline.run();
+  const auto run_stats = pipeline.run();
+  if (!run_stats.ok()) return 1;
 
   const auto& hist = tsf.bytes_histogram();
   double max_mass = 0.0;
@@ -48,6 +49,6 @@ int main() {
 
   std::cout << "apps sending >=80% of bg bytes within 60 s: "
             << fmt(100 * tsf.fraction_of_apps_frontloaded(), 1) << "%  (paper: 84%)\n";
-  benchutil::report_perf("fig6_time_since_fg", cfg, pipeline);
+  benchutil::report_perf("fig6_time_since_fg", cfg, run_stats.value());
   return 0;
 }

@@ -251,9 +251,10 @@ int main(int argc, char** argv) {
     core::PipelineOptions options;
     options.num_threads = threads;
     core::StudyPipeline pipeline{cfg, options};
-    pipeline.run();
-    if (threads == 1) serial_wall_ms = pipeline.last_run_stats().wall_ms;
-    benchutil::report_perf("micro_pipeline", cfg, pipeline, serial_wall_ms);
+    const auto result = pipeline.run();
+    if (!result.ok()) return 1;
+    if (threads == 1) serial_wall_ms = result->wall_ms;
+    benchutil::report_perf("micro_pipeline", cfg, result.value(), serial_wall_ms);
   }
 
   // Sink-chain dispatch: per-record vs batched, single thread. Each
@@ -278,8 +279,9 @@ int main(int argc, char** argv) {
       }
       if (batch_size == 0) per_record_ms = best_ms;
       const double speedup = batch_size == 0 || best_ms <= 0.0 ? 1.0 : per_record_ms / best_ms;
+      // Dispatch-only sweep: the counter chain attributes no energy.
       benchutil::report_perf("micro_pipeline.event_path", cfg, best_ms, study.packets,
-                             /*joules=*/0.0, /*threads=*/1, speedup,
+                             benchutil::no_joules(), /*threads=*/1, speedup,
                              "\"batch_size\":" + std::to_string(batch_size));
     }
   }
@@ -294,16 +296,17 @@ int main(int argc, char** argv) {
       options.batch_size = batch_size;
       core::StudyPipeline pipeline{cfg, options};
       double best_ms = 0.0;
+      obs::RunStats last_stats;
       for (int rep = 0; rep < kReps; ++rep) {
-        pipeline.run();
-        const double ms = pipeline.last_run_stats().wall_ms;
-        if (rep == 0 || ms < best_ms) best_ms = ms;
+        const auto result = pipeline.run();
+        if (!result.ok()) return 1;
+        last_stats = result.value();
+        if (rep == 0 || last_stats.wall_ms < best_ms) best_ms = last_stats.wall_ms;
       }
       if (batch_size == 0) per_record_ms = best_ms;
       const double speedup = batch_size == 0 || best_ms <= 0.0 ? 1.0 : per_record_ms / best_ms;
-      benchutil::report_perf("micro_pipeline.full_batched", cfg, best_ms,
-                             pipeline.last_run_stats().packets,
-                             pipeline.last_run_stats().joules, /*threads=*/1, speedup,
+      benchutil::report_perf("micro_pipeline.full_batched", cfg, best_ms, last_stats.packets,
+                             last_stats.joules, /*threads=*/1, speedup,
                              "\"batch_size\":" + std::to_string(batch_size));
     }
   }

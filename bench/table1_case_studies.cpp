@@ -55,7 +55,8 @@ int main() {
   }
   analysis::CaseStudyAnalysis cases{ids};
   pipeline.add_analysis(&cases);
-  pipeline.run();
+  const auto run_stats = pipeline.run();
+  if (!run_stats.ok()) return 1;
 
   TextTable table({"app", "J/day", "J/flow", "MB/flow", "uJ/B", "period (early)",
                    "period (late)"});
@@ -91,6 +92,6 @@ int main() {
             << "  (paper: ~80x; order-of-magnitude widget gap)\n"
             << "  Podcastaddict / Pocketcasts          = "
             << fmt(ujb("Podcastaddict") / ujb("Pocketcasts"), 2) << "  (paper: ~2x)\n";
-  benchutil::report_perf("table1_case_studies", cfg, pipeline);
+  benchutil::report_perf("table1_case_studies", cfg, run_stats.value());
   return 0;
 }

@@ -18,9 +18,24 @@
 //   example_wildenergy_cli figures [--days N] [--users N] [--seed S]
 //       Print the headline numbers of every paper figure in one run.
 //
-// Observability (generate/report/figures): --stats prints the per-stage
-// wall-time + throughput breakdown after the run; --trace-out FILE writes
-// Chrome trace-event spans loadable at https://ui.perfetto.dev.
+//   example_wildenergy_cli run [--days N] [--users N] [--seed S]
+//       Run the pipeline and print the one-line run summary — the smallest
+//       harness for the observability flags below (DESIGN.md §11).
+//
+//   example_wildenergy_cli sweep [--days N] [--users N] [--seed S]
+//                                [--threads N] [--progress]
+//       Simulate once, replay a fixed what-if scenario set (baseline,
+//       kill-after-idle 1/3/7 days, doze) over the cached trace and print
+//       one row per scenario. --progress reports completed (scenario x user)
+//       shards to stderr as the sweep runs.
+//
+// Observability (generate/report/figures/run/sweep): --stats prints the
+// per-stage wall-time + throughput breakdown after the run (under
+// --threads N the per-shard profiles are merged; see DESIGN.md §11);
+// --stats-json FILE writes the structured run report
+// (schema wildenergy.run_stats.v2) for dashboards and regression tooling;
+// --trace-out FILE writes Chrome trace-event spans loadable at
+// https://ui.perfetto.dev.
 //
 // Execution: --threads N shards the study by user across a worker pool
 // (core/pipeline.h); every number printed is bit-identical to --threads 1.
@@ -38,6 +53,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -48,11 +64,14 @@
 #include "analysis/persistence.h"
 #include "analysis/time_since_fg.h"
 #include "core/pipeline.h"
+#include "core/policy.h"
 #include "core/report.h"
+#include "core/sweep.h"
 #include "energy/attributor.h"
 #include "fault/injector.h"
 #include "fault/plan.h"
 #include "obs/trace_writer.h"
+#include "sim/generator.h"
 #include "power/battery.h"
 #include "radio/burst_machine.h"
 #include "trace/binary_io.h"
@@ -70,6 +89,8 @@ struct CliOptions {
   std::string format = "csv";
   bool format_set = false;  ///< --format given explicitly (analyze sniffs otherwise)
   bool stats = false;
+  std::string stats_json;  ///< --stats-json FILE: structured run report
+  bool progress = false;   ///< --progress: per-shard sweep progress on stderr
   std::string trace_out;
   unsigned threads = 1;
   /// 0 = per-record event path. Threads through both the pipeline
@@ -190,6 +211,15 @@ bool parse_flags(int argc, char** argv, int start, CliOptions& options) {
       options.max_shard_retries = static_cast<unsigned>(value);
     } else if (flag == "--stats") {
       options.stats = true;
+    } else if (flag == "--stats-json") {
+      const char* v = next();
+      if (!v || *v == '\0') {
+        std::cerr << "--stats-json requires a file path\n";
+        return false;
+      }
+      options.stats_json = v;
+    } else if (flag == "--progress") {
+      options.progress = true;
     } else if (flag == "--trace-out") {
       const char* v = next();
       if (!v || *v == '\0') {
@@ -214,7 +244,9 @@ bool parse_flags(int argc, char** argv, int start, CliOptions& options) {
 core::PipelineOptions observed_options(const CliOptions& options, obs::TraceWriter& writer,
                                        fault::FaultPlan& plan) {
   core::PipelineOptions pipeline_options;
-  pipeline_options.collect_stage_stats = options.stats;
+  // The JSON report carries the per-stage profile too, so either flag turns
+  // stage collection on.
+  pipeline_options.collect_stage_stats = options.stats || !options.stats_json.empty();
   pipeline_options.num_threads = options.threads;
   pipeline_options.batch_size = options.batch_size;
   if (!options.trace_out.empty()) pipeline_options.trace_writer = &writer;
@@ -227,34 +259,43 @@ core::PipelineOptions observed_options(const CliOptions& options, obs::TraceWrit
 
 /// run() with failures surfaced as an exit-code-1 diagnostic instead of an
 /// unhandled exception (an injected fault under --failure-policy failfast
-/// propagates out of run() by design).
-bool run_guarded(core::StudyPipeline& pipeline) {
+/// propagates out of run() by design). Returns the run's stats on success.
+std::optional<obs::RunStats> run_guarded(core::StudyPipeline& pipeline) {
   util::StatusOr<obs::RunStats> stats = util::Status::internal("run did not start");
   try {
     stats = pipeline.run();
   } catch (const std::exception& e) {
     std::cerr << "run failed: " << e.what() << "\n";
-    return false;
+    return std::nullopt;
   }
   if (!stats.ok()) {
     std::cerr << "run failed: " << stats.status().to_string() << "\n";
-    return false;
+    return std::nullopt;
   }
   if (!stats->failed_users.empty()) {
     std::cerr << "warning: skipped " << stats->failed_users.size() << " user(s) after "
               << stats->shard_retries << " shard retr" << (stats->shard_retries == 1 ? "y" : "ies")
               << "; results cover the surviving users only (--stats for details)\n";
   }
-  return true;
+  return std::move(stats).value();
 }
 
-/// After run(): print --stats to `os` and write --trace-out. Returns false
-/// (and complains) only if the trace file cannot be written.
-bool finish_observability(const CliOptions& options, const core::StudyPipeline& pipeline,
+/// After run(): print --stats to `os`, write --stats-json, write --trace-out.
+/// Returns false (and complains) only if an output file cannot be written.
+bool finish_observability(const CliOptions& options, const obs::RunStats& stats,
                           const obs::TraceWriter& writer, std::ostream& os) {
   if (options.stats) {
     os << "\n";
-    pipeline.last_run_stats().print(os);
+    stats.print(os);
+  }
+  if (!options.stats_json.empty()) {
+    std::ofstream json{options.stats_json};
+    if (!json) {
+      std::cerr << "cannot write stats to " << options.stats_json << "\n";
+      return false;
+    }
+    json << stats.to_json() << "\n";
+    std::cerr << "wrote run stats (wildenergy.run_stats.v2) to " << options.stats_json << "\n";
   }
   if (!options.trace_out.empty()) {
     if (!writer.write_file(options.trace_out)) {
@@ -271,20 +312,22 @@ int cmd_generate(const CliOptions& options) {
   obs::TraceWriter spans;
   fault::FaultPlan plan;
   core::StudyPipeline pipeline{options.study, observed_options(options, spans, plan)};
+  std::optional<obs::RunStats> stats;
   if (options.format == "bin") {
     trace::BinaryTraceWriter writer{std::cout};
     pipeline.add_analysis("binary-out", &writer);
-    if (!run_guarded(pipeline)) return 1;
+    stats = run_guarded(pipeline);
   } else {
     trace::CsvTraceWriter writer{std::cout};
     pipeline.add_analysis("csv-out", &writer);
-    if (!run_guarded(pipeline)) return 1;
+    stats = run_guarded(pipeline);
   }
+  if (!stats) return 1;
   std::cerr << "generated " << options.study.num_users << " users x "
             << options.study.num_days << " days; "
             << fmt(pipeline.ledger().total_joules() / 1e3, 1) << " kJ attributed\n";
   // stdout carries the trace stream, so stats go to stderr here.
-  return finish_observability(options, pipeline, spans, std::cerr) ? 0 : 1;
+  return finish_observability(options, *stats, spans, std::cerr) ? 0 : 1;
 }
 
 /// First few quarantined records, one line each, to stderr.
@@ -393,7 +436,8 @@ int cmd_report(const CliOptions& options) {
   core::StudyPipeline pipeline{options.study, observed_options(options, spans, plan)};
   analysis::PersistenceAnalysis persistence;
   pipeline.add_analysis("persistence", &persistence);
-  if (!run_guarded(pipeline)) return 1;
+  const auto stats = run_guarded(pipeline);
+  if (!stats) return 1;
   const auto report =
       core::Report::build(pipeline.ledger(), pipeline.catalog(), &persistence);
   report.print(std::cout);
@@ -404,7 +448,7 @@ int cmd_report(const CliOptions& options) {
   std::cout << "\nbattery impact: network energy costs the average user "
             << fmt(power::battery_percent(per_user_day), 1)
             << "% of a Galaxy S III battery per day\n";
-  return finish_observability(options, pipeline, spans, std::cout) ? 0 : 1;
+  return finish_observability(options, *stats, spans, std::cout) ? 0 : 1;
 }
 
 int cmd_figures(const CliOptions& options) {
@@ -415,7 +459,8 @@ int cmd_figures(const CliOptions& options) {
   analysis::TimeSinceForegroundAnalysis tsf;
   pipeline.add_analysis("persistence", &persistence);
   pipeline.add_analysis("time-since-fg", &tsf);
-  if (!run_guarded(pipeline)) return 1;
+  const auto stats = run_guarded(pipeline);
+  if (!stats) return 1;
   const auto& ledger = pipeline.ledger();
 
   const auto overall = analysis::overall_state_breakdown(ledger);
@@ -436,19 +481,108 @@ int cmd_figures(const CliOptions& options) {
             << "%\n"
             << "  [Fig 6] apps frontloading >=80% of bg bytes into 60 s: "
             << fmt(100 * tsf.fraction_of_apps_frontloaded(), 1) << "%  (paper: 84%)\n";
-  return finish_observability(options, pipeline, spans, std::cout) ? 0 : 1;
+  return finish_observability(options, *stats, spans, std::cout) ? 0 : 1;
+}
+
+/// The smallest observability harness: run the pipeline, print the one-line
+/// run summary, then let --stats / --stats-json / --trace-out do their thing.
+int cmd_run(const CliOptions& options) {
+  obs::TraceWriter spans;
+  fault::FaultPlan plan;
+  core::StudyPipeline pipeline{options.study, observed_options(options, spans, plan)};
+  const auto stats = run_guarded(pipeline);
+  if (!stats) return 1;
+  std::cout << "run: " << stats->users << " users, " << stats->packets << " packets, "
+            << fmt(stats->joules / 1e3, 1) << " kJ in " << fmt(stats->wall_ms, 1) << " ms ("
+            << stats->num_threads << " thread" << (stats->num_threads > 1 ? "s" : "") << ")\n";
+  return finish_observability(options, *stats, spans, std::cout) ? 0 : 1;
+}
+
+/// Simulate once, replay the fixed what-if scenario set over the cached
+/// trace (core/sweep.h). One row per scenario; --progress streams completed
+/// (scenario x user) shard counts to stderr while the sweep runs.
+int cmd_sweep(const CliOptions& options) {
+  fault::FaultPlan plan;
+  core::SweepOptions sweep_options;
+  sweep_options.num_threads = options.threads;
+  sweep_options.batch_size = options.batch_size;
+  sweep_options.collect_stage_stats = options.stats || !options.stats_json.empty();
+  sweep_options.failure_policy = options.failure_policy;
+  sweep_options.max_shard_retries = options.max_shard_retries;
+  for (const auto& spec : options.faults) plan.add(spec);
+  if (!options.faults.empty()) sweep_options.fault_plan = &plan;
+  if (options.progress) {
+    sweep_options.progress = [](const core::SweepProgress& p) {
+      std::cerr << "\r[sweep] " << p.completed << "/" << p.total << " shards (scenario "
+                << p.scenario_index << ", user " << p.user << ")   ";
+      if (p.completed == p.total) std::cerr << "\n";
+    };
+  }
+
+  sim::StudyGenerator generator{options.study};
+  core::SweepEngine sweep{&generator, sweep_options};
+  sweep.add_scenario({.name = "baseline"});
+  for (const double idle_days : {1.0, 3.0, 7.0}) {
+    core::Scenario scenario;
+    scenario.name = "kill-" + std::to_string(static_cast<int>(idle_days)) + "d";
+    scenario.policy = [idle_days](trace::TraceSink* downstream) {
+      return std::make_unique<core::KillAfterIdlePolicy>(downstream, days(idle_days));
+    };
+    sweep.add_scenario(std::move(scenario));
+  }
+  sweep.add_scenario({.name = "doze", .policy = [](trace::TraceSink* downstream) {
+                        return std::make_unique<core::DozeLikePolicy>(downstream);
+                      }});
+
+  util::StatusOr<obs::RunStats> stats = util::Status::internal("sweep did not start");
+  try {
+    stats = sweep.run();
+  } catch (const std::exception& e) {
+    std::cerr << "sweep failed: " << e.what() << "\n";
+    return 1;
+  }
+  if (!stats.ok()) {
+    std::cerr << "sweep failed: " << stats.status().to_string() << "\n";
+    return 1;
+  }
+
+  TextTable table({"scenario", "energy kJ", "vs baseline", "packets"});
+  const core::ScenarioResult* baseline = sweep.result("baseline");
+  const double base_joules = baseline != nullptr ? baseline->ledger.total_joules() : 0.0;
+  for (const auto& result : sweep.results()) {
+    const double joules = result.ledger.total_joules();
+    const std::string delta =
+        base_joules > 0.0 ? fmt(100.0 * (joules - base_joules) / base_joules, 1) + "%" : "-";
+    table.add_row({result.name, fmt(joules / 1e3, 1), delta,
+                   std::to_string(result.stats.packets)});
+  }
+  table.print(std::cout);
+  std::cout << "store: " << sweep.store().event_count() << " events, "
+            << fmt(static_cast<double>(sweep.store().memory_bytes()) / 1e6, 1) << " MB cached; "
+            << sweep.num_scenarios() << " scenarios in " << fmt(stats->wall_ms, 1) << " ms\n";
+
+  // --stats / --stats-json report the sweep-wide aggregate RunStats (its
+  // stages fold every scenario's chains; per-scenario stats live on the
+  // ScenarioResult for library users).
+  obs::TraceWriter no_spans;
+  CliOptions observability = options;
+  observability.trace_out.clear();  // no span writer on the sweep path
+  return finish_observability(observability, *stats, no_spans, std::cout) ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: " << argv[0] << " generate|analyze|report|figures [flags]\n"
+    std::cerr << "usage: " << argv[0] << " generate|analyze|report|figures|run|sweep [flags]\n"
               << "flags: --days N --users N --seed S --format csv|bin\n"
               << "       --threads N (shard the study by user; results identical to serial)\n"
               << "       --batch-size N (events per batch on the sink path; 0 = per-record; "
                  "results identical for every N)\n"
-              << "       --stats (per-stage profile)  --trace-out FILE (Perfetto spans)\n"
+              << "       --stats (per-stage profile)  --stats-json FILE (structured run "
+                 "report, schema wildenergy.run_stats.v2)\n"
+              << "       --trace-out FILE (Perfetto spans)\n"
+              << "sweep: --progress (per-shard progress on stderr)\n"
               << "analyze: --replay FILE (read FILE instead of stdin)\n"
               << "         --read-policy strict|skip-and-count|best-effort\n"
               << "         --corrupt bit-flip|truncate|duplicate-span|swap-spans|bad-enum|"
@@ -469,6 +603,8 @@ int main(int argc, char** argv) {
   if (cmd == "analyze") return cmd_analyze(options);
   if (cmd == "report") return cmd_report(options);
   if (cmd == "figures") return cmd_figures(options);
+  if (cmd == "run") return cmd_run(options);
+  if (cmd == "sweep") return cmd_sweep(options);
   std::cerr << "unknown command: " << cmd << "\n";
   return 2;
 }

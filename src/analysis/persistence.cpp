@@ -81,4 +81,17 @@ double PersistenceAnalysis::fraction_persisting_longer_than(trace::AppId app, Du
   return 1.0 - it->second.cdf_at(d.seconds());
 }
 
+std::uint64_t PersistenceAnalysis::memory_bytes() const {
+  // Hash nodes carry roughly a next pointer + cached hash next to the pair.
+  constexpr std::uint64_t kNodeOverhead = 2 * sizeof(void*);
+  std::uint64_t total =
+      episodes_.size() * (kNodeOverhead + sizeof(std::uint64_t) + sizeof(Episode)) +
+      episodes_.bucket_count() * sizeof(void*);
+  total += durations_.bucket_count() * sizeof(void*);
+  for (const auto& [app, dist] : durations_) {
+    total += kNodeOverhead + sizeof(app) + sizeof(dist) + dist.count() * sizeof(double);
+  }
+  return total;
+}
+
 }  // namespace wildenergy::analysis

@@ -42,6 +42,10 @@ class PersistenceAnalysis final : public trace::TraceSink, public trace::Shardab
   /// Fraction of `app` transitions whose traffic persisted longer than `d`.
   [[nodiscard]] double fraction_persisting_longer_than(trace::AppId app, Duration d);
 
+  /// Approximate resident footprint: open-episode map plus the retained
+  /// per-app duration samples.
+  [[nodiscard]] std::uint64_t memory_bytes() const override;
+
  private:
   struct Episode {
     TimePoint transition;

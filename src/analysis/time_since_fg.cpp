@@ -114,4 +114,16 @@ std::vector<double> TimeSinceForegroundAnalysis::spike_offsets_seconds(
   return out;
 }
 
+std::uint64_t TimeSinceForegroundAnalysis::memory_bytes() const {
+  constexpr std::uint64_t kNodeOverhead = 2 * sizeof(void*);
+  std::uint64_t total = histogram_.bins() * sizeof(double);
+  total += last_exit_.size() * (kNodeOverhead + sizeof(std::uint64_t) + sizeof(TimePoint)) +
+           last_exit_.bucket_count() * sizeof(void*);
+  total += in_foreground_.size() * (kNodeOverhead + sizeof(std::uint64_t) + sizeof(bool)) +
+           in_foreground_.bucket_count() * sizeof(void*);
+  total += tallies_.size() * (kNodeOverhead + sizeof(trace::AppId) + sizeof(AppTally)) +
+           tallies_.bucket_count() * sizeof(void*);
+  return total;
+}
+
 }  // namespace wildenergy::analysis

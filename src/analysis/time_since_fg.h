@@ -58,6 +58,10 @@ class TimeSinceForegroundAnalysis final : public trace::TraceSink, public trace:
   /// beyond the first 2 minutes — the 5/10-minute timers of Fig. 6.
   [[nodiscard]] std::vector<double> spike_offsets_seconds(std::size_t max_spikes = 4) const;
 
+  /// Approximate resident footprint: histogram bins plus the per-(user, app)
+  /// tracking maps and per-app tallies.
+  [[nodiscard]] std::uint64_t memory_bytes() const override;
+
  private:
   static std::uint64_t key(trace::UserId user, trace::AppId app) {
     return (static_cast<std::uint64_t>(user) << 32) | app;

@@ -10,6 +10,7 @@
 
 #include "core/shard_chain.h"
 #include "fault/plan.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
 #include "radio/burst_machine.h"
@@ -113,6 +114,19 @@ util::StatusOr<obs::RunStats> StudyPipeline::run() {
     status = run_sharded(shard_threads, user_ids);
   }
   if (!status.ok()) return status;
+
+  // Memory accounting (obs::RunStats::memory): sink footprints as the sinks
+  // estimate them, the source's cached columns (TraceStore replays), and the
+  // process peak RSS. Mirrored into mem.* gauges for the --metrics dump.
+  stats_.memory.ledger_bytes = ledger_.memory_bytes();
+  for (const auto& [name, sink] : analyses_) stats_.memory.analyses_bytes += sink->memory_bytes();
+  stats_.memory.store_bytes = source_->memory_bytes();
+  stats_.memory.peak_rss_bytes = obs::peak_rss_bytes();
+  auto& reg = obs::MetricsRegistry::global();
+  reg.gauge("mem.ledger_bytes").set(static_cast<double>(stats_.memory.ledger_bytes));
+  reg.gauge("mem.analyses_bytes").set(static_cast<double>(stats_.memory.analyses_bytes));
+  reg.gauge("mem.store_bytes").set(static_cast<double>(stats_.memory.store_bytes));
+  reg.gauge("mem.peak_rss_bytes").set(static_cast<double>(stats_.memory.peak_rss_bytes));
   return stats_;
 }
 
@@ -231,11 +245,13 @@ util::Status StudyPipeline::run_sharded(unsigned num_threads,
 
   std::vector<trace::ShardableSink*> shardable;   // parallel to `sharded_parents`
   std::vector<trace::TraceSink*> sharded_parents;
+  std::vector<std::string> shardable_names;
   std::vector<trace::TraceSink*> fallback;        // fed by the serial replay below
   for (const auto& [name, sink] : sinks) {
     if (auto* s = trace::as_shardable(sink)) {
       shardable.push_back(s);
       sharded_parents.push_back(sink);
+      shardable_names.push_back(name);
     } else {
       fallback.push_back(sink);
     }
@@ -243,9 +259,12 @@ util::Status StudyPipeline::run_sharded(unsigned num_threads,
 
   // One shard per user, built serially via the shared chain builder
   // (core/shard_chain.h) — the same chain the sweep engine stamps out per
-  // (scenario, user).
-  const internal::ChainConfig chain_config{radio_factory_, tail_policy_, policy_factory_,
-                                           interface_, fault_plan_};
+  // (scenario, user). When profiling, each chain carries its own PhaseStack
+  // and stage wrappers; the per-shard profiles are folded below.
+  const bool timed = collect_stage_stats_ || trace_writer_ != nullptr;
+  const internal::ChainConfig chain_config{radio_factory_,  tail_policy_, policy_factory_,
+                                           interface_,      fault_plan_,  timed,
+                                           shardable_names};
   std::vector<std::unique_ptr<internal::ShardChain>> shards;
   shards.reserve(num_users);
   for (const trace::UserId user : user_ids) {
@@ -385,6 +404,7 @@ util::Status StudyPipeline::run_sharded(unsigned num_threads,
     s.attempts = std::max(1u, shard.attempts);
     s.skipped = !shard.error.ok();
     s.status = shard.error;
+    if (timed) s.stages = shard.stage_stats();
     if (!s.skipped) {
       const auto& shard_ledger =
           dynamic_cast<const energy::EnergyLedger&>(*shard.clones[0]);  // ledger is sinks[0]
@@ -395,9 +415,33 @@ util::Status StudyPipeline::run_sharded(unsigned num_threads,
     stats_.shards.push_back(s);
   }
 
-  // Per-stage self-time profiling assumes one serial callback chain, so
-  // sharded runs export per-shard spans on per-worker tracks instead.
-  stats_.timed = collect_stage_stats_ || trace_writer_ != nullptr;
+  // Fold the per-shard stage profiles into the run-level profile, in user-id
+  // order, surviving shards only: stage i of every chain is the same stage
+  // (build_chain stamps out one shape per run), so self times and counters
+  // add and the batch-latency histograms merge binwise. The "generate" row
+  // is each shard's wall time its own stages did not account for — source
+  // emission (replay or simulation) plus dispatch.
+  stats_.timed = timed;
+  if (timed) {
+    obs::StageStats generate;
+    generate.name = "generate";
+    std::vector<obs::StageStats> folded;
+    for (const obs::ShardRunStats& s : stats_.shards) {
+      if (s.skipped || s.stages.empty()) continue;
+      double accounted_ms = 0.0;
+      for (const auto& st : s.stages) accounted_ms += st.self_ms;
+      generate.self_ms += std::max(0.0, s.wall_ms - accounted_ms);
+      if (folded.empty()) folded.resize(s.stages.size());
+      for (std::size_t i = 0; i < s.stages.size() && i < folded.size(); ++i) {
+        folded[i].merge_from(s.stages[i]);
+      }
+    }
+    generate.packets = stats_.packets + stats_.off_interface_packets;
+    generate.transitions = stats_.transitions;
+    generate.bytes = stats_.bytes + stats_.off_interface_bytes;
+    stats_.stages.push_back(generate);
+    for (auto& st : folded) stats_.stages.push_back(std::move(st));
+  }
   if (trace_writer_ != nullptr) {
     trace_writer_->set_track_name(0, "pipeline");
     for (unsigned w = 0; w < num_threads; ++w) {

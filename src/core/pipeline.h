@@ -144,11 +144,6 @@ class StudyPipeline {
   util::StatusOr<obs::RunStats> run();
 
   [[nodiscard]] const energy::EnergyLedger& ledger() const { return ledger_; }
-  /// Summary of the most recent run(): wall time, throughput, attribution
-  /// and radio counters, and (when enabled) the per-stage profile.
-  /// Deprecated in favor of the StatusOr<RunStats> run() returns — kept as a
-  /// shim for callers that discard run()'s result.
-  [[nodiscard]] const obs::RunStats& last_run_stats() const { return stats_; }
   /// Bytes on the non-analyzed interface, dropped before attribution.
   [[nodiscard]] std::uint64_t off_interface_bytes() const { return off_interface_bytes_; }
   /// The trace source this pipeline streams from.

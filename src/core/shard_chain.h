@@ -16,12 +16,15 @@
 
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "energy/attributor.h"
 #include "fault/plan.h"
 #include "obs/metrics.h"
+#include "obs/stopwatch.h"
+#include "trace/instrumented_sink.h"
 #include "trace/interface_filter.h"
 #include "trace/shardable.h"
 #include "trace/sink.h"
@@ -37,6 +40,12 @@ struct ChainConfig {
   PolicyFactory policy_factory;  ///< may be empty (no policy stage)
   trace::Interface interface = trace::Interface::kCellular;
   fault::FaultPlan* fault_plan = nullptr;  ///< non-owning; may be null
+  /// Profile each chain stage on a shard-local PhaseStack (obs/stopwatch.h);
+  /// the engines fold the per-shard StageStats into RunStats::stages.
+  bool collect_stage_stats = false;
+  /// Display names for the shardable sinks, parallel to the list passed to
+  /// build_chain ("sink N" when absent). Only read when profiling.
+  std::vector<std::string> sink_names;
 };
 
 /// One shard's private sink chain plus its scheduling record.
@@ -49,11 +58,28 @@ struct ShardChain {
   std::unique_ptr<trace::InterfaceFilter> filter;
   std::unique_ptr<trace::TraceSink> fault;  ///< FaultPlan decorator, if any
   trace::TraceSink* entry = nullptr;        ///< fault ? fault : filter
+  // Stage profiling (ChainConfig::collect_stage_stats): every stage of this
+  // chain copy is decorated with an InstrumentedSink on a shard-local
+  // PhaseStack. `stage_order` lists the wrappers in display order — filter,
+  // policy (if any), attribute, then the sinks in registration order — the
+  // SAME shape for every shard of a run, so the engines can fold stage i of
+  // every shard together.
+  obs::PhaseStack phase_stack;
+  std::vector<std::unique_ptr<trace::InstrumentedSink>> wrappers;
+  std::vector<trace::InstrumentedSink*> stage_order;
   double wall_ms = 0.0;
   unsigned worker = 0;
   std::int64_t span_start_us = 0;
   unsigned attempts = 0;
   util::Status error;  ///< non-OK while the latest attempt has failed
+
+  /// This chain's per-stage profile, in stage_order. Empty when not timed.
+  [[nodiscard]] std::vector<obs::StageStats> stage_stats() const {
+    std::vector<obs::StageStats> out;
+    out.reserve(stage_order.size());
+    for (const auto* w : stage_order) out.push_back(w->stats());
+    return out;
+  }
 };
 
 /// Build the chain for `user`: clones of `shardable` fanned out behind a
@@ -65,23 +91,51 @@ inline std::unique_ptr<ShardChain> build_chain(
     const ChainConfig& cfg, const std::vector<trace::ShardableSink*>& shardable,
     trace::UserId user) {
   auto shard = std::make_unique<ShardChain>();
-  for (const auto* parent : shardable) {
-    shard->clones.push_back(parent->clone_shard());
-    shard->fanout.add(shard->clones.back().get());
+  // When profiling, decorate each stage with an InstrumentedSink sharing the
+  // shard's own PhaseStack — the same self-time discipline the serial
+  // pipeline uses, replicated per chain copy (no cross-thread state).
+  ShardChain* raw = shard.get();
+  const auto wrap = [raw, &cfg](std::string name,
+                                trace::TraceSink* sink) -> trace::TraceSink* {
+    if (!cfg.collect_stage_stats) return sink;
+    raw->wrappers.push_back(std::make_unique<trace::InstrumentedSink>(std::move(name), sink,
+                                                                      &raw->phase_stack));
+    return raw->wrappers.back().get();
+  };
+  std::vector<trace::InstrumentedSink*> sink_wrappers;
+  for (std::size_t i = 0; i < shardable.size(); ++i) {
+    shard->clones.push_back(shardable[i]->clone_shard());
+    const std::string name =
+        i < cfg.sink_names.size() ? cfg.sink_names[i] : "sink " + std::to_string(i);
+    trace::TraceSink* wrapped = wrap(name, shard->clones.back().get());
+    shard->fanout.add(wrapped);
+    if (cfg.collect_stage_stats) sink_wrappers.push_back(shard->wrappers.back().get());
   }
   shard->attributor = std::make_unique<energy::EnergyAttributor>(cfg.radio_factory,
                                                                  &shard->fanout, cfg.tail_policy);
-  trace::TraceSink* head = shard->attributor.get();
+  trace::TraceSink* head = wrap("attribute", shard->attributor.get());
+  trace::InstrumentedSink* attribute_wrapper =
+      cfg.collect_stage_stats ? shard->wrappers.back().get() : nullptr;
+  trace::InstrumentedSink* policy_wrapper = nullptr;
   if (cfg.policy_factory) {
     shard->policy = cfg.policy_factory(head);
-    head = shard->policy.get();
+    head = wrap("policy", shard->policy.get());
+    if (cfg.collect_stage_stats) policy_wrapper = shard->wrappers.back().get();
   }
   shard->filter = std::make_unique<trace::InterfaceFilter>(head, cfg.interface);
-  shard->entry = shard->filter.get();
+  shard->entry = wrap("filter", shard->filter.get());
+  if (cfg.collect_stage_stats) {
+    shard->stage_order.push_back(shard->wrappers.back().get());  // filter
+    if (policy_wrapper != nullptr) shard->stage_order.push_back(policy_wrapper);
+    shard->stage_order.push_back(attribute_wrapper);
+    shard->stage_order.insert(shard->stage_order.end(), sink_wrappers.begin(),
+                              sink_wrappers.end());
+  }
   if (cfg.fault_plan != nullptr) {
     // wrap() counts one attempt per call, so a retry's rebuild re-arms or
-    // disarms the fault deterministically.
-    shard->fault = cfg.fault_plan->wrap(user, shard->filter.get());
+    // disarms the fault deterministically. The fault decorator sits above the
+    // (possibly instrumented) filter so injected callbacks are profiled too.
+    shard->fault = cfg.fault_plan->wrap(user, shard->entry);
     if (shard->fault != nullptr) shard->entry = shard->fault.get();
   }
   return shard;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -10,6 +11,7 @@
 
 #include "core/shard_chain.h"
 #include "fault/plan.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
 #include "radio/burst_machine.h"
@@ -75,7 +77,8 @@ util::StatusOr<obs::RunStats> SweepEngine::run() {
     ScenarioPlan& plan = plans[si];
     plan.config = internal::ChainConfig{
         scenario.radio_factory ? scenario.radio_factory : radio::make_lte_model,
-        scenario.tail_policy, scenario.policy, scenario.interface, options_.fault_plan};
+        scenario.tail_policy, scenario.policy, scenario.interface, options_.fault_plan,
+        options_.collect_stage_stats, {}};
     // Ledger first, matching the pipeline fan-out order.
     std::vector<std::pair<std::string, trace::TraceSink*>> sinks;
     sinks.emplace_back("ledger", &results_[si].ledger);
@@ -84,6 +87,7 @@ util::StatusOr<obs::RunStats> SweepEngine::run() {
       if (auto* s = trace::as_shardable(sink)) {
         plan.shardable.push_back(s);
         plan.sharded_parents.push_back(sink);
+        plan.config.sink_names.push_back(name);
       } else {
         plan.fallback.push_back(sink);
       }
@@ -100,6 +104,16 @@ util::StatusOr<obs::RunStats> SweepEngine::run() {
   // concurrently across scenarios.
   const bool retry_then_skip = options_.failure_policy == FailurePolicy::kRetryThenSkip;
   const std::size_t total_shards = num_scenarios * num_users;
+  // Progress reporting: first-attempt completions, serialized under a mutex
+  // so the callback never runs concurrently with itself.
+  std::mutex progress_mu;
+  std::size_t progress_done = 0;
+  const auto report_progress = [&](std::size_t si, trace::UserId user) {
+    if (!options_.progress) return;
+    const std::lock_guard<std::mutex> lock{progress_mu};
+    ++progress_done;
+    options_.progress(SweepProgress{progress_done, total_shards, si, user});
+  };
   if (total_shards > 0) {
     const unsigned pool_threads = std::max<unsigned>(
         1, std::min<unsigned>(options_.num_threads,
@@ -129,6 +143,7 @@ util::StatusOr<obs::RunStats> SweepEngine::run() {
         if (!st.ok()) throw std::runtime_error(st.to_string());
       }
       shard.wall_ms = watch.elapsed_ms();
+      report_progress(si, user_ids[ui]);
     });
   }
 
@@ -234,6 +249,7 @@ util::StatusOr<obs::RunStats> SweepEngine::run() {
       s.attempts = std::max(1u, shard.attempts);
       s.skipped = !shard.error.ok();
       s.status = shard.error;
+      if (options_.collect_stage_stats) s.stages = shard.stage_stats();
       if (!s.skipped) {
         const auto& shard_ledger =
             dynamic_cast<const energy::EnergyLedger&>(*shard.clones[0]);  // ledger is sinks[0]
@@ -243,6 +259,40 @@ util::StatusOr<obs::RunStats> SweepEngine::run() {
       }
       res.stats.shards.push_back(s);
     }
+
+    // Fold the per-shard stage profiles into the scenario profile, in
+    // user-id order over surviving shards — the same fold as
+    // StudyPipeline::run_sharded. The "replay" row is per-shard wall time
+    // the stages did not account for (store replay + dispatch).
+    res.stats.timed = options_.collect_stage_stats;
+    if (options_.collect_stage_stats) {
+      obs::StageStats replay;
+      replay.name = "replay";
+      std::vector<obs::StageStats> folded;
+      for (const obs::ShardRunStats& s : res.stats.shards) {
+        if (s.skipped || s.stages.empty()) continue;
+        double accounted_ms = 0.0;
+        for (const auto& st : s.stages) accounted_ms += st.self_ms;
+        replay.self_ms += std::max(0.0, s.wall_ms - accounted_ms);
+        if (folded.empty()) folded.resize(s.stages.size());
+        for (std::size_t i = 0; i < s.stages.size() && i < folded.size(); ++i) {
+          folded[i].merge_from(s.stages[i]);
+        }
+      }
+      replay.packets = res.stats.packets + res.stats.off_interface_packets;
+      replay.transitions = res.stats.transitions;
+      replay.bytes = res.stats.bytes + res.stats.off_interface_bytes;
+      res.stats.stages.push_back(replay);
+      for (auto& st : folded) res.stats.stages.push_back(std::move(st));
+    }
+
+    // Per-scenario memory accounting; the store is shared by every scenario.
+    res.stats.memory.ledger_bytes = res.ledger.memory_bytes();
+    for (const auto& [name, sink] : scenarios_[si].analyses) {
+      res.stats.memory.analyses_bytes += sink->memory_bytes();
+    }
+    res.stats.memory.store_bytes = store_->memory_bytes();
+    res.stats.memory.peak_rss_bytes = obs::peak_rss_bytes();
 
     aggregate.packets += res.stats.packets;
     aggregate.transitions += res.stats.transitions;
@@ -256,11 +306,15 @@ util::StatusOr<obs::RunStats> SweepEngine::run() {
     aggregate.radio_bursts_queued += res.stats.radio_bursts_queued;
     aggregate.radio_promotions += res.stats.radio_promotions;
     aggregate.radio_repromotions += res.stats.radio_repromotions;
+    aggregate.memory.ledger_bytes += res.stats.memory.ledger_bytes;
+    aggregate.memory.analyses_bytes += res.stats.memory.analyses_bytes;
   }
 
   aggregate.num_threads = options_.num_threads;
   aggregate.users = static_cast<std::uint64_t>(num_users);
   aggregate.wall_ms = total.elapsed_ms();
+  aggregate.memory.store_bytes = store_->memory_bytes();
+  aggregate.memory.peak_rss_bytes = obs::peak_rss_bytes();
   return aggregate;
 }
 

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -55,10 +56,28 @@ struct Scenario {
   std::vector<std::pair<std::string, trace::TraceSink*>> analyses;
 };
 
+/// One completed (scenario × user) shard, reported through
+/// SweepOptions::progress so long sweeps are not silent (CLI --progress).
+struct SweepProgress {
+  std::size_t completed = 0;       ///< shards finished so far (first attempt)
+  std::size_t total = 0;           ///< num_scenarios × num_users
+  std::size_t scenario_index = 0;  ///< scenario of the shard that just finished
+  trace::UserId user = 0;          ///< its user
+};
+
 struct SweepOptions {
   /// Worker threads shared by ALL (scenario × user) shards. 1 keeps the
   /// whole sweep serial (still one capture, K replays).
   unsigned num_threads = 1;
+  /// Profile each chain's stages into the per-scenario
+  /// ScenarioResult::stats.stages (self time + batch latency), exactly like
+  /// PipelineOptions::collect_stage_stats. Off by default (two clock reads
+  /// per callback per stage per shard).
+  bool collect_stage_stats = false;
+  /// Invoked once per completed (scenario, user) shard, from worker threads
+  /// but serialized by the engine (never concurrently). Keep it cheap — it
+  /// runs inside the shard scheduling path.
+  std::function<void(const SweepProgress&)> progress;
   /// Events per EventBatch on both the capture and replay paths. Shares
   /// trace::kDefaultBatchSize with PipelineOptions / ReadOptions.
   std::size_t batch_size = trace::kDefaultBatchSize;

@@ -113,6 +113,19 @@ std::vector<trace::AppId> EnergyLedger::apps() const {
   return out;
 }
 
+std::uint64_t EnergyLedger::memory_bytes() const {
+  // Red-black tree nodes carry ~3 pointers + color alongside the payload.
+  constexpr std::uint64_t kNodeOverhead = 4 * sizeof(void*);
+  std::uint64_t total = 0;
+  for (const auto& [k, acc] : accounts_) {
+    total += kNodeOverhead + sizeof(k) + sizeof(acc) +
+             acc.days.capacity() * sizeof(DayCell);
+  }
+  total += per_user_.size() *
+           (kNodeOverhead + sizeof(trace::UserId) + sizeof(UserTotals));
+  return total;
+}
+
 double EnergyLedger::total_joules() const {
   double total = 0.0;
   for (const auto& [user, t] : per_user_) total += t.joules;

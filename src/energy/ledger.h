@@ -85,6 +85,10 @@ class EnergyLedger final : public trace::TraceSink, public trace::ShardableSink 
   /// All app ids with any traffic.
   [[nodiscard]] std::vector<trace::AppId> apps() const;
 
+  /// Approximate resident footprint: account map nodes (including each
+  /// account's per-day cell vector) plus the per-user totals map.
+  [[nodiscard]] std::uint64_t memory_bytes() const override;
+
   // Study-wide totals, folded from per-user partials in user-id order.
   [[nodiscard]] double total_joules() const;
   [[nodiscard]] std::uint64_t total_bytes() const;

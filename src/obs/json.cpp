@@ -1,0 +1,329 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wildenergy::obs {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);  // UTF-8 bytes pass through unchanged
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // the key already wrote its separator
+  }
+  if (!has_sibling_.empty()) {
+    if (has_sibling_.back()) out_.push_back(',');
+    has_sibling_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  out_.push_back('{');
+  has_sibling_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  out_.push_back('}');
+  has_sibling_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  out_.push_back('[');
+  has_sibling_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  out_.push_back(']');
+  has_sibling_.pop_back();
+}
+
+void JsonWriter::key(std::string_view k) {
+  separate();
+  out_ += escape(k);
+  out_.push_back(':');
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  separate();
+  out_ += escape(s);
+}
+
+void JsonWriter::value(bool b) {
+  separate();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::value(double d) {
+  separate();
+  if (!std::isfinite(d)) {
+    out_ += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out_ += buf;
+}
+
+void JsonWriter::value(std::uint64_t u) {
+  separate();
+  out_ += std::to_string(u);
+}
+
+void JsonWriter::value(std::int64_t i) {
+  separate();
+  out_ += std::to_string(i);
+}
+
+void JsonWriter::null_value() {
+  separate();
+  out_ += "null";
+}
+
+// ---------------------------------------------------------------------------
+
+struct JsonValue::Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    if (pos >= text.size()) {
+      failed = true;
+      return {};
+    }
+    const char c = text[pos];
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string_value();
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    ++pos;  // '{'
+    skip_ws();
+    if (eat('}')) return v;
+    while (!failed) {
+      skip_ws();
+      if (pos >= text.size() || text[pos] != '"') {
+        failed = true;
+        break;
+      }
+      const std::string k = parse_string();
+      skip_ws();
+      if (!eat(':')) {
+        failed = true;
+        break;
+      }
+      v.object_.emplace(k, parse_value());
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return v;
+      failed = true;
+    }
+    return v;
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    ++pos;  // '['
+    skip_ws();
+    if (eat(']')) return v;
+    while (!failed) {
+      v.array_.push_back(parse_value());
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return v;
+      failed = true;
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    std::string out;
+    ++pos;  // opening quote
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos >= text.size()) break;
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) {
+              failed = true;
+              return out;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                failed = true;
+                return out;
+              }
+            }
+            // Telemetry strings are ASCII; encode the BMP code point as UTF-8.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: failed = true; return out;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    failed = true;  // unterminated
+    return out;
+  }
+
+  JsonValue parse_string_value() {
+    JsonValue v;
+    v.type_ = Type::kString;
+    v.string_ = parse_string();
+    return v;
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.type_ = Type::kBool;
+    if (text.substr(pos, 4) == "true") {
+      v.bool_ = true;
+      pos += 4;
+    } else if (text.substr(pos, 5) == "false") {
+      v.bool_ = false;
+      pos += 5;
+    } else {
+      failed = true;
+    }
+    return v;
+  }
+
+  JsonValue parse_null() {
+    JsonValue v;
+    if (text.substr(pos, 4) == "null") {
+      pos += 4;
+    } else {
+      failed = true;
+    }
+    return v;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    bool any = false;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E' || text[pos] == '-' || text[pos] == '+')) {
+      any = true;
+      ++pos;
+    }
+    JsonValue v;
+    if (!any) {
+      failed = true;
+      return v;
+    }
+    v.type_ = Type::kNumber;
+    v.number_ = std::strtod(std::string(text.substr(start, pos - start)).c_str(), nullptr);
+    return v;
+  }
+};
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+  Parser p{text};
+  JsonValue v = p.parse_value();
+  p.skip_ws();
+  if (p.failed || p.pos != text.size()) return std::nullopt;
+  return v;
+}
+
+const JsonValue* JsonValue::get(std::string_view k) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = object_.find(std::string{k});
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+double JsonValue::number_or(std::string_view k, double fallback) const {
+  const JsonValue* v = get(k);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view k, std::string_view fallback) const {
+  const JsonValue* v = get(k);
+  return v != nullptr && v->is_string() ? v->as_string() : std::string{fallback};
+}
+
+}  // namespace wildenergy::obs

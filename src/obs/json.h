@@ -1,0 +1,106 @@
+// Minimal JSON support for the telemetry export path (no third-party deps).
+//
+// JsonWriter is a streaming writer with automatic comma/nesting management:
+// RunStats::to_json, the MetricsRegistry snapshot and the CLI --stats-json
+// flag all serialize through it, so the emitted schema is consistent and
+// always well-formed. JsonValue is the matching recursive-descent parser —
+// just enough JSON (null/bool/number/string/array/object, UTF-8 passthrough)
+// for the bench_diff tool to read WILDENERGY_BENCH_JSON lines and for tests
+// to round-trip the --stats-json file. Neither does I/O; callers own the
+// bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wildenergy::obs {
+
+/// Streaming JSON writer into an owned string buffer. Scope entry/exit is
+/// explicit (begin_object/end_object, begin_array/end_array); commas are
+/// inserted automatically. Keys apply to the next value written.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member key; must be followed by exactly one value or container.
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view{s}); }
+  void value(bool b);
+  void value(double d);  ///< non-finite values are emitted as null
+  void value(std::uint64_t u);
+  void value(std::int64_t i);
+  void value(int i) { value(static_cast<std::int64_t>(i)); }
+  void value(unsigned u) { value(static_cast<std::uint64_t>(u)); }
+  void null_value();
+
+  // Convenience one-liners for object members.
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// The bytes written so far. Valid JSON once every scope is closed.
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+  /// Escape `s` as a JSON string literal (with surrounding quotes).
+  static std::string escape(std::string_view s);
+
+ private:
+  void separate();  ///< comma before a sibling value, nothing after a key
+
+  std::string out_;
+  std::vector<bool> has_sibling_;  ///< per open container
+  bool after_key_ = false;
+};
+
+/// Parsed JSON document. Numbers are doubles (exact for the integer ranges
+/// telemetry uses, <= 2^53); object member order is not preserved.
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parse a complete document (trailing whitespace allowed). Returns
+  /// nullopt on any syntax error or trailing garbage.
+  static std::optional<JsonValue> parse(std::string_view text);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const { return array_; }
+  [[nodiscard]] const std::map<std::string, JsonValue>& as_object() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* get(std::string_view k) const;
+  /// Member's number, or `fallback` when absent / not a number.
+  [[nodiscard]] double number_or(std::string_view k, double fallback) const;
+  /// Member's string, or `fallback` when absent / not a string.
+  [[nodiscard]] std::string string_or(std::string_view k, std::string_view fallback) const;
+
+ private:
+  struct Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+}  // namespace wildenergy::obs

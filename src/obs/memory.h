@@ -1,0 +1,22 @@
+// Process memory accounting for the telemetry layer.
+//
+// Sink-level footprints come from TraceSink::memory_bytes() overrides
+// (capacity estimates of the containers each sink owns); this header adds
+// the one process-wide number the OS tracks for us — peak resident set size
+// — so RunStats and the bench footer can report both "what the data
+// structures think they hold" and "what the process actually peaked at".
+// The two diverge (allocator slack, code, stacks); DESIGN.md §11 documents
+// the caveats.
+#pragma once
+
+#include <cstdint>
+
+namespace wildenergy::obs {
+
+/// Peak resident set size of this process, in bytes (getrusage ru_maxrss).
+/// Monotone over the process lifetime: it never decreases, so per-run deltas
+/// are only meaningful for the first run in a process. Returns 0 when the
+/// platform does not report it.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace wildenergy::obs

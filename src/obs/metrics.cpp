@@ -4,6 +4,8 @@
 #include <bit>
 #include <ostream>
 
+#include "obs/json.h"
+
 namespace wildenergy::obs {
 
 std::size_t Histogram::bucket_index(std::uint64_t sample) {
@@ -68,6 +70,30 @@ void Histogram::reset() {
   max_ = 0;
 }
 
+void Histogram::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("count", count_);
+  w.kv("sum", sum_);
+  w.kv("min", min());
+  w.kv("max", max_);
+  w.kv("mean", mean());
+  w.kv("p50", percentile(0.50));
+  w.kv("p95", percentile(0.95));
+  w.kv("p99", percentile(0.99));
+  w.key("buckets");
+  w.begin_array();
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    w.begin_object();
+    w.kv("lo", bucket_lo(i));
+    w.kv("hi", bucket_hi(i));
+    w.kv("count", buckets_[i]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
@@ -116,6 +142,37 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   for (const auto& [name, c] : other.counters_) counter(name).inc(c.value());
   for (const auto& [name, g] : other.gauges_) gauge(name).add(g.value());
   for (const auto& [name, h] : other.histograms_) histogram(name).merge_from(h);
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) {
+    if (c.value() != 0) w.kv(name, c.value());
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) {
+    if (g.value() != 0.0) w.kv(name, g.value());
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    if (h.count() == 0) continue;
+    w.key(name);
+    h.write_json(w);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.str();
 }
 
 MetricsRegistry& MetricsRegistry::global() {

@@ -24,6 +24,8 @@
 
 namespace wildenergy::obs {
 
+class JsonWriter;  // obs/json.h
+
 /// Monotonically increasing event count.
 class Counter {
  public:
@@ -80,6 +82,12 @@ class Histogram {
 
   void reset();
 
+  /// Emit this histogram as a JSON object: count/sum/min/max/mean, the p50/
+  /// p95/p99 quantiles, and the non-empty buckets as [lo, hi) ranges with
+  /// counts (the full distribution, not just summaries). Schema: DESIGN.md
+  /// §11.
+  void write_json(JsonWriter& w) const;
+
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
@@ -116,6 +124,13 @@ class MetricsRegistry {
   /// Fold another registry's cells into this one: counters and gauges add,
   /// histograms merge binwise. Cells missing here are created.
   void merge_from(const MetricsRegistry& other);
+
+  /// Snapshot as a JSON object {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}; zero-valued cells are skipped (same filter as
+  /// print()). Schema: DESIGN.md §11.
+  void write_json(JsonWriter& w) const;
+  /// write_json into a fresh document string.
+  [[nodiscard]] std::string to_json() const;
 
   /// The process-wide registry the library's built-in instrumentation uses.
   static MetricsRegistry& global();

@@ -2,9 +2,19 @@
 
 #include <ostream>
 
+#include "obs/json.h"
 #include "util/table.h"
 
 namespace wildenergy::obs {
+
+void StageStats::merge_from(const StageStats& other) {
+  if (name.empty()) name = other.name;
+  self_ms += other.self_ms;
+  packets += other.packets;
+  transitions += other.transitions;
+  bytes += other.bytes;
+  batch_latency_us.merge_from(other.batch_latency_us);
+}
 
 void RunStats::print(std::ostream& os) const {
   os << "-- run stats --\n"
@@ -27,6 +37,15 @@ void RunStats::print(std::ostream& os) const {
   os << "radio:         " << radio_bursts << " bursts (" << radio_bursts_queued
      << " queued behind airtime), " << radio_promotions << " promotions, " << radio_repromotions
      << " re-promotions\n";
+
+  if (memory.tracked_bytes() > 0 || memory.peak_rss_bytes > 0) {
+    os << "memory:        ledger " << fmt_bytes(static_cast<double>(memory.ledger_bytes))
+       << ", analyses " << fmt_bytes(static_cast<double>(memory.analyses_bytes));
+    if (memory.store_bytes > 0) {
+      os << ", trace store " << fmt_bytes(static_cast<double>(memory.store_bytes));
+    }
+    os << "; peak RSS " << fmt_bytes(static_cast<double>(memory.peak_rss_bytes)) << "\n";
+  }
 
   if (shard_retries > 0 || !failed_users.empty()) {
     os << "resilience:    " << shard_retries << " shard retr" << (shard_retries == 1 ? "y" : "ies")
@@ -59,28 +78,140 @@ void RunStats::print(std::ostream& os) const {
   }
 
   if (!timed || stages.empty()) {
-    if (num_threads > 1) {
-      os << "(per-stage self times are serial-only; sharded runs report per-shard walls)\n";
-    } else {
-      os << "(per-stage breakdown not collected; enable stage stats / --stats)\n";
-    }
+    os << "(per-stage breakdown not collected; enable stage stats / --stats)\n";
     return;
   }
 
   double accounted = 0.0;
-  for (const auto& s : stages) accounted += s.self_ms;
+  bool any_latency = false;
+  for (const auto& s : stages) {
+    accounted += s.self_ms;
+    any_latency = any_latency || s.batch_latency_us.count() > 0;
+  }
 
   os << "\n-- per-stage self time --\n";
-  TextTable table({"stage", "self (ms)", "% wall", "packets", "transitions", "Mpkt/s"});
+  std::vector<std::string> headers{"stage", "self (ms)", "% wall", "packets", "transitions",
+                                   "Mpkt/s"};
+  if (any_latency) {
+    headers.insert(headers.end(), {"batches", "p50 (us)", "p95 (us)", "p99 (us)"});
+  }
+  TextTable table(headers);
   for (const auto& s : stages) {
-    table.add_row({s.name, fmt(s.self_ms, 1),
-                   fmt(wall_ms > 0.0 ? 100.0 * s.self_ms / wall_ms : 0.0, 1),
-                   std::to_string(s.packets), std::to_string(s.transitions),
-                   fmt(s.packets_per_sec() / 1e6, 2)});
+    std::vector<std::string> row{s.name, fmt(s.self_ms, 1),
+                                 fmt(wall_ms > 0.0 ? 100.0 * s.self_ms / wall_ms : 0.0, 1),
+                                 std::to_string(s.packets), std::to_string(s.transitions),
+                                 fmt(s.packets_per_sec() / 1e6, 2)};
+    if (any_latency) {
+      const Histogram& h = s.batch_latency_us;
+      row.push_back(std::to_string(h.count()));
+      row.push_back(fmt(h.percentile(0.50), 1));
+      row.push_back(fmt(h.percentile(0.95), 1));
+      row.push_back(fmt(h.percentile(0.99), 1));
+    }
+    table.add_row(row);
   }
   table.print(os);
-  os << "(self times sum to " << fmt(accounted, 1) << " ms of " << fmt(wall_ms, 1)
-     << " ms wall)\n";
+  if (num_threads > 1) {
+    os << "(stage self times are summed across " << shards.size()
+       << " shard chains: " << fmt(accounted, 1) << " ms of CPU over " << fmt(wall_ms, 1)
+       << " ms wall)\n";
+  } else {
+    os << "(self times sum to " << fmt(accounted, 1) << " ms of " << fmt(wall_ms, 1)
+       << " ms wall)\n";
+  }
+}
+
+void RunStats::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("schema", "wildenergy.run_stats.v2");
+  w.kv("wall_ms", wall_ms);
+  w.kv("num_threads", num_threads);
+  w.kv("users", users);
+  w.kv("packets", packets);
+  w.kv("transitions", transitions);
+  w.kv("bytes", bytes);
+  w.kv("off_interface_packets", off_interface_packets);
+  w.kv("off_interface_bytes", off_interface_bytes);
+  w.kv("joules", joules);
+  w.kv("packets_per_sec", packets_per_sec());
+
+  w.key("attribution");
+  w.begin_object();
+  w.kv("tail_attributions", tail_attributions);
+  w.kv("proportional_splits", proportional_splits);
+  w.kv("promotion_segments", promotion_segments);
+  w.kv("transfer_segments", transfer_segments);
+  w.kv("tail_segments", tail_segments);
+  w.kv("drx_segments", drx_segments);
+  w.kv("idle_segments", idle_segments);
+  w.end_object();
+
+  w.key("radio");
+  w.begin_object();
+  w.kv("bursts", radio_bursts);
+  w.kv("bursts_queued", radio_bursts_queued);
+  w.kv("promotions", radio_promotions);
+  w.kv("repromotions", radio_repromotions);
+  w.end_object();
+
+  w.key("memory");
+  w.begin_object();
+  w.kv("ledger_bytes", memory.ledger_bytes);
+  w.kv("analyses_bytes", memory.analyses_bytes);
+  w.kv("store_bytes", memory.store_bytes);
+  w.kv("peak_rss_bytes", memory.peak_rss_bytes);
+  w.end_object();
+
+  w.key("resilience");
+  w.begin_object();
+  w.kv("shard_retries", shard_retries);
+  w.kv("serial_fallback_sinks", serial_fallback_sinks);
+  w.key("failed_users");
+  w.begin_array();
+  for (const std::uint64_t u : failed_users) w.value(u);
+  w.end_array();
+  w.end_object();
+
+  w.kv("timed", timed);
+  w.key("stages");
+  w.begin_array();
+  for (const auto& s : stages) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("self_ms", s.self_ms);
+    w.kv("packets", s.packets);
+    w.kv("transitions", s.transitions);
+    w.kv("bytes", s.bytes);
+    if (s.batch_latency_us.count() > 0) {
+      w.key("batch_latency_us");
+      s.batch_latency_us.write_json(w);
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("shards");
+  w.begin_array();
+  for (const auto& s : shards) {
+    w.begin_object();
+    w.kv("user", s.user);
+    w.kv("worker", s.worker);
+    w.kv("wall_ms", s.wall_ms);
+    w.kv("packets", s.packets);
+    w.kv("bytes", s.bytes);
+    w.kv("joules", s.joules);
+    w.kv("attempts", s.attempts);
+    w.kv("skipped", s.skipped);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string RunStats::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.str();
 }
 
 }  // namespace wildenergy::obs

@@ -6,6 +6,9 @@
 // profiling of generator vs filter vs policy vs attributor vs each sink) is
 // only populated when PipelineOptions::collect_stage_stats or a trace writer
 // asks for it, because it costs two clock reads per callback per stage.
+//
+// Serializable: to_json() emits the stable "wildenergy.run_stats.v2" schema
+// (DESIGN.md §11) the CLI --stats-json flag and the sweep engine export.
 #pragma once
 
 #include <cstdint>
@@ -13,21 +16,34 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace wildenergy::obs {
 
+class JsonWriter;  // obs/json.h
+
 /// One pipeline stage's share of a run, as seen by its InstrumentedSink.
+/// In a sharded run this is the fold of every surviving shard's copy of the
+/// stage: self times add, batch-latency histograms merge binwise.
 struct StageStats {
   std::string name;
   double self_ms = 0.0;  ///< callback time net of downstream stages
   std::uint64_t packets = 0;
   std::uint64_t transitions = 0;
   std::uint64_t bytes = 0;
+  /// Per-on_batch self latency, in microseconds. Only populated on batched
+  /// runs (batch_size > 0); its count — one sample per delivered batch — is
+  /// bit-identical across thread counts because batch boundaries are
+  /// per-user and thread-count-independent.
+  Histogram batch_latency_us;
 
   [[nodiscard]] double packets_per_sec() const {
     return self_ms > 0.0 ? static_cast<double>(packets) / (self_ms / 1e3) : 0.0;
   }
+
+  /// Fold another shard's copy of this stage into this one.
+  void merge_from(const StageStats& other);
 };
 
 /// One user-shard's share of a sharded run (core/pipeline.cpp).
@@ -38,10 +54,28 @@ struct ShardRunStats {
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
   double joules = 0.0;
+  /// This shard's own per-stage profile (filter, policy, attribute, sinks),
+  /// populated when stage stats were requested. The run-level
+  /// RunStats::stages is the user-id-order fold of these.
+  std::vector<StageStats> stages;
   // Failure handling (PipelineOptions::FailurePolicy::kRetryThenSkip).
   unsigned attempts = 1;   ///< 1 = succeeded first try; >1 = retried
   bool skipped = false;    ///< user excluded from the merge after retries
   util::Status status;     ///< last failure; OK for healthy shards
+};
+
+/// Data-structure footprints plus the process peak RSS (obs/memory.h).
+/// Bytes are container-capacity estimates, not allocator truth — see
+/// DESIGN.md §11 for the caveats.
+struct MemoryStats {
+  std::uint64_t ledger_bytes = 0;    ///< EnergyLedger accounts + per-user totals
+  std::uint64_t analyses_bytes = 0;  ///< sum over registered analysis sinks
+  std::uint64_t store_bytes = 0;     ///< trace source (TraceStore columns), if any
+  std::uint64_t peak_rss_bytes = 0;  ///< process-lifetime peak resident set
+
+  [[nodiscard]] std::uint64_t tracked_bytes() const {
+    return ledger_bytes + analyses_bytes + store_bytes;
+  }
 };
 
 struct RunStats {
@@ -73,9 +107,15 @@ struct RunStats {
   std::uint64_t radio_repromotions = 0;   ///< mid-tail re-promotions
 
   // Per-stage profile; empty unless stage stats were requested. Sharded runs
-  // leave it empty: self-time accounting assumes one serial callback chain.
+  // fill it too: each shard profiles its own chain copy on a shard-local
+  // PhaseStack and the copies are folded in user-id order (self times and
+  // counters add, batch-latency histograms merge binwise), so --stats names
+  // the hot stages at any thread count.
   bool timed = false;
   std::vector<StageStats> stages;
+
+  // Memory accounting: sink/source footprints plus process peak RSS.
+  MemoryStats memory;
 
   // Sharded runs only (num_threads > 1): one entry per user shard, in
   // user-id order, plus how many registered sinks fell back to the serial
@@ -99,6 +139,11 @@ struct RunStats {
   /// Human-readable report: totals, throughput, attribution counters, and —
   /// when timed — the per-stage wall-time breakdown (the --stats output).
   void print(std::ostream& os) const;
+
+  /// Write the "wildenergy.run_stats.v2" JSON object (DESIGN.md §11).
+  void write_json(JsonWriter& w) const;
+  /// write_json into a fresh document string.
+  [[nodiscard]] std::string to_json() const;
 };
 
 }  // namespace wildenergy::obs

@@ -60,11 +60,20 @@ class InstrumentedSink final : public TraceSink {
   void on_batch(const EventBatch& batch) override {
     // One timing frame and one counter update per batch — this is where the
     // per-record profiling overhead (two clock reads per callback) amortizes.
-    obs::ScopedPhase phase{stack_, &self_ns_};
-    stats_.packets += batch.packets.size();
-    stats_.transitions += batch.transitions.size();
-    for (const auto& p : batch.packets) stats_.bytes += p.bytes;
-    inner_->on_batch(batch);
+    const double before_ns = self_ns_;
+    {
+      obs::ScopedPhase phase{stack_, &self_ns_};
+      stats_.packets += batch.packets.size();
+      stats_.transitions += batch.transitions.size();
+      for (const auto& p : batch.packets) stats_.bytes += p.bytes;
+      inner_->on_batch(batch);
+    }
+    if (stack_ != nullptr) {
+      // One latency sample per delivered batch. The sample *values* vary run
+      // to run; the *count* is a pure function of the stream and batch_size,
+      // so it is bit-identical across thread counts (obs/run_stats.h).
+      stats_.batch_latency_us.record(static_cast<std::uint64_t>((self_ns_ - before_ns) / 1e3));
+    }
   }
 
   void on_user_end(UserId user) override {

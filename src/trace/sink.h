@@ -44,6 +44,12 @@ class TraceSink {
   /// optimization, never a requirement: any sink behaves bit-identically
   /// whether its input arrives per record or in batches of any size.
   virtual void on_batch(const EventBatch& batch);
+
+  /// Approximate resident footprint of this sink's accumulated state, for
+  /// the telemetry memory report (obs::RunStats::memory). Capacity estimate
+  /// of owned containers, not allocator truth (DESIGN.md §11). Sinks that
+  /// keep O(1) state may leave the 0 default.
+  [[nodiscard]] virtual std::uint64_t memory_bytes() const { return 0; }
 };
 
 /// Fans one stream out to several sinks, in registration order.

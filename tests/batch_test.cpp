@@ -601,9 +601,10 @@ TEST(BatchProperty, MidBatchShardFaultRetryStaysBitIdentical) {
     options.failure_policy = core::FailurePolicy::kRetryThenSkip;
     options.fault_plan = &plan;
     core::StudyPipeline pipeline{property_config(), options};
-    pipeline.run();
+    const auto run = pipeline.run();
+    ASSERT_TRUE(run.ok());
 
-    const auto& stats = pipeline.last_run_stats();
+    const obs::RunStats& stats = run.value();
     EXPECT_EQ(stats.shard_retries, 1u);
     EXPECT_TRUE(stats.failed_users.empty());
     ASSERT_EQ(stats.shards.size(), 4u);

@@ -140,9 +140,10 @@ TEST(PipelineFaults, RetryRecoversAndStaysBitIdenticalAcrossThreadCounts) {
     options.failure_policy = core::FailurePolicy::kRetryThenSkip;
     options.fault_plan = &plan;
     core::StudyPipeline pipeline{fault_config(), options};
-    pipeline.run();
+    const auto run = pipeline.run();
+    ASSERT_TRUE(run.ok());
 
-    const auto& stats = pipeline.last_run_stats();
+    const obs::RunStats& stats = run.value();
     EXPECT_EQ(stats.shard_retries, 1u) << threads << " threads";
     EXPECT_TRUE(stats.failed_users.empty());
     ASSERT_EQ(stats.shards.size(), 3u);
@@ -206,9 +207,10 @@ TEST(PipelineFaults, ExhaustedRetriesSkipTheUserBitIdenticallyToSerial) {
     core::StudyPipeline pipeline{fault_config(), options};
     trace::TraceCollector stream;
     pipeline.add_analysis(&stream);
-    pipeline.run();
+    const auto run = pipeline.run();
+    ASSERT_TRUE(run.ok());
 
-    const auto& stats = pipeline.last_run_stats();
+    const obs::RunStats& stats = run.value();
     EXPECT_EQ(stats.shard_retries, 2u) << threads << " threads";
     ASSERT_EQ(stats.failed_users.size(), 1u);
     EXPECT_EQ(stats.failed_users[0], 1u);
@@ -255,9 +257,10 @@ TEST(PipelineFaults, StallingFaultStillRecoversOnRetry) {
   options.failure_policy = core::FailurePolicy::kRetryThenSkip;
   options.fault_plan = &plan;
   core::StudyPipeline pipeline{fault_config(), options};
-  pipeline.run();
+  const auto run = pipeline.run();
+  ASSERT_TRUE(run.ok());
 
-  const auto& stats = pipeline.last_run_stats();
+  const obs::RunStats& stats = run.value();
   EXPECT_EQ(stats.shard_retries, 1u);
   EXPECT_TRUE(stats.failed_users.empty());
   EXPECT_GE(stats.shards[2].wall_ms, 0.0);

@@ -336,9 +336,10 @@ TEST(RunStats, TotalsExactlyMatchLedger) {
   core::PipelineOptions options;
   options.collect_stage_stats = true;
   core::StudyPipeline pipeline{obs_test_config(), options};
-  pipeline.run();
+  const auto run = pipeline.run();
+  ASSERT_TRUE(run.ok());
 
-  const obs::RunStats& stats = pipeline.last_run_stats();
+  const obs::RunStats& stats = run.value();
   const energy::EnergyLedger& ledger = pipeline.ledger();
   EXPECT_EQ(stats.packets, ledger.total_packets());
   EXPECT_EQ(stats.bytes, ledger.total_bytes());
@@ -380,8 +381,9 @@ TEST(RunStats, TotalsExactlyMatchLedger) {
 
 TEST(RunStats, StageProfilingOffByDefault) {
   core::StudyPipeline pipeline{obs_test_config()};
-  pipeline.run();
-  const obs::RunStats& stats = pipeline.last_run_stats();
+  const auto run = pipeline.run();
+  ASSERT_TRUE(run.ok());
+  const obs::RunStats& stats = run.value();
   EXPECT_FALSE(stats.timed);
   EXPECT_TRUE(stats.stages.empty());
   // Cheap totals are collected regardless.
@@ -427,14 +429,14 @@ TEST(RunStats, InstrumentationDoesNotPerturbAttribution) {
 
 TEST(RunStats, RepeatedRunsResetStats) {
   core::StudyPipeline pipeline{obs_test_config()};
-  pipeline.run();
-  const std::uint64_t first_packets = pipeline.last_run_stats().packets;
-  const std::uint64_t first_bursts = pipeline.last_run_stats().radio_bursts;
-  pipeline.run();
+  const auto first = pipeline.run();
+  ASSERT_TRUE(first.ok());
+  const auto second = pipeline.run();
+  ASSERT_TRUE(second.ok());
   // Same study, same seed: identical per-run numbers (no accumulation across
   // runs even though the radio counters live in the process-wide registry).
-  EXPECT_EQ(pipeline.last_run_stats().packets, first_packets);
-  EXPECT_EQ(pipeline.last_run_stats().radio_bursts, first_bursts);
+  EXPECT_EQ(second->packets, first->packets);
+  EXPECT_EQ(second->radio_bursts, first->radio_bursts);
 }
 
 TEST(RunStats, PrintMentionsKeyFields) {
@@ -442,10 +444,11 @@ TEST(RunStats, PrintMentionsKeyFields) {
   options.collect_stage_stats = true;
   core::StudyPipeline pipeline{obs_test_config(), options};
   std::ostringstream os;
-  pipeline.last_run_stats().print(os);  // before run: prints zeros, no crash
-  pipeline.run();
+  obs::RunStats{}.print(os);  // default-constructed: prints zeros, no crash
+  const auto run = pipeline.run();
+  ASSERT_TRUE(run.ok());
   os.str("");
-  pipeline.last_run_stats().print(os);
+  run->print(os);
   const std::string out = os.str();
   EXPECT_NE(out.find("wall time"), std::string::npos);
   EXPECT_NE(out.find("per-stage self time"), std::string::npos);
@@ -459,9 +462,10 @@ TEST(RunStats, NamedAnalysisAppearsInStages) {
   core::StudyPipeline pipeline{obs_test_config(), options};
   trace::TraceCollector collector;
   pipeline.add_analysis("my-analysis", &collector);
-  pipeline.run();
+  const auto run = pipeline.run();
+  ASSERT_TRUE(run.ok());
   bool found = false;
-  for (const auto& stage : pipeline.last_run_stats().stages) {
+  for (const auto& stage : run->stages) {
     if (stage.name == "my-analysis") {
       found = true;
       EXPECT_EQ(stage.packets, pipeline.ledger().total_packets());

@@ -264,9 +264,10 @@ TEST(ParallelDeterminism, ThreadCountsProduceBitIdenticalOutputs) {
   core::StudyPipeline serial{sim::small_study(/*seed=*/7)};
   AnalysisSet serial_set;
   serial_set.attach(serial);
-  serial.run();
+  const auto serial_run = serial.run();
+  ASSERT_TRUE(serial_run.ok());
   ASSERT_GT(serial.ledger().total_joules(), 0.0);
-  EXPECT_EQ(serial.last_run_stats().num_threads, 1u);
+  EXPECT_EQ(serial_run->num_threads, 1u);
 
   for (const unsigned threads : {2u, 8u}) {
     core::PipelineOptions options;
@@ -274,7 +275,8 @@ TEST(ParallelDeterminism, ThreadCountsProduceBitIdenticalOutputs) {
     core::StudyPipeline sharded{sim::small_study(/*seed=*/7), options};
     AnalysisSet sharded_set;
     sharded_set.attach(sharded);
-    sharded.run();
+    const auto sharded_run = sharded.run();
+    ASSERT_TRUE(sharded_run.ok());
 
     SCOPED_TRACE("num_threads=" + std::to_string(threads));
     expect_identical_ledgers(serial.ledger(), sharded.ledger());
@@ -293,7 +295,7 @@ TEST(ParallelDeterminism, ThreadCountsProduceBitIdenticalOutputs) {
               sharded.attributor().counters().tail_attributions);
 
     // Per-shard stats cover every user and add up to the stream totals.
-    const obs::RunStats& stats = sharded.last_run_stats();
+    const obs::RunStats& stats = sharded_run.value();
     EXPECT_EQ(stats.num_threads, std::min<unsigned>(threads, 6));  // capped at num_users
     ASSERT_EQ(stats.shards.size(), 6u);
     std::uint64_t shard_packets = 0;
@@ -336,8 +338,9 @@ TEST(ParallelDeterminism, NonShardableSinkSeesTheExactSerialStream) {
   options.num_threads = 4;
   core::StudyPipeline sharded{sim::small_study(/*seed=*/3), options};
   sharded.add_analysis("collector", &sharded_collector);
-  sharded.run();
-  EXPECT_EQ(sharded.last_run_stats().serial_fallback_sinks, 1u);
+  const auto sharded_run = sharded.run();
+  ASSERT_TRUE(sharded_run.ok());
+  EXPECT_EQ(sharded_run->serial_fallback_sinks, 1u);
 
   ASSERT_EQ(serial_collector.packets().size(), sharded_collector.packets().size());
   for (std::size_t i = 0; i < serial_collector.packets().size(); ++i) {

@@ -414,6 +414,7 @@ TEST(SweepEngine, MatchesIndependentPipelineRunsPerScenario) {
   // K independent pipelines, each regenerating the study from scratch.
   std::vector<std::unique_ptr<core::StudyPipeline>> pipelines;
   std::vector<std::unique_ptr<AnalysisSet>> pipeline_sets;
+  std::vector<obs::RunStats> pipeline_stats;
   for (const auto& spec : specs) {
     core::PipelineOptions options;
     options.radio_factory = spec.radio_factory;
@@ -422,7 +423,9 @@ TEST(SweepEngine, MatchesIndependentPipelineRunsPerScenario) {
     if (spec.policy) pipeline->set_policy(spec.policy);
     pipeline_sets.push_back(std::make_unique<AnalysisSet>());
     pipeline_sets.back()->attach(*pipeline);
-    ASSERT_TRUE(pipeline->run().ok());
+    const auto run = pipeline->run();
+    ASSERT_TRUE(run.ok());
+    pipeline_stats.push_back(run.value());
     pipelines.push_back(std::move(pipeline));
   }
 
@@ -455,7 +458,7 @@ TEST(SweepEngine, MatchesIndependentPipelineRunsPerScenario) {
     expect_identical_figures(pipelines[i]->ledger(), result->ledger);
     expect_identical_analyses(*pipeline_sets[i], *sweep_sets[i]);
     // Per-scenario RunStats counters match the standalone run too.
-    const obs::RunStats& expect = pipelines[i]->last_run_stats();
+    const obs::RunStats& expect = pipeline_stats[i];
     EXPECT_EQ(result->stats.packets, expect.packets);
     EXPECT_EQ(result->stats.bytes, expect.bytes);
     EXPECT_EQ(result->stats.joules, expect.joules);
