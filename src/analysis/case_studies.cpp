@@ -7,17 +7,25 @@ namespace wildenergy::analysis {
 
 CaseStudyAnalysis::CaseStudyAnalysis(std::vector<trace::AppId> apps)
     : apps_(std::move(apps)),
-      tracked_set_(apps_.begin(), apps_.end()),
-      assembler_([this](const trace::FlowRecord& flow) { on_flow(flow); }) {}
+      assembler_([this](const trace::FlowRecord& flow) { on_flow(flow); }) {
+  trace::AppId max_app = 0;
+  for (trace::AppId app : apps_) max_app = std::max(max_app, app);
+  tracked_index_.assign(apps_.empty() ? 0 : max_app + 1, kUntracked);
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    tracked_index_[apps_[i]] = static_cast<std::uint32_t>(i);
+  }
+}
 
 void CaseStudyAnalysis::on_study_begin(const trace::StudyMeta& meta) {
   meta_ = meta;
   const auto num_days = static_cast<std::int64_t>(std::ceil(meta.span().days()));
   era_split_lo_ = num_days / 3;
   era_split_hi_ = num_days - num_days / 3;
-  per_app_.clear();
-  for (trace::AppId app : apps_) {
-    PerApp& pa = per_app_[app];
+  cur_user_ = kNoUser;
+  per_app_.assign(apps_.size(), PerApp{});
+  for (PerApp& pa : per_app_) {
+    pa.joules_by_user.resize(meta.num_users, 0.0);
+    pa.joules_touched.resize(meta.num_users, false);
     pa.active_day.assign(static_cast<std::size_t>(meta.num_users) *
                              static_cast<std::size_t>(std::max<std::int64_t>(num_days, 1)),
                          false);
@@ -25,26 +33,53 @@ void CaseStudyAnalysis::on_study_begin(const trace::StudyMeta& meta) {
   assembler_.on_study_begin(meta);
 }
 
-void CaseStudyAnalysis::on_user_begin(trace::UserId user) { assembler_.on_user_begin(user); }
+CaseStudyAnalysis::PerApp* CaseStudyAnalysis::slot(trace::AppId app) {
+  if (app >= tracked_index_.size()) return nullptr;
+  const std::uint32_t index = tracked_index_[app];
+  if (index == kUntracked || index >= per_app_.size()) return nullptr;
+  return &per_app_[index];
+}
+
+void CaseStudyAnalysis::switch_user(trace::UserId user) {
+  for (PerApp& pa : per_app_) pa.has_last_flow = false;
+  cur_user_ = user;
+}
+
+void CaseStudyAnalysis::on_user_begin(trace::UserId user) {
+  switch_user(user);
+  assembler_.on_user_begin(user);
+}
 
 void CaseStudyAnalysis::on_packet(const trace::PacketRecord& p) {
   if (trace::is_foreground(p.state)) return;  // Table 1 is about background transfers
-  const auto it = per_app_.find(p.app);
-  if (it == per_app_.end()) return;
-  PerApp& pa = it->second;
-  pa.joules_by_user[p.user] += p.joules;
-  pa.bytes += p.bytes;
-  const auto num_days = pa.active_day.size() / std::max<std::size_t>(meta_.num_users, 1);
+  PerApp* pa = slot(p.app);
+  if (pa == nullptr) return;
+  if (p.user != cur_user_) switch_user(p.user);
+  if (p.user >= pa->joules_by_user.size()) {
+    pa->joules_by_user.resize(p.user + 1, 0.0);
+    pa->joules_touched.resize(p.user + 1, false);
+  }
+  pa->joules_by_user[p.user] += p.joules;
+  pa->joules_touched[p.user] = true;
+  pa->bytes += p.bytes;
+  const std::size_t num_users = std::max<std::size_t>(meta_.num_users, 1);
+  const std::size_t num_days = std::max<std::size_t>(pa->active_day.size() / num_users, 1);
   const auto day = static_cast<std::size_t>(
       std::clamp<std::int64_t>((p.time - meta_.study_begin).us / 86'400'000'000LL, 0,
                                static_cast<std::int64_t>(num_days) - 1));
-  pa.active_day[p.user * num_days + day] = true;
+  const std::size_t cell = p.user * num_days + day;
+  if (cell >= pa->active_day.size()) pa->active_day.resize(cell + 1, false);
+  pa->active_day[cell] = true;
   assembler_.on_packet(p);
 }
 
 void CaseStudyAnalysis::on_transition(const trace::StateTransition&) {}
 
-void CaseStudyAnalysis::on_user_end(trace::UserId user) { assembler_.on_user_end(user); }
+void CaseStudyAnalysis::on_user_end(trace::UserId user) {
+  assembler_.on_user_end(user);
+  for (PerApp& pa : per_app_) pa.has_last_flow = false;
+  cur_user_ = kNoUser;
+}
 
 void CaseStudyAnalysis::on_study_end() {}
 
@@ -54,53 +89,76 @@ std::unique_ptr<trace::TraceSink> CaseStudyAnalysis::clone_shard() const {
 
 void CaseStudyAnalysis::merge_from(trace::TraceSink& shard) {
   auto& other = dynamic_cast<CaseStudyAnalysis&>(shard);
-  for (const auto& [app, pa] : other.per_app_) {
-    PerApp& mine = per_app_[app];
-    for (const auto& [user, joules] : pa.joules_by_user) mine.joules_by_user.emplace(user, joules);
-    mine.bytes += pa.bytes;
-    mine.flows += pa.flows;
-    if (mine.active_day.size() < pa.active_day.size()) mine.active_day.resize(pa.active_day.size());
-    for (std::size_t i = 0; i < pa.active_day.size(); ++i) {
-      if (pa.active_day[i]) mine.active_day[i] = true;
+  for (std::size_t i = 0; i < per_app_.size() && i < other.per_app_.size(); ++i) {
+    PerApp& mine = per_app_[i];
+    const PerApp& theirs = other.per_app_[i];
+    if (theirs.joules_by_user.size() > mine.joules_by_user.size()) {
+      mine.joules_by_user.resize(theirs.joules_by_user.size(), 0.0);
+      mine.joules_touched.resize(theirs.joules_by_user.size(), false);
     }
-    mine.early_gaps.merge_from(pa.early_gaps);
-    mine.late_gaps.merge_from(pa.late_gaps);
+    for (trace::UserId user = 0; user < theirs.joules_by_user.size(); ++user) {
+      if (!theirs.joules_touched[user]) continue;
+      mine.joules_by_user[user] += theirs.joules_by_user[user];
+      mine.joules_touched[user] = true;
+    }
+    mine.bytes += theirs.bytes;
+    mine.flows += theirs.flows;
+    if (mine.active_day.size() < theirs.active_day.size()) {
+      mine.active_day.resize(theirs.active_day.size());
+    }
+    for (std::size_t d = 0; d < theirs.active_day.size(); ++d) {
+      if (theirs.active_day[d]) mine.active_day[d] = true;
+    }
+    mine.early_gaps.merge_from(theirs.early_gaps);
+    mine.late_gaps.merge_from(theirs.late_gaps);
   }
 }
 
 void CaseStudyAnalysis::on_flow(const trace::FlowRecord& flow) {
-  PerApp& pa = per_app_[flow.app];
-  pa.flows += 1;
-  const auto last = pa.last_flow_start.find(flow.user);
-  if (last != pa.last_flow_start.end()) {
-    const double gap_s = (flow.first_packet - last->second).seconds();
+  PerApp* pa = slot(flow.app);
+  if (pa == nullptr) return;
+  pa->flows += 1;
+  if (pa->has_last_flow) {
+    const double gap_s = (flow.first_packet - pa->last_flow_start).seconds();
     // Gaps above two days are app-dormancy, not an update period.
     if (gap_s > 0 && gap_s < 2.0 * 86400.0) {
       const std::int64_t day = (flow.first_packet - meta_.study_begin).us / 86'400'000'000LL;
       if (day < era_split_lo_) {
-        pa.early_gaps.add(gap_s);
+        pa->early_gaps.add(gap_s);
       } else if (day >= era_split_hi_) {
-        pa.late_gaps.add(gap_s);
+        pa->late_gaps.add(gap_s);
       }
     }
   }
-  pa.last_flow_start[flow.user] = flow.first_packet;
+  pa->last_flow_start = flow.first_packet;
+  pa->has_last_flow = true;
 }
 
 CaseStudyResult CaseStudyAnalysis::result(trace::AppId app) {
   CaseStudyResult out;
   out.app = app;
-  const auto it = per_app_.find(app);
-  if (it == per_app_.end()) return out;
-  PerApp& pa = it->second;
-  for (const auto& [user, joules] : pa.joules_by_user) out.joules_total += joules;
-  out.bytes_total = pa.bytes;
-  out.flows = pa.flows;
+  PerApp* pa = slot(app);
+  if (pa == nullptr) return out;
+  for (trace::UserId user = 0; user < pa->joules_by_user.size(); ++user) {
+    if (pa->joules_touched[user]) out.joules_total += pa->joules_by_user[user];
+  }
+  out.bytes_total = pa->bytes;
+  out.flows = pa->flows;
   out.days_active = static_cast<std::uint64_t>(
-      std::count(pa.active_day.begin(), pa.active_day.end(), true));
-  out.early_period_s = estimate_period_from_gaps(pa.early_gaps.sorted_samples()).period_s;
-  out.late_period_s = estimate_period_from_gaps(pa.late_gaps.sorted_samples()).period_s;
+      std::count(pa->active_day.begin(), pa->active_day.end(), true));
+  out.early_period_s = estimate_period_from_gaps(pa->early_gaps.sorted_samples()).period_s;
+  out.late_period_s = estimate_period_from_gaps(pa->late_gaps.sorted_samples()).period_s;
   return out;
+}
+
+std::uint64_t CaseStudyAnalysis::memory_bytes() const {
+  std::uint64_t total = tracked_index_.capacity() * sizeof(std::uint32_t);
+  for (const PerApp& pa : per_app_) {
+    total += pa.joules_by_user.capacity() * sizeof(double) +
+             (pa.joules_touched.capacity() + 7) / 8 + (pa.active_day.capacity() + 7) / 8 +
+             (pa.early_gaps.count() + pa.late_gaps.count()) * sizeof(double);
+  }
+  return total;
 }
 
 }  // namespace wildenergy::analysis

@@ -7,14 +7,14 @@
 //
 // Flow definition: idle-gap flow assembly (trace/flow_assembler.h); the
 // update period is estimated from the gaps between background flow starts.
+//
+// Data-plane layout (DESIGN.md §12): tracked apps resolve through a dense
+// AppId->slot index, energy partials live in dense per-user arrays, and the
+// last-flow-start anchor is a per-app scalar for the single live user (the
+// stream is user-bracketed) — no hashing on the packet path.
 #pragma once
 
-#include <map>
 #include <memory>
-#include <optional>
-#include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "trace/flow_assembler.h"
@@ -73,26 +73,41 @@ class CaseStudyAnalysis final : public trace::TraceSink, public trace::Shardable
   [[nodiscard]] CaseStudyResult result(trace::AppId app);
   [[nodiscard]] const std::vector<trace::AppId>& tracked() const { return apps_; }
 
+  /// Approximate resident footprint: per-user energy partials, day bitmaps,
+  /// and retained gap samples.
+  [[nodiscard]] std::uint64_t memory_bytes() const override;
+
  private:
   struct PerApp {
-    std::map<trace::UserId, double> joules_by_user;
+    std::vector<double> joules_by_user;  ///< dense by UserId
+    std::vector<bool> joules_touched;    ///< user has an energy partial
     std::uint64_t bytes = 0;
     std::uint64_t flows = 0;
     std::vector<bool> active_day;  ///< (user-major) day activity bitmaps, merged
     /// Gaps between consecutive background flow starts, split into eras.
     Distribution early_gaps;
     Distribution late_gaps;
-    std::unordered_map<trace::UserId, TimePoint> last_flow_start;
+    /// Start of the current user's previous background flow (the stream is
+    /// user-bracketed, so one anchor per app suffices).
+    TimePoint last_flow_start;
+    bool has_last_flow = false;
   };
+  static constexpr std::uint32_t kUntracked = UINT32_MAX;
+  static constexpr trace::UserId kNoUser = UINT32_MAX;
 
+  /// Tracked slot for `app`, or nullptr when the app is not a study subject.
+  PerApp* slot(trace::AppId app);
+  /// Reset per-app flow anchors when the stream moves to a new user.
+  void switch_user(trace::UserId user);
   void on_flow(const trace::FlowRecord& flow);
 
   std::vector<trace::AppId> apps_;
-  std::unordered_set<trace::AppId> tracked_set_;
+  std::vector<std::uint32_t> tracked_index_;  ///< AppId -> per_app_ slot
   trace::StudyMeta meta_;
   std::int64_t era_split_lo_ = 0;  ///< first day of the middle era
   std::int64_t era_split_hi_ = 0;  ///< first day of the late era
-  std::unordered_map<trace::AppId, PerApp> per_app_;
+  trace::UserId cur_user_ = kNoUser;
+  std::vector<PerApp> per_app_;  ///< one slot per tracked app, in apps_ order
   trace::FlowAssembler assembler_;
 };
 

@@ -9,11 +9,9 @@ namespace wildenergy::analysis {
 DiversityResult top_n_diversity(const energy::EnergyLedger& ledger, std::size_t top_n) {
   DiversityResult out;
 
-  std::map<trace::UserId, std::vector<const energy::AppUserAccount*>> by_user;
-  for (const auto& [key, acc] : ledger.accounts()) by_user[acc.user].push_back(&acc);
-
   std::vector<std::set<trace::AppId>> top_sets;
-  for (auto& [user, accounts] : by_user) {
+  for (trace::UserId user : ledger.users()) {
+    auto accounts = ledger.user_accounts(user);
     std::sort(accounts.begin(), accounts.end(),
               [](const auto* a, const auto* b) { return a->bytes > b->bytes; });
     std::set<trace::AppId> top;

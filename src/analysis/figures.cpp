@@ -8,11 +8,9 @@ namespace wildenergy::analysis {
 std::vector<PopularityEntry> top10_popularity(const energy::EnergyLedger& ledger,
                                               std::uint32_t min_users, std::size_t top_n) {
   // Per user: rank apps by bytes, take the top N.
-  std::map<trace::UserId, std::vector<const energy::AppUserAccount*>> by_user;
-  for (const auto& [key, acc] : ledger.accounts()) by_user[acc.user].push_back(&acc);
-
   std::map<trace::AppId, std::uint32_t> counts;
-  for (auto& [user, accounts] : by_user) {
+  for (trace::UserId user : ledger.users()) {
+    auto accounts = ledger.user_accounts(user);
     std::sort(accounts.begin(), accounts.end(),
               [](const auto* a, const auto* b) { return a->bytes > b->bytes; });
     const std::size_t n = std::min(top_n, accounts.size());

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/batch.h"
+
 namespace wildenergy::analysis {
 
 double WeeklySeries::max_weekly_bg_fluctuation() const {
@@ -20,29 +22,57 @@ double WeeklySeries::max_weekly_bg_fluctuation() const {
 }
 
 LongitudinalAnalysis::LongitudinalAnalysis(std::vector<trace::AppId> tracked_apps)
-    : tracked_(std::move(tracked_apps)), tracked_set_(tracked_.begin(), tracked_.end()) {}
+    : tracked_(std::move(tracked_apps)) {
+  for (std::size_t i = 0; i < tracked_.size(); ++i) {
+    const trace::AppId app = tracked_[i];
+    if (app >= tracked_index_.size()) tracked_index_.resize(app + 1, kUntracked);
+    tracked_index_[app] = static_cast<std::uint32_t>(i);
+  }
+}
 
 void LongitudinalAnalysis::on_study_begin(const trace::StudyMeta& meta) {
   meta_ = meta;
   num_days_ = static_cast<std::int64_t>(std::ceil(meta.span().days()));
-  const auto weeks = static_cast<std::size_t>((num_days_ + 6) / 7);
-  overall_.fg_joules.assign(std::max<std::size_t>(weeks, 1), 0.0);
-  overall_.bg_joules.assign(std::max<std::size_t>(weeks, 1), 0.0);
-  eras_.clear();
+  num_weeks_ = std::max<std::size_t>(static_cast<std::size_t>((num_days_ + 6) / 7), 1);
+  users_.clear();
+  users_.resize(meta.num_users);
+  cur_ = nullptr;
+  dirty_ = true;
+}
+
+LongitudinalAnalysis::UserPart& LongitudinalAnalysis::user_part(trace::UserId user) {
+  if (user >= users_.size()) users_.resize(user + 1);
+  auto& slot = users_[user];
+  if (!slot) {
+    slot = std::make_unique<UserPart>();
+    slot->fg_weeks.assign(num_weeks_, 0.0);
+    slot->bg_weeks.assign(num_weeks_, 0.0);
+    slot->eras.resize(tracked_.size());
+  }
+  return *slot;
 }
 
 void LongitudinalAnalysis::on_packet(const trace::PacketRecord& p) {
+  if (cur_ == nullptr || cur_user_ != p.user) {
+    cur_user_ = p.user;
+    cur_ = &user_part(p.user);
+  }
+  UserPart& part = *cur_;
+  dirty_ = true;
+
   const std::int64_t day = (p.time - meta_.study_begin).us / 86'400'000'000LL;
   const auto week = static_cast<std::size_t>(
-      std::clamp<std::int64_t>(day / 7, 0, static_cast<std::int64_t>(overall_.weeks()) - 1));
+      std::clamp<std::int64_t>(day / 7, 0, static_cast<std::int64_t>(num_weeks_) - 1));
   if (trace::is_foreground(p.state)) {
-    overall_.fg_joules[week] += p.joules;
+    part.fg_weeks[week] += p.joules;
   } else {
-    overall_.bg_joules[week] += p.joules;
+    part.bg_weeks[week] += p.joules;
   }
 
-  if (!tracked_set_.contains(p.app)) return;
-  EraAccum& era = eras_[p.app];
+  if (p.app >= tracked_index_.size()) return;
+  const std::uint32_t slot = tracked_index_[p.app];
+  if (slot == kUntracked) return;
+  EraAccum& era = part.eras[slot];
   if (day < num_days_ / 3) {
     era.early_joules += p.joules;
     era.early_bytes += p.bytes;
@@ -52,12 +82,82 @@ void LongitudinalAnalysis::on_packet(const trace::PacketRecord& p) {
   }
 }
 
+void LongitudinalAnalysis::on_batch(const trace::EventBatch& batch) {
+  if (batch.packets.empty()) return;
+  // Batches lie inside one user bracket: hoist the user partial, then run a
+  // tight pass over the packet column (transitions are ignored).
+  UserPart& part = user_part(batch.user);
+  dirty_ = true;
+  const std::int64_t begin_us = meta_.study_begin.us;
+  const auto last_week = static_cast<std::int64_t>(num_weeks_) - 1;
+  for (const auto& p : batch.packets) {
+    const std::int64_t day = (p.time.us - begin_us) / 86'400'000'000LL;
+    const auto week =
+        static_cast<std::size_t>(std::clamp<std::int64_t>(day / 7, 0, last_week));
+    (trace::is_foreground(p.state) ? part.fg_weeks : part.bg_weeks)[week] += p.joules;
+
+    if (p.app >= tracked_index_.size()) continue;
+    const std::uint32_t slot = tracked_index_[p.app];
+    if (slot == kUntracked) continue;
+    EraAccum& era = part.eras[slot];
+    if (day < num_days_ / 3) {
+      era.early_joules += p.joules;
+      era.early_bytes += p.bytes;
+    } else if (day >= num_days_ - num_days_ / 3) {
+      era.late_joules += p.joules;
+      era.late_bytes += p.bytes;
+    }
+  }
+}
+
+std::unique_ptr<trace::TraceSink> LongitudinalAnalysis::clone_shard() const {
+  return std::make_unique<LongitudinalAnalysis>(tracked_);
+}
+
+void LongitudinalAnalysis::merge_from(trace::TraceSink& shard) {
+  auto& other = dynamic_cast<LongitudinalAnalysis&>(shard);
+  if (other.users_.size() > users_.size()) users_.resize(other.users_.size());
+  for (std::size_t user = 0; user < other.users_.size(); ++user) {
+    if (other.users_[user]) users_[user] = std::move(other.users_[user]);
+  }
+  cur_ = nullptr;
+  other.cur_ = nullptr;
+  dirty_ = true;
+}
+
+void LongitudinalAnalysis::fold() const {
+  if (!dirty_) return;
+  overall_.fg_joules.assign(num_weeks_, 0.0);
+  overall_.bg_joules.assign(num_weeks_, 0.0);
+  eras_.assign(tracked_.size(), EraAccum{});
+  for (const auto& part : users_) {
+    if (!part) continue;
+    for (std::size_t w = 0; w < num_weeks_; ++w) {
+      overall_.fg_joules[w] += part->fg_weeks[w];
+      overall_.bg_joules[w] += part->bg_weeks[w];
+    }
+    for (std::size_t i = 0; i < eras_.size(); ++i) {
+      eras_[i].early_joules += part->eras[i].early_joules;
+      eras_[i].late_joules += part->eras[i].late_joules;
+      eras_[i].early_bytes += part->eras[i].early_bytes;
+      eras_[i].late_bytes += part->eras[i].late_bytes;
+    }
+  }
+  dirty_ = false;
+}
+
+const WeeklySeries& LongitudinalAnalysis::overall() const {
+  fold();
+  return overall_;
+}
+
 EraComparison LongitudinalAnalysis::era_comparison(trace::AppId app) const {
+  fold();
   EraComparison out;
   out.app = app;
-  const auto it = eras_.find(app);
-  if (it == eras_.end() || num_days_ < 3) return out;
-  const EraAccum& era = it->second;
+  if (num_days_ < 3) return out;
+  if (app >= tracked_index_.size() || tracked_index_[app] == kUntracked) return out;
+  const EraAccum& era = eras_[tracked_index_[app]];
   const double era_days = static_cast<double>(num_days_) / 3.0;
   out.early_joules_per_day = era.early_joules / era_days;
   out.late_joules_per_day = era.late_joules / era_days;
@@ -68,6 +168,17 @@ EraComparison LongitudinalAnalysis::era_comparison(trace::AppId app) const {
     out.late_uj_per_byte = era.late_joules / static_cast<double>(era.late_bytes) * 1e6;
   }
   return out;
+}
+
+std::uint64_t LongitudinalAnalysis::memory_bytes() const {
+  std::uint64_t total = users_.capacity() * sizeof(users_[0]);
+  for (const auto& part : users_) {
+    if (!part) continue;
+    total += sizeof(UserPart) +
+             (part->fg_weeks.capacity() + part->bg_weeks.capacity()) * sizeof(double) +
+             part->eras.capacity() * sizeof(EraAccum);
+  }
+  return total;
 }
 
 }  // namespace wildenergy::analysis

@@ -9,17 +9,19 @@
 // and compares early-era vs late-era per-app efficiency, surfacing the
 // behaviour evolutions Table 1 reports (Facebook 5 min -> 1 h, ...).
 //
-// Deliberately NOT shardable (trace/shardable.h): the weekly series are
-// cross-user double accumulators indexed by calendar week, so a bit-exact
-// merge would need per-user partials for every week cell; the sharded
-// pipeline instead feeds this sink through its serial-replay fallback, which
-// is deterministic by generator construction.
+// Shardable (trace/shardable.h): the weekly series and era accumulators are
+// cross-user double sums, so they are kept as per-user partials — one dense
+// week vector and era array per user — and folded in user-id order when
+// queried. The serial pass and the sharded merge therefore perform the exact
+// same floating-point fold, and outputs are bit-identical at any thread
+// count (DESIGN.md §12).
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "trace/shardable.h"
 #include "trace/sink.h"
 
 namespace wildenergy::analysis {
@@ -47,15 +49,23 @@ struct EraComparison {
   }
 };
 
-class LongitudinalAnalysis final : public trace::TraceSink {
+class LongitudinalAnalysis final : public trace::TraceSink, public trace::ShardableSink {
  public:
   explicit LongitudinalAnalysis(std::vector<trace::AppId> tracked_apps = {});
 
   void on_study_begin(const trace::StudyMeta& meta) override;
   void on_packet(const trace::PacketRecord& packet) override;
+  void on_batch(const trace::EventBatch& batch) override;
 
-  [[nodiscard]] const WeeklySeries& overall() const { return overall_; }
+  // ShardableSink: per-user week/era partials stolen from the shard and
+  // folded in user-id order at query time.
+  [[nodiscard]] std::unique_ptr<trace::TraceSink> clone_shard() const override;
+  void merge_from(trace::TraceSink& shard) override;
+
+  [[nodiscard]] const WeeklySeries& overall() const;
   [[nodiscard]] EraComparison era_comparison(trace::AppId app) const;
+
+  [[nodiscard]] std::uint64_t memory_bytes() const override;
 
  private:
   struct EraAccum {
@@ -65,12 +75,37 @@ class LongitudinalAnalysis final : public trace::TraceSink {
     std::uint64_t late_bytes = 0;
   };
 
+  /// One user's partial sums: dense weekly fg/bg joules plus one era
+  /// accumulator per tracked app (indexed by tracked_index_).
+  struct UserPart {
+    std::vector<double> fg_weeks;
+    std::vector<double> bg_weeks;
+    std::vector<EraAccum> eras;
+  };
+
+  static constexpr std::uint32_t kUntracked = UINT32_MAX;
+
+  UserPart& user_part(trace::UserId user);
+  /// Fold per-user partials (user-id order) into overall_/eras_.
+  void fold() const;
+
   trace::StudyMeta meta_;
   std::int64_t num_days_ = 0;
+  std::size_t num_weeks_ = 1;
   std::vector<trace::AppId> tracked_;
-  std::unordered_set<trace::AppId> tracked_set_;
-  WeeklySeries overall_;
-  std::unordered_map<trace::AppId, EraAccum> eras_;
+  /// Dense app-id -> tracked slot map (kUntracked when not tracked).
+  std::vector<std::uint32_t> tracked_index_;
+  /// Per-user partials, indexed by UserId; null until the user has traffic.
+  std::vector<std::unique_ptr<UserPart>> users_;
+
+  // Hot-path cache: the current user's partial (packets arrive user-grouped).
+  trace::UserId cur_user_ = 0;
+  UserPart* cur_ = nullptr;
+
+  // Query-time fold cache, invalidated by any mutation.
+  mutable bool dirty_ = true;
+  mutable WeeklySeries overall_;
+  mutable std::vector<EraAccum> eras_;
 };
 
 }  // namespace wildenergy::analysis

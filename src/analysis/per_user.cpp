@@ -7,12 +7,11 @@ namespace wildenergy::analysis {
 
 std::vector<UserSummary> per_user_summaries(const energy::EnergyLedger& ledger,
                                             std::size_t top_apps) {
-  std::map<trace::UserId, std::vector<const energy::AppUserAccount*>> by_user;
-  for (const auto& [key, acc] : ledger.accounts()) by_user[acc.user].push_back(&acc);
-
+  const std::vector<trace::UserId> users = ledger.users();
   std::vector<UserSummary> out;
-  out.reserve(by_user.size());
-  for (auto& [user, accounts] : by_user) {
+  out.reserve(users.size());
+  for (trace::UserId user : users) {
+    auto accounts = ledger.user_accounts(user);
     UserSummary s;
     s.user = user;
     double bg = 0.0;

@@ -6,9 +6,25 @@ namespace wildenergy::analysis {
 
 PersistenceAnalysis::PersistenceAnalysis(Duration quiet_gap) : quiet_gap_(quiet_gap) {}
 
-void PersistenceAnalysis::on_study_begin(const trace::StudyMeta&) {
-  episodes_.clear();
+void PersistenceAnalysis::on_study_begin(const trace::StudyMeta& meta) {
+  cur_user_ = kNoUser;
+  episodes_.assign(meta.num_apps, Episode{});
   durations_.clear();
+  durations_.resize(meta.num_apps);
+  known_.assign(meta.num_apps, false);
+}
+
+PersistenceAnalysis::Episode& PersistenceAnalysis::episode(trace::UserId user,
+                                                           trace::AppId app) {
+  if (user != cur_user_) {
+    // A new user bracket (or an unbracketed stream switching users): open
+    // episodes of the previous user are dropped, matching the pre-dense
+    // behaviour of clearing the episode map at every user end.
+    episodes_.assign(episodes_.size(), Episode{});
+    cur_user_ = user;
+  }
+  if (app >= episodes_.size()) episodes_.resize(app + 1);
+  return episodes_[app];
 }
 
 void PersistenceAnalysis::close(Episode& episode, trace::AppId app) {
@@ -16,37 +32,47 @@ void PersistenceAnalysis::close(Episode& episode, trace::AppId app) {
   const double duration_s =
       episode.saw_traffic ? std::max(0.0, (episode.last_packet - episode.transition).seconds())
                           : 0.0;
-  durations_[app].add(duration_s);
+  durations(app).add(duration_s);
   episode.open = false;
 }
 
+void PersistenceAnalysis::flush_user() {
+  for (std::size_t app = 0; app < episodes_.size(); ++app) {
+    close(episodes_[app], static_cast<trace::AppId>(app));
+  }
+  episodes_.assign(episodes_.size(), Episode{});
+  cur_user_ = kNoUser;
+}
+
+void PersistenceAnalysis::on_user_begin(trace::UserId user) { cur_user_ = user; }
+
 void PersistenceAnalysis::on_transition(const trace::StateTransition& t) {
-  auto& episode = episodes_[key(t.user, t.app)];
+  Episode& ep = episode(t.user, t.app);
   if (t.is_fg_to_bg()) {
-    close(episode, t.app);  // back-to-back fg->bg (e.g. fg->perceptible->bg)
-    episode.transition = t.time;
-    episode.last_packet = t.time;
-    episode.open = true;
-    episode.saw_traffic = false;
+    close(ep, t.app);  // back-to-back fg->bg (e.g. fg->perceptible->bg)
+    ep.transition = t.time;
+    ep.last_packet = t.time;
+    ep.open = true;
+    ep.saw_traffic = false;
   } else if (t.is_bg_to_fg()) {
-    close(episode, t.app);
+    close(ep, t.app);
   }
 }
 
 void PersistenceAnalysis::on_packet(const trace::PacketRecord& p) {
   if (trace::is_foreground(p.state)) return;
-  const auto it = episodes_.find(key(p.user, p.app));
-  if (it == episodes_.end() || !it->second.open) return;
-  Episode& episode = it->second;
-  const TimePoint reference = episode.saw_traffic ? episode.last_packet : episode.transition;
+  if (p.user != cur_user_ || p.app >= episodes_.size()) return;
+  Episode& ep = episodes_[p.app];
+  if (!ep.open) return;
+  const TimePoint reference = ep.saw_traffic ? ep.last_packet : ep.transition;
   if (p.time - reference > quiet_gap_) {
     // Quiet period ended the episode; later traffic (e.g. a periodic timer
     // hours later) is not "persisting foreground traffic".
-    close(episode, p.app);
+    close(ep, p.app);
     return;
   }
-  episode.last_packet = p.time;
-  episode.saw_traffic = true;
+  ep.last_packet = p.time;
+  ep.saw_traffic = true;
 }
 
 std::unique_ptr<trace::TraceSink> PersistenceAnalysis::clone_shard() const {
@@ -55,42 +81,41 @@ std::unique_ptr<trace::TraceSink> PersistenceAnalysis::clone_shard() const {
 
 void PersistenceAnalysis::merge_from(trace::TraceSink& shard) {
   auto& other = dynamic_cast<PersistenceAnalysis&>(shard);
-  for (const auto& [app, dist] : other.durations_) durations_[app].merge_from(dist);
-}
-
-void PersistenceAnalysis::on_user_end(trace::UserId user) {
-  for (auto& [k, episode] : episodes_) {
-    if ((k >> 32) == user) close(episode, static_cast<trace::AppId>(k & 0xFFFFFFFFu));
+  for (std::size_t app = 0; app < other.durations_.size(); ++app) {
+    if (!other.known_[app]) continue;
+    durations(static_cast<trace::AppId>(app)).merge_from(other.durations_[app]);
   }
-  episodes_.clear();
 }
 
-Distribution& PersistenceAnalysis::durations(trace::AppId app) { return durations_[app]; }
+void PersistenceAnalysis::on_user_end(trace::UserId /*user*/) { flush_user(); }
+
+Distribution& PersistenceAnalysis::durations(trace::AppId app) {
+  if (app >= durations_.size()) {
+    durations_.resize(app + 1);
+    known_.resize(app + 1, false);
+  }
+  known_[app] = true;
+  return durations_[app];
+}
 
 std::vector<trace::AppId> PersistenceAnalysis::tracked_apps() const {
   std::vector<trace::AppId> out;
-  out.reserve(durations_.size());
-  for (const auto& [app, dist] : durations_) out.push_back(app);
-  std::sort(out.begin(), out.end());
+  for (std::size_t app = 0; app < known_.size(); ++app) {
+    if (known_[app]) out.push_back(static_cast<trace::AppId>(app));
+  }
   return out;
 }
 
 double PersistenceAnalysis::fraction_persisting_longer_than(trace::AppId app, Duration d) {
-  auto it = durations_.find(app);
-  if (it == durations_.end() || it->second.count() == 0) return 0.0;
-  return 1.0 - it->second.cdf_at(d.seconds());
+  if (app >= durations_.size() || durations_[app].count() == 0) return 0.0;
+  return 1.0 - durations_[app].cdf_at(d.seconds());
 }
 
 std::uint64_t PersistenceAnalysis::memory_bytes() const {
-  // Hash nodes carry roughly a next pointer + cached hash next to the pair.
-  constexpr std::uint64_t kNodeOverhead = 2 * sizeof(void*);
-  std::uint64_t total =
-      episodes_.size() * (kNodeOverhead + sizeof(std::uint64_t) + sizeof(Episode)) +
-      episodes_.bucket_count() * sizeof(void*);
-  total += durations_.bucket_count() * sizeof(void*);
-  for (const auto& [app, dist] : durations_) {
-    total += kNodeOverhead + sizeof(app) + sizeof(dist) + dist.count() * sizeof(double);
-  }
+  std::uint64_t total = episodes_.capacity() * sizeof(Episode) +
+                        durations_.capacity() * sizeof(Distribution) +
+                        (known_.capacity() + 7) / 8;
+  for (const auto& dist : durations_) total += dist.count() * sizeof(double);
   return total;
 }
 

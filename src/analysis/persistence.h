@@ -6,10 +6,14 @@
 // packet preceding a quiet gap longer than `quiet_gap`. Each transition is
 // one data point (0 when nothing followed); the paper plots the
 // distribution for Chrome, where flows "persist for more than a day".
+//
+// Data-plane layout (DESIGN.md §12): app ids are dense, and the stream holds
+// one live user at a time, so open episodes live in a flat per-app array for
+// the current user (reset at every user bracket) and duration samples in a
+// dense per-app Distribution array — no hashing on the packet path.
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "trace/shardable.h"
@@ -24,6 +28,7 @@ class PersistenceAnalysis final : public trace::TraceSink, public trace::Shardab
   explicit PersistenceAnalysis(Duration quiet_gap = minutes(10.0));
 
   void on_study_begin(const trace::StudyMeta& meta) override;
+  void on_user_begin(trace::UserId user) override;
   void on_packet(const trace::PacketRecord& packet) override;
   void on_transition(const trace::StateTransition& transition) override;
   void on_user_end(trace::UserId user) override;
@@ -42,8 +47,8 @@ class PersistenceAnalysis final : public trace::TraceSink, public trace::Shardab
   /// Fraction of `app` transitions whose traffic persisted longer than `d`.
   [[nodiscard]] double fraction_persisting_longer_than(trace::AppId app, Duration d);
 
-  /// Approximate resident footprint: open-episode map plus the retained
-  /// per-app duration samples.
+  /// Approximate resident footprint: the per-app episode array plus the
+  /// retained per-app duration samples.
   [[nodiscard]] std::uint64_t memory_bytes() const override;
 
  private:
@@ -53,14 +58,22 @@ class PersistenceAnalysis final : public trace::TraceSink, public trace::Shardab
     bool open = false;
     bool saw_traffic = false;
   };
-  static std::uint64_t key(trace::UserId user, trace::AppId app) {
-    return (static_cast<std::uint64_t>(user) << 32) | app;
-  }
+  static constexpr trace::UserId kNoUser = UINT32_MAX;
+
+  Episode& episode(trace::UserId user, trace::AppId app);
   void close(Episode& episode, trace::AppId app);
+  /// Close every open episode in app-ascending order, then reset the array.
+  void flush_user();
 
   Duration quiet_gap_;
-  std::unordered_map<std::uint64_t, Episode> episodes_;
-  std::unordered_map<trace::AppId, Distribution> durations_;
+  /// Open episodes of the current user, indexed by AppId (one user is live
+  /// at a time — the stream is user-bracketed).
+  trace::UserId cur_user_ = kNoUser;
+  std::vector<Episode> episodes_;
+  /// Duration samples per app (dense by AppId); known_ mirrors which apps
+  /// have an entry at all (recorded or created via durations()).
+  std::vector<Distribution> durations_;
+  std::vector<bool> known_;
 };
 
 }  // namespace wildenergy::analysis

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/batch.h"
+
 namespace wildenergy::analysis {
 
 TimeSinceForegroundAnalysis::TimeSinceForegroundAnalysis(Duration horizon, Duration bin)
@@ -18,52 +20,110 @@ std::unique_ptr<trace::TraceSink> TimeSinceForegroundAnalysis::clone_shard() con
 void TimeSinceForegroundAnalysis::merge_from(trace::TraceSink& shard) {
   auto& other = dynamic_cast<TimeSinceForegroundAnalysis&>(shard);
   histogram_.merge_from(other.histogram_);
-  for (const auto& [app, tally] : other.tallies_) {
-    AppTally& mine = tallies_[app];
-    mine.bg_bytes += tally.bg_bytes;
-    mine.bg_bytes_first_minute += tally.bg_bytes_first_minute;
+  if (other.tallies_.size() > tallies_.size()) {
+    tallies_.resize(other.tallies_.size());
+    touched_.resize(other.tallies_.size(), false);
+  }
+  for (std::size_t app = 0; app < other.tallies_.size(); ++app) {
+    if (!other.touched_[app]) continue;
+    tallies_[app].bg_bytes += other.tallies_[app].bg_bytes;
+    tallies_[app].bg_bytes_first_minute += other.tallies_[app].bg_bytes_first_minute;
+    touched_[app] = true;
   }
 }
 
-void TimeSinceForegroundAnalysis::on_study_begin(const trace::StudyMeta&) {
-  last_exit_.clear();
-  in_foreground_.clear();
-  tallies_.clear();
+void TimeSinceForegroundAnalysis::on_study_begin(const trace::StudyMeta& meta) {
+  cur_user_ = kNoUser;
+  track_.assign(meta.num_apps, 0);
+  last_exit_.assign(meta.num_apps, TimePoint{});
+  tallies_.assign(meta.num_apps, AppTally{});
+  touched_.assign(meta.num_apps, false);
 }
 
-void TimeSinceForegroundAnalysis::on_transition(const trace::StateTransition& t) {
-  const std::uint64_t k = key(t.user, t.app);
+void TimeSinceForegroundAnalysis::switch_user(trace::UserId user) {
+  std::fill(track_.begin(), track_.end(), 0);
+  cur_user_ = user;
+}
+
+void TimeSinceForegroundAnalysis::grow_tracking(trace::AppId app) {
+  track_.resize(app + 1, 0);
+  last_exit_.resize(app + 1, TimePoint{});
+  if (tallies_.size() < track_.size()) {
+    tallies_.resize(track_.size());
+    touched_.resize(track_.size(), false);
+  }
+}
+
+void TimeSinceForegroundAnalysis::on_user_begin(trace::UserId user) { switch_user(user); }
+
+void TimeSinceForegroundAnalysis::handle_transition(const trace::StateTransition& t) {
+  if (t.user != cur_user_) switch_user(t.user);
+  if (t.app >= track_.size()) grow_tracking(t.app);
   if (t.is_fg_to_bg()) {
-    last_exit_[k] = t.time;
-    in_foreground_[k] = false;
+    last_exit_[t.app] = t.time;
+    track_[t.app] = kHasExit;
   } else if (t.is_bg_to_fg()) {
-    in_foreground_[k] = true;
+    track_[t.app] |= kInForeground;
   }
 }
 
-void TimeSinceForegroundAnalysis::on_packet(const trace::PacketRecord& p) {
+void TimeSinceForegroundAnalysis::handle_packet(const trace::PacketRecord& p) {
   if (trace::is_foreground(p.state)) return;
-  const std::uint64_t k = key(p.user, p.app);
-  const auto fg = in_foreground_.find(k);
-  if (fg != in_foreground_.end() && fg->second) return;  // app is fg; bg-state packet is stale
-  const auto it = last_exit_.find(k);
-  if (it == last_exit_.end()) return;  // never foregrounded: no reference point
-  const Duration dt = p.time - it->second;
+  if (p.user != cur_user_) switch_user(p.user);
+  if (p.app >= track_.size()) return;  // never tracked: no reference point
+  const std::uint8_t track = track_[p.app];
+  if ((track & kInForeground) != 0) return;  // app is fg; bg-state packet is stale
+  if ((track & kHasExit) == 0) return;       // never foregrounded: no reference point
+  const Duration dt = p.time - last_exit_[p.app];
   if (dt.us < 0) return;
 
   // Per-app tallies are unbounded in dt (the 84%-of-apps criterion covers
   // all background bytes); only the plotted histogram has a horizon.
   AppTally& tally = tallies_[p.app];
+  touched_[p.app] = true;
   tally.bg_bytes += p.bytes;
   if (dt <= sec(60.0)) tally.bg_bytes_first_minute += p.bytes;
   if (dt <= horizon_) histogram_.add(dt.seconds(), static_cast<double>(p.bytes));
+}
+
+void TimeSinceForegroundAnalysis::on_transition(const trace::StateTransition& t) {
+  handle_transition(t);
+}
+
+void TimeSinceForegroundAnalysis::on_packet(const trace::PacketRecord& p) {
+  handle_packet(p);
+}
+
+void TimeSinceForegroundAnalysis::on_batch(const trace::EventBatch& batch) {
+  // Packet/transition interleaving matters here (transitions re-arm the
+  // reference point), so walk the order column — still no virtual dispatch.
+  std::size_t pi = 0;
+  std::size_t ti = 0;
+  for (const trace::EventKind kind : batch.order) {
+    if (kind == trace::EventKind::kPacket) {
+      handle_packet(batch.packets[pi++]);
+    } else {
+      handle_transition(batch.transitions[ti++]);
+    }
+  }
+}
+
+std::vector<std::pair<trace::AppId, TimeSinceForegroundAnalysis::AppTally>>
+TimeSinceForegroundAnalysis::app_tallies() const {
+  std::vector<std::pair<trace::AppId, AppTally>> out;
+  for (std::size_t app = 0; app < tallies_.size(); ++app) {
+    if (touched_[app]) out.emplace_back(static_cast<trace::AppId>(app), tallies_[app]);
+  }
+  return out;
 }
 
 double TimeSinceForegroundAnalysis::fraction_of_apps_frontloaded(double share,
                                                                  std::uint64_t min_bytes) const {
   std::size_t eligible = 0;
   std::size_t frontloaded = 0;
-  for (const auto& [app, tally] : tallies_) {
+  for (std::size_t app = 0; app < tallies_.size(); ++app) {
+    if (!touched_[app]) continue;
+    const AppTally& tally = tallies_[app];
     if (tally.bg_bytes < min_bytes) continue;
     ++eligible;
     if (static_cast<double>(tally.bg_bytes_first_minute) >=
@@ -115,15 +175,9 @@ std::vector<double> TimeSinceForegroundAnalysis::spike_offsets_seconds(
 }
 
 std::uint64_t TimeSinceForegroundAnalysis::memory_bytes() const {
-  constexpr std::uint64_t kNodeOverhead = 2 * sizeof(void*);
-  std::uint64_t total = histogram_.bins() * sizeof(double);
-  total += last_exit_.size() * (kNodeOverhead + sizeof(std::uint64_t) + sizeof(TimePoint)) +
-           last_exit_.bucket_count() * sizeof(void*);
-  total += in_foreground_.size() * (kNodeOverhead + sizeof(std::uint64_t) + sizeof(bool)) +
-           in_foreground_.bucket_count() * sizeof(void*);
-  total += tallies_.size() * (kNodeOverhead + sizeof(trace::AppId) + sizeof(AppTally)) +
-           tallies_.bucket_count() * sizeof(void*);
-  return total;
+  return histogram_.bins() * sizeof(double) + track_.capacity() * sizeof(std::uint8_t) +
+         last_exit_.capacity() * sizeof(TimePoint) + tallies_.capacity() * sizeof(AppTally) +
+         (touched_.capacity() + 7) / 8;
 }
 
 }  // namespace wildenergy::analysis

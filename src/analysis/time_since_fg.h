@@ -8,11 +8,16 @@
 //   3. a long tail of persisting flows,
 // plus the headline criterion: the fraction of apps that send >=80% of their
 // background bytes within 60 s of going background ("84% of apps").
+//
+// Data-plane layout (DESIGN.md §12): app ids are dense and one user is live
+// at a time, so the per-(user, app) tracking state is a flat per-app array
+// for the current user (reset at each user bracket) and the tallies a dense
+// per-app array — no hashing on the packet path.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "trace/shardable.h"
@@ -29,8 +34,10 @@ class TimeSinceForegroundAnalysis final : public trace::TraceSink, public trace:
   explicit TimeSinceForegroundAnalysis(Duration horizon = hours(2.0), Duration bin = sec(30.0));
 
   void on_study_begin(const trace::StudyMeta& meta) override;
+  void on_user_begin(trace::UserId user) override;
   void on_packet(const trace::PacketRecord& packet) override;
   void on_transition(const trace::StateTransition& transition) override;
+  void on_batch(const trace::EventBatch& batch) override;
 
   // ShardableSink: byte tallies add; the histogram merges binwise, which is
   // exact (order-free) because its masses are integer byte counts.
@@ -44,10 +51,9 @@ class TimeSinceForegroundAnalysis final : public trace::TraceSink, public trace:
     std::uint64_t bg_bytes = 0;
     std::uint64_t bg_bytes_first_minute = 0;
   };
-  /// Per-app tallies (only packets after the app's first foreground use).
-  [[nodiscard]] const std::unordered_map<trace::AppId, AppTally>& app_tallies() const {
-    return tallies_;
-  }
+  /// Per-app tallies (only packets after the app's first foreground use),
+  /// app-ascending. Only apps with recorded traffic appear.
+  [[nodiscard]] std::vector<std::pair<trace::AppId, AppTally>> app_tallies() const;
 
   /// The paper's criterion: fraction of apps (with >= min_bytes of tracked
   /// background traffic) sending >= `share` of it within the first 60 s.
@@ -58,22 +64,32 @@ class TimeSinceForegroundAnalysis final : public trace::TraceSink, public trace:
   /// beyond the first 2 minutes — the 5/10-minute timers of Fig. 6.
   [[nodiscard]] std::vector<double> spike_offsets_seconds(std::size_t max_spikes = 4) const;
 
-  /// Approximate resident footprint: histogram bins plus the per-(user, app)
-  /// tracking maps and per-app tallies.
+  /// Approximate resident footprint: histogram bins plus the per-app
+  /// tracking arrays and tallies.
   [[nodiscard]] std::uint64_t memory_bytes() const override;
 
  private:
-  static std::uint64_t key(trace::UserId user, trace::AppId app) {
-    return (static_cast<std::uint64_t>(user) << 32) | app;
-  }
+  static constexpr trace::UserId kNoUser = UINT32_MAX;
+  // Per-app tracking flags for the current user.
+  static constexpr std::uint8_t kHasExit = 1;       ///< saw a fg->bg transition
+  static constexpr std::uint8_t kInForeground = 2;  ///< currently foreground
+
+  /// Reset the per-app tracking state when the stream moves to a new user.
+  void switch_user(trace::UserId user);
+  void handle_packet(const trace::PacketRecord& p);
+  void handle_transition(const trace::StateTransition& t);
+  void grow_tracking(trace::AppId app);
 
   Duration horizon_;
   Duration bin_;  ///< retained so clone_shard() rebuilds an identical histogram
   Histogram histogram_;
-  /// Last fg->bg transition per (user, app); absent until first transition.
-  std::unordered_map<std::uint64_t, TimePoint> last_exit_;
-  std::unordered_map<std::uint64_t, bool> in_foreground_;
-  std::unordered_map<trace::AppId, AppTally> tallies_;
+  /// Current user's tracking state, indexed by AppId.
+  trace::UserId cur_user_ = kNoUser;
+  std::vector<std::uint8_t> track_;
+  std::vector<TimePoint> last_exit_;  ///< valid when track_[app] & kHasExit
+  /// Study-wide per-app tallies (dense by AppId; touched_ = has an entry).
+  std::vector<AppTally> tallies_;
+  std::vector<bool> touched_;
 };
 
 }  // namespace wildenergy::analysis

@@ -1,34 +1,77 @@
 #include "analysis/waste.h"
 
+#include <algorithm>
+
 namespace wildenergy::analysis {
 
 WastedUpdateAnalysis::WastedUpdateAnalysis(std::vector<trace::AppId> apps, Duration useful_window)
     : apps_(std::move(apps)),
-      tracked_set_(apps_.begin(), apps_.end()),
       useful_window_(useful_window),
-      assembler_([this](const trace::FlowRecord& flow) { on_flow(flow); }) {}
+      assembler_([this](const trace::FlowRecord& flow) { on_flow(flow); }) {
+  trace::AppId max_app = 0;
+  for (trace::AppId app : apps_) max_app = std::max(max_app, app);
+  tracked_index_.assign(apps_.empty() ? 0 : max_app + 1, kUntracked);
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    tracked_index_[apps_[i]] = static_cast<std::uint32_t>(i);
+  }
+}
 
 void WastedUpdateAnalysis::on_study_begin(const trace::StudyMeta& meta) {
-  per_app_.clear();
-  for (trace::AppId app : apps_) per_app_.try_emplace(app);
+  cur_user_ = kNoUser;
+  per_app_.assign(apps_.size(), PerApp{});
+  for (PerApp& pa : per_app_) pa.user_parts.resize(meta.num_users);
   assembler_.on_study_begin(meta);
 }
 
-void WastedUpdateAnalysis::on_user_begin(trace::UserId user) { assembler_.on_user_begin(user); }
+WastedUpdateAnalysis::PerApp* WastedUpdateAnalysis::slot(trace::AppId app) {
+  if (app >= tracked_index_.size()) return nullptr;
+  const std::uint32_t index = tracked_index_[app];
+  if (index == kUntracked || index >= per_app_.size()) return nullptr;
+  return &per_app_[index];
+}
+
+WastedUpdateAnalysis::UserPart& WastedUpdateAnalysis::part(PerApp& pa, trace::UserId user) {
+  if (user >= pa.user_parts.size()) pa.user_parts.resize(user + 1);
+  UserPart& out = pa.user_parts[user];
+  out.touched = true;
+  return out;
+}
+
+void WastedUpdateAnalysis::switch_user(trace::UserId user) {
+  if (cur_user_ != kNoUser) {
+    // Updates left pending at a user switch were never followed by use.
+    for (PerApp& pa : per_app_) {
+      for (const PendingUpdate& update : pa.pending) {
+        ++pa.wasted_updates;
+        part(pa, cur_user_).wasted_joules += update.joules;
+      }
+      pa.pending.clear();
+    }
+  }
+  cur_user_ = user;
+}
+
+void WastedUpdateAnalysis::on_user_begin(trace::UserId user) {
+  switch_user(user);
+  assembler_.on_user_begin(user);
+}
 
 void WastedUpdateAnalysis::on_packet(const trace::PacketRecord& packet) {
-  if (!tracked_set_.contains(packet.app)) return;
+  PerApp* pa = slot(packet.app);
+  if (pa == nullptr) return;
+  if (packet.user != cur_user_) switch_user(packet.user);
   if (trace::is_foreground(packet.state)) {
     // Foreground traffic itself proves the user is looking: settle pending.
     settle_on_foreground(packet.app, packet.user, packet.time);
     return;
   }
-  expire(per_app_[packet.app], packet.user, packet.time);
+  expire(*pa, packet.user, packet.time);
   assembler_.on_packet(packet);
 }
 
 void WastedUpdateAnalysis::on_transition(const trace::StateTransition& transition) {
-  if (!tracked_set_.contains(transition.app)) return;
+  if (slot(transition.app) == nullptr) return;
+  if (transition.user != cur_user_) switch_user(transition.user);
   if (transition.is_bg_to_fg()) {
     settle_on_foreground(transition.app, transition.user, transition.time);
   }
@@ -37,43 +80,38 @@ void WastedUpdateAnalysis::on_transition(const trace::StateTransition& transitio
 void WastedUpdateAnalysis::on_user_end(trace::UserId user) {
   assembler_.on_user_end(user);
   // Remaining pending updates were never followed by use: wasted.
-  for (auto& [app, pa] : per_app_) {
-    auto it = pa.pending.find(user);
-    if (it == pa.pending.end()) continue;
-    for (const auto& update : it->second) {
+  for (PerApp& pa : per_app_) {
+    for (const PendingUpdate& update : pa.pending) {
       ++pa.wasted_updates;
-      pa.user_parts[user].wasted_joules += update.joules;
+      part(pa, user).wasted_joules += update.joules;
     }
-    pa.pending.erase(it);
+    pa.pending.clear();
   }
+  cur_user_ = kNoUser;
 }
 
 void WastedUpdateAnalysis::on_flow(const trace::FlowRecord& flow) {
-  PerApp& pa = per_app_[flow.app];
-  pa.updates += 1;
-  pa.user_parts[flow.user].joules += flow.joules;
-  pa.pending[flow.user].push_back({flow.last_packet, flow.joules});
+  PerApp* pa = slot(flow.app);
+  if (pa == nullptr) return;
+  pa->updates += 1;
+  part(*pa, flow.user).joules += flow.joules;
+  pa->pending.push_back({flow.last_packet, flow.joules});
 }
 
 void WastedUpdateAnalysis::expire(PerApp& pa, trace::UserId user, TimePoint now) {
-  auto it = pa.pending.find(user);
-  if (it == pa.pending.end()) return;
-  auto& queue = it->second;
-  while (!queue.empty() && now - queue.front().completed > useful_window_) {
+  while (!pa.pending.empty() && now - pa.pending.front().completed > useful_window_) {
     ++pa.wasted_updates;
-    pa.user_parts[user].wasted_joules += queue.front().joules;
-    queue.pop_front();
+    part(pa, user).wasted_joules += pa.pending.front().joules;
+    pa.pending.pop_front();
   }
 }
 
 void WastedUpdateAnalysis::settle_on_foreground(trace::AppId app, trace::UserId user,
                                                 TimePoint now) {
   assembler_.flush_idle(now);  // surface logically-complete updates first
-  PerApp& pa = per_app_[app];
+  PerApp& pa = *slot(app);
   expire(pa, user, now);  // anything older than the window is still wasted
-  auto it = pa.pending.find(user);
-  if (it == pa.pending.end()) return;
-  it->second.clear();  // remaining updates were fresh when the user looked
+  pa.pending.clear();     // remaining updates were fresh when the user looked
 }
 
 std::unique_ptr<trace::TraceSink> WastedUpdateAnalysis::clone_shard() const {
@@ -82,27 +120,46 @@ std::unique_ptr<trace::TraceSink> WastedUpdateAnalysis::clone_shard() const {
 
 void WastedUpdateAnalysis::merge_from(trace::TraceSink& shard) {
   auto& other = dynamic_cast<WastedUpdateAnalysis&>(shard);
-  for (const auto& [app, pa] : other.per_app_) {
-    PerApp& mine = per_app_[app];
-    mine.updates += pa.updates;
-    mine.wasted_updates += pa.wasted_updates;
-    for (const auto& [user, part] : pa.user_parts) mine.user_parts.emplace(user, part);
+  for (std::size_t i = 0; i < per_app_.size(); ++i) {
+    PerApp& mine = per_app_[i];
+    const PerApp& theirs = other.per_app_[i];
+    mine.updates += theirs.updates;
+    mine.wasted_updates += theirs.wasted_updates;
+    for (trace::UserId user = 0; user < theirs.user_parts.size(); ++user) {
+      const UserPart& up = theirs.user_parts[user];
+      if (!up.touched) continue;
+      UserPart& target = part(mine, user);
+      target.joules += up.joules;
+      target.wasted_joules += up.wasted_joules;
+    }
   }
 }
 
 WasteResult WastedUpdateAnalysis::result(trace::AppId app) const {
   WasteResult out;
   out.app = app;
-  const auto it = per_app_.find(app);
-  if (it == per_app_.end()) return out;
-  const PerApp& pa = it->second;
+  if (app >= tracked_index_.size() || tracked_index_[app] == kUntracked ||
+      tracked_index_[app] >= per_app_.size()) {
+    return out;
+  }
+  const PerApp& pa = per_app_[tracked_index_[app]];
   out.updates = pa.updates;
   out.wasted_updates = pa.wasted_updates;
-  for (const auto& [user, part] : pa.user_parts) {
-    out.joules += part.joules;
-    out.wasted_joules += part.wasted_joules;
+  for (const UserPart& up : pa.user_parts) {
+    if (!up.touched) continue;
+    out.joules += up.joules;
+    out.wasted_joules += up.wasted_joules;
   }
   return out;
+}
+
+std::uint64_t WastedUpdateAnalysis::memory_bytes() const {
+  std::uint64_t total = tracked_index_.capacity() * sizeof(std::uint32_t);
+  for (const PerApp& pa : per_app_) {
+    total += pa.user_parts.capacity() * sizeof(UserPart) +
+             pa.pending.size() * sizeof(PendingUpdate);
+  }
+  return total;
 }
 
 }  // namespace wildenergy::analysis

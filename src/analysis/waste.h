@@ -9,13 +9,16 @@
 // `useful_window` after it (the freshly synced content had a chance to be
 // seen), and *wasted* otherwise. Updates are background flows reconstructed
 // with the same idle-gap assembler as Table 1.
+//
+// Data-plane layout (DESIGN.md §12): tracked apps resolve through a dense
+// AppId->slot index, energy partials live in dense per-user arrays, and the
+// pending-update queue is per app for the single live user (the stream is
+// user-bracketed), so the packet path never hashes.
 #pragma once
 
+#include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "trace/flow_assembler.h"
@@ -59,6 +62,10 @@ class WastedUpdateAnalysis final : public trace::TraceSink, public trace::Sharda
   [[nodiscard]] WasteResult result(trace::AppId app) const;
   [[nodiscard]] const std::vector<trace::AppId>& tracked() const { return apps_; }
 
+  /// Approximate resident footprint: per-user energy partials plus the
+  /// pending-update queues.
+  [[nodiscard]] std::uint64_t memory_bytes() const override;
+
  private:
   struct PendingUpdate {
     TimePoint completed;
@@ -69,22 +76,33 @@ class WastedUpdateAnalysis final : public trace::TraceSink, public trace::Sharda
   struct UserPart {
     double joules = 0.0;
     double wasted_joules = 0.0;
+    bool touched = false;
   };
   struct PerApp {
     std::uint64_t updates = 0;
     std::uint64_t wasted_updates = 0;
-    std::map<trace::UserId, UserPart> user_parts;
-    std::unordered_map<trace::UserId, std::deque<PendingUpdate>> pending;
+    std::vector<UserPart> user_parts;  ///< dense by UserId
+    /// Current user's not-yet-settled updates (one user is live at a time).
+    std::deque<PendingUpdate> pending;
   };
+  static constexpr std::uint32_t kUntracked = UINT32_MAX;
+  static constexpr trace::UserId kNoUser = UINT32_MAX;
 
+  /// Tracked slot for `app`, or nullptr when the app is not a study subject.
+  PerApp* slot(trace::AppId app);
+  UserPart& part(PerApp& pa, trace::UserId user);
+  /// Flush the previous user's pending updates (never looked at: wasted)
+  /// and make `user` current.
+  void switch_user(trace::UserId user);
   void on_flow(const trace::FlowRecord& flow);
   void expire(PerApp& pa, trace::UserId user, TimePoint now);
   void settle_on_foreground(trace::AppId app, trace::UserId user, TimePoint now);
 
   std::vector<trace::AppId> apps_;
-  std::unordered_set<trace::AppId> tracked_set_;
+  std::vector<std::uint32_t> tracked_index_;  ///< AppId -> per_app_ slot
   Duration useful_window_;
-  std::unordered_map<trace::AppId, PerApp> per_app_;
+  trace::UserId cur_user_ = kNoUser;
+  std::vector<PerApp> per_app_;  ///< one slot per tracked app, in apps_ order
   trace::FlowAssembler assembler_;
 };
 

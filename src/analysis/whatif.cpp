@@ -40,7 +40,7 @@ WhatIfRow whatif_kill_after(const energy::EnergyLedger& ledger, trace::AppId app
   std::uint64_t total_days = 0;
   double sum_user_pct = 0.0;
 
-  for (const auto& [key, acc] : ledger.accounts()) {
+  for (const auto& acc : ledger.accounts()) {
     if (acc.app != app || acc.joules <= 0.0) continue;
     ++row.users_with_app;
 
@@ -93,7 +93,7 @@ WhatIfRow whatif_kill_after(const energy::EnergyLedger& ledger, trace::AppId app
 OverallWhatIf whatif_overall(const energy::EnergyLedger& ledger, std::int64_t idle_days) {
   OverallWhatIf out;
   out.total_joules = ledger.total_joules();
-  for (const auto& [key, acc] : ledger.accounts()) {
+  for (const auto& acc : ledger.accounts()) {
     for_each_suppressed_day(acc, idle_days, [&](std::size_t, const energy::DayCell& cell) {
       out.saved_joules += cell.bg_joules;
     });
@@ -105,7 +105,7 @@ double pct_saved_on_affected_days(const energy::EnergyLedger& ledger, trace::App
                                   std::int64_t idle_days) {
   // Per-user-per-day whole-device energy, for the denominators.
   std::unordered_map<trace::UserId, std::vector<double>> device_day_joules;
-  for (const auto& [key, acc] : ledger.accounts()) {
+  for (const auto& acc : ledger.accounts()) {
     auto& days = device_day_joules[acc.user];
     if (days.size() < acc.days.size()) days.resize(acc.days.size(), 0.0);
     for (std::size_t d = 0; d < acc.days.size(); ++d) {
@@ -115,7 +115,7 @@ double pct_saved_on_affected_days(const energy::EnergyLedger& ledger, trace::App
 
   double saved = 0.0;
   double device_total_on_affected_days = 0.0;
-  for (const auto& [key, acc] : ledger.accounts()) {
+  for (const auto& acc : ledger.accounts()) {
     if (acc.app != app || acc.joules <= 0.0) continue;
     const auto& days = device_day_joules[acc.user];
     for_each_suppressed_day(acc, idle_days, [&](std::size_t d, const energy::DayCell& cell) {

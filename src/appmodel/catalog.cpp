@@ -15,7 +15,7 @@ trace::AppId AppCatalog::add(AppProfile profile) {
 }
 
 trace::AppId AppCatalog::find(std::string_view name) const {
-  const auto it = index_.find(std::string{name});
+  const auto it = index_.find(name);  // heterogeneous: no temporary string
   return it == index_.end() ? trace::kNoApp : it->second;
 }
 

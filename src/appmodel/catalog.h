@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -37,8 +39,18 @@ class AppCatalog {
   [[nodiscard]] static AppCatalog full_catalog(std::uint64_t seed, std::size_t total_apps = 342);
 
  private:
+  /// Transparent hash so find(string_view) probes the index heterogeneously —
+  /// O(1) expected, and no temporary std::string per lookup (the CSV ingest
+  /// path resolves one name per row through this).
+  struct NameHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view name) const noexcept {
+      return std::hash<std::string_view>{}(name);
+    }
+  };
+
   std::vector<AppProfile> profiles_;
-  std::unordered_map<std::string, trace::AppId> index_;
+  std::unordered_map<std::string, trace::AppId, NameHash, std::equal_to<>> index_;
 };
 
 }  // namespace wildenergy::appmodel

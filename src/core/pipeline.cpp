@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <set>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -243,19 +242,27 @@ util::Status StudyPipeline::run_sharded(unsigned num_threads,
   sinks.emplace_back("ledger", &ledger_);
   for (const auto& [name, sink] : analyses_) sinks.emplace_back(name, sink);
 
+  // Every sink rides the shard/merge protocol. A custom sink that is not
+  // shardable is wrapped in a collect-splice adapter (core/shard_chain.h)
+  // whose clones capture each user's annotated stream and whose merge
+  // replays the captures serially in user-id order; it is counted in
+  // serial_fallback_sinks. The default analysis set adapts nothing.
+  std::vector<std::unique_ptr<internal::CollectSpliceSink>> adapters;
   std::vector<trace::ShardableSink*> shardable;   // parallel to `sharded_parents`
   std::vector<trace::TraceSink*> sharded_parents;
   std::vector<std::string> shardable_names;
-  std::vector<trace::TraceSink*> fallback;        // fed by the serial replay below
   for (const auto& [name, sink] : sinks) {
     if (auto* s = trace::as_shardable(sink)) {
       shardable.push_back(s);
       sharded_parents.push_back(sink);
-      shardable_names.push_back(name);
     } else {
-      fallback.push_back(sink);
+      adapters.push_back(std::make_unique<internal::CollectSpliceSink>(sink));
+      shardable.push_back(adapters.back().get());
+      sharded_parents.push_back(adapters.back().get());
     }
+    shardable_names.push_back(name);
   }
+  stats_.serial_fallback_sinks = adapters.size();
 
   // One shard per user, built serially via the shared chain builder
   // (core/shard_chain.h) — the same chain the sweep engine stamps out per
@@ -329,6 +336,23 @@ util::Status StudyPipeline::run_sharded(unsigned num_threads,
     }
   }
 
+  // Per-shard ledger totals for ShardRunStats, snapshotted before the merge
+  // (merge_from moves the clone's state into the parent).
+  struct ShardTotals {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    double joules = 0.0;
+  };
+  std::vector<ShardTotals> shard_totals(num_users);
+  for (std::size_t index = 0; index < num_users; ++index) {
+    const internal::ShardChain& shard = *shards[index];
+    if (!shard.error.ok()) continue;
+    const auto& shard_ledger =
+        dynamic_cast<const energy::EnergyLedger&>(*shard.clones[0]);  // ledger is sinks[0]
+    shard_totals[index] = {shard_ledger.total_packets(), shard_ledger.total_bytes(),
+                          shard_ledger.total_joules()};
+  }
+
   // Deterministic merge, in stream (user-id) order, skipping failed shards.
   // Parents are reset through the standard study bracket first so repeated
   // run() calls stay idempotent.
@@ -348,26 +372,6 @@ util::Status StudyPipeline::run_sharded(unsigned num_threads,
     obs::MetricsRegistry::global().merge_from(shard.registry);
   }
   for (auto* parent : sharded_parents) parent->on_study_end();
-
-  // Non-shardable sinks get the exact serial stream via a replay pass: the
-  // source is deterministic and replayable, so this is the stream a serial
-  // run would have fed them. The replay's radio/attribution work happens
-  // under a scratch registry so global counters are not double-counted.
-  // Users whose shard was skipped are filtered out of the replay too, so
-  // every sink — shardable or not — sees the same surviving-user study.
-  util::Status replay_status;
-  if (!fallback.empty()) {
-    stats_.serial_fallback_sinks = fallback.size();
-    const auto chain = internal::build_replay_chain(chain_config, fallback);
-    const std::set<std::uint64_t> skipped(stats_.failed_users.begin(),
-                                          stats_.failed_users.end());
-    internal::UserSkipFilter skip_filter{chain->entry, skipped};
-    obs::MetricsRegistry scratch;
-    const obs::ScopedMetricsRegistry scoped{&scratch};
-    replay_status = source_->emit(
-        skipped.empty() ? *chain->entry : static_cast<trace::TraceSink&>(skip_filter),
-        batch_size_);
-  }
   stats_.wall_ms = total.elapsed_ms();
 
   stats_.num_threads = num_threads;
@@ -406,11 +410,9 @@ util::Status StudyPipeline::run_sharded(unsigned num_threads,
     s.status = shard.error;
     if (timed) s.stages = shard.stage_stats();
     if (!s.skipped) {
-      const auto& shard_ledger =
-          dynamic_cast<const energy::EnergyLedger&>(*shard.clones[0]);  // ledger is sinks[0]
-      s.packets = shard_ledger.total_packets();
-      s.bytes = shard_ledger.total_bytes();
-      s.joules = shard_ledger.total_joules();
+      s.packets = shard_totals[index].packets;
+      s.bytes = shard_totals[index].bytes;
+      s.joules = shard_totals[index].joules;
     }
     stats_.shards.push_back(s);
   }
@@ -457,7 +459,7 @@ util::Status StudyPipeline::run_sharded(unsigned num_threads,
     trace_writer_->add_complete("run", "pipeline", run_start_us,
                                 static_cast<std::int64_t>(stats_.wall_ms * 1e3), 0);
   }
-  return replay_status;
+  return util::Status{};
 }
 
 }  // namespace wildenergy::core

@@ -167,8 +167,8 @@ class StudyPipeline {
   /// forward-only source). Returns the source's emit status.
   util::Status run_serial();
   /// One shard per user (in `user_ids` stream order) on `num_threads`
-  /// workers; deterministic merge in stream order, plus a serial replay pass
-  /// for non-shardable sinks.
+  /// workers; deterministic merge in stream order. Non-shardable custom
+  /// sinks are wrapped in collect-splice adapters (core/shard_chain.h).
   util::Status run_sharded(unsigned num_threads, const std::vector<trace::UserId>& user_ids);
 
   std::unique_ptr<sim::StudyGenerator> owned_generator_;  ///< config ctors only

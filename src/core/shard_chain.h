@@ -14,8 +14,8 @@
 // radio factory runs on workers (inside EnergyAttributor::on_user_begin).
 #pragma once
 
+#include <cassert>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -24,6 +24,7 @@
 #include "fault/plan.h"
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
+#include "trace/batch.h"
 #include "trace/instrumented_sink.h"
 #include "trace/interface_filter.h"
 #include "trace/shardable.h"
@@ -141,67 +142,70 @@ inline std::unique_ptr<ShardChain> build_chain(
   return shard;
 }
 
-/// The serial replay chain feeding non-shardable sinks: the same
-/// filter -> policy -> attributor stages as a shard, fanned out over the
-/// parent sinks directly (no clones, no fault decorator — replay happens
-/// after faults are resolved).
-struct ReplayChain {
-  trace::TraceMulticast fanout;
-  std::unique_ptr<energy::EnergyAttributor> attributor;
-  std::unique_ptr<trace::TraceSink> policy;
-  std::unique_ptr<trace::InterfaceFilter> filter;
-  trace::TraceSink* entry = nullptr;
-};
-
-inline std::unique_ptr<ReplayChain> build_replay_chain(
-    const ChainConfig& cfg, const std::vector<trace::TraceSink*>& sinks) {
-  auto chain = std::make_unique<ReplayChain>();
-  for (auto* sink : sinks) chain->fanout.add(sink);
-  chain->attributor = std::make_unique<energy::EnergyAttributor>(cfg.radio_factory,
-                                                                 &chain->fanout, cfg.tail_policy);
-  trace::TraceSink* head = chain->attributor.get();
-  if (cfg.policy_factory) {
-    chain->policy = cfg.policy_factory(head);
-    head = chain->policy.get();
-  }
-  chain->filter = std::make_unique<trace::InterfaceFilter>(head, cfg.interface);
-  chain->entry = chain->filter.get();
-  return chain;
-}
-
-/// Drops the whole bracket (begin, events, end) of every user in `skip`, so
-/// the fallback replay pass feeds non-shardable sinks the same surviving-user
-/// study the shard merge produced.
-class UserSkipFilter final : public trace::TraceSink {
+/// Shardability adapter for custom sinks that do not implement
+/// trace::ShardableSink. Every sink in the default analysis set is shardable;
+/// a custom one the engines cannot shard gets wrapped in this adapter, which
+/// slots into the standard clone/merge protocol:
+///
+///   - the parent forwards the study brackets to the wrapped sink,
+///   - each clone captures its single user's annotated stream as columnar
+///     events (a one-user recording, nothing is forwarded), and
+///   - merge_from replays the captured user bracket into the wrapped sink.
+///
+/// Merges arrive in user-id order — exactly the serial stream order — so the
+/// wrapped sink consumes the same surviving-user study a serial run would
+/// have fed it (skipped users are never merged). The engines count adapted
+/// sinks in RunStats::serial_fallback_sinks: the replay into the wrapped
+/// sink is serial work at merge time, even though capture ran on workers.
+class CollectSpliceSink final : public trace::TraceSink, public trace::ShardableSink {
  public:
-  UserSkipFilter(trace::TraceSink* downstream, const std::set<std::uint64_t>& skip)
-      : downstream_(downstream), skip_(skip) {}
+  /// Parent mode wraps `target` (non-owning). Clones capture instead.
+  explicit CollectSpliceSink(trace::TraceSink* target) : target_(target) {}
 
-  void on_study_begin(const trace::StudyMeta& meta) override { downstream_->on_study_begin(meta); }
+  void on_study_begin(const trace::StudyMeta& meta) override {
+    if (target_ != nullptr) target_->on_study_begin(meta);
+  }
+  void on_study_end() override {
+    if (target_ != nullptr) target_->on_study_end();
+  }
   void on_user_begin(trace::UserId user) override {
-    skipping_ = skip_.count(user) > 0;
-    if (!skipping_) downstream_->on_user_begin(user);
+    assert(!have_user_);  // engines send one user per clone
+    have_user_ = true;
+    user_ = user;
   }
-  void on_packet(const trace::PacketRecord& p) override {
-    if (!skipping_) downstream_->on_packet(p);
-  }
-  void on_transition(const trace::StateTransition& t) override {
-    if (!skipping_) downstream_->on_transition(t);
-  }
-  void on_user_end(trace::UserId user) override {
-    if (!skipping_) downstream_->on_user_end(user);
-    skipping_ = false;
-  }
-  void on_study_end() override { downstream_->on_study_end(); }
+  void on_packet(const trace::PacketRecord& p) override { events_.add(p); }
+  void on_transition(const trace::StateTransition& t) override { events_.add(t); }
   void on_batch(const trace::EventBatch& batch) override {
-    // A batch belongs to exactly one user, so skipping is all-or-nothing.
-    if (!skipping_) downstream_->on_batch(batch);
+    events_.packets.insert(events_.packets.end(), batch.packets.begin(), batch.packets.end());
+    events_.transitions.insert(events_.transitions.end(), batch.transitions.begin(),
+                               batch.transitions.end());
+    events_.order.insert(events_.order.end(), batch.order.begin(), batch.order.end());
+  }
+
+  [[nodiscard]] std::unique_ptr<trace::TraceSink> clone_shard() const override {
+    return std::make_unique<CollectSpliceSink>(nullptr);
+  }
+  void merge_from(trace::TraceSink& shard) override {
+    auto& other = dynamic_cast<CollectSpliceSink&>(shard);
+    if (!other.have_user_) return;
+    target_->on_user_begin(other.user_);
+    trace::replay(other.events_, *target_);
+    target_->on_user_end(other.user_);
+    other.events_.clear();
+    other.have_user_ = false;
+  }
+
+  [[nodiscard]] std::uint64_t memory_bytes() const override {
+    return events_.packets.capacity() * sizeof(trace::PacketRecord) +
+           events_.transitions.capacity() * sizeof(trace::StateTransition) +
+           events_.order.capacity() * sizeof(trace::EventKind);
   }
 
  private:
-  trace::TraceSink* downstream_;
-  const std::set<std::uint64_t>& skip_;
-  bool skipping_ = false;
+  trace::TraceSink* target_;  ///< null in capture clones
+  bool have_user_ = false;
+  trace::UserId user_ = 0;
+  trace::EventBatch events_;
 };
 
 }  // namespace wildenergy::core::internal

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -65,9 +64,11 @@ util::StatusOr<obs::RunStats> SweepEngine::run() {
   // up front (policy factories and clone_shard() need not be thread-safe).
   struct ScenarioPlan {
     internal::ChainConfig config;
+    /// Adapters wrapping non-shardable custom analyses (collect-splice,
+    /// core/shard_chain.h); counted in serial_fallback_sinks.
+    std::vector<std::unique_ptr<internal::CollectSpliceSink>> adapters;
     std::vector<trace::ShardableSink*> shardable;
     std::vector<trace::TraceSink*> sharded_parents;
-    std::vector<trace::TraceSink*> fallback;
     std::vector<std::unique_ptr<internal::ShardChain>> shards;  ///< one per user
   };
   std::vector<ScenarioPlan> plans(num_scenarios);
@@ -87,11 +88,14 @@ util::StatusOr<obs::RunStats> SweepEngine::run() {
       if (auto* s = trace::as_shardable(sink)) {
         plan.shardable.push_back(s);
         plan.sharded_parents.push_back(sink);
-        plan.config.sink_names.push_back(name);
       } else {
-        plan.fallback.push_back(sink);
+        plan.adapters.push_back(std::make_unique<internal::CollectSpliceSink>(sink));
+        plan.shardable.push_back(plan.adapters.back().get());
+        plan.sharded_parents.push_back(plan.adapters.back().get());
       }
+      plan.config.sink_names.push_back(name);
     }
+    results_[si].stats.serial_fallback_sinks = plan.adapters.size();
     plan.shards.reserve(num_users);
     for (const trace::UserId user : user_ids) {
       plan.shards.push_back(internal::build_chain(plan.config, plan.shardable, user));
@@ -148,8 +152,7 @@ util::StatusOr<obs::RunStats> SweepEngine::run() {
   }
 
   // Per-scenario: serial retries, deterministic merge in stream order,
-  // fallback replay for non-shardable sinks, stats. Exactly the pipeline's
-  // discipline, applied K times.
+  // stats. Exactly the pipeline's discipline, applied K times.
   obs::RunStats aggregate;
   for (std::size_t si = 0; si < num_scenarios; ++si) {
     ScenarioPlan& plan = plans[si];
@@ -180,6 +183,23 @@ util::StatusOr<obs::RunStats> SweepEngine::run() {
       }
     }
 
+    // Per-shard ledger totals for ShardRunStats, snapshotted before the
+    // merge (merge_from moves the clone's state into the parent).
+    struct ShardTotals {
+      std::uint64_t packets = 0;
+      std::uint64_t bytes = 0;
+      double joules = 0.0;
+    };
+    std::vector<ShardTotals> shard_totals(num_users);
+    for (std::size_t ui = 0; ui < num_users; ++ui) {
+      const internal::ShardChain& shard = *plan.shards[ui];
+      if (!shard.error.ok()) continue;
+      const auto& shard_ledger =
+          dynamic_cast<const energy::EnergyLedger&>(*shard.clones[0]);  // ledger is sinks[0]
+      shard_totals[ui] = {shard_ledger.total_packets(), shard_ledger.total_bytes(),
+                          shard_ledger.total_joules()};
+    }
+
     // Merge in stream (user-id) order, skipping failed shards. The parent
     // attributor exists only to fold the scenario's attribution counters in
     // the same order a standalone pipeline would.
@@ -206,21 +226,6 @@ util::StatusOr<obs::RunStats> SweepEngine::run() {
       obs::MetricsRegistry::global().merge_from(shard.registry);
     }
     for (auto* parent : plan.sharded_parents) parent->on_study_end();
-
-    // Non-shardable analyses get the exact serial stream via a replay pass
-    // over the store, minus skipped users, under a scratch registry.
-    if (!plan.fallback.empty()) {
-      res.stats.serial_fallback_sinks = plan.fallback.size();
-      const auto chain = internal::build_replay_chain(plan.config, plan.fallback);
-      const std::set<std::uint64_t> skipped(res.stats.failed_users.begin(),
-                                            res.stats.failed_users.end());
-      internal::UserSkipFilter skip_filter{chain->entry, skipped};
-      obs::MetricsRegistry scratch;
-      const obs::ScopedMetricsRegistry scoped{&scratch};
-      res.status.update(store_->emit(
-          skipped.empty() ? *chain->entry : static_cast<trace::TraceSink&>(skip_filter),
-          options_.batch_size));
-    }
 
     res.stats.num_threads = options_.num_threads;
     res.stats.users = static_cast<std::uint64_t>(num_users);
@@ -251,11 +256,9 @@ util::StatusOr<obs::RunStats> SweepEngine::run() {
       s.status = shard.error;
       if (options_.collect_stage_stats) s.stages = shard.stage_stats();
       if (!s.skipped) {
-        const auto& shard_ledger =
-            dynamic_cast<const energy::EnergyLedger&>(*shard.clones[0]);  // ledger is sinks[0]
-        s.packets = shard_ledger.total_packets();
-        s.bytes = shard_ledger.total_bytes();
-        s.joules = shard_ledger.total_joules();
+        s.packets = shard_totals[ui].packets;
+        s.bytes = shard_totals[ui].bytes;
+        s.joules = shard_totals[ui].joules;
       }
       res.stats.shards.push_back(s);
     }

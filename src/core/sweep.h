@@ -52,7 +52,8 @@ struct Scenario {
   trace::Interface interface = trace::Interface::kCellular;
   /// Analysis sinks receiving this scenario's energy-annotated stream.
   /// Non-owning; must outlive run(). Shardable sinks ride the parallel
-  /// merge; others are fed by a per-scenario serial replay pass.
+  /// merge; a custom non-shardable sink is wrapped in a collect-splice
+  /// adapter (core/shard_chain.h) and merged in user-id order.
   std::vector<std::pair<std::string, trace::TraceSink*>> analyses;
 };
 

@@ -1,8 +1,9 @@
 #include "energy/attributor.h"
 
 #include <cassert>
-#include <string_view>
 #include <utility>
+
+#include "radio/burst_machine.h"
 
 namespace wildenergy::energy {
 
@@ -32,7 +33,8 @@ EnergyAttributor::EnergyAttributor(RadioModelFactory factory, trace::TraceSink* 
 
 void EnergyAttributor::on_study_begin(const trace::StudyMeta& meta) {
   meta_ = meta;
-  per_user_.clear();
+  per_user_.assign(meta.num_users, UserEnergy{});
+  user_touched_.assign(meta.num_users, false);
   current_ = nullptr;
   counters_ = {};
   downstream_->on_study_begin(meta);
@@ -41,7 +43,13 @@ void EnergyAttributor::on_study_begin(const trace::StudyMeta& meta) {
 void EnergyAttributor::on_user_begin(trace::UserId user) {
   ++counters_.users;
   model_ = factory_();
+  burst_ = dynamic_cast<radio::BurstMachine*>(model_.get());
+  if (user >= per_user_.size()) {
+    per_user_.resize(user + 1);
+    user_touched_.resize(user + 1, false);
+  }
   current_ = &per_user_[user];
+  user_touched_[user] = true;
   window_.clear();
   held_transitions_.clear();
   pending_tail_ = 0.0;
@@ -60,9 +68,7 @@ void EnergyAttributor::handle_segment(const radio::EnergySegment& segment) {
       break;
     case radio::SegmentKind::kTail:
       ++counters_.tail_segments;
-      if (segment.state_name.find("DRX") != std::string_view::npos) {
-        ++counters_.drx_segments;
-      }
+      counters_.drx_segments += segment.drx ? 1 : 0;
       current_->tail += segment.joules;
       current_->attributed += segment.joules;
       assert(!window_.empty());
@@ -165,6 +171,7 @@ void EnergyAttributor::on_run_segment(std::size_t index, const radio::EnergySegm
 void EnergyAttributor::on_batch(const trace::EventBatch& batch) {
   batching_ = true;
   out_.clear();
+  out_.reserve(batch.order.size());
   out_.user = batch.user;
 
   std::size_t pi = 0;
@@ -176,7 +183,15 @@ void EnergyAttributor::on_batch(const trace::EventBatch& batch) {
     counters_.packets += run_events_.size();
     run_packets_ = batch.packets.data() + run_begin;
     run_finalized_ = 0;
-    model_->on_transfers(run_events_.data(), run_events_.size(), run_sink_);
+    if (burst_ != nullptr) {
+      // Statically-dispatched run: the segment chain inlines end to end.
+      burst_->transfers(run_events_.data(), run_events_.size(),
+                        [this](std::size_t i, const radio::EnergySegment& s) {
+                          on_run_segment(i, s);
+                        });
+    } else {
+      model_->on_transfers(run_events_.data(), run_events_.size(), run_sink_);
+    }
     while (run_finalized_ < run_events_.size()) {
       finalize_packet(run_packets_[run_finalized_++]);
     }
@@ -226,46 +241,66 @@ void EnergyAttributor::on_user_end(trace::UserId user) {
 
 void EnergyAttributor::on_study_end() { downstream_->on_study_end(); }
 
+// The fold visits touched users in ascending id, matching the user-bracket
+// order of a serial pass and the merge order of a sharded one.
 double EnergyAttributor::device_joules() const {
   double total = 0.0;
-  for (const auto& [user, e] : per_user_) total += e.device;
+  for (std::size_t user = 0; user < per_user_.size(); ++user) {
+    if (user_touched_[user]) total += per_user_[user].device;
+  }
   return total;
 }
 
 double EnergyAttributor::attributed_joules() const {
   double total = 0.0;
-  for (const auto& [user, e] : per_user_) total += e.attributed;
+  for (std::size_t user = 0; user < per_user_.size(); ++user) {
+    if (user_touched_[user]) total += per_user_[user].attributed;
+  }
   return total;
 }
 
 double EnergyAttributor::baseline_joules() const {
   double total = 0.0;
-  for (const auto& [user, e] : per_user_) total += e.baseline;
+  for (std::size_t user = 0; user < per_user_.size(); ++user) {
+    if (user_touched_[user]) total += per_user_[user].baseline;
+  }
   return total;
 }
 
 double EnergyAttributor::tail_joules() const {
   double total = 0.0;
-  for (const auto& [user, e] : per_user_) total += e.tail;
+  for (std::size_t user = 0; user < per_user_.size(); ++user) {
+    if (user_touched_[user]) total += per_user_[user].tail;
+  }
   return total;
 }
 
 double EnergyAttributor::promotion_joules() const {
   double total = 0.0;
-  for (const auto& [user, e] : per_user_) total += e.promotion;
+  for (std::size_t user = 0; user < per_user_.size(); ++user) {
+    if (user_touched_[user]) total += per_user_[user].promotion;
+  }
   return total;
 }
 
 double EnergyAttributor::transfer_joules() const {
   double total = 0.0;
-  for (const auto& [user, e] : per_user_) total += e.transfer;
+  for (std::size_t user = 0; user < per_user_.size(); ++user) {
+    if (user_touched_[user]) total += per_user_[user].transfer;
+  }
   return total;
 }
 
 void EnergyAttributor::merge_from(const EnergyAttributor& shard) {
-  for (const auto& [user, e] : shard.per_user_) {
-    assert(per_user_.find(user) == per_user_.end());
-    per_user_.emplace(user, e);
+  if (shard.per_user_.size() > per_user_.size()) {
+    per_user_.resize(shard.per_user_.size());
+    user_touched_.resize(shard.per_user_.size(), false);
+  }
+  for (std::size_t user = 0; user < shard.per_user_.size(); ++user) {
+    if (!shard.user_touched_[user]) continue;
+    assert(!user_touched_[user]);
+    per_user_[user] = shard.per_user_[user];
+    user_touched_[user] = true;
   }
   counters_.merge_from(shard.counters_);
 }

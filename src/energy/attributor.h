@@ -15,9 +15,8 @@
 // filled in, preserving time order.
 #pragma once
 
-#include <deque>
+#include <cstddef>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -25,7 +24,42 @@
 #include "trace/batch.h"
 #include "trace/sink.h"
 
+namespace wildenergy::radio {
+class BurstMachine;
+}  // namespace wildenergy::radio
+
 namespace wildenergy::energy {
+
+/// Contiguous FIFO: a vector plus a head index. The attribution hot path
+/// (kLastPacket) oscillates between zero and one pending element, so pops
+/// recycle the buffer in place and pushes stop allocating after warm-up —
+/// unlike std::deque's segment bookkeeping, which showed up in the
+/// full-pipeline profile.
+template <class T>
+class PendingQueue {
+ public:
+  [[nodiscard]] bool empty() const { return head_ == buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return buf_.size() - head_; }
+  [[nodiscard]] T& front() { return buf_[head_]; }
+  [[nodiscard]] const T& front() const { return buf_[head_]; }
+  [[nodiscard]] T& back() { return buf_.back(); }
+  void push_back(const T& value) { buf_.push_back(value); }
+  void pop_front() {
+    if (++head_ == buf_.size()) clear();
+  }
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+  }
+  [[nodiscard]] auto begin() { return buf_.begin() + static_cast<std::ptrdiff_t>(head_); }
+  [[nodiscard]] auto end() { return buf_.end(); }
+  [[nodiscard]] auto begin() const { return buf_.begin() + static_cast<std::ptrdiff_t>(head_); }
+  [[nodiscard]] auto end() const { return buf_.end(); }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+};
 
 using RadioModelFactory = std::function<std::unique_ptr<radio::RadioModel>()>;
 
@@ -125,17 +159,26 @@ class EnergyAttributor final : public trace::TraceSink {
   trace::TraceSink* downstream_;
   TailPolicy policy_;
   std::unique_ptr<radio::RadioModel> model_;
+  /// model_ downcast to the concrete machine (null for custom models),
+  /// refreshed per user. Lets the batch path call the statically-dispatched
+  /// BurstMachine::transfers — no std::function hop per segment.
+  radio::BurstMachine* burst_ = nullptr;
   trace::StudyMeta meta_;
 
   // Packets whose tail attribution is not yet settled. Under kLastPacket this
   // holds at most one packet; under kProportional, the whole active window.
-  std::deque<trace::PacketRecord> window_;
+  PendingQueue<trace::PacketRecord> window_;
   // Transitions arriving while packets are pending must not overtake them.
-  std::deque<trace::StateTransition> held_transitions_;
+  PendingQueue<trace::StateTransition> held_transitions_;
   double pending_tail_ = 0.0;   ///< tail energy awaiting proportional split
   double current_joules_ = 0.0; ///< promo+transfer energy of the packet being fed
 
-  std::map<trace::UserId, UserEnergy> per_user_;
+  // Per-user energy partials, dense by UserId (DESIGN.md §12). touched_
+  // marks users that actually began a bracket so the query-time folds visit
+  // exactly the users the old associative layout held — same fold sequence,
+  // bit-identical sums.
+  std::vector<UserEnergy> per_user_;
+  std::vector<bool> user_touched_;
   UserEnergy* current_ = nullptr;  ///< this user's partials (set in on_user_begin)
   AttributionCounters counters_;
 

@@ -8,30 +8,57 @@
 
 namespace wildenergy::energy {
 
+EnergyLedger::EnergyLedger(const EnergyLedger& other) { *this = other; }
+
+EnergyLedger& EnergyLedger::operator=(const EnergyLedger& other) {
+  if (this == &other) return *this;
+  meta_ = other.meta_;
+  num_days_ = other.num_days_;
+  num_apps_hint_ = other.num_apps_hint_;
+  num_accounts_ = other.num_accounts_;
+  users_.clear();
+  users_.resize(other.users_.size());
+  for (std::size_t user = 0; user < other.users_.size(); ++user) {
+    if (other.users_[user]) users_[user] = std::make_unique<UserState>(*other.users_[user]);
+  }
+  return *this;
+}
+
 void EnergyLedger::on_study_begin(const trace::StudyMeta& meta) {
   meta_ = meta;
   num_days_ = static_cast<std::size_t>(std::ceil(meta.span().days()));
-  accounts_.clear();
-  per_user_.clear();
-  last_key_ = 0;
-  last_account_ = nullptr;
-  last_user_ = 0;
-  last_totals_ = nullptr;
+  num_apps_hint_ = meta.num_apps;
+  num_accounts_ = 0;
+  users_.clear();
+  users_.resize(meta.num_users);
+}
+
+EnergyLedger::UserState& EnergyLedger::user_state(trace::UserId user) {
+  if (user >= users_.size()) users_.resize(user + 1);
+  auto& slot = users_[user];
+  if (!slot) {
+    slot = std::make_unique<UserState>();
+    slot->apps.resize(num_apps_hint_);
+  }
+  return *slot;
+}
+
+AppUserAccount& EnergyLedger::account(UserState& state, trace::UserId user,
+                                      trace::AppId app) {
+  if (app >= state.apps.size()) state.apps.resize(app + 1);
+  AppUserAccount& acc = state.apps[app];
+  if (acc.days.empty()) {
+    acc.user = user;
+    acc.app = app;
+    acc.days.resize(std::max<std::size_t>(num_days_, 1));
+    ++num_accounts_;
+  }
+  return acc;
 }
 
 void EnergyLedger::on_packet(const trace::PacketRecord& p) {
-  const std::uint64_t k = key(p.user, p.app);
-  if (last_account_ == nullptr || last_key_ != k) {
-    auto [it, inserted] = accounts_.try_emplace(k);
-    if (inserted) {
-      it->second.user = p.user;
-      it->second.app = p.app;
-      it->second.days.resize(std::max<std::size_t>(num_days_, 1));
-    }
-    last_key_ = k;
-    last_account_ = &it->second;
-  }
-  AppUserAccount& acc = *last_account_;
+  UserState& u = user_state(p.user);
+  AppUserAccount& acc = account(u, p.user, p.app);
   acc.bytes += p.bytes;
   acc.packets += 1;
   acc.joules += p.joules;
@@ -49,11 +76,7 @@ void EnergyLedger::on_packet(const trace::PacketRecord& p) {
     cell.bg_bytes += p.bytes;
   }
 
-  if (last_totals_ == nullptr || last_user_ != p.user) {
-    last_user_ = p.user;
-    last_totals_ = &per_user_[p.user];
-  }
-  UserTotals& totals = *last_totals_;
+  UserTotals& totals = u.totals;
   totals.joules += p.joules;
   totals.bytes += p.bytes;
   totals.packets += 1;
@@ -61,9 +84,33 @@ void EnergyLedger::on_packet(const trace::PacketRecord& p) {
 }
 
 void EnergyLedger::on_batch(const trace::EventBatch& batch) {
-  // Transitions are ignored by the ledger, so one tight pass over the
-  // packet column replaces a virtual call per event.
-  for (const auto& p : batch.packets) on_packet(p);
+  if (batch.packets.empty()) return;
+  // Batches lie inside one user bracket, so the user slab lookup hoists out
+  // of the packet loop; the rest is indexed loads on the dense per-app
+  // array. Transitions are ignored by the ledger.
+  UserState& u = user_state(batch.user);
+  UserTotals& totals = u.totals;
+  const std::int64_t begin_us = meta_.study_begin.us;
+  for (const auto& p : batch.packets) {
+    AppUserAccount& acc = account(u, p.user, p.app);
+    acc.bytes += p.bytes;
+    acc.packets += 1;
+    acc.joules += p.joules;
+    acc.state_joules[static_cast<std::size_t>(p.state)] += p.joules;
+
+    const auto day = static_cast<std::size_t>(std::clamp<std::int64_t>(
+        (p.time.us - begin_us) / 86'400'000'000LL, 0,
+        static_cast<std::int64_t>(acc.days.size()) - 1));
+    DayCell& cell = acc.days[day];
+    const bool fg = trace::is_foreground(p.state);
+    (fg ? cell.fg_joules : cell.bg_joules) += p.joules;
+    (fg ? cell.fg_bytes : cell.bg_bytes) += p.bytes;
+
+    totals.joules += p.joules;
+    totals.bytes += p.bytes;
+    totals.packets += 1;
+    totals.state_joules[static_cast<std::size_t>(p.state)] += p.joules;
+  }
 }
 
 std::unique_ptr<trace::TraceSink> EnergyLedger::clone_shard() const {
@@ -71,30 +118,60 @@ std::unique_ptr<trace::TraceSink> EnergyLedger::clone_shard() const {
 }
 
 void EnergyLedger::merge_from(trace::TraceSink& shard) {
-  merge(dynamic_cast<EnergyLedger&>(shard));
+  auto& other = dynamic_cast<EnergyLedger&>(shard);
+  if (other.users_.size() > users_.size()) users_.resize(other.users_.size());
+  for (std::size_t user = 0; user < other.users_.size(); ++user) {
+    if (!other.users_[user]) continue;
+    assert(!users_[user]);
+    users_[user] = std::move(other.users_[user]);
+  }
+  num_accounts_ += other.num_accounts_;
+  other.num_accounts_ = 0;
 }
 
 void EnergyLedger::merge(const EnergyLedger& shard) {
-  for (const auto& [k, acc] : shard.accounts_) {
-    assert(accounts_.find(k) == accounts_.end());
-    accounts_.emplace(k, acc);
+  if (shard.users_.size() > users_.size()) users_.resize(shard.users_.size());
+  for (std::size_t user = 0; user < shard.users_.size(); ++user) {
+    if (!shard.users_[user]) continue;
+    assert(!users_[user]);
+    users_[user] = std::make_unique<UserState>(*shard.users_[user]);
   }
-  for (const auto& [user, totals] : shard.per_user_) {
-    assert(per_user_.find(user) == per_user_.end());
-    per_user_.emplace(user, totals);
-  }
+  num_accounts_ += shard.num_accounts_;
 }
 
 const AppUserAccount* EnergyLedger::find(trace::UserId user, trace::AppId app) const {
-  const auto it = accounts_.find(key(user, app));
-  return it == accounts_.end() ? nullptr : &it->second;
+  if (user >= users_.size() || !users_[user]) return nullptr;
+  const UserState& state = *users_[user];
+  if (app >= state.apps.size() || state.apps[app].packets == 0) return nullptr;
+  return &state.apps[app];
+}
+
+std::vector<trace::UserId> EnergyLedger::users() const {
+  std::vector<trace::UserId> out;
+  for (std::size_t user = 0; user < users_.size(); ++user) {
+    if (users_[user] && users_[user]->totals.packets != 0) {
+      out.push_back(static_cast<trace::UserId>(user));
+    }
+  }
+  return out;
+}
+
+std::vector<const AppUserAccount*> EnergyLedger::user_accounts(trace::UserId user) const {
+  std::vector<const AppUserAccount*> out;
+  if (user >= users_.size() || !users_[user]) return out;
+  for (const AppUserAccount& acc : users_[user]->apps) {
+    if (acc.packets != 0) out.push_back(&acc);
+  }
+  return out;
 }
 
 AppUserAccount EnergyLedger::app_total(trace::AppId app) const {
   AppUserAccount total;
   total.app = app;
-  for (const auto& [k, acc] : accounts_) {
-    if (acc.app != app) continue;
+  for (const auto& state : users_) {
+    if (!state || app >= state->apps.size()) continue;
+    const AppUserAccount& acc = state->apps[app];
+    if (acc.packets == 0) continue;
     total.bytes += acc.bytes;
     total.packets += acc.packets;
     total.joules += acc.joules;
@@ -106,49 +183,63 @@ AppUserAccount EnergyLedger::app_total(trace::AppId app) const {
 }
 
 std::vector<trace::AppId> EnergyLedger::apps() const {
+  std::vector<bool> seen;
+  for (const auto& state : users_) {
+    if (!state) continue;
+    if (state->apps.size() > seen.size()) seen.resize(state->apps.size());
+    for (const AppUserAccount& acc : state->apps) {
+      if (acc.packets != 0) seen[acc.app] = true;
+    }
+  }
   std::vector<trace::AppId> out;
-  for (const auto& [k, acc] : accounts_) out.push_back(acc.app);
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
+  for (std::size_t app = 0; app < seen.size(); ++app) {
+    if (seen[app]) out.push_back(static_cast<trace::AppId>(app));
+  }
   return out;
 }
 
 std::uint64_t EnergyLedger::memory_bytes() const {
-  // Red-black tree nodes carry ~3 pointers + color alongside the payload.
-  constexpr std::uint64_t kNodeOverhead = 4 * sizeof(void*);
-  std::uint64_t total = 0;
-  for (const auto& [k, acc] : accounts_) {
-    total += kNodeOverhead + sizeof(k) + sizeof(acc) +
-             acc.days.capacity() * sizeof(DayCell);
+  std::uint64_t total = users_.capacity() * sizeof(users_[0]);
+  for (const auto& state : users_) {
+    if (!state) continue;
+    total += sizeof(UserState) + state->apps.capacity() * sizeof(AppUserAccount);
+    for (const AppUserAccount& acc : state->apps) {
+      total += acc.days.capacity() * sizeof(DayCell);
+    }
   }
-  total += per_user_.size() *
-           (kNodeOverhead + sizeof(trace::UserId) + sizeof(UserTotals));
   return total;
 }
 
 double EnergyLedger::total_joules() const {
   double total = 0.0;
-  for (const auto& [user, t] : per_user_) total += t.joules;
+  for (const auto& state : users_) {
+    if (state) total += state->totals.joules;
+  }
   return total;
 }
 
 std::uint64_t EnergyLedger::total_bytes() const {
   std::uint64_t total = 0;
-  for (const auto& [user, t] : per_user_) total += t.bytes;
+  for (const auto& state : users_) {
+    if (state) total += state->totals.bytes;
+  }
   return total;
 }
 
 std::uint64_t EnergyLedger::total_packets() const {
   std::uint64_t total = 0;
-  for (const auto& [user, t] : per_user_) total += t.packets;
+  for (const auto& state : users_) {
+    if (state) total += state->totals.packets;
+  }
   return total;
 }
 
 std::array<double, trace::kNumProcessStates> EnergyLedger::state_totals() const {
   std::array<double, trace::kNumProcessStates> totals{};
-  for (const auto& [user, t] : per_user_) {
+  for (const auto& state : users_) {
+    if (!state) continue;
     for (std::size_t s = 0; s < trace::kNumProcessStates; ++s) {
-      totals[s] += t.state_joules[s];
+      totals[s] += state->totals.state_joules[s];
     }
   }
   return totals;

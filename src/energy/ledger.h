@@ -8,17 +8,27 @@
 // while keeping memory at O(users x apps x days) counters, independent of
 // packet count.
 //
+// Data-plane layout (DESIGN.md §12): user and app populations are dense ids
+// known up front from StudyMeta, so accounts live in flat per-user slabs —
+// one lazily allocated UserState per user holding a dense
+// std::vector<AppUserAccount> indexed by AppId — and the hot path is two
+// indexed loads instead of a map walk. Ids beyond the StudyMeta hint (hand
+// built streams) grow the arrays on demand.
+//
 // Shardable (trace/shardable.h): one clone per user, folded back with
-// merge(). Determinism is by construction: study-wide double totals are
+// merge_from(), which steals the shard's per-user slabs (the shard is left
+// empty). Determinism is by construction: study-wide double totals are
 // stored as per-user partial sums and folded in user-id order at query time,
 // so the serial pass (which fills one partial per user, in order) and the
-// sharded merge produce the exact same floating-point fold. Accounts are
-// keyed (user << 32 | app) in an ordered map, giving every consumer the same
-// user-major iteration order regardless of how the ledger was built.
+// sharded merge produce the exact same floating-point fold. accounts()
+// iterates user-major, app-ascending — the same deterministic order the old
+// (user << 32 | app) ordered map produced — regardless of how the ledger was
+// built.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <map>
+#include <iterator>
 #include <memory>
 #include <vector>
 
@@ -45,7 +55,8 @@ struct AppUserAccount {
   double joules = 0.0;
   /// Joules per Android process state, indexed by ProcessState.
   std::array<double, trace::kNumProcessStates> state_joules{};
-  /// One cell per study day.
+  /// One cell per study day. Empty only while the account has no traffic
+  /// (dense slabs hold a slot for every (user, app) pair).
   std::vector<DayCell> days;
 
   [[nodiscard]] double foreground_joules() const {
@@ -58,6 +69,14 @@ struct AppUserAccount {
 
 class EnergyLedger final : public trace::TraceSink, public trace::ShardableSink {
  public:
+  EnergyLedger() = default;
+  // Copies deep-copy the per-user slabs (sweep results snapshot ledgers);
+  // moves steal them.
+  EnergyLedger(const EnergyLedger& other);
+  EnergyLedger& operator=(const EnergyLedger& other);
+  EnergyLedger(EnergyLedger&&) noexcept = default;
+  EnergyLedger& operator=(EnergyLedger&&) noexcept = default;
+
   void on_study_begin(const trace::StudyMeta& meta) override;
   void on_packet(const trace::PacketRecord& packet) override;
   void on_batch(const trace::EventBatch& batch) override;
@@ -72,21 +91,29 @@ class EnergyLedger final : public trace::TraceSink, public trace::ShardableSink 
 
   [[nodiscard]] const trace::StudyMeta& meta() const { return meta_; }
 
-  /// All (user, app) accounts, keyed (user << 32 | app) — iteration is
-  /// user-major and deterministic.
-  [[nodiscard]] const std::map<std::uint64_t, AppUserAccount>& accounts() const {
-    return accounts_;
-  }
+  /// Typed iteration over every (user, app) account with traffic, user-major
+  /// and app-ascending. Yields const AppUserAccount& — the user/app pair is
+  /// on the account itself, no packed-key unpacking anywhere.
+  class AccountView;
+  [[nodiscard]] AccountView accounts() const;
+  /// Number of (user, app) accounts with traffic — accounts().size().
+  [[nodiscard]] std::size_t num_accounts() const { return num_accounts_; }
+
   /// Account for one (user, app); nullptr when the pair has no traffic.
   [[nodiscard]] const AppUserAccount* find(trace::UserId user, trace::AppId app) const;
 
+  /// User ids with any traffic, ascending.
+  [[nodiscard]] std::vector<trace::UserId> users() const;
+  /// One user's accounts with traffic, app-ascending (empty when unknown).
+  [[nodiscard]] std::vector<const AppUserAccount*> user_accounts(trace::UserId user) const;
+
   /// Sum of accounts for `app` across all users.
   [[nodiscard]] AppUserAccount app_total(trace::AppId app) const;
-  /// All app ids with any traffic.
+  /// All app ids with any traffic, ascending.
   [[nodiscard]] std::vector<trace::AppId> apps() const;
 
-  /// Approximate resident footprint: account map nodes (including each
-  /// account's per-day cell vector) plus the per-user totals map.
+  /// Approximate resident footprint: per-user slabs (including each
+  /// account's per-day cell vector).
   [[nodiscard]] std::uint64_t memory_bytes() const override;
 
   // Study-wide totals, folded from per-user partials in user-id order.
@@ -106,21 +133,96 @@ class EnergyLedger final : public trace::TraceSink, public trace::ShardableSink 
     std::array<double, trace::kNumProcessStates> state_joules{};
   };
 
-  static std::uint64_t key(trace::UserId user, trace::AppId app) {
-    return (static_cast<std::uint64_t>(user) << 32) | app;
-  }
+  /// One user's slab: running totals plus a dense per-app account array.
+  struct UserState {
+    UserTotals totals;
+    std::vector<AppUserAccount> apps;  ///< indexed by AppId; days empty = no traffic
+  };
+
+  /// The user's slab, allocated on first touch (apps pre-sized to the
+  /// StudyMeta hint; grown on demand for out-of-hint ids).
+  UserState& user_state(trace::UserId user);
+  /// The (user, app) account inside `state`, initialized on first touch.
+  AppUserAccount& account(UserState& state, trace::UserId user, trace::AppId app);
 
   trace::StudyMeta meta_;
   std::size_t num_days_ = 0;
-  std::map<std::uint64_t, AppUserAccount> accounts_;
-  std::map<trace::UserId, UserTotals> per_user_;
+  std::uint32_t num_apps_hint_ = 0;
+  std::size_t num_accounts_ = 0;
+  /// Dense per-user slabs, indexed by UserId; null until the user has traffic.
+  std::vector<std::unique_ptr<UserState>> users_;
 
-  // Hot-path caches into the node-stable maps above (packets arrive grouped
-  // by user and bursty per app, so both hit almost always).
-  std::uint64_t last_key_ = 0;
-  AppUserAccount* last_account_ = nullptr;
-  trace::UserId last_user_ = 0;
-  UserTotals* last_totals_ = nullptr;
+ public:
+  /// Forward iterator over live accounts: user-major, app-ascending.
+  class AccountIterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = AppUserAccount;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const AppUserAccount*;
+    using reference = const AppUserAccount&;
+
+    AccountIterator() = default;
+    AccountIterator(const std::vector<std::unique_ptr<UserState>>* users, std::size_t user,
+                    std::size_t app)
+        : users_(users), user_(user), app_(app) {
+      advance_to_live();
+    }
+
+    reference operator*() const { return (*users_)[user_]->apps[app_]; }
+    pointer operator->() const { return &**this; }
+    AccountIterator& operator++() {
+      ++app_;
+      advance_to_live();
+      return *this;
+    }
+    AccountIterator operator++(int) {
+      AccountIterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    friend bool operator==(const AccountIterator& a, const AccountIterator& b) {
+      return a.user_ == b.user_ && a.app_ == b.app_;
+    }
+    friend bool operator!=(const AccountIterator& a, const AccountIterator& b) {
+      return !(a == b);
+    }
+
+   private:
+    void advance_to_live() {
+      if (users_ == nullptr) return;
+      for (; user_ < users_->size(); ++user_, app_ = 0) {
+        const UserState* state = (*users_)[user_].get();
+        if (state == nullptr) continue;
+        for (; app_ < state->apps.size(); ++app_) {
+          if (state->apps[app_].packets != 0) return;
+        }
+      }
+      app_ = 0;  // one canonical end(): (users_.size(), 0)
+    }
+
+    const std::vector<std::unique_ptr<UserState>>* users_ = nullptr;
+    std::size_t user_ = 0;
+    std::size_t app_ = 0;
+  };
+
+  class AccountView {
+   public:
+    AccountView(const std::vector<std::unique_ptr<UserState>>* users, std::size_t count)
+        : users_(users), count_(count) {}
+    [[nodiscard]] AccountIterator begin() const { return {users_, 0, 0}; }
+    [[nodiscard]] AccountIterator end() const { return {users_, users_->size(), 0}; }
+    [[nodiscard]] std::size_t size() const { return count_; }
+    [[nodiscard]] bool empty() const { return count_ == 0; }
+
+   private:
+    const std::vector<std::unique_ptr<UserState>>* users_;
+    std::size_t count_;
+  };
 };
+
+inline EnergyLedger::AccountView EnergyLedger::accounts() const {
+  return AccountView{&users_, num_accounts_};
+}
 
 }  // namespace wildenergy::energy

@@ -118,8 +118,9 @@ struct RunStats {
   MemoryStats memory;
 
   // Sharded runs only (num_threads > 1): one entry per user shard, in
-  // user-id order, plus how many registered sinks fell back to the serial
-  // replay pass because they are not shardable.
+  // user-id order, plus how many registered sinks are not shardable and were
+  // wrapped in a collect-splice adapter (core/shard_chain.h) — their merge
+  // replays captured streams serially. 0 for the default analysis set.
   std::vector<ShardRunStats> shards;
   std::uint64_t serial_fallback_sinks = 0;
 

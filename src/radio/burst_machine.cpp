@@ -1,12 +1,13 @@
 #include "radio/burst_machine.h"
 
-#include <algorithm>
-#include <cassert>
-
 namespace wildenergy::radio {
 
 BurstMachine::BurstMachine(BurstMachineParams params) : params_(std::move(params)) {
   assert(!params_.tail_phases.empty());
+  phase_drx_.reserve(params_.tail_phases.size());
+  for (const auto& phase : params_.tail_phases) {
+    phase_drx_.push_back(phase.state_name.find("DRX") != std::string_view::npos);
+  }
   auto& registry = obs::MetricsRegistry::current();
   ctr_bursts_ = &registry.counter("radio.bursts");
   ctr_bursts_queued_ = &registry.counter("radio.bursts_queued");
@@ -35,92 +36,21 @@ double BurstMachine::isolated_burst_energy(std::uint64_t bytes, Direction dir) c
   return joules;
 }
 
-void BurstMachine::emit_gap(TimePoint until, const SegmentSink& sink,
-                            std::size_t& phase_at_until) {
-  assert(cursor_ >= active_until_);
-  phase_at_until = kIdlePhase;
-  TimePoint phase_start = active_until_;
-  for (std::size_t i = 0; i < params_.tail_phases.size(); ++i) {
-    const auto& phase = params_.tail_phases[i];
-    const TimePoint phase_end = phase_start + phase.duration;
-    const TimePoint lo = std::max(cursor_, phase_start);
-    const TimePoint hi = std::min(until, phase_end);
-    if (hi > lo) {
-      sink({lo, hi, phase.power_w * (hi - lo).seconds(), SegmentKind::kTail,
-            phase.state_name});
-    }
-    if (until < phase_end) {
-      phase_at_until = i;
-      cursor_ = until;
-      return;
-    }
-    phase_start = phase_end;
-  }
-  // Reached idle: phase_start is now the tail end.
-  const TimePoint lo = std::max(cursor_, phase_start);
-  if (until > lo) {
-    sink({lo, until, params_.idle_power_w * (until - lo).seconds(), SegmentKind::kIdle, "IDLE"});
-  }
-  cursor_ = std::max(cursor_, until);
-}
-
 void BurstMachine::on_transfer(const TransferEvent& event, const SegmentSink& sink) {
-  ctr_bursts_->inc();
-  TimePoint start;
-  std::size_t phase = kIdlePhase;
-  if (!started_) {
-    started_ = true;
-    cursor_ = event.time;
-    active_until_ = event.time;
-    start = event.time;
-  } else if (event.time >= active_until_) {
-    emit_gap(event.time, sink, phase);
-    start = event.time;
-  } else {
-    // The radio is still busy with the previous burst's airtime: this burst
-    // queues behind it. No gap, no promotion.
-    start = active_until_;
-    phase = kNoPhase;
-    ctr_bursts_queued_->inc();
-  }
-
-  if (phase != kNoPhase) {
-    const PromotionParams& promo = phase == kIdlePhase
-                                       ? params_.idle_promotion
-                                       : params_.tail_phases[phase].repromotion;
-    if (promo.enabled()) {
-      (phase == kIdlePhase ? ctr_promotions_ : ctr_repromotions_)->inc();
-      const TimePoint promo_end = start + promo.duration;
-      sink({start, promo_end, promo.power_w * promo.duration.seconds(),
-            SegmentKind::kPromotion, promo.state_name});
-      start = promo_end;
-    }
-  }
-
-  const Duration dur = transfer_duration(event.bytes, event.direction);
-  const double per_byte = event.direction == Direction::kUplink ? params_.joules_per_byte_up
-                                                                : params_.joules_per_byte_down;
-  const TimePoint end = start + dur;
-  sink({start, end,
-        params_.active_power_w * dur.seconds() + per_byte * static_cast<double>(event.bytes),
-        SegmentKind::kTransfer, params_.active_state_name});
-  active_until_ = end;
-  cursor_ = end;
+  transfer_impl(event, sink);
 }
 
 void BurstMachine::on_transfers(const TransferEvent* events, std::size_t count,
                                 const IndexedSegmentSink& sink) {
-  // One adapter for the whole run — the default implementation's per-event
-  // std::function construction is the cost this override amortizes.
-  std::size_t index = 0;
-  const SegmentSink adapter = [&sink, &index](const EnergySegment& s) { sink(index, s); };
-  for (; index < count; ++index) on_transfer(events[index], adapter);
+  // The indexed adapter is a plain lambda handed through the templated core:
+  // each segment pays one std::function hop (the caller's sink), not two.
+  transfers(events, count, sink);
 }
 
 void BurstMachine::finish(TimePoint end, const SegmentSink& sink) {
   if (started_ && end > cursor_) {
     std::size_t phase = kIdlePhase;
-    emit_gap(end, sink, phase);
+    gap_impl(end, sink, phase);
   }
   reset();
 }

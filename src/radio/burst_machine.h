@@ -5,7 +5,16 @@
 // durations, whether a mid-tail arrival needs a repromotion). This class
 // implements the skeleton once; LteModel/UmtsModel/WifiModel are thin
 // parameterizations (R: avoid duplication; see DESIGN.md §2).
+//
+// The segment-emission core is templated on the sink so the batched
+// attribution path (on_transfers) hands its indexed adapter through without
+// an extra std::function layer per segment.
 #pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <string_view>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "radio/power_params.h"
@@ -20,6 +29,17 @@ class BurstMachine final : public RadioModel {
   void on_transfer(const TransferEvent& event, const SegmentSink& sink) override;
   void on_transfers(const TransferEvent* events, std::size_t count,
                     const IndexedSegmentSink& sink) override;
+
+  /// Statically-dispatched run attribution: like on_transfers, but the sink
+  /// is a template parameter, so a caller holding a concrete BurstMachine*
+  /// (the attributor caches one per user) pays zero std::function hops per
+  /// segment — the whole emit chain inlines into the caller.
+  template <class Sink>
+  void transfers(const TransferEvent* events, std::size_t count, Sink&& sink) {
+    std::size_t index = 0;
+    const auto adapter = [&sink, &index](const EnergySegment& s) { sink(index, s); };
+    for (; index < count; ++index) transfer_impl(events[index], adapter);
+  }
   void finish(TimePoint end, const SegmentSink& sink) override;
   [[nodiscard]] bool is_powered_at(TimePoint t) const override;
   [[nodiscard]] std::string name() const override { return params_.model_name; }
@@ -37,15 +57,91 @@ class BurstMachine final : public RadioModel {
   [[nodiscard]] double isolated_burst_energy(std::uint64_t bytes, Direction dir) const;
 
  private:
-  /// Emit tail/idle segments covering [cursor_, until); updates cursor_.
-  /// `stop_mid_tail` receives the index of the tail phase active at `until`
-  /// (or npos if the machine reached idle).
-  void emit_gap(TimePoint until, const SegmentSink& sink, std::size_t& phase_at_until);
-
   static constexpr std::size_t kIdlePhase = static_cast<std::size_t>(-1) - 1;
   static constexpr std::size_t kNoPhase = static_cast<std::size_t>(-1);
 
+  /// Emit tail/idle segments covering [cursor_, until); updates cursor_.
+  /// `phase_at_until` receives the index of the tail phase active at `until`
+  /// (or kIdlePhase if the machine reached idle).
+  template <class Sink>
+  void gap_impl(TimePoint until, Sink&& sink, std::size_t& phase_at_until) {
+    assert(cursor_ >= active_until_);
+    phase_at_until = kIdlePhase;
+    TimePoint phase_start = active_until_;
+    for (std::size_t i = 0; i < params_.tail_phases.size(); ++i) {
+      const auto& phase = params_.tail_phases[i];
+      const TimePoint phase_end = phase_start + phase.duration;
+      const TimePoint lo = std::max(cursor_, phase_start);
+      const TimePoint hi = std::min(until, phase_end);
+      if (hi > lo) {
+        sink({lo, hi, phase.power_w * (hi - lo).seconds(), SegmentKind::kTail,
+              phase.state_name, phase_drx_[i]});
+      }
+      if (until < phase_end) {
+        phase_at_until = i;
+        cursor_ = until;
+        return;
+      }
+      phase_start = phase_end;
+    }
+    // Reached idle: phase_start is now the tail end.
+    const TimePoint lo = std::max(cursor_, phase_start);
+    if (until > lo) {
+      sink({lo, until, params_.idle_power_w * (until - lo).seconds(), SegmentKind::kIdle,
+            "IDLE", false});
+    }
+    cursor_ = std::max(cursor_, until);
+  }
+
+  template <class Sink>
+  void transfer_impl(const TransferEvent& event, Sink&& sink) {
+    ctr_bursts_->inc();
+    TimePoint start;
+    std::size_t phase = kIdlePhase;
+    if (!started_) {
+      started_ = true;
+      cursor_ = event.time;
+      active_until_ = event.time;
+      start = event.time;
+    } else if (event.time >= active_until_) {
+      gap_impl(event.time, sink, phase);
+      start = event.time;
+    } else {
+      // The radio is still busy with the previous burst's airtime: this burst
+      // queues behind it. No gap, no promotion.
+      start = active_until_;
+      phase = kNoPhase;
+      ctr_bursts_queued_->inc();
+    }
+
+    if (phase != kNoPhase) {
+      const PromotionParams& promo = phase == kIdlePhase
+                                         ? params_.idle_promotion
+                                         : params_.tail_phases[phase].repromotion;
+      if (promo.enabled()) {
+        (phase == kIdlePhase ? ctr_promotions_ : ctr_repromotions_)->inc();
+        const TimePoint promo_end = start + promo.duration;
+        sink({start, promo_end, promo.power_w * promo.duration.seconds(),
+              SegmentKind::kPromotion, promo.state_name, false});
+        start = promo_end;
+      }
+    }
+
+    const Duration dur = transfer_duration(event.bytes, event.direction);
+    const double per_byte = event.direction == Direction::kUplink ? params_.joules_per_byte_up
+                                                                  : params_.joules_per_byte_down;
+    const TimePoint end = start + dur;
+    sink({start, end,
+          params_.active_power_w * dur.seconds() + per_byte * static_cast<double>(event.bytes),
+          SegmentKind::kTransfer, params_.active_state_name, false});
+    active_until_ = end;
+    cursor_ = end;
+  }
+
   BurstMachineParams params_;
+  /// Per-tail-phase DRX flag (state_name contains "DRX"), resolved once at
+  /// construction so segments carry it without a per-segment string scan.
+  std::vector<bool> phase_drx_;
   bool started_ = false;
   TimePoint cursor_{};        ///< segments emitted up to here
   TimePoint active_until_{};  ///< end of the last transfer's airtime

@@ -56,6 +56,9 @@ struct EnergySegment {
   /// Human-readable hardware state, e.g. "LTE_CRX", "UMTS_FACH_TAIL". A
   /// view into the model's parameter set; valid while the model is alive.
   std::string_view state_name = "idle";
+  /// True for tail segments spent in a DRX phase. Precomputed per tail phase
+  /// by the model so attribution counters never scan state_name per segment.
+  bool drx = false;
 
   [[nodiscard]] Duration duration() const { return end - begin; }
   [[nodiscard]] double avg_power_w() const {

@@ -124,6 +124,15 @@ CsvReadResult read_csv_trace(std::istream& is, TraceSink& sink, const ReadOption
       if (parse_int(fields[field], out)) return true;
       return bad(field, "not an integer");
     };
+    const auto want_app = [&](std::size_t field, AppId& out) {
+      if (parse_int(fields[field], out)) return true;
+      if (options.app_resolver) {
+        out = options.app_resolver(fields[field]);
+        if (out != kNoApp) return true;
+        return bad(field, "unknown app name");
+      }
+      return bad(field, "not an integer");
+    };
 
     bool line_ok = true;
     bool repaired_line = false;
@@ -148,7 +157,7 @@ CsvReadResult read_csv_trace(std::istream& is, TraceSink& sink, const ReadOption
     } else if (tag == "P") {
       PacketRecord p;
       line_ok = want_fields(10) && want_int(1, p.time.us) && want_int(2, p.user) &&
-                want_int(3, p.app) && want_int(4, p.flow) && want_int(5, p.bytes);
+                want_app(3, p.app) && want_int(4, p.flow) && want_int(5, p.bytes);
       if (line_ok) {
         if (fields[6] == "up") {
           p.direction = radio::Direction::kUplink;
@@ -185,7 +194,7 @@ CsvReadResult read_csv_trace(std::istream& is, TraceSink& sink, const ReadOption
     } else if (tag == "T") {
       StateTransition t;
       line_ok = want_fields(6) && want_int(1, t.time.us) && want_int(2, t.user) &&
-                want_int(3, t.app);
+                want_app(3, t.app);
       if (line_ok && !parse_process_state(fields[4], t.from)) {
         line_ok = bad(4, "bad process state");
       }

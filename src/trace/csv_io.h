@@ -9,7 +9,9 @@
 //   V,<user>                                              (user end)
 //   E                                                     (study end)
 // Directions are "up"/"down"; interfaces "cell"/"wifi"; states use
-// trace::to_string spellings.
+// trace::to_string spellings. The <app> field is a numeric AppId; when
+// ReadOptions::app_resolver is set (e.g. AppCatalog::find), a non-numeric
+// field is resolved as an app name in O(1).
 #pragma once
 
 #include <iosfwd>

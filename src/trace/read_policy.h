@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/batch.h"
@@ -52,6 +54,11 @@ struct ReadOptions {
   /// one documented default; CLI --batch-size threads through both. 0 streams
   /// per record.
   std::size_t batch_size = kDefaultBatchSize;
+  /// Optional app-name resolution for the CSV reader: when set, a
+  /// non-numeric app field is resolved through this (return kNoApp for
+  /// unknown names). Callers wire AppCatalog::find here, whose transparent
+  /// name index makes reader-path resolution O(1) with no per-row allocation.
+  std::function<AppId(std::string_view)> app_resolver;
 };
 
 /// One rejected (or repaired) record, kept verbatim for diagnosis.

@@ -1,7 +1,8 @@
-// Shard/merge protocol for the parallel study pipeline (core/pipeline.cpp).
+// Shard/merge protocol for the parallel study pipeline (core/pipeline.cpp)
+// and the scenario sweep engine (core/sweep.cpp).
 //
-// Every analysis consumes independent per-user streams, so the pipeline can
-// run one shard per user on a worker pool — if the sinks can be cloned and
+// Every analysis consumes independent per-user streams, so the engines run
+// one shard per user on a worker pool — if the sinks can be cloned and
 // merged. A sink opts in by also deriving from ShardableSink:
 //
 //   - clone_shard() returns a fresh, empty sink of the same type and
@@ -18,19 +19,22 @@
 // query time — then the serial pass and the sharded merge produce the exact
 // same fold (see energy/ledger.h for the pattern). Sample collections
 // (util::Distribution) merge by appending, which reproduces the serial
-// user-major insertion order.
+// user-major insertion order. Order-preserving collectors (TraceCollector)
+// merge by splicing shard streams in the user-id merge order, which is the
+// serial stream order.
 //
-// Sinks that fundamentally need the cross-user serial stream (e.g.
-// analysis/longitudinal.h, trace::TraceCollector) simply do not implement
-// this interface; the pipeline feeds them through a serial replay of the
-// generator, which is deterministic and therefore exact.
+// Every sink in the default analysis set implements this interface — the
+// engines have no serial-replay fallback path. A custom sink that does not
+// implement it is wrapped in a core::CollectSpliceSink adapter, which
+// captures each user's annotated stream on the worker and replays the
+// captures into the wrapped sink in user-id order at merge time.
 #pragma once
 
 #include <memory>
 
-#include "trace/sink.h"
-
 namespace wildenergy::trace {
+
+class TraceSink;
 
 class ShardableSink {
  public:
@@ -45,8 +49,11 @@ class ShardableSink {
   virtual void merge_from(TraceSink& shard) = 0;
 };
 
-/// The sink's shard interface, or nullptr if it opted out.
-[[nodiscard]] inline ShardableSink* as_shardable(TraceSink* sink) {
+/// The sink's shard interface, or nullptr if it opted out. (Template so this
+/// header needs only a forward declaration of TraceSink — sink.h includes us
+/// for TraceCollector.)
+template <class Sink>
+[[nodiscard]] ShardableSink* as_shardable(Sink* sink) {
   return dynamic_cast<ShardableSink*>(sink);
 }
 

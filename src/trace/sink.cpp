@@ -21,4 +21,17 @@ void TraceCollector::on_batch(const EventBatch& batch) {
   transitions_.insert(transitions_.end(), batch.transitions.begin(), batch.transitions.end());
 }
 
+std::unique_ptr<TraceSink> TraceCollector::clone_shard() const {
+  return std::make_unique<TraceCollector>();
+}
+
+void TraceCollector::merge_from(TraceSink& shard) {
+  auto& other = dynamic_cast<TraceCollector&>(shard);
+  packets_.insert(packets_.end(), other.packets_.begin(), other.packets_.end());
+  transitions_.insert(transitions_.end(), other.transitions_.begin(),
+                      other.transitions_.end());
+  other.packets_.clear();
+  other.transitions_.clear();
+}
+
 }  // namespace wildenergy::trace

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "trace/record.h"
+#include "trace/shardable.h"
 
 namespace wildenergy::trace {
 
@@ -85,16 +87,33 @@ class TraceMulticast final : public TraceSink {
 };
 
 /// Collects everything into memory. Tests and short windows (Fig. 4) only.
-class TraceCollector final : public TraceSink {
+///
+/// Shardable: each clone collects one user's stream; merge_from splices the
+/// shard's events onto this collector. Merges arrive in user-id order, which
+/// is exactly the serial stream order, so the collected vectors are
+/// bit-identical at any thread count.
+class TraceCollector final : public TraceSink, public ShardableSink {
  public:
-  void on_study_begin(const StudyMeta& meta) override { meta_ = meta; }
+  void on_study_begin(const StudyMeta& meta) override {
+    meta_ = meta;
+    packets_.clear();
+    transitions_.clear();
+  }
   void on_packet(const PacketRecord& p) override { packets_.push_back(p); }
   void on_transition(const StateTransition& t) override { transitions_.push_back(t); }
   void on_batch(const EventBatch& batch) override;
 
+  [[nodiscard]] std::unique_ptr<TraceSink> clone_shard() const override;
+  void merge_from(TraceSink& shard) override;
+
   [[nodiscard]] const StudyMeta& meta() const { return meta_; }
   [[nodiscard]] const std::vector<PacketRecord>& packets() const { return packets_; }
   [[nodiscard]] const std::vector<StateTransition>& transitions() const { return transitions_; }
+
+  [[nodiscard]] std::uint64_t memory_bytes() const override {
+    return packets_.capacity() * sizeof(PacketRecord) +
+           transitions_.capacity() * sizeof(StateTransition);
+  }
 
  private:
   StudyMeta meta_;

@@ -453,9 +453,10 @@ void expect_identical_ledgers(const energy::EnergyLedger& a, const energy::Energ
   for (std::size_t s = 0; s < a_states.size(); ++s) EXPECT_EQ(a_states[s], b_states[s]);
   ASSERT_EQ(a.accounts().size(), b.accounts().size());
   auto bit = b.accounts().begin();
-  for (const auto& [key, acc] : a.accounts()) {
-    ASSERT_EQ(key, bit->first);
-    const auto& other = bit->second;
+  for (const auto& acc : a.accounts()) {
+    ASSERT_EQ(acc.user, bit->user);  // same deterministic user-major order
+    ASSERT_EQ(acc.app, bit->app);
+    const auto& other = *bit;
     EXPECT_EQ(acc.joules, other.joules);
     EXPECT_EQ(acc.bytes, other.bytes);
     EXPECT_EQ(acc.packets, other.packets);

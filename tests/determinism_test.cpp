@@ -18,14 +18,14 @@ void expect_identical_ledgers(const energy::EnergyLedger& a, const energy::Energ
   EXPECT_EQ(a.total_bytes(), b.total_bytes());
   EXPECT_EQ(a.total_packets(), b.total_packets());
   ASSERT_EQ(a.accounts().size(), b.accounts().size());
-  for (const auto& [key, acc] : a.accounts()) {
-    const auto it = b.accounts().find(key);
-    ASSERT_NE(it, b.accounts().end());
-    EXPECT_EQ(acc.joules, it->second.joules);
-    EXPECT_EQ(acc.bytes, it->second.bytes);
-    EXPECT_EQ(acc.packets, it->second.packets);
+  for (const auto& acc : a.accounts()) {
+    const energy::AppUserAccount* other = b.find(acc.user, acc.app);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(acc.joules, other->joules);
+    EXPECT_EQ(acc.bytes, other->bytes);
+    EXPECT_EQ(acc.packets, other->packets);
     for (std::size_t s = 0; s < acc.state_joules.size(); ++s) {
-      EXPECT_EQ(acc.state_joules[s], it->second.state_joules[s]);
+      EXPECT_EQ(acc.state_joules[s], other->state_joules[s]);
     }
   }
 }

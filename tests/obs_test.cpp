@@ -410,14 +410,12 @@ TEST(RunStats, InstrumentationDoesNotPerturbAttribution) {
   EXPECT_EQ(plain.attributor().device_joules(), instrumented.attributor().device_joules());
 
   // Every (user, app) account identical to the bit.
-  const auto& a = plain.ledger().accounts();
-  const auto& b = instrumented.ledger().accounts();
-  ASSERT_EQ(a.size(), b.size());
-  for (const auto& [key, acc] : a) {
-    const auto it = b.find(key);
-    ASSERT_NE(it, b.end());
-    EXPECT_EQ(acc.joules, it->second.joules);
-    EXPECT_EQ(acc.bytes, it->second.bytes);
+  ASSERT_EQ(plain.ledger().accounts().size(), instrumented.ledger().accounts().size());
+  for (const auto& acc : plain.ledger().accounts()) {
+    const energy::AppUserAccount* other = instrumented.ledger().find(acc.user, acc.app);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(acc.joules, other->joules);
+    EXPECT_EQ(acc.bytes, other->bytes);
   }
 
   // And the span file is valid, Perfetto-loadable JSON with per-user spans.

@@ -124,9 +124,10 @@ void expect_identical_ledgers(const energy::EnergyLedger& a, const energy::Energ
   for (std::size_t s = 0; s < a_states.size(); ++s) EXPECT_EQ(a_states[s], b_states[s]);
   ASSERT_EQ(a.accounts().size(), b.accounts().size());
   auto bit = b.accounts().begin();
-  for (const auto& [key, acc] : a.accounts()) {
-    ASSERT_EQ(key, bit->first);  // same deterministic user-major order
-    const auto& other = bit->second;
+  for (const auto& acc : a.accounts()) {
+    ASSERT_EQ(acc.user, bit->user);  // same deterministic user-major order
+    ASSERT_EQ(acc.app, bit->app);
+    const auto& other = *bit;
     EXPECT_EQ(acc.joules, other.joules);
     EXPECT_EQ(acc.bytes, other.bytes);
     EXPECT_EQ(acc.packets, other.packets);
@@ -166,8 +167,8 @@ TEST(EnergyLedgerMerge, PerUserShardsMergeToTheSerialLedger) {
 // ----------------------------------------------- full-pipeline determinism
 
 /// All paper analyses wired into one pipeline, so the determinism assertion
-/// covers every sink kind: shardable (persistence, time-since-fg, waste,
-/// case studies) and the serial-fallback path (longitudinal).
+/// covers every sink: persistence, time-since-fg, waste, case studies, and
+/// longitudinal — all shardable since the flat data-plane refactor.
 struct AnalysisSet {
   std::vector<trace::AppId> tracked{0, 1, 2, 3, 4};
   analysis::PersistenceAnalysis persistence;
@@ -239,7 +240,7 @@ void expect_identical_analyses(AnalysisSet& a, AnalysisSet& b) {
     EXPECT_EQ(ca.days_active, cb.days_active);
     EXPECT_EQ(ca.early_period_s, cb.early_period_s);
     EXPECT_EQ(ca.late_period_s, cb.late_period_s);
-    // Longitudinal (serial fallback).
+    // Longitudinal (per-user week-cell partials merged in user-id order).
     const auto ea = a.longitudinal.era_comparison(app);
     const auto eb = b.longitudinal.era_comparison(app);
     EXPECT_EQ(ea.early_uj_per_byte, eb.early_uj_per_byte);
@@ -304,7 +305,7 @@ TEST(ParallelDeterminism, ThreadCountsProduceBitIdenticalOutputs) {
       shard_packets += stats.shards[i].packets;
     }
     EXPECT_EQ(shard_packets, stats.packets);
-    EXPECT_EQ(stats.serial_fallback_sinks, 1u);  // longitudinal opted out
+    EXPECT_EQ(stats.serial_fallback_sinks, 0u);  // every analysis is shardable now
   }
 }
 
@@ -327,7 +328,7 @@ TEST(ParallelDeterminism, RepeatedShardedRunsAreIdempotent) {
   expect_identical_ledgers(serial.ledger(), pipeline.ledger());
 }
 
-TEST(ParallelDeterminism, NonShardableSinkSeesTheExactSerialStream) {
+TEST(ParallelDeterminism, TraceCollectorSeesTheExactSerialStream) {
   trace::TraceCollector serial_collector;
   core::StudyPipeline serial{sim::small_study(/*seed=*/3)};
   serial.add_analysis("collector", &serial_collector);
@@ -340,7 +341,8 @@ TEST(ParallelDeterminism, NonShardableSinkSeesTheExactSerialStream) {
   sharded.add_analysis("collector", &sharded_collector);
   const auto sharded_run = sharded.run();
   ASSERT_TRUE(sharded_run.ok());
-  EXPECT_EQ(sharded_run->serial_fallback_sinks, 1u);
+  // The collector shards natively now: per-shard capture, ordered splice.
+  EXPECT_EQ(sharded_run->serial_fallback_sinks, 0u);
 
   ASSERT_EQ(serial_collector.packets().size(), sharded_collector.packets().size());
   for (std::size_t i = 0; i < serial_collector.packets().size(); ++i) {

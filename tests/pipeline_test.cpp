@@ -79,7 +79,7 @@ TEST(Pipeline, KillPolicyReducesEnergy) {
   // slightly because tail attribution changes once bg packets vanish).
   const auto fg_bytes = [](const energy::EnergyLedger& ledger) {
     std::uint64_t total = 0;
-    for (const auto& [key, acc] : ledger.accounts()) {
+    for (const auto& acc : ledger.accounts()) {
       for (const auto& cell : acc.days) total += cell.fg_bytes;
     }
     return total;

@@ -89,9 +89,10 @@ void expect_identical_ledgers(const energy::EnergyLedger& a, const energy::Energ
   for (std::size_t s = 0; s < a_states.size(); ++s) EXPECT_EQ(a_states[s], b_states[s]);
   ASSERT_EQ(a.accounts().size(), b.accounts().size());
   auto bit = b.accounts().begin();
-  for (const auto& [key, acc] : a.accounts()) {
-    ASSERT_EQ(key, bit->first);
-    const auto& other = bit->second;
+  for (const auto& acc : a.accounts()) {
+    ASSERT_EQ(acc.user, bit->user);  // same deterministic user-major order
+    ASSERT_EQ(acc.app, bit->app);
+    const auto& other = *bit;
     EXPECT_EQ(acc.joules, other.joules);
     EXPECT_EQ(acc.bytes, other.bytes);
     EXPECT_EQ(acc.packets, other.packets);
@@ -137,9 +138,10 @@ void expect_identical_figures(const energy::EnergyLedger& a, const energy::Energ
   }
 }
 
-/// Every paper analysis, so sweep comparisons cover shardable sinks
-/// (persistence, time-since-fg, waste, cases) AND the per-scenario serial
-/// replay fallback (longitudinal is not shardable).
+/// Every paper analysis plus a raw-stream collector. All of these sinks are
+/// shardable now, so sweep comparisons cover the dense-merge path for every
+/// sink kind (persistence, time-since-fg, waste, cases, longitudinal) and
+/// verify the collector reassembles the exact serial stream.
 struct AnalysisSet {
   std::vector<trace::AppId> tracked{0, 1, 2, 3, 4};
   analysis::PersistenceAnalysis persistence;
@@ -147,6 +149,7 @@ struct AnalysisSet {
   analysis::WastedUpdateAnalysis waste{tracked};
   analysis::CaseStudyAnalysis cases{tracked};
   analysis::LongitudinalAnalysis longitudinal{tracked};
+  trace::TraceCollector collector;
 
   void attach(core::StudyPipeline& pipeline) {
     pipeline.add_analysis("persistence", &persistence);
@@ -154,6 +157,7 @@ struct AnalysisSet {
     pipeline.add_analysis("waste", &waste);
     pipeline.add_analysis("cases", &cases);
     pipeline.add_analysis("longitudinal", &longitudinal);
+    pipeline.add_analysis("collector", &collector);
   }
 
   void attach(core::Scenario& scenario) {
@@ -162,6 +166,7 @@ struct AnalysisSet {
     scenario.analyses.emplace_back("waste", &waste);
     scenario.analyses.emplace_back("cases", &cases);
     scenario.analyses.emplace_back("longitudinal", &longitudinal);
+    scenario.analyses.emplace_back("collector", &collector);
   }
 };
 
@@ -201,6 +206,7 @@ void expect_identical_analyses(AnalysisSet& a, AnalysisSet& b) {
     EXPECT_EQ(a.longitudinal.overall().fg_joules[w], b.longitudinal.overall().fg_joules[w]);
     EXPECT_EQ(a.longitudinal.overall().bg_joules[w], b.longitudinal.overall().bg_joules[w]);
   }
+  expect_identical_streams(a.collector, b.collector);
 }
 
 // ----------------------------------------------- TraceSource conformance
@@ -499,6 +505,11 @@ TEST(SweepEngine, ThreadCountsProduceBitIdenticalScenarios) {
     const auto stats = sweep.run();
     ASSERT_TRUE(stats.ok());
     ASSERT_EQ(sweep.results().size(), specs.size());
+    // Every attached analysis (including the collector) is shardable, so no
+    // scenario needs a collect-splice adapter at any thread count.
+    for (const auto& result : sweep.results()) {
+      EXPECT_EQ(result.stats.serial_fallback_sinks, 0u);
+    }
     if (reference.empty()) {
       for (const auto& result : sweep.results()) reference.push_back(result.ledger);
       reference_sets = std::move(sets);

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "appmodel/catalog.h"
 #include "trace/csv_io.h"
 #include "trace/flow_assembler.h"
 #include "trace/process_state.h"
@@ -184,6 +185,44 @@ TEST(CsvIo, RejectsMalformedLines) {
     std::istringstream is{"T,1,0,0,service\n"};  // missing to-state
     EXPECT_FALSE(read_csv_trace(is, collector).ok());
   }
+}
+
+TEST(CsvIo, AppResolverMapsNamesThroughTheCatalog) {
+  // Traces exported by other tooling carry app *names*; ReadOptions can wire
+  // AppCatalog::find so the P/T app field accepts either form.
+  const auto catalog = appmodel::AppCatalog::paper_catalog();
+  const AppId chrome = catalog.find("Chrome");
+  const AppId weibo = catalog.find("Weibo");
+  ASSERT_NE(chrome, kNoApp);
+  ASSERT_NE(weibo, kNoApp);
+
+  ReadOptions options;
+  options.app_resolver = [&catalog](std::string_view name) { return catalog.find(name); };
+
+  std::istringstream is{
+      "P,1000,0,Chrome,0,100,down,cell,service,0.5\n"
+      "P,2000,0,7,1,200,up,wifi,foreground,1.5\n"
+      "T,3000,0,Weibo,foreground,background\n"
+      "E\n"};
+  TraceCollector collector;
+  const auto result = read_csv_trace(is, collector, options);
+  ASSERT_TRUE(result.ok()) << result.error();
+  ASSERT_EQ(collector.packets().size(), 2u);
+  EXPECT_EQ(collector.packets()[0].app, chrome);
+  EXPECT_EQ(collector.packets()[1].app, 7u);  // numeric ids still pass through
+  ASSERT_EQ(collector.transitions().size(), 1u);
+  EXPECT_EQ(collector.transitions()[0].app, weibo);
+
+  // Unknown names are a per-line error, not a silent kNoApp record.
+  std::istringstream bad{"P,1000,0,NoSuchApp,0,100,down,cell,service,0.5\nE\n"};
+  TraceCollector unused;
+  const auto failed = read_csv_trace(bad, unused, options);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_NE(failed.error().find("unknown app name"), std::string::npos);
+
+  // Without a resolver, a non-numeric app field stays an integer-parse error.
+  std::istringstream no_resolver{"P,1000,0,Chrome,0,100,down,cell,service,0.5\nE\n"};
+  EXPECT_FALSE(read_csv_trace(no_resolver, unused).ok());
 }
 
 TEST(TraceMulticast, FansOutInOrder) {
