@@ -45,9 +45,16 @@
 // --max-shard-retries N retries failed shards and skips their users instead
 // of aborting the run.
 //
+// Checkpoint/resume (run/sweep/analyze): --checkpoint-dir DIR snapshots the
+// sink state every --checkpoint-every completed users (src/ckpt/, DESIGN.md
+// §13); --resume continues from the newest good checkpoint, bit-identical to
+// an uninterrupted run; --inject-ckpt-fault nth=N,kind=hard-stop|short-write|
+// io-error scripts checkpoint-write failures for kill-and-recover testing.
+//
 // Exit codes: 0 success; 1 runtime/data failure (unreadable or corrupt input,
-// run aborted by a fault, unwritable output); 2 usage error (bad command or
-// flag value).
+// run aborted by a fault, unwritable output, missing/corrupt/stale checkpoint
+// on --resume); 2 usage error (bad command or flag value, --resume without
+// --checkpoint-dir).
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -60,6 +67,9 @@
 #include <vector>
 
 #include "analysis/diversity.h"
+#include "ckpt/checkpoint.h"
+#include "ckpt/checkpointable.h"
+#include "ckpt/resume_sinks.h"
 #include "analysis/figures.h"
 #include "analysis/persistence.h"
 #include "analysis/time_since_fg.h"
@@ -106,6 +116,11 @@ struct CliOptions {
   std::vector<fault::ShardFaultSpec> faults;
   core::FailurePolicy failure_policy = core::FailurePolicy::kFailFast;
   unsigned max_shard_retries = 2;
+  // Checkpoint/restore (run/sweep/analyze; src/ckpt/, DESIGN.md §13).
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 4;
+  bool resume = false;
+  std::vector<fault::CheckpointFaultSpec> ckpt_faults;  ///< kill-and-recover harness
 };
 
 /// Strict base-10 parse: the whole string must be a number (no "12abc" -> 12,
@@ -209,6 +224,26 @@ bool parse_flags(int argc, char** argv, int start, CliOptions& options) {
     } else if (flag == "--max-shard-retries") {
       if (!parse_int_flag(flag, next(), 0, value)) return false;
       options.max_shard_retries = static_cast<unsigned>(value);
+    } else if (flag == "--checkpoint-dir") {
+      const char* v = next();
+      if (!v || *v == '\0') {
+        std::cerr << "--checkpoint-dir requires a directory path\n";
+        return false;
+      }
+      options.checkpoint_dir = v;
+    } else if (flag == "--checkpoint-every") {
+      if (!parse_int_flag(flag, next(), 1, value)) return false;
+      options.checkpoint_every = static_cast<std::size_t>(value);
+    } else if (flag == "--resume") {
+      options.resume = true;
+    } else if (flag == "--inject-ckpt-fault") {
+      const char* v = next();
+      const auto spec = fault::parse_checkpoint_fault_spec(v != nullptr ? v : "");
+      if (!spec.ok()) {
+        std::cerr << "--inject-ckpt-fault: " << spec.status().message() << "\n";
+        return false;
+      }
+      options.ckpt_faults.push_back(spec.value());
     } else if (flag == "--stats") {
       options.stats = true;
     } else if (flag == "--stats-json") {
@@ -236,6 +271,16 @@ bool parse_flags(int argc, char** argv, int start, CliOptions& options) {
     std::cerr << "--format expects csv or bin, got '" << options.format << "'\n";
     return false;
   }
+  // Usage errors (exit 2), distinct from a missing/corrupt checkpoint at
+  // runtime (exit 1): the flag combination itself is wrong.
+  if (options.resume && options.checkpoint_dir.empty()) {
+    std::cerr << "--resume requires --checkpoint-dir\n";
+    return false;
+  }
+  if (!options.ckpt_faults.empty() && options.checkpoint_dir.empty()) {
+    std::cerr << "--inject-ckpt-fault requires --checkpoint-dir\n";
+    return false;
+  }
   return true;
 }
 
@@ -252,8 +297,14 @@ core::PipelineOptions observed_options(const CliOptions& options, obs::TraceWrit
   if (!options.trace_out.empty()) pipeline_options.trace_writer = &writer;
   pipeline_options.failure_policy = options.failure_policy;
   pipeline_options.max_shard_retries = options.max_shard_retries;
+  pipeline_options.checkpoint_dir = options.checkpoint_dir;
+  pipeline_options.checkpoint_every_users = options.checkpoint_every;
+  pipeline_options.resume = options.resume;
   for (const auto& spec : options.faults) plan.add(spec);
-  if (!options.faults.empty()) pipeline_options.fault_plan = &plan;
+  for (const auto& spec : options.ckpt_faults) plan.add_checkpoint_fault(spec);
+  if (!options.faults.empty() || !options.ckpt_faults.empty()) {
+    pipeline_options.fault_plan = &plan;
+  }
   return pipeline_options;
 }
 
@@ -278,6 +329,26 @@ std::optional<obs::RunStats> run_guarded(core::StudyPipeline& pipeline) {
               << "; results cover the surviving users only (--stats for details)\n";
   }
   return std::move(stats).value();
+}
+
+/// Resume/checkpoint facts on stderr after a successful run — recovery is
+/// never silent (DESIGN.md §13). Shared by run/report/figures/sweep; the
+/// analyze path prints its own (its writer lives outside RunStats).
+void print_checkpoint_notes(const CliOptions& options, const obs::RunStats& stats) {
+  if (options.checkpoint_dir.empty()) return;
+  if (options.resume) {
+    std::cerr << "resumed: skipped " << stats.resumed_users << " already-completed user(s)";
+    if (stats.recovered_from_seq != 0) {
+      std::cerr << " (recovered from checkpoint seq " << stats.recovered_from_seq
+                << " past a damaged newer one)";
+    }
+    std::cerr << "\n";
+  }
+  std::cerr << "checkpoints: " << stats.checkpoints_written << " written";
+  if (stats.checkpoint_write_failures > 0) {
+    std::cerr << ", " << stats.checkpoint_write_failures << " write failure(s)";
+  }
+  std::cerr << "\n";
 }
 
 /// After run(): print --stats to `os`, write --stats-json, write --trace-out.
@@ -396,7 +467,106 @@ int cmd_analyze(const CliOptions& options) {
   trace::BinaryTraceSource binary_source{*input, read_options};
   trace::TraceSource& source =
       binary ? static_cast<trace::TraceSource&>(binary_source) : csv_source;
-  const util::Status read_status = source.emit(validator, options.batch_size);
+
+  // --checkpoint-dir: snapshot the attribution state (attributor, ledger,
+  // persistence) every --checkpoint-every completed users, so a killed
+  // analyze can --resume mid-trace. Same decorator stack as the pipeline's
+  // forward-only path (src/ckpt/resume_sinks.h): completed user brackets are
+  // skipped at the entry and their state folded back from the checkpoint.
+  fault::FaultPlan ckpt_plan;
+  std::vector<std::pair<std::string, ckpt::CheckpointableSink*>> checkpointables;
+  std::unique_ptr<ckpt::CheckpointWriter> ckpt_writer;
+  std::unique_ptr<ckpt::CheckpointingSink> ckpt_sink;
+  std::unique_ptr<ckpt::UserSkipFilter> skip_filter;
+  util::Status restore_status;
+  trace::TraceSink* entry = &validator;
+  if (!options.checkpoint_dir.empty()) {
+    checkpointables = {{"attributor", &attributor}, {"ledger", &ledger},
+                       {"persistence", &persistence}};
+    for (const auto& spec : options.ckpt_faults) ckpt_plan.add_checkpoint_fault(spec);
+    ckpt::CheckpointWriterOptions writer_options;
+    if (!options.ckpt_faults.empty()) writer_options.fault_plan = &ckpt_plan;
+    ckpt_writer = std::make_unique<ckpt::CheckpointWriter>(options.checkpoint_dir,
+                                                           writer_options);
+    std::optional<ckpt::Snapshot> resumed_snapshot;
+    if (options.resume) {
+      auto loaded = ckpt::CheckpointReader::load_latest(options.checkpoint_dir);
+      if (!loaded.ok()) {
+        std::cerr << "resume failed: " << loaded.status().to_string() << "\n";
+        return 1;
+      }
+      if (loaded->recovered_from_seq != 0) {
+        std::cerr << "warning: recovered from checkpoint seq " << loaded->recovered_from_seq
+                  << " (newer checkpoints damaged)\n";
+      }
+      ckpt_writer->set_next_seq(loaded->seq + 1);
+      resumed_snapshot = std::move(loaded->snapshot);
+    }
+    ckpt_sink = std::make_unique<ckpt::CheckpointingSink>(
+        &validator, options.checkpoint_every, [&]() {
+          if (!restore_status.ok()) return;  // never snapshot over a bad restore
+          ckpt::Snapshot snap;
+          snap.meta = source.meta();
+          snap.completed_users = ckpt_sink->completed_users();
+          for (const auto& [name, sink] : checkpointables) {
+            ckpt::ByteWriter out;
+            sink->save_state(out);
+            snap.add_section(name, out.take());
+          }
+          (void)ckpt_writer->write(snap);  // failures counted; the read continues
+        });
+    if (resumed_snapshot) {
+      ckpt_sink->seed_completed(resumed_snapshot->completed_users);
+      skip_filter = std::make_unique<ckpt::UserSkipFilter>(
+          ckpt_sink.get(), resumed_snapshot->completed_users);
+      ckpt_sink->set_restore_hook(
+          [&, snap = std::move(*resumed_snapshot)](const trace::StudyMeta& meta) {
+            restore_status.update(ckpt::check_snapshot_meta(snap, meta));
+            if (!restore_status.ok()) return;
+            for (const auto& [name, sink] : checkpointables) {
+              const std::string* payload = snap.section(name);
+              if (payload == nullptr) {
+                restore_status.update(util::Status::failed_precondition(
+                    "checkpoint holds no state for sink '" + name + "'"));
+                return;
+              }
+              ckpt::ByteReader in{*payload};
+              if (util::Status st = sink->restore_state(in); !st.ok()) {
+                restore_status.update({st.code(), "sink '" + name + "': " + st.message()});
+                return;
+              }
+            }
+          });
+      entry = skip_filter.get();
+    } else {
+      entry = ckpt_sink.get();
+    }
+  }
+
+  util::Status read_status = util::Status::ok_status();
+  try {
+    read_status = source.emit(*entry, options.batch_size);
+  } catch (const std::exception& e) {
+    // An injected hard-stop checkpoint fault lands here: the checkpoint is
+    // on disk, the process "dies" with a runtime failure.
+    std::cerr << "analyze failed: " << e.what() << "\n";
+    return 1;
+  }
+  if (!restore_status.ok()) {
+    std::cerr << "resume failed: " << restore_status.to_string() << "\n";
+    return 1;
+  }
+  if (skip_filter != nullptr) {
+    std::cerr << "resumed: skipped " << skip_filter->skipped_users()
+              << " already-completed user(s)\n";
+  }
+  if (ckpt_writer != nullptr) {
+    std::cerr << "checkpoints: " << ckpt_writer->checkpoints_written() << " written";
+    if (ckpt_writer->write_failures() > 0) {
+      std::cerr << ", " << ckpt_writer->write_failures() << " write failure(s)";
+    }
+    std::cerr << "\n";
+  }
   const trace::ReadSummary& summary =
       binary ? binary_source.summary() : csv_source.summary();
   if (!read_status.ok()) {
@@ -438,6 +608,7 @@ int cmd_report(const CliOptions& options) {
   pipeline.add_analysis("persistence", &persistence);
   const auto stats = run_guarded(pipeline);
   if (!stats) return 1;
+  print_checkpoint_notes(options, *stats);
   const auto report =
       core::Report::build(pipeline.ledger(), pipeline.catalog(), &persistence);
   report.print(std::cout);
@@ -461,6 +632,7 @@ int cmd_figures(const CliOptions& options) {
   pipeline.add_analysis("time-since-fg", &tsf);
   const auto stats = run_guarded(pipeline);
   if (!stats) return 1;
+  print_checkpoint_notes(options, *stats);
   const auto& ledger = pipeline.ledger();
 
   const auto overall = analysis::overall_state_breakdown(ledger);
@@ -492,6 +664,7 @@ int cmd_run(const CliOptions& options) {
   core::StudyPipeline pipeline{options.study, observed_options(options, spans, plan)};
   const auto stats = run_guarded(pipeline);
   if (!stats) return 1;
+  print_checkpoint_notes(options, *stats);
   std::cout << "run: " << stats->users << " users, " << stats->packets << " packets, "
             << fmt(stats->joules / 1e3, 1) << " kJ in " << fmt(stats->wall_ms, 1) << " ms ("
             << stats->num_threads << " thread" << (stats->num_threads > 1 ? "s" : "") << ")\n";
@@ -509,8 +682,14 @@ int cmd_sweep(const CliOptions& options) {
   sweep_options.collect_stage_stats = options.stats || !options.stats_json.empty();
   sweep_options.failure_policy = options.failure_policy;
   sweep_options.max_shard_retries = options.max_shard_retries;
+  sweep_options.checkpoint_dir = options.checkpoint_dir;
+  sweep_options.checkpoint_every_users = options.checkpoint_every;
+  sweep_options.resume = options.resume;
   for (const auto& spec : options.faults) plan.add(spec);
-  if (!options.faults.empty()) sweep_options.fault_plan = &plan;
+  for (const auto& spec : options.ckpt_faults) plan.add_checkpoint_fault(spec);
+  if (!options.faults.empty() || !options.ckpt_faults.empty()) {
+    sweep_options.fault_plan = &plan;
+  }
   if (options.progress) {
     sweep_options.progress = [](const core::SweepProgress& p) {
       std::cerr << "\r[sweep] " << p.completed << "/" << p.total << " shards (scenario "
@@ -545,6 +724,7 @@ int cmd_sweep(const CliOptions& options) {
     std::cerr << "sweep failed: " << stats.status().to_string() << "\n";
     return 1;
   }
+  print_checkpoint_notes(options, *stats);
 
   TextTable table({"scenario", "energy kJ", "vs baseline", "packets"});
   const core::ScenarioResult* baseline = sweep.result("baseline");
@@ -591,7 +771,15 @@ int main(int argc, char** argv) {
                  "(repeatable)\n"
               << "            --failure-policy failfast|retry-then-skip  "
                  "--max-shard-retries N\n"
-              << "exit codes: 0 ok; 1 runtime/data failure; 2 usage error\n";
+              << "checkpoint/resume (run/sweep/analyze): --checkpoint-dir DIR "
+                 "--checkpoint-every N\n"
+              << "            --resume (continue from the newest good checkpoint; "
+                 "bit-identical to an uninterrupted run)\n"
+              << "            --inject-ckpt-fault nth=N,kind=hard-stop|short-write|io-error"
+                 "[,truncate_to=B] (kill-and-recover harness)\n"
+              << "exit codes: 0 ok; 1 runtime/data failure (incl. missing/corrupt/stale "
+                 "checkpoint on --resume); 2 usage error (incl. --resume without "
+                 "--checkpoint-dir)\n";
     return 2;
   }
   CliOptions options;

@@ -114,6 +114,57 @@ void CaseStudyAnalysis::merge_from(trace::TraceSink& shard) {
   }
 }
 
+void CaseStudyAnalysis::save_state(ckpt::ByteWriter& out) const {
+  out.put_varint(per_app_.size());
+  for (const PerApp& pa : per_app_) {
+    out.put_f64_span(pa.joules_by_user);
+    out.put_bool_vec(pa.joules_touched);
+    out.put_varint(pa.bytes);
+    out.put_varint(pa.flows);
+    out.put_bool_vec(pa.active_day);
+    out.put_f64_span(pa.early_gaps.samples());
+    out.put_f64_span(pa.late_gaps.samples());
+  }
+}
+
+util::Status CaseStudyAnalysis::restore_state(ckpt::ByteReader& in) {
+  auto num_apps = in.get_varint("case_studies.apps");
+  if (!num_apps.ok()) return num_apps.status();
+  if (*num_apps != per_app_.size()) {
+    return util::Status::data_loss("corrupt checkpoint: case_studies tracks " +
+                                   std::to_string(per_app_.size()) + " apps, snapshot holds " +
+                                   std::to_string(*num_apps));
+  }
+  const auto read_samples = [&in](Distribution& dist,
+                                  std::string_view field) -> util::Status {
+    auto samples = in.get_f64_vec(field);
+    if (!samples.ok()) return samples.status();
+    dist.restore_samples(std::move(*samples));
+    return util::Status::ok_status();
+  };
+  for (PerApp& pa : per_app_) {
+    auto joules = in.get_f64_vec("case_studies.joules_by_user");
+    if (!joules.ok()) return joules.status();
+    pa.joules_by_user = std::move(*joules);
+    auto status = in.get_bool_vec(pa.joules_touched, "case_studies.joules_touched");
+    if (!status.ok()) return status;
+    auto bytes = in.get_varint("case_studies.bytes");
+    if (!bytes.ok()) return bytes.status();
+    pa.bytes = *bytes;
+    auto flows = in.get_varint("case_studies.flows");
+    if (!flows.ok()) return flows.status();
+    pa.flows = *flows;
+    status = in.get_bool_vec(pa.active_day, "case_studies.active_day");
+    if (!status.ok()) return status;
+    status = read_samples(pa.early_gaps, "case_studies.early_gaps");
+    if (!status.ok()) return status;
+    status = read_samples(pa.late_gaps, "case_studies.late_gaps");
+    if (!status.ok()) return status;
+    pa.has_last_flow = false;
+  }
+  return util::Status::ok_status();
+}
+
 void CaseStudyAnalysis::on_flow(const trace::FlowRecord& flow) {
   PerApp* pa = slot(flow.app);
   if (pa == nullptr) return;

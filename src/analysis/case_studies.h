@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/checkpointable.h"
 #include "trace/flow_assembler.h"
 #include "trace/shardable.h"
 #include "trace/sink.h"
@@ -51,7 +52,9 @@ struct CaseStudyResult {
   double late_period_s = 0.0;
 };
 
-class CaseStudyAnalysis final : public trace::TraceSink, public trace::ShardableSink {
+class CaseStudyAnalysis final : public trace::TraceSink,
+                                public trace::ShardableSink,
+                                public ckpt::CheckpointableSink {
  public:
   /// Track the given apps; statistics cover *background* traffic only
   /// (the subject of Table 1). Pass the full study stream.
@@ -69,6 +72,11 @@ class CaseStudyAnalysis final : public trace::TraceSink, public trace::Shardable
   // kept as per-user partials folded by result() (trace/shardable.h).
   [[nodiscard]] std::unique_ptr<trace::TraceSink> clone_shard() const override;
   void merge_from(trace::TraceSink& shard) override;
+
+  // CheckpointableSink: per-user joules, day bitmaps, and gap samples in
+  // their stored order (flow anchors reset at every user end).
+  void save_state(ckpt::ByteWriter& out) const override;
+  [[nodiscard]] util::Status restore_state(ckpt::ByteReader& in) override;
 
   [[nodiscard]] CaseStudyResult result(trace::AppId app);
   [[nodiscard]] const std::vector<trace::AppId>& tracked() const { return apps_; }

@@ -125,6 +125,63 @@ void LongitudinalAnalysis::merge_from(trace::TraceSink& shard) {
   dirty_ = true;
 }
 
+void LongitudinalAnalysis::save_state(ckpt::ByteWriter& out) const {
+  out.put_varint(users_.size());
+  for (const auto& part : users_) {
+    out.put_u8(part ? 1 : 0);
+    if (!part) continue;
+    out.put_f64_span(part->fg_weeks);
+    out.put_f64_span(part->bg_weeks);
+    out.put_varint(part->eras.size());
+    for (const EraAccum& era : part->eras) {
+      out.put_f64(era.early_joules);
+      out.put_f64(era.late_joules);
+      out.put_varint(era.early_bytes);
+      out.put_varint(era.late_bytes);
+    }
+  }
+}
+
+util::Status LongitudinalAnalysis::restore_state(ckpt::ByteReader& in) {
+  auto num_users = in.get_varint("longitudinal.users");
+  if (!num_users.ok()) return num_users.status();
+  users_.clear();
+  users_.resize(*num_users);
+  cur_ = nullptr;
+  for (auto& slot : users_) {
+    auto present = in.get_u8("longitudinal.user_present");
+    if (!present.ok()) return present.status();
+    if (*present == 0) continue;
+    auto part = std::make_unique<UserPart>();
+    part->fg_weeks.assign(num_weeks_, 0.0);
+    part->bg_weeks.assign(num_weeks_, 0.0);
+    auto status = in.get_f64_span(part->fg_weeks, "longitudinal.fg_weeks");
+    if (!status.ok()) return status;
+    status = in.get_f64_span(part->bg_weeks, "longitudinal.bg_weeks");
+    if (!status.ok()) return status;
+    auto num_eras = in.get_varint("longitudinal.eras");
+    if (!num_eras.ok()) return num_eras.status();
+    part->eras.resize(*num_eras);
+    for (EraAccum& era : part->eras) {
+      auto early_j = in.get_f64("longitudinal.era_early_joules");
+      if (!early_j.ok()) return early_j.status();
+      era.early_joules = *early_j;
+      auto late_j = in.get_f64("longitudinal.era_late_joules");
+      if (!late_j.ok()) return late_j.status();
+      era.late_joules = *late_j;
+      auto early_b = in.get_varint("longitudinal.era_early_bytes");
+      if (!early_b.ok()) return early_b.status();
+      era.early_bytes = *early_b;
+      auto late_b = in.get_varint("longitudinal.era_late_bytes");
+      if (!late_b.ok()) return late_b.status();
+      era.late_bytes = *late_b;
+    }
+    slot = std::move(part);
+  }
+  dirty_ = true;
+  return util::Status::ok_status();
+}
+
 void LongitudinalAnalysis::fold() const {
   if (!dirty_) return;
   overall_.fg_joules.assign(num_weeks_, 0.0);

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/checkpointable.h"
 #include "trace/shardable.h"
 #include "trace/sink.h"
 
@@ -49,7 +50,9 @@ struct EraComparison {
   }
 };
 
-class LongitudinalAnalysis final : public trace::TraceSink, public trace::ShardableSink {
+class LongitudinalAnalysis final : public trace::TraceSink,
+                                   public trace::ShardableSink,
+                                   public ckpt::CheckpointableSink {
  public:
   explicit LongitudinalAnalysis(std::vector<trace::AppId> tracked_apps = {});
 
@@ -61,6 +64,11 @@ class LongitudinalAnalysis final : public trace::TraceSink, public trace::Sharda
   // folded in user-id order at query time.
   [[nodiscard]] std::unique_ptr<trace::TraceSink> clone_shard() const override;
   void merge_from(trace::TraceSink& shard) override;
+
+  // CheckpointableSink: per-user week/era partials (raw double bits); the
+  // query-time fold cache is rebuilt lazily after restore.
+  void save_state(ckpt::ByteWriter& out) const override;
+  [[nodiscard]] util::Status restore_state(ckpt::ByteReader& in) override;
 
   [[nodiscard]] const WeeklySeries& overall() const;
   [[nodiscard]] EraComparison era_comparison(trace::AppId app) const;

@@ -89,6 +89,34 @@ void PersistenceAnalysis::merge_from(trace::TraceSink& shard) {
 
 void PersistenceAnalysis::on_user_end(trace::UserId /*user*/) { flush_user(); }
 
+void PersistenceAnalysis::save_state(ckpt::ByteWriter& out) const {
+  out.put_varint(durations_.size());
+  out.put_bool_vec(known_);
+  for (std::size_t app = 0; app < durations_.size(); ++app) {
+    if (!known_[app]) continue;
+    out.put_f64_span(durations_[app].samples());
+  }
+}
+
+util::Status PersistenceAnalysis::restore_state(ckpt::ByteReader& in) {
+  auto num_apps = in.get_varint("persistence.apps");
+  if (!num_apps.ok()) return num_apps.status();
+  auto status = in.get_bool_vec(known_, "persistence.known");
+  if (!status.ok()) return status;
+  if (known_.size() != *num_apps) {
+    return util::Status::data_loss("corrupt checkpoint: persistence known flags mismatch");
+  }
+  durations_.clear();
+  durations_.resize(*num_apps);
+  for (std::size_t app = 0; app < durations_.size(); ++app) {
+    if (!known_[app]) continue;
+    auto samples = in.get_f64_vec("persistence.samples");
+    if (!samples.ok()) return samples.status();
+    durations_[app].restore_samples(std::move(*samples));
+  }
+  return util::Status::ok_status();
+}
+
 Distribution& PersistenceAnalysis::durations(trace::AppId app) {
   if (app >= durations_.size()) {
     durations_.resize(app + 1);

@@ -16,13 +16,16 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/checkpointable.h"
 #include "trace/shardable.h"
 #include "trace/sink.h"
 #include "util/stats.h"
 
 namespace wildenergy::analysis {
 
-class PersistenceAnalysis final : public trace::TraceSink, public trace::ShardableSink {
+class PersistenceAnalysis final : public trace::TraceSink,
+                                  public trace::ShardableSink,
+                                  public ckpt::CheckpointableSink {
  public:
   /// Track all apps; durations are recorded per app.
   explicit PersistenceAnalysis(Duration quiet_gap = minutes(10.0));
@@ -37,6 +40,11 @@ class PersistenceAnalysis final : public trace::TraceSink, public trace::Shardab
   // reproducing the serial user-major sample sequence.
   [[nodiscard]] std::unique_ptr<trace::TraceSink> clone_shard() const override;
   void merge_from(trace::TraceSink& shard) override;
+
+  // CheckpointableSink: per-app duration samples in insertion order (open
+  // episodes are flushed at every user end, so none exist at a checkpoint).
+  void save_state(ckpt::ByteWriter& out) const override;
+  [[nodiscard]] util::Status restore_state(ckpt::ByteReader& in) override;
 
   /// Persistence durations (seconds) for one app, one per fg->bg transition.
   /// Empty if the app was never foregrounded.

@@ -108,6 +108,49 @@ void TimeSinceForegroundAnalysis::on_batch(const trace::EventBatch& batch) {
   }
 }
 
+void TimeSinceForegroundAnalysis::save_state(ckpt::ByteWriter& out) const {
+  out.put_f64_span(histogram_.masses());
+  out.put_f64(histogram_.total_mass());
+  out.put_varint(tallies_.size());
+  out.put_bool_vec(touched_);
+  for (std::size_t app = 0; app < tallies_.size(); ++app) {
+    if (!touched_[app]) continue;
+    out.put_varint(tallies_[app].bg_bytes);
+    out.put_varint(tallies_[app].bg_bytes_first_minute);
+  }
+}
+
+util::Status TimeSinceForegroundAnalysis::restore_state(ckpt::ByteReader& in) {
+  std::vector<double> masses(histogram_.bins());
+  auto status = in.get_f64_span(masses, "time_since_fg.histogram");
+  if (!status.ok()) return status;
+  auto total = in.get_f64("time_since_fg.histogram_total");
+  if (!total.ok()) return total.status();
+  histogram_.restore_masses(masses, *total);
+  auto num_apps = in.get_varint("time_since_fg.apps");
+  if (!num_apps.ok()) return num_apps.status();
+  status = in.get_bool_vec(touched_, "time_since_fg.touched");
+  if (!status.ok()) return status;
+  if (touched_.size() != *num_apps) {
+    return util::Status::data_loss("corrupt checkpoint: time_since_fg touched flags mismatch");
+  }
+  tallies_.assign(*num_apps, AppTally{});
+  if (track_.size() < tallies_.size()) {
+    track_.resize(tallies_.size(), 0);
+    last_exit_.resize(tallies_.size(), TimePoint{});
+  }
+  for (std::size_t app = 0; app < tallies_.size(); ++app) {
+    if (!touched_[app]) continue;
+    auto bg = in.get_varint("time_since_fg.bg_bytes");
+    if (!bg.ok()) return bg.status();
+    tallies_[app].bg_bytes = *bg;
+    auto first = in.get_varint("time_since_fg.bg_bytes_first_minute");
+    if (!first.ok()) return first.status();
+    tallies_[app].bg_bytes_first_minute = *first;
+  }
+  return util::Status::ok_status();
+}
+
 std::vector<std::pair<trace::AppId, TimeSinceForegroundAnalysis::AppTally>>
 TimeSinceForegroundAnalysis::app_tallies() const {
   std::vector<std::pair<trace::AppId, AppTally>> out;

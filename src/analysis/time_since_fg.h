@@ -20,13 +20,16 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/checkpointable.h"
 #include "trace/shardable.h"
 #include "trace/sink.h"
 #include "util/stats.h"
 
 namespace wildenergy::analysis {
 
-class TimeSinceForegroundAnalysis final : public trace::TraceSink, public trace::ShardableSink {
+class TimeSinceForegroundAnalysis final : public trace::TraceSink,
+                                          public trace::ShardableSink,
+                                          public ckpt::CheckpointableSink {
  public:
   /// `horizon`: how far past the transition the histogram extends.
   /// `bin`: histogram resolution (must divide the 5-min spike cleanly to
@@ -43,6 +46,13 @@ class TimeSinceForegroundAnalysis final : public trace::TraceSink, public trace:
   // exact (order-free) because its masses are integer byte counts.
   [[nodiscard]] std::unique_ptr<trace::TraceSink> clone_shard() const override;
   void merge_from(trace::TraceSink& shard) override;
+
+  // CheckpointableSink: histogram masses (raw bits, incl. the running total —
+  // on_study_begin does NOT reset the ctor-shaped histogram, so restore
+  // overwrites it wholesale) plus the per-app tallies. Per-user tracking
+  // arrays reset at every user switch and are not serialized.
+  void save_state(ckpt::ByteWriter& out) const override;
+  [[nodiscard]] util::Status restore_state(ckpt::ByteReader& in) override;
 
   /// Histogram of background bytes vs seconds-since-foreground (all apps).
   [[nodiscard]] const Histogram& bytes_histogram() const { return histogram_; }

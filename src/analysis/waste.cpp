@@ -135,6 +135,56 @@ void WastedUpdateAnalysis::merge_from(trace::TraceSink& shard) {
   }
 }
 
+void WastedUpdateAnalysis::save_state(ckpt::ByteWriter& out) const {
+  out.put_varint(per_app_.size());
+  for (const PerApp& pa : per_app_) {
+    out.put_varint(pa.updates);
+    out.put_varint(pa.wasted_updates);
+    out.put_varint(pa.user_parts.size());
+    for (const UserPart& up : pa.user_parts) {
+      out.put_u8(up.touched ? 1 : 0);
+      if (!up.touched) continue;
+      out.put_f64(up.joules);
+      out.put_f64(up.wasted_joules);
+    }
+  }
+}
+
+util::Status WastedUpdateAnalysis::restore_state(ckpt::ByteReader& in) {
+  auto num_apps = in.get_varint("waste.apps");
+  if (!num_apps.ok()) return num_apps.status();
+  if (*num_apps != per_app_.size()) {
+    return util::Status::data_loss("corrupt checkpoint: waste tracks " +
+                                   std::to_string(per_app_.size()) + " apps, snapshot holds " +
+                                   std::to_string(*num_apps));
+  }
+  for (PerApp& pa : per_app_) {
+    auto updates = in.get_varint("waste.updates");
+    if (!updates.ok()) return updates.status();
+    pa.updates = *updates;
+    auto wasted = in.get_varint("waste.wasted_updates");
+    if (!wasted.ok()) return wasted.status();
+    pa.wasted_updates = *wasted;
+    auto num_users = in.get_varint("waste.user_parts");
+    if (!num_users.ok()) return num_users.status();
+    pa.user_parts.assign(*num_users, UserPart{});
+    pa.pending.clear();
+    for (UserPart& up : pa.user_parts) {
+      auto touched = in.get_u8("waste.part_touched");
+      if (!touched.ok()) return touched.status();
+      if (*touched == 0) continue;
+      up.touched = true;
+      auto joules = in.get_f64("waste.part_joules");
+      if (!joules.ok()) return joules.status();
+      up.joules = *joules;
+      auto wasted_joules = in.get_f64("waste.part_wasted_joules");
+      if (!wasted_joules.ok()) return wasted_joules.status();
+      up.wasted_joules = *wasted_joules;
+    }
+  }
+  return util::Status::ok_status();
+}
+
 WasteResult WastedUpdateAnalysis::result(trace::AppId app) const {
   WasteResult out;
   out.app = app;

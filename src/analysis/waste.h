@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/checkpointable.h"
 #include "trace/flow_assembler.h"
 #include "trace/shardable.h"
 #include "trace/sink.h"
@@ -42,7 +43,9 @@ struct WasteResult {
   }
 };
 
-class WastedUpdateAnalysis final : public trace::TraceSink, public trace::ShardableSink {
+class WastedUpdateAnalysis final : public trace::TraceSink,
+                                   public trace::ShardableSink,
+                                   public ckpt::CheckpointableSink {
  public:
   /// Track background updates of `apps`; an update is useful if the app is
   /// foregrounded within `useful_window` after the update completes.
@@ -58,6 +61,11 @@ class WastedUpdateAnalysis final : public trace::TraceSink, public trace::Sharda
   // and folded in user-id order by result() (trace/shardable.h).
   [[nodiscard]] std::unique_ptr<trace::TraceSink> clone_shard() const override;
   void merge_from(trace::TraceSink& shard) override;
+
+  // CheckpointableSink: update counts plus per-user energy partials (pending
+  // queues drain at every user end, so none exist at a checkpoint).
+  void save_state(ckpt::ByteWriter& out) const override;
+  [[nodiscard]] util::Status restore_state(ckpt::ByteReader& in) override;
 
   [[nodiscard]] WasteResult result(trace::AppId app) const;
   [[nodiscard]] const std::vector<trace::AppId>& tracked() const { return apps_; }

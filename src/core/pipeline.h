@@ -102,6 +102,24 @@ struct PipelineOptions {
   /// used by trace::ReadOptions and the CLI --batch-size flag) is a
   /// cache-friendly span that measures well on the micro_pipeline sweep.
   std::size_t batch_size = trace::kDefaultBatchSize;
+  /// Directory for crash-recovery checkpoints (src/ckpt/, CLI
+  /// --checkpoint-dir). Empty (default) disables checkpointing. When set,
+  /// every registered sink must implement ckpt::CheckpointableSink (the
+  /// default analysis set does) — run() refuses otherwise, naming the sink.
+  /// Random-access sources checkpoint through the sharded engine in epochs
+  /// of checkpoint_every_users; forward-only sources snapshot mid-stream at
+  /// the same cadence. A checkpointed run's outputs are bit-identical to an
+  /// unchecked one at every thread count.
+  std::string checkpoint_dir;
+  /// Completed users between checkpoints (CLI --checkpoint-every). Clamped
+  /// up to 1.
+  std::size_t checkpoint_every_users = 4;
+  /// Resume from the newest good checkpoint in checkpoint_dir: completed
+  /// users are skipped, their partial sink state is folded back in, and the
+  /// finished run is bit-identical to an uninterrupted one. A missing,
+  /// corrupt, or stale (different study/sink set) checkpoint fails run()
+  /// with a positioned status — resume never silently restarts from zero.
+  bool resume = false;
 };
 
 class StudyPipeline {
@@ -187,6 +205,9 @@ class StudyPipeline {
   unsigned max_shard_retries_ = 2;
   fault::FaultPlan* fault_plan_ = nullptr;
   std::size_t batch_size_ = trace::kDefaultBatchSize;
+  std::string checkpoint_dir_;
+  std::size_t checkpoint_every_users_ = 4;
+  bool resume_ = false;
   std::uint64_t off_interface_bytes_ = 0;
   /// Registered analyses, in registration order; fan-out is rebuilt per run.
   std::vector<std::pair<std::string, trace::TraceSink*>> analyses_;

@@ -91,6 +91,22 @@ struct SweepOptions {
   /// A spec matching user U arms once per (scenario, user) chain build, in
   /// scenario order.
   fault::FaultPlan* fault_plan = nullptr;
+  /// Directory for crash-recovery checkpoints (src/ckpt/, CLI
+  /// --checkpoint-dir). Empty (default) keeps the flat (scenario × user)
+  /// pool. When set, the sweep runs scenario-sequentially in epochs of
+  /// checkpoint_every_users user shards, snapshotting after each epoch and
+  /// after each finished scenario; every scenario analysis sink must
+  /// implement ckpt::CheckpointableSink. Outputs stay bit-identical to the
+  /// flat path at every thread count. Per-shard rows and stage profiles of
+  /// work done before a kill are not checkpointed (counters and results
+  /// are).
+  std::string checkpoint_dir;
+  /// Completed user shards between checkpoints within a scenario.
+  std::size_t checkpoint_every_users = 4;
+  /// Resume from the newest good checkpoint: finished scenarios are restored
+  /// verbatim, the interrupted one continues from its last epoch. Missing,
+  /// corrupt, or stale checkpoints fail run() — never a silent restart.
+  bool resume = false;
 };
 
 /// One scenario's outcome: its ledger, its per-scenario RunStats (totals,
@@ -134,6 +150,10 @@ class SweepEngine {
 
  private:
   util::Status ensure_captured();
+  /// The classic flat (scenario × user) pool (checkpointing off).
+  util::StatusOr<obs::RunStats> run_flat();
+  /// Scenario-sequential epochs with a checkpoint at every boundary.
+  util::StatusOr<obs::RunStats> run_checkpointed();
 
   trace::TraceSource* base_ = nullptr;  ///< captured on first run(); may be null
   trace::TraceStore owned_store_;       ///< backing store for the base ctor

@@ -291,6 +291,64 @@ double EnergyAttributor::transfer_joules() const {
   return total;
 }
 
+void EnergyAttributor::save_state(ckpt::ByteWriter& out) const {
+  out.put_varint(per_user_.size());
+  out.put_bool_vec(user_touched_);
+  for (std::size_t user = 0; user < per_user_.size(); ++user) {
+    if (!user_touched_[user]) continue;
+    const UserEnergy& e = per_user_[user];
+    out.put_f64(e.device);
+    out.put_f64(e.attributed);
+    out.put_f64(e.baseline);
+    out.put_f64(e.tail);
+    out.put_f64(e.promotion);
+    out.put_f64(e.transfer);
+  }
+  const std::uint64_t counters[] = {
+      counters_.packets,         counters_.transitions,        counters_.users,
+      counters_.tail_attributions, counters_.proportional_splits, counters_.promotion_segments,
+      counters_.transfer_segments, counters_.tail_segments,      counters_.drx_segments,
+      counters_.idle_segments,
+  };
+  out.put_u64_span(counters);
+}
+
+util::Status EnergyAttributor::restore_state(ckpt::ByteReader& in) {
+  auto num_users = in.get_varint("attributor.users");
+  if (!num_users.ok()) return num_users.status();
+  auto status = in.get_bool_vec(user_touched_, "attributor.touched");
+  if (!status.ok()) return status;
+  if (user_touched_.size() != *num_users) {
+    return util::Status::data_loss("corrupt checkpoint: attributor touched flags mismatch");
+  }
+  per_user_.assign(*num_users, UserEnergy{});
+  current_ = nullptr;
+  for (std::size_t user = 0; user < per_user_.size(); ++user) {
+    if (!user_touched_[user]) continue;
+    UserEnergy& e = per_user_[user];
+    for (double* field : {&e.device, &e.attributed, &e.baseline, &e.tail, &e.promotion,
+                          &e.transfer}) {
+      auto v = in.get_f64("attributor.energy");
+      if (!v.ok()) return v.status();
+      *field = *v;
+    }
+  }
+  std::uint64_t counters[10] = {};
+  status = in.get_u64_span(counters, "attributor.counters");
+  if (!status.ok()) return status;
+  counters_.packets = counters[0];
+  counters_.transitions = counters[1];
+  counters_.users = counters[2];
+  counters_.tail_attributions = counters[3];
+  counters_.proportional_splits = counters[4];
+  counters_.promotion_segments = counters[5];
+  counters_.transfer_segments = counters[6];
+  counters_.tail_segments = counters[7];
+  counters_.drx_segments = counters[8];
+  counters_.idle_segments = counters[9];
+  return util::Status::ok_status();
+}
+
 void EnergyAttributor::merge_from(const EnergyAttributor& shard) {
   if (shard.per_user_.size() > per_user_.size()) {
     per_user_.resize(shard.per_user_.size());

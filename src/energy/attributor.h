@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/checkpointable.h"
 #include "radio/radio_model.h"
 #include "trace/batch.h"
 #include "trace/sink.h"
@@ -90,7 +91,7 @@ struct AttributionCounters {
   void merge_from(const AttributionCounters& other);
 };
 
-class EnergyAttributor final : public trace::TraceSink {
+class EnergyAttributor final : public trace::TraceSink, public ckpt::CheckpointableSink {
  public:
   /// `downstream` receives the energy-annotated stream; it must outlive this.
   EnergyAttributor(RadioModelFactory factory, trace::TraceSink* downstream,
@@ -127,6 +128,12 @@ class EnergyAttributor final : public trace::TraceSink {
   /// Fold a shard attributor's per-user energy and counters into this one
   /// (called by the pipeline in user-id order; users must be disjoint).
   void merge_from(const EnergyAttributor& shard);
+
+  // CheckpointableSink: per-user energy partials (raw double bits) plus the
+  // attribution counters. Per-packet transients (window_, pending tails) are
+  // empty at user boundaries, so only the durable fold state travels.
+  void save_state(ckpt::ByteWriter& out) const override;
+  [[nodiscard]] util::Status restore_state(ckpt::ByteReader& in) override;
 
  private:
   /// Energy partials for one user (see determinism note above).

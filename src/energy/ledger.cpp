@@ -139,6 +139,121 @@ void EnergyLedger::merge(const EnergyLedger& shard) {
   num_accounts_ += shard.num_accounts_;
 }
 
+void EnergyLedger::save_state(ckpt::ByteWriter& out) const {
+  out.put_varint(users_.size());
+  for (const auto& state : users_) {
+    out.put_u8(state ? 1 : 0);
+    if (!state) continue;
+    out.put_f64(state->totals.joules);
+    out.put_varint(state->totals.bytes);
+    out.put_varint(state->totals.packets);
+    for (const double j : state->totals.state_joules) out.put_f64(j);
+    out.put_varint(state->apps.size());
+    std::uint64_t live = 0;
+    for (const AppUserAccount& acc : state->apps) {
+      if (!acc.days.empty()) ++live;
+    }
+    out.put_varint(live);
+    for (std::size_t app = 0; app < state->apps.size(); ++app) {
+      const AppUserAccount& acc = state->apps[app];
+      if (acc.days.empty()) continue;
+      out.put_varint(app);
+      out.put_varint(acc.bytes);
+      out.put_varint(acc.packets);
+      out.put_f64(acc.joules);
+      for (const double j : acc.state_joules) out.put_f64(j);
+      out.put_varint(acc.days.size());
+      for (const DayCell& cell : acc.days) {
+        out.put_f64(cell.fg_joules);
+        out.put_f64(cell.bg_joules);
+        out.put_varint(cell.fg_bytes);
+        out.put_varint(cell.bg_bytes);
+      }
+    }
+  }
+  out.put_varint(num_accounts_);
+}
+
+util::Status EnergyLedger::restore_state(ckpt::ByteReader& in) {
+  auto num_users = in.get_varint("ledger.users");
+  if (!num_users.ok()) return num_users.status();
+  users_.clear();
+  users_.resize(*num_users);
+  for (std::size_t user = 0; user < *num_users; ++user) {
+    auto present = in.get_u8("ledger.user_present");
+    if (!present.ok()) return present.status();
+    if (*present == 0) continue;
+    auto state = std::make_unique<UserState>();
+    auto joules = in.get_f64("ledger.totals.joules");
+    if (!joules.ok()) return joules.status();
+    state->totals.joules = *joules;
+    auto bytes = in.get_varint("ledger.totals.bytes");
+    if (!bytes.ok()) return bytes.status();
+    state->totals.bytes = *bytes;
+    auto packets = in.get_varint("ledger.totals.packets");
+    if (!packets.ok()) return packets.status();
+    state->totals.packets = *packets;
+    for (double& j : state->totals.state_joules) {
+      auto v = in.get_f64("ledger.totals.state_joules");
+      if (!v.ok()) return v.status();
+      j = *v;
+    }
+    auto slab = in.get_varint("ledger.slab_width");
+    if (!slab.ok()) return slab.status();
+    state->apps.resize(*slab);
+    auto live = in.get_varint("ledger.live_accounts");
+    if (!live.ok()) return live.status();
+    for (std::uint64_t i = 0; i < *live; ++i) {
+      auto app = in.get_varint("ledger.account.app");
+      if (!app.ok()) return app.status();
+      if (*app >= state->apps.size()) {
+        return util::Status::data_loss("corrupt checkpoint: ledger account app id " +
+                                       std::to_string(*app) + " outside slab of " +
+                                       std::to_string(state->apps.size()));
+      }
+      AppUserAccount& acc = state->apps[*app];
+      acc.user = static_cast<trace::UserId>(user);
+      acc.app = static_cast<trace::AppId>(*app);
+      auto acc_bytes = in.get_varint("ledger.account.bytes");
+      if (!acc_bytes.ok()) return acc_bytes.status();
+      acc.bytes = *acc_bytes;
+      auto acc_packets = in.get_varint("ledger.account.packets");
+      if (!acc_packets.ok()) return acc_packets.status();
+      acc.packets = *acc_packets;
+      auto acc_joules = in.get_f64("ledger.account.joules");
+      if (!acc_joules.ok()) return acc_joules.status();
+      acc.joules = *acc_joules;
+      for (double& j : acc.state_joules) {
+        auto v = in.get_f64("ledger.account.state_joules");
+        if (!v.ok()) return v.status();
+        j = *v;
+      }
+      auto num_days = in.get_varint("ledger.account.days");
+      if (!num_days.ok()) return num_days.status();
+      acc.days.resize(*num_days);
+      for (DayCell& cell : acc.days) {
+        auto fg_j = in.get_f64("ledger.day.fg_joules");
+        if (!fg_j.ok()) return fg_j.status();
+        cell.fg_joules = *fg_j;
+        auto bg_j = in.get_f64("ledger.day.bg_joules");
+        if (!bg_j.ok()) return bg_j.status();
+        cell.bg_joules = *bg_j;
+        auto fg_b = in.get_varint("ledger.day.fg_bytes");
+        if (!fg_b.ok()) return fg_b.status();
+        cell.fg_bytes = *fg_b;
+        auto bg_b = in.get_varint("ledger.day.bg_bytes");
+        if (!bg_b.ok()) return bg_b.status();
+        cell.bg_bytes = *bg_b;
+      }
+    }
+    users_[user] = std::move(state);
+  }
+  auto accounts = in.get_varint("ledger.num_accounts");
+  if (!accounts.ok()) return accounts.status();
+  num_accounts_ = *accounts;
+  return util::Status::ok_status();
+}
+
 const AppUserAccount* EnergyLedger::find(trace::UserId user, trace::AppId app) const {
   if (user >= users_.size() || !users_[user]) return nullptr;
   const UserState& state = *users_[user];

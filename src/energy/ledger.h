@@ -32,6 +32,7 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/checkpointable.h"
 #include "trace/shardable.h"
 #include "trace/sink.h"
 
@@ -67,7 +68,9 @@ struct AppUserAccount {
   }
 };
 
-class EnergyLedger final : public trace::TraceSink, public trace::ShardableSink {
+class EnergyLedger final : public trace::TraceSink,
+                           public trace::ShardableSink,
+                           public ckpt::CheckpointableSink {
  public:
   EnergyLedger() = default;
   // Copies deep-copy the per-user slabs (sweep results snapshot ledgers);
@@ -88,6 +91,12 @@ class EnergyLedger final : public trace::TraceSink, public trace::ShardableSink 
   /// Fold a shard ledger's accounts and per-user totals into this one. The
   /// shard's users must be disjoint from this ledger's.
   void merge(const EnergyLedger& shard);
+
+  // CheckpointableSink: serializes the live per-user slabs (only accounts
+  // with traffic) with doubles as raw bits; restore after on_study_begin
+  // rebuilds a bit-identical ledger.
+  void save_state(ckpt::ByteWriter& out) const override;
+  [[nodiscard]] util::Status restore_state(ckpt::ByteReader& in) override;
 
   [[nodiscard]] const trace::StudyMeta& meta() const { return meta_; }
 

@@ -112,9 +112,86 @@ util::StatusOr<ShardFaultSpec> parse_shard_fault_spec(std::string_view text) {
   return spec;
 }
 
+util::StatusOr<CheckpointFaultSpec> parse_checkpoint_fault_spec(std::string_view text) {
+  constexpr std::string_view kUsage =
+      " (want nth=N,kind=hard-stop|short-write|io-error[,truncate_to=B])";
+  CheckpointFaultSpec spec;
+  bool saw_kind = false;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string_view pair =
+        text.substr(start, (comma == std::string_view::npos ? text.size() : comma) - start);
+    start = comma == std::string_view::npos ? text.size() + 1 : comma + 1;
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return util::Status::invalid_argument("checkpoint fault spec '" + std::string(text) +
+                                            "': missing '=' in '" + std::string(pair) + "'" +
+                                            std::string(kUsage));
+    }
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view value = pair.substr(eq + 1);
+    if (key == "kind") {
+      if (value == "hard-stop") {
+        spec.kind = CheckpointFaultKind::kHardStop;
+      } else if (value == "short-write") {
+        spec.kind = CheckpointFaultKind::kShortWrite;
+      } else if (value == "io-error") {
+        spec.kind = CheckpointFaultKind::kIoError;
+      } else {
+        return util::Status::invalid_argument("checkpoint fault spec '" + std::string(text) +
+                                              "': unknown kind '" + std::string(value) + "'" +
+                                              std::string(kUsage));
+      }
+      saw_kind = true;
+      continue;
+    }
+    std::uint64_t parsed = 0;
+    const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (ec != std::errc{} || ptr != value.data() + value.size()) {
+      return util::Status::invalid_argument("checkpoint fault spec '" + std::string(text) +
+                                            "': '" + std::string(value) +
+                                            "' is not a non-negative integer" +
+                                            std::string(kUsage));
+    }
+    if (key == "nth") {
+      spec.nth_write = parsed;
+    } else if (key == "truncate_to") {
+      spec.truncate_to = parsed;
+    } else {
+      return util::Status::invalid_argument("checkpoint fault spec '" + std::string(text) +
+                                            "': unknown key '" + std::string(key) + "'" +
+                                            std::string(kUsage));
+    }
+  }
+  if (!saw_kind) {
+    return util::Status::invalid_argument("checkpoint fault spec '" + std::string(text) +
+                                          "': kind=... is required" + std::string(kUsage));
+  }
+  if (spec.nth_write == 0) {
+    return util::Status::invalid_argument("checkpoint fault spec '" + std::string(text) +
+                                          "': nth must be >= 1" + std::string(kUsage));
+  }
+  return spec;
+}
+
 void FaultPlan::add(const ShardFaultSpec& spec) {
   const std::lock_guard<std::mutex> lock{mu_};
   faults_[spec.user] = spec;
+}
+
+void FaultPlan::add_checkpoint_fault(const CheckpointFaultSpec& spec) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  checkpoint_faults_[spec.nth_write] = spec;
+}
+
+std::optional<CheckpointFaultSpec> FaultPlan::checkpoint_fault_for(
+    std::uint64_t nth_write) const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  const auto it = checkpoint_faults_.find(nth_write);
+  if (it == checkpoint_faults_.end()) return std::nullopt;
+  return it->second;
 }
 
 bool FaultPlan::has_fault_for(trace::UserId user) const {

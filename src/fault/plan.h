@@ -16,6 +16,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -42,9 +43,33 @@ struct ShardFaultSpec {
 /// required). Returns kInvalidArgument with a usage hint on malformed specs.
 [[nodiscard]] util::StatusOr<ShardFaultSpec> parse_shard_fault_spec(std::string_view text);
 
+/// What goes wrong at a scripted checkpoint write (the kill-and-recover
+/// harness). Faults key on the Nth write attempt of one run.
+enum class CheckpointFaultKind : std::uint8_t {
+  kShortWrite,  ///< persist only the first `truncate_to` bytes (torn write)
+  kIoError,     ///< the write fails cleanly (ENOSPC-style), run continues
+  kHardStop,    ///< throw ShardFault right after the write lands (simulated kill)
+};
+
+struct CheckpointFaultSpec {
+  std::uint64_t nth_write = 1;  ///< 1-based checkpoint write attempt to hit
+  CheckpointFaultKind kind = CheckpointFaultKind::kHardStop;
+  std::uint64_t truncate_to = 0;  ///< kShortWrite: payload bytes that land
+};
+
+/// Parse "nth=N,kind=hard-stop|short-write|io-error[,truncate_to=B]".
+[[nodiscard]] util::StatusOr<CheckpointFaultSpec> parse_checkpoint_fault_spec(
+    std::string_view text);
+
 class FaultPlan {
  public:
   void add(const ShardFaultSpec& spec);
+  void add_checkpoint_fault(const CheckpointFaultSpec& spec);
+
+  /// The fault scripted for the Nth (1-based) checkpoint write, if any.
+  /// Thread-safe; the returned copy is the caller's to act on.
+  [[nodiscard]] std::optional<CheckpointFaultSpec> checkpoint_fault_for(
+      std::uint64_t nth_write) const;
 
   [[nodiscard]] bool has_fault_for(trace::UserId user) const;
   [[nodiscard]] bool empty() const;
@@ -65,6 +90,7 @@ class FaultPlan {
   mutable std::mutex mu_;
   std::map<trace::UserId, ShardFaultSpec> faults_;
   std::map<trace::UserId, unsigned> attempts_;
+  std::map<std::uint64_t, CheckpointFaultSpec> checkpoint_faults_;
 };
 
 }  // namespace wildenergy::fault

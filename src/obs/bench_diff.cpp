@@ -11,6 +11,7 @@ namespace wildenergy::obs {
 std::string BenchRecord::key() const {
   std::string k = bench + " t" + std::to_string(threads);
   if (batch_size >= 0) k += " b" + std::to_string(batch_size);
+  if (resumed) k += " resumed";
   return k;
 }
 
@@ -36,6 +37,12 @@ std::vector<BenchRecord> parse_bench_log(std::string_view jsonl) {
     rec.seed = static_cast<std::int64_t>(parsed->number_or("seed", 0));
     rec.wall_ms = parsed->number_or("wall_ms", 0.0);
     rec.packets_per_sec = parsed->number_or("packets_per_sec", 0.0);
+    // "resumed" may arrive as a JSON bool or as the string "true" (it is
+    // spliced via report_perf's free-form extra_json parameter).
+    if (const JsonValue* resumed = parsed->get("resumed"); resumed != nullptr) {
+      rec.resumed = (resumed->type() == JsonValue::Type::kBool && resumed->as_bool()) ||
+                    (resumed->is_string() && resumed->as_string() == "true");
+    }
     out.push_back(std::move(rec));
   }
   return out;

@@ -33,8 +33,13 @@ struct BenchRecord {
   std::int64_t seed = 0;
   double wall_ms = 0.0;
   double packets_per_sec = 0.0;
+  /// Record came from a resumed (checkpoint-restored) run: it covers only
+  /// the post-resume remainder, so it must never pair with a full-run
+  /// baseline. Parsed from the "resumed" extra field.
+  bool resumed = false;
 
-  /// Pairing key: bench name + threads + batch_size (when present).
+  /// Pairing key: bench name + threads + batch_size (when present) +
+  /// " resumed" for resumed partials.
   [[nodiscard]] std::string key() const;
 };
 

@@ -61,6 +61,20 @@ void RunStats::print(std::ostream& os) const {
     os << "\n";
   }
 
+  if (checkpoints_written > 0 || checkpoint_write_failures > 0 || resumed_users > 0 ||
+      recovered_from_seq > 0) {
+    os << "checkpoints:   " << checkpoints_written << " written ("
+       << fmt_bytes(static_cast<double>(checkpoint_bytes)) << ")";
+    if (checkpoint_write_failures > 0) {
+      os << ", " << checkpoint_write_failures << " write failure(s)";
+    }
+    if (resumed_users > 0) os << "; resumed past " << resumed_users << " completed user(s)";
+    if (recovered_from_seq > 0) {
+      os << "; recovered from seq " << recovered_from_seq << " (newer checkpoints damaged)";
+    }
+    os << "\n";
+  }
+
   if (!shards.empty()) {
     os << "\n-- per-shard (user) breakdown --\n";
     TextTable shard_table({"user", "worker", "wall (ms)", "packets", "joules", "attempts"});
@@ -170,6 +184,12 @@ void RunStats::write_json(JsonWriter& w) const {
   w.begin_array();
   for (const std::uint64_t u : failed_users) w.value(u);
   w.end_array();
+  // Additive checkpoint/resume counters; schema stays v2.
+  w.kv("checkpoints_written", checkpoints_written);
+  w.kv("checkpoint_bytes", checkpoint_bytes);
+  w.kv("checkpoint_write_failures", checkpoint_write_failures);
+  w.kv("resumed_users", resumed_users);
+  w.kv("recovered_from_seq", recovered_from_seq);
   w.end_object();
 
   w.kv("timed", timed);

@@ -130,6 +130,18 @@ struct RunStats {
   std::uint64_t shard_retries = 0;
   std::vector<std::uint64_t> failed_users;
 
+  // Checkpoint/restore accounting (src/ckpt/, PipelineOptions::checkpoint_dir).
+  // The written/bytes/failure counters cover this process only — they reset
+  // on resume, because the writes of the killed run are not this run's work.
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoint_bytes = 0;           ///< encoded bytes landed on disk
+  std::uint64_t checkpoint_write_failures = 0;  ///< failed writes (run continued)
+  std::uint64_t resumed_users = 0;  ///< users a loaded checkpoint already covered
+  /// When resuming had to fall back past damaged checkpoints, the sequence
+  /// number actually loaded; 0 when the newest checkpoint was good (or no
+  /// resume happened). Recovery is never silent.
+  std::uint64_t recovered_from_seq = 0;
+
   [[nodiscard]] double packets_per_sec() const {
     return wall_ms > 0.0 ? static_cast<double>(packets) / (wall_ms / 1e3) : 0.0;
   }

@@ -44,6 +44,12 @@ void Histogram::merge_from(const Histogram& other) {
   total_ += other.total_;
 }
 
+void Histogram::restore_masses(std::span<const double> masses, double total) {
+  assert(masses.size() == counts_.size());
+  std::copy(masses.begin(), masses.end(), counts_.begin());
+  total_ = total;
+}
+
 LogHistogram::LogHistogram(double lo, double hi, std::size_t bins_per_decade)
     : log_lo_(std::log10(lo)), log_step_(1.0 / static_cast<double>(bins_per_decade)) {
   assert(lo > 0 && hi > lo && bins_per_decade > 0);

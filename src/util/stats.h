@@ -68,6 +68,12 @@ class Histogram {
   /// integer-valued, as the byte-weighted analyses' are.
   void merge_from(const Histogram& other);
 
+  /// Overwrite the bin masses and running total with previously-recorded
+  /// values (checkpoint restore). `masses` must match bins(); `total` is
+  /// taken verbatim so the restored accumulator is bit-identical to the one
+  /// that was saved, not a re-summation.
+  void restore_masses(std::span<const double> masses, double total);
+
  private:
   double lo_;
   double hi_;
@@ -112,6 +118,14 @@ class Distribution {
   /// Empirical CDF value at x.
   [[nodiscard]] double cdf_at(double x);
   [[nodiscard]] std::span<const double> sorted_samples();
+  /// Samples in their current in-memory order (checkpoint save).
+  [[nodiscard]] std::span<const double> samples() const { return samples_; }
+  /// Replace the sample set wholesale (checkpoint restore), preserving the
+  /// stored order so later sorts/quantiles match the saved accumulator.
+  void restore_samples(std::vector<double> samples) {
+    samples_ = std::move(samples);
+    sorted_ = false;
+  }
 
   /// Append another distribution's samples in their insertion order. Merging
   /// shards in user-id order reproduces the serial user-major sample

@@ -431,6 +431,31 @@ TEST(BenchDiff, MissingBaselineIsReportedNotFailed) {
   EXPECT_FALSE(report.has_regressions());
 }
 
+TEST(BenchDiff, ResumedPartialRunNeverPairsWithAFullRunBaseline) {
+  // A resumed run covers only the post-resume remainder — much faster than a
+  // full run of the same bench. Its "resumed":true flag keys it separately,
+  // so it pairs with resumed baselines only and never reads as a speedup
+  // (or, flipped, a regression) against the full-run record.
+  const std::string resumed_line =
+      "{\"bench\":\"pipe\",\"users\":4,\"days\":60,\"seed\":42,\"wall_ms\":4,"
+      "\"packets_per_sec\":2500,\"threads\":1,\"resumed\":true}\n";
+  const auto parsed = obs::parse_bench_log(resumed_line);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_TRUE(parsed[0].resumed);
+  EXPECT_EQ(parsed[0].key(), "pipe t1 resumed");
+
+  const std::string baseline = bench_line("pipe", 1000.0) + resumed_line;
+  const auto report = obs::diff_bench_logs(baseline, resumed_line, {});
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_EQ(report.entries[0].key, "pipe t1 resumed");
+  EXPECT_EQ(report.entries[0].status, obs::BenchDiffStatus::kOk);
+
+  // Without a resumed baseline record it is new, not a 2.5x "improvement".
+  const auto no_pair = obs::diff_bench_logs(bench_line("pipe", 1000.0), resumed_line, {});
+  ASSERT_EQ(no_pair.entries.size(), 1u);
+  EXPECT_EQ(no_pair.entries[0].status, obs::BenchDiffStatus::kMissingBaseline);
+}
+
 TEST(BenchDiff, PerBenchThresholdOverridesTheDefault) {
   obs::BenchDiffOptions options;
   options.per_bench["noisy"] = 0.50;
