@@ -51,6 +51,15 @@
 // an uninterrupted run; --inject-ckpt-fault nth=N,kind=hard-stop|short-write|
 // io-error scripts checkpoint-write failures for kill-and-recover testing.
 //
+// Out-of-core (run/sweep/analyze; DESIGN.md §14): --population N swaps the
+// fixed study for a parameterized fleet (deterministic per user id — user k's
+// stream is identical at any population size); --store-dir DIR captures
+// through a SpillingTraceStore that seals WESG segments on disk instead of
+// holding every column in RAM; --store-budget BYTES caps the resident
+// columns (0 = fully out-of-core). `analyze --store-dir DIR` re-attributes a
+// previously sealed directory; `--resume` with --store-dir reuses sealed
+// segments instead of regenerating them.
+//
 // Exit codes: 0 success; 1 runtime/data failure (unreadable or corrupt input,
 // run aborted by a fault, unwritable output, missing/corrupt/stale checkpoint
 // on --resume); 2 usage error (bad command or flag value, --resume without
@@ -82,11 +91,13 @@
 #include "fault/plan.h"
 #include "obs/trace_writer.h"
 #include "sim/generator.h"
+#include "sim/population.h"
 #include "power/battery.h"
 #include "radio/burst_machine.h"
 #include "trace/binary_io.h"
 #include "trace/csv_io.h"
 #include "trace/read_policy.h"
+#include "trace/spilling_store.h"
 #include "trace/validating_sink.h"
 #include "util/table.h"
 
@@ -121,6 +132,9 @@ struct CliOptions {
   std::size_t checkpoint_every = 4;
   bool resume = false;
   std::vector<fault::CheckpointFaultSpec> ckpt_faults;  ///< kill-and-recover harness
+  // Out-of-core trace plane (run/sweep/analyze; DESIGN.md §14).
+  std::string store_dir;           ///< spill sealed WESG segments here
+  std::uint64_t store_budget = 0;  ///< resident column budget; 0 = fully out-of-core
 };
 
 /// Strict base-10 parse: the whole string must be a number (no "12abc" -> 12,
@@ -143,6 +157,12 @@ bool parse_int_flag(std::string_view flag, const char* value, long long min_valu
 }
 
 bool parse_flags(int argc, char** argv, int start, CliOptions& options) {
+  // --population lowers a sim::PopulationConfig onto the study at the end of
+  // parsing; these track which of its defaults an explicit flag overrides.
+  bool users_set = false;
+  bool days_set = false;
+  bool store_budget_set = false;
+  long long population = 0;
   for (int i = start; i < argc; ++i) {
     const std::string_view flag = argv[i];
     const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
@@ -150,9 +170,25 @@ bool parse_flags(int argc, char** argv, int start, CliOptions& options) {
     if (flag == "--days") {
       if (!parse_int_flag(flag, next(), 1, value)) return false;
       options.study.num_days = value;
+      days_set = true;
     } else if (flag == "--users") {
       if (!parse_int_flag(flag, next(), 1, value)) return false;
       options.study.num_users = static_cast<std::uint32_t>(value);
+      users_set = true;
+    } else if (flag == "--population") {
+      if (!parse_int_flag(flag, next(), 1, value)) return false;
+      population = value;
+    } else if (flag == "--store-dir") {
+      const char* v = next();
+      if (!v || *v == '\0') {
+        std::cerr << "--store-dir requires a directory path\n";
+        return false;
+      }
+      options.store_dir = v;
+    } else if (flag == "--store-budget") {
+      if (!parse_int_flag(flag, next(), 0, value)) return false;
+      options.store_budget = static_cast<std::uint64_t>(value);
+      store_budget_set = true;
     } else if (flag == "--seed") {
       if (!parse_int_flag(flag, next(), 0, value)) return false;
       options.study.seed = static_cast<std::uint64_t>(value);
@@ -273,13 +309,28 @@ bool parse_flags(int argc, char** argv, int start, CliOptions& options) {
   }
   // Usage errors (exit 2), distinct from a missing/corrupt checkpoint at
   // runtime (exit 1): the flag combination itself is wrong.
-  if (options.resume && options.checkpoint_dir.empty()) {
-    std::cerr << "--resume requires --checkpoint-dir\n";
+  if (options.resume && options.checkpoint_dir.empty() && options.store_dir.empty()) {
+    std::cerr << "--resume requires --checkpoint-dir or --store-dir\n";
     return false;
   }
   if (!options.ckpt_faults.empty() && options.checkpoint_dir.empty()) {
     std::cerr << "--inject-ckpt-fault requires --checkpoint-dir\n";
     return false;
+  }
+  if (store_budget_set && options.store_dir.empty()) {
+    std::cerr << "--store-budget requires --store-dir\n";
+    return false;
+  }
+  if (population > 0) {
+    if (users_set) {
+      std::cerr << "--population and --users are mutually exclusive\n";
+      return false;
+    }
+    sim::PopulationConfig pc;
+    pc.num_users = static_cast<std::uint32_t>(population);
+    pc.seed = options.study.seed;  // honors an explicit --seed (default 42 either way)
+    if (days_set) pc.num_days = options.study.num_days;
+    options.study = pc.study();
   }
   return true;
 }
@@ -410,7 +461,57 @@ void print_quarantine(const std::vector<trace::QuarantinedRecord>& quarantine) {
   }
 }
 
+/// analyze --store-dir DIR: re-attribute a sealed spill directory (the WESG
+/// segments a previous `run`/`sweep --store-dir` left behind) instead of a
+/// CSV/WETR stream. Bounded-memory replay straight off the mapped segments.
+int cmd_analyze_store(const CliOptions& options) {
+  if (!options.checkpoint_dir.empty() || !options.replay.empty() || options.corrupt_kind) {
+    std::cerr << "analyze --store-dir cannot be combined with --checkpoint-dir, --replay, or "
+                 "--corrupt\n";
+    return 2;
+  }
+  trace::SpillOptions spill;
+  spill.dir = options.store_dir;
+  trace::SpillingTraceStore store{std::move(spill)};
+  if (const util::Status opened = store.open_existing(); !opened.ok()) {
+    std::cerr << "cannot open --store-dir '" << options.store_dir
+              << "': " << opened.to_string() << "\n";
+    return 1;
+  }
+  if (store.empty()) {
+    std::cerr << "store at '" << options.store_dir << "' holds no sealed users\n";
+    return 1;
+  }
+
+  energy::EnergyLedger ledger;
+  analysis::PersistenceAnalysis persistence;
+  trace::TraceMulticast sinks;
+  sinks.add(&ledger);
+  sinks.add(&persistence);
+  energy::EnergyAttributor attributor{radio::make_lte_model, &sinks};
+  trace::ReadOptions read_options{options.read_policy};
+  read_options.batch_size = options.batch_size;
+  trace::ValidatingSink validator{&attributor, read_options};
+  if (const util::Status replayed = store.emit(validator, options.batch_size);
+      !replayed.ok()) {
+    std::cerr << "replay error: " << replayed.to_string() << "\n";
+    return 1;
+  }
+  if (!validator.status().ok()) {
+    std::cerr << "protocol error: " << validator.status().message() << "\n";
+    print_quarantine(validator.quarantine());
+    return 1;
+  }
+  std::cerr << "replayed " << store.num_users() << " sealed user(s), "
+            << store.num_segments() << " segment(s), "
+            << fmt(static_cast<double>(store.spilled_bytes()) / 1e6, 1) << " MB\n";
+  const auto catalog = appmodel::AppCatalog::full_catalog(options.study.seed);
+  core::Report::build(ledger, catalog, &persistence).print(std::cout);
+  return 0;
+}
+
 int cmd_analyze(const CliOptions& options) {
+  if (!options.store_dir.empty()) return cmd_analyze_store(options);
   // Input: stdin by default, --replay FILE otherwise; always opened binary so
   // WETR payloads survive untranslated.
   std::ifstream file;
@@ -658,16 +759,51 @@ int cmd_figures(const CliOptions& options) {
 
 /// The smallest observability harness: run the pipeline, print the one-line
 /// run summary, then let --stats / --stats-json / --trace-out do their thing.
+/// With --store-dir the study is captured into a SpillingTraceStore first
+/// (bounded resident columns, sealed WESG segments) and the pipeline replays
+/// the store — outputs bit-identical to the direct run.
 int cmd_run(const CliOptions& options) {
   obs::TraceWriter spans;
   fault::FaultPlan plan;
-  core::StudyPipeline pipeline{options.study, observed_options(options, spans, plan)};
-  const auto stats = run_guarded(pipeline);
+  core::PipelineOptions pipeline_options = observed_options(options, spans, plan);
+  std::optional<sim::StudyGenerator> generator;
+  std::optional<trace::SpillingTraceStore> store;
+  std::optional<core::StudyPipeline> pipeline;
+  if (!options.store_dir.empty()) {
+    generator.emplace(options.study);
+    trace::SpillOptions spill;
+    spill.dir = options.store_dir;
+    spill.budget_bytes = options.store_budget;
+    spill.resume = options.resume;
+    store.emplace(std::move(spill));
+    if (const util::Status captured = store->capture(*generator, options.batch_size);
+        !captured.ok()) {
+      std::cerr << "capture failed: " << captured.to_string() << "\n";
+      return 1;
+    }
+    if (options.resume) {
+      std::cerr << "resumed: reused " << store->resumed_users() << " sealed user(s) from "
+                << options.store_dir << "\n";
+    }
+    // The store consumed --resume; only a checkpointed pipeline resumes too.
+    if (options.checkpoint_dir.empty()) pipeline_options.resume = false;
+    pipeline.emplace(&*store, pipeline_options);
+  } else {
+    pipeline.emplace(options.study, pipeline_options);
+  }
+  const auto stats = run_guarded(*pipeline);
   if (!stats) return 1;
   print_checkpoint_notes(options, *stats);
   std::cout << "run: " << stats->users << " users, " << stats->packets << " packets, "
             << fmt(stats->joules / 1e3, 1) << " kJ in " << fmt(stats->wall_ms, 1) << " ms ("
             << stats->num_threads << " thread" << (stats->num_threads > 1 ? "s" : "") << ")\n";
+  if (store) {
+    std::cout << "store: " << store->event_count() << " events; "
+              << fmt(static_cast<double>(store->spilled_bytes()) / 1e6, 1) << " MB in "
+              << store->num_segments() << " segment(s) on disk, peak resident "
+              << fmt(static_cast<double>(store->max_resident_bytes()) / 1e6, 1) << " MB (budget "
+              << fmt(static_cast<double>(options.store_budget) / 1e6, 1) << " MB)\n";
+  }
   return finish_observability(options, *stats, spans, std::cout) ? 0 : 1;
 }
 
@@ -685,6 +821,8 @@ int cmd_sweep(const CliOptions& options) {
   sweep_options.checkpoint_dir = options.checkpoint_dir;
   sweep_options.checkpoint_every_users = options.checkpoint_every;
   sweep_options.resume = options.resume;
+  sweep_options.store_dir = options.store_dir;
+  sweep_options.store_budget_bytes = options.store_budget;
   for (const auto& spec : options.faults) plan.add(spec);
   for (const auto& spec : options.ckpt_faults) plan.add_checkpoint_fault(spec);
   if (!options.faults.empty() || !options.ckpt_faults.empty()) {
@@ -738,8 +876,13 @@ int cmd_sweep(const CliOptions& options) {
   }
   table.print(std::cout);
   std::cout << "store: " << sweep.store().event_count() << " events, "
-            << fmt(static_cast<double>(sweep.store().memory_bytes()) / 1e6, 1) << " MB cached; "
-            << sweep.num_scenarios() << " scenarios in " << fmt(stats->wall_ms, 1) << " ms\n";
+            << fmt(static_cast<double>(sweep.store().memory_bytes()) / 1e6, 1) << " MB cached";
+  if (sweep.store().spilled_bytes() > 0) {
+    std::cout << ", " << fmt(static_cast<double>(sweep.store().spilled_bytes()) / 1e6, 1)
+              << " MB in " << sweep.store().num_segments() << " segment(s) on disk";
+  }
+  std::cout << "; " << sweep.num_scenarios() << " scenarios in " << fmt(stats->wall_ms, 1)
+            << " ms\n";
 
   // --stats / --stats-json report the sweep-wide aggregate RunStats (its
   // stages fold every scenario's chains; per-scenario stats live on the
@@ -777,9 +920,15 @@ int main(int argc, char** argv) {
                  "bit-identical to an uninterrupted run)\n"
               << "            --inject-ckpt-fault nth=N,kind=hard-stop|short-write|io-error"
                  "[,truncate_to=B] (kill-and-recover harness)\n"
+              << "out-of-core (run/sweep/analyze): --population N (parameterized fleet; "
+                 "excludes --users)\n"
+              << "            --store-dir DIR (capture via sealed on-disk segments; analyze "
+                 "replays a sealed dir)\n"
+              << "            --store-budget BYTES (resident column cap; 0 = fully "
+                 "out-of-core)  --resume (reuse sealed segments)\n"
               << "exit codes: 0 ok; 1 runtime/data failure (incl. missing/corrupt/stale "
                  "checkpoint on --resume); 2 usage error (incl. --resume without "
-                 "--checkpoint-dir)\n";
+                 "--checkpoint-dir or --store-dir)\n";
     return 2;
   }
   CliOptions options;
@@ -787,6 +936,10 @@ int main(int argc, char** argv) {
   if (!parse_flags(argc, argv, 2, options)) return 2;
 
   const std::string_view cmd = argv[1];
+  if (!options.store_dir.empty() && cmd != "run" && cmd != "sweep" && cmd != "analyze") {
+    std::cerr << "--store-dir applies to run|sweep|analyze only\n";
+    return 2;
+  }
   if (cmd == "generate") return cmd_generate(options);
   if (cmd == "analyze") return cmd_analyze(options);
   if (cmd == "report") return cmd_report(options);

@@ -4,19 +4,12 @@ namespace wildenergy::ckpt {
 
 std::uint64_t fnv1a(std::string_view data) {
   std::uint64_t hash = kFnvOffset;
-  for (const char c : data) {
-    hash ^= static_cast<std::uint8_t>(c);
-    hash *= kFnvPrime;
-  }
+  for (const char c : data) hash = fnv1a_step(hash, static_cast<std::uint8_t>(c));
   return hash;
 }
 
 void ByteWriter::put_varint(std::uint64_t value) {
-  while (value >= 0x80) {
-    buf_.push_back(static_cast<char>((value & 0x7F) | 0x80));
-    value >>= 7;
-  }
-  buf_.push_back(static_cast<char>(value));
+  encode_varint(value, [this](std::uint8_t byte) { buf_.push_back(static_cast<char>(byte)); });
 }
 
 void ByteWriter::put_f64(double value) {
@@ -64,20 +57,21 @@ util::StatusOr<std::uint8_t> ByteReader::get_u8(std::string_view field) {
 
 util::StatusOr<std::uint64_t> ByteReader::get_varint(std::string_view field) {
   std::uint64_t value = 0;
-  for (unsigned i = 0; i < 10; ++i) {
-    if (pos_ >= data_.size()) return truncated(field);
-    const auto byte = static_cast<std::uint8_t>(data_[pos_++]);
-    // Byte 9 may only contribute the final top bit of a 64-bit value.
-    if (i == 9 && byte > 1) {
-      return util::Status::data_loss("corrupt checkpoint: overlong varint in " +
-                                     std::string(field) + " at offset " +
-                                     std::to_string(pos_ - 1));
-    }
-    value |= static_cast<std::uint64_t>(byte & 0x7F) << (7 * i);
-    if ((byte & 0x80) == 0) return value;
+  switch (decode_varint(value, [this](std::uint8_t& byte) {
+    if (pos_ >= data_.size()) return false;
+    byte = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  })) {
+    case VarintFail::kOk:
+      return value;
+    case VarintFail::kEof:
+      return truncated(field);
+    case VarintFail::kOverlong:
+      break;
   }
-  return util::Status::data_loss("corrupt checkpoint: unterminated varint in " +
-                                 std::string(field) + " at offset " + std::to_string(pos_));
+  return util::Status::data_loss("corrupt checkpoint: overlong varint in " +
+                                 std::string(field) + " at offset " +
+                                 std::to_string(pos_ - 1));
 }
 
 util::StatusOr<double> ByteReader::get_f64(std::string_view field) {

@@ -21,6 +21,7 @@
 #include "trace/instrumented_sink.h"
 #include "trace/interface_filter.h"
 #include "trace/shardable.h"
+#include "trace/store_backend.h"
 #include "util/thread_pool.h"
 
 namespace wildenergy::core {
@@ -191,11 +192,16 @@ util::StatusOr<obs::RunStats> StudyPipeline::run() {
   stats_.memory.ledger_bytes = ledger_.memory_bytes();
   for (const auto& [name, sink] : analyses_) stats_.memory.analyses_bytes += sink->memory_bytes();
   stats_.memory.store_bytes = source_->memory_bytes();
+  if (const auto* backend = dynamic_cast<const trace::StoreBackend*>(source_)) {
+    stats_.memory.store_spilled_bytes = backend->spilled_bytes();
+  }
   stats_.memory.peak_rss_bytes = obs::peak_rss_bytes();
   auto& reg = obs::MetricsRegistry::global();
   reg.gauge("mem.ledger_bytes").set(static_cast<double>(stats_.memory.ledger_bytes));
   reg.gauge("mem.analyses_bytes").set(static_cast<double>(stats_.memory.analyses_bytes));
   reg.gauge("mem.store_bytes").set(static_cast<double>(stats_.memory.store_bytes));
+  reg.gauge("mem.store_spilled_bytes")
+      .set(static_cast<double>(stats_.memory.store_spilled_bytes));
   reg.gauge("mem.peak_rss_bytes").set(static_cast<double>(stats_.memory.peak_rss_bytes));
   return stats_;
 }

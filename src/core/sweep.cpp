@@ -18,6 +18,7 @@
 #include "obs/stopwatch.h"
 #include "radio/burst_machine.h"
 #include "trace/shardable.h"
+#include "trace/spilling_store.h"
 #include "util/thread_pool.h"
 
 namespace wildenergy::core {
@@ -76,7 +77,7 @@ struct ScenarioAccum {
 /// shards — a whole scenario on the flat path, one epoch on the checkpointed
 /// path. `users` is parallel to `shards`, in stream order. Appends the users
 /// whose shard survived to `completed`, in that same order.
-void settle_and_merge(trace::TraceStore& store, ScenarioPlan& plan,
+void settle_and_merge(trace::StoreBackend& store, ScenarioPlan& plan,
                       std::vector<std::unique_ptr<internal::ShardChain>>& shards,
                       const std::vector<trace::UserId>& users,
                       energy::EnergyAttributor& parent_attributor, ScenarioAccum& acc,
@@ -169,7 +170,7 @@ void settle_and_merge(trace::TraceStore& store, ScenarioPlan& plan,
 /// derivable once the scenario's shards are merged.
 void fill_scenario_totals(ScenarioResult& res, const Scenario& scenario,
                           const energy::EnergyAttributor& parent_attributor,
-                          const ScenarioAccum& acc, const trace::TraceStore& store,
+                          const ScenarioAccum& acc, const trace::StoreBackend& store,
                           std::size_t num_users, const SweepOptions& options) {
   res.stats.num_threads = options.num_threads;
   res.stats.users = static_cast<std::uint64_t>(num_users);
@@ -224,6 +225,7 @@ void fill_scenario_totals(ScenarioResult& res, const Scenario& scenario,
     res.stats.memory.analyses_bytes += sink->memory_bytes();
   }
   res.stats.memory.store_bytes = store.memory_bytes();
+  res.stats.memory.store_spilled_bytes = store.spilled_bytes();
   res.stats.memory.peak_rss_bytes = obs::peak_rss_bytes();
 }
 
@@ -352,10 +354,21 @@ util::Status decode_scenario_stats(std::string_view bytes, ScenarioResult& res) 
 }  // namespace
 
 SweepEngine::SweepEngine(trace::TraceSource* base, SweepOptions options)
-    : base_(base), store_(&owned_store_), options_(options) {}
+    : base_(base), options_(std::move(options)) {
+  if (options_.store_dir.empty()) {
+    owned_store_ = std::make_unique<trace::TraceStore>();
+  } else {
+    trace::SpillOptions spill;
+    spill.dir = options_.store_dir;
+    spill.budget_bytes = options_.store_budget_bytes;
+    spill.resume = options_.resume;
+    owned_store_ = std::make_unique<trace::SpillingTraceStore>(std::move(spill));
+  }
+  store_ = owned_store_.get();
+}
 
-SweepEngine::SweepEngine(trace::TraceStore* store, SweepOptions options)
-    : store_(store), options_(options) {}
+SweepEngine::SweepEngine(trace::StoreBackend* store, SweepOptions options)
+    : store_(store), options_(std::move(options)) {}
 
 void SweepEngine::add_scenario(Scenario scenario) {
   scenarios_.push_back(std::move(scenario));
@@ -378,9 +391,10 @@ util::Status SweepEngine::ensure_captured() {
 }
 
 util::StatusOr<obs::RunStats> SweepEngine::run() {
-  if (options_.resume && options_.checkpoint_dir.empty()) {
+  if (options_.resume && options_.checkpoint_dir.empty() && options_.store_dir.empty()) {
     return util::Status::invalid_argument(
-        "resume requested without a checkpoint directory (set checkpoint_dir)");
+        "resume requested without a checkpoint or store directory (set checkpoint_dir or "
+        "store_dir)");
   }
   if (options_.checkpoint_dir.empty()) return run_flat();
   return run_checkpointed();
@@ -495,6 +509,7 @@ util::StatusOr<obs::RunStats> SweepEngine::run_flat() {
   aggregate.users = static_cast<std::uint64_t>(num_users);
   aggregate.wall_ms = total.elapsed_ms();
   aggregate.memory.store_bytes = store_->memory_bytes();
+  aggregate.memory.store_spilled_bytes = store_->spilled_bytes();
   aggregate.memory.peak_rss_bytes = obs::peak_rss_bytes();
   return aggregate;
 }
@@ -662,6 +677,7 @@ util::StatusOr<obs::RunStats> SweepEngine::run_checkpointed() {
       res.stats.memory.analyses_bytes += sink->memory_bytes();
     }
     res.stats.memory.store_bytes = store_->memory_bytes();
+    res.stats.memory.store_spilled_bytes = store_->spilled_bytes();
     res.stats.memory.peak_rss_bytes = obs::peak_rss_bytes();
     add_to_aggregate(aggregate, res);
   }
@@ -792,6 +808,7 @@ util::StatusOr<obs::RunStats> SweepEngine::run_checkpointed() {
   aggregate.users = static_cast<std::uint64_t>(num_users);
   aggregate.wall_ms = total.elapsed_ms();
   aggregate.memory.store_bytes = store_->memory_bytes();
+  aggregate.memory.store_spilled_bytes = store_->spilled_bytes();
   aggregate.memory.peak_rss_bytes = obs::peak_rss_bytes();
   aggregate.checkpoints_written = writer.checkpoints_written();
   aggregate.checkpoint_bytes = writer.bytes_written();

@@ -23,7 +23,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -33,6 +35,7 @@
 #include "energy/attributor.h"
 #include "energy/ledger.h"
 #include "obs/run_stats.h"
+#include "trace/store_backend.h"
 #include "trace/trace_source.h"
 #include "trace/trace_store.h"
 #include "util/status.h"
@@ -106,7 +109,17 @@ struct SweepOptions {
   /// Resume from the newest good checkpoint: finished scenarios are restored
   /// verbatim, the interrupted one continues from its last epoch. Missing,
   /// corrupt, or stale checkpoints fail run() — never a silent restart.
+  /// With store_dir set, resume also reopens sealed segments there and
+  /// captures only the users the segments do not already cover.
   bool resume = false;
+  /// Out-of-core capture (CLI --store-dir): when non-empty, the base-source
+  /// ctor backs the sweep with a trace::SpillingTraceStore sealing WESG
+  /// segments into this directory instead of an all-RAM TraceStore. Replay
+  /// semantics (and every scenario output) are bit-identical either way.
+  std::string store_dir;
+  /// Resident column budget for the spilling store (CLI --store-budget).
+  /// 0 = fully out-of-core. Ignored when store_dir is empty.
+  std::uint64_t store_budget_bytes = 0;
 };
 
 /// One scenario's outcome: its ledger, its per-scenario RunStats (totals,
@@ -121,13 +134,15 @@ struct ScenarioResult {
 
 class SweepEngine {
  public:
-  /// Capture `base` into an internal TraceStore on the first run() —
-  /// simulate once — then replay it for every scenario. Non-owning; `base`
-  /// must outlive the first run() and support whole-study emission.
+  /// Capture `base` into an internal store on the first run() — simulate
+  /// once — then replay it for every scenario. Non-owning; `base` must
+  /// outlive the first run() and support whole-study emission. The owned
+  /// store is a RAM TraceStore, or a SpillingTraceStore when
+  /// SweepOptions::store_dir is set.
   explicit SweepEngine(trace::TraceSource* base, SweepOptions options = {});
-  /// Replay a caller-owned, already-captured store (non-owning). Lets one
+  /// Replay a caller-owned, already-captured backend (non-owning). Lets one
   /// store back several engines, or a store loaded from a file reader.
-  explicit SweepEngine(trace::TraceStore* store, SweepOptions options = {});
+  explicit SweepEngine(trace::StoreBackend* store, SweepOptions options = {});
 
   /// Register a scenario. Order is preserved; results() matches it.
   void add_scenario(Scenario scenario);
@@ -145,8 +160,9 @@ class SweepEngine {
   [[nodiscard]] const ScenarioResult* result(std::string_view name) const;
   [[nodiscard]] std::size_t num_scenarios() const { return scenarios_.size(); }
   /// The cached trace backing the sweep (empty until the first run() when
-  /// capturing from a base source). Exposes memory_bytes()/event_count().
-  [[nodiscard]] const trace::TraceStore& store() const { return *store_; }
+  /// capturing from a base source). Exposes memory_bytes()/event_count()
+  /// plus the out-of-core surface (spilled_bytes()/num_segments()).
+  [[nodiscard]] const trace::StoreBackend& store() const { return *store_; }
 
  private:
   util::Status ensure_captured();
@@ -156,8 +172,10 @@ class SweepEngine {
   util::StatusOr<obs::RunStats> run_checkpointed();
 
   trace::TraceSource* base_ = nullptr;  ///< captured on first run(); may be null
-  trace::TraceStore owned_store_;       ///< backing store for the base ctor
-  trace::TraceStore* store_;            ///< &owned_store_ or caller-supplied
+  /// Backing store for the base ctor: TraceStore, or SpillingTraceStore when
+  /// options.store_dir is set. Null when a caller-owned store was supplied.
+  std::unique_ptr<trace::StoreBackend> owned_store_;
+  trace::StoreBackend* store_;  ///< owned_store_.get() or caller-supplied
   SweepOptions options_;
   std::vector<Scenario> scenarios_;
   std::vector<ScenarioResult> results_;

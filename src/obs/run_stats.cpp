@@ -44,6 +44,10 @@ void RunStats::print(std::ostream& os) const {
     if (memory.store_bytes > 0) {
       os << ", trace store " << fmt_bytes(static_cast<double>(memory.store_bytes));
     }
+    if (memory.store_spilled_bytes > 0) {
+      os << ", spilled " << fmt_bytes(static_cast<double>(memory.store_spilled_bytes))
+         << " on disk";
+    }
     os << "; peak RSS " << fmt_bytes(static_cast<double>(memory.peak_rss_bytes)) << "\n";
   }
 
@@ -173,6 +177,7 @@ void RunStats::write_json(JsonWriter& w) const {
   w.kv("ledger_bytes", memory.ledger_bytes);
   w.kv("analyses_bytes", memory.analyses_bytes);
   w.kv("store_bytes", memory.store_bytes);
+  w.kv("store_spilled_bytes", memory.store_spilled_bytes);
   w.kv("peak_rss_bytes", memory.peak_rss_bytes);
   w.end_object();
 

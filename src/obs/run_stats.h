@@ -70,7 +70,10 @@ struct ShardRunStats {
 struct MemoryStats {
   std::uint64_t ledger_bytes = 0;    ///< EnergyLedger accounts + per-user totals
   std::uint64_t analyses_bytes = 0;  ///< sum over registered analysis sinks
-  std::uint64_t store_bytes = 0;     ///< trace source (TraceStore columns), if any
+  std::uint64_t store_bytes = 0;     ///< trace store resident columns, if any
+  /// Bytes the trace store sealed into on-disk WESG segments
+  /// (trace/spilling_store.h). Disk, not RAM: excluded from tracked_bytes().
+  std::uint64_t store_spilled_bytes = 0;
   std::uint64_t peak_rss_bytes = 0;  ///< process-lifetime peak resident set
 
   [[nodiscard]] std::uint64_t tracked_bytes() const {

@@ -41,7 +41,8 @@ class UserSim {
  public:
   UserSim(const StudyConfig& config, const appmodel::AppCatalog& catalog, UserId user)
       : config_(config), catalog_(catalog), user_(user),
-        plan_(make_user_plan(config, catalog, user)) {
+        plan_(make_user_plan(config, catalog, user)),
+        diurnal_(make_user_diurnal(config, user)) {
     if (config.wifi_availability > 0.0) {
       Rng rng = stream("wifi-window");
       wifi_hours_ = std::clamp(config.wifi_availability, 0.0, 1.0) * 24.0;
@@ -147,7 +148,9 @@ class UserSim {
       const std::uint64_t pickups = rng.poisson(mean);
       std::vector<double> times;
       times.reserve(pickups);
-      for (std::uint64_t i = 0; i < pickups; ++i) times.push_back(sample_diurnal_seconds(rng));
+      for (std::uint64_t i = 0; i < pickups; ++i) {
+        times.push_back(sample_diurnal_seconds(rng, diurnal_));
+      }
       std::sort(times.begin(), times.end());
 
       for (double tod : times) {
@@ -201,7 +204,7 @@ class UserSim {
         for (std::uint64_t i = 0; i < n; ++i) {
           Session s;
           s.begin = config_.study_begin() + days(static_cast<double>(day)) +
-                    sec(sample_diurnal_seconds(rng));
+                    sec(sample_diurnal_seconds(rng, diurnal_));
           const double len = rng.lognormal(std::log(media.session_minutes_mean),
                                            media.session_minutes_sigma);
           s.end = s.begin + minutes(std::clamp(len, 2.0, 240.0));
@@ -482,6 +485,7 @@ class UserSim {
   const appmodel::AppCatalog& catalog_;
   UserId user_;
   UserPlan plan_;
+  DiurnalProfile diurnal_;  ///< per-user rhythm (shared curve at paper defaults)
   std::vector<Session> sessions_;
   std::unordered_map<AppId, std::vector<std::pair<TimePoint, TimePoint>>> fg_intervals_;
   std::vector<PacketRecord> packets_;

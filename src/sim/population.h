@@ -1,0 +1,55 @@
+// PopulationConfig: parameterized populations beyond the paper's 20 users
+// (DESIGN.md §14).
+//
+// The paper's StudyConfig reproduces one fixed panel: 20 users, 623 days,
+// portfolios dense enough for a heavily instrumented study. Fleet-scale
+// runs (MopEye-style deployments, ROADMAP item 4) need the *population* to
+// be the parameter: N users whose app portfolios and diurnal rhythms are
+// sampled from the same behaviour models, each a pure function of
+// (seed, user id). That per-user keying gives the scaling invariant the
+// out-of-core tests pin down: user k's stream is byte-identical whether the
+// population holds 20 users or a million — growing N only appends users, it
+// never perturbs existing ones.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/study_config.h"
+
+namespace wildenergy::sim {
+
+struct PopulationConfig {
+  std::uint32_t num_users = 20;
+  std::uint64_t seed = 42;
+
+  /// Fleet runs trade longitudinal depth for breadth: a week per user keeps
+  /// a 100k-user study tractable while every per-day behaviour model
+  /// (weekday cycle, leak/chunk schedules) still exercises.
+  std::int64_t num_days = 7;
+  std::uint32_t total_apps = 342;
+
+  /// Sparser portfolios than the paper's panel (an average fleet handset
+  /// carries fewer chatty apps than a study phone).
+  double install_scale = 0.25;
+  /// Chronotype/timezone spread across the fleet (hours).
+  double diurnal_shift_sigma_hours = 1.25;
+  /// Per-user jitter on the morning/lunch/evening activity bumps.
+  double diurnal_weight_sigma = 0.3;
+
+  /// Lower the StudyConfig onto the behaviour models. Everything downstream
+  /// (generator, stores, pipeline) is unchanged — a population is just a
+  /// study whose size is a parameter.
+  [[nodiscard]] StudyConfig study() const {
+    StudyConfig config;
+    config.seed = seed;
+    config.num_users = num_users;
+    config.num_days = num_days;
+    config.total_apps = total_apps;
+    config.install_scale = install_scale;
+    config.diurnal_shift_sigma_hours = diurnal_shift_sigma_hours;
+    config.diurnal_weight_sigma = diurnal_weight_sigma;
+    return config;
+  }
+};
+
+}  // namespace wildenergy::sim

@@ -40,6 +40,21 @@ struct StudyConfig {
   /// turns this on to check the §3 claim that cellular dominates energy.
   double wifi_availability = 0.0;
 
+  // -- population scaling (sim/population.h) --------------------------------
+  // All three default to the values that reproduce the paper's 20-user
+  // study byte-for-byte; PopulationConfig turns them on for large fleets.
+
+  /// Multiplies every app's install probability (clamped to [0, 1]).
+  /// Million-user fleets carry sparser portfolios than the paper's heavily
+  /// instrumented panel; 1.0 leaves the paper behaviour untouched.
+  double install_scale = 1.0;
+  /// Per-user shift of the diurnal activity curve (hours, normal sigma):
+  /// real fleets span chronotypes and timezones. 0 = the shared curve.
+  double diurnal_shift_sigma_hours = 0.0;
+  /// Per-user lognormal jitter on the morning/lunch/evening bump weights.
+  /// 0 = the shared curve (and the exact legacy sampling draw sequence).
+  double diurnal_weight_sigma = 0.0;
+
   [[nodiscard]] TimePoint study_begin() const { return kEpoch; }
   [[nodiscard]] TimePoint study_end() const { return kEpoch + days(static_cast<double>(num_days)); }
 };

@@ -1,5 +1,6 @@
 #include "sim/user_model.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace wildenergy::sim {
@@ -13,7 +14,11 @@ UserPlan make_user_plan(const StudyConfig& config, const appmodel::AppCatalog& c
 
   for (trace::AppId id = 0; id < catalog.size(); ++id) {
     const appmodel::AppProfile& profile = catalog[id];
-    if (!rng.chance(profile.install_probability)) continue;
+    // install_scale 1.0 multiplies exactly, so the paper-default draw
+    // sequence (and every golden stream) is unchanged.
+    const double install_p =
+        std::clamp(profile.install_probability * config.install_scale, 0.0, 1.0);
+    if (!rng.chance(install_p)) continue;
     InstalledApp ia;
     ia.app = id;
     // Heavy-tailed affinity: most installed apps are used occasionally, a
@@ -44,6 +49,44 @@ double sample_diurnal_seconds(Rng& rng) {
   for (;;) {
     const double hour = rng.uniform(0.0, 24.0);
     if (rng.uniform(0.0, kMaxWeight) <= diurnal_weight(hour)) return hour * 3600.0;
+  }
+}
+
+double diurnal_weight(double hour, const DiurnalProfile& profile) {
+  if (!profile.personal) return diurnal_weight(hour);
+  const auto bump = [](double h, double center, double width) {
+    const double d = (h - center) / width;
+    return std::exp(-0.5 * d * d);
+  };
+  // Shift the whole curve by the user's chronotype, wrapping midnight.
+  const double h = std::fmod(hour - profile.shift_hours + 48.0, 24.0);
+  const double base = 0.05;
+  return base + profile.morning * bump(h, 8.5, 1.5) + profile.lunch * bump(h, 12.5, 1.8) +
+         profile.evening * bump(h, 20.0, 2.5);
+}
+
+DiurnalProfile make_user_diurnal(const StudyConfig& config, trace::UserId user) {
+  DiurnalProfile profile;
+  if (config.diurnal_shift_sigma_hours <= 0.0 && config.diurnal_weight_sigma <= 0.0) {
+    return profile;  // shared curve, legacy draw sequence
+  }
+  profile.personal = true;
+  Rng rng = Rng::keyed({config.seed, hash_name("diurnal"), user});
+  profile.shift_hours = rng.normal(0.0, config.diurnal_shift_sigma_hours);
+  if (config.diurnal_weight_sigma > 0.0) {
+    profile.morning *= rng.lognormal(0.0, config.diurnal_weight_sigma);
+    profile.lunch *= rng.lognormal(0.0, config.diurnal_weight_sigma);
+    profile.evening *= rng.lognormal(0.0, config.diurnal_weight_sigma);
+  }
+  return profile;
+}
+
+double sample_diurnal_seconds(Rng& rng, const DiurnalProfile& profile) {
+  if (!profile.personal) return sample_diurnal_seconds(rng);
+  const double bound = profile.max_weight();
+  for (;;) {
+    const double hour = rng.uniform(0.0, 24.0);
+    if (rng.uniform(0.0, bound) <= diurnal_weight(hour, profile)) return hour * 3600.0;
   }
 }
 

@@ -46,6 +46,33 @@ struct UserPlan {
 /// Sample a time-of-day (seconds into the day) from the diurnal distribution.
 [[nodiscard]] double sample_diurnal_seconds(Rng& rng);
 
+/// A user's personal diurnal rhythm: the shared three-bump curve, shifted by
+/// their chronotype/timezone and reweighted per bump. `personal == false`
+/// (the StudyConfig default) means the shared curve AND the exact legacy
+/// rejection-sampling draw sequence — golden streams depend on it.
+struct DiurnalProfile {
+  bool personal = false;
+  double shift_hours = 0.0;
+  double morning = 0.6;
+  double lunch = 0.5;
+  double evening = 1.0;
+
+  /// Conservative rejection-sampling bound: base plus all bump weights.
+  [[nodiscard]] double max_weight() const { return 0.05 + morning + lunch + evening; }
+};
+
+/// Pickup intensity under a personal profile (shared curve when !personal).
+[[nodiscard]] double diurnal_weight(double hour, const DiurnalProfile& profile);
+
+/// Deterministically build `user`'s profile. Pure function of (config, user):
+/// user k's profile is identical at any population size. Returns the shared
+/// curve when both diurnal sigmas are 0.
+[[nodiscard]] DiurnalProfile make_user_diurnal(const StudyConfig& config, trace::UserId user);
+
+/// Profile-aware sampling. Dispatches to the legacy sampler (identical draw
+/// sequence) when the profile is not personal.
+[[nodiscard]] double sample_diurnal_seconds(Rng& rng, const DiurnalProfile& profile);
+
 /// Day-of-week engagement factor, mean 1.0 across the week.
 [[nodiscard]] double weekday_factor(std::int64_t day_index, double amplitude);
 

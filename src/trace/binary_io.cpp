@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "ckpt/codec.h"
 #include "obs/metrics.h"
 #include "trace/batch.h"
 
@@ -14,20 +15,11 @@ namespace {
 
 constexpr char kMagic[4] = {'W', 'E', 'T', 'R'};
 constexpr std::uint8_t kVersion = 1;
-// 10 7-bit groups cover 64 bits; an 11th continuation byte is always corrupt.
-constexpr int kMaxVarintBytes = 10;
 
-constexpr std::uint64_t zigzag(std::int64_t v) {
-  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
-}
-constexpr std::int64_t unzigzag(std::uint64_t v) {
-  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
-}
-
-void fnv_step(std::uint64_t& checksum, std::uint8_t b) {
-  checksum ^= b;
-  checksum *= 0x100000001B3ULL;
-}
+// Varint/zigzag/FNV wire idioms are the shared ckpt/codec.h primitives; this
+// file only owns the WETR record framing and its positioned diagnostics.
+using ckpt::unzigzag;
+using ckpt::zigzag;
 
 }  // namespace
 
@@ -39,16 +31,12 @@ BinaryTraceWriter::BinaryTraceWriter(std::ostream& os) : os_(os) {
 
 void BinaryTraceWriter::put_byte(std::uint8_t b) {
   os_.put(static_cast<char>(b));
-  fnv_step(checksum_, b);
+  checksum_ = ckpt::fnv1a_step(checksum_, b);
   ++bytes_written_;
 }
 
 void BinaryTraceWriter::put_varint(std::uint64_t v) {
-  while (v >= 0x80) {
-    put_byte(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  put_byte(static_cast<std::uint8_t>(v));
+  ckpt::encode_varint(v, [this](std::uint8_t byte) { put_byte(byte); });
 }
 
 void BinaryTraceWriter::put_f64(double v) {
@@ -128,26 +116,21 @@ class Reader {
       return false;
     }
     b = static_cast<std::uint8_t>(c);
-    fnv_step(checksum_, b);
+    checksum_ = ckpt::fnv1a_step(checksum_, b);
     ++offset_;
     return true;
   }
 
   bool get_varint(std::uint64_t& v) {
-    v = 0;
-    for (int i = 0; i < kMaxVarintBytes; ++i) {
-      std::uint8_t b = 0;
-      if (!get_byte(b)) return false;
-      // The 10th byte may only contribute the top bit of the 64-bit value:
-      // anything else (including a continuation bit) is an overlong varint.
-      if (i == kMaxVarintBytes - 1 && b > 1) {
+    switch (ckpt::decode_varint(v, [this](std::uint8_t& b) { return get_byte(b); })) {
+      case ckpt::VarintFail::kOk:
+        return true;
+      case ckpt::VarintFail::kEof:
+        return false;  // get_byte already latched ReadFail::kEof
+      case ckpt::VarintFail::kOverlong:
         fail_ = ReadFail::kOverlongVarint;
         return false;
-      }
-      v |= static_cast<std::uint64_t>(b & 0x7F) << (7 * i);
-      if ((b & 0x80) == 0) return true;
     }
-    fail_ = ReadFail::kOverlongVarint;
     return false;
   }
 
@@ -187,7 +170,7 @@ class Reader {
 
  private:
   std::istream& is_;
-  std::uint64_t checksum_ = 0xCBF29CE484222325ULL;
+  std::uint64_t checksum_ = ckpt::kFnvOffset;
   std::uint64_t offset_ = 0;
   ReadFail fail_ = ReadFail::kNone;
 };

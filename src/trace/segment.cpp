@@ -1,0 +1,397 @@
+#include "trace/segment.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WILDENERGY_SEGMENT_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace wildenergy::trace {
+
+namespace {
+
+void put_u64le(ckpt::ByteWriter& w, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    w.put_u8(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+std::uint64_t read_u64le(std::string_view bytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint8_t packet_flags(const PacketRecord& p) {
+  return static_cast<std::uint8_t>(p.direction == radio::Direction::kUplink ? 1 : 0) |
+         static_cast<std::uint8_t>(p.interface == Interface::kWifi ? 2 : 0) |
+         static_cast<std::uint8_t>(static_cast<std::uint8_t>(p.state) << 2);
+}
+
+}  // namespace
+
+// --- SegmentWriter ---------------------------------------------------------
+
+SegmentWriter::SegmentWriter(const StudyMeta& meta) {
+  body_.put_bytes({kSegmentMagic, sizeof kSegmentMagic});
+  body_.put_u8(kSegmentVersion);
+  body_.put_varint(meta.num_users);
+  body_.put_varint(meta.num_apps);
+  body_.put_varint(ckpt::zigzag(meta.study_begin.us));
+  body_.put_varint(ckpt::zigzag(meta.study_end.us));
+}
+
+void SegmentWriter::add_chunk(const EventBatch& events, std::uint32_t seq, bool final_chunk) {
+  ckpt::ByteWriter packets;
+  std::int64_t pkt_time = 0;
+  for (const PacketRecord& p : events.packets) {
+    packets.put_varint(ckpt::zigzag(p.time.us - pkt_time));
+    pkt_time = p.time.us;
+    packets.put_varint(p.app);
+    packets.put_varint(p.flow);
+    packets.put_varint(p.bytes);
+    packets.put_u8(packet_flags(p));
+    packets.put_f64(p.joules);
+  }
+
+  ckpt::ByteWriter transitions;
+  std::int64_t tr_time = 0;
+  for (const StateTransition& t : events.transitions) {
+    transitions.put_varint(ckpt::zigzag(t.time.us - tr_time));
+    tr_time = t.time.us;
+    transitions.put_varint(t.app);
+    transitions.put_u8(static_cast<std::uint8_t>(t.from));
+    transitions.put_u8(static_cast<std::uint8_t>(t.to));
+  }
+
+  ckpt::ByteWriter order;
+  std::uint64_t runs = 0;
+  std::size_t oi = 0;
+  const std::size_t n = events.order.size();
+  while (oi < n) {
+    const EventKind kind = events.order[oi];
+    std::size_t run = 1;
+    while (oi + run < n && events.order[oi + run] == kind) ++run;
+    order.put_u8(static_cast<std::uint8_t>(kind));
+    order.put_varint(run);
+    ++runs;
+    oi += run;
+  }
+
+  chunks_.push_back({events.user, seq, final_chunk, events.packets.size(),
+                     events.transitions.size(), runs, packets.size(), transitions.size(),
+                     order.size()});
+  body_.put_bytes(packets.bytes());
+  body_.put_bytes(transitions.bytes());
+  body_.put_bytes(order.bytes());
+}
+
+std::string SegmentWriter::finish() {
+  const std::uint64_t index_offset = body_.size();
+  body_.put_varint(chunks_.size());
+  for (const PendingChunk& c : chunks_) {
+    body_.put_varint(c.user);
+    body_.put_varint(c.seq);
+    body_.put_u8(c.final_chunk ? 1 : 0);
+    body_.put_varint(c.packets);
+    body_.put_varint(c.transitions);
+    body_.put_varint(c.order_runs);
+    body_.put_varint(c.packets_len);
+    body_.put_varint(c.transitions_len);
+    body_.put_varint(c.order_len);
+  }
+  put_u64le(body_, index_offset);
+  const std::uint64_t checksum = ckpt::fnv1a(body_.bytes());
+  put_u64le(body_, checksum);
+  chunks_.clear();
+  return body_.take();
+}
+
+// --- MappedSegment ---------------------------------------------------------
+
+MappedSegment::~MappedSegment() {
+#ifdef WILDENERGY_SEGMENT_MMAP
+  if (map_ != nullptr) ::munmap(map_, size_);
+#endif
+}
+
+util::Status MappedSegment::corrupt(const std::string& why) const {
+  return util::Status::data_loss("segment " + path_ + ": " + why);
+}
+
+util::Status MappedSegment::open(const std::string& path) {
+  path_ = path;
+#ifdef WILDENERGY_SEGMENT_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st = {};
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      void* mapped = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                            MAP_PRIVATE, fd, 0);
+      if (mapped != MAP_FAILED) {
+        map_ = mapped;
+        data_ = static_cast<const char*>(mapped);
+        size_ = static_cast<std::size_t>(st.st_size);
+      }
+    }
+    ::close(fd);
+  }
+#endif
+  if (data_ == nullptr) {
+    // Buffered fallback: no mapping support (or an empty/unreadable file,
+    // which the size checks below diagnose).
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return corrupt("cannot open file");
+    fallback_.assign(std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>());
+    data_ = fallback_.data();
+    size_ = fallback_.size();
+  }
+  return parse();
+}
+
+util::Status MappedSegment::parse() {
+  constexpr std::size_t kHeader = sizeof kSegmentMagic + 1;
+  constexpr std::size_t kFooter = 16;  // index offset + checksum
+  if (size_ < kHeader + kFooter) {
+    return corrupt("file too short (" + std::to_string(size_) + " bytes)");
+  }
+  const std::string_view all{data_, size_};
+
+  // Trust nothing until the trailer checksum passes: every later parse
+  // failure is then a logic-level inconsistency, not random bit damage.
+  const std::uint64_t stored = read_u64le(all.substr(size_ - 8));
+  const std::uint64_t computed = ckpt::fnv1a(all.substr(0, size_ - 8));
+  if (stored != computed) return corrupt("checksum mismatch");
+
+  if (std::memcmp(data_, kSegmentMagic, sizeof kSegmentMagic) != 0) return corrupt("bad magic");
+  const auto version = static_cast<std::uint8_t>(data_[sizeof kSegmentMagic]);
+  if (version != kSegmentVersion) {
+    return corrupt("unsupported version " + std::to_string(version));
+  }
+
+  const std::uint64_t index_offset = read_u64le(all.substr(size_ - kFooter));
+  if (index_offset < kHeader || index_offset > size_ - kFooter) {
+    return corrupt("index offset " + std::to_string(index_offset) + " out of range");
+  }
+
+  ckpt::ByteReader meta_reader{all.substr(kHeader, index_offset - kHeader)};
+  const auto users = meta_reader.get_varint("segment meta users");
+  const auto apps = meta_reader.get_varint("segment meta apps");
+  const auto begin = meta_reader.get_varint("segment meta begin");
+  const auto end = meta_reader.get_varint("segment meta end");
+  if (!users.ok()) return corrupt(users.status().message());
+  if (!apps.ok()) return corrupt(apps.status().message());
+  if (!begin.ok()) return corrupt(begin.status().message());
+  if (!end.ok()) return corrupt(end.status().message());
+  meta_.num_users = static_cast<std::uint32_t>(*users);
+  meta_.num_apps = static_cast<std::uint32_t>(*apps);
+  meta_.study_begin.us = ckpt::unzigzag(*begin);
+  meta_.study_end.us = ckpt::unzigzag(*end);
+  const std::size_t payload_start = kHeader + meta_reader.offset();
+
+  ckpt::ByteReader index{all.substr(index_offset, size_ - kFooter - index_offset)};
+  const auto count = index.get_varint("segment index count");
+  if (!count.ok()) return corrupt(count.status().message());
+  if (*count > index.remaining()) {
+    // Each index entry is at least 9 bytes; a count beyond the remaining
+    // index bytes is corrupt and must not drive a giant allocation.
+    return corrupt("implausible chunk count " + std::to_string(*count));
+  }
+  chunks_.clear();
+  chunks_.reserve(static_cast<std::size_t>(*count));
+  std::size_t cursor = payload_start;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    SegmentChunkInfo chunk;
+    const auto user = index.get_varint("chunk user");
+    const auto seq = index.get_varint("chunk seq");
+    const auto flags = index.get_u8("chunk flags");
+    const auto packets = index.get_varint("chunk packets");
+    const auto transitions = index.get_varint("chunk transitions");
+    const auto runs = index.get_varint("chunk order runs");
+    const auto packets_len = index.get_varint("chunk packets length");
+    const auto transitions_len = index.get_varint("chunk transitions length");
+    const auto order_len = index.get_varint("chunk order length");
+    for (const util::Status& st :
+         {user.status(), seq.status(), flags.status(), packets.status(), transitions.status(),
+          runs.status(), packets_len.status(), transitions_len.status(), order_len.status()}) {
+      if (!st.ok()) return corrupt(st.message());
+    }
+    if (*user > std::numeric_limits<UserId>::max() ||
+        *seq > std::numeric_limits<std::uint32_t>::max()) {
+      return corrupt("chunk " + std::to_string(i) + " user/seq out of range");
+    }
+    chunk.user = static_cast<UserId>(*user);
+    chunk.seq = static_cast<std::uint32_t>(*seq);
+    chunk.final_chunk = (*flags & 1) != 0;
+    chunk.packets = *packets;
+    chunk.transitions = *transitions;
+    chunk.order_runs = *runs;
+    // Lower-bound sanity on stream lengths: a packet encodes to >= 13
+    // bytes, a transition to >= 4, an order run to >= 2.
+    const std::size_t span = size_ - kFooter;
+    if (*packets_len > span || *transitions_len > span || *order_len > span ||
+        chunk.packets * 13 > *packets_len || chunk.transitions * 4 > *transitions_len ||
+        chunk.order_runs * 2 > *order_len) {
+      return corrupt("chunk " + std::to_string(i) + " lengths inconsistent with counts");
+    }
+    chunk.packets_offset = cursor;
+    chunk.packets_len = static_cast<std::size_t>(*packets_len);
+    cursor += chunk.packets_len;
+    chunk.transitions_offset = cursor;
+    chunk.transitions_len = static_cast<std::size_t>(*transitions_len);
+    cursor += chunk.transitions_len;
+    chunk.order_offset = cursor;
+    chunk.order_len = static_cast<std::size_t>(*order_len);
+    cursor += chunk.order_len;
+    if (cursor > index_offset) {
+      return corrupt("chunk " + std::to_string(i) + " overruns the payload");
+    }
+    chunks_.push_back(chunk);
+  }
+  if (cursor != index_offset) {
+    return corrupt("payload length disagrees with index (ends at " + std::to_string(cursor) +
+                   ", index at " + std::to_string(index_offset) + ")");
+  }
+  if (!index.at_end()) {
+    return corrupt("trailing bytes in index at offset " + std::to_string(index.offset()));
+  }
+  return util::Status::ok_status();
+}
+
+std::uint64_t MappedSegment::index_bytes() const {
+  return sizeof(*this) + chunks_.capacity() * sizeof(SegmentChunkInfo) + path_.capacity() +
+         fallback_.capacity();
+}
+
+util::Status MappedSegment::replay_chunk(const SegmentChunkInfo& chunk, TraceSink& sink,
+                                         std::size_t batch_size) const {
+  const std::string_view all{data_, size_};
+  const auto in_file = [&](std::size_t off, std::size_t len) {
+    return off <= size_ && len <= size_ - off;
+  };
+  if (!in_file(chunk.packets_offset, chunk.packets_len) ||
+      !in_file(chunk.transitions_offset, chunk.transitions_len) ||
+      !in_file(chunk.order_offset, chunk.order_len)) {
+    return corrupt("chunk span out of file bounds");
+  }
+  const std::string where =
+      "user " + std::to_string(chunk.user) + " chunk " + std::to_string(chunk.seq) + ": ";
+
+  ckpt::ByteReader packets{all.substr(chunk.packets_offset, chunk.packets_len)};
+  ckpt::ByteReader transitions{all.substr(chunk.transitions_offset, chunk.transitions_len)};
+  ckpt::ByteReader order{all.substr(chunk.order_offset, chunk.order_len)};
+
+  EventBatch scratch;
+  scratch.user = chunk.user;
+  if (batch_size > 0) {
+    scratch.reserve(std::min<std::uint64_t>(batch_size, chunk.events()));
+  }
+  const auto deliver = [&] {
+    if (scratch.size() >= batch_size) {
+      sink.on_batch(scratch);
+      scratch.clear();
+    }
+  };
+
+  std::int64_t pkt_time = 0;
+  std::int64_t tr_time = 0;
+  std::uint64_t pk_seen = 0;
+  std::uint64_t tr_seen = 0;
+  for (std::uint64_t r = 0; r < chunk.order_runs; ++r) {
+    const auto kind = order.get_u8("order kind");
+    if (!kind.ok()) return corrupt(where + kind.status().message());
+    const auto run = order.get_varint("order run");
+    if (!run.ok()) return corrupt(where + run.status().message());
+    if (*kind > 1) return corrupt(where + "bad order kind " + std::to_string(*kind));
+    if (*kind == static_cast<std::uint8_t>(EventKind::kPacket)) {
+      if (*run > chunk.packets - pk_seen) return corrupt(where + "packet run overflows chunk");
+      for (std::uint64_t j = 0; j < *run; ++j) {
+        const auto dt = packets.get_varint("packet dt");
+        const auto app = packets.get_varint("packet app");
+        const auto flow = packets.get_varint("packet flow");
+        const auto bytes = packets.get_varint("packet bytes");
+        const auto flags = packets.get_u8("packet flags");
+        const auto joules = packets.get_f64("packet joules");
+        for (const util::Status& st : {dt.status(), app.status(), flow.status(), bytes.status(),
+                                       flags.status(), joules.status()}) {
+          if (!st.ok()) return corrupt(where + st.message());
+        }
+        const auto state = static_cast<std::uint8_t>(*flags >> 2);
+        if (*app > kNoApp || state >= kNumProcessStates) {
+          return corrupt(where + "bad packet fields at offset " +
+                         std::to_string(packets.offset()));
+        }
+        pkt_time += ckpt::unzigzag(*dt);
+        PacketRecord p;
+        p.time.us = pkt_time;
+        p.user = chunk.user;
+        p.app = static_cast<AppId>(*app);
+        p.flow = *flow;
+        p.bytes = *bytes;
+        p.direction = (*flags & 1) ? radio::Direction::kUplink : radio::Direction::kDownlink;
+        p.interface = (*flags & 2) ? Interface::kWifi : Interface::kCellular;
+        p.state = static_cast<ProcessState>(state);
+        p.joules = *joules;
+        if (batch_size == 0) {
+          sink.on_packet(p);
+        } else {
+          scratch.add(p);
+          deliver();
+        }
+      }
+      pk_seen += *run;
+    } else {
+      if (*run > chunk.transitions - tr_seen) {
+        return corrupt(where + "transition run overflows chunk");
+      }
+      for (std::uint64_t j = 0; j < *run; ++j) {
+        const auto dt = transitions.get_varint("transition dt");
+        const auto app = transitions.get_varint("transition app");
+        const auto from = transitions.get_u8("transition from");
+        const auto to = transitions.get_u8("transition to");
+        for (const util::Status& st :
+             {dt.status(), app.status(), from.status(), to.status()}) {
+          if (!st.ok()) return corrupt(where + st.message());
+        }
+        if (*app > kNoApp || *from >= kNumProcessStates || *to >= kNumProcessStates) {
+          return corrupt(where + "bad transition fields at offset " +
+                         std::to_string(transitions.offset()));
+        }
+        tr_time += ckpt::unzigzag(*dt);
+        StateTransition t;
+        t.time.us = tr_time;
+        t.user = chunk.user;
+        t.app = static_cast<AppId>(*app);
+        t.from = static_cast<ProcessState>(*from);
+        t.to = static_cast<ProcessState>(*to);
+        if (batch_size == 0) {
+          sink.on_transition(t);
+        } else {
+          scratch.add(t);
+          deliver();
+        }
+      }
+      tr_seen += *run;
+    }
+  }
+  if (pk_seen != chunk.packets || tr_seen != chunk.transitions) {
+    return corrupt(where + "decoded event counts disagree with index");
+  }
+  if (!packets.at_end() || !transitions.at_end() || !order.at_end()) {
+    return corrupt(where + "undecoded bytes left in chunk streams");
+  }
+  if (!scratch.empty()) sink.on_batch(scratch);
+  return util::Status::ok_status();
+}
+
+}  // namespace wildenergy::trace

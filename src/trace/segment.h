@@ -1,0 +1,147 @@
+// WESG columnar trace segments: the on-disk half of the trace plane
+// (DESIGN.md §14).
+//
+// A segment file holds sealed column *chunks* — contiguous spans of one
+// user's stream (packet column, transition column, interleave) — for many
+// users, in stream order. SpillingTraceStore seals chunks into segments when
+// the resident budget fills; replay maps the file read-only and decodes one
+// bounded span at a time, so a study much larger than RAM replays with a
+// working set of O(batch_size), not O(stream).
+//
+// File layout (all multi-byte integers are ckpt/codec.h primitives):
+//
+//   magic "WESG" | u8 version
+//   study meta:   varint num_users, varint num_apps,
+//                 zigzag-varint study_begin_us, zigzag-varint study_end_us
+//   payload:      per chunk, three byte streams back to back:
+//     packets     zigzag-varint dt_us (chains from the previous packet in
+//                 the chunk; the first is absolute), varint app, varint
+//                 flow, varint bytes, u8 flags (direction | wifi<<1 |
+//                 state<<2), f64 joules (raw LE bits)
+//     transitions zigzag-varint dt_us (own chain), varint app, u8 from, u8 to
+//     order       run-length pairs: u8 kind, varint run — the exact
+//                 packet/transition interleave, so replay reproduces the
+//                 captured event sequence bit-identically
+//   index:        varint chunk_count, then per chunk: varint user,
+//                 varint seq, u8 flags (bit0 = final chunk of the user's
+//                 stream), varint packet/transition/order-run counts,
+//                 varint packet/transition/order stream lengths (offsets
+//                 are reconstructed cumulatively — chunks are contiguous)
+//   footer:       u64 LE index offset, u64 LE FNV-1a over every preceding
+//                 byte (including the index offset)
+//
+// Readers verify the trailer before trusting any field, and every parse or
+// decode failure is a positioned util::Status naming the file — a corrupted
+// segment can never silently replay wrong events (tests/out_of_core_test.cpp
+// corruption matrix).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/codec.h"
+#include "trace/batch.h"
+#include "trace/sink.h"
+#include "util/status.h"
+
+namespace wildenergy::trace {
+
+inline constexpr char kSegmentMagic[4] = {'W', 'E', 'S', 'G'};
+inline constexpr std::uint8_t kSegmentVersion = 1;
+
+/// One sealed chunk as recorded in a segment's index. A user's full stream
+/// is the concatenation of their chunks in seq order, the last one final.
+struct SegmentChunkInfo {
+  UserId user = 0;
+  std::uint32_t seq = 0;     ///< chunk ordinal within the user's stream
+  bool final_chunk = false;  ///< closes the user's stream
+  std::uint64_t packets = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t order_runs = 0;
+  // Absolute file offsets/lengths of the three encoded column streams.
+  std::size_t packets_offset = 0;
+  std::size_t packets_len = 0;
+  std::size_t transitions_offset = 0;
+  std::size_t transitions_len = 0;
+  std::size_t order_offset = 0;
+  std::size_t order_len = 0;
+
+  [[nodiscard]] std::uint64_t events() const { return packets + transitions; }
+};
+
+/// Builds one segment file in memory; chunks append in stream order.
+class SegmentWriter {
+ public:
+  explicit SegmentWriter(const StudyMeta& meta);
+
+  /// Encode one chunk of `events.user`'s stream. `seq` is the per-user chunk
+  /// ordinal; `final_chunk` marks the last chunk of that user's stream.
+  void add_chunk(const EventBatch& events, std::uint32_t seq, bool final_chunk);
+
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+  /// Payload bytes encoded so far (header included) — sizing for spill policy.
+  [[nodiscard]] std::size_t size() const { return body_.size(); }
+
+  /// Append index + footer and return the complete file bytes. The writer is
+  /// spent afterwards.
+  [[nodiscard]] std::string finish();
+
+ private:
+  struct PendingChunk {
+    UserId user;
+    std::uint32_t seq;
+    bool final_chunk;
+    std::uint64_t packets, transitions, order_runs;
+    std::size_t packets_len, transitions_len, order_len;
+  };
+
+  ckpt::ByteWriter body_;
+  std::vector<PendingChunk> chunks_;
+};
+
+/// An open, checksum-verified segment. The file is mapped read-only when the
+/// platform allows (buffered read otherwise); replay decodes bounded spans
+/// straight off the mapping. Opening costs one checksum pass + O(index);
+/// replaying a chunk costs O(chunk) with O(batch_size) working memory.
+class MappedSegment {
+ public:
+  MappedSegment() = default;
+  ~MappedSegment();
+  MappedSegment(const MappedSegment&) = delete;
+  MappedSegment& operator=(const MappedSegment&) = delete;
+
+  /// Open + verify `path`. Any framing, checksum, or index inconsistency is
+  /// a positioned data_loss status naming the file.
+  [[nodiscard]] util::Status open(const std::string& path);
+
+  [[nodiscard]] const StudyMeta& meta() const { return meta_; }
+  [[nodiscard]] const std::vector<SegmentChunkInfo>& chunks() const { return chunks_; }
+  [[nodiscard]] std::uint64_t file_bytes() const { return size_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// Resident overhead of the parsed index (the mapping itself is page
+  /// cache, reclaimable, and does not count against a RAM budget).
+  [[nodiscard]] std::uint64_t index_bytes() const;
+
+  /// Decode one chunk into `sink` as batch_size spans (0 = per record),
+  /// preserving the captured interleave. Emits no user brackets — the
+  /// caller owns the bracket protocol. Pure read: concurrent replay_chunk
+  /// calls on one segment are safe.
+  [[nodiscard]] util::Status replay_chunk(const SegmentChunkInfo& chunk, TraceSink& sink,
+                                          std::size_t batch_size) const;
+
+ private:
+  [[nodiscard]] util::Status parse();
+  [[nodiscard]] util::Status corrupt(const std::string& why) const;
+
+  std::string path_;
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* map_ = nullptr;      ///< munmap handle when the file is mapped
+  std::string fallback_;     ///< file bytes when mmap is unavailable
+  StudyMeta meta_;
+  std::vector<SegmentChunkInfo> chunks_;
+};
+
+}  // namespace wildenergy::trace

@@ -1,0 +1,535 @@
+#include "trace/spilling_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "ckpt/codec.h"
+#include "ckpt/resume_sinks.h"
+
+namespace wildenergy::trace {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kManifestMagic[4] = {'W', 'E', 'S', 'M'};
+constexpr std::uint8_t kManifestVersion = 1;
+constexpr const char* kManifestName = "manifest.wesm";
+
+bool same_meta(const StudyMeta& a, const StudyMeta& b) {
+  return a.num_users == b.num_users && a.num_apps == b.num_apps &&
+         a.study_begin.us == b.study_begin.us && a.study_end.us == b.study_end.us;
+}
+
+std::string segment_name(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "seg_%06llu.wesg", static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+/// seg_000042.wesg -> 42; 0 when the name doesn't follow the pattern.
+std::uint64_t parse_segment_seq(const std::string& name) {
+  const std::size_t under = name.find('_');
+  const std::size_t dot = name.rfind('.');
+  if (under == std::string::npos || dot == std::string::npos || dot <= under + 1) return 0;
+  std::uint64_t seq = 0;
+  for (std::size_t i = under + 1; i < dot; ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    seq = seq * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+util::Status write_file_atomic(const std::string& dir, const std::string& name,
+                               std::string_view bytes) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);  // best effort; the open below diagnoses
+  const fs::path tmp = fs::path(dir) / (name + ".tmp");
+  const fs::path final_path = fs::path(dir) / name;
+  {
+    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
+    if (!out) return util::Status::internal("cannot open '" + tmp.string() + "' for writing");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) return util::Status::internal("cannot write '" + tmp.string() + "'");
+  }
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    return util::Status::internal("cannot rename '" + tmp.string() + "' into place: " +
+                                  ec.message());
+  }
+  return util::Status::ok_status();
+}
+
+}  // namespace
+
+/// Forwards per-user pulls into the store while swallowing the per-pull
+/// study brackets that TraceSource::emit_user wraps each user in.
+class SpillingTraceStore::BracketStrip final : public TraceSink {
+ public:
+  explicit BracketStrip(SpillingTraceStore* store) : store_(store) {}
+
+  void on_study_begin(const StudyMeta& meta) override { store_->note_source_meta(meta); }
+  void on_user_begin(UserId user) override { store_->on_user_begin(user); }
+  void on_packet(const PacketRecord& packet) override { store_->on_packet(packet); }
+  void on_transition(const StateTransition& transition) override {
+    store_->on_transition(transition);
+  }
+  void on_batch(const EventBatch& batch) override { store_->on_batch(batch); }
+  void on_user_end(UserId user) override { store_->on_user_end(user); }
+  void on_study_end() override {}
+
+ private:
+  SpillingTraceStore* store_;
+};
+
+// --- capture ---------------------------------------------------------------
+
+std::uint64_t SpillingTraceStore::column_bytes(const EventBatch& events) {
+  return events.packets.capacity() * sizeof(PacketRecord) +
+         events.transitions.capacity() * sizeof(StateTransition) +
+         events.order.capacity() * sizeof(EventKind);
+}
+
+void SpillingTraceStore::note_source_meta(const StudyMeta& meta) {
+  if (!same_meta(meta, meta_)) {
+    health_ = util::Status::failed_precondition(
+        "spilling store at '" + options_.dir +
+        "' was sealed for a different study (users " + std::to_string(meta_.num_users) +
+        " vs " + std::to_string(meta.num_users) + ", apps " +
+        std::to_string(meta_.num_apps) + " vs " + std::to_string(meta.num_apps) + ")");
+  }
+}
+
+void SpillingTraceStore::on_study_begin(const StudyMeta& meta) {
+  if (resuming_capture_) {
+    // A resuming capture extends the recovered contents; the incoming
+    // bracket must describe the same study the segments were sealed for.
+    note_source_meta(meta);
+    return;
+  }
+  clear();
+  meta_ = meta;
+  started_ = true;
+}
+
+void SpillingTraceStore::on_user_begin(UserId user) {
+  auto [it, inserted] = users_.try_emplace(user);
+  if (inserted) order_.push_back(user);
+  UserState& state = it->second;
+  if (state.complete) {
+    // Recapture of an already-complete user supersedes the old stream; the
+    // stale chunks stay in their segments but are no longer referenced.
+    if (state.resident != kNoResident) {
+      resident_bytes_ -= column_bytes(resident_[state.resident].events);
+      resident_[state.resident].dead = true;
+      state.resident = kNoResident;
+    }
+    state.spilled.clear();
+    state.complete = false;
+    state.next_seq = 0;
+  }
+  state.broken = false;
+  current_.clear();
+  current_.user = user;
+  in_user_ = true;
+}
+
+void SpillingTraceStore::on_packet(const PacketRecord& packet) {
+  if (!in_user_) return;
+  current_.add(packet);
+  maybe_spill_mid_user();
+}
+
+void SpillingTraceStore::on_transition(const StateTransition& transition) {
+  if (!in_user_) return;
+  current_.add(transition);
+  maybe_spill_mid_user();
+}
+
+void SpillingTraceStore::on_batch(const EventBatch& batch) {
+  if (!in_user_) return;
+  current_.packets.insert(current_.packets.end(), batch.packets.begin(), batch.packets.end());
+  current_.transitions.insert(current_.transitions.end(), batch.transitions.begin(),
+                              batch.transitions.end());
+  current_.order.insert(current_.order.end(), batch.order.begin(), batch.order.end());
+  maybe_spill_mid_user();
+}
+
+void SpillingTraceStore::on_user_end(UserId /*user*/) {
+  if (!in_user_) return;
+  in_user_ = false;
+  UserState& state = users_[current_.user];
+  resident_.push_back({std::move(current_), state.next_seq++, /*final_chunk=*/true});
+  state.resident = resident_.size() - 1;
+  state.complete = true;
+  resident_bytes_ += column_bytes(resident_.back().events);
+  if (resident_bytes_ > max_resident_bytes_) max_resident_bytes_ = resident_bytes_;
+  current_ = EventBatch{};
+  // Budget 0 means fully out-of-core: every completed user spills at once.
+  if (options_.budget_bytes == 0 || resident_bytes_ > options_.budget_bytes) {
+    (void)spill_resident();  // failures latch health_
+  }
+}
+
+void SpillingTraceStore::on_study_end() { in_user_ = false; }
+
+void SpillingTraceStore::maybe_spill_mid_user() {
+  const std::uint64_t live = resident_bytes_ + column_bytes(current_);
+  if (live > max_resident_bytes_) max_resident_bytes_ = live;
+  if (options_.budget_bytes == 0 || live <= options_.budget_bytes) return;
+  if (resident_bytes_ > 0) (void)spill_resident();
+  if (column_bytes(current_) > options_.budget_bytes) {
+    // One user alone overflows the budget: seal what we have as a non-final
+    // chunk and keep capturing into a fresh column set.
+    const UserId user = current_.user;
+    UserState& state = users_[user];
+    resident_.push_back({std::move(current_), state.next_seq++, /*final_chunk=*/false});
+    resident_bytes_ += column_bytes(resident_.back().events);
+    (void)spill_resident();
+    current_ = EventBatch{};
+    current_.user = user;
+  }
+}
+
+util::Status SpillingTraceStore::spill_resident() {
+  if (!health_.ok()) return health_;
+  if (options_.dir.empty()) {
+    health_ = util::Status::failed_precondition("spilling store has no directory configured");
+    return health_;
+  }
+  std::vector<std::size_t> live;
+  live.reserve(resident_.size());
+  for (std::size_t i = 0; i < resident_.size(); ++i) {
+    if (!resident_[i].dead) live.push_back(i);
+  }
+  if (live.empty()) {
+    resident_.clear();
+    resident_bytes_ = 0;
+    return util::Status::ok_status();
+  }
+
+  SegmentWriter writer{meta_};
+  for (const std::size_t i : live) {
+    writer.add_chunk(resident_[i].events, resident_[i].seq, resident_[i].final_chunk);
+  }
+  const std::string name = segment_name(next_segment_seq_);
+  util::Status wrote = write_file_atomic(options_.dir, name, writer.finish());
+  if (!wrote.ok()) {
+    health_ = wrote;
+    return health_;
+  }
+  auto segment = std::make_unique<MappedSegment>();
+  util::Status opened = segment->open((fs::path(options_.dir) / name).string());
+  if (!opened.ok()) {
+    health_ = opened;
+    return health_;
+  }
+  ++next_segment_seq_;
+  const auto segment_index = static_cast<std::uint32_t>(segments_.size());
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    UserState& state = users_[resident_[live[k]].events.user];
+    state.spilled.push_back({segment_index, static_cast<std::uint32_t>(k)});
+    state.resident = kNoResident;
+  }
+  spilled_bytes_ += segment->file_bytes();
+  segments_.push_back(std::move(segment));
+  resident_.clear();
+  resident_bytes_ = 0;
+  util::Status manifest = write_manifest();
+  if (!manifest.ok()) health_ = manifest;
+  return manifest;
+}
+
+util::Status SpillingTraceStore::write_manifest() {
+  ckpt::ByteWriter writer;
+  writer.put_bytes({kManifestMagic, sizeof kManifestMagic});
+  writer.put_u8(kManifestVersion);
+  writer.put_varint(meta_.num_users);
+  writer.put_varint(meta_.num_apps);
+  writer.put_varint(ckpt::zigzag(meta_.study_begin.us));
+  writer.put_varint(ckpt::zigzag(meta_.study_end.us));
+  writer.put_varint(segments_.size());
+  for (const auto& segment : segments_) {
+    writer.put_string(fs::path(segment->path()).filename().string());
+  }
+  const std::uint64_t checksum = ckpt::fnv1a(writer.bytes());
+  for (int shift = 0; shift < 64; shift += 8) {
+    writer.put_u8(static_cast<std::uint8_t>(checksum >> shift));
+  }
+  return write_file_atomic(options_.dir, kManifestName, writer.bytes());
+}
+
+util::Status SpillingTraceStore::seal() {
+  if (!health_.ok()) return health_;
+  if (in_user_) {
+    return util::Status::failed_precondition("cannot seal a spilling store mid-user");
+  }
+  if (resident_.empty()) return util::Status::ok_status();
+  return spill_resident();
+}
+
+// --- recovery --------------------------------------------------------------
+
+util::Status SpillingTraceStore::open_existing() { return recover(); }
+
+util::Status SpillingTraceStore::recover() {
+  if (recovered_) return util::Status::ok_status();
+  recovered_ = true;
+  const fs::path manifest_path = fs::path(options_.dir) / kManifestName;
+  std::error_code ec;
+  if (!fs::exists(manifest_path, ec)) return util::Status::ok_status();  // nothing sealed yet
+
+  std::ifstream is{manifest_path, std::ios::binary};
+  if (!is) {
+    return util::Status::data_loss("cannot open segment manifest '" + manifest_path.string() +
+                                   "'");
+  }
+  std::string bytes{std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+  const auto fail = [&](const std::string& why) {
+    clear();
+    recovered_ = true;
+    return util::Status::data_loss("segment manifest '" + manifest_path.string() + "': " + why);
+  };
+  if (bytes.size() < sizeof kManifestMagic + 1 + 8) return fail("file too short");
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(
+                  static_cast<std::uint8_t>(bytes[bytes.size() - 8 + static_cast<std::size_t>(i)]))
+              << (8 * i);
+  }
+  const std::string_view body{bytes.data(), bytes.size() - 8};
+  if (ckpt::fnv1a(body) != stored) return fail("checksum mismatch");
+  if (std::memcmp(bytes.data(), kManifestMagic, sizeof kManifestMagic) != 0) {
+    return fail("bad magic");
+  }
+  if (static_cast<std::uint8_t>(bytes[4]) != kManifestVersion) return fail("unsupported version");
+
+  ckpt::ByteReader reader{body.substr(sizeof kManifestMagic + 1)};
+  const auto users = reader.get_varint("manifest users");
+  const auto apps = reader.get_varint("manifest apps");
+  const auto begin = reader.get_varint("manifest begin");
+  const auto end = reader.get_varint("manifest end");
+  const auto count = reader.get_varint("manifest segment count");
+  for (const util::Status& st :
+       {users.status(), apps.status(), begin.status(), end.status(), count.status()}) {
+    if (!st.ok()) return fail(st.message());
+  }
+  StudyMeta meta;
+  meta.num_users = static_cast<std::uint32_t>(*users);
+  meta.num_apps = static_cast<std::uint32_t>(*apps);
+  meta.study_begin.us = ckpt::unzigzag(*begin);
+  meta.study_end.us = ckpt::unzigzag(*end);
+
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto name = reader.get_string("manifest segment name");
+    if (!name.ok()) return fail(name.status().message());
+    auto segment = std::make_unique<MappedSegment>();
+    util::Status opened = segment->open((fs::path(options_.dir) / *name).string());
+    if (!opened.ok()) {
+      clear();
+      recovered_ = true;
+      return opened;
+    }
+    if (!same_meta(segment->meta(), meta)) {
+      return fail("segment '" + *name + "' was sealed for a different study");
+    }
+    const std::uint64_t seq = parse_segment_seq(*name);
+    if (seq >= next_segment_seq_) next_segment_seq_ = seq + 1;
+    spilled_bytes_ += segment->file_bytes();
+    segments_.push_back(std::move(segment));
+  }
+  if (!reader.at_end()) return fail("trailing bytes after segment list");
+
+  meta_ = meta;
+  started_ = true;
+  // Rebuild per-user chunk chains. A seq-0 chunk in a LATER segment
+  // supersedes earlier chunks (the user was recaptured after a restart);
+  // a gap in the seq chain means the tail was lost — drop the user so the
+  // next capture regenerates them rather than replaying a torn stream.
+  for (std::size_t si = 0; si < segments_.size(); ++si) {
+    const auto& chunks = segments_[si]->chunks();
+    for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+      const SegmentChunkInfo& chunk = chunks[ci];
+      auto [it, inserted] = users_.try_emplace(chunk.user);
+      if (inserted) order_.push_back(chunk.user);
+      UserState& state = it->second;
+      if (chunk.seq == 0 && !state.spilled.empty()) {
+        state.spilled.clear();
+        state.complete = false;
+        state.broken = false;
+      }
+      if (state.broken || state.complete || chunk.seq != state.spilled.size()) {
+        state.broken = true;
+        state.spilled.clear();
+        state.complete = false;
+        continue;
+      }
+      state.spilled.push_back({static_cast<std::uint32_t>(si), static_cast<std::uint32_t>(ci)});
+      state.complete = chunk.final_chunk;
+    }
+  }
+  for (auto& [user, state] : users_) {
+    if (!state.complete) {
+      state.spilled.clear();
+      state.next_seq = 0;
+      state.broken = false;
+    } else {
+      state.next_seq = static_cast<std::uint32_t>(state.spilled.size());
+    }
+  }
+  return util::Status::ok_status();
+}
+
+std::vector<UserId> SpillingTraceStore::completed_users() const {
+  std::vector<UserId> done;
+  for (const auto& [user, state] : users_) {
+    if (state.complete) done.push_back(user);  // map order: already sorted
+  }
+  return done;
+}
+
+util::Status SpillingTraceStore::capture(TraceSource& source, std::size_t batch_size) {
+  if (options_.resume) {
+    util::Status recovered = recover();
+    if (!recovered.ok()) return recovered;
+    // A sealed dir from a different study must never be silently extended.
+    // The pull loop below only surfaces the source's meta for users it
+    // actually regenerates — when every user is already complete it would
+    // never compare at all, so check up front against the manifest's meta.
+    if (!segments_.empty()) note_source_meta(source.meta());
+  }
+  if (!health_.ok()) return health_;
+  const std::vector<UserId> done = completed_users();
+  resumed_users_ = done.size();
+  util::Status emitted = util::Status::ok_status();
+  if (!done.empty() && source.supports_user_access()) {
+    // The whole point of resume: sealed users are never regenerated. Pull
+    // only the missing users; each emit_user wraps its pull in a study
+    // bracket that BracketStrip strips (after verifying it matches).
+    resuming_capture_ = true;
+    BracketStrip strip{this};
+    for (const UserId user : source.users()) {
+      if (std::binary_search(done.begin(), done.end(), user)) continue;
+      emitted = source.emit_user(user, strip, batch_size);
+      if (!emitted.ok()) break;
+    }
+    resuming_capture_ = false;
+  } else if (!done.empty()) {
+    // Forward-only source: the stream must replay in full, but completed
+    // users are dropped before they reach the columns.
+    resuming_capture_ = true;
+    ckpt::UserSkipFilter skip{this, done};
+    emitted = source.emit(skip, batch_size);
+    resuming_capture_ = false;
+  } else {
+    emitted = source.emit(*this, batch_size);
+  }
+  if (!emitted.ok()) return emitted;
+  if (options_.seal_on_capture) {
+    util::Status sealed = seal();
+    if (!sealed.ok()) return sealed;
+  }
+  return health_;
+}
+
+// --- replay ----------------------------------------------------------------
+
+util::Status SpillingTraceStore::replay_user_body(const UserState& state, UserId user,
+                                                  TraceSink& sink, std::size_t batch_size) {
+  sink.on_user_begin(user);
+  for (const ChunkRef ref : state.spilled) {
+    const MappedSegment& segment = *segments_[ref.segment];
+    util::Status replayed =
+        segment.replay_chunk(segment.chunks()[ref.chunk], sink, batch_size);
+    if (!replayed.ok()) return replayed;
+  }
+  if (state.resident != kNoResident) {
+    replay_column_span(resident_[state.resident].events, sink, batch_size);
+  }
+  sink.on_user_end(user);
+  return util::Status::ok_status();
+}
+
+util::Status SpillingTraceStore::emit(TraceSink& sink, std::size_t batch_size) {
+  if (!health_.ok()) return health_;
+  if (in_user_) {
+    return util::Status::failed_precondition("spilling store is mid-capture; cannot replay");
+  }
+  sink.on_study_begin(meta_);
+  for (const UserId user : order_) {
+    util::Status replayed = replay_user_body(users_.at(user), user, sink, batch_size);
+    if (!replayed.ok()) return replayed;
+  }
+  sink.on_study_end();
+  return util::Status::ok_status();
+}
+
+util::Status SpillingTraceStore::emit_user(UserId user, TraceSink& sink,
+                                           std::size_t batch_size) {
+  if (!health_.ok()) return health_;
+  if (in_user_) {
+    return util::Status::failed_precondition("spilling store is mid-capture; cannot replay");
+  }
+  const auto it = users_.find(user);
+  if (it == users_.end()) {
+    return util::Status::not_found("spilling store holds no user " + std::to_string(user));
+  }
+  sink.on_study_begin(meta_);
+  util::Status replayed = replay_user_body(it->second, user, sink, batch_size);
+  if (!replayed.ok()) return replayed;
+  sink.on_study_end();
+  return util::Status::ok_status();
+}
+
+// --- introspection ---------------------------------------------------------
+
+std::uint64_t SpillingTraceStore::event_count() const {
+  std::uint64_t count = in_user_ ? current_.size() : 0;
+  for (const auto& [user, state] : users_) {
+    for (const ChunkRef ref : state.spilled) {
+      count += segments_[ref.segment]->chunks()[ref.chunk].events();
+    }
+    if (state.resident != kNoResident) count += resident_[state.resident].events.size();
+  }
+  return count;
+}
+
+std::uint64_t SpillingTraceStore::memory_bytes() const {
+  std::uint64_t bytes = sizeof(*this);
+  bytes += resident_.capacity() * sizeof(ResidentChunk);
+  for (const ResidentChunk& chunk : resident_) bytes += column_bytes(chunk.events);
+  bytes += column_bytes(current_);
+  bytes += order_.capacity() * sizeof(UserId);
+  for (const auto& [user, state] : users_) {
+    bytes += sizeof(UserId) + sizeof(UserState) + 3 * sizeof(void*) + sizeof(int);
+    bytes += state.spilled.capacity() * sizeof(ChunkRef);
+  }
+  for (const auto& segment : segments_) bytes += segment->index_bytes();
+  bytes += segments_.capacity() * sizeof(std::unique_ptr<MappedSegment>);
+  return bytes;
+}
+
+void SpillingTraceStore::clear() {
+  meta_ = {};
+  users_.clear();
+  order_.clear();
+  segments_.clear();
+  resident_.clear();
+  current_ = EventBatch{};
+  in_user_ = false;
+  started_ = false;
+  resuming_capture_ = false;
+  resident_bytes_ = 0;
+  max_resident_bytes_ = 0;
+  spilled_bytes_ = 0;
+  next_segment_seq_ = 1;
+  resumed_users_ = 0;
+  health_ = util::Status::ok_status();
+}
+
+}  // namespace wildenergy::trace

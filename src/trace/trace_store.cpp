@@ -38,52 +38,10 @@ void TraceStore::on_batch(const EventBatch& batch) {
   current_->order.insert(current_->order.end(), batch.order.begin(), batch.order.end());
 }
 
-util::Status TraceStore::capture(TraceSource& source, std::size_t batch_size) {
-  return source.emit(*this, batch_size);
-}
-
 void TraceStore::replay_user(const EventBatch& events, TraceSink& sink,
                              std::size_t batch_size) const {
   sink.on_user_begin(events.user);
-  if (batch_size == 0) {
-    replay(events, sink);  // the per-record stream, in interleave order
-  } else if (events.size() <= batch_size) {
-    if (!events.empty()) sink.on_batch(events);  // whole user in one span, zero copies
-  } else {
-    // Slice the columns into batch_size spans, preserving the interleave.
-    // Contiguous packet runs (the overwhelming bulk of a stream) copy as
-    // whole ranges instead of one record per iteration.
-    EventBatch scratch;
-    scratch.user = events.user;
-    scratch.reserve(batch_size);
-    std::size_t pi = 0;
-    std::size_t ti = 0;
-    std::size_t oi = 0;
-    const std::size_t n = events.order.size();
-    while (oi < n) {
-      if (events.order[oi] == EventKind::kPacket) {
-        const std::size_t room = batch_size - scratch.size();
-        std::size_t run = 1;
-        while (run < room && oi + run < n && events.order[oi + run] == EventKind::kPacket) {
-          ++run;
-        }
-        const auto first = events.packets.begin() + static_cast<std::ptrdiff_t>(pi);
-        scratch.packets.insert(scratch.packets.end(), first,
-                               first + static_cast<std::ptrdiff_t>(run));
-        scratch.order.insert(scratch.order.end(), run, EventKind::kPacket);
-        pi += run;
-        oi += run;
-      } else {
-        scratch.add(events.transitions[ti++]);
-        ++oi;
-      }
-      if (scratch.size() >= batch_size) {
-        sink.on_batch(scratch);
-        scratch.clear();
-      }
-    }
-    if (!scratch.empty()) sink.on_batch(scratch);
-  }
+  replay_column_span(events, sink, batch_size);  // shared backend slicer
   sink.on_user_end(events.user);
 }
 
@@ -120,13 +78,17 @@ std::uint64_t TraceStore::event_count() const {
 
 std::uint64_t TraceStore::memory_bytes() const {
   std::uint64_t bytes = sizeof(*this);
+  // The outer vector's own allocation is capacity-sized: after a doubling
+  // growth the slack past size() is still resident memory.
+  bytes += users_.capacity() * sizeof(EventBatch);
   for (const EventBatch& events : users_) {
     bytes += events.packets.capacity() * sizeof(PacketRecord);
     bytes += events.transitions.capacity() * sizeof(StateTransition);
     bytes += events.order.capacity() * sizeof(EventKind);
-    bytes += sizeof(EventBatch);
   }
-  bytes += index_.size() * (sizeof(UserId) + sizeof(std::size_t) + 3 * sizeof(void*));
+  // Each map node carries the payload plus tree pointers and color.
+  bytes += index_.size() *
+           (sizeof(UserId) + sizeof(std::size_t) + 3 * sizeof(void*) + sizeof(int));
   return bytes;
 }
 

@@ -32,12 +32,13 @@
 
 #include "trace/batch.h"
 #include "trace/sink.h"
+#include "trace/store_backend.h"
 #include "trace/trace_source.h"
 #include "util/status.h"
 
 namespace wildenergy::trace {
 
-class TraceStore final : public TraceSink, public TraceSource {
+class TraceStore final : public StoreBackend {
  public:
   // -- capture (TraceSink) --------------------------------------------------
   // Feed the store like any other sink; a study bracket replaces previous
@@ -50,9 +51,6 @@ class TraceStore final : public TraceSink, public TraceSource {
   void on_study_end() override;
   void on_batch(const EventBatch& batch) override;
 
-  /// Convenience: replace contents with one full pass over `source`.
-  util::Status capture(TraceSource& source, std::size_t batch_size = kDefaultBatchSize);
-
   // -- replay (TraceSource) -------------------------------------------------
   util::Status emit(TraceSink& sink, std::size_t batch_size) override;
   util::Status emit_user(UserId user, TraceSink& sink, std::size_t batch_size) override;
@@ -62,18 +60,19 @@ class TraceStore final : public TraceSink, public TraceSource {
   /// is ascending user id, which is also the shard-merge order.
   [[nodiscard]] std::vector<UserId> users() const override;
 
-  // -- introspection --------------------------------------------------------
-  [[nodiscard]] bool empty() const { return users_.empty() && meta_.num_users == 0; }
-  [[nodiscard]] std::size_t num_users() const { return users_.size(); }
+  // -- introspection (StoreBackend) -----------------------------------------
+  [[nodiscard]] bool empty() const override { return users_.empty() && meta_.num_users == 0; }
+  [[nodiscard]] std::size_t num_users() const override { return users_.size(); }
   /// Total captured events (packets + transitions) across all users.
-  [[nodiscard]] std::uint64_t event_count() const;
-  /// Approximate resident footprint of the columns, for the sweep bench's
-  /// memory report.
-  [[nodiscard]] std::uint64_t memory_bytes() const;
+  [[nodiscard]] std::uint64_t event_count() const override;
+  /// Approximate resident footprint: counts column and index *capacity*
+  /// (allocation slack from growth is real resident memory), so spill
+  /// budgets and RunStats::MemoryStats never undercount.
+  [[nodiscard]] std::uint64_t memory_bytes() const override;
   /// One user's full column set (testing / direct consumers).
   [[nodiscard]] const EventBatch* find_user(UserId user) const;
 
-  void clear();
+  void clear() override;
 
  private:
   /// Stream one user's columns into `sink` between its user brackets.

@@ -1,0 +1,860 @@
+// Out-of-core trace plane (trace/store_backend.h, trace/segment.h,
+// trace/spilling_store.h, sim/population.h; DESIGN.md §14).
+//
+// The hard requirements under test:
+//   - WESG segments round-trip chunks bit-exactly at every batch size.
+//   - Corruption matrix (satellite of PR 9): every fault/injector.h damage
+//     kind applied to a sealed segment yields a positioned util::Status on
+//     open — never a silent wrong replay.
+//   - SpillingTraceStore replays bit-identical to the RAM TraceStore: same
+//     ledgers, figures, and analyses at batch sizes {1, 256, 4096} and
+//     thread counts {1, 2, 8}; the budget actually bounds resident columns.
+//   - Kill-and-recover: a capture killed mid-study leaves sealed segments a
+//     resuming capture reuses — only the missing users are regenerated.
+//   - Populations: user k's stream is identical at any population size, and
+//     the paper-default StudyConfig still produces the legacy streams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/figures.h"
+#include "analysis/persistence.h"
+#include "appmodel/catalog.h"
+#include "core/pipeline.h"
+#include "core/policy.h"
+#include "core/sweep.h"
+#include "energy/ledger.h"
+#include "fault/injector.h"
+#include "sim/generator.h"
+#include "sim/population.h"
+#include "sim/study_config.h"
+#include "sim/user_model.h"
+#include "trace/batch.h"
+#include "trace/segment.h"
+#include "trace/sink.h"
+#include "trace/spilling_store.h"
+#include "trace/store_backend.h"
+#include "trace/trace_store.h"
+#include "util/status.h"
+#include "util/time.h"
+
+namespace wildenergy {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh scratch directory per test; removed up front so reruns are clean.
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("wildenergy_ooc_test_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+void write_file(const fs::path& path, std::string_view bytes) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+trace::StudyMeta test_meta() {
+  trace::StudyMeta meta;
+  meta.num_users = 3;
+  meta.num_apps = 9;
+  meta.study_begin = TimePoint{1'000'000};
+  meta.study_end = TimePoint{90'000'000};
+  return meta;
+}
+
+trace::PacketRecord test_packet(trace::UserId user, std::int64_t us, std::uint32_t app,
+                                std::uint64_t bytes) {
+  trace::PacketRecord p;
+  p.time = TimePoint{us};
+  p.user = user;
+  p.app = app;
+  p.flow = 77'000 + app;
+  p.bytes = bytes;
+  p.direction = (bytes % 2) == 0 ? radio::Direction::kDownlink : radio::Direction::kUplink;
+  p.interface = (bytes % 3) == 0 ? trace::Interface::kWifi : trace::Interface::kCellular;
+  p.state = static_cast<trace::ProcessState>(app % trace::kNumProcessStates);
+  p.joules = 0.001 * static_cast<double>(bytes) + 0.125;
+  return p;
+}
+
+trace::StateTransition test_transition(trace::UserId user, std::int64_t us,
+                                       std::uint32_t app) {
+  trace::StateTransition t;
+  t.time = TimePoint{us};
+  t.user = user;
+  t.app = app;
+  t.from = static_cast<trace::ProcessState>(app % trace::kNumProcessStates);
+  t.to = static_cast<trace::ProcessState>((app + 1) % trace::kNumProcessStates);
+  return t;
+}
+
+/// A small chunk with a non-trivial packet/transition interleave, negative
+/// time deltas impossible but repeated timestamps present.
+trace::EventBatch test_chunk(trace::UserId user, std::int64_t base_us, int events) {
+  trace::EventBatch batch;
+  batch.user = user;
+  for (int i = 0; i < events; ++i) {
+    const std::int64_t us = base_us + 1'000 * (i / 2);  // timestamp ties on purpose
+    if (i % 3 == 2) {
+      batch.add(test_transition(user, us, static_cast<std::uint32_t>(i % 5)));
+    } else {
+      batch.add(test_packet(user, us, static_cast<std::uint32_t>(i % 7),
+                            static_cast<std::uint64_t>(40 + 13 * i)));
+    }
+  }
+  return batch;
+}
+
+void expect_identical_columns(const trace::EventBatch& a, const trace::EventBatch& b) {
+  ASSERT_EQ(a.order.size(), b.order.size());
+  for (std::size_t i = 0; i < a.order.size(); ++i) EXPECT_EQ(a.order[i], b.order[i]);
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (std::size_t i = 0; i < a.packets.size(); ++i) {
+    const trace::PacketRecord& pa = a.packets[i];
+    const trace::PacketRecord& pb = b.packets[i];
+    ASSERT_EQ(pa.time.us, pb.time.us);
+    ASSERT_EQ(pa.user, pb.user);
+    ASSERT_EQ(pa.app, pb.app);
+    ASSERT_EQ(pa.flow, pb.flow);
+    ASSERT_EQ(pa.bytes, pb.bytes);
+    ASSERT_EQ(pa.direction, pb.direction);
+    ASSERT_EQ(pa.interface, pb.interface);
+    ASSERT_EQ(pa.state, pb.state);
+    ASSERT_EQ(pa.joules, pb.joules);
+  }
+  ASSERT_EQ(a.transitions.size(), b.transitions.size());
+  for (std::size_t i = 0; i < a.transitions.size(); ++i) {
+    const trace::StateTransition& ta = a.transitions[i];
+    const trace::StateTransition& tb = b.transitions[i];
+    ASSERT_EQ(ta.time.us, tb.time.us);
+    ASSERT_EQ(ta.user, tb.user);
+    ASSERT_EQ(ta.app, tb.app);
+    ASSERT_EQ(ta.from, tb.from);
+    ASSERT_EQ(ta.to, tb.to);
+  }
+}
+
+/// Collects a replayed chunk into plain columns (no brackets expected).
+trace::EventBatch collect_chunk(const trace::MappedSegment& segment,
+                                const trace::SegmentChunkInfo& chunk,
+                                std::size_t batch_size) {
+  struct ColumnSink final : trace::TraceSink {
+    trace::EventBatch out;
+    void on_packet(const trace::PacketRecord& p) override { out.add(p); }
+    void on_transition(const trace::StateTransition& t) override { out.add(t); }
+  } sink;
+  const util::Status status = segment.replay_chunk(chunk, sink, batch_size);
+  EXPECT_TRUE(status.ok()) << status.to_string();
+  sink.out.user = chunk.user;
+  return sink.out;
+}
+
+// --------------------------------------------------- output comparison kit
+// Same assertions as sweep_test.cpp: EXPECT_EQ everywhere, never NEAR — an
+// out-of-core replay must be bit-identical to the RAM store, not close.
+
+void expect_identical_ledgers(const energy::EnergyLedger& a, const energy::EnergyLedger& b) {
+  EXPECT_EQ(a.total_joules(), b.total_joules());
+  EXPECT_EQ(a.total_bytes(), b.total_bytes());
+  EXPECT_EQ(a.total_packets(), b.total_packets());
+  const auto a_states = a.state_totals();
+  const auto b_states = b.state_totals();
+  for (std::size_t s = 0; s < a_states.size(); ++s) EXPECT_EQ(a_states[s], b_states[s]);
+  ASSERT_EQ(a.accounts().size(), b.accounts().size());
+  auto bit = b.accounts().begin();
+  for (const auto& acc : a.accounts()) {
+    ASSERT_EQ(acc.user, bit->user);
+    ASSERT_EQ(acc.app, bit->app);
+    const auto& other = *bit;
+    EXPECT_EQ(acc.joules, other.joules);
+    EXPECT_EQ(acc.bytes, other.bytes);
+    EXPECT_EQ(acc.packets, other.packets);
+    for (std::size_t s = 0; s < acc.state_joules.size(); ++s) {
+      EXPECT_EQ(acc.state_joules[s], other.state_joules[s]);
+    }
+    ASSERT_EQ(acc.days.size(), other.days.size());
+    for (std::size_t d = 0; d < acc.days.size(); ++d) {
+      EXPECT_EQ(acc.days[d].fg_joules, other.days[d].fg_joules);
+      EXPECT_EQ(acc.days[d].bg_joules, other.days[d].bg_joules);
+      EXPECT_EQ(acc.days[d].fg_bytes, other.days[d].fg_bytes);
+      EXPECT_EQ(acc.days[d].bg_bytes, other.days[d].bg_bytes);
+    }
+    ++bit;
+  }
+}
+
+void expect_identical_figures(const energy::EnergyLedger& a, const energy::EnergyLedger& b) {
+  const auto pop_a = analysis::top10_popularity(a);
+  const auto pop_b = analysis::top10_popularity(b);
+  ASSERT_EQ(pop_a.size(), pop_b.size());
+  for (std::size_t i = 0; i < pop_a.size(); ++i) {
+    EXPECT_EQ(pop_a[i].app, pop_b[i].app);
+    EXPECT_EQ(pop_a[i].users_with_app_in_top10, pop_b[i].users_with_app_in_top10);
+  }
+  const auto cons_a = analysis::top_consumers_by_energy(a);
+  const auto cons_b = analysis::top_consumers_by_energy(b);
+  ASSERT_EQ(cons_a.size(), cons_b.size());
+  for (std::size_t i = 0; i < cons_a.size(); ++i) {
+    EXPECT_EQ(cons_a[i].app, cons_b[i].app);
+    EXPECT_EQ(cons_a[i].bytes, cons_b[i].bytes);
+    EXPECT_EQ(cons_a[i].joules, cons_b[i].joules);
+  }
+}
+
+sim::StudyConfig ooc_study() {
+  sim::StudyConfig config = sim::small_study();
+  config.num_days = 30;
+  return config;
+}
+
+// ---------------------------------------------------------- segment format
+
+TEST(SegmentFormat, ChunksRoundTripBitExactlyAtEveryBatchSize) {
+  const fs::path dir = scratch_dir("roundtrip");
+  fs::create_directories(dir);
+  const trace::StudyMeta meta = test_meta();
+
+  std::vector<trace::EventBatch> chunks;
+  chunks.push_back(test_chunk(0, 1'500'000, 57));
+  chunks.push_back(test_chunk(2, 2'250'000, 1));   // single-event chunk
+  chunks.push_back(test_chunk(1, 9'000'000, 260)); // spans several batches
+
+  trace::SegmentWriter writer{meta};
+  writer.add_chunk(chunks[0], 0, true);
+  writer.add_chunk(chunks[1], 0, true);
+  writer.add_chunk(chunks[2], 0, true);
+  EXPECT_EQ(writer.chunk_count(), 3u);
+  const fs::path file = dir / "seg_000001.wesg";
+  write_file(file, writer.finish());
+
+  trace::MappedSegment segment;
+  const util::Status opened = segment.open(file.string());
+  ASSERT_TRUE(opened.ok()) << opened.to_string();
+  EXPECT_EQ(segment.meta().num_users, meta.num_users);
+  EXPECT_EQ(segment.meta().num_apps, meta.num_apps);
+  EXPECT_EQ(segment.meta().study_begin.us, meta.study_begin.us);
+  EXPECT_EQ(segment.meta().study_end.us, meta.study_end.us);
+  ASSERT_EQ(segment.chunks().size(), 3u);
+
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    const trace::SegmentChunkInfo& info = segment.chunks()[c];
+    EXPECT_EQ(info.user, chunks[c].user);
+    EXPECT_TRUE(info.final_chunk);
+    EXPECT_EQ(info.packets, chunks[c].packets.size());
+    EXPECT_EQ(info.transitions, chunks[c].transitions.size());
+    for (const std::size_t batch_size : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                                         std::size_t{4096}}) {
+      const trace::EventBatch replayed = collect_chunk(segment, info, batch_size);
+      expect_identical_columns(chunks[c], replayed);
+    }
+  }
+}
+
+TEST(SegmentFormat, EmptyChunkRoundTrips) {
+  const fs::path dir = scratch_dir("empty_chunk");
+  fs::create_directories(dir);
+  trace::EventBatch empty;
+  empty.user = 5;
+  trace::SegmentWriter writer{test_meta()};
+  writer.add_chunk(empty, 0, true);
+  const fs::path file = dir / "seg_000001.wesg";
+  write_file(file, writer.finish());
+
+  trace::MappedSegment segment;
+  ASSERT_TRUE(segment.open(file.string()).ok());
+  ASSERT_EQ(segment.chunks().size(), 1u);
+  EXPECT_EQ(segment.chunks()[0].user, 5u);
+  EXPECT_EQ(segment.chunks()[0].events(), 0u);
+  const trace::EventBatch replayed = collect_chunk(segment, segment.chunks()[0], 256);
+  EXPECT_TRUE(replayed.empty());
+}
+
+// ------------------------------------------------------- corruption matrix
+// Sealed segments under every fault/injector.h damage kind: open must fail
+// with a positioned status naming the file, or — when the corruption is
+// degenerate and the bytes are unchanged — decode and replay identically.
+
+TEST(SegmentCorruption, EveryDamageKindIsDetectedNeverSilent) {
+  const fs::path dir = scratch_dir("corruption");
+  fs::create_directories(dir);
+  trace::SegmentWriter writer{test_meta()};
+  const trace::EventBatch chunk_a = test_chunk(0, 1'200'000, 120);
+  const trace::EventBatch chunk_b = test_chunk(1, 3'400'000, 75);
+  writer.add_chunk(chunk_a, 0, true);
+  writer.add_chunk(chunk_b, 0, true);
+  const fs::path file = dir / "seg_000001.wesg";
+  const std::string clean = writer.finish();
+  write_file(file, clean);
+  {
+    trace::MappedSegment segment;
+    ASSERT_TRUE(segment.open(file.string()).ok());
+  }
+
+  for (const fault::CorruptionKind kind :
+       {fault::CorruptionKind::kBitFlip, fault::CorruptionKind::kTruncate,
+        fault::CorruptionKind::kDuplicateSpan, fault::CorruptionKind::kSwapSpans}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto damaged = fault::apply_corruption(clean, {kind, seed});
+      ASSERT_TRUE(damaged.ok());
+      write_file(file, *damaged);
+
+      trace::MappedSegment segment;
+      const util::Status opened = segment.open(file.string());
+      if (*damaged == clean) {
+        // Degenerate corruption (e.g. swapping identical spans): the bytes
+        // did not change, so the segment must still open and replay.
+        ASSERT_TRUE(opened.ok())
+            << fault::to_string(kind) << " seed " << seed << ": " << opened.to_string();
+        ASSERT_EQ(segment.chunks().size(), 2u);
+        expect_identical_columns(chunk_a, collect_chunk(segment, segment.chunks()[0], 64));
+        expect_identical_columns(chunk_b, collect_chunk(segment, segment.chunks()[1], 64));
+      } else {
+        ASSERT_FALSE(opened.ok())
+            << fault::to_string(kind) << " seed " << seed << ": damage went undetected";
+        EXPECT_EQ(opened.code(), util::StatusCode::kDataLoss);
+        EXPECT_NE(opened.message().find("seg_000001.wesg"), std::string::npos)
+            << "status does not name the damaged file: " << opened.message();
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------- spilling store
+
+TEST(SpillingStore, ReplayBitIdenticalToRamStoreAcrossBatchAndThreads) {
+  const fs::path dir = scratch_dir("bit_identical");
+  const sim::StudyConfig config = ooc_study();
+  sim::StudyGenerator generator{config};
+
+  trace::TraceStore ram;
+  ASSERT_TRUE(ram.capture(generator).ok());
+
+  trace::SpillOptions spill;
+  spill.dir = dir.string();
+  spill.budget_bytes = 64 * 1024;  // small enough to force several spills
+  trace::SpillingTraceStore spilling{spill};
+  ASSERT_TRUE(spilling.capture(generator).ok());
+  ASSERT_TRUE(spilling.health().ok());
+  EXPECT_GT(spilling.num_segments(), 0u);
+  EXPECT_GT(spilling.spilled_bytes(), 0u);
+  EXPECT_EQ(spilling.event_count(), ram.event_count());
+
+  for (const std::size_t batch_size : {std::size_t{1}, std::size_t{256}, std::size_t{4096}}) {
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      core::PipelineOptions options;
+      options.batch_size = batch_size;
+      options.num_threads = threads;
+
+      core::StudyPipeline ram_pipeline{&ram, options};
+      analysis::PersistenceAnalysis ram_persistence;
+      ram_pipeline.add_analysis("persistence", &ram_persistence);
+      const auto ram_stats = ram_pipeline.run();
+      ASSERT_TRUE(ram_stats.ok()) << ram_stats.status().to_string();
+
+      core::StudyPipeline ooc_pipeline{&spilling, options};
+      analysis::PersistenceAnalysis ooc_persistence;
+      ooc_pipeline.add_analysis("persistence", &ooc_persistence);
+      const auto ooc_stats = ooc_pipeline.run();
+      ASSERT_TRUE(ooc_stats.ok()) << ooc_stats.status().to_string();
+
+      SCOPED_TRACE("batch_size=" + std::to_string(batch_size) +
+                   " threads=" + std::to_string(threads));
+      EXPECT_EQ(ram_stats->packets, ooc_stats->packets);
+      EXPECT_EQ(ram_stats->transitions, ooc_stats->transitions);
+      EXPECT_EQ(ram_stats->bytes, ooc_stats->bytes);
+      EXPECT_EQ(ram_stats->joules, ooc_stats->joules);
+      expect_identical_ledgers(ram_pipeline.ledger(), ooc_pipeline.ledger());
+      expect_identical_figures(ram_pipeline.ledger(), ooc_pipeline.ledger());
+      EXPECT_EQ(ram_persistence.memory_bytes() > 0, ooc_persistence.memory_bytes() > 0);
+      EXPECT_GT(ooc_stats->memory.store_spilled_bytes, 0u);
+    }
+  }
+}
+
+TEST(SpillingStore, EmitUserMatchesRamColumns) {
+  const fs::path dir = scratch_dir("emit_user");
+  const sim::StudyConfig config = ooc_study();
+  sim::StudyGenerator generator{config};
+  trace::TraceStore ram;
+  ASSERT_TRUE(ram.capture(generator).ok());
+  trace::SpillOptions spill;
+  spill.dir = dir.string();
+  spill.budget_bytes = 32 * 1024;
+  trace::SpillingTraceStore spilling{spill};
+  ASSERT_TRUE(spilling.capture(generator).ok());
+  ASSERT_EQ(spilling.users(), ram.users());
+
+  for (const trace::UserId user : ram.users()) {
+    for (const std::size_t batch_size :
+         {std::size_t{0}, std::size_t{1}, std::size_t{4096}}) {
+      trace::TraceCollector from_ram;
+      trace::TraceCollector from_spill;
+      ASSERT_TRUE(ram.emit_user(user, from_ram, batch_size).ok());
+      ASSERT_TRUE(spilling.emit_user(user, from_spill, batch_size).ok());
+      SCOPED_TRACE("user=" + std::to_string(user) +
+                   " batch_size=" + std::to_string(batch_size));
+      trace::EventBatch a;
+      for (const auto& p : from_ram.packets()) a.add(p);
+      trace::EventBatch b;
+      for (const auto& p : from_spill.packets()) b.add(p);
+      ASSERT_EQ(from_ram.packets().size(), from_spill.packets().size());
+      ASSERT_EQ(from_ram.transitions().size(), from_spill.transitions().size());
+      for (std::size_t i = 0; i < from_ram.packets().size(); ++i) {
+        ASSERT_EQ(from_ram.packets()[i].time.us, from_spill.packets()[i].time.us);
+        ASSERT_EQ(from_ram.packets()[i].bytes, from_spill.packets()[i].bytes);
+        ASSERT_EQ(from_ram.packets()[i].joules, from_spill.packets()[i].joules);
+        ASSERT_EQ(from_ram.packets()[i].flow, from_spill.packets()[i].flow);
+      }
+      for (std::size_t i = 0; i < from_ram.transitions().size(); ++i) {
+        ASSERT_EQ(from_ram.transitions()[i].time.us, from_spill.transitions()[i].time.us);
+        ASSERT_EQ(from_ram.transitions()[i].app, from_spill.transitions()[i].app);
+      }
+    }
+  }
+}
+
+TEST(SpillingStore, BudgetBoundsResidentColumns) {
+  const fs::path dir = scratch_dir("budget");
+  const sim::StudyConfig config = ooc_study();
+  sim::StudyGenerator generator{config};
+
+  trace::TraceStore ram;
+  ASSERT_TRUE(ram.capture(generator).ok());
+  const std::uint64_t full_bytes = ram.memory_bytes();
+  ASSERT_GT(full_bytes, 128u * 1024u);
+
+  trace::SpillOptions spill;
+  spill.dir = dir.string();
+  spill.budget_bytes = 48 * 1024;
+  trace::SpillingTraceStore spilling{spill};
+  ASSERT_TRUE(spilling.capture(generator).ok());
+  // The high-water mark of resident columns stays far below full residency
+  // (one user's in-flight chunk can overshoot the budget transiently before
+  // the mid-user split seals it, so the bound has slack but is real).
+  EXPECT_LT(spilling.max_resident_bytes(), full_bytes / 2);
+  EXPECT_GT(spilling.num_segments(), 1u);
+  // After a sealed capture everything lives on disk.
+  EXPECT_LT(spilling.memory_bytes(), full_bytes / 2);
+  EXPECT_GT(spilling.spilled_bytes(), 0u);
+}
+
+TEST(SpillingStore, FullyOutOfCoreAndResidentTailModes) {
+  const sim::StudyConfig config = ooc_study();
+  sim::StudyGenerator generator{config};
+  trace::TraceStore ram;
+  ASSERT_TRUE(ram.capture(generator).ok());
+
+  // budget 0: every user spills as soon as their bracket closes.
+  {
+    const fs::path dir = scratch_dir("all_disk");
+    trace::SpillOptions spill;
+    spill.dir = dir.string();
+    spill.budget_bytes = 0;
+    trace::SpillingTraceStore store{spill};
+    ASSERT_TRUE(store.capture(generator).ok());
+    EXPECT_GT(store.num_segments(), 0u);
+    trace::TraceCollector a;
+    trace::TraceCollector b;
+    ASSERT_TRUE(ram.emit(a, 256).ok());
+    ASSERT_TRUE(store.emit(b, 256).ok());
+    ASSERT_EQ(a.packets().size(), b.packets().size());
+    ASSERT_EQ(a.transitions().size(), b.transitions().size());
+  }
+
+  // Huge budget + seal_on_capture off: nothing spills, the resident tail
+  // replay path alone must still match.
+  {
+    const fs::path dir = scratch_dir("all_ram");
+    trace::SpillOptions spill;
+    spill.dir = dir.string();
+    spill.budget_bytes = 1ull << 32;
+    spill.seal_on_capture = false;
+    trace::SpillingTraceStore store{spill};
+    ASSERT_TRUE(store.capture(generator).ok());
+    EXPECT_EQ(store.num_segments(), 0u);
+    EXPECT_EQ(store.spilled_bytes(), 0u);
+    trace::TraceCollector a;
+    trace::TraceCollector b;
+    ASSERT_TRUE(ram.emit(a, 64).ok());
+    ASSERT_TRUE(store.emit(b, 64).ok());
+    ASSERT_EQ(a.packets().size(), b.packets().size());
+    ASSERT_EQ(a.transitions().size(), b.transitions().size());
+    for (std::size_t i = 0; i < a.packets().size(); ++i) {
+      ASSERT_EQ(a.packets()[i].time.us, b.packets()[i].time.us);
+      ASSERT_EQ(a.packets()[i].joules, b.packets()[i].joules);
+    }
+  }
+
+  // Mid-size budget + seal off: mixed sealed-segment + resident-tail replay.
+  {
+    const fs::path dir = scratch_dir("mixed");
+    trace::SpillOptions spill;
+    spill.dir = dir.string();
+    spill.budget_bytes = 96 * 1024;
+    spill.seal_on_capture = false;
+    trace::SpillingTraceStore store{spill};
+    ASSERT_TRUE(store.capture(generator).ok());
+    trace::TraceCollector a;
+    trace::TraceCollector b;
+    ASSERT_TRUE(ram.emit(a, 256).ok());
+    ASSERT_TRUE(store.emit(b, 256).ok());
+    ASSERT_EQ(a.packets().size(), b.packets().size());
+    ASSERT_EQ(a.transitions().size(), b.transitions().size());
+    for (std::size_t i = 0; i < a.packets().size(); ++i) {
+      ASSERT_EQ(a.packets()[i].time.us, b.packets()[i].time.us);
+      ASSERT_EQ(a.packets()[i].joules, b.packets()[i].joules);
+    }
+  }
+}
+
+TEST(SpillingStore, TinyBudgetSplitsUsersIntoChunks) {
+  const fs::path dir = scratch_dir("split");
+  const sim::StudyConfig config = ooc_study();
+  sim::StudyGenerator generator{config};
+  trace::TraceStore ram;
+  ASSERT_TRUE(ram.capture(generator).ok());
+
+  trace::SpillOptions spill;
+  spill.dir = dir.string();
+  spill.budget_bytes = 4 * 1024;  // far below one user's stream
+  trace::SpillingTraceStore store{spill};
+  ASSERT_TRUE(store.capture(generator).ok());
+
+  std::size_t total_chunks = 0;
+  bool saw_non_final = false;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".wesg") continue;
+    trace::MappedSegment segment;
+    ASSERT_TRUE(segment.open(entry.path().string()).ok());
+    total_chunks += segment.chunks().size();
+    for (const auto& chunk : segment.chunks()) {
+      if (!chunk.final_chunk) saw_non_final = true;
+    }
+  }
+  EXPECT_GT(total_chunks, ram.num_users());  // at least one user was split
+  EXPECT_TRUE(saw_non_final);
+
+  trace::TraceCollector a;
+  trace::TraceCollector b;
+  ASSERT_TRUE(ram.emit(a, 256).ok());
+  ASSERT_TRUE(store.emit(b, 256).ok());
+  ASSERT_EQ(a.packets().size(), b.packets().size());
+  for (std::size_t i = 0; i < a.packets().size(); ++i) {
+    ASSERT_EQ(a.packets()[i].time.us, b.packets()[i].time.us);
+    ASSERT_EQ(a.packets()[i].bytes, b.packets()[i].bytes);
+    ASSERT_EQ(a.packets()[i].joules, b.packets()[i].joules);
+  }
+}
+
+TEST(SpillingStore, ResumeWithDifferentStudyFails) {
+  const fs::path dir = scratch_dir("stale_meta");
+  {
+    sim::StudyGenerator generator{ooc_study()};
+    trace::SpillOptions spill;
+    spill.dir = dir.string();
+    trace::SpillingTraceStore store{spill};
+    ASSERT_TRUE(store.capture(generator).ok());
+  }
+  sim::StudyConfig other = ooc_study();
+  other.num_days = 45;  // different study => different meta
+  sim::StudyGenerator generator{other};
+  trace::SpillOptions spill;
+  spill.dir = dir.string();
+  spill.resume = true;
+  trace::SpillingTraceStore store{spill};
+  const util::Status status = store.capture(generator);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(SpillingStore, MissingUserIsNotFound) {
+  const fs::path dir = scratch_dir("not_found");
+  sim::StudyGenerator generator{ooc_study()};
+  trace::SpillOptions spill;
+  spill.dir = dir.string();
+  trace::SpillingTraceStore store{spill};
+  ASSERT_TRUE(store.capture(generator).ok());
+  trace::TraceCollector sink;
+  const util::Status status = store.emit_user(9999, sink, 256);
+  EXPECT_EQ(status.code(), util::StatusCode::kNotFound);
+}
+
+// ----------------------------------------------------- sweep over backends
+
+TEST(SweepStoreBackend, SpillingSweepMatchesRamSweep) {
+  const sim::StudyConfig config = ooc_study();
+
+  const auto add_scenarios = [](core::SweepEngine& sweep) {
+    sweep.add_scenario({.name = "baseline"});
+    core::Scenario kill;
+    kill.name = "kill-3d";
+    kill.policy = [](trace::TraceSink* downstream) {
+      return std::make_unique<core::KillAfterIdlePolicy>(downstream, days(3.0));
+    };
+    sweep.add_scenario(std::move(kill));
+  };
+
+  sim::StudyGenerator ram_gen{config};
+  core::SweepEngine ram_sweep{&ram_gen, {.num_threads = 2}};
+  add_scenarios(ram_sweep);
+  const auto ram_stats = ram_sweep.run();
+  ASSERT_TRUE(ram_stats.ok()) << ram_stats.status().to_string();
+
+  const fs::path dir = scratch_dir("sweep");
+  sim::StudyGenerator ooc_gen{config};
+  core::SweepOptions options;
+  options.num_threads = 2;
+  options.store_dir = dir.string();
+  options.store_budget_bytes = 64 * 1024;
+  core::SweepEngine ooc_sweep{&ooc_gen, options};
+  add_scenarios(ooc_sweep);
+  const auto ooc_stats = ooc_sweep.run();
+  ASSERT_TRUE(ooc_stats.ok()) << ooc_stats.status().to_string();
+
+  EXPECT_GT(ooc_sweep.store().spilled_bytes(), 0u);
+  EXPECT_GT(ooc_stats->memory.store_spilled_bytes, 0u);
+  ASSERT_EQ(ram_sweep.results().size(), ooc_sweep.results().size());
+  for (std::size_t i = 0; i < ram_sweep.results().size(); ++i) {
+    SCOPED_TRACE(ram_sweep.results()[i].name);
+    ASSERT_TRUE(ooc_sweep.results()[i].status.ok());
+    expect_identical_ledgers(ram_sweep.results()[i].ledger, ooc_sweep.results()[i].ledger);
+    expect_identical_figures(ram_sweep.results()[i].ledger, ooc_sweep.results()[i].ledger);
+    EXPECT_EQ(ram_sweep.results()[i].stats.packets, ooc_sweep.results()[i].stats.packets);
+    EXPECT_EQ(ram_sweep.results()[i].stats.joules, ooc_sweep.results()[i].stats.joules);
+  }
+}
+
+// -------------------------------------------------------- kill and recover
+
+/// Forwards to the store until `kill_after` user brackets have closed, then
+/// simulates a crash mid-capture by throwing.
+class KillAfterUsersSink final : public trace::TraceSink {
+ public:
+  KillAfterUsersSink(trace::TraceSink* downstream, std::size_t kill_after)
+      : downstream_(downstream), kill_after_(kill_after) {}
+
+  void on_study_begin(const trace::StudyMeta& meta) override {
+    downstream_->on_study_begin(meta);
+  }
+  void on_user_begin(trace::UserId user) override { downstream_->on_user_begin(user); }
+  void on_packet(const trace::PacketRecord& p) override { downstream_->on_packet(p); }
+  void on_transition(const trace::StateTransition& t) override {
+    downstream_->on_transition(t);
+  }
+  void on_batch(const trace::EventBatch& batch) override { downstream_->on_batch(batch); }
+  void on_user_end(trace::UserId user) override {
+    downstream_->on_user_end(user);
+    if (++users_done_ >= kill_after_) throw std::runtime_error("killed mid-capture");
+  }
+  void on_study_end() override { downstream_->on_study_end(); }
+
+ private:
+  trace::TraceSink* downstream_;
+  std::size_t kill_after_;
+  std::size_t users_done_ = 0;
+};
+
+/// Counts per-user pulls, to prove a resuming capture never regenerates a
+/// user the sealed segments already cover.
+class CountingGenerator final : public sim::StudyGenerator {
+ public:
+  using sim::StudyGenerator::StudyGenerator;
+  util::Status emit_user(trace::UserId user, trace::TraceSink& sink,
+                         std::size_t batch_size) override {
+    pulled.push_back(user);
+    return sim::StudyGenerator::emit_user(user, sink, batch_size);
+  }
+  std::vector<trace::UserId> pulled;
+};
+
+TEST(SpillKillRecover, ResumeReusesSealedSegmentsAndPullsOnlyMissingUsers) {
+  const fs::path dir = scratch_dir("kill_recover");
+  const sim::StudyConfig config = ooc_study();
+  constexpr std::size_t kKillAfter = 3;
+
+  trace::TraceStore ram;
+  {
+    sim::StudyGenerator generator{config};
+    ASSERT_TRUE(ram.capture(generator).ok());
+  }
+  const std::size_t num_users = ram.num_users();
+  ASSERT_GT(num_users, kKillAfter);
+
+  // Crash mid-capture: budget 0 seals (and manifests) each user at its
+  // bracket close, so the first kKillAfter users survive the kill.
+  {
+    sim::StudyGenerator generator{config};
+    trace::SpillOptions spill;
+    spill.dir = dir.string();
+    spill.budget_bytes = 0;
+    trace::SpillingTraceStore store{spill};
+    KillAfterUsersSink killer{&store, kKillAfter};
+    EXPECT_THROW(generator.run(killer, 256), std::runtime_error);
+  }
+
+  // Resume: only the users the sealed segments do not cover are pulled.
+  CountingGenerator generator{config};
+  trace::SpillOptions spill;
+  spill.dir = dir.string();
+  spill.budget_bytes = 0;
+  spill.resume = true;
+  trace::SpillingTraceStore store{spill};
+  const util::Status captured = store.capture(generator, 256);
+  ASSERT_TRUE(captured.ok()) << captured.to_string();
+  EXPECT_EQ(store.resumed_users(), kKillAfter);
+  EXPECT_EQ(generator.pulled.size(), num_users - kKillAfter);
+  for (const trace::UserId user : generator.pulled) {
+    EXPECT_GE(user, static_cast<trace::UserId>(kKillAfter));
+  }
+
+  // The recovered + completed store replays the full study bit-identically.
+  trace::TraceCollector a;
+  trace::TraceCollector b;
+  ASSERT_TRUE(ram.emit(a, 256).ok());
+  ASSERT_TRUE(store.emit(b, 256).ok());
+  ASSERT_EQ(a.packets().size(), b.packets().size());
+  ASSERT_EQ(a.transitions().size(), b.transitions().size());
+  for (std::size_t i = 0; i < a.packets().size(); ++i) {
+    ASSERT_EQ(a.packets()[i].time.us, b.packets()[i].time.us);
+    ASSERT_EQ(a.packets()[i].user, b.packets()[i].user);
+    ASSERT_EQ(a.packets()[i].bytes, b.packets()[i].bytes);
+    ASSERT_EQ(a.packets()[i].joules, b.packets()[i].joules);
+  }
+
+  // A second resuming capture has nothing left to pull.
+  CountingGenerator again{config};
+  trace::SpillOptions spill2;
+  spill2.dir = dir.string();
+  spill2.resume = true;
+  trace::SpillingTraceStore store2{spill2};
+  ASSERT_TRUE(store2.capture(again, 256).ok());
+  EXPECT_EQ(store2.resumed_users(), num_users);
+  EXPECT_TRUE(again.pulled.empty());
+}
+
+// -------------------------------------------------------------- population
+
+TEST(Population, UserStreamsInvariantAcrossPopulationSize) {
+  sim::PopulationConfig small_pop;
+  small_pop.num_users = 5;
+  small_pop.num_days = 3;
+  sim::PopulationConfig large_pop = small_pop;
+  large_pop.num_users = 50;
+
+  sim::StudyGenerator small_gen{small_pop.study()};
+  sim::StudyGenerator large_gen{large_pop.study()};
+  for (trace::UserId user = 0; user < small_pop.num_users; ++user) {
+    trace::TraceCollector a;
+    trace::TraceCollector b;
+    ASSERT_TRUE(small_gen.emit_user(user, a, 0).ok());
+    ASSERT_TRUE(large_gen.emit_user(user, b, 0).ok());
+    SCOPED_TRACE("user=" + std::to_string(user));
+    ASSERT_EQ(a.packets().size(), b.packets().size());
+    ASSERT_EQ(a.transitions().size(), b.transitions().size());
+    for (std::size_t i = 0; i < a.packets().size(); ++i) {
+      ASSERT_EQ(a.packets()[i].time.us, b.packets()[i].time.us);
+      ASSERT_EQ(a.packets()[i].app, b.packets()[i].app);
+      ASSERT_EQ(a.packets()[i].bytes, b.packets()[i].bytes);
+      ASSERT_EQ(a.packets()[i].flow, b.packets()[i].flow);
+    }
+    for (std::size_t i = 0; i < a.transitions().size(); ++i) {
+      ASSERT_EQ(a.transitions()[i].time.us, b.transitions()[i].time.us);
+      ASSERT_EQ(a.transitions()[i].app, b.transitions()[i].app);
+    }
+  }
+}
+
+TEST(Population, PaperDefaultsKeepLegacyBehaviour) {
+  // The gated knobs default off: no personal diurnal profile, and the
+  // profile-aware weight function degrades to the shared legacy curve.
+  const sim::StudyConfig config = sim::small_study();
+  for (trace::UserId user = 0; user < 4; ++user) {
+    const sim::DiurnalProfile profile = sim::make_user_diurnal(config, user);
+    EXPECT_FALSE(profile.personal);
+    for (const double hour : {0.5, 8.5, 13.0, 20.0, 23.9}) {
+      EXPECT_EQ(sim::diurnal_weight(hour, profile), sim::diurnal_weight(hour));
+    }
+  }
+}
+
+TEST(Population, DiurnalSigmaPersonalizesProfiles) {
+  sim::StudyConfig config = sim::small_study();
+  config.diurnal_shift_sigma_hours = 1.5;
+  config.diurnal_weight_sigma = 0.3;
+  const sim::DiurnalProfile p0 = sim::make_user_diurnal(config, 0);
+  const sim::DiurnalProfile p1 = sim::make_user_diurnal(config, 1);
+  EXPECT_TRUE(p0.personal);
+  EXPECT_TRUE(p1.personal);
+  EXPECT_NE(p0.shift_hours, p1.shift_hours);
+  // Deterministic per user: rebuilding yields the same profile.
+  const sim::DiurnalProfile p0_again = sim::make_user_diurnal(config, 0);
+  EXPECT_EQ(p0.shift_hours, p0_again.shift_hours);
+  EXPECT_EQ(p0.morning, p0_again.morning);
+
+  // The personalized study produces a different stream than the default one.
+  sim::StudyConfig base = sim::small_study();
+  base.num_days = 5;
+  sim::StudyConfig shifted = base;
+  shifted.diurnal_shift_sigma_hours = 1.5;
+  sim::StudyGenerator base_gen{base};
+  sim::StudyGenerator shifted_gen{shifted};
+  trace::TraceCollector a;
+  trace::TraceCollector b;
+  ASSERT_TRUE(base_gen.emit_user(0, a, 0).ok());
+  ASSERT_TRUE(shifted_gen.emit_user(0, b, 0).ok());
+  bool differs = a.packets().size() != b.packets().size();
+  for (std::size_t i = 0; !differs && i < a.packets().size(); ++i) {
+    differs = a.packets()[i].time.us != b.packets()[i].time.us;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Population, InstallScaleSparsifiesPortfolios) {
+  const sim::StudyConfig dense = sim::small_study();
+  sim::StudyConfig sparse = dense;
+  sparse.install_scale = 0.25;
+  const auto catalog = appmodel::AppCatalog::full_catalog(dense.seed, dense.total_apps);
+  std::size_t dense_installed = 0;
+  std::size_t sparse_installed = 0;
+  for (trace::UserId user = 0; user < 12; ++user) {
+    dense_installed += sim::make_user_plan(dense, catalog, user).installed.size();
+    sparse_installed += sim::make_user_plan(sparse, catalog, user).installed.size();
+  }
+  EXPECT_LT(sparse_installed, dense_installed);
+  EXPECT_GT(sparse_installed, 0u);
+}
+
+// ------------------------------------------------------ memory accounting
+
+TEST(TraceStoreMemory, MemoryBytesCoversColumnsAndIndex) {
+  sim::StudyGenerator generator{ooc_study()};
+  trace::TraceStore store;
+  ASSERT_TRUE(store.capture(generator).ok());
+
+  std::uint64_t payload = 0;
+  std::size_t users = 0;
+  for (const trace::UserId user : store.users()) {
+    const trace::EventBatch* events = store.find_user(user);
+    ASSERT_NE(events, nullptr);
+    payload += events->packets.size() * sizeof(trace::PacketRecord) +
+               events->transitions.size() * sizeof(trace::StateTransition) +
+               events->order.size() * sizeof(trace::EventKind);
+    ++users;
+  }
+  // Capacity accounting can only exceed the payload, and the per-user
+  // EventBatch headers plus the user index must be counted on top.
+  EXPECT_GE(store.memory_bytes(),
+            payload + users * sizeof(trace::EventBatch) +
+                users * (sizeof(trace::UserId) + sizeof(std::size_t)));
+}
+
+}  // namespace
+}  // namespace wildenergy
