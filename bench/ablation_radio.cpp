@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "sim/generator.h"
 #include "radio/burst_machine.h"
 #include "util/table.h"
 
@@ -75,7 +76,8 @@ int main() {
   for (const auto& f : factories) {
     core::PipelineOptions options;
     options.radio_factory = f.make;
-    core::StudyPipeline pipeline{cfg, options};
+    sim::StudyGenerator generator{cfg};
+    core::StudyPipeline pipeline{&generator, options};
     pipeline.run();
     const auto& st = pipeline.ledger().state_totals();
     const double total = pipeline.ledger().total_joules();

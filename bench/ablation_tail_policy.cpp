@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "sim/generator.h"
 #include "util/table.h"
 
 #include "bench_util.h"
@@ -18,12 +19,14 @@ int main() {
   const sim::StudyConfig cfg = benchutil::config_from_env(/*default_days=*/100);
   benchutil::print_header("Ablation: tail attribution rule (last-packet vs proportional)", cfg);
 
-  core::StudyPipeline last{cfg};
+  sim::StudyGenerator last_gen{cfg};
+  core::StudyPipeline last{&last_gen};
   last.run();
 
   core::PipelineOptions options;
   options.tail_policy = energy::TailPolicy::kProportional;
-  core::StudyPipeline prop{cfg, options};
+  sim::StudyGenerator prop_gen{cfg};
+  core::StudyPipeline prop{&prop_gen, options};
   prop.run();
 
   std::cout << "device totals: last-packet " << fmt(last.ledger().total_joules() / 1e3, 1)
@@ -47,7 +50,7 @@ int main() {
     const double b = prop.ledger().app_total(app).joules;
     const double delta = a > 0 ? 100.0 * (b - a) / a : 0.0;
     max_delta = std::max(max_delta, std::abs(delta));
-    table.add_row({last.catalog().name(app), fmt(a / 1e3, 2), fmt(b / 1e3, 2), fmt(delta, 2)});
+    table.add_row({last_gen.catalog().name(app), fmt(a / 1e3, 2), fmt(b / 1e3, 2), fmt(delta, 2)});
   }
   table.print(std::cout);
 

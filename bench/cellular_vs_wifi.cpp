@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "core/pipeline.h"
+#include "sim/generator.h"
 #include "radio/burst_machine.h"
 #include "util/table.h"
 
@@ -35,7 +36,8 @@ int main() {
     core::PipelineOptions options;
     options.interface = pass.interface;
     options.radio_factory = pass.factory;
-    core::StudyPipeline pipeline{cfg, options};
+    sim::StudyGenerator generator{cfg};
+    core::StudyPipeline pipeline{&generator, options};
     pipeline.run();
     pass.joules = pipeline.ledger().total_joules();
     pass.bytes = pipeline.ledger().total_bytes();

@@ -49,7 +49,8 @@ Measured timed_run(const sim::StudyConfig& cfg, unsigned threads,
   options.checkpoint_every_users = every_users;
   options.resume = resume;
   options.fault_plan = plan;
-  core::StudyPipeline pipeline{cfg, options};
+  sim::StudyGenerator generator{cfg};
+  core::StudyPipeline pipeline{&generator, options};
   const auto start = std::chrono::steady_clock::now();
   auto stats = pipeline.run();
   const double wall_ms =

@@ -175,7 +175,8 @@ int main() {
     options.failure_policy = core::FailurePolicy::kRetryThenSkip;
     options.max_shard_retries = 2;
     options.fault_plan = ec.fail_attempts > 0 ? &plan : nullptr;
-    core::StudyPipeline pipeline{cfg, options};
+    sim::StudyGenerator generator{cfg};
+    core::StudyPipeline pipeline{&generator, options};
     const auto result = pipeline.run();
     if (!result.ok()) {
       std::cerr << ec.label << ": run failed: " << result.status().message() << "\n";

@@ -9,6 +9,7 @@
 #include "analysis/diversity.h"
 #include "analysis/figures.h"
 #include "core/pipeline.h"
+#include "sim/generator.h"
 #include "util/table.h"
 
 #include "bench_util.h"
@@ -18,14 +19,15 @@ int main() {
   const sim::StudyConfig cfg = benchutil::config_from_env();
   benchutil::print_header("Figure 1: top-10 (by data) membership counts", cfg);
 
-  core::StudyPipeline pipeline{cfg};
+  sim::StudyGenerator generator{cfg};
+  core::StudyPipeline pipeline{&generator};
   const auto run_stats = pipeline.run();
   if (!run_stats.ok()) return 1;
 
   const auto entries = analysis::top10_popularity(pipeline.ledger(), /*min_users=*/2);
   TextTable table({"app", "users with app in top-10", ""});
   for (const auto& e : entries) {
-    table.add_row({pipeline.catalog().name(e.app), std::to_string(e.users_with_app_in_top10),
+    table.add_row({generator.catalog().name(e.app), std::to_string(e.users_with_app_in_top10),
                    ascii_bar(e.users_with_app_in_top10, cfg.num_users, 20)});
   }
   table.print(std::cout);

@@ -9,6 +9,7 @@
 
 #include "analysis/figures.h"
 #include "core/pipeline.h"
+#include "sim/generator.h"
 #include "util/table.h"
 
 #include "bench_util.h"
@@ -18,11 +19,12 @@ int main() {
   const sim::StudyConfig cfg = benchutil::config_from_env();
   benchutil::print_header("Figure 2: top data and energy consumers", cfg);
 
-  core::StudyPipeline pipeline{cfg};
+  sim::StudyGenerator generator{cfg};
+  core::StudyPipeline pipeline{&generator};
   const auto run_stats = pipeline.run();
   if (!run_stats.ok()) return 1;
   const auto& ledger = pipeline.ledger();
-  const auto& catalog = pipeline.catalog();
+  const auto& catalog = generator.catalog();
 
   std::cout << "-- top 10 by data --\n";
   TextTable by_data({"app", "data (MB)", "energy (kJ)", "uJ/B"});

@@ -10,6 +10,7 @@
 
 #include "analysis/figures.h"
 #include "core/pipeline.h"
+#include "sim/generator.h"
 #include "util/table.h"
 
 #include "bench_util.h"
@@ -19,10 +20,11 @@ int main() {
   const sim::StudyConfig cfg = benchutil::config_from_env();
   benchutil::print_header("Figure 3: energy fraction per Android process state", cfg);
 
-  core::StudyPipeline pipeline{cfg};
+  sim::StudyGenerator generator{cfg};
+  core::StudyPipeline pipeline{&generator};
   const auto run_stats = pipeline.run();
   if (!run_stats.ok()) return 1;
-  const auto& catalog = pipeline.catalog();
+  const auto& catalog = generator.catalog();
 
   const std::vector<std::string> apps = {
       "Media Server", "Facebook", "Google Play", "Chrome",  "Email",      "GMail",

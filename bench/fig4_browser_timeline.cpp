@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "core/pipeline.h"
+#include "sim/generator.h"
 #include "trace/sink.h"
 #include "util/table.h"
 
@@ -21,13 +22,14 @@ int main() {
   cfg.num_days = std::min<std::int64_t>(cfg.num_days, 30);  // short window suffices
   benchutil::print_header("Figure 4: Chrome traffic persisting after minimize", cfg);
 
-  core::StudyPipeline pipeline{cfg};
+  sim::StudyGenerator generator{cfg};
+  core::StudyPipeline pipeline{&generator};
   trace::TraceCollector collector;
   pipeline.add_analysis(&collector);
   const auto run_stats = pipeline.run();
   if (!run_stats.ok()) return 1;
 
-  const trace::AppId chrome = pipeline.app("Chrome");
+  const trace::AppId chrome = generator.catalog().find("Chrome");
   if (chrome == trace::kNoApp) {
     std::cout << "Chrome not in catalog (unexpected)\n";
     return 1;

@@ -10,6 +10,7 @@
 
 #include "analysis/persistence.h"
 #include "core/pipeline.h"
+#include "sim/generator.h"
 #include "util/table.h"
 
 #include "bench_util.h"
@@ -19,7 +20,8 @@ int main() {
   const sim::StudyConfig cfg = benchutil::config_from_env();
   benchutil::print_header("Figure 5: traffic persistence after fg->bg transitions", cfg);
 
-  core::StudyPipeline pipeline{cfg};
+  sim::StudyGenerator generator{cfg};
+  core::StudyPipeline pipeline{&generator};
   analysis::PersistenceAnalysis persistence;
   pipeline.add_analysis(&persistence);
   const auto run_stats = pipeline.run();
@@ -27,7 +29,7 @@ int main() {
 
   const char* browsers[] = {"Chrome", "Firefox", "Browser"};
   for (const char* name : browsers) {
-    const trace::AppId id = pipeline.app(name);
+    const trace::AppId id = generator.catalog().find(name);
     if (id == trace::kNoApp) continue;
     auto& dist = persistence.durations(id);
     if (dist.count() == 0) continue;

@@ -10,6 +10,7 @@
 
 #include "analysis/time_since_fg.h"
 #include "core/pipeline.h"
+#include "sim/generator.h"
 #include "util/table.h"
 
 #include "bench_util.h"
@@ -19,7 +20,8 @@ int main() {
   const sim::StudyConfig cfg = benchutil::config_from_env();
   benchutil::print_header("Figure 6: background bytes vs time since foreground", cfg);
 
-  core::StudyPipeline pipeline{cfg};
+  sim::StudyGenerator generator{cfg};
+  core::StudyPipeline pipeline{&generator};
   analysis::TimeSinceForegroundAnalysis tsf{hours(1.0), sec(30.0)};
   pipeline.add_analysis(&tsf);
   const auto run_stats = pipeline.run();

@@ -10,6 +10,7 @@
 #include "analysis/longitudinal.h"
 #include "analysis/waste.h"
 #include "core/pipeline.h"
+#include "sim/generator.h"
 #include "util/table.h"
 
 #include "bench_util.h"
@@ -19,11 +20,12 @@ int main() {
   const sim::StudyConfig cfg = benchutil::config_from_env(/*default_days=*/623);
   benchutil::print_header("Longitudinal trends (§3.1) and wasted updates (§4.2)", cfg);
 
-  core::StudyPipeline pipeline{cfg};
+  sim::StudyGenerator generator{cfg};
+  core::StudyPipeline pipeline{&generator};
   const char* evolving[] = {"Facebook", "Pandora", "Go Weather", "Maps", "GMail", "Spotify",
                             "Weibo", "Twitter"};
   std::vector<trace::AppId> ids;
-  for (const char* name : evolving) ids.push_back(pipeline.app(name));
+  for (const char* name : evolving) ids.push_back(generator.catalog().find(name));
 
   analysis::LongitudinalAnalysis longitudinal{ids};
   analysis::WastedUpdateAnalysis waste{ids};
@@ -48,7 +50,7 @@ int main() {
   TextTable table({"app", "early J/day", "late J/day", "early uJ/B", "late uJ/B",
                    "efficiency ratio", "wasted updates %"});
   for (const char* name : evolving) {
-    const trace::AppId id = pipeline.app(name);
+    const trace::AppId id = generator.catalog().find(name);
     const auto era = longitudinal.era_comparison(id);
     const auto w = waste.result(id);
     if (era.early_joules_per_day == 0.0 && era.late_joules_per_day == 0.0) continue;

@@ -102,7 +102,8 @@ BENCHMARK(BM_StudyGeneration)->Arg(10)->Arg(60)->Unit(benchmark::kMillisecond);
 
 void BM_FullPipelineSmallStudy(benchmark::State& state) {
   for (auto _ : state) {
-    core::StudyPipeline pipeline{sim::small_study(42)};
+    sim::StudyGenerator generator{sim::small_study(42)};
+    core::StudyPipeline pipeline{&generator};
     pipeline.run();
     benchmark::DoNotOptimize(pipeline.ledger().total_joules());
   }
@@ -116,7 +117,8 @@ void BM_ShardedPipeline(benchmark::State& state) {
   sim::StudyConfig cfg = sim::small_study(42);
   cfg.num_users = 8;  // enough users to keep every worker in the sweep busy
   for (auto _ : state) {
-    core::StudyPipeline pipeline{cfg, options};
+    sim::StudyGenerator generator{cfg};
+    core::StudyPipeline pipeline{&generator, options};
     pipeline.run();
     benchmark::DoNotOptimize(pipeline.ledger().total_joules());
   }
@@ -312,7 +314,8 @@ int main(int argc, char** argv) {
     for (const std::size_t batch_size : {std::size_t{0}, core::PipelineOptions{}.batch_size}) {
       core::PipelineOptions options;
       options.batch_size = batch_size;
-      core::StudyPipeline pipeline{cfg, options};
+      sim::StudyGenerator generator{cfg};
+      core::StudyPipeline pipeline{&generator, options};
       double best_ms = 0.0;
       obs::RunStats last_stats;
       for (int rep = 0; rep < kReps; ++rep) {

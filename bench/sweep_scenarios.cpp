@@ -62,7 +62,8 @@ int main() {
   std::uint64_t independent_packets = 0;
   double independent_joules = 0.0;
   for (const auto& spec : specs) {
-    core::StudyPipeline pipeline{config};
+    sim::StudyGenerator generator{config};
+    core::StudyPipeline pipeline{&generator};
     if (spec.policy) pipeline.set_policy(spec.policy);
     const obs::Stopwatch watch;
     const auto stats = pipeline.run();
@@ -106,12 +107,12 @@ int main() {
               << fmt(stats->wall_ms, 1) << " ms for " << specs.size() << " scenarios — "
               << fmt(speedup, 2) << "x vs independent runs; store: "
               << sweep.store().event_count() << " events, "
-              << fmt(static_cast<double>(sweep.store().memory_bytes()) / 1e6, 1) << " MB\n";
+              << fmt(static_cast<double>(sweep.store().memory_use().resident_bytes) / 1e6, 1) << " MB\n";
     benchutil::report_perf("sweep_scenarios/sweep_" + std::to_string(threads) + "thread",
                            config, stats->wall_ms, stats->packets, stats->joules, threads,
                            speedup,
                            "\"scenarios\":" + std::to_string(specs.size()) +
-                               ",\"store_bytes\":" + std::to_string(sweep.store().memory_bytes()) +
+                               ",\"store_bytes\":" + std::to_string(sweep.store().memory_use().resident_bytes) +
                                ",\"store_events\":" + std::to_string(sweep.store().event_count()));
   }
   return 0;

@@ -14,6 +14,7 @@
 
 #include "analysis/case_studies.h"
 #include "core/pipeline.h"
+#include "sim/generator.h"
 #include "util/table.h"
 
 #include "bench_util.h"
@@ -23,8 +24,9 @@ int main() {
   const sim::StudyConfig cfg = benchutil::config_from_env(/*default_days=*/623);
   benchutil::print_header("Table 1: background-transfer case studies", cfg);
 
-  core::StudyPipeline pipeline{cfg};
-  const auto& catalog = pipeline.catalog();
+  sim::StudyGenerator generator{cfg};
+  core::StudyPipeline pipeline{&generator};
+  const auto& catalog = generator.catalog();
 
   const struct {
     const char* group;

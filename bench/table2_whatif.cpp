@@ -18,6 +18,7 @@
 
 #include "analysis/whatif.h"
 #include "core/pipeline.h"
+#include "sim/generator.h"
 #include "core/policy.h"
 #include "util/table.h"
 
@@ -28,10 +29,11 @@ int main() {
   const sim::StudyConfig cfg = benchutil::config_from_env(/*default_days=*/623);
   benchutil::print_header("Table 2: preemptively killing idle background apps", cfg);
 
-  core::StudyPipeline pipeline{cfg};
+  sim::StudyGenerator generator{cfg};
+  core::StudyPipeline pipeline{&generator};
   pipeline.run();
   const auto& ledger = pipeline.ledger();
-  const auto& catalog = pipeline.catalog();
+  const auto& catalog = generator.catalog();
 
   const char* apps[] = {"Samsung Push", "Weibo",   "Messenger",
                         "ESPN",         "4shared", "Stock Weather"};
@@ -88,7 +90,8 @@ int main() {
 
   // Exact validation: re-run the study with the packet-level policy so the
   // radio model recomputes tails over the filtered stream.
-  core::StudyPipeline filtered{cfg};
+  sim::StudyGenerator filtered_gen{cfg};
+  core::StudyPipeline filtered{&filtered_gen};
   filtered.set_policy([](trace::TraceSink* downstream) {
     return std::make_unique<core::KillAfterIdlePolicy>(downstream, days(3.0));
   });

@@ -12,6 +12,7 @@
 #include "analysis/persistence.h"
 #include "core/pipeline.h"
 #include "core/policy.h"
+#include "sim/generator.h"
 #include "util/table.h"
 
 int main() {
@@ -21,8 +22,12 @@ int main() {
   config.num_users = 10;
   config.num_days = 90;
 
+  // One generator feeds both passes: its per-user streams are deterministic
+  // replays, so the two pipelines see byte-identical events.
+  sim::StudyGenerator generator{config};
+
   // Pass 1: observe the leak.
-  core::StudyPipeline pipeline{config};
+  core::StudyPipeline pipeline{&generator};
   analysis::PersistenceAnalysis persistence{minutes(10.0)};
   pipeline.add_analysis(&persistence);
   pipeline.run();
@@ -33,7 +38,7 @@ int main() {
   TextTable table({"browser", "fg->bg transitions", "median persist", "p99 persist",
                    ">1h persist %", "bg energy share %"});
   for (const char* name : {"Chrome", "Firefox", "Browser"}) {
-    const trace::AppId id = pipeline.app(name);
+    const trace::AppId id = generator.catalog().find(name);
     if (id == trace::kNoApp) continue;
     auto& dist = persistence.durations(id);
     const auto acc = pipeline.ledger().app_total(id);
@@ -47,7 +52,7 @@ int main() {
   table.print(std::cout);
 
   // Pass 2: same study with OS-level leak termination (§6 recommendation).
-  core::StudyPipeline fixed{config};
+  core::StudyPipeline fixed{&generator};
   fixed.set_policy([](trace::TraceSink* downstream) {
     return std::make_unique<core::LeakTerminationPolicy>(downstream);
   });
@@ -55,7 +60,7 @@ int main() {
 
   std::cout << "\nWith OS-level termination of foreground-initiated flows on minimize:\n";
   for (const char* name : {"Chrome", "Firefox", "Browser"}) {
-    const trace::AppId id = pipeline.app(name);
+    const trace::AppId id = generator.catalog().find(name);
     const double before = pipeline.ledger().app_total(id).joules;
     const double after = fixed.ledger().app_total(id).joules;
     if (before <= 0) continue;

@@ -16,6 +16,7 @@
 #include "energy/attributor.h"
 #include "energy/ledger.h"
 #include "radio/burst_machine.h"
+#include "sim/generator.h"
 #include "trace/csv_io.h"
 #include "util/table.h"
 

@@ -8,6 +8,7 @@
 #include "analysis/persistence.h"
 #include "core/pipeline.h"
 #include "core/report.h"
+#include "sim/generator.h"
 
 int main() {
   using namespace wildenergy;
@@ -16,13 +17,14 @@ int main() {
   config.num_users = 10;
   config.num_days = 90;
 
-  core::StudyPipeline pipeline{config};
+  sim::StudyGenerator generator{config};
+  core::StudyPipeline pipeline{&generator};
   analysis::PersistenceAnalysis persistence;
   pipeline.add_analysis(&persistence);
   pipeline.run();
 
   const auto report =
-      core::Report::build(pipeline.ledger(), pipeline.catalog(), &persistence);
+      core::Report::build(pipeline.ledger(), generator.catalog(), &persistence);
   report.print(std::cout);
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "core/pipeline.h"
 #include "core/policy.h"
 #include "core/sweep.h"
+#include "sim/generator.h"
 #include "util/table.h"
 
 int main() {
@@ -25,7 +26,11 @@ int main() {
   config.num_users = 10;
   config.num_days = 120;
 
-  core::StudyPipeline baseline{config};
+  // One generator backs the baseline pipeline and the sweep engine: the
+  // pipeline streams it, the engine caches it into a trace store once.
+  sim::StudyGenerator generator{config};
+
+  core::StudyPipeline baseline{&generator};
   baseline.run();
   const double base_joules = baseline.ledger().total_joules();
   std::cout << "=== What-if policy explorer (" << config.num_users << " users, "
@@ -49,13 +54,12 @@ int main() {
   // Whitelist: widgets legitimately live in the background (paper §5 —
   // "a new permission or whitelist could address corner cases").
   std::unordered_set<trace::AppId> whitelist;
-  for (trace::AppId id = 0; id < baseline.catalog().size(); ++id) {
-    if (baseline.catalog()[id].category == appmodel::AppCategory::kWidget) {
+  for (trace::AppId id = 0; id < generator.catalog().size(); ++id) {
+    if (generator.catalog()[id].category == appmodel::AppCategory::kWidget) {
       whitelist.insert(id);
     }
   }
 
-  sim::StudyGenerator generator{config};
   core::SweepEngine engine{&generator};
   engine.add_scenario({.name = "kill after 3 idle days",
                        .policy = [](trace::TraceSink* d) {

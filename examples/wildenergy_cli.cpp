@@ -135,6 +135,9 @@ struct CliOptions {
   // Out-of-core trace plane (run/sweep/analyze; DESIGN.md §14).
   std::string store_dir;           ///< spill sealed WESG segments here
   std::uint64_t store_budget = 0;  ///< resident column budget; 0 = fully out-of-core
+  // Fold-and-release account plane (run/sweep; DESIGN.md §15).
+  std::string account_dir;           ///< spill per-user WEAC detail rows here
+  std::uint64_t account_budget = 0;  ///< resident spill budget; 0 = default
 };
 
 /// Strict base-10 parse: the whole string must be a number (no "12abc" -> 12,
@@ -162,6 +165,7 @@ bool parse_flags(int argc, char** argv, int start, CliOptions& options) {
   bool users_set = false;
   bool days_set = false;
   bool store_budget_set = false;
+  bool account_budget_set = false;
   long long population = 0;
   for (int i = start; i < argc; ++i) {
     const std::string_view flag = argv[i];
@@ -189,6 +193,17 @@ bool parse_flags(int argc, char** argv, int start, CliOptions& options) {
       if (!parse_int_flag(flag, next(), 0, value)) return false;
       options.store_budget = static_cast<std::uint64_t>(value);
       store_budget_set = true;
+    } else if (flag == "--account-dir") {
+      const char* v = next();
+      if (!v || *v == '\0') {
+        std::cerr << "--account-dir requires a directory path\n";
+        return false;
+      }
+      options.account_dir = v;
+    } else if (flag == "--account-budget") {
+      if (!parse_int_flag(flag, next(), 0, value)) return false;
+      options.account_budget = static_cast<std::uint64_t>(value);
+      account_budget_set = true;
     } else if (flag == "--seed") {
       if (!parse_int_flag(flag, next(), 0, value)) return false;
       options.study.seed = static_cast<std::uint64_t>(value);
@@ -321,6 +336,10 @@ bool parse_flags(int argc, char** argv, int start, CliOptions& options) {
     std::cerr << "--store-budget requires --store-dir\n";
     return false;
   }
+  if (account_budget_set && options.account_dir.empty()) {
+    std::cerr << "--account-budget requires --account-dir\n";
+    return false;
+  }
   if (population > 0) {
     if (users_set) {
       std::cerr << "--population and --users are mutually exclusive\n";
@@ -351,6 +370,8 @@ core::PipelineOptions observed_options(const CliOptions& options, obs::TraceWrit
   pipeline_options.checkpoint_dir = options.checkpoint_dir;
   pipeline_options.checkpoint_every_users = options.checkpoint_every;
   pipeline_options.resume = options.resume;
+  pipeline_options.account_dir = options.account_dir;
+  pipeline_options.account_budget_bytes = options.account_budget;
   for (const auto& spec : options.faults) plan.add(spec);
   for (const auto& spec : options.ckpt_faults) plan.add_checkpoint_fault(spec);
   if (!options.faults.empty() || !options.ckpt_faults.empty()) {
@@ -433,7 +454,8 @@ bool finish_observability(const CliOptions& options, const obs::RunStats& stats,
 int cmd_generate(const CliOptions& options) {
   obs::TraceWriter spans;
   fault::FaultPlan plan;
-  core::StudyPipeline pipeline{options.study, observed_options(options, spans, plan)};
+  sim::StudyGenerator generator{options.study};
+  core::StudyPipeline pipeline{&generator, observed_options(options, spans, plan)};
   std::optional<obs::RunStats> stats;
   if (options.format == "bin") {
     trace::BinaryTraceWriter writer{std::cout};
@@ -704,14 +726,15 @@ int cmd_analyze(const CliOptions& options) {
 int cmd_report(const CliOptions& options) {
   obs::TraceWriter spans;
   fault::FaultPlan plan;
-  core::StudyPipeline pipeline{options.study, observed_options(options, spans, plan)};
+  sim::StudyGenerator generator{options.study};
+  core::StudyPipeline pipeline{&generator, observed_options(options, spans, plan)};
   analysis::PersistenceAnalysis persistence;
   pipeline.add_analysis("persistence", &persistence);
   const auto stats = run_guarded(pipeline);
   if (!stats) return 1;
   print_checkpoint_notes(options, *stats);
   const auto report =
-      core::Report::build(pipeline.ledger(), pipeline.catalog(), &persistence);
+      core::Report::build(pipeline.ledger(), generator.catalog(), &persistence);
   report.print(std::cout);
 
   const double days_observed = static_cast<double>(options.study.num_days);
@@ -726,7 +749,8 @@ int cmd_report(const CliOptions& options) {
 int cmd_figures(const CliOptions& options) {
   obs::TraceWriter spans;
   fault::FaultPlan plan;
-  core::StudyPipeline pipeline{options.study, observed_options(options, spans, plan)};
+  sim::StudyGenerator generator{options.study};
+  core::StudyPipeline pipeline{&generator, observed_options(options, spans, plan)};
   analysis::PersistenceAnalysis persistence;
   analysis::TimeSinceForegroundAnalysis tsf;
   pipeline.add_analysis("persistence", &persistence);
@@ -739,13 +763,13 @@ int cmd_figures(const CliOptions& options) {
   const auto overall = analysis::overall_state_breakdown(ledger);
   const auto diversity = analysis::top_n_diversity(ledger);
   const auto top_energy = analysis::top_consumers_by_energy(ledger, 3);
-  const trace::AppId chrome = pipeline.app("Chrome");
+  const trace::AppId chrome = generator.catalog().find("Chrome");
 
   std::cout << "paper headline checks (" << options.study.num_users << " users, "
             << options.study.num_days << " days, seed " << options.study.seed << "):\n"
             << "  [Fig 1] universal top-10 apps: " << diversity.universal_apps
             << ", single-user favourites: " << diversity.single_user_apps << "\n"
-            << "  [Fig 2] top energy app: " << pipeline.catalog().name(top_energy[0].app)
+            << "  [Fig 2] top energy app: " << generator.catalog().name(top_energy[0].app)
             << " (" << fmt(top_energy[0].joules / 1e3, 1) << " kJ)\n"
             << "  [Fig 3] background energy share: "
             << fmt(100 * overall.background_fraction(), 1) << "%  (paper: 84%)\n"
@@ -789,7 +813,8 @@ int cmd_run(const CliOptions& options) {
     if (options.checkpoint_dir.empty()) pipeline_options.resume = false;
     pipeline.emplace(&*store, pipeline_options);
   } else {
-    pipeline.emplace(options.study, pipeline_options);
+    generator.emplace(options.study);
+    pipeline.emplace(&*generator, pipeline_options);
   }
   const auto stats = run_guarded(*pipeline);
   if (!stats) return 1;
@@ -823,6 +848,8 @@ int cmd_sweep(const CliOptions& options) {
   sweep_options.resume = options.resume;
   sweep_options.store_dir = options.store_dir;
   sweep_options.store_budget_bytes = options.store_budget;
+  sweep_options.account_dir = options.account_dir;
+  sweep_options.account_budget_bytes = options.account_budget;
   for (const auto& spec : options.faults) plan.add(spec);
   for (const auto& spec : options.ckpt_faults) plan.add_checkpoint_fault(spec);
   if (!options.faults.empty() || !options.ckpt_faults.empty()) {
@@ -876,7 +903,7 @@ int cmd_sweep(const CliOptions& options) {
   }
   table.print(std::cout);
   std::cout << "store: " << sweep.store().event_count() << " events, "
-            << fmt(static_cast<double>(sweep.store().memory_bytes()) / 1e6, 1) << " MB cached";
+            << fmt(static_cast<double>(sweep.store().memory_use().resident_bytes) / 1e6, 1) << " MB cached";
   if (sweep.store().spilled_bytes() > 0) {
     std::cout << ", " << fmt(static_cast<double>(sweep.store().spilled_bytes()) / 1e6, 1)
               << " MB in " << sweep.store().num_segments() << " segment(s) on disk";
@@ -926,6 +953,9 @@ int main(int argc, char** argv) {
                  "replays a sealed dir)\n"
               << "            --store-budget BYTES (resident column cap; 0 = fully "
                  "out-of-core)  --resume (reuse sealed segments)\n"
+              << "bounded analyses (run/sweep): --account-dir DIR (fold-and-release: spill "
+                 "per-user detail rows to WEAC account files)\n"
+              << "            --account-budget BYTES (resident account-row cap)\n"
               << "exit codes: 0 ok; 1 runtime/data failure (incl. missing/corrupt/stale "
                  "checkpoint on --resume); 2 usage error (incl. --resume without "
                  "--checkpoint-dir or --store-dir)\n";
@@ -938,6 +968,10 @@ int main(int argc, char** argv) {
   const std::string_view cmd = argv[1];
   if (!options.store_dir.empty() && cmd != "run" && cmd != "sweep" && cmd != "analyze") {
     std::cerr << "--store-dir applies to run|sweep|analyze only\n";
+    return 2;
+  }
+  if (!options.account_dir.empty() && cmd != "run" && cmd != "sweep") {
+    std::cerr << "--account-dir applies to run|sweep only\n";
     return 2;
   }
   if (cmd == "generate") return cmd_generate(options);

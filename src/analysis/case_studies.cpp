@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "energy/account_file.h"
 
 namespace wildenergy::analysis {
 
@@ -21,15 +24,21 @@ void CaseStudyAnalysis::on_study_begin(const trace::StudyMeta& meta) {
   const auto num_days = static_cast<std::int64_t>(std::ceil(meta.span().days()));
   era_split_lo_ = num_days / 3;
   era_split_hi_ = num_days - num_days / 3;
+  num_days_ = static_cast<std::size_t>(std::max<std::int64_t>(num_days, 1));
   cur_user_ = kNoUser;
   per_app_.assign(apps_.size(), PerApp{});
-  for (PerApp& pa : per_app_) {
-    pa.joules_by_user.resize(meta.num_users, 0.0);
-    pa.joules_touched.resize(meta.num_users, false);
-    pa.active_day.assign(static_cast<std::size_t>(meta.num_users) *
-                             static_cast<std::size_t>(std::max<std::int64_t>(num_days, 1)),
-                         false);
+  if (spill_ == nullptr) {
+    // Fold mode never allocates the dense O(users) energy arrays or the
+    // O(users x days) day bitmaps (DESIGN.md §15).
+    for (PerApp& pa : per_app_) {
+      pa.joules_by_user.resize(meta.num_users, 0.0);
+      pa.joules_touched.resize(meta.num_users, false);
+      pa.active_day.assign(static_cast<std::size_t>(meta.num_users) * num_days_, false);
+    }
   }
+  spilled_self_ = 0;
+  hydrated_ = false;
+  hydrate_status_ = util::Status::ok_status();
   assembler_.on_study_begin(meta);
 }
 
@@ -55,6 +64,20 @@ void CaseStudyAnalysis::on_packet(const trace::PacketRecord& p) {
   PerApp* pa = slot(p.app);
   if (pa == nullptr) return;
   if (p.user != cur_user_) switch_user(p.user);
+  if (spill_ != nullptr) {
+    // Fold mode: the live user accumulates in scalars and one day bitmap;
+    // fold_user spills and clears them after the user bracket.
+    pa->live_joules += p.joules;
+    pa->live_touched = true;
+    pa->bytes += p.bytes;
+    if (pa->live_days.size() != num_days_) pa->live_days.assign(num_days_, false);
+    const auto day = static_cast<std::size_t>(
+        std::clamp<std::int64_t>((p.time - meta_.study_begin).us / 86'400'000'000LL, 0,
+                                 static_cast<std::int64_t>(num_days_) - 1));
+    pa->live_days[day] = true;
+    assembler_.on_packet(p);
+    return;
+  }
   if (p.user >= pa->joules_by_user.size()) {
     pa->joules_by_user.resize(p.user + 1, 0.0);
     pa->joules_touched.resize(p.user + 1, false);
@@ -92,6 +115,31 @@ void CaseStudyAnalysis::merge_from(trace::TraceSink& shard) {
   for (std::size_t i = 0; i < per_app_.size() && i < other.per_app_.size(); ++i) {
     PerApp& mine = per_app_[i];
     const PerApp& theirs = other.per_app_[i];
+    if (spill_ != nullptr) {
+      // Fold mode: shards run resident over their one user; stage their rows
+      // until the engine's fold_user call collapses and spills them. The gap
+      // samples land in the parent's (cleared-at-each-fold) distributions.
+      mine.bytes += theirs.bytes;
+      mine.flows += theirs.flows;
+      mine.early_gaps.merge_from(theirs.early_gaps);
+      mine.late_gaps.merge_from(theirs.late_gaps);
+      const std::size_t num_users = std::max<std::size_t>(other.meta_.num_users, 1);
+      const std::size_t days = theirs.active_day.empty()
+                                   ? num_days_
+                                   : std::max<std::size_t>(theirs.active_day.size() / num_users, 1);
+      for (trace::UserId user = 0; user < theirs.joules_by_user.size(); ++user) {
+        if (!theirs.joules_touched[user]) continue;
+        StagedPart part;
+        part.joules = theirs.joules_by_user[user];
+        part.days.assign(days, false);
+        const std::size_t base = static_cast<std::size_t>(user) * days;
+        for (std::size_t d = 0; d < days && base + d < theirs.active_day.size(); ++d) {
+          if (theirs.active_day[base + d]) part.days[d] = true;
+        }
+        mine.staged.emplace_back(user, std::move(part));
+      }
+      continue;
+    }
     if (theirs.joules_by_user.size() > mine.joules_by_user.size()) {
       mine.joules_by_user.resize(theirs.joules_by_user.size(), 0.0);
       mine.joules_touched.resize(theirs.joules_by_user.size(), false);
@@ -114,7 +162,143 @@ void CaseStudyAnalysis::merge_from(trace::TraceSink& shard) {
   }
 }
 
+void CaseStudyAnalysis::fold_user(trace::UserId user) {
+  if (spill_ == nullptr || hydrated_) return;
+  const auto find_staged = [user](PerApp& pa) {
+    return std::find_if(pa.staged.begin(), pa.staged.end(),
+                        [user](const auto& entry) { return entry.first == user; });
+  };
+  std::size_t with_data = 0;
+  for (PerApp& pa : per_app_) {
+    if (find_staged(pa) != pa.staged.end() || pa.live_touched || pa.early_gaps.count() > 0 ||
+        pa.late_gaps.count() > 0) {
+      ++with_data;
+    }
+  }
+  if (with_data == 0) return;
+  ckpt::ByteWriter row;
+  row.put_varint(with_data);
+  std::size_t prev_slot = 0;
+  static const std::vector<bool> kNoDays;
+  for (std::size_t i = 0; i < per_app_.size(); ++i) {
+    PerApp& pa = per_app_[i];
+    auto it = find_staged(pa);
+    double joules = 0.0;
+    const std::vector<bool>* days = nullptr;
+    if (it != pa.staged.end()) {
+      joules = it->second.joules;
+      days = &it->second.days;
+    } else if (pa.live_touched) {
+      joules = pa.live_joules;
+      days = &pa.live_days;
+    } else if (pa.early_gaps.count() == 0 && pa.late_gaps.count() == 0) {
+      continue;  // nothing of this user's for the slot
+    }
+    row.put_varint(i - prev_slot);  // slot-ascending delta; the first is absolute
+    prev_slot = i;
+    row.put_f64(joules);
+    row.put_bool_vec(days != nullptr ? *days : kNoDays);
+    row.put_f64_span(pa.early_gaps.samples());
+    row.put_f64_span(pa.late_gaps.samples());
+    if (days != nullptr) {
+      // Stream order is ascending user id, so the running joules sum
+      // reproduces the ascending query-time fold bit for bit; day counts
+      // are integers either way.
+      pa.folded_joules += joules;
+      pa.folded_days_active +=
+          static_cast<std::uint64_t>(std::count(days->begin(), days->end(), true));
+    }
+    pa.early_gaps.restore_samples({});
+    pa.late_gaps.restore_samples({});
+    if (it != pa.staged.end()) pa.staged.erase(it);
+    pa.live_joules = 0.0;
+    pa.live_touched = false;
+    pa.live_days.clear();
+  }
+  spilled_self_ += spill_->add_section(kCaseSection, row.bytes());
+}
+
+void CaseStudyAnalysis::hydrate() {
+  if (spill_ == nullptr || hydrated_) return;
+  hydrated_ = true;
+  energy::AccountReader reader;
+  util::Status st = reader.open(spill_->dir());
+  if (!st.ok()) {
+    hydrate_status_ = std::move(st);
+    return;
+  }
+  reader.for_each_section(kCaseSection, [&](trace::UserId user, std::string_view payload) {
+    if (!hydrate_status_.ok()) return;
+    ckpt::ByteReader in{payload};
+    const auto count = in.get_varint("case slot count");
+    if (!count.ok()) {
+      hydrate_status_ = count.status();
+      return;
+    }
+    if (*count > per_app_.size()) {
+      hydrate_status_ = util::Status::data_loss("case row for user " + std::to_string(user) +
+                                                ": implausible slot count " +
+                                                std::to_string(*count));
+      return;
+    }
+    std::size_t slot_index = 0;
+    std::vector<bool> days_scratch;
+    for (std::uint64_t i = 0; i < *count; ++i) {
+      const auto delta = in.get_varint("case slot delta");
+      if (!delta.ok()) {
+        hydrate_status_ = delta.status();
+        return;
+      }
+      slot_index += static_cast<std::size_t>(*delta);
+      if (slot_index >= per_app_.size()) {
+        hydrate_status_ = util::Status::data_loss("case row for user " + std::to_string(user) +
+                                                  ": slot " + std::to_string(slot_index) +
+                                                  " out of range");
+        return;
+      }
+      const auto joules = in.get_f64("case joules");
+      if (!joules.ok()) {
+        hydrate_status_ = joules.status();
+        return;
+      }
+      auto status = in.get_bool_vec(days_scratch, "case days");
+      if (!status.ok()) {
+        hydrate_status_ = std::move(status);
+        return;
+      }
+      auto early = in.get_f64_vec("case early gaps");
+      if (!early.ok()) {
+        hydrate_status_ = early.status();
+        return;
+      }
+      auto late = in.get_f64_vec("case late gaps");
+      if (!late.ok()) {
+        hydrate_status_ = late.status();
+        return;
+      }
+      PerApp& pa = per_app_[slot_index];
+      for (const double v : *early) pa.spill_early.add(v);
+      for (const double v : *late) pa.spill_late.add(v);
+    }
+    if (!in.at_end()) {
+      hydrate_status_ = util::Status::data_loss("case row for user " + std::to_string(user) +
+                                                ": trailing bytes at offset " +
+                                                std::to_string(in.offset()));
+    }
+  });
+}
+
 void CaseStudyAnalysis::save_state(ckpt::ByteWriter& out) const {
+  // Leading mode byte: 0 = dense resident partials (historical body
+  // follows); 1 = fold mode, folded per-app sums first.
+  out.put_u8(spill_ != nullptr ? 1 : 0);
+  if (spill_ != nullptr) {
+    for (const PerApp& pa : per_app_) {
+      out.put_f64(pa.folded_joules);
+      out.put_varint(pa.folded_days_active);
+    }
+    out.put_varint(spilled_self_);
+  }
   out.put_varint(per_app_.size());
   for (const PerApp& pa : per_app_) {
     out.put_f64_span(pa.joules_by_user);
@@ -128,6 +312,36 @@ void CaseStudyAnalysis::save_state(ckpt::ByteWriter& out) const {
 }
 
 util::Status CaseStudyAnalysis::restore_state(ckpt::ByteReader& in) {
+  auto mode = in.get_u8("case_studies.mode");
+  if (!mode.ok()) return mode.status();
+  if (*mode > 1) {
+    return util::Status::data_loss("corrupt checkpoint: unknown case_studies mode " +
+                                   std::to_string(*mode));
+  }
+  spilled_self_ = 0;
+  for (PerApp& pa : per_app_) {
+    pa.folded_joules = 0.0;
+    pa.folded_days_active = 0;
+    pa.live_joules = 0.0;
+    pa.live_touched = false;
+    pa.live_days.clear();
+    pa.staged.clear();
+    pa.spill_early.restore_samples({});
+    pa.spill_late.restore_samples({});
+  }
+  if (*mode == 1) {
+    for (PerApp& pa : per_app_) {
+      auto joules = in.get_f64("case_studies.folded_joules");
+      if (!joules.ok()) return joules.status();
+      pa.folded_joules = *joules;
+      auto days = in.get_varint("case_studies.folded_days_active");
+      if (!days.ok()) return days.status();
+      pa.folded_days_active = *days;
+    }
+    auto spilled = in.get_varint("case_studies.spilled_bytes");
+    if (!spilled.ok()) return spilled.status();
+    spilled_self_ = *spilled;
+  }
   auto num_apps = in.get_varint("case_studies.apps");
   if (!num_apps.ok()) return num_apps.status();
   if (*num_apps != per_app_.size()) {
@@ -190,26 +404,50 @@ CaseStudyResult CaseStudyAnalysis::result(trace::AppId app) {
   out.app = app;
   PerApp* pa = slot(app);
   if (pa == nullptr) return out;
+  hydrate();
+  // Folded prefix first, then the resident remainder in the same ascending
+  // user order — the identical floating-point fold either way.
+  out.joules_total = pa->folded_joules;
   for (trace::UserId user = 0; user < pa->joules_by_user.size(); ++user) {
     if (pa->joules_touched[user]) out.joules_total += pa->joules_by_user[user];
   }
+  for (const auto& [user, part] : pa->staged) out.joules_total += part.joules;
+  if (pa->live_touched) out.joules_total += pa->live_joules;
   out.bytes_total = pa->bytes;
   out.flows = pa->flows;
-  out.days_active = static_cast<std::uint64_t>(
-      std::count(pa->active_day.begin(), pa->active_day.end(), true));
-  out.early_period_s = estimate_period_from_gaps(pa->early_gaps.sorted_samples()).period_s;
-  out.late_period_s = estimate_period_from_gaps(pa->late_gaps.sorted_samples()).period_s;
+  out.days_active = pa->folded_days_active +
+                    static_cast<std::uint64_t>(
+                        std::count(pa->active_day.begin(), pa->active_day.end(), true));
+  for (const auto& [user, part] : pa->staged) {
+    out.days_active +=
+        static_cast<std::uint64_t>(std::count(part.days.begin(), part.days.end(), true));
+  }
+  out.days_active += static_cast<std::uint64_t>(
+      std::count(pa->live_days.begin(), pa->live_days.end(), true));
+  // Period estimation sorts the gap samples, so replaying the spilled prefix
+  // before the resident tail yields the exact multiset a resident run holds.
+  Distribution early = pa->spill_early;
+  early.merge_from(pa->early_gaps);
+  Distribution late = pa->spill_late;
+  late.merge_from(pa->late_gaps);
+  out.early_period_s = estimate_period_from_gaps(early.sorted_samples()).period_s;
+  out.late_period_s = estimate_period_from_gaps(late.sorted_samples()).period_s;
   return out;
 }
 
-std::uint64_t CaseStudyAnalysis::memory_bytes() const {
+obs::MemoryUse CaseStudyAnalysis::memory_use() const {
   std::uint64_t total = tracked_index_.capacity() * sizeof(std::uint32_t);
   for (const PerApp& pa : per_app_) {
     total += pa.joules_by_user.capacity() * sizeof(double) +
              (pa.joules_touched.capacity() + 7) / 8 + (pa.active_day.capacity() + 7) / 8 +
-             (pa.early_gaps.count() + pa.late_gaps.count()) * sizeof(double);
+             (pa.early_gaps.count() + pa.late_gaps.count()) * sizeof(double) +
+             (pa.live_days.capacity() + 7) / 8 +
+             (pa.spill_early.count() + pa.spill_late.count()) * sizeof(double);
+    for (const auto& [user, part] : pa.staged) {
+      total += sizeof(user) + sizeof(part) + (part.days.capacity() + 7) / 8;
+    }
   }
-  return total;
+  return {.resident_bytes = total, .spilled_bytes = spilled_self_};
 }
 
 }  // namespace wildenergy::analysis

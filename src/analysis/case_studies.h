@@ -14,7 +14,9 @@
 // stream is user-bracketed) — no hashing on the packet path.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "ckpt/checkpointable.h"
@@ -23,7 +25,15 @@
 #include "trace/sink.h"
 #include "util/stats.h"
 
+namespace wildenergy::energy {
+class AccountSpill;  // energy/account_file.h
+}
+
 namespace wildenergy::analysis {
+
+/// Section name this sink spills per-user energy, day bitmaps, and flow-gap
+/// samples under.
+inline constexpr const char* kCaseSection = "case";
 
 struct CaseStudyResult {
   trace::AppId app = 0;
@@ -81,11 +91,31 @@ class CaseStudyAnalysis final : public trace::TraceSink,
   [[nodiscard]] CaseStudyResult result(trace::AppId app);
   [[nodiscard]] const std::vector<trace::AppId>& tracked() const { return apps_; }
 
+  // -- fold-and-release (DESIGN.md §15) --------------------------------------
+  /// Arm fold mode: the dense per-app O(users) energy arrays and
+  /// O(users x days) day bitmaps are not allocated. The live user accumulates
+  /// in per-app scalars and one day bitmap; fold_user() folds them into
+  /// per-app running sums (stream order = ascending user id, bit-identical
+  /// to the ascending query-time folds), spills the user's detail — energy,
+  /// day bits, and flow-gap samples — as a "case" section, and clears it.
+  /// result() hydrates the spilled gap samples lazily (period estimation
+  /// needs the full sample set; it sorts, so replay order cannot matter).
+  void set_account_spill(energy::AccountSpill* spill) { spill_ = spill; }
+  [[nodiscard]] bool fold_mode() const { return spill_ != nullptr; }
+  void fold_user(trace::UserId user) override;
+  /// OK unless query-time hydration of spilled gap samples failed.
+  [[nodiscard]] const util::Status& hydrate_status() const { return hydrate_status_; }
+
   /// Approximate resident footprint: per-user energy partials, day bitmaps,
   /// and retained gap samples.
-  [[nodiscard]] std::uint64_t memory_bytes() const override;
+  [[nodiscard]] obs::MemoryUse memory_use() const override;
 
  private:
+  /// One merged shard row awaiting its fold_user call (sharded fold mode).
+  struct StagedPart {
+    double joules = 0.0;
+    std::vector<bool> days;
+  };
   struct PerApp {
     std::vector<double> joules_by_user;  ///< dense by UserId
     std::vector<bool> joules_touched;    ///< user has an energy partial
@@ -99,6 +129,19 @@ class CaseStudyAnalysis final : public trace::TraceSink,
     /// user-bracketed, so one anchor per app suffices).
     TimePoint last_flow_start;
     bool has_last_flow = false;
+    // Fold-and-release state (unused outside fold mode). In fold mode
+    // early_gaps/late_gaps hold only the not-yet-folded samples.
+    double live_joules = 0.0;
+    bool live_touched = false;
+    std::vector<bool> live_days;  ///< the live user's day-activity bitmap
+    double folded_joules = 0.0;
+    std::uint64_t folded_days_active = 0;
+    /// Spilled gap samples, rehydrated at query time (spilled prefix; the
+    /// resident early_gaps/late_gaps tail merges after).
+    Distribution spill_early;
+    Distribution spill_late;
+    /// Merged shard rows awaiting their fold_user call (sharded fold mode).
+    std::vector<std::pair<trace::UserId, StagedPart>> staged;
   };
   static constexpr std::uint32_t kUntracked = UINT32_MAX;
   static constexpr trace::UserId kNoUser = UINT32_MAX;
@@ -108,15 +151,25 @@ class CaseStudyAnalysis final : public trace::TraceSink,
   /// Reset per-app flow anchors when the stream moves to a new user.
   void switch_user(trace::UserId user);
   void on_flow(const trace::FlowRecord& flow);
+  /// Stream spilled "case" sections' gap samples back into spill_early /
+  /// spill_late (query-time only). Idempotent; errors latch hydrate_status_.
+  void hydrate();
 
   std::vector<trace::AppId> apps_;
   std::vector<std::uint32_t> tracked_index_;  ///< AppId -> per_app_ slot
   trace::StudyMeta meta_;
   std::int64_t era_split_lo_ = 0;  ///< first day of the middle era
   std::int64_t era_split_hi_ = 0;  ///< first day of the late era
+  std::size_t num_days_ = 1;       ///< study days (>= 1), the day-bitmap width
   trace::UserId cur_user_ = kNoUser;
   std::vector<PerApp> per_app_;  ///< one slot per tracked app, in apps_ order
   trace::FlowAssembler assembler_;
+
+  // Fold-and-release state (zero outside fold mode).
+  energy::AccountSpill* spill_ = nullptr;  ///< non-owning; armed by the engine
+  std::uint64_t spilled_self_ = 0;
+  bool hydrated_ = false;
+  util::Status hydrate_status_;
 };
 
 }  // namespace wildenergy::analysis

@@ -4,22 +4,29 @@
 #include <map>
 #include <set>
 
+#include "energy/account_cursor.h"
+
 namespace wildenergy::analysis {
 
-DiversityResult top_n_diversity(const energy::EnergyLedger& ledger, std::size_t top_n) {
+DiversityResult top_n_diversity(const energy::EnergyLedger& ledger, std::size_t top_n,
+                                util::Status* status) {
   DiversityResult out;
 
   std::vector<std::set<trace::AppId>> top_sets;
-  for (trace::UserId user : ledger.users()) {
-    auto accounts = ledger.user_accounts(user);
-    std::sort(accounts.begin(), accounts.end(),
-              [](const auto* a, const auto* b) { return a->bytes > b->bytes; });
-    std::set<trace::AppId> top;
-    for (std::size_t i = 0; i < std::min(top_n, accounts.size()); ++i) {
-      top.insert(accounts[i]->app);
-    }
-    top_sets.push_back(std::move(top));
-  }
+  util::Status st = energy::for_each_user_accounts(
+      ledger, [&](trace::UserId, std::span<const energy::AppUserAccount> accounts) {
+        std::vector<const energy::AppUserAccount*> ranked;
+        ranked.reserve(accounts.size());
+        for (const auto& acc : accounts) ranked.push_back(&acc);
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto* a, const auto* b) { return a->bytes > b->bytes; });
+        std::set<trace::AppId> top;
+        for (std::size_t i = 0; i < std::min(top_n, ranked.size()); ++i) {
+          top.insert(ranked[i]->app);
+        }
+        top_sets.push_back(std::move(top));
+      });
+  if (status != nullptr) status->update(st);
   out.users = top_sets.size();
   if (out.users < 2) return out;
 

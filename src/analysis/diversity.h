@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "energy/ledger.h"
+#include "util/status.h"
 
 namespace wildenergy::analysis {
 
@@ -26,8 +27,11 @@ struct DiversityResult {
   std::size_t universal_apps = 0;
 };
 
-/// Top-N per user is ranked by total data consumption, as in Fig. 1.
+/// Top-N per user is ranked by total data consumption, as in Fig. 1. Reads
+/// detail rows through an AccountCursor (resident or spilled, identical
+/// results); a corrupt account file latches the first error in `status`.
 [[nodiscard]] DiversityResult top_n_diversity(const energy::EnergyLedger& ledger,
-                                              std::size_t top_n = 10);
+                                              std::size_t top_n = 10,
+                                              util::Status* status = nullptr);
 
 }  // namespace wildenergy::analysis

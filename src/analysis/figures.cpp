@@ -3,19 +3,27 @@
 #include <algorithm>
 #include <map>
 
+#include "energy/account_cursor.h"
+
 namespace wildenergy::analysis {
 
 std::vector<PopularityEntry> top10_popularity(const energy::EnergyLedger& ledger,
-                                              std::uint32_t min_users, std::size_t top_n) {
-  // Per user: rank apps by bytes, take the top N.
+                                              std::uint32_t min_users, std::size_t top_n,
+                                              util::Status* status) {
+  // Per user: rank apps by bytes, take the top N. The cursor hands each
+  // user's accounts together whether they are resident or spilled.
   std::map<trace::AppId, std::uint32_t> counts;
-  for (trace::UserId user : ledger.users()) {
-    auto accounts = ledger.user_accounts(user);
-    std::sort(accounts.begin(), accounts.end(),
-              [](const auto* a, const auto* b) { return a->bytes > b->bytes; });
-    const std::size_t n = std::min(top_n, accounts.size());
-    for (std::size_t i = 0; i < n; ++i) counts[accounts[i]->app]++;
-  }
+  util::Status st = energy::for_each_user_accounts(
+      ledger, [&](trace::UserId, std::span<const energy::AppUserAccount> accounts) {
+        std::vector<const energy::AppUserAccount*> ranked;
+        ranked.reserve(accounts.size());
+        for (const auto& acc : accounts) ranked.push_back(&acc);
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto* a, const auto* b) { return a->bytes > b->bytes; });
+        const std::size_t n = std::min(top_n, ranked.size());
+        for (std::size_t i = 0; i < n; ++i) counts[ranked[i]->app]++;
+      });
+  if (status != nullptr) status->update(st);
 
   std::vector<PopularityEntry> out;
   for (const auto& [app, count] : counts) {

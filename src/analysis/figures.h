@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "energy/ledger.h"
+#include "util/status.h"
 
 namespace wildenergy::analysis {
 
@@ -22,7 +23,8 @@ struct PopularityEntry {
 };
 [[nodiscard]] std::vector<PopularityEntry> top10_popularity(const energy::EnergyLedger& ledger,
                                                             std::uint32_t min_users = 2,
-                                                            std::size_t top_n = 10);
+                                                            std::size_t top_n = 10,
+                                                            util::Status* status = nullptr);
 
 /// Fig. 2: apps ranked by total data and by total energy across all users.
 struct ConsumerEntry {

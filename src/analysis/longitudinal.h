@@ -19,13 +19,21 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "ckpt/checkpointable.h"
 #include "trace/shardable.h"
 #include "trace/sink.h"
 
+namespace wildenergy::energy {
+class AccountSpill;  // energy/account_file.h
+}
+
 namespace wildenergy::analysis {
+
+/// Section name this sink spills per-user week/era partials under.
+inline constexpr const char* kLongitSection = "longit";
 
 struct WeeklySeries {
   std::vector<double> fg_joules;
@@ -70,10 +78,21 @@ class LongitudinalAnalysis final : public trace::TraceSink,
   void save_state(ckpt::ByteWriter& out) const override;
   [[nodiscard]] util::Status restore_state(ckpt::ByteReader& in) override;
 
+  // -- fold-and-release (DESIGN.md §15) --------------------------------------
+  /// Arm fold mode: the dense per-user partial array is not allocated. The
+  /// live user accumulates in one UserPart; merged shard rows stage in a
+  /// small buffer; fold_user() folds the completed user's partial into
+  /// running week/era accumulators (stream order = ascending user id,
+  /// bit-identical to the ascending query-time folds), spills it as a
+  /// "longit" section, and releases it.
+  void set_account_spill(energy::AccountSpill* spill) { spill_ = spill; }
+  [[nodiscard]] bool fold_mode() const { return spill_ != nullptr; }
+  void fold_user(trace::UserId user) override;
+
   [[nodiscard]] const WeeklySeries& overall() const;
   [[nodiscard]] EraComparison era_comparison(trace::AppId app) const;
 
-  [[nodiscard]] std::uint64_t memory_bytes() const override;
+  [[nodiscard]] obs::MemoryUse memory_use() const override;
 
  private:
   struct EraAccum {
@@ -109,6 +128,19 @@ class LongitudinalAnalysis final : public trace::TraceSink,
   // Hot-path cache: the current user's partial (packets arrive user-grouped).
   trace::UserId cur_user_ = 0;
   UserPart* cur_ = nullptr;
+
+  // Fold-and-release state (all empty/zero outside fold mode).
+  energy::AccountSpill* spill_ = nullptr;  ///< non-owning; armed by the engine
+  std::uint64_t spilled_self_ = 0;
+  UserPart live_;  ///< the live user's partial (serial fold mode)
+  trace::UserId live_user_ = 0;
+  bool live_valid_ = false;
+  /// Merged shard rows awaiting their fold_user call (sharded fold mode).
+  std::vector<std::pair<trace::UserId, UserPart>> staged_;
+  /// Running week/era sums over folded users (stream = ascending user order).
+  std::vector<double> folded_fg_weeks_;
+  std::vector<double> folded_bg_weeks_;
+  std::vector<EraAccum> folded_eras_;
 
   // Query-time fold cache, invalidated by any mutation.
   mutable bool dirty_ = true;

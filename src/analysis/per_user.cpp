@@ -1,33 +1,36 @@
 #include "analysis/per_user.h"
 
 #include <algorithm>
-#include <map>
+
+#include "energy/account_cursor.h"
 
 namespace wildenergy::analysis {
 
 std::vector<UserSummary> per_user_summaries(const energy::EnergyLedger& ledger,
-                                            std::size_t top_apps) {
-  const std::vector<trace::UserId> users = ledger.users();
+                                            std::size_t top_apps, util::Status* status) {
   std::vector<UserSummary> out;
-  out.reserve(users.size());
-  for (trace::UserId user : users) {
-    auto accounts = ledger.user_accounts(user);
-    UserSummary s;
-    s.user = user;
-    double bg = 0.0;
-    for (const auto* acc : accounts) {
-      s.joules += acc->joules;
-      s.bytes += acc->bytes;
-      bg += acc->background_joules();
-    }
-    s.background_fraction = s.joules > 0 ? bg / s.joules : 0.0;
-    std::sort(accounts.begin(), accounts.end(),
-              [](const auto* a, const auto* b) { return a->joules > b->joules; });
-    for (std::size_t i = 0; i < std::min(top_apps, accounts.size()); ++i) {
-      s.top_apps.push_back(accounts[i]->app);
-    }
-    out.push_back(std::move(s));
-  }
+  util::Status st = energy::for_each_user_accounts(
+      ledger, [&](trace::UserId user, std::span<const energy::AppUserAccount> accounts) {
+        UserSummary s;
+        s.user = user;
+        double bg = 0.0;
+        std::vector<const energy::AppUserAccount*> ranked;
+        ranked.reserve(accounts.size());
+        for (const auto& acc : accounts) {
+          s.joules += acc.joules;
+          s.bytes += acc.bytes;
+          bg += acc.background_joules();
+          ranked.push_back(&acc);
+        }
+        s.background_fraction = s.joules > 0 ? bg / s.joules : 0.0;
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto* a, const auto* b) { return a->joules > b->joules; });
+        for (std::size_t i = 0; i < std::min(top_apps, ranked.size()); ++i) {
+          s.top_apps.push_back(ranked[i]->app);
+        }
+        out.push_back(std::move(s));
+      });
+  if (status != nullptr) status->update(st);
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "energy/ledger.h"
 #include "power/battery.h"
+#include "util/status.h"
 
 namespace wildenergy::analysis {
 
@@ -27,8 +28,12 @@ struct UserSummary {
   }
 };
 
-/// One summary per user with any traffic, ordered by user id.
+/// One summary per user with any traffic, ordered by user id. Reads the
+/// detail rows through an AccountCursor, so it works identically over
+/// resident and spilled (fold-and-release) ledgers; a corrupt account file
+/// latches the first decode error in `status`.
 [[nodiscard]] std::vector<UserSummary> per_user_summaries(const energy::EnergyLedger& ledger,
-                                                          std::size_t top_apps = 5);
+                                                          std::size_t top_apps = 5,
+                                                          util::Status* status = nullptr);
 
 }  // namespace wildenergy::analysis

@@ -1,6 +1,10 @@
 #include "analysis/persistence.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
+
+#include "energy/account_file.h"
 
 namespace wildenergy::analysis {
 
@@ -12,6 +16,9 @@ void PersistenceAnalysis::on_study_begin(const trace::StudyMeta& meta) {
   durations_.clear();
   durations_.resize(meta.num_apps);
   known_.assign(meta.num_apps, false);
+  spilled_self_ = 0;
+  hydrated_ = false;
+  hydrate_status_ = util::Status::ok_status();
 }
 
 PersistenceAnalysis::Episode& PersistenceAnalysis::episode(trace::UserId user,
@@ -32,7 +39,7 @@ void PersistenceAnalysis::close(Episode& episode, trace::AppId app) {
   const double duration_s =
       episode.saw_traffic ? std::max(0.0, (episode.last_packet - episode.transition).seconds())
                           : 0.0;
-  durations(app).add(duration_s);
+  dist_slot(app).add(duration_s);
   episode.open = false;
 }
 
@@ -83,13 +90,97 @@ void PersistenceAnalysis::merge_from(trace::TraceSink& shard) {
   auto& other = dynamic_cast<PersistenceAnalysis&>(shard);
   for (std::size_t app = 0; app < other.durations_.size(); ++app) {
     if (!other.known_[app]) continue;
-    durations(static_cast<trace::AppId>(app)).merge_from(other.durations_[app]);
+    dist_slot(static_cast<trace::AppId>(app)).merge_from(other.durations_[app]);
+  }
+}
+
+void PersistenceAnalysis::fold_user(trace::UserId /*user*/) {
+  if (spill_ == nullptr || hydrated_) return;
+  // In fold mode durations_ holds only the samples recorded since the last
+  // fold — exactly the completed user's samples (the stream is user-bracketed
+  // and every completed user folds).
+  std::size_t with_samples = 0;
+  for (const Distribution& dist : durations_) with_samples += dist.count() > 0 ? 1 : 0;
+  if (with_samples == 0) return;
+  ckpt::ByteWriter row;
+  row.put_varint(with_samples);
+  std::size_t prev_app = 0;
+  for (std::size_t app = 0; app < durations_.size(); ++app) {
+    if (durations_[app].count() == 0) continue;
+    row.put_varint(app - prev_app);  // app-ascending delta; the first is absolute
+    prev_app = app;
+    row.put_f64_span(durations_[app].samples());
+    durations_[app].restore_samples({});
+  }
+  spilled_self_ += spill_->add_section(kPersistSection, row.bytes());
+}
+
+void PersistenceAnalysis::hydrate() {
+  if (spill_ == nullptr || hydrated_) return;
+  hydrated_ = true;
+  energy::AccountReader reader;
+  util::Status st = reader.open(spill_->dir());
+  if (!st.ok()) {
+    hydrate_status_ = std::move(st);
+    return;
+  }
+  // Spilled samples land first (they are the stream-order prefix); the
+  // resident tail is appended after, rebuilding the user-major order.
+  std::vector<std::vector<double>> rebuilt(durations_.size());
+  reader.for_each_section(
+      kPersistSection, [&](trace::UserId user, std::string_view payload) {
+        if (!hydrate_status_.ok()) return;
+        ckpt::ByteReader in{payload};
+        const auto count = in.get_varint("persist app count");
+        if (!count.ok()) {
+          hydrate_status_ = count.status();
+          return;
+        }
+        if (*count > payload.size()) {
+          hydrate_status_ = util::Status::data_loss(
+              "persist row for user " + std::to_string(user) + ": implausible app count " +
+              std::to_string(*count));
+          return;
+        }
+        std::size_t app = 0;
+        for (std::uint64_t i = 0; i < *count; ++i) {
+          const auto delta = in.get_varint("persist app delta");
+          if (!delta.ok()) {
+            hydrate_status_ = delta.status();
+            return;
+          }
+          app += static_cast<std::size_t>(*delta);
+          auto samples = in.get_f64_vec("persist samples");
+          if (!samples.ok()) {
+            hydrate_status_ = samples.status();
+            return;
+          }
+          if (app >= rebuilt.size()) rebuilt.resize(app + 1);
+          rebuilt[app].insert(rebuilt[app].end(), samples->begin(), samples->end());
+        }
+        if (!in.at_end()) {
+          hydrate_status_ = util::Status::data_loss(
+              "persist row for user " + std::to_string(user) + ": trailing bytes at offset " +
+              std::to_string(in.offset()));
+        }
+      });
+  if (!hydrate_status_.ok()) return;
+  for (std::size_t app = 0; app < rebuilt.size(); ++app) {
+    if (rebuilt[app].empty()) continue;
+    Distribution& dist = dist_slot(static_cast<trace::AppId>(app));
+    const auto resident = dist.samples();
+    rebuilt[app].insert(rebuilt[app].end(), resident.begin(), resident.end());
+    dist.restore_samples(std::move(rebuilt[app]));
   }
 }
 
 void PersistenceAnalysis::on_user_end(trace::UserId /*user*/) { flush_user(); }
 
 void PersistenceAnalysis::save_state(ckpt::ByteWriter& out) const {
+  // Leading mode byte: 0 = all samples resident (historical body follows);
+  // 1 = fold mode, spill accounting first, body holds the resident tail.
+  out.put_u8(spill_ != nullptr ? 1 : 0);
+  if (spill_ != nullptr) out.put_varint(spilled_self_);
   out.put_varint(durations_.size());
   out.put_bool_vec(known_);
   for (std::size_t app = 0; app < durations_.size(); ++app) {
@@ -99,6 +190,18 @@ void PersistenceAnalysis::save_state(ckpt::ByteWriter& out) const {
 }
 
 util::Status PersistenceAnalysis::restore_state(ckpt::ByteReader& in) {
+  auto mode = in.get_u8("persistence.mode");
+  if (!mode.ok()) return mode.status();
+  if (*mode > 1) {
+    return util::Status::data_loss("corrupt checkpoint: unknown persistence mode " +
+                                   std::to_string(*mode));
+  }
+  spilled_self_ = 0;
+  if (*mode == 1) {
+    auto spilled = in.get_varint("persistence.spilled_bytes");
+    if (!spilled.ok()) return spilled.status();
+    spilled_self_ = *spilled;
+  }
   auto num_apps = in.get_varint("persistence.apps");
   if (!num_apps.ok()) return num_apps.status();
   auto status = in.get_bool_vec(known_, "persistence.known");
@@ -117,13 +220,18 @@ util::Status PersistenceAnalysis::restore_state(ckpt::ByteReader& in) {
   return util::Status::ok_status();
 }
 
-Distribution& PersistenceAnalysis::durations(trace::AppId app) {
+Distribution& PersistenceAnalysis::dist_slot(trace::AppId app) {
   if (app >= durations_.size()) {
     durations_.resize(app + 1);
     known_.resize(app + 1, false);
   }
   known_[app] = true;
   return durations_[app];
+}
+
+Distribution& PersistenceAnalysis::durations(trace::AppId app) {
+  hydrate();
+  return dist_slot(app);
 }
 
 std::vector<trace::AppId> PersistenceAnalysis::tracked_apps() const {
@@ -135,16 +243,17 @@ std::vector<trace::AppId> PersistenceAnalysis::tracked_apps() const {
 }
 
 double PersistenceAnalysis::fraction_persisting_longer_than(trace::AppId app, Duration d) {
+  hydrate();
   if (app >= durations_.size() || durations_[app].count() == 0) return 0.0;
   return 1.0 - durations_[app].cdf_at(d.seconds());
 }
 
-std::uint64_t PersistenceAnalysis::memory_bytes() const {
+obs::MemoryUse PersistenceAnalysis::memory_use() const {
   std::uint64_t total = episodes_.capacity() * sizeof(Episode) +
                         durations_.capacity() * sizeof(Distribution) +
                         (known_.capacity() + 7) / 8;
   for (const auto& dist : durations_) total += dist.count() * sizeof(double);
-  return total;
+  return {.resident_bytes = total, .spilled_bytes = spilled_self_};
 }
 
 }  // namespace wildenergy::analysis

@@ -13,6 +13,7 @@
 // dense per-app Distribution array — no hashing on the packet path.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -21,7 +22,14 @@
 #include "trace/sink.h"
 #include "util/stats.h"
 
+namespace wildenergy::energy {
+class AccountSpill;  // energy/account_file.h
+}
+
 namespace wildenergy::analysis {
+
+/// Section name this sink spills its per-user duration samples under.
+inline constexpr const char* kPersistSection = "persist";
 
 class PersistenceAnalysis final : public trace::TraceSink,
                                   public trace::ShardableSink,
@@ -46,6 +54,17 @@ class PersistenceAnalysis final : public trace::TraceSink,
   void save_state(ckpt::ByteWriter& out) const override;
   [[nodiscard]] util::Status restore_state(ckpt::ByteReader& in) override;
 
+  // -- fold-and-release (DESIGN.md §15) --------------------------------------
+  /// Arm fold mode: fold_user() spills the completed user's duration samples
+  /// as a "persist" row-group section and clears the resident sample arrays
+  /// (known_ flags survive, so tracked_apps() stays exact). Queries hydrate
+  /// the spilled samples back lazily, rebuilding the user-major sample order.
+  void set_account_spill(energy::AccountSpill* spill) { spill_ = spill; }
+  [[nodiscard]] bool fold_mode() const { return spill_ != nullptr; }
+  void fold_user(trace::UserId user) override;
+  /// OK unless query-time hydration of spilled samples failed.
+  [[nodiscard]] const util::Status& hydrate_status() const { return hydrate_status_; }
+
   /// Persistence durations (seconds) for one app, one per fg->bg transition.
   /// Empty if the app was never foregrounded.
   [[nodiscard]] Distribution& durations(trace::AppId app);
@@ -57,7 +76,7 @@ class PersistenceAnalysis final : public trace::TraceSink,
 
   /// Approximate resident footprint: the per-app episode array plus the
   /// retained per-app duration samples.
-  [[nodiscard]] std::uint64_t memory_bytes() const override;
+  [[nodiscard]] obs::MemoryUse memory_use() const override;
 
  private:
   struct Episode {
@@ -72,6 +91,15 @@ class PersistenceAnalysis final : public trace::TraceSink,
   void close(Episode& episode, trace::AppId app);
   /// Close every open episode in app-ascending order, then reset the array.
   void flush_user();
+  /// The app's sample slot, growing the arrays — the stream-path accessor
+  /// (durations() additionally hydrates spilled samples, which must never
+  /// happen mid-run: unsealed rows would be unreadable and their cleared
+  /// samples lost).
+  Distribution& dist_slot(trace::AppId app);
+  /// Stream spilled "persist" sections back into the resident sample arrays
+  /// (spilled prefix first, resident tail after — the user-major order a
+  /// fully resident run holds). Idempotent; errors latch in hydrate_status_.
+  void hydrate();
 
   Duration quiet_gap_;
   /// Open episodes of the current user, indexed by AppId (one user is live
@@ -82,6 +110,13 @@ class PersistenceAnalysis final : public trace::TraceSink,
   /// have an entry at all (recorded or created via durations()).
   std::vector<Distribution> durations_;
   std::vector<bool> known_;
+
+  // Fold-and-release state (all empty/zero outside fold mode). In fold mode
+  // durations_ holds only the not-yet-folded samples (the resident tail).
+  energy::AccountSpill* spill_ = nullptr;  ///< non-owning; armed by the engine
+  std::uint64_t spilled_self_ = 0;
+  bool hydrated_ = false;
+  util::Status hydrate_status_;
 };
 
 }  // namespace wildenergy::analysis

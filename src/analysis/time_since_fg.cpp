@@ -217,10 +217,12 @@ std::vector<double> TimeSinceForegroundAnalysis::spike_offsets_seconds(
   return out;
 }
 
-std::uint64_t TimeSinceForegroundAnalysis::memory_bytes() const {
-  return histogram_.bins() * sizeof(double) + track_.capacity() * sizeof(std::uint8_t) +
-         last_exit_.capacity() * sizeof(TimePoint) + tallies_.capacity() * sizeof(AppTally) +
-         (touched_.capacity() + 7) / 8;
+obs::MemoryUse TimeSinceForegroundAnalysis::memory_use() const {
+  return {.resident_bytes = histogram_.bins() * sizeof(double) +
+                            track_.capacity() * sizeof(std::uint8_t) +
+                            last_exit_.capacity() * sizeof(TimePoint) +
+                            tallies_.capacity() * sizeof(AppTally) + (touched_.capacity() + 7) / 8,
+          .spilled_bytes = 0};
 }
 
 }  // namespace wildenergy::analysis

@@ -76,7 +76,7 @@ class TimeSinceForegroundAnalysis final : public trace::TraceSink,
 
   /// Approximate resident footprint: histogram bins plus the per-app
   /// tracking arrays and tallies.
-  [[nodiscard]] std::uint64_t memory_bytes() const override;
+  [[nodiscard]] obs::MemoryUse memory_use() const override;
 
  private:
   static constexpr trace::UserId kNoUser = UINT32_MAX;

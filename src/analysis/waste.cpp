@@ -1,6 +1,9 @@
 #include "analysis/waste.h"
 
 #include <algorithm>
+#include <string>
+
+#include "energy/account_file.h"
 
 namespace wildenergy::analysis {
 
@@ -19,7 +22,12 @@ WastedUpdateAnalysis::WastedUpdateAnalysis(std::vector<trace::AppId> apps, Durat
 void WastedUpdateAnalysis::on_study_begin(const trace::StudyMeta& meta) {
   cur_user_ = kNoUser;
   per_app_.assign(apps_.size(), PerApp{});
-  for (PerApp& pa : per_app_) pa.user_parts.resize(meta.num_users);
+  if (spill_ == nullptr) {
+    // Fold mode never allocates the dense O(apps x users) partial arrays —
+    // that is the entire point of the lifecycle (DESIGN.md §15).
+    for (PerApp& pa : per_app_) pa.user_parts.resize(meta.num_users);
+  }
+  spilled_self_ = 0;
   assembler_.on_study_begin(meta);
 }
 
@@ -31,6 +39,12 @@ WastedUpdateAnalysis::PerApp* WastedUpdateAnalysis::slot(trace::AppId app) {
 }
 
 WastedUpdateAnalysis::UserPart& WastedUpdateAnalysis::part(PerApp& pa, trace::UserId user) {
+  if (spill_ != nullptr) {
+    // Stream callbacks only ever touch the live user (the stream is
+    // user-bracketed and fold_user cleared the previous one).
+    pa.live.touched = true;
+    return pa.live;
+  }
   if (user >= pa.user_parts.size()) pa.user_parts.resize(user + 1);
   UserPart& out = pa.user_parts[user];
   out.touched = true;
@@ -128,6 +142,12 @@ void WastedUpdateAnalysis::merge_from(trace::TraceSink& shard) {
     for (trace::UserId user = 0; user < theirs.user_parts.size(); ++user) {
       const UserPart& up = theirs.user_parts[user];
       if (!up.touched) continue;
+      if (spill_ != nullptr) {
+        // Fold mode: keep the shard's rows staged until the engine's
+        // fold_user call collapses and spills them.
+        mine.staged.emplace_back(user, up);
+        continue;
+      }
       UserPart& target = part(mine, user);
       target.joules += up.joules;
       target.wasted_joules += up.wasted_joules;
@@ -135,7 +155,58 @@ void WastedUpdateAnalysis::merge_from(trace::TraceSink& shard) {
   }
 }
 
+void WastedUpdateAnalysis::fold_user(trace::UserId user) {
+  if (spill_ == nullptr) return;
+  const auto find_staged = [user](PerApp& pa) {
+    return std::find_if(pa.staged.begin(), pa.staged.end(),
+                        [user](const auto& entry) { return entry.first == user; });
+  };
+  std::size_t with_parts = 0;
+  for (PerApp& pa : per_app_) {
+    if (find_staged(pa) != pa.staged.end() || pa.live.touched) ++with_parts;
+  }
+  if (with_parts == 0) return;
+  ckpt::ByteWriter row;
+  row.put_varint(with_parts);
+  std::size_t prev_slot = 0;
+  for (std::size_t i = 0; i < per_app_.size(); ++i) {
+    PerApp& pa = per_app_[i];
+    auto it = find_staged(pa);
+    UserPart* up = nullptr;
+    if (it != pa.staged.end()) {
+      up = &it->second;
+    } else if (pa.live.touched) {
+      up = &pa.live;
+    }
+    if (up == nullptr) continue;
+    row.put_varint(i - prev_slot);  // slot-ascending delta; the first is absolute
+    prev_slot = i;
+    row.put_f64(up->joules);
+    row.put_f64(up->wasted_joules);
+    // Stream order is ascending user id, so these running sums reproduce the
+    // ascending query-time fold bit for bit.
+    pa.folded_joules += up->joules;
+    pa.folded_wasted_joules += up->wasted_joules;
+    if (it != pa.staged.end()) {
+      pa.staged.erase(it);
+    } else {
+      pa.live = UserPart{};
+    }
+  }
+  spilled_self_ += spill_->add_section(kWasteSection, row.bytes());
+}
+
 void WastedUpdateAnalysis::save_state(ckpt::ByteWriter& out) const {
+  // Leading mode byte: 0 = dense resident partials (historical body
+  // follows); 1 = fold mode, folded per-app sums first.
+  out.put_u8(spill_ != nullptr ? 1 : 0);
+  if (spill_ != nullptr) {
+    for (const PerApp& pa : per_app_) {
+      out.put_f64(pa.folded_joules);
+      out.put_f64(pa.folded_wasted_joules);
+    }
+    out.put_varint(spilled_self_);
+  }
   out.put_varint(per_app_.size());
   for (const PerApp& pa : per_app_) {
     out.put_varint(pa.updates);
@@ -151,6 +222,32 @@ void WastedUpdateAnalysis::save_state(ckpt::ByteWriter& out) const {
 }
 
 util::Status WastedUpdateAnalysis::restore_state(ckpt::ByteReader& in) {
+  auto mode = in.get_u8("waste.mode");
+  if (!mode.ok()) return mode.status();
+  if (*mode > 1) {
+    return util::Status::data_loss("corrupt checkpoint: unknown waste mode " +
+                                   std::to_string(*mode));
+  }
+  spilled_self_ = 0;
+  for (PerApp& pa : per_app_) {
+    pa.folded_joules = 0.0;
+    pa.folded_wasted_joules = 0.0;
+    pa.live = UserPart{};
+    pa.staged.clear();
+  }
+  if (*mode == 1) {
+    for (PerApp& pa : per_app_) {
+      auto joules = in.get_f64("waste.folded_joules");
+      if (!joules.ok()) return joules.status();
+      pa.folded_joules = *joules;
+      auto wasted = in.get_f64("waste.folded_wasted_joules");
+      if (!wasted.ok()) return wasted.status();
+      pa.folded_wasted_joules = *wasted;
+    }
+    auto spilled = in.get_varint("waste.spilled_bytes");
+    if (!spilled.ok()) return spilled.status();
+    spilled_self_ = *spilled;
+  }
   auto num_apps = in.get_varint("waste.apps");
   if (!num_apps.ok()) return num_apps.status();
   if (*num_apps != per_app_.size()) {
@@ -195,21 +292,34 @@ WasteResult WastedUpdateAnalysis::result(trace::AppId app) const {
   const PerApp& pa = per_app_[tracked_index_[app]];
   out.updates = pa.updates;
   out.wasted_updates = pa.wasted_updates;
+  // Folded prefix first, then the resident remainder in the same ascending
+  // user order — the identical floating-point fold either way.
+  out.joules = pa.folded_joules;
+  out.wasted_joules = pa.folded_wasted_joules;
   for (const UserPart& up : pa.user_parts) {
     if (!up.touched) continue;
     out.joules += up.joules;
     out.wasted_joules += up.wasted_joules;
   }
+  for (const auto& [user, up] : pa.staged) {
+    out.joules += up.joules;
+    out.wasted_joules += up.wasted_joules;
+  }
+  if (pa.live.touched) {
+    out.joules += pa.live.joules;
+    out.wasted_joules += pa.live.wasted_joules;
+  }
   return out;
 }
 
-std::uint64_t WastedUpdateAnalysis::memory_bytes() const {
+obs::MemoryUse WastedUpdateAnalysis::memory_use() const {
   std::uint64_t total = tracked_index_.capacity() * sizeof(std::uint32_t);
   for (const PerApp& pa : per_app_) {
     total += pa.user_parts.capacity() * sizeof(UserPart) +
-             pa.pending.size() * sizeof(PendingUpdate);
+             pa.pending.size() * sizeof(PendingUpdate) +
+             pa.staged.capacity() * sizeof(pa.staged[0]);
   }
-  return total;
+  return {.resident_bytes = total, .spilled_bytes = spilled_self_};
 }
 
 }  // namespace wildenergy::analysis

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "ckpt/checkpointable.h"
@@ -26,7 +27,14 @@
 #include "trace/shardable.h"
 #include "trace/sink.h"
 
+namespace wildenergy::energy {
+class AccountSpill;  // energy/account_file.h
+}
+
 namespace wildenergy::analysis {
+
+/// Section name this sink spills per-user energy splits under.
+inline constexpr const char* kWasteSection = "waste";
 
 struct WasteResult {
   trace::AppId app = 0;
@@ -67,12 +75,24 @@ class WastedUpdateAnalysis final : public trace::TraceSink,
   void save_state(ckpt::ByteWriter& out) const override;
   [[nodiscard]] util::Status restore_state(ckpt::ByteReader& in) override;
 
+  // -- fold-and-release (DESIGN.md §15) --------------------------------------
+  /// Arm fold mode: the dense per-app user_parts arrays are not allocated
+  /// (they are O(apps x users), the sink's entire footprint). The live user
+  /// accumulates in one part per app; merged shard rows stage in a small
+  /// buffer; fold_user() folds the completed user's parts into per-app
+  /// running sums (stream order = ascending user id, bit-identical to the
+  /// ascending query-time folds), spills them as a "waste" section, and
+  /// clears them.
+  void set_account_spill(energy::AccountSpill* spill) { spill_ = spill; }
+  [[nodiscard]] bool fold_mode() const { return spill_ != nullptr; }
+  void fold_user(trace::UserId user) override;
+
   [[nodiscard]] WasteResult result(trace::AppId app) const;
   [[nodiscard]] const std::vector<trace::AppId>& tracked() const { return apps_; }
 
   /// Approximate resident footprint: per-user energy partials plus the
   /// pending-update queues.
-  [[nodiscard]] std::uint64_t memory_bytes() const override;
+  [[nodiscard]] obs::MemoryUse memory_use() const override;
 
  private:
   struct PendingUpdate {
@@ -89,9 +109,15 @@ class WastedUpdateAnalysis final : public trace::TraceSink,
   struct PerApp {
     std::uint64_t updates = 0;
     std::uint64_t wasted_updates = 0;
-    std::vector<UserPart> user_parts;  ///< dense by UserId
+    std::vector<UserPart> user_parts;  ///< dense by UserId (resident mode only)
     /// Current user's not-yet-settled updates (one user is live at a time).
     std::deque<PendingUpdate> pending;
+    // Fold-and-release state (unused outside fold mode).
+    UserPart live;  ///< the live user's partial (serial fold mode)
+    /// Merged shard rows awaiting their fold_user call (sharded fold mode).
+    std::vector<std::pair<trace::UserId, UserPart>> staged;
+    double folded_joules = 0.0;
+    double folded_wasted_joules = 0.0;
   };
   static constexpr std::uint32_t kUntracked = UINT32_MAX;
   static constexpr trace::UserId kNoUser = UINT32_MAX;
@@ -112,6 +138,10 @@ class WastedUpdateAnalysis final : public trace::TraceSink,
   trace::UserId cur_user_ = kNoUser;
   std::vector<PerApp> per_app_;  ///< one slot per tracked app, in apps_ order
   trace::FlowAssembler assembler_;
+
+  // Fold-and-release state (zero outside fold mode).
+  energy::AccountSpill* spill_ = nullptr;  ///< non-owning; armed by the engine
+  std::uint64_t spilled_self_ = 0;
 };
 
 }  // namespace wildenergy::analysis

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "energy/account_cursor.h"
+
 namespace wildenergy::analysis {
 
 namespace {
@@ -28,20 +30,14 @@ void for_each_suppressed_day(const energy::AppUserAccount& acc, std::int64_t idl
   }
 }
 
-}  // namespace
-
-WhatIfRow whatif_kill_after(const energy::EnergyLedger& ledger, trace::AppId app,
-                            std::int64_t idle_days) {
+/// Per-app Table 2 accumulators, folded one account at a time.
+struct RowAccum {
   WhatIfRow row;
-  row.app = app;
-
-  std::uint64_t traffic_days = 0;
   std::uint64_t bg_only_days = 0;
   std::uint64_t total_days = 0;
   double sum_user_pct = 0.0;
 
-  for (const auto& acc : ledger.accounts()) {
-    if (acc.app != app || acc.joules <= 0.0) continue;
+  void add(const energy::AppUserAccount& acc, std::int64_t idle_days) {
     ++row.users_with_app;
 
     // Rows A and B. A is the fraction of study days with only background
@@ -58,10 +54,8 @@ WhatIfRow whatif_kill_after(const energy::EnergyLedger& ledger, trace::AppId app
         }
         run = 0;
         run_anchored = true;
-        ++traffic_days;
       } else if (cell.bg_bytes > 0) {
         ++run;
-        ++traffic_days;
         ++bg_only_days;
       } else {
         run = 0;  // a silent day breaks the consecutive-bg-days run
@@ -79,51 +73,92 @@ WhatIfRow whatif_kill_after(const energy::EnergyLedger& ledger, trace::AppId app
     sum_user_pct += 100.0 * saved / acc.joules;
   }
 
-  (void)traffic_days;
-  if (total_days > 0) {
-    row.pct_days_background_only =
-        100.0 * static_cast<double>(bg_only_days) / static_cast<double>(total_days);
+  [[nodiscard]] WhatIfRow finish() const {
+    WhatIfRow out = row;
+    if (total_days > 0) {
+      out.pct_days_background_only =
+          100.0 * static_cast<double>(bg_only_days) / static_cast<double>(total_days);
+    }
+    if (out.users_with_app > 0) {
+      out.pct_energy_saved = sum_user_pct / out.users_with_app;
+    }
+    return out;
   }
-  if (row.users_with_app > 0) {
-    row.pct_energy_saved = sum_user_pct / row.users_with_app;
+};
+
+}  // namespace
+
+std::vector<WhatIfRow> whatif_kill_after_all(const energy::EnergyLedger& ledger,
+                                             std::span<const trace::AppId> apps,
+                                             std::int64_t idle_days, util::Status* status) {
+  std::vector<RowAccum> accums(apps.size());
+  std::unordered_map<trace::AppId, std::size_t> slot;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    accums[i].row.app = apps[i];
+    slot.emplace(apps[i], i);
   }
-  return row;
+
+  energy::AccountCursor cursor{ledger};
+  while (const energy::AppUserAccount* acc = cursor.next()) {
+    if (acc->joules <= 0.0) continue;
+    auto it = slot.find(acc->app);
+    if (it != slot.end()) accums[it->second].add(*acc, idle_days);
+  }
+  if (status != nullptr) status->update(cursor.status());
+
+  std::vector<WhatIfRow> out;
+  out.reserve(accums.size());
+  for (const RowAccum& a : accums) out.push_back(a.finish());
+  return out;
 }
 
-OverallWhatIf whatif_overall(const energy::EnergyLedger& ledger, std::int64_t idle_days) {
+WhatIfRow whatif_kill_after(const energy::EnergyLedger& ledger, trace::AppId app,
+                            std::int64_t idle_days, util::Status* status) {
+  return whatif_kill_after_all(ledger, {&app, 1}, idle_days, status)[0];
+}
+
+OverallWhatIf whatif_overall(const energy::EnergyLedger& ledger, std::int64_t idle_days,
+                             util::Status* status) {
   OverallWhatIf out;
   out.total_joules = ledger.total_joules();
-  for (const auto& acc : ledger.accounts()) {
-    for_each_suppressed_day(acc, idle_days, [&](std::size_t, const energy::DayCell& cell) {
+  energy::AccountCursor cursor{ledger};
+  while (const energy::AppUserAccount* acc = cursor.next()) {
+    for_each_suppressed_day(*acc, idle_days, [&](std::size_t, const energy::DayCell& cell) {
       out.saved_joules += cell.bg_joules;
     });
   }
+  if (status != nullptr) status->update(cursor.status());
   return out;
 }
 
 double pct_saved_on_affected_days(const energy::EnergyLedger& ledger, trace::AppId app,
-                                  std::int64_t idle_days) {
-  // Per-user-per-day whole-device energy, for the denominators.
-  std::unordered_map<trace::UserId, std::vector<double>> device_day_joules;
-  for (const auto& acc : ledger.accounts()) {
-    auto& days = device_day_joules[acc.user];
-    if (days.size() < acc.days.size()) days.resize(acc.days.size(), 0.0);
-    for (std::size_t d = 0; d < acc.days.size(); ++d) {
-      days[d] += acc.days[d].fg_joules + acc.days[d].bg_joules;
-    }
-  }
-
+                                  std::int64_t idle_days, util::Status* status) {
+  // One user-grouped pass: the denominators (per-day whole-device energy)
+  // only involve the same user's other accounts, which the cursor hands us
+  // together — no user -> day-vector map held across the whole scan.
   double saved = 0.0;
   double device_total_on_affected_days = 0.0;
-  for (const auto& acc : ledger.accounts()) {
-    if (acc.app != app || acc.joules <= 0.0) continue;
-    const auto& days = device_day_joules[acc.user];
-    for_each_suppressed_day(acc, idle_days, [&](std::size_t d, const energy::DayCell& cell) {
-      if (cell.bg_joules <= 0.0) return;  // only days where suppression bites
-      saved += cell.bg_joules;
-      device_total_on_affected_days += days[d];
-    });
-  }
+  std::vector<double> day_joules;  // reused per user
+  util::Status st = energy::for_each_user_accounts(
+      ledger, [&](trace::UserId, std::span<const energy::AppUserAccount> accounts) {
+        day_joules.clear();
+        for (const auto& acc : accounts) {
+          if (day_joules.size() < acc.days.size()) day_joules.resize(acc.days.size(), 0.0);
+          for (std::size_t d = 0; d < acc.days.size(); ++d) {
+            day_joules[d] += acc.days[d].fg_joules + acc.days[d].bg_joules;
+          }
+        }
+        for (const auto& acc : accounts) {
+          if (acc.app != app || acc.joules <= 0.0) continue;
+          for_each_suppressed_day(acc, idle_days,
+                                  [&](std::size_t d, const energy::DayCell& cell) {
+                                    if (cell.bg_joules <= 0.0) return;  // suppression must bite
+                                    saved += cell.bg_joules;
+                                    device_total_on_affected_days += day_joules[d];
+                                  });
+        }
+      });
+  if (status != nullptr) status->update(st);
   return device_total_on_affected_days > 0 ? 100.0 * saved / device_total_on_affected_days : 0.0;
 }
 

@@ -6,15 +6,24 @@
 //        network energy that disappears if the OS suppresses its background
 //        traffic once the app has been idle for `idle_days` consecutive days.
 //
-// These are day-granularity computations over the EnergyLedger; the exact
-// packet-level counterpart (re-running attribution with a policy filter in
-// the stream) lives in core/policy.h, and bench/table2_whatif compares both.
+// These are day-granularity computations over the ledger's detail rows,
+// read through an AccountCursor (energy/account_cursor.h) so they work
+// unchanged — and bit-identically — whether the accounts are resident or
+// spilled by a fold-and-release run (DESIGN.md §15). The exact packet-level
+// counterpart (re-running attribution with a policy filter in the stream)
+// lives in core/policy.h, and bench/table2_whatif compares both.
+//
+// All entry points take an optional Status out-param: a corrupt account
+// file latches the first decode error there (the returned figures then
+// cover only the rows decoded before the error).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "energy/ledger.h"
+#include "util/status.h"
 
 namespace wildenergy::analysis {
 
@@ -30,7 +39,16 @@ struct WhatIfRow {
 
 /// Compute the Table 2 row for one app.
 [[nodiscard]] WhatIfRow whatif_kill_after(const energy::EnergyLedger& ledger, trace::AppId app,
-                                          std::int64_t idle_days = 3);
+                                          std::int64_t idle_days = 3,
+                                          util::Status* status = nullptr);
+
+/// Table 2 rows for several apps in ONE pass over the account rows (under
+/// fold mode each pass replays the spilled files, so per-app calls in a loop
+/// would re-read them once per app). Rows come back in `apps` order.
+[[nodiscard]] std::vector<WhatIfRow> whatif_kill_after_all(const energy::EnergyLedger& ledger,
+                                                           std::span<const trace::AppId> apps,
+                                                           std::int64_t idle_days = 3,
+                                                           util::Status* status = nullptr);
 
 struct OverallWhatIf {
   double saved_joules = 0.0;
@@ -42,7 +60,8 @@ struct OverallWhatIf {
 };
 /// Apply the kill-after policy to every app and sum the savings.
 [[nodiscard]] OverallWhatIf whatif_overall(const energy::EnergyLedger& ledger,
-                                           std::int64_t idle_days = 3);
+                                           std::int64_t idle_days = 3,
+                                           util::Status* status = nullptr);
 
 /// Paper: "for the users running Weibo, disabling Weibo alone after just
 /// three days of inactivity could have reduced their total network energy
@@ -50,6 +69,7 @@ struct OverallWhatIf {
 /// relative to the affected users' *whole-device* energy on the affected
 /// days.
 [[nodiscard]] double pct_saved_on_affected_days(const energy::EnergyLedger& ledger,
-                                                trace::AppId app, std::int64_t idle_days = 3);
+                                                trace::AppId app, std::int64_t idle_days = 3,
+                                                util::Status* status = nullptr);
 
 }  // namespace wildenergy::analysis

@@ -78,34 +78,37 @@ util::Status restore_sections(
   }
   return util::Status::ok_status();
 }
+
+// Serial-engine fold dispatcher (DESIGN.md §15): forwards the stream
+// unchanged and fires the pipeline's fold round after each user's bracket
+// closes downstream — so the attributor has flushed the user's tail energy
+// and every sink holds the user's complete detail before it folds. Sits
+// above the interface filter (folds see fully attributed users) and below
+// the checkpoint decorators (a snapshot is taken only after the fold and
+// its spill rows landed).
+class FoldDispatchSink final : public trace::TraceSink {
+ public:
+  FoldDispatchSink(trace::TraceSink* inner, std::function<void(trace::UserId)> fold)
+      : inner_(inner), fold_(std::move(fold)) {}
+
+  void on_study_begin(const trace::StudyMeta& meta) override { inner_->on_study_begin(meta); }
+  void on_user_begin(trace::UserId user) override { inner_->on_user_begin(user); }
+  void on_packet(const trace::PacketRecord& packet) override { inner_->on_packet(packet); }
+  void on_transition(const trace::StateTransition& t) override { inner_->on_transition(t); }
+  void on_user_end(trace::UserId user) override {
+    inner_->on_user_end(user);
+    fold_(user);
+  }
+  void on_study_end() override { inner_->on_study_end(); }
+  // Batches arrive strictly inside the user bracket (trace/sink.h), so
+  // forwarding them whole never reorders a batch across a fold.
+  void on_batch(const trace::EventBatch& batch) override { inner_->on_batch(batch); }
+
+ private:
+  trace::TraceSink* inner_;
+  std::function<void(trace::UserId)> fold_;
+};
 }  // namespace
-
-StudyPipeline::StudyPipeline(sim::StudyConfig config, PipelineOptions options)
-    : StudyPipeline(std::make_unique<sim::StudyGenerator>(config), std::move(options)) {}
-
-StudyPipeline::StudyPipeline(sim::StudyConfig config, appmodel::AppCatalog catalog,
-                             PipelineOptions options)
-    : StudyPipeline(std::make_unique<sim::StudyGenerator>(config, std::move(catalog)),
-                    std::move(options)) {}
-
-StudyPipeline::StudyPipeline(std::unique_ptr<sim::StudyGenerator> generator,
-                             PipelineOptions options)
-    : owned_generator_(std::move(generator)),
-      source_(owned_generator_.get()),
-      attributor_(resolve_factory(options), &downstream_, options.tail_policy),
-      radio_factory_(options.radio_factory),
-      tail_policy_(options.tail_policy),
-      interface_(options.interface),
-      num_threads_(options.num_threads),
-      failure_policy_(options.failure_policy),
-      max_shard_retries_(options.max_shard_retries),
-      fault_plan_(options.fault_plan),
-      batch_size_(options.batch_size),
-      checkpoint_dir_(options.checkpoint_dir),
-      checkpoint_every_users_(options.checkpoint_every_users),
-      resume_(options.resume),
-      collect_stage_stats_(options.collect_stage_stats),
-      trace_writer_(options.trace_writer) {}
 
 StudyPipeline::StudyPipeline(trace::TraceSource* source, PipelineOptions options)
     : source_(source),
@@ -121,6 +124,8 @@ StudyPipeline::StudyPipeline(trace::TraceSource* source, PipelineOptions options
       checkpoint_dir_(options.checkpoint_dir),
       checkpoint_every_users_(options.checkpoint_every_users),
       resume_(options.resume),
+      account_dir_(options.account_dir),
+      account_budget_bytes_(options.account_budget_bytes),
       collect_stage_stats_(options.collect_stage_stats),
       trace_writer_(options.trace_writer) {}
 
@@ -160,6 +165,33 @@ util::StatusOr<obs::RunStats> StudyPipeline::run() {
     }
   }
 
+  // Fold-and-release (DESIGN.md §15): arm the account spill before the
+  // engines run so every opted-in sink routes per-user detail through
+  // fold_user. Re-arming on every run — with nullptr when account_dir_ is
+  // empty — keeps a pipeline that drops its account_dir between runs fully
+  // resident again.
+  account_spill_.reset();
+  if (account_dir_.empty() && account_budget_bytes_ != 0) {
+    return util::Status::invalid_argument(
+        "account budget requires an account directory (set account_dir)");
+  }
+  if (!account_dir_.empty()) {
+    energy::AccountSpill::Options spill_options;
+    spill_options.dir = account_dir_;
+    spill_options.budget_bytes = account_budget_bytes_;
+    account_spill_ = std::make_unique<energy::AccountSpill>(std::move(spill_options));
+    if (!resume_) {
+      if (util::Status st = account_spill_->open_fresh(); !st.ok()) return st;
+    }
+    // A resuming run keeps the checkpoint-vouched file prefix instead: the
+    // engine calls resume() once it has the snapshot's sealed-file counter.
+  }
+  attributor_.set_account_spill(account_spill_.get());
+  ledger_.set_account_spill(account_spill_.get());
+  for (const auto& [name, sink] : analyses_) {
+    if (auto* s = trace::as_shardable(sink)) s->set_account_spill(account_spill_.get());
+  }
+
   // Sharding requires per-user random access; forward-only sources (the file
   // readers) always stream through the serial engine.
   const bool random_access = source_->supports_user_access();
@@ -189,21 +221,42 @@ util::StatusOr<obs::RunStats> StudyPipeline::run() {
   // Memory accounting (obs::RunStats::memory): sink footprints as the sinks
   // estimate them, the source's cached columns (TraceStore replays), and the
   // process peak RSS. Mirrored into mem.* gauges for the --metrics dump.
-  stats_.memory.ledger_bytes = ledger_.memory_bytes();
-  for (const auto& [name, sink] : analyses_) stats_.memory.analyses_bytes += sink->memory_bytes();
-  stats_.memory.store_bytes = source_->memory_bytes();
+  stats_.memory.ledger = ledger_.memory_use();
+  for (const auto& [name, sink] : analyses_) stats_.memory.analyses += sink->memory_use();
   if (const auto* backend = dynamic_cast<const trace::StoreBackend*>(source_)) {
-    stats_.memory.store_spilled_bytes = backend->spilled_bytes();
+    stats_.memory.store = backend->memory_use();
+  }
+  if (account_spill_ != nullptr) {
+    // Resident is read before the final seal so the number describes the
+    // bounded pending-writer footprint the run held, not the post-seal zero.
+    stats_.memory.accounts.resident_bytes = account_spill_->resident_bytes();
+    if (util::Status st = account_spill_->seal(); !st.ok()) return st;
+    if (util::Status st = account_spill_->health(); !st.ok()) return st;
+    stats_.memory.accounts.spilled_bytes = account_spill_->spilled_bytes();
   }
   stats_.memory.peak_rss_bytes = obs::peak_rss_bytes();
   auto& reg = obs::MetricsRegistry::global();
-  reg.gauge("mem.ledger_bytes").set(static_cast<double>(stats_.memory.ledger_bytes));
-  reg.gauge("mem.analyses_bytes").set(static_cast<double>(stats_.memory.analyses_bytes));
-  reg.gauge("mem.store_bytes").set(static_cast<double>(stats_.memory.store_bytes));
+  reg.gauge("mem.ledger_bytes").set(static_cast<double>(stats_.memory.ledger.resident_bytes));
+  reg.gauge("mem.analyses_bytes").set(static_cast<double>(stats_.memory.analyses.resident_bytes));
+  reg.gauge("mem.store_bytes").set(static_cast<double>(stats_.memory.store.resident_bytes));
   reg.gauge("mem.store_spilled_bytes")
-      .set(static_cast<double>(stats_.memory.store_spilled_bytes));
+      .set(static_cast<double>(stats_.memory.store.spilled_bytes));
+  reg.gauge("mem.accounts_bytes")
+      .set(static_cast<double>(stats_.memory.accounts.resident_bytes));
+  reg.gauge("mem.accounts_spilled_bytes")
+      .set(static_cast<double>(stats_.memory.accounts.spilled_bytes));
   reg.gauge("mem.peak_rss_bytes").set(static_cast<double>(stats_.memory.peak_rss_bytes));
   return stats_;
+}
+
+void StudyPipeline::fold_round(trace::UserId user) {
+  account_spill_->begin_user(user);
+  attributor_.fold_user(user);
+  ledger_.fold_user(user);
+  for (const auto& [name, sink] : analyses_) {
+    if (auto* s = trace::as_shardable(sink)) s->fold_user(user);
+  }
+  account_spill_->end_user();
 }
 
 util::Status StudyPipeline::run_serial() {
@@ -238,6 +291,13 @@ util::Status StudyPipeline::run_serial() {
   }
   trace::InterfaceFilter filter{head, interface_};
   trace::TraceSink* entry = wrap("filter", &filter);
+
+  std::unique_ptr<FoldDispatchSink> fold_dispatch;
+  if (account_spill_ != nullptr) {
+    fold_dispatch = std::make_unique<FoldDispatchSink>(
+        entry, [this](trace::UserId user) { fold_round(user); });
+    entry = fold_dispatch.get();
+  }
 
   // Checkpoint/resume decorators for forward-only streams
   // (ckpt/resume_sinks.h): the skip filter drops completed users' brackets
@@ -277,6 +337,14 @@ util::Status StudyPipeline::run_serial() {
       base_radio = {resumed->counter("radio.bursts"), resumed->counter("radio.bursts_queued"),
                     resumed->counter("radio.promotions"),
                     resumed->counter("radio.repromotions")};
+      if (account_spill_ != nullptr) {
+        // Keep the checkpoint-vouched account-file prefix; later files hold
+        // rows of users the resume will re-run (they respill).
+        if (util::Status st = account_spill_->resume(resumed->counter("account_sealed_files"));
+            !st.ok()) {
+          return st;
+        }
+      }
     }
     ckpt_sink = std::make_unique<ckpt::CheckpointingSink>(
         entry, checkpoint_every_users_, [&] {
@@ -299,6 +367,12 @@ util::Status StudyPipeline::run_serial() {
           snapshot.set_counter(
               "radio.repromotions",
               base_radio.repromotions + now.repromotions - radio_before.repromotions);
+          if (account_spill_ != nullptr) {
+            // Seal BEFORE recording the counter: a resume keeps exactly the
+            // files the snapshot vouches for. Failures latch into health().
+            (void)account_spill_->seal();
+            snapshot.set_counter("account_sealed_files", account_spill_->sealed_files());
+          }
           save_sections(snapshot, checkpointables);
           (void)ckpt_writer->write(snapshot);  // failures are counted; the run continues
         });
@@ -457,6 +531,14 @@ util::Status StudyPipeline::run_sharded(unsigned num_threads,
     stats_.recovered_from_seq = loaded->recovered_from_seq;
     ckpt_writer->set_next_seq(loaded->seq + 1);
     resumed = std::move(loaded->snapshot);
+    if (account_spill_ != nullptr) {
+      // Keep the checkpoint-vouched account-file prefix; later files hold
+      // rows of users the resume will re-run (they respill).
+      if (util::Status st = account_spill_->resume(resumed->counter("account_sealed_files"));
+          !st.ok()) {
+        return st;
+      }
+    }
     completed = resumed->completed_users;
     stats_.resumed_users = completed.size();
     stats_.shard_retries = resumed->counter("shard_retries");
@@ -603,6 +685,11 @@ util::Status StudyPipeline::run_sharded(unsigned num_threads,
       for (std::size_t i = 0; i < shardable.size(); ++i) {
         shardable[i]->merge_from(*shard.clones[i]);
       }
+      // Fold-and-release: the user's detail just merged into the parents
+      // (shard clones are always fully resident), so fold it right here —
+      // the merge loop runs in stream order, the order the serial engine
+      // folds in.
+      if (account_spill_ != nullptr) fold_round(pending[epoch_begin + index]);
       dropped_packets += shard.filter->dropped_packets();
       off_interface_bytes_ += shard.filter->dropped_bytes();
       radio_acc.bursts += shard.registry.counter_value("radio.bursts");
@@ -660,6 +747,12 @@ util::Status StudyPipeline::run_sharded(unsigned num_threads,
       snapshot.set_counter("radio.bursts_queued", radio_acc.bursts_queued);
       snapshot.set_counter("radio.promotions", radio_acc.promotions);
       snapshot.set_counter("radio.repromotions", radio_acc.repromotions);
+      if (account_spill_ != nullptr) {
+        // Seal BEFORE recording the counter: a resume keeps exactly the
+        // files the snapshot vouches for. Failures latch into health().
+        (void)account_spill_->seal();
+        snapshot.set_counter("account_sealed_files", account_spill_->sealed_files());
+      }
       save_sections(snapshot, checkpointables);
       (void)ckpt_writer->write(snapshot);  // failures are counted; the run continues
     }

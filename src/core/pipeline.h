@@ -5,16 +5,17 @@
 //                     ->  energy attribution (energy/attributor.h)
 //                     ->  ledger + user-registered analyses
 //
-// The source is anything emitting the canonical event stream: the config
-// constructors build an owned sim::StudyGenerator (the common case); the
-// TraceSource constructor plugs in a file reader (trace/csv_io.h,
-// trace/binary_io.h) or a cached trace::TraceStore instead — one execution
-// engine for live simulation and replay alike.
+// The source is anything emitting the canonical event stream — a
+// sim::StudyGenerator, a file reader (trace/csv_io.h, trace/binary_io.h),
+// or a cached trace::TraceStore — one execution engine for live simulation
+// and replay alike. The pipeline never owns its source: the caller holds it
+// (and its catalog), so source lifetime and app-name lookups are explicit
+// at every call site.
 //
 // Typical use (see examples/quickstart.cpp):
 //
-//   sim::StudyConfig config;                       // or small_study()
-//   core::StudyPipeline pipeline{config};
+//   sim::StudyGenerator generator{sim::small_study()};
+//   core::StudyPipeline pipeline{&generator};
 //   analysis::PersistenceAnalysis persistence;     // any TraceSink
 //   pipeline.add_analysis(&persistence);
 //   auto stats = pipeline.run();                   // StatusOr<obs::RunStats>
@@ -28,12 +29,11 @@
 #include <utility>
 #include <vector>
 
-#include "appmodel/catalog.h"
+#include "energy/account_file.h"
 #include "energy/attributor.h"
 #include "energy/ledger.h"
 #include "obs/run_stats.h"
 #include "obs/trace_writer.h"
-#include "sim/generator.h"
 #include "trace/batch.h"
 #include "trace/sink.h"
 #include "trace/trace_source.h"
@@ -120,18 +120,28 @@ struct PipelineOptions {
   /// corrupt, or stale (different study/sink set) checkpoint fails run()
   /// with a positioned status — resume never silently restarts from zero.
   bool resume = false;
+  /// Directory for spilled per-user account detail rows (CLI --account-dir).
+  /// Empty (default) keeps every sink fully resident — the classic
+  /// lifecycle. When set, the run goes fold-and-release (DESIGN.md §15):
+  /// after each user's stream completes, the engine folds every opted-in
+  /// sink (attributor, ledger, analyses), the folded detail rows spill to
+  /// WEAC account files under this directory, and the per-user slabs are
+  /// freed — so resident detail memory stays bounded by the spill budget
+  /// instead of growing with the population. Aggregates and every
+  /// cursor-based figure are bit-identical to a resident run. Resuming a
+  /// checkpointed fold run must pass the same directory.
+  std::string account_dir;
+  /// Soft budget for the account spill plane (CLI --account-budget); the
+  /// pending writer seals to disk as it fills so resident account bytes
+  /// stay under it. 0 applies the AccountSpill default. Requires
+  /// account_dir.
+  std::uint64_t account_budget_bytes = 0;
 };
 
 class StudyPipeline {
  public:
-  /// Full synthetic population (342 apps) derived from config.seed. Owns a
-  /// sim::StudyGenerator as its source.
-  explicit StudyPipeline(sim::StudyConfig config, PipelineOptions options = {});
-  /// Caller-supplied catalog (e.g. AppCatalog::paper_catalog()).
-  StudyPipeline(sim::StudyConfig config, appmodel::AppCatalog catalog,
-                PipelineOptions options = {});
-  /// Run over an arbitrary trace source (file reader, cached TraceStore, or
-  /// a caller-owned generator). Non-owning; must outlive the pipeline.
+  /// Run over a trace source (caller-owned sim::StudyGenerator, file
+  /// reader, or cached TraceStore). Non-owning; must outlive the pipeline.
   /// Forward-only sources (supports_user_access() == false) always run the
   /// serial engine regardless of num_threads, and scripted fault plans /
   /// retry policies — which need per-user isolation — do not apply to them.
@@ -166,31 +176,23 @@ class StudyPipeline {
   [[nodiscard]] std::uint64_t off_interface_bytes() const { return off_interface_bytes_; }
   /// The trace source this pipeline streams from.
   [[nodiscard]] trace::TraceSource& source() const { return *source_; }
-  /// The owned generator. Precondition: the pipeline was built from a
-  /// StudyConfig (source-constructed pipelines have no generator).
-  [[nodiscard]] const sim::StudyGenerator& generator() const { return *owned_generator_; }
-  [[nodiscard]] const appmodel::AppCatalog& catalog() const { return generator().catalog(); }
   [[nodiscard]] const energy::EnergyAttributor& attributor() const { return attributor_; }
 
-  /// App id lookup by name, forwarding to the catalog (kNoApp if absent).
-  [[nodiscard]] trace::AppId app(std::string_view name) const {
-    return catalog().find(name);
-  }
-
  private:
-  /// Shared tail of the config constructors: owns the generator it sources.
-  StudyPipeline(std::unique_ptr<sim::StudyGenerator> generator, PipelineOptions options);
-
   /// The classic single-pass serial pipeline (num_threads == 1, or any
   /// forward-only source). Returns the source's emit status.
   util::Status run_serial();
+  /// One fold-and-release round for a completed user: bracket the spill row
+  /// group and fold the attributor, the ledger, then every shardable
+  /// analysis in registration order. Only called when account_spill_ is
+  /// armed; both engines fire it in stream order (ascending user id).
+  void fold_round(trace::UserId user);
   /// One shard per user (in `user_ids` stream order) on `num_threads`
   /// workers; deterministic merge in stream order. Non-shardable custom
   /// sinks are wrapped in collect-splice adapters (core/shard_chain.h).
   util::Status run_sharded(unsigned num_threads, const std::vector<trace::UserId>& user_ids);
 
-  std::unique_ptr<sim::StudyGenerator> owned_generator_;  ///< config ctors only
-  trace::TraceSource* source_;  ///< owned_generator_.get() or caller-supplied
+  trace::TraceSource* source_;  ///< caller-owned
   energy::EnergyLedger ledger_;
   trace::TraceMulticast downstream_;
   energy::EnergyAttributor attributor_;
@@ -208,6 +210,11 @@ class StudyPipeline {
   std::string checkpoint_dir_;
   std::size_t checkpoint_every_users_ = 4;
   bool resume_ = false;
+  std::string account_dir_;
+  std::uint64_t account_budget_bytes_ = 0;
+  /// Live only while account_dir_ is set; owned here (not per-run) because
+  /// post-run queries read the sealed files through ledger_.account_spill().
+  std::unique_ptr<energy::AccountSpill> account_spill_;
   std::uint64_t off_interface_bytes_ = 0;
   /// Registered analyses, in registration order; fan-out is rebuilt per run.
   std::vector<std::pair<std::string, trace::TraceSink*>> analyses_;

@@ -52,6 +52,16 @@ Report Report::build(const energy::EnergyLedger& ledger, const appmodel::AppCata
       totals.empty() ? 0.0 : totals[std::min(totals.size() - 1, totals.size() / 10)].joules;
 
   const std::size_t n = std::min(options.max_apps, totals.size());
+
+  // One account-cursor pass for every reported app's §5 kill estimate: under
+  // fold mode each pass replays the spilled detail files, so the per-app
+  // convenience call would re-read them max_apps times.
+  std::vector<trace::AppId> report_apps;
+  report_apps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) report_apps.push_back(totals[i].app);
+  const std::vector<analysis::WhatIfRow> whatif_rows = analysis::whatif_kill_after_all(
+      ledger, report_apps, options.idle_days, &report.account_status);
+
   report.apps.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const auto& acc = totals[i];
@@ -63,8 +73,7 @@ Report Report::build(const energy::EnergyLedger& ledger, const appmodel::AppCata
     d.micro_joules_per_byte =
         acc.bytes > 0 ? acc.joules / static_cast<double>(acc.bytes) * 1e6 : 0.0;
     d.background_fraction = acc.joules > 0 ? acc.background_joules() / acc.joules : 0.0;
-    d.kill_savings_pct =
-        analysis::whatif_kill_after(ledger, acc.app, options.idle_days).pct_energy_saved;
+    d.kill_savings_pct = whatif_rows[i].pct_energy_saved;
 
     if (acc.joules >= hog_floor && hog_floor > 0) d.findings.push_back(Finding::kEnergyHog);
     if (d.micro_joules_per_byte >= options.inefficiency_uj_per_byte) {
@@ -90,6 +99,7 @@ Report Report::build(const energy::EnergyLedger& ledger, const appmodel::AppCata
     d.recommendation = make_recommendation(d);
     report.apps.push_back(std::move(d));
   }
+  if (persistence != nullptr) report.account_status.update(persistence->hydrate_status());
   return report;
 }
 

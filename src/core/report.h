@@ -22,6 +22,7 @@
 #include "analysis/persistence.h"
 #include "appmodel/catalog.h"
 #include "energy/ledger.h"
+#include "util/status.h"
 
 namespace wildenergy::core {
 
@@ -77,6 +78,9 @@ struct Report {
   std::vector<AppDiagnosis> apps;  ///< ordered by energy, descending
   double total_joules = 0.0;
   double background_fraction = 0.0;
+  /// First error reading spilled account detail rows (fold-and-release
+  /// runs); the report still covers whatever decoded cleanly.
+  util::Status account_status;
 
   /// Build from a completed study. `persistence` (if provided) enables the
   /// leak-suspect finding; pass the same instance that consumed the stream.

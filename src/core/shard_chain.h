@@ -195,10 +195,11 @@ class CollectSpliceSink final : public trace::TraceSink, public trace::Shardable
     other.have_user_ = false;
   }
 
-  [[nodiscard]] std::uint64_t memory_bytes() const override {
-    return events_.packets.capacity() * sizeof(trace::PacketRecord) +
-           events_.transitions.capacity() * sizeof(trace::StateTransition) +
-           events_.order.capacity() * sizeof(trace::EventKind);
+  [[nodiscard]] obs::MemoryUse memory_use() const override {
+    return {.resident_bytes = events_.packets.capacity() * sizeof(trace::PacketRecord) +
+                              events_.transitions.capacity() * sizeof(trace::StateTransition) +
+                              events_.order.capacity() * sizeof(trace::EventKind),
+            .spilled_bytes = 0};
   }
 
  private:

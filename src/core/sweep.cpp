@@ -38,7 +38,8 @@ struct ScenarioPlan {
 };
 
 ScenarioPlan make_scenario_plan(const Scenario& scenario, energy::EnergyLedger* ledger,
-                                fault::FaultPlan* fault_plan, bool collect_stage_stats) {
+                                fault::FaultPlan* fault_plan, bool collect_stage_stats,
+                                energy::AccountSpill* spill) {
   ScenarioPlan plan;
   plan.config = internal::ChainConfig{
       scenario.radio_factory ? scenario.radio_factory : radio::make_lte_model,
@@ -59,6 +60,10 @@ ScenarioPlan make_scenario_plan(const Scenario& scenario, energy::EnergyLedger* 
     }
     plan.config.sink_names.push_back(name);
   }
+  // Arm (or, with nullptr, disarm — the sinks are caller-owned and may have
+  // been armed by an earlier run) the fold-and-release spill before any
+  // on_study_begin reset.
+  for (auto* s : plan.shardable) s->set_account_spill(spill);
   return plan;
 }
 
@@ -82,7 +87,7 @@ void settle_and_merge(trace::StoreBackend& store, ScenarioPlan& plan,
                       const std::vector<trace::UserId>& users,
                       energy::EnergyAttributor& parent_attributor, ScenarioAccum& acc,
                       ScenarioResult& res, std::vector<trace::UserId>& completed,
-                      const SweepOptions& options) {
+                      const SweepOptions& options, energy::AccountSpill* spill) {
   const bool retry_then_skip = options.failure_policy == FailurePolicy::kRetryThenSkip;
   const std::size_t count = shards.size();
   if (retry_then_skip) {
@@ -136,6 +141,16 @@ void settle_and_merge(trace::StoreBackend& store, ScenarioPlan& plan,
     parent_attributor.merge_from(*shard.attributor);
     for (std::size_t s = 0; s < plan.shardable.size(); ++s) {
       plan.shardable[s]->merge_from(*shard.clones[s]);
+    }
+    // Fold-and-release: the merge loop runs in stream order, so folding
+    // right after the user's detail lands in the parents matches the
+    // pipeline engines' fold order exactly (same section order too:
+    // attributor, ledger, analyses).
+    if (spill != nullptr) {
+      spill->begin_user(users[i]);
+      parent_attributor.fold_user(users[i]);
+      for (auto* s : plan.shardable) s->fold_user(users[i]);
+      spill->end_user();
     }
     acc.dropped_packets += shard.filter->dropped_packets();
     acc.dropped_bytes += shard.filter->dropped_bytes();
@@ -220,12 +235,11 @@ void fill_scenario_totals(ScenarioResult& res, const Scenario& scenario,
   }
 
   // Per-scenario memory accounting; the store is shared by every scenario.
-  res.stats.memory.ledger_bytes = res.ledger.memory_bytes();
+  res.stats.memory.ledger = res.ledger.memory_use();
   for (const auto& [name, sink] : scenario.analyses) {
-    res.stats.memory.analyses_bytes += sink->memory_bytes();
+    res.stats.memory.analyses += sink->memory_use();
   }
-  res.stats.memory.store_bytes = store.memory_bytes();
-  res.stats.memory.store_spilled_bytes = store.spilled_bytes();
+  res.stats.memory.store = store.memory_use();
   res.stats.memory.peak_rss_bytes = obs::peak_rss_bytes();
 }
 
@@ -242,8 +256,9 @@ void add_to_aggregate(obs::RunStats& aggregate, const ScenarioResult& res) {
   aggregate.radio_bursts_queued += res.stats.radio_bursts_queued;
   aggregate.radio_promotions += res.stats.radio_promotions;
   aggregate.radio_repromotions += res.stats.radio_repromotions;
-  aggregate.memory.ledger_bytes += res.stats.memory.ledger_bytes;
-  aggregate.memory.analyses_bytes += res.stats.memory.analyses_bytes;
+  aggregate.memory.ledger += res.stats.memory.ledger;
+  aggregate.memory.analyses += res.stats.memory.analyses;
+  aggregate.memory.accounts += res.stats.memory.accounts;
 }
 
 /// Finished-scenario summary persisted in the "s<i>.stats" snapshot section:
@@ -396,6 +411,15 @@ util::StatusOr<obs::RunStats> SweepEngine::run() {
         "resume requested without a checkpoint or store directory (set checkpoint_dir or "
         "store_dir)");
   }
+  if (options_.account_dir.empty() && options_.account_budget_bytes != 0) {
+    return util::Status::invalid_argument(
+        "account budget requires an account directory (set account_dir)");
+  }
+  if (!options_.account_dir.empty() && !options_.checkpoint_dir.empty()) {
+    return util::Status::invalid_argument(
+        "the account plane does not compose with checkpointed sweeps yet — drop account_dir "
+        "or checkpoint_dir");
+  }
   if (options_.checkpoint_dir.empty()) return run_flat();
   return run_checkpointed();
 }
@@ -418,10 +442,22 @@ util::StatusOr<obs::RunStats> SweepEngine::run_flat() {
   // Per-scenario sink split and per-(scenario, user) chains, built serially
   // up front (policy factories and clone_shard() need not be thread-safe).
   std::vector<ScenarioPlan> plans(num_scenarios);
+  account_spills_.clear();
   for (std::size_t si = 0; si < num_scenarios; ++si) {
     results_[si].name = scenarios_[si].name;
+    energy::AccountSpill* spill = nullptr;
+    if (!options_.account_dir.empty()) {
+      // One spill per scenario, under an index-named subdirectory (scenario
+      // names are user strings, not filesystem-safe).
+      energy::AccountSpill::Options spill_options;
+      spill_options.dir = options_.account_dir + "/s" + std::to_string(si);
+      spill_options.budget_bytes = options_.account_budget_bytes;
+      account_spills_.push_back(std::make_unique<energy::AccountSpill>(std::move(spill_options)));
+      spill = account_spills_.back().get();
+      if (util::Status st = spill->open_fresh(); !st.ok()) return st;
+    }
     plans[si] = make_scenario_plan(scenarios_[si], &results_[si].ledger, options_.fault_plan,
-                                   options_.collect_stage_stats);
+                                   options_.collect_stage_stats, spill);
     results_[si].stats.serial_fallback_sinks = plans[si].adapters.size();
     plans[si].shards.reserve(num_users);
     for (const trace::UserId user : user_ids) {
@@ -489,17 +525,28 @@ util::StatusOr<obs::RunStats> SweepEngine::run_flat() {
     // Merge in stream (user-id) order, skipping failed shards. The parent
     // attributor exists only to fold the scenario's attribution counters in
     // the same order a standalone pipeline would.
+    energy::AccountSpill* spill =
+        account_spills_.empty() ? nullptr : account_spills_[si].get();
     trace::TraceMulticast parent_fanout;  // stays empty
     energy::EnergyAttributor parent_attributor{plan.config.radio_factory, &parent_fanout,
                                                plan.config.tail_policy};
+    parent_attributor.set_account_spill(spill);
     parent_attributor.on_study_begin(meta);
     for (auto* parent : plan.sharded_parents) parent->on_study_begin(meta);
     ScenarioAccum acc;
     std::vector<trace::UserId> completed;
     settle_and_merge(*store_, plan, plan.shards, user_ids, parent_attributor, acc, res,
-                     completed, options_);
+                     completed, options_, spill);
     for (auto* parent : plan.sharded_parents) parent->on_study_end();
 
+    if (spill != nullptr) {
+      // Resident is read before the final seal so the number describes the
+      // bounded pending-writer footprint, not the post-seal zero.
+      res.stats.memory.accounts.resident_bytes = spill->resident_bytes();
+      if (util::Status st = spill->seal(); !st.ok()) return st;
+      if (util::Status st = spill->health(); !st.ok()) return st;
+      res.stats.memory.accounts.spilled_bytes = spill->spilled_bytes();
+    }
     fill_scenario_totals(res, scenarios_[si], parent_attributor, acc, *store_, num_users,
                          options_);
     add_to_aggregate(aggregate, res);
@@ -508,8 +555,7 @@ util::StatusOr<obs::RunStats> SweepEngine::run_flat() {
   aggregate.num_threads = options_.num_threads;
   aggregate.users = static_cast<std::uint64_t>(num_users);
   aggregate.wall_ms = total.elapsed_ms();
-  aggregate.memory.store_bytes = store_->memory_bytes();
-  aggregate.memory.store_spilled_bytes = store_->spilled_bytes();
+  aggregate.memory.store = store_->memory_use();
   aggregate.memory.peak_rss_bytes = obs::peak_rss_bytes();
   return aggregate;
 }
@@ -672,12 +718,11 @@ util::StatusOr<obs::RunStats> SweepEngine::run_checkpointed() {
     }
     // Footprints are live-process facts, not history — recompute them.
     res.stats.num_threads = options_.num_threads;
-    res.stats.memory.ledger_bytes = res.ledger.memory_bytes();
+    res.stats.memory.ledger = res.ledger.memory_use();
     for (const auto& [name, sink] : scenarios_[j].analyses) {
-      res.stats.memory.analyses_bytes += sink->memory_bytes();
+      res.stats.memory.analyses += sink->memory_use();
     }
-    res.stats.memory.store_bytes = store_->memory_bytes();
-    res.stats.memory.store_spilled_bytes = store_->spilled_bytes();
+    res.stats.memory.store = store_->memory_use();
     res.stats.memory.peak_rss_bytes = obs::peak_rss_bytes();
     add_to_aggregate(aggregate, res);
   }
@@ -698,8 +743,10 @@ util::StatusOr<obs::RunStats> SweepEngine::run_checkpointed() {
   const std::size_t resume_scenario = scenarios_done;  ///< the interrupted one, if any
   for (std::size_t si = scenarios_done; si < num_scenarios; ++si) {
     ScenarioResult& res = results_[si];
+    // run() rejected account_dir + checkpoint_dir; the nullptr disarms sinks
+    // an earlier flat run may have left armed.
     ScenarioPlan plan = make_scenario_plan(scenarios_[si], &res.ledger, options_.fault_plan,
-                                           options_.collect_stage_stats);
+                                           options_.collect_stage_stats, nullptr);
     res.stats.serial_fallback_sinks = plan.adapters.size();
 
     trace::TraceMulticast parent_fanout;  // stays empty
@@ -790,7 +837,7 @@ util::StatusOr<obs::RunStats> SweepEngine::run_checkpointed() {
         });
       }
       settle_and_merge(*store_, plan, shards, epoch_ids, parent_attributor, acc, res,
-                       completed, options_);
+                       completed, options_, nullptr);
       const Current cur{&res, &parent_attributor, &acc};
       write_snapshot(&cur);
     }
@@ -807,8 +854,7 @@ util::StatusOr<obs::RunStats> SweepEngine::run_checkpointed() {
   aggregate.num_threads = options_.num_threads;
   aggregate.users = static_cast<std::uint64_t>(num_users);
   aggregate.wall_ms = total.elapsed_ms();
-  aggregate.memory.store_bytes = store_->memory_bytes();
-  aggregate.memory.store_spilled_bytes = store_->spilled_bytes();
+  aggregate.memory.store = store_->memory_use();
   aggregate.memory.peak_rss_bytes = obs::peak_rss_bytes();
   aggregate.checkpoints_written = writer.checkpoints_written();
   aggregate.checkpoint_bytes = writer.bytes_written();

@@ -120,6 +120,18 @@ struct SweepOptions {
   /// Resident column budget for the spilling store (CLI --store-budget).
   /// 0 = fully out-of-core. Ignored when store_dir is empty.
   std::uint64_t store_budget_bytes = 0;
+  /// Fold-and-release account plane (CLI --account-dir, DESIGN.md §15):
+  /// when non-empty, every scenario runs fold-and-release — each user's
+  /// detail rows spill to WEAC files under the per-scenario subdirectory
+  /// s<index> (registration order) as its shard merges, and the per-user
+  /// slabs are freed. Scenario ledgers answer cursor-based queries from the
+  /// spilled rows, bit-identically to a resident sweep. Flat path only:
+  /// combining with checkpoint_dir fails run().
+  std::string account_dir;
+  /// Soft resident budget per scenario's account spill (CLI
+  /// --account-budget); 0 applies the AccountSpill default. Requires
+  /// account_dir.
+  std::uint64_t account_budget_bytes = 0;
 };
 
 /// One scenario's outcome: its ledger, its per-scenario RunStats (totals,
@@ -160,7 +172,7 @@ class SweepEngine {
   [[nodiscard]] const ScenarioResult* result(std::string_view name) const;
   [[nodiscard]] std::size_t num_scenarios() const { return scenarios_.size(); }
   /// The cached trace backing the sweep (empty until the first run() when
-  /// capturing from a base source). Exposes memory_bytes()/event_count()
+  /// capturing from a base source). Exposes memory_use()/event_count()
   /// plus the out-of-core surface (spilled_bytes()/num_segments()).
   [[nodiscard]] const trace::StoreBackend& store() const { return *store_; }
 
@@ -179,6 +191,10 @@ class SweepEngine {
   SweepOptions options_;
   std::vector<Scenario> scenarios_;
   std::vector<ScenarioResult> results_;
+  /// One spill per scenario (parallel to results_) when account_dir is set;
+  /// owned here because post-run queries read the sealed files through each
+  /// result ledger's account_spill().
+  std::vector<std::unique_ptr<energy::AccountSpill>> account_spills_;
 };
 
 }  // namespace wildenergy::core

@@ -1,8 +1,10 @@
 #include "energy/attributor.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
+#include "energy/account_file.h"
 #include "radio/burst_machine.h"
 
 namespace wildenergy::energy {
@@ -33,8 +35,20 @@ EnergyAttributor::EnergyAttributor(RadioModelFactory factory, trace::TraceSink* 
 
 void EnergyAttributor::on_study_begin(const trace::StudyMeta& meta) {
   meta_ = meta;
-  per_user_.assign(meta.num_users, UserEnergy{});
-  user_touched_.assign(meta.num_users, false);
+  if (spill_ == nullptr) {
+    per_user_.assign(meta.num_users, UserEnergy{});
+    user_touched_.assign(meta.num_users, false);
+  } else {
+    // Fold mode never allocates the dense per-user array: one live slot
+    // (serial) or a small staging buffer (sharded merges) is the whole
+    // per-user footprint.
+    per_user_.clear();
+    user_touched_.clear();
+  }
+  folded_ = UserEnergy{};
+  live_valid_ = false;
+  staged_.clear();
+  spilled_self_ = 0;
   current_ = nullptr;
   counters_ = {};
   downstream_->on_study_begin(meta);
@@ -44,12 +58,24 @@ void EnergyAttributor::on_user_begin(trace::UserId user) {
   ++counters_.users;
   model_ = factory_();
   burst_ = dynamic_cast<radio::BurstMachine*>(model_.get());
-  if (user >= per_user_.size()) {
-    per_user_.resize(user + 1);
-    user_touched_.resize(user + 1, false);
+  if (spill_ != nullptr) {
+    live_ = UserEnergy{};
+    live_user_ = user;
+    live_valid_ = true;
+    current_ = &live_;
+  } else {
+    if (user >= per_user_.size()) {
+      // Out-of-hint ids (hand-built streams with a zero StudyMeta) grow the
+      // array geometrically — the old exact resize(user + 1) re-touched
+      // every slot once per new user, quadratic over a cold stream.
+      const std::size_t grown =
+          std::max<std::size_t>(user + 1, per_user_.size() + per_user_.size() / 2);
+      per_user_.resize(grown);
+      user_touched_.resize(grown, false);
+    }
+    current_ = &per_user_[user];
+    user_touched_[user] = true;
   }
-  current_ = &per_user_[user];
-  user_touched_[user] = true;
   window_.clear();
   held_transitions_.clear();
   pending_tail_ = 0.0;
@@ -244,54 +270,138 @@ void EnergyAttributor::on_study_end() { downstream_->on_study_end(); }
 // The fold visits touched users in ascending id, matching the user-bracket
 // order of a serial pass and the merge order of a sharded one.
 double EnergyAttributor::device_joules() const {
-  double total = 0.0;
+  double total = folded_.device;
   for (std::size_t user = 0; user < per_user_.size(); ++user) {
     if (user_touched_[user]) total += per_user_[user].device;
   }
+  for (const auto& [user, e] : staged_) total += e.device;
+  if (live_valid_) total += live_.device;
   return total;
 }
 
 double EnergyAttributor::attributed_joules() const {
-  double total = 0.0;
+  double total = folded_.attributed;
   for (std::size_t user = 0; user < per_user_.size(); ++user) {
     if (user_touched_[user]) total += per_user_[user].attributed;
   }
+  for (const auto& [user, e] : staged_) total += e.attributed;
+  if (live_valid_) total += live_.attributed;
   return total;
 }
 
 double EnergyAttributor::baseline_joules() const {
-  double total = 0.0;
+  double total = folded_.baseline;
   for (std::size_t user = 0; user < per_user_.size(); ++user) {
     if (user_touched_[user]) total += per_user_[user].baseline;
   }
+  for (const auto& [user, e] : staged_) total += e.baseline;
+  if (live_valid_) total += live_.baseline;
   return total;
 }
 
 double EnergyAttributor::tail_joules() const {
-  double total = 0.0;
+  double total = folded_.tail;
   for (std::size_t user = 0; user < per_user_.size(); ++user) {
     if (user_touched_[user]) total += per_user_[user].tail;
   }
+  for (const auto& [user, e] : staged_) total += e.tail;
+  if (live_valid_) total += live_.tail;
   return total;
 }
 
 double EnergyAttributor::promotion_joules() const {
-  double total = 0.0;
+  double total = folded_.promotion;
   for (std::size_t user = 0; user < per_user_.size(); ++user) {
     if (user_touched_[user]) total += per_user_[user].promotion;
   }
+  for (const auto& [user, e] : staged_) total += e.promotion;
+  if (live_valid_) total += live_.promotion;
   return total;
 }
 
 double EnergyAttributor::transfer_joules() const {
-  double total = 0.0;
+  double total = folded_.transfer;
   for (std::size_t user = 0; user < per_user_.size(); ++user) {
     if (user_touched_[user]) total += per_user_[user].transfer;
   }
+  for (const auto& [user, e] : staged_) total += e.transfer;
+  if (live_valid_) total += live_.transfer;
   return total;
 }
 
+// --- fold-and-release ------------------------------------------------------
+
+void EnergyAttributor::fold_user(trace::UserId user) {
+  if (spill_ == nullptr) return;
+  const UserEnergy* row = nullptr;
+  auto staged_it = staged_.end();
+  if (live_valid_ && live_user_ == user) {
+    row = &live_;
+  } else {
+    staged_it = std::find_if(staged_.begin(), staged_.end(),
+                             [user](const auto& entry) { return entry.first == user; });
+    if (staged_it != staged_.end()) row = &staged_it->second;
+  }
+  if (row == nullptr) return;  // user never began a bracket here
+  // Folds arrive in stream order (ascending user id): the same addition
+  // sequence the query-time loops perform over a dense resident array.
+  folded_.device += row->device;
+  folded_.attributed += row->attributed;
+  folded_.baseline += row->baseline;
+  folded_.tail += row->tail;
+  folded_.promotion += row->promotion;
+  folded_.transfer += row->transfer;
+  ckpt::ByteWriter out;
+  out.put_f64(row->device);
+  out.put_f64(row->attributed);
+  out.put_f64(row->baseline);
+  out.put_f64(row->tail);
+  out.put_f64(row->promotion);
+  out.put_f64(row->transfer);
+  spilled_self_ += spill_->add_section("attrib", out.bytes());
+  if (staged_it != staged_.end()) {
+    staged_.erase(staged_it);
+  } else {
+    live_valid_ = false;
+    current_ = nullptr;
+  }
+}
+
+util::Status EnergyAttributor::decode_user_energy(std::string_view payload, UserEnergy& out) {
+  ckpt::ByteReader in{payload};
+  for (double* field : {&out.device, &out.attributed, &out.baseline, &out.tail, &out.promotion,
+                        &out.transfer}) {
+    const auto v = in.get_f64("attrib row energy");
+    if (!v.ok()) return v.status();
+    *field = *v;
+  }
+  if (!in.at_end()) {
+    return util::Status::data_loss("attrib row: trailing bytes at offset " +
+                                   std::to_string(in.offset()));
+  }
+  return util::Status::ok_status();
+}
+
+obs::MemoryUse EnergyAttributor::memory_use() const {
+  return {.resident_bytes = per_user_.capacity() * sizeof(UserEnergy) +
+                            user_touched_.capacity() / 8 +
+                            staged_.capacity() * sizeof(staged_[0]),
+          .spilled_bytes = spilled_self_};
+}
+
 void EnergyAttributor::save_state(ckpt::ByteWriter& out) const {
+  // Leading mode byte: 0 = dense resident partials (historical body
+  // follows); 1 = fold mode, folded aggregates first.
+  out.put_u8(spill_ != nullptr ? 1 : 0);
+  if (spill_ != nullptr) {
+    out.put_f64(folded_.device);
+    out.put_f64(folded_.attributed);
+    out.put_f64(folded_.baseline);
+    out.put_f64(folded_.tail);
+    out.put_f64(folded_.promotion);
+    out.put_f64(folded_.transfer);
+    out.put_varint(spilled_self_);
+  }
   out.put_varint(per_user_.size());
   out.put_bool_vec(user_touched_);
   for (std::size_t user = 0; user < per_user_.size(); ++user) {
@@ -314,6 +424,27 @@ void EnergyAttributor::save_state(ckpt::ByteWriter& out) const {
 }
 
 util::Status EnergyAttributor::restore_state(ckpt::ByteReader& in) {
+  auto mode = in.get_u8("attributor.mode");
+  if (!mode.ok()) return mode.status();
+  if (*mode > 1) {
+    return util::Status::data_loss("corrupt checkpoint: unknown attributor mode " +
+                                   std::to_string(*mode));
+  }
+  folded_ = UserEnergy{};
+  spilled_self_ = 0;
+  live_valid_ = false;
+  staged_.clear();
+  if (*mode == 1) {
+    for (double* field : {&folded_.device, &folded_.attributed, &folded_.baseline, &folded_.tail,
+                          &folded_.promotion, &folded_.transfer}) {
+      auto v = in.get_f64("attributor.folded");
+      if (!v.ok()) return v.status();
+      *field = *v;
+    }
+    auto spilled = in.get_varint("attributor.folded.spilled_bytes");
+    if (!spilled.ok()) return spilled.status();
+    spilled_self_ = *spilled;
+  }
   auto num_users = in.get_varint("attributor.users");
   if (!num_users.ok()) return num_users.status();
   auto status = in.get_bool_vec(user_touched_, "attributor.touched");
@@ -350,6 +481,17 @@ util::Status EnergyAttributor::restore_state(ckpt::ByteReader& in) {
 }
 
 void EnergyAttributor::merge_from(const EnergyAttributor& shard) {
+  if (spill_ != nullptr) {
+    // Fold mode: stage the shard's rows (one touched user per shard chain)
+    // until the engine's fold_user call collapses and spills them — the
+    // parent never grows a dense per-user array.
+    for (std::size_t user = 0; user < shard.per_user_.size(); ++user) {
+      if (!shard.user_touched_[user]) continue;
+      staged_.emplace_back(static_cast<trace::UserId>(user), shard.per_user_[user]);
+    }
+    counters_.merge_from(shard.counters_);
+    return;
+  }
   if (shard.per_user_.size() > per_user_.size()) {
     per_user_.resize(shard.per_user_.size());
     user_touched_.resize(shard.per_user_.size(), false);

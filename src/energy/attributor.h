@@ -31,6 +31,8 @@ class BurstMachine;
 
 namespace wildenergy::energy {
 
+class AccountSpill;  // energy/account_file.h
+
 /// Contiguous FIFO: a vector plus a head index. The attribution hot path
 /// (kLastPacket) oscillates between zero and one pending element, so pops
 /// recycle the buffer in place and pushes stop allocating after warm-up —
@@ -93,6 +95,17 @@ struct AttributionCounters {
 
 class EnergyAttributor final : public trace::TraceSink, public ckpt::CheckpointableSink {
  public:
+  /// Energy partials for one user — kept per user so cross-user double sums
+  /// fold in user-id order (see determinism note below).
+  struct UserEnergy {
+    double device = 0.0;
+    double attributed = 0.0;
+    double baseline = 0.0;
+    double tail = 0.0;
+    double promotion = 0.0;
+    double transfer = 0.0;
+  };
+
   /// `downstream` receives the energy-annotated stream; it must outlive this.
   EnergyAttributor(RadioModelFactory factory, trace::TraceSink* downstream,
                    TailPolicy policy = TailPolicy::kLastPacket);
@@ -129,6 +142,24 @@ class EnergyAttributor final : public trace::TraceSink, public ckpt::Checkpointa
   /// (called by the pipeline in user-id order; users must be disjoint).
   void merge_from(const EnergyAttributor& shard);
 
+  // -- fold-and-release (DESIGN.md §15) -------------------------------------
+  /// Arm fold mode: the dense per-user partial array is not allocated at
+  /// all. Serial runs accumulate into a single live slot; sharded runs stage
+  /// merged rows in a small buffer. fold_user() then folds the completed
+  /// user's partials into the study-wide accumulators (in stream order —
+  /// bit-identical to the ascending query-time folds), spills them as an
+  /// "attrib" row-group section, and drops the row.
+  void set_account_spill(AccountSpill* spill) { spill_ = spill; }
+  [[nodiscard]] bool fold_mode() const { return spill_ != nullptr; }
+  /// The engine calls this explicitly (the attributor sits above the fan-out
+  /// and is not a ShardableSink).
+  void fold_user(trace::UserId user);
+  /// Decode one spilled "attrib" section (the fold_user encode mirror).
+  [[nodiscard]] static util::Status decode_user_energy(std::string_view payload,
+                                                       UserEnergy& out);
+
+  [[nodiscard]] obs::MemoryUse memory_use() const override;
+
   // CheckpointableSink: per-user energy partials (raw double bits) plus the
   // attribution counters. Per-packet transients (window_, pending tails) are
   // empty at user boundaries, so only the durable fold state travels.
@@ -136,16 +167,6 @@ class EnergyAttributor final : public trace::TraceSink, public ckpt::Checkpointa
   [[nodiscard]] util::Status restore_state(ckpt::ByteReader& in) override;
 
  private:
-  /// Energy partials for one user (see determinism note above).
-  struct UserEnergy {
-    double device = 0.0;
-    double attributed = 0.0;
-    double baseline = 0.0;
-    double tail = 0.0;
-    double promotion = 0.0;
-    double transfer = 0.0;
-  };
-
   void handle_segment(const radio::EnergySegment& segment);
   void flush_pending();
   /// Settle `packet` after the model consumed its transfer: flush the
@@ -188,6 +209,16 @@ class EnergyAttributor final : public trace::TraceSink, public ckpt::Checkpointa
   std::vector<bool> user_touched_;
   UserEnergy* current_ = nullptr;  ///< this user's partials (set in on_user_begin)
   AttributionCounters counters_;
+
+  // Fold-and-release state (all empty/zero outside fold mode).
+  AccountSpill* spill_ = nullptr;  ///< non-owning; armed by the engine
+  std::uint64_t spilled_self_ = 0;
+  UserEnergy folded_;              ///< study-wide fold over released users
+  UserEnergy live_;                ///< serial fold-mode accumulator
+  trace::UserId live_user_ = 0;
+  bool live_valid_ = false;
+  /// Sharded fold mode: merged rows awaiting their fold_user call.
+  std::vector<std::pair<trace::UserId, UserEnergy>> staged_;
 
   // Hoisted sink adapters (building a std::function per packet was a
   // measurable per-record cost) and reused batch-path scratch state.

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "energy/account_file.h"
 #include "trace/batch.h"
 
 namespace wildenergy::energy {
@@ -21,6 +22,12 @@ EnergyLedger& EnergyLedger::operator=(const EnergyLedger& other) {
   for (std::size_t user = 0; user < other.users_.size(); ++user) {
     if (other.users_[user]) users_[user] = std::make_unique<UserState>(*other.users_[user]);
   }
+  spill_ = other.spill_;
+  spilled_self_ = other.spilled_self_;
+  folded_accounts_ = other.folded_accounts_;
+  folded_totals_ = other.folded_totals_;
+  folded_apps_ = other.folded_apps_;
+  folded_users_ = other.folded_users_;
   return *this;
 }
 
@@ -31,6 +38,11 @@ void EnergyLedger::on_study_begin(const trace::StudyMeta& meta) {
   num_accounts_ = 0;
   users_.clear();
   users_.resize(meta.num_users);
+  spilled_self_ = 0;
+  folded_accounts_ = 0;
+  folded_totals_ = UserTotals{};
+  folded_apps_.clear();
+  folded_users_.clear();
 }
 
 EnergyLedger::UserState& EnergyLedger::user_state(trace::UserId user) {
@@ -139,7 +151,97 @@ void EnergyLedger::merge(const EnergyLedger& shard) {
   num_accounts_ += shard.num_accounts_;
 }
 
+// --- fold-and-release ------------------------------------------------------
+
+void EnergyLedger::fold_slab_totals(const UserState& state) {
+  folded_totals_.joules += state.totals.joules;
+  folded_totals_.bytes += state.totals.bytes;
+  folded_totals_.packets += state.totals.packets;
+  for (std::size_t s = 0; s < trace::kNumProcessStates; ++s) {
+    folded_totals_.state_joules[s] += state.totals.state_joules[s];
+  }
+  if (state.apps.size() > folded_apps_.size()) folded_apps_.resize(state.apps.size());
+  for (std::size_t app = 0; app < state.apps.size(); ++app) {
+    const AppUserAccount& acc = state.apps[app];
+    if (acc.packets == 0) continue;
+    AppUserAccount& total = folded_apps_[app];
+    total.app = static_cast<trace::AppId>(app);
+    total.bytes += acc.bytes;
+    total.packets += acc.packets;
+    total.joules += acc.joules;
+    for (std::size_t s = 0; s < trace::kNumProcessStates; ++s) {
+      total.state_joules[s] += acc.state_joules[s];
+    }
+    ++folded_accounts_;
+    --num_accounts_;
+  }
+}
+
+void EnergyLedger::encode_slab(const UserState& state, ckpt::ByteWriter& out) const {
+  std::uint64_t live = 0;
+  for (const AppUserAccount& acc : state.apps) {
+    if (acc.packets != 0) ++live;
+  }
+  out.put_varint(live);
+  std::uint64_t prev_app = 0;
+  for (const AppUserAccount& acc : state.apps) {
+    if (acc.packets == 0) continue;
+    out.put_varint(acc.app - prev_app);
+    prev_app = acc.app;
+    out.put_varint(acc.bytes);
+    out.put_varint(acc.packets);
+    out.put_f64(acc.joules);
+    for (const double j : acc.state_joules) out.put_f64(j);
+    out.put_varint(acc.days.size());
+    for (const DayCell& cell : acc.days) {
+      out.put_f64(cell.fg_joules);
+      out.put_f64(cell.bg_joules);
+      out.put_varint(cell.fg_bytes);
+      out.put_varint(cell.bg_bytes);
+    }
+  }
+}
+
+void EnergyLedger::fold_user(trace::UserId user) {
+  if (spill_ == nullptr) return;
+  if (user >= users_.size() || !users_[user]) return;  // no traffic: nothing held
+  const UserState& state = *users_[user];
+  // Folds run in stream order (ascending user id), so these additions are
+  // the exact sequence an all-resident query-time fold performs.
+  fold_slab_totals(state);
+  if (state.totals.packets != 0) folded_users_.push_back(user);
+  ckpt::ByteWriter row;
+  encode_slab(state, row);
+  spilled_self_ += spill_->add_section("ledger", row.bytes());
+  users_[user].reset();
+}
+
 void EnergyLedger::save_state(ckpt::ByteWriter& out) const {
+  // Leading mode byte: 0 = every account resident (the historical body
+  // follows unchanged); 1 = fold mode, with the folded aggregates up front
+  // and the resident remainder after.
+  out.put_u8(spill_ != nullptr ? 1 : 0);
+  if (spill_ != nullptr) {
+    out.put_f64(folded_totals_.joules);
+    out.put_varint(folded_totals_.bytes);
+    out.put_varint(folded_totals_.packets);
+    for (const double j : folded_totals_.state_joules) out.put_f64(j);
+    out.put_varint(folded_accounts_);
+    out.put_varint(spilled_self_);
+    out.put_varint(folded_apps_.size());
+    for (const AppUserAccount& total : folded_apps_) {
+      out.put_varint(total.bytes);
+      out.put_varint(total.packets);
+      out.put_f64(total.joules);
+      for (const double j : total.state_joules) out.put_f64(j);
+    }
+    out.put_varint(folded_users_.size());
+    std::uint64_t prev = 0;
+    for (const trace::UserId user : folded_users_) {
+      out.put_varint(user - prev);
+      prev = user;
+    }
+  }
   out.put_varint(users_.size());
   for (const auto& state : users_) {
     out.put_u8(state ? 1 : 0);
@@ -175,6 +277,70 @@ void EnergyLedger::save_state(ckpt::ByteWriter& out) const {
 }
 
 util::Status EnergyLedger::restore_state(ckpt::ByteReader& in) {
+  auto mode = in.get_u8("ledger.mode");
+  if (!mode.ok()) return mode.status();
+  if (*mode > 1) {
+    return util::Status::data_loss("corrupt checkpoint: unknown ledger mode " +
+                                   std::to_string(*mode));
+  }
+  folded_accounts_ = 0;
+  spilled_self_ = 0;
+  folded_totals_ = UserTotals{};
+  folded_apps_.clear();
+  folded_users_.clear();
+  if (*mode == 1) {
+    auto joules = in.get_f64("ledger.folded.joules");
+    if (!joules.ok()) return joules.status();
+    folded_totals_.joules = *joules;
+    auto bytes = in.get_varint("ledger.folded.bytes");
+    if (!bytes.ok()) return bytes.status();
+    folded_totals_.bytes = *bytes;
+    auto packets = in.get_varint("ledger.folded.packets");
+    if (!packets.ok()) return packets.status();
+    folded_totals_.packets = *packets;
+    for (double& j : folded_totals_.state_joules) {
+      auto v = in.get_f64("ledger.folded.state_joules");
+      if (!v.ok()) return v.status();
+      j = *v;
+    }
+    auto accounts = in.get_varint("ledger.folded.accounts");
+    if (!accounts.ok()) return accounts.status();
+    folded_accounts_ = *accounts;
+    auto spilled = in.get_varint("ledger.folded.spilled_bytes");
+    if (!spilled.ok()) return spilled.status();
+    spilled_self_ = *spilled;
+    auto num_apps = in.get_varint("ledger.folded.apps");
+    if (!num_apps.ok()) return num_apps.status();
+    folded_apps_.resize(*num_apps);
+    for (std::size_t app = 0; app < *num_apps; ++app) {
+      AppUserAccount& total = folded_apps_[app];
+      total.app = static_cast<trace::AppId>(app);
+      auto t_bytes = in.get_varint("ledger.folded.app.bytes");
+      if (!t_bytes.ok()) return t_bytes.status();
+      total.bytes = *t_bytes;
+      auto t_packets = in.get_varint("ledger.folded.app.packets");
+      if (!t_packets.ok()) return t_packets.status();
+      total.packets = *t_packets;
+      auto t_joules = in.get_f64("ledger.folded.app.joules");
+      if (!t_joules.ok()) return t_joules.status();
+      total.joules = *t_joules;
+      for (double& j : total.state_joules) {
+        auto v = in.get_f64("ledger.folded.app.state_joules");
+        if (!v.ok()) return v.status();
+        j = *v;
+      }
+    }
+    auto num_folded = in.get_varint("ledger.folded.users");
+    if (!num_folded.ok()) return num_folded.status();
+    folded_users_.reserve(*num_folded);
+    std::uint64_t acc_user = 0;
+    for (std::uint64_t i = 0; i < *num_folded; ++i) {
+      auto delta = in.get_varint("ledger.folded.user");
+      if (!delta.ok()) return delta.status();
+      acc_user += *delta;
+      folded_users_.push_back(static_cast<trace::UserId>(acc_user));
+    }
+  }
   auto num_users = in.get_varint("ledger.users");
   if (!num_users.ok()) return num_users.status();
   users_.clear();
@@ -262,7 +428,7 @@ const AppUserAccount* EnergyLedger::find(trace::UserId user, trace::AppId app) c
 }
 
 std::vector<trace::UserId> EnergyLedger::users() const {
-  std::vector<trace::UserId> out;
+  std::vector<trace::UserId> out(folded_users_.begin(), folded_users_.end());
   for (std::size_t user = 0; user < users_.size(); ++user) {
     if (users_[user] && users_[user]->totals.packets != 0) {
       out.push_back(static_cast<trace::UserId>(user));
@@ -283,6 +449,16 @@ std::vector<const AppUserAccount*> EnergyLedger::user_accounts(trace::UserId use
 AppUserAccount EnergyLedger::app_total(trace::AppId app) const {
   AppUserAccount total;
   total.app = app;
+  if (app < folded_apps_.size() && folded_apps_[app].packets != 0) {
+    // Folded users contributed in ascending order; the resident loop below
+    // continues that same sequence, so the double sums stay bit-identical
+    // to an all-resident fold.
+    const AppUserAccount& folded = folded_apps_[app];
+    total.bytes = folded.bytes;
+    total.packets = folded.packets;
+    total.joules = folded.joules;
+    total.state_joules = folded.state_joules;
+  }
   for (const auto& state : users_) {
     if (!state || app >= state->apps.size()) continue;
     const AppUserAccount& acc = state->apps[app];
@@ -298,7 +474,10 @@ AppUserAccount EnergyLedger::app_total(trace::AppId app) const {
 }
 
 std::vector<trace::AppId> EnergyLedger::apps() const {
-  std::vector<bool> seen;
+  std::vector<bool> seen(folded_apps_.size());
+  for (std::size_t app = 0; app < folded_apps_.size(); ++app) {
+    if (folded_apps_[app].packets != 0) seen[app] = true;
+  }
   for (const auto& state : users_) {
     if (!state) continue;
     if (state->apps.size() > seen.size()) seen.resize(state->apps.size());
@@ -313,7 +492,7 @@ std::vector<trace::AppId> EnergyLedger::apps() const {
   return out;
 }
 
-std::uint64_t EnergyLedger::memory_bytes() const {
+obs::MemoryUse EnergyLedger::memory_use() const {
   std::uint64_t total = users_.capacity() * sizeof(users_[0]);
   for (const auto& state : users_) {
     if (!state) continue;
@@ -322,11 +501,13 @@ std::uint64_t EnergyLedger::memory_bytes() const {
       total += acc.days.capacity() * sizeof(DayCell);
     }
   }
-  return total;
+  total += folded_apps_.capacity() * sizeof(AppUserAccount) +
+           folded_users_.capacity() * sizeof(trace::UserId);
+  return {.resident_bytes = total, .spilled_bytes = spilled_self_};
 }
 
 double EnergyLedger::total_joules() const {
-  double total = 0.0;
+  double total = folded_totals_.joules;
   for (const auto& state : users_) {
     if (state) total += state->totals.joules;
   }
@@ -334,7 +515,7 @@ double EnergyLedger::total_joules() const {
 }
 
 std::uint64_t EnergyLedger::total_bytes() const {
-  std::uint64_t total = 0;
+  std::uint64_t total = folded_totals_.bytes;
   for (const auto& state : users_) {
     if (state) total += state->totals.bytes;
   }
@@ -342,7 +523,7 @@ std::uint64_t EnergyLedger::total_bytes() const {
 }
 
 std::uint64_t EnergyLedger::total_packets() const {
-  std::uint64_t total = 0;
+  std::uint64_t total = folded_totals_.packets;
   for (const auto& state : users_) {
     if (state) total += state->totals.packets;
   }
@@ -350,7 +531,7 @@ std::uint64_t EnergyLedger::total_packets() const {
 }
 
 std::array<double, trace::kNumProcessStates> EnergyLedger::state_totals() const {
-  std::array<double, trace::kNumProcessStates> totals{};
+  std::array<double, trace::kNumProcessStates> totals = folded_totals_.state_joules;
   for (const auto& state : users_) {
     if (!state) continue;
     for (std::size_t s = 0; s < trace::kNumProcessStates; ++s) {

@@ -38,6 +38,8 @@
 
 namespace wildenergy::energy {
 
+class AccountSpill;  // energy/account_file.h
+
 struct DayCell {
   double fg_joules = 0.0;
   double bg_joules = 0.0;
@@ -88,6 +90,18 @@ class EnergyLedger final : public trace::TraceSink,
   [[nodiscard]] std::unique_ptr<trace::TraceSink> clone_shard() const override;
   void merge_from(trace::TraceSink& shard) override;
 
+  // -- fold-and-release (DESIGN.md §15) -------------------------------------
+  /// Arm fold mode: fold_user() collapses each completed user's slab into
+  /// running grand totals (in stream order, so the folds are bit-identical
+  /// to the ascending query-time folds of an all-resident run), spills the
+  /// detail accounts as a "ledger" row-group section into `spill`, and frees
+  /// the slab. Detail consumers then read through an AccountCursor
+  /// (energy/account_cursor.h) instead of accounts().
+  void set_account_spill(AccountSpill* spill) { spill_ = spill; }
+  [[nodiscard]] AccountSpill* account_spill() const { return spill_; }
+  [[nodiscard]] bool fold_mode() const { return spill_ != nullptr; }
+  void fold_user(trace::UserId user) override;
+
   /// Fold a shard ledger's accounts and per-user totals into this one. The
   /// shard's users must be disjoint from this ledger's.
   void merge(const EnergyLedger& shard);
@@ -100,18 +114,25 @@ class EnergyLedger final : public trace::TraceSink,
 
   [[nodiscard]] const trace::StudyMeta& meta() const { return meta_; }
 
-  /// Typed iteration over every (user, app) account with traffic, user-major
-  /// and app-ascending. Yields const AppUserAccount& — the user/app pair is
-  /// on the account itself, no packed-key unpacking anywhere.
+  /// Typed iteration over every RESIDENT (user, app) account with traffic,
+  /// user-major and app-ascending. Yields const AppUserAccount& — the
+  /// user/app pair is on the account itself, no packed-key unpacking
+  /// anywhere. Under fold mode the folded users' slabs are gone; detail
+  /// consumers use AccountCursor (energy/account_cursor.h), which replays
+  /// spilled rows first and then this view — the same sequence either way.
   class AccountView;
   [[nodiscard]] AccountView accounts() const;
-  /// Number of (user, app) accounts with traffic — accounts().size().
+  /// Number of resident (user, app) accounts with traffic — accounts().size().
   [[nodiscard]] std::size_t num_accounts() const { return num_accounts_; }
+  /// Accounts with traffic including folded-and-spilled ones — the length of
+  /// the AccountCursor sequence.
+  [[nodiscard]] std::size_t total_accounts() const { return num_accounts_ + folded_accounts_; }
 
-  /// Account for one (user, app); nullptr when the pair has no traffic.
+  /// RESIDENT account for one (user, app); nullptr when the pair has no
+  /// traffic or its user was folded.
   [[nodiscard]] const AppUserAccount* find(trace::UserId user, trace::AppId app) const;
 
-  /// User ids with any traffic, ascending.
+  /// User ids with any traffic (folded users included), ascending.
   [[nodiscard]] std::vector<trace::UserId> users() const;
   /// One user's accounts with traffic, app-ascending (empty when unknown).
   [[nodiscard]] std::vector<const AppUserAccount*> user_accounts(trace::UserId user) const;
@@ -123,7 +144,7 @@ class EnergyLedger final : public trace::TraceSink,
 
   /// Approximate resident footprint: per-user slabs (including each
   /// account's per-day cell vector).
-  [[nodiscard]] std::uint64_t memory_bytes() const override;
+  [[nodiscard]] obs::MemoryUse memory_use() const override;
 
   // Study-wide totals, folded from per-user partials in user-id order.
   [[nodiscard]] double total_joules() const;
@@ -154,12 +175,27 @@ class EnergyLedger final : public trace::TraceSink,
   /// The (user, app) account inside `state`, initialized on first touch.
   AppUserAccount& account(UserState& state, trace::UserId user, trace::AppId app);
 
+  /// Collapse one user's slab into the folded aggregates (no spill, no
+  /// release bookkeeping beyond the counters).
+  void fold_slab_totals(const UserState& state);
+  /// Encode the slab's live accounts as the "ledger" section payload — the
+  /// decode mirror is decode_ledger_section (energy/account_cursor.h).
+  void encode_slab(const UserState& state, ckpt::ByteWriter& out) const;
+
   trace::StudyMeta meta_;
   std::size_t num_days_ = 0;
   std::uint32_t num_apps_hint_ = 0;
   std::size_t num_accounts_ = 0;
   /// Dense per-user slabs, indexed by UserId; null until the user has traffic.
   std::vector<std::unique_ptr<UserState>> users_;
+
+  // -- fold-and-release state (all zero/empty outside fold mode) ------------
+  AccountSpill* spill_ = nullptr;       ///< non-owning; armed by the engine
+  std::uint64_t spilled_self_ = 0;      ///< bytes this ledger spilled
+  std::size_t folded_accounts_ = 0;     ///< live accounts released by folds
+  UserTotals folded_totals_;            ///< grand totals over folded users
+  std::vector<AppUserAccount> folded_apps_;   ///< per-app totals, days empty
+  std::vector<trace::UserId> folded_users_;   ///< folded users with traffic
 
  public:
   /// Forward iterator over live accounts: user-major, app-ascending.

@@ -39,14 +39,20 @@ void RunStats::print(std::ostream& os) const {
      << " re-promotions\n";
 
   if (memory.tracked_bytes() > 0 || memory.peak_rss_bytes > 0) {
-    os << "memory:        ledger " << fmt_bytes(static_cast<double>(memory.ledger_bytes))
-       << ", analyses " << fmt_bytes(static_cast<double>(memory.analyses_bytes));
-    if (memory.store_bytes > 0) {
-      os << ", trace store " << fmt_bytes(static_cast<double>(memory.store_bytes));
+    os << "memory:        ledger " << fmt_bytes(static_cast<double>(memory.ledger.resident_bytes))
+       << ", analyses " << fmt_bytes(static_cast<double>(memory.analyses.resident_bytes));
+    if (memory.store.resident_bytes > 0) {
+      os << ", trace store " << fmt_bytes(static_cast<double>(memory.store.resident_bytes));
     }
-    if (memory.store_spilled_bytes > 0) {
-      os << ", spilled " << fmt_bytes(static_cast<double>(memory.store_spilled_bytes))
-         << " on disk";
+    const std::uint64_t spilled = memory.store.spilled_bytes + memory.ledger.spilled_bytes +
+                                  memory.analyses.spilled_bytes;
+    if (spilled > 0) {
+      os << ", spilled " << fmt_bytes(static_cast<double>(spilled)) << " on disk";
+    }
+    if (memory.accounts.total_bytes() > 0) {
+      os << ", account files " << fmt_bytes(static_cast<double>(memory.accounts.spilled_bytes))
+         << " (+" << fmt_bytes(static_cast<double>(memory.accounts.resident_bytes))
+         << " pending)";
     }
     os << "; peak RSS " << fmt_bytes(static_cast<double>(memory.peak_rss_bytes)) << "\n";
   }
@@ -174,10 +180,15 @@ void RunStats::write_json(JsonWriter& w) const {
 
   w.key("memory");
   w.begin_object();
-  w.kv("ledger_bytes", memory.ledger_bytes);
-  w.kv("analyses_bytes", memory.analyses_bytes);
-  w.kv("store_bytes", memory.store_bytes);
-  w.kv("store_spilled_bytes", memory.store_spilled_bytes);
+  w.kv("ledger_bytes", memory.ledger.resident_bytes);
+  w.kv("ledger_spilled_bytes", memory.ledger.spilled_bytes);
+  w.kv("analyses_bytes", memory.analyses.resident_bytes);
+  w.kv("analyses_spilled_bytes", memory.analyses.spilled_bytes);
+  w.kv("store_bytes", memory.store.resident_bytes);
+  w.kv("store_spilled_bytes", memory.store.spilled_bytes);
+  w.kv("account_bytes", memory.accounts.resident_bytes);
+  w.kv("account_spilled_bytes", memory.accounts.spilled_bytes);
+  w.kv("tracked_bytes", memory.tracked_bytes());
   w.kv("peak_rss_bytes", memory.peak_rss_bytes);
   w.end_object();
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "util/status.h"
 
@@ -68,16 +69,21 @@ struct ShardRunStats {
 /// Bytes are container-capacity estimates, not allocator truth — see
 /// DESIGN.md §11 for the caveats.
 struct MemoryStats {
-  std::uint64_t ledger_bytes = 0;    ///< EnergyLedger accounts + per-user totals
-  std::uint64_t analyses_bytes = 0;  ///< sum over registered analysis sinks
-  std::uint64_t store_bytes = 0;     ///< trace store resident columns, if any
-  /// Bytes the trace store sealed into on-disk WESG segments
-  /// (trace/spilling_store.h). Disk, not RAM: excluded from tracked_bytes().
-  std::uint64_t store_spilled_bytes = 0;
+  MemoryUse ledger;    ///< EnergyLedger accounts + per-user totals
+  MemoryUse analyses;  ///< sum over registered analysis sinks (incl. spilled rows)
+  MemoryUse store;     ///< trace store columns: resident + sealed WESG segments
+  /// WEAC account-spill plane (energy/account_file.h): resident row-group
+  /// builder + sealed per-user detail files. The spilled halves of the
+  /// ledger/analyses entries land in these files; this entry tracks the
+  /// spill writer itself, so its resident half counts against the budget.
+  MemoryUse accounts;
   std::uint64_t peak_rss_bytes = 0;  ///< process-lifetime peak resident set
 
+  /// Resident bytes under the run's control — what a RAM budget bounds.
+  /// Spilled halves are disk, not RAM: excluded.
   [[nodiscard]] std::uint64_t tracked_bytes() const {
-    return ledger_bytes + analyses_bytes + store_bytes;
+    return ledger.resident_bytes + analyses.resident_bytes + store.resident_bytes +
+           accounts.resident_bytes;
   }
 };
 

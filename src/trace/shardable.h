@@ -32,6 +32,12 @@
 
 #include <memory>
 
+#include "trace/record.h"
+
+namespace wildenergy::energy {
+class AccountSpill;  // energy/account_file.h
+}
+
 namespace wildenergy::trace {
 
 class TraceSink;
@@ -47,6 +53,24 @@ class ShardableSink {
   /// Fold a completed shard (previously returned by this sink's
   /// clone_shard()) into this sink. Called serially, in user-id order.
   virtual void merge_from(TraceSink& shard) = 0;
+
+  /// Fold-and-release lifecycle hook (DESIGN.md §15): `user`'s stream is
+  /// complete (serial: its on_user_end ran; sharded: its shard merged).
+  /// Sinks that opt in collapse the user's detail state into running
+  /// aggregates — optionally spilling the detail rows to an account side
+  /// file first — and free the per-user slab. Called in stream order, which
+  /// for both engines is ascending user id, so double folds performed here
+  /// are bit-identical to the ascending query-time folds an all-resident
+  /// run performs. Only invoked when the engine runs with an account spill
+  /// configured; sinks without per-user detail leave the no-op default.
+  virtual void fold_user(UserId /*user*/) {}
+
+  /// Arm (non-null) or disarm (null) the fold-and-release spill target the
+  /// sink writes its detail rows through during fold_user. The engines call
+  /// this on every run, before the study bracket opens, so a sink armed by
+  /// an earlier run is always reset. Sinks without per-user detail leave
+  /// the no-op default.
+  virtual void set_account_spill(energy::AccountSpill* /*spill*/) {}
 };
 
 /// The sink's shard interface, or nullptr if it opted out. (Template so this

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ckpt/checkpointable.h"
+#include "obs/memory.h"
 #include "trace/record.h"
 #include "trace/shardable.h"
 
@@ -48,11 +49,12 @@ class TraceSink {
   /// whether its input arrives per record or in batches of any size.
   virtual void on_batch(const EventBatch& batch);
 
-  /// Approximate resident footprint of this sink's accumulated state, for
-  /// the telemetry memory report (obs::RunStats::memory). Capacity estimate
-  /// of owned containers, not allocator truth (DESIGN.md §11). Sinks that
-  /// keep O(1) state may leave the 0 default.
-  [[nodiscard]] virtual std::uint64_t memory_bytes() const { return 0; }
+  /// Approximate memory footprint of this sink's accumulated state, for the
+  /// telemetry memory report (obs::RunStats::memory): resident capacity
+  /// estimate of owned containers (not allocator truth, DESIGN.md §11) plus
+  /// any bytes the sink has spilled to durable side files. Sinks that keep
+  /// O(1) state may leave the zero default.
+  [[nodiscard]] virtual obs::MemoryUse memory_use() const { return {}; }
 };
 
 /// Fans one stream out to several sinks, in registration order.
@@ -117,9 +119,10 @@ class TraceCollector final : public TraceSink,
   [[nodiscard]] const std::vector<PacketRecord>& packets() const { return packets_; }
   [[nodiscard]] const std::vector<StateTransition>& transitions() const { return transitions_; }
 
-  [[nodiscard]] std::uint64_t memory_bytes() const override {
-    return packets_.capacity() * sizeof(PacketRecord) +
-           transitions_.capacity() * sizeof(StateTransition);
+  [[nodiscard]] obs::MemoryUse memory_use() const override {
+    return {.resident_bytes = packets_.capacity() * sizeof(PacketRecord) +
+                              transitions_.capacity() * sizeof(StateTransition),
+            .spilled_bytes = 0};
   }
 
  private:

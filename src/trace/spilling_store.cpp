@@ -499,7 +499,7 @@ std::uint64_t SpillingTraceStore::event_count() const {
   return count;
 }
 
-std::uint64_t SpillingTraceStore::memory_bytes() const {
+obs::MemoryUse SpillingTraceStore::memory_use() const {
   std::uint64_t bytes = sizeof(*this);
   bytes += resident_.capacity() * sizeof(ResidentChunk);
   for (const ResidentChunk& chunk : resident_) bytes += column_bytes(chunk.events);
@@ -511,7 +511,7 @@ std::uint64_t SpillingTraceStore::memory_bytes() const {
   }
   for (const auto& segment : segments_) bytes += segment->index_bytes();
   bytes += segments_.capacity() * sizeof(std::unique_ptr<MappedSegment>);
-  return bytes;
+  return {.resident_bytes = bytes, .spilled_bytes = spilled_bytes_};
 }
 
 void SpillingTraceStore::clear() {

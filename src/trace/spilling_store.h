@@ -87,9 +87,10 @@ class SpillingTraceStore final : public StoreBackend {
   [[nodiscard]] bool empty() const override { return order_.empty() && meta_.num_users == 0; }
   [[nodiscard]] std::size_t num_users() const override { return order_.size(); }
   [[nodiscard]] std::uint64_t event_count() const override;
-  /// Resident footprint only: column/current capacity, user index, segment
-  /// indices. Mapped segment payloads are page cache, not budget.
-  [[nodiscard]] std::uint64_t memory_bytes() const override;
+  /// Resident half counts column/current capacity, user index, segment
+  /// indices; mapped segment payloads are page cache, not budget. Spilled
+  /// half is the sealed segment bytes on disk.
+  [[nodiscard]] obs::MemoryUse memory_use() const override;
   void clear() override;
 
   [[nodiscard]] std::uint64_t spilled_bytes() const override { return spilled_bytes_; }

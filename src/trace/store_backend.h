@@ -44,15 +44,16 @@ class StoreBackend : public TraceSink, public TraceSource {
   [[nodiscard]] virtual std::size_t num_users() const = 0;
   /// Total captured events (packets + transitions) across all users.
   [[nodiscard]] virtual std::uint64_t event_count() const = 0;
-  /// Resident footprint. Redeclared here because both TraceSink and
-  /// TraceSource carry a memory_bytes() default — a backend must pick one
-  /// answer, so the lookup is unambiguous for StoreBackend& callers.
-  [[nodiscard]] std::uint64_t memory_bytes() const override = 0;
+  /// Full memory footprint: resident column/index capacity plus bytes sealed
+  /// into on-disk segments (obs::MemoryUse). Pure so every backend states
+  /// both halves explicitly — this replaces the old dual-base memory_bytes()
+  /// disambiguation hack.
+  [[nodiscard]] obs::MemoryUse memory_use() const override = 0;
   virtual void clear() = 0;
 
   // -- out-of-core surface (no-ops for all-RAM backends) --------------------
-  /// Bytes sealed into on-disk segments. memory_bytes() + spilled_bytes() is
-  /// the full captured footprint; only memory_bytes() counts against RAM.
+  /// Bytes sealed into on-disk segments — memory_use().spilled_bytes, exposed
+  /// separately for spill accounting; only resident bytes count against RAM.
   [[nodiscard]] virtual std::uint64_t spilled_bytes() const { return 0; }
   [[nodiscard]] virtual std::size_t num_segments() const { return 0; }
   /// Flush any resident tail to durable storage.

@@ -56,11 +56,6 @@ class TraceSource {
         "trace source does not support per-user access");
   }
 
-  /// Approximate resident footprint of the source's cached data (a
-  /// TraceStore's columns), for the telemetry memory report. 0 for sources
-  /// that hold no materialized events (the generator, file readers).
-  [[nodiscard]] virtual std::uint64_t memory_bytes() const { return 0; }
-
   /// User ids in stream order. Default: 0 .. meta().num_users - 1, which is
   /// what the generator and generator-derived stores produce.
   [[nodiscard]] virtual std::vector<UserId> users() const {

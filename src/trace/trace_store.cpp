@@ -76,7 +76,7 @@ std::uint64_t TraceStore::event_count() const {
   return n;
 }
 
-std::uint64_t TraceStore::memory_bytes() const {
+obs::MemoryUse TraceStore::memory_use() const {
   std::uint64_t bytes = sizeof(*this);
   // The outer vector's own allocation is capacity-sized: after a doubling
   // growth the slack past size() is still resident memory.
@@ -89,7 +89,7 @@ std::uint64_t TraceStore::memory_bytes() const {
   // Each map node carries the payload plus tree pointers and color.
   bytes += index_.size() *
            (sizeof(UserId) + sizeof(std::size_t) + 3 * sizeof(void*) + sizeof(int));
-  return bytes;
+  return {.resident_bytes = bytes, .spilled_bytes = 0};
 }
 
 const EventBatch* TraceStore::find_user(UserId user) const {

@@ -65,10 +65,10 @@ class TraceStore final : public StoreBackend {
   [[nodiscard]] std::size_t num_users() const override { return users_.size(); }
   /// Total captured events (packets + transitions) across all users.
   [[nodiscard]] std::uint64_t event_count() const override;
-  /// Approximate resident footprint: counts column and index *capacity*
-  /// (allocation slack from growth is real resident memory), so spill
-  /// budgets and RunStats::MemoryStats never undercount.
-  [[nodiscard]] std::uint64_t memory_bytes() const override;
+  /// Approximate footprint: counts column and index *capacity* (allocation
+  /// slack from growth is real resident memory), so spill budgets and
+  /// RunStats::MemoryStats never undercount. Nothing spills in this backend.
+  [[nodiscard]] obs::MemoryUse memory_use() const override;
   /// One user's full column set (testing / direct consumers).
   [[nodiscard]] const EventBatch* find_user(UserId user) const;
 

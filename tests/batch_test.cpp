@@ -549,7 +549,8 @@ TEST(BatchProperty, EveryBatchSizeAndThreadCountIsBitIdenticalToPerRecord) {
   // Baseline: the classic per-record serial pipeline (batch_size = 0).
   core::PipelineOptions baseline_options;
   baseline_options.batch_size = 0;
-  core::StudyPipeline baseline{property_config(), baseline_options};
+  sim::StudyGenerator baseline_gen{property_config()};
+  core::StudyPipeline baseline{&baseline_gen, baseline_options};
   AnalysisSet baseline_set;
   baseline_set.attach(baseline);
   baseline.run();
@@ -562,7 +563,8 @@ TEST(BatchProperty, EveryBatchSizeAndThreadCountIsBitIdenticalToPerRecord) {
       core::PipelineOptions options;
       options.batch_size = batch_size;
       options.num_threads = threads;
-      core::StudyPipeline pipeline{property_config(), options};
+      sim::StudyGenerator generator{property_config()};
+      core::StudyPipeline pipeline{&generator, options};
       AnalysisSet set;
       set.attach(pipeline);
       pipeline.run();
@@ -586,7 +588,8 @@ TEST(BatchProperty, EveryBatchSizeAndThreadCountIsBitIdenticalToPerRecord) {
 TEST(BatchProperty, MidBatchShardFaultRetryStaysBitIdentical) {
   core::PipelineOptions clean_options;
   clean_options.batch_size = 64;
-  core::StudyPipeline clean{property_config(), clean_options};
+  sim::StudyGenerator clean_gen{property_config()};
+  core::StudyPipeline clean{&clean_gen, clean_options};
   clean.run();
 
   for (const unsigned threads : {1u, 2u}) {
@@ -601,7 +604,8 @@ TEST(BatchProperty, MidBatchShardFaultRetryStaysBitIdentical) {
     options.num_threads = threads;
     options.failure_policy = core::FailurePolicy::kRetryThenSkip;
     options.fault_plan = &plan;
-    core::StudyPipeline pipeline{property_config(), options};
+    sim::StudyGenerator generator{property_config()};
+    core::StudyPipeline pipeline{&generator, options};
     const auto run = pipeline.run();
     ASSERT_TRUE(run.ok());
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "core/pipeline.h"
+#include "sim/generator.h"
 #include "sim/study_config.h"
 
 namespace wildenergy {
@@ -31,9 +32,11 @@ void expect_identical_ledgers(const energy::EnergyLedger& a, const energy::Energ
 }
 
 TEST(Determinism, TwoFreshPipelinesProduceIdenticalLedgers) {
-  core::StudyPipeline first{sim::small_study(/*seed=*/7)};
+  sim::StudyGenerator first_gen{sim::small_study(/*seed=*/7)};
+  core::StudyPipeline first{&first_gen};
   first.run();
-  core::StudyPipeline second{sim::small_study(/*seed=*/7)};
+  sim::StudyGenerator second_gen{sim::small_study(/*seed=*/7)};
+  core::StudyPipeline second{&second_gen};
   second.run();
   EXPECT_GT(first.ledger().total_joules(), 0.0);
   expect_identical_ledgers(first.ledger(), second.ledger());
@@ -41,7 +44,8 @@ TEST(Determinism, TwoFreshPipelinesProduceIdenticalLedgers) {
 }
 
 TEST(Determinism, RerunningOnePipelineIsIdempotent) {
-  core::StudyPipeline pipeline{sim::small_study(/*seed=*/7)};
+  sim::StudyGenerator generator{sim::small_study(/*seed=*/7)};
+  core::StudyPipeline pipeline{&generator};
   pipeline.run();
   const double joules = pipeline.ledger().total_joules();
   const std::uint64_t bytes = pipeline.ledger().total_bytes();
@@ -53,9 +57,11 @@ TEST(Determinism, RerunningOnePipelineIsIdempotent) {
 TEST(Determinism, DifferentSeedsDiverge) {
   // Sanity check that the guard above is not vacuous: the seed actually
   // steers the generator.
-  core::StudyPipeline a{sim::small_study(/*seed=*/7)};
+  sim::StudyGenerator a_gen{sim::small_study(/*seed=*/7)};
+  core::StudyPipeline a{&a_gen};
   a.run();
-  core::StudyPipeline b{sim::small_study(/*seed=*/8)};
+  sim::StudyGenerator b_gen{sim::small_study(/*seed=*/8)};
+  core::StudyPipeline b{&b_gen};
   b.run();
   EXPECT_NE(a.ledger().total_joules(), b.ledger().total_joules());
 }

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/pipeline.h"
+#include "sim/generator.h"
 #include "trace/csv_io.h"
 #include "radio/burst_machine.h"
 #include "radio/timeline.h"
@@ -125,7 +126,8 @@ TEST_P(PipelineInvariants, ConservationAndBoundsAcrossSeeds) {
   cfg.num_users = 3;
   cfg.num_days = 25;
   cfg.total_apps = 60;
-  core::StudyPipeline pipeline{cfg};
+  sim::StudyGenerator generator{cfg};
+  core::StudyPipeline pipeline{&generator};
   pipeline.run();
 
   const auto& ledger = pipeline.ledger();
@@ -159,7 +161,8 @@ TEST_P(RoundTripAcrossSeeds, CsvPreservesLedger) {
   cfg.num_users = 2;
   cfg.num_days = 10;
   cfg.total_apps = 40;
-  core::StudyPipeline pipeline{cfg};
+  sim::StudyGenerator generator{cfg};
+  core::StudyPipeline pipeline{&generator};
   std::stringstream csv;
   trace::CsvTraceWriter writer{csv};
   pipeline.add_analysis(&writer);

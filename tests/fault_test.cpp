@@ -129,7 +129,8 @@ TEST(FaultPlan, ThrowsAtNthCallbackOnArmedAttemptsOnly) {
 }
 
 TEST(PipelineFaults, RetryRecoversAndStaysBitIdenticalAcrossThreadCounts) {
-  core::StudyPipeline clean{fault_config()};
+  sim::StudyGenerator clean_gen{fault_config()};
+  core::StudyPipeline clean{&clean_gen};
   clean.run();
 
   for (const unsigned threads : {1u, 2u, 8u}) {
@@ -139,7 +140,8 @@ TEST(PipelineFaults, RetryRecoversAndStaysBitIdenticalAcrossThreadCounts) {
     options.num_threads = threads;
     options.failure_policy = core::FailurePolicy::kRetryThenSkip;
     options.fault_plan = &plan;
-    core::StudyPipeline pipeline{fault_config(), options};
+    sim::StudyGenerator generator{fault_config()};
+    core::StudyPipeline pipeline{&generator, options};
     const auto run = pipeline.run();
     ASSERT_TRUE(run.ok());
 
@@ -188,7 +190,8 @@ class SkipUserPolicy final : public trace::TraceSink {
 };
 
 TEST(PipelineFaults, ExhaustedRetriesSkipTheUserBitIdenticallyToSerial) {
-  core::StudyPipeline baseline{fault_config()};
+  sim::StudyGenerator baseline_gen{fault_config()};
+  core::StudyPipeline baseline{&baseline_gen};
   baseline.set_policy([](trace::TraceSink* downstream) {
     return std::make_unique<SkipUserPolicy>(downstream, /*skip=*/1);
   });
@@ -204,7 +207,8 @@ TEST(PipelineFaults, ExhaustedRetriesSkipTheUserBitIdenticallyToSerial) {
     options.failure_policy = core::FailurePolicy::kRetryThenSkip;
     options.max_shard_retries = 2;
     options.fault_plan = &plan;
-    core::StudyPipeline pipeline{fault_config(), options};
+    sim::StudyGenerator generator{fault_config()};
+    core::StudyPipeline pipeline{&generator, options};
     trace::TraceCollector stream;
     pipeline.add_analysis(&stream);
     const auto run = pipeline.run();
@@ -242,12 +246,14 @@ TEST(PipelineFaults, FailFastPropagatesTheShardFault) {
   core::PipelineOptions options;
   options.num_threads = 2;
   options.fault_plan = &plan;  // failure_policy stays kFailFast
-  core::StudyPipeline pipeline{fault_config(), options};
+  sim::StudyGenerator generator{fault_config()};
+  core::StudyPipeline pipeline{&generator, options};
   EXPECT_THROW(pipeline.run(), fault::ShardFault);
 }
 
 TEST(PipelineFaults, StallingFaultStillRecoversOnRetry) {
-  core::StudyPipeline clean{fault_config()};
+  sim::StudyGenerator clean_gen{fault_config()};
+  core::StudyPipeline clean{&clean_gen};
   clean.run();
 
   fault::FaultPlan plan;
@@ -256,7 +262,8 @@ TEST(PipelineFaults, StallingFaultStillRecoversOnRetry) {
   options.num_threads = 2;
   options.failure_policy = core::FailurePolicy::kRetryThenSkip;
   options.fault_plan = &plan;
-  core::StudyPipeline pipeline{fault_config(), options};
+  sim::StudyGenerator generator{fault_config()};
+  core::StudyPipeline pipeline{&generator, options};
   const auto run = pipeline.run();
   ASSERT_TRUE(run.ok());
 

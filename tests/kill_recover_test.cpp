@@ -111,7 +111,8 @@ TEST(KillRecoverPipeline, ResumedRunIsBitIdenticalAtEveryThreadCount) {
   for (const unsigned threads : {1u, 2u, 8u}) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     // Reference: the same study left uninterrupted, no checkpointing at all.
-    core::StudyPipeline reference{cfg, {.num_threads = threads}};
+    sim::StudyGenerator reference_gen{cfg};
+    core::StudyPipeline reference{&reference_gen, {.num_threads = threads}};
     Analyses reference_set;
     reference_set.attach(reference);
     ASSERT_TRUE(reference.run().ok());
@@ -126,7 +127,8 @@ TEST(KillRecoverPipeline, ResumedRunIsBitIdenticalAtEveryThreadCount) {
       options.checkpoint_dir = dir.string();
       options.checkpoint_every_users = 1;
       options.fault_plan = &plan;
-      core::StudyPipeline killed{cfg, options};
+      sim::StudyGenerator killed_gen{cfg};
+      core::StudyPipeline killed{&killed_gen, options};
       Analyses killed_set;
       killed_set.attach(killed);
       EXPECT_THROW((void)killed.run(), fault::ShardFault);
@@ -137,7 +139,8 @@ TEST(KillRecoverPipeline, ResumedRunIsBitIdenticalAtEveryThreadCount) {
     options.num_threads = threads;
     options.checkpoint_dir = dir.string();
     options.resume = true;
-    core::StudyPipeline resumed{cfg, options};
+    sim::StudyGenerator resumed_gen{cfg};
+    core::StudyPipeline resumed{&resumed_gen, options};
     Analyses resumed_set;
     resumed_set.attach(resumed);
     const auto stats = resumed.run();
@@ -154,7 +157,8 @@ TEST(KillRecoverPipeline, ResumedRunIsBitIdenticalAtEveryThreadCount) {
 
 TEST(KillRecoverPipeline, ResumeFallsBackPastATornCheckpointLoudly) {
   const sim::StudyConfig cfg = test_config();
-  core::StudyPipeline reference{cfg, {.num_threads = 2}};
+  sim::StudyGenerator reference_gen{cfg};
+  core::StudyPipeline reference{&reference_gen, {.num_threads = 2}};
   ASSERT_TRUE(reference.run().ok());
 
   const fs::path dir = scratch_dir("torn");
@@ -166,7 +170,8 @@ TEST(KillRecoverPipeline, ResumeFallsBackPastATornCheckpointLoudly) {
     options.checkpoint_dir = dir.string();
     options.checkpoint_every_users = 1;
     options.fault_plan = &plan;
-    core::StudyPipeline killed{cfg, options};
+    sim::StudyGenerator killed_gen{cfg};
+    core::StudyPipeline killed{&killed_gen, options};
     EXPECT_THROW((void)killed.run(), fault::ShardFault);
   }
   // Tear the newest checkpoint after the kill (what a crash mid-rename on a
@@ -185,7 +190,8 @@ TEST(KillRecoverPipeline, ResumeFallsBackPastATornCheckpointLoudly) {
   options.num_threads = 2;
   options.checkpoint_dir = dir.string();
   options.resume = true;
-  core::StudyPipeline resumed{cfg, options};
+  sim::StudyGenerator resumed_gen{cfg};
+  core::StudyPipeline resumed{&resumed_gen, options};
   const auto stats = resumed.run();
   ASSERT_TRUE(stats.ok()) << stats.status().to_string();
   EXPECT_EQ(stats->recovered_from_seq, 2u);  // fell back, and said so
@@ -196,7 +202,8 @@ TEST(KillRecoverPipeline, ResumeFallsBackPastATornCheckpointLoudly) {
 
 TEST(KillRecoverPipeline, IoErrorWriteFailureIsCountedAndTheRunCompletes) {
   const sim::StudyConfig cfg = test_config();
-  core::StudyPipeline reference{cfg, {.num_threads = 2}};
+  sim::StudyGenerator reference_gen{cfg};
+  core::StudyPipeline reference{&reference_gen, {.num_threads = 2}};
   ASSERT_TRUE(reference.run().ok());
 
   const fs::path dir = scratch_dir("io_error");
@@ -208,7 +215,8 @@ TEST(KillRecoverPipeline, IoErrorWriteFailureIsCountedAndTheRunCompletes) {
   options.checkpoint_dir = dir.string();
   options.checkpoint_every_users = 1;
   options.fault_plan = &plan;
-  core::StudyPipeline pipeline{cfg, options};
+  sim::StudyGenerator generator{cfg};
+  core::StudyPipeline pipeline{&generator, options};
   const auto stats = pipeline.run();
   ASSERT_TRUE(stats.ok()) << stats.status().to_string();
   EXPECT_EQ(stats->checkpoint_write_failures, 1u);
@@ -223,7 +231,8 @@ TEST(KillRecoverPipeline, ResumeWithoutACheckpointFailsNotRestarts) {
   core::PipelineOptions options;
   options.checkpoint_dir = dir.string();
   options.resume = true;
-  core::StudyPipeline pipeline{test_config(), options};
+  sim::StudyGenerator generator{test_config()};
+  core::StudyPipeline pipeline{&generator, options};
   const auto stats = pipeline.run();
   ASSERT_FALSE(stats.ok());
   EXPECT_EQ(stats.status().code(), util::StatusCode::kNotFound);
@@ -239,7 +248,8 @@ TEST(KillRecoverPipeline, StaleCheckpointFromAnotherStudyIsRejected) {
     options.checkpoint_dir = dir.string();
     options.checkpoint_every_users = 1;
     options.fault_plan = &plan;
-    core::StudyPipeline killed{test_config(), options};
+    sim::StudyGenerator killed_gen{test_config()};
+    core::StudyPipeline killed{&killed_gen, options};
     EXPECT_THROW((void)killed.run(), fault::ShardFault);
   }
   sim::StudyConfig other = test_config();
@@ -247,7 +257,8 @@ TEST(KillRecoverPipeline, StaleCheckpointFromAnotherStudyIsRejected) {
   core::PipelineOptions options;
   options.checkpoint_dir = dir.string();
   options.resume = true;
-  core::StudyPipeline resumed{other, options};
+  sim::StudyGenerator resumed_gen{other};
+  core::StudyPipeline resumed{&resumed_gen, options};
   const auto stats = resumed.run();
   ASSERT_FALSE(stats.ok());
   EXPECT_EQ(stats.status().code(), util::StatusCode::kFailedPrecondition);
@@ -258,7 +269,8 @@ TEST(KillRecoverPipeline, StaleCheckpointFromAnotherStudyIsRejected) {
 
 TEST(KillRecoverPipeline, ForwardOnlySourceResumesThroughSerialDecorators) {
   const sim::StudyConfig cfg = test_config();
-  core::StudyPipeline live{cfg};
+  sim::StudyGenerator live_gen{cfg};
+  core::StudyPipeline live{&live_gen};
   Analyses live_set;
   live_set.attach(live);
   ASSERT_TRUE(live.run().ok());

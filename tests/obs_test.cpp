@@ -13,6 +13,7 @@
 #include <string_view>
 
 #include "core/pipeline.h"
+#include "sim/generator.h"
 #include "obs/metrics.h"
 #include "obs/run_stats.h"
 #include "obs/stopwatch.h"
@@ -335,7 +336,8 @@ sim::StudyConfig obs_test_config() {
 TEST(RunStats, TotalsExactlyMatchLedger) {
   core::PipelineOptions options;
   options.collect_stage_stats = true;
-  core::StudyPipeline pipeline{obs_test_config(), options};
+  sim::StudyGenerator generator{obs_test_config()};
+  core::StudyPipeline pipeline{&generator, options};
   const auto run = pipeline.run();
   ASSERT_TRUE(run.ok());
 
@@ -380,7 +382,8 @@ TEST(RunStats, TotalsExactlyMatchLedger) {
 }
 
 TEST(RunStats, StageProfilingOffByDefault) {
-  core::StudyPipeline pipeline{obs_test_config()};
+  sim::StudyGenerator generator{obs_test_config()};
+  core::StudyPipeline pipeline{&generator};
   const auto run = pipeline.run();
   ASSERT_TRUE(run.ok());
   const obs::RunStats& stats = run.value();
@@ -394,14 +397,16 @@ TEST(RunStats, StageProfilingOffByDefault) {
 TEST(RunStats, InstrumentationDoesNotPerturbAttribution) {
   // The acceptance bar: joules are bit-identical with instrumentation fully
   // on (stage stats + span export) vs fully off.
-  core::StudyPipeline plain{obs_test_config()};
+  sim::StudyGenerator plain_gen{obs_test_config()};
+  core::StudyPipeline plain{&plain_gen};
   plain.run();
 
   obs::TraceWriter writer;
   core::PipelineOptions options;
   options.collect_stage_stats = true;
   options.trace_writer = &writer;
-  core::StudyPipeline instrumented{obs_test_config(), options};
+  sim::StudyGenerator instrumented_gen{obs_test_config()};
+  core::StudyPipeline instrumented{&instrumented_gen, options};
   instrumented.run();
 
   EXPECT_EQ(plain.ledger().total_joules(), instrumented.ledger().total_joules());
@@ -426,7 +431,8 @@ TEST(RunStats, InstrumentationDoesNotPerturbAttribution) {
 }
 
 TEST(RunStats, RepeatedRunsResetStats) {
-  core::StudyPipeline pipeline{obs_test_config()};
+  sim::StudyGenerator generator{obs_test_config()};
+  core::StudyPipeline pipeline{&generator};
   const auto first = pipeline.run();
   ASSERT_TRUE(first.ok());
   const auto second = pipeline.run();
@@ -440,7 +446,8 @@ TEST(RunStats, RepeatedRunsResetStats) {
 TEST(RunStats, PrintMentionsKeyFields) {
   core::PipelineOptions options;
   options.collect_stage_stats = true;
-  core::StudyPipeline pipeline{obs_test_config(), options};
+  sim::StudyGenerator generator{obs_test_config()};
+  core::StudyPipeline pipeline{&generator, options};
   std::ostringstream os;
   obs::RunStats{}.print(os);  // default-constructed: prints zeros, no crash
   const auto run = pipeline.run();
@@ -457,7 +464,8 @@ TEST(RunStats, PrintMentionsKeyFields) {
 TEST(RunStats, NamedAnalysisAppearsInStages) {
   core::PipelineOptions options;
   options.collect_stage_stats = true;
-  core::StudyPipeline pipeline{obs_test_config(), options};
+  sim::StudyGenerator generator{obs_test_config()};
+  core::StudyPipeline pipeline{&generator, options};
   trace::TraceCollector collector;
   pipeline.add_analysis("my-analysis", &collector);
   const auto run = pipeline.run();

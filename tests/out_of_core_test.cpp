@@ -374,8 +374,9 @@ TEST(SpillingStore, ReplayBitIdenticalToRamStoreAcrossBatchAndThreads) {
       EXPECT_EQ(ram_stats->joules, ooc_stats->joules);
       expect_identical_ledgers(ram_pipeline.ledger(), ooc_pipeline.ledger());
       expect_identical_figures(ram_pipeline.ledger(), ooc_pipeline.ledger());
-      EXPECT_EQ(ram_persistence.memory_bytes() > 0, ooc_persistence.memory_bytes() > 0);
-      EXPECT_GT(ooc_stats->memory.store_spilled_bytes, 0u);
+      EXPECT_EQ(ram_persistence.memory_use().resident_bytes > 0,
+                ooc_persistence.memory_use().resident_bytes > 0);
+      EXPECT_GT(ooc_stats->memory.store.spilled_bytes, 0u);
     }
   }
 }
@@ -429,7 +430,7 @@ TEST(SpillingStore, BudgetBoundsResidentColumns) {
 
   trace::TraceStore ram;
   ASSERT_TRUE(ram.capture(generator).ok());
-  const std::uint64_t full_bytes = ram.memory_bytes();
+  const std::uint64_t full_bytes = ram.memory_use().resident_bytes;
   ASSERT_GT(full_bytes, 128u * 1024u);
 
   trace::SpillOptions spill;
@@ -443,7 +444,7 @@ TEST(SpillingStore, BudgetBoundsResidentColumns) {
   EXPECT_LT(spilling.max_resident_bytes(), full_bytes / 2);
   EXPECT_GT(spilling.num_segments(), 1u);
   // After a sealed capture everything lives on disk.
-  EXPECT_LT(spilling.memory_bytes(), full_bytes / 2);
+  EXPECT_LT(spilling.memory_use().resident_bytes, full_bytes / 2);
   EXPECT_GT(spilling.spilled_bytes(), 0u);
 }
 
@@ -620,7 +621,7 @@ TEST(SweepStoreBackend, SpillingSweepMatchesRamSweep) {
   ASSERT_TRUE(ooc_stats.ok()) << ooc_stats.status().to_string();
 
   EXPECT_GT(ooc_sweep.store().spilled_bytes(), 0u);
-  EXPECT_GT(ooc_stats->memory.store_spilled_bytes, 0u);
+  EXPECT_GT(ooc_stats->memory.store.spilled_bytes, 0u);
   ASSERT_EQ(ram_sweep.results().size(), ooc_sweep.results().size());
   for (std::size_t i = 0; i < ram_sweep.results().size(); ++i) {
     SCOPED_TRACE(ram_sweep.results()[i].name);
@@ -851,7 +852,7 @@ TEST(TraceStoreMemory, MemoryBytesCoversColumnsAndIndex) {
   }
   // Capacity accounting can only exceed the payload, and the per-user
   // EventBatch headers plus the user index must be counted on top.
-  EXPECT_GE(store.memory_bytes(),
+  EXPECT_GE(store.memory_use().resident_bytes,
             payload + users * sizeof(trace::EventBatch) +
                 users * (sizeof(trace::UserId) + sizeof(std::size_t)));
 }

@@ -262,7 +262,8 @@ void expect_identical_analyses(AnalysisSet& a, AnalysisSet& b) {
 }
 
 TEST(ParallelDeterminism, ThreadCountsProduceBitIdenticalOutputs) {
-  core::StudyPipeline serial{sim::small_study(/*seed=*/7)};
+  sim::StudyGenerator serial_gen{sim::small_study(/*seed=*/7)};
+  core::StudyPipeline serial{&serial_gen};
   AnalysisSet serial_set;
   serial_set.attach(serial);
   const auto serial_run = serial.run();
@@ -273,7 +274,8 @@ TEST(ParallelDeterminism, ThreadCountsProduceBitIdenticalOutputs) {
   for (const unsigned threads : {2u, 8u}) {
     core::PipelineOptions options;
     options.num_threads = threads;
-    core::StudyPipeline sharded{sim::small_study(/*seed=*/7), options};
+    sim::StudyGenerator sharded_gen{sim::small_study(/*seed=*/7)};
+    core::StudyPipeline sharded{&sharded_gen, options};
     AnalysisSet sharded_set;
     sharded_set.attach(sharded);
     const auto sharded_run = sharded.run();
@@ -312,7 +314,8 @@ TEST(ParallelDeterminism, ThreadCountsProduceBitIdenticalOutputs) {
 TEST(ParallelDeterminism, RepeatedShardedRunsAreIdempotent) {
   core::PipelineOptions options;
   options.num_threads = 8;
-  core::StudyPipeline pipeline{sim::small_study(/*seed=*/7), options};
+  sim::StudyGenerator generator{sim::small_study(/*seed=*/7)};
+  core::StudyPipeline pipeline{&generator, options};
   pipeline.run();
   const double joules = pipeline.ledger().total_joules();
   const std::uint64_t bytes = pipeline.ledger().total_bytes();
@@ -323,21 +326,24 @@ TEST(ParallelDeterminism, RepeatedShardedRunsAreIdempotent) {
   EXPECT_EQ(pipeline.attributor().counters().tail_attributions, tails);
 
   // And flipping back to a serial pipeline still agrees.
-  core::StudyPipeline serial{sim::small_study(/*seed=*/7)};
+  sim::StudyGenerator serial_gen{sim::small_study(/*seed=*/7)};
+  core::StudyPipeline serial{&serial_gen};
   serial.run();
   expect_identical_ledgers(serial.ledger(), pipeline.ledger());
 }
 
 TEST(ParallelDeterminism, TraceCollectorSeesTheExactSerialStream) {
   trace::TraceCollector serial_collector;
-  core::StudyPipeline serial{sim::small_study(/*seed=*/3)};
+  sim::StudyGenerator serial_gen{sim::small_study(/*seed=*/3)};
+  core::StudyPipeline serial{&serial_gen};
   serial.add_analysis("collector", &serial_collector);
   serial.run();
 
   trace::TraceCollector sharded_collector;
   core::PipelineOptions options;
   options.num_threads = 4;
-  core::StudyPipeline sharded{sim::small_study(/*seed=*/3), options};
+  sim::StudyGenerator sharded_gen{sim::small_study(/*seed=*/3)};
+  core::StudyPipeline sharded{&sharded_gen, options};
   sharded.add_analysis("collector", &sharded_collector);
   const auto sharded_run = sharded.run();
   ASSERT_TRUE(sharded_run.ok());
@@ -365,7 +371,8 @@ TEST(ParallelDeterminism, TraceCollectorSeesTheExactSerialStream) {
 TEST(OffInterfaceBytes, ResetAtRunStartNotAccumulatedAcrossRuns) {
   sim::StudyConfig config = sim::small_study(/*seed=*/5);
   config.wifi_availability = 0.3;  // so the cellular filter actually drops bytes
-  core::StudyPipeline pipeline{config};
+  sim::StudyGenerator generator{config};
+  core::StudyPipeline pipeline{&generator};
   pipeline.run();
   const std::uint64_t dropped = pipeline.off_interface_bytes();
   EXPECT_GT(dropped, 0u);
@@ -375,7 +382,8 @@ TEST(OffInterfaceBytes, ResetAtRunStartNotAccumulatedAcrossRuns) {
   // Sharded runs account the same drops by summing per-shard filters.
   core::PipelineOptions options;
   options.num_threads = 8;
-  core::StudyPipeline sharded{config, options};
+  sim::StudyGenerator sharded_gen{config};
+  core::StudyPipeline sharded{&sharded_gen, options};
   sharded.run();
   EXPECT_EQ(sharded.off_interface_bytes(), dropped);
   sharded.run();

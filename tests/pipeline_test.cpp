@@ -12,6 +12,7 @@
 #include "analysis/time_since_fg.h"
 #include "analysis/whatif.h"
 #include "core/pipeline.h"
+#include "sim/generator.h"
 #include "core/policy.h"
 #include "radio/burst_machine.h"
 #include "trace/csv_io.h"
@@ -29,8 +30,10 @@ sim::StudyConfig test_config() {
 }
 
 TEST(Pipeline, DeterministicLedger) {
-  core::StudyPipeline a{test_config()};
-  core::StudyPipeline b{test_config()};
+  sim::StudyGenerator a_gen{test_config()};
+  core::StudyPipeline a{&a_gen};
+  sim::StudyGenerator b_gen{test_config()};
+  core::StudyPipeline b{&b_gen};
   a.run();
   b.run();
   EXPECT_DOUBLE_EQ(a.ledger().total_joules(), b.ledger().total_joules());
@@ -38,7 +41,8 @@ TEST(Pipeline, DeterministicLedger) {
 }
 
 TEST(Pipeline, BackgroundDominatesEnergy) {
-  core::StudyPipeline pipeline{test_config()};
+  sim::StudyGenerator generator{test_config()};
+  core::StudyPipeline pipeline{&generator};
   pipeline.run();
   const auto overall = analysis::overall_state_breakdown(pipeline.ledger());
   // The paper's headline is 84%; any healthy configuration of this simulator
@@ -48,14 +52,16 @@ TEST(Pipeline, BackgroundDominatesEnergy) {
 }
 
 TEST(Pipeline, LedgerMatchesAttributorTotals) {
-  core::StudyPipeline pipeline{test_config()};
+  sim::StudyGenerator generator{test_config()};
+  core::StudyPipeline pipeline{&generator};
   pipeline.run();
   EXPECT_NEAR(pipeline.ledger().total_joules(), pipeline.attributor().attributed_joules(),
               pipeline.ledger().total_joules() * 1e-9);
 }
 
 TEST(Pipeline, FlowJoulesSumToLedgerTotal) {
-  core::StudyPipeline pipeline{test_config()};
+  sim::StudyGenerator generator{test_config()};
+  core::StudyPipeline pipeline{&generator};
   double flow_joules = 0.0;
   trace::FlowAssembler assembler{[&](const trace::FlowRecord& f) { flow_joules += f.joules; }};
   pipeline.add_analysis(&assembler);
@@ -65,10 +71,12 @@ TEST(Pipeline, FlowJoulesSumToLedgerTotal) {
 }
 
 TEST(Pipeline, KillPolicyReducesEnergy) {
-  core::StudyPipeline baseline{test_config()};
+  sim::StudyGenerator baseline_gen{test_config()};
+  core::StudyPipeline baseline{&baseline_gen};
   baseline.run();
 
-  core::StudyPipeline filtered{test_config()};
+  sim::StudyGenerator filtered_gen{test_config()};
+  core::StudyPipeline filtered{&filtered_gen};
   filtered.set_policy([](trace::TraceSink* downstream) {
     return std::make_unique<core::KillAfterIdlePolicy>(downstream, days(3.0));
   });
@@ -88,15 +96,17 @@ TEST(Pipeline, KillPolicyReducesEnergy) {
 }
 
 TEST(Pipeline, LeakTerminationHitsChromeHardest) {
-  core::StudyPipeline baseline{test_config()};
+  sim::StudyGenerator baseline_gen{test_config()};
+  core::StudyPipeline baseline{&baseline_gen};
   baseline.run();
-  core::StudyPipeline filtered{test_config()};
+  sim::StudyGenerator filtered_gen{test_config()};
+  core::StudyPipeline filtered{&filtered_gen};
   filtered.set_policy([](trace::TraceSink* downstream) {
     return std::make_unique<core::LeakTerminationPolicy>(downstream);
   });
   filtered.run();
 
-  const trace::AppId chrome = baseline.app("Chrome");
+  const trace::AppId chrome = baseline_gen.catalog().find("Chrome");
   ASSERT_NE(chrome, trace::kNoApp);
   const double before = baseline.ledger().app_total(chrome).joules;
   const double after = filtered.ledger().app_total(chrome).joules;
@@ -110,9 +120,11 @@ TEST(Pipeline, LeakTerminationHitsChromeHardest) {
 }
 
 TEST(Pipeline, DozePolicySavesEnergy) {
-  core::StudyPipeline baseline{test_config()};
+  sim::StudyGenerator baseline_gen{test_config()};
+  core::StudyPipeline baseline{&baseline_gen};
   baseline.run();
-  core::StudyPipeline dozed{test_config()};
+  sim::StudyGenerator dozed_gen{test_config()};
+  core::StudyPipeline dozed{&dozed_gen};
   dozed.set_policy([](trace::TraceSink* downstream) {
     return std::make_unique<core::DozeLikePolicy>(downstream);
   });
@@ -121,11 +133,13 @@ TEST(Pipeline, DozePolicySavesEnergy) {
 }
 
 TEST(Pipeline, FastDormancyCutsEnergySubstantially) {
-  core::StudyPipeline lte{test_config()};
+  sim::StudyGenerator lte_gen{test_config()};
+  core::StudyPipeline lte{&lte_gen};
   lte.run();
   core::PipelineOptions fd_options;
   fd_options.radio_factory = radio::make_lte_fast_dormancy_model;
-  core::StudyPipeline fd{test_config(), fd_options};
+  sim::StudyGenerator fd_gen{test_config()};
+  core::StudyPipeline fd{&fd_gen, fd_options};
   fd.run();
   // Same traffic, much shorter tails (§6 fast dormancy recommendation).
   EXPECT_EQ(fd.ledger().total_bytes(), lte.ledger().total_bytes());
@@ -135,9 +149,11 @@ TEST(Pipeline, FastDormancyCutsEnergySubstantially) {
 TEST(Pipeline, ProportionalTailPolicyConservesTotals) {
   core::PipelineOptions options;
   options.tail_policy = energy::TailPolicy::kProportional;
-  core::StudyPipeline prop{test_config(), options};
+  sim::StudyGenerator prop_gen{test_config()};
+  core::StudyPipeline prop{&prop_gen, options};
   prop.run();
-  core::StudyPipeline last{test_config()};
+  sim::StudyGenerator last_gen{test_config()};
+  core::StudyPipeline last{&last_gen};
   last.run();
   // Same physical radio activity => same device totals; only the per-app
   // split differs.
@@ -148,7 +164,8 @@ TEST(Pipeline, ProportionalTailPolicyConservesTotals) {
 TEST(Pipeline, CsvRoundTripThroughAnalysis) {
   // Stream the annotated study to CSV, read it back, and verify the ledger
   // computed from the re-parsed stream matches the original.
-  core::StudyPipeline pipeline{test_config()};
+  sim::StudyGenerator generator{test_config()};
+  core::StudyPipeline pipeline{&generator};
   std::ostringstream os;
   trace::CsvTraceWriter writer{os};
   pipeline.add_analysis(&writer);
@@ -164,10 +181,11 @@ TEST(Pipeline, CsvRoundTripThroughAnalysis) {
 }
 
 TEST(Pipeline, AnalysesRunTogetherWithoutInterference) {
-  core::StudyPipeline pipeline{test_config()};
+  sim::StudyGenerator generator{test_config()};
+  core::StudyPipeline pipeline{&generator};
   analysis::PersistenceAnalysis persistence;
   analysis::TimeSinceForegroundAnalysis tsf;
-  std::vector<trace::AppId> ids = {pipeline.app("Weibo"), pipeline.app("Chrome")};
+  std::vector<trace::AppId> ids = {generator.catalog().find("Weibo"), generator.catalog().find("Chrome")};
   analysis::CaseStudyAnalysis cases{ids};
   pipeline.add_analysis(&persistence);
   pipeline.add_analysis(&tsf);
@@ -175,18 +193,19 @@ TEST(Pipeline, AnalysesRunTogetherWithoutInterference) {
   pipeline.run();
 
   EXPECT_GT(tsf.bytes_histogram().total_mass(), 0.0);
-  EXPECT_GT(persistence.durations(pipeline.app("Chrome")).count(), 0u);
-  const auto chrome_case = cases.result(pipeline.app("Chrome"));
+  EXPECT_GT(persistence.durations(generator.catalog().find("Chrome")).count(), 0u);
+  const auto chrome_case = cases.result(generator.catalog().find("Chrome"));
   EXPECT_GT(chrome_case.flows, 0u);
 }
 
 TEST(Pipeline, PaperShapeHolds_WeiboVsTwitterEfficiency) {
   sim::StudyConfig cfg = test_config();
   cfg.num_users = 8;  // more chances for Weibo installs
-  core::StudyPipeline pipeline{cfg};
+  sim::StudyGenerator generator{cfg};
+  core::StudyPipeline pipeline{&generator};
   pipeline.run();
-  const auto weibo = pipeline.ledger().app_total(pipeline.app("Weibo"));
-  const auto twitter = pipeline.ledger().app_total(pipeline.app("Twitter"));
+  const auto weibo = pipeline.ledger().app_total(generator.catalog().find("Weibo"));
+  const auto twitter = pipeline.ledger().app_total(generator.catalog().find("Twitter"));
   if (weibo.bytes == 0 || twitter.bytes == 0) GTEST_SKIP() << "app not installed in sample";
   const double weibo_ujb = weibo.joules / static_cast<double>(weibo.bytes);
   const double twitter_ujb = twitter.joules / static_cast<double>(twitter.bytes);
@@ -194,10 +213,11 @@ TEST(Pipeline, PaperShapeHolds_WeiboVsTwitterEfficiency) {
 }
 
 TEST(Pipeline, WhatIfRunsOnPipelineLedger) {
-  core::StudyPipeline pipeline{test_config()};
+  sim::StudyGenerator generator{test_config()};
+  core::StudyPipeline pipeline{&generator};
   pipeline.run();
   const auto row =
-      analysis::whatif_kill_after(pipeline.ledger(), pipeline.app("Weibo"), 3);
+      analysis::whatif_kill_after(pipeline.ledger(), generator.catalog().find("Weibo"), 3);
   EXPECT_GE(row.pct_energy_saved, 0.0);
   EXPECT_LE(row.pct_energy_saved, 100.0);
   const auto overall = analysis::whatif_overall(pipeline.ledger(), 3);

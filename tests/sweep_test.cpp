@@ -228,7 +228,7 @@ TEST(TraceSourceConformance, GeneratorStoreAndReadersEmitIdenticalStreams) {
   EXPECT_TRUE(store.supports_user_access());
   EXPECT_EQ(store.num_users(), generator.config().num_users);
   EXPECT_EQ(store.event_count(), baseline.packets().size() + baseline.transitions().size());
-  EXPECT_GT(store.memory_bytes(), 0u);
+  EXPECT_GT(store.memory_use().resident_bytes, 0u);
   trace::TraceCollector from_store;
   ASSERT_TRUE(store.emit(from_store, trace::kDefaultBatchSize).ok());
   expect_identical_streams(baseline, from_store);
@@ -323,7 +323,8 @@ TEST(TraceStore, BatchedAndPerRecordCaptureProduceTheSameStore) {
 TEST(TraceStore, PipelineOverStoreMatchesLiveGeneration) {
   const sim::StudyConfig config = sim::small_study(/*seed=*/7);
 
-  core::StudyPipeline live{config};
+  sim::StudyGenerator live_gen{config};
+  core::StudyPipeline live{&live_gen};
   AnalysisSet live_set;
   live_set.attach(live);
   const auto live_stats = live.run();
@@ -349,7 +350,8 @@ TEST(TraceStore, PipelineOverStoreMatchesLiveGeneration) {
 TEST(TraceStore, ShardedPipelineOverStoreMatchesLiveGeneration) {
   const sim::StudyConfig config = sim::small_study(/*seed=*/8);
 
-  core::StudyPipeline live{config};
+  sim::StudyGenerator live_gen{config};
+  core::StudyPipeline live{&live_gen};
   live.run();
 
   sim::StudyGenerator generator{config};
@@ -368,7 +370,8 @@ TEST(TraceStore, ShardedPipelineOverStoreMatchesLiveGeneration) {
 // requested, and still match live generation.
 TEST(TraceSourcePipeline, CsvReaderSourceRunsSerialAndMatches) {
   const sim::StudyConfig config = sim::small_study(/*seed=*/9);
-  core::StudyPipeline live{config};
+  sim::StudyGenerator live_gen{config};
+  core::StudyPipeline live{&live_gen};
   live.run();
 
   std::ostringstream csv_text;
@@ -418,6 +421,7 @@ TEST(SweepEngine, MatchesIndependentPipelineRunsPerScenario) {
   const auto specs = test_scenarios();
 
   // K independent pipelines, each regenerating the study from scratch.
+  std::vector<std::unique_ptr<sim::StudyGenerator>> pipeline_gens;
   std::vector<std::unique_ptr<core::StudyPipeline>> pipelines;
   std::vector<std::unique_ptr<AnalysisSet>> pipeline_sets;
   std::vector<obs::RunStats> pipeline_stats;
@@ -425,7 +429,8 @@ TEST(SweepEngine, MatchesIndependentPipelineRunsPerScenario) {
     core::PipelineOptions options;
     options.radio_factory = spec.radio_factory;
     options.tail_policy = spec.tail_policy;
-    auto pipeline = std::make_unique<core::StudyPipeline>(config, options);
+    pipeline_gens.push_back(std::make_unique<sim::StudyGenerator>(config));
+    auto pipeline = std::make_unique<core::StudyPipeline>(pipeline_gens.back().get(), options);
     if (spec.policy) pipeline->set_policy(spec.policy);
     pipeline_sets.push_back(std::make_unique<AnalysisSet>());
     pipeline_sets.back()->attach(*pipeline);
@@ -529,9 +534,11 @@ TEST(SweepEngine, RetryRecoversMidScenarioFault) {
   const sim::StudyConfig config = sim::small_study(/*seed=*/19);
 
   // Fault-free reference for both scenarios.
-  core::StudyPipeline baseline{config};
+  sim::StudyGenerator baseline_gen{config};
+  core::StudyPipeline baseline{&baseline_gen};
   baseline.run();
-  core::StudyPipeline killed{config};
+  sim::StudyGenerator killed_gen{config};
+  core::StudyPipeline killed{&killed_gen};
   killed.set_policy(
       [](trace::TraceSink* d) { return std::make_unique<core::KillAfterIdlePolicy>(d, days(3.0)); });
   killed.run();
@@ -583,7 +590,8 @@ TEST(SweepEngine, ExhaustedRetriesSkipTheUserInThatScenarioOnly) {
   core::PipelineOptions pipeline_options;
   pipeline_options.failure_policy = core::FailurePolicy::kRetryThenSkip;
   pipeline_options.fault_plan = &pipeline_plan;
-  core::StudyPipeline reference{config, pipeline_options};
+  sim::StudyGenerator reference_gen{config};
+  core::StudyPipeline reference{&reference_gen, pipeline_options};
   const auto reference_stats = reference.run();
   ASSERT_TRUE(reference_stats.ok());
   ASSERT_EQ(reference_stats->failed_users, std::vector<std::uint64_t>{victim});

@@ -131,7 +131,8 @@ void expect_schema_v2(const obs::JsonValue& doc) {
 TEST(TelemetryStats, RunStatsJsonRoundTripsAgainstTheRun) {
   core::PipelineOptions options;
   options.collect_stage_stats = true;
-  core::StudyPipeline pipeline{telemetry_config(), options};
+  sim::StudyGenerator generator{telemetry_config()};
+  core::StudyPipeline pipeline{&generator, options};
   const auto run = pipeline.run();
   ASSERT_TRUE(run.ok());
 
@@ -170,7 +171,8 @@ TEST(TelemetryStats, ShardedRunStatsJsonIncludesShards) {
   core::PipelineOptions options;
   options.collect_stage_stats = true;
   options.num_threads = 4;
-  core::StudyPipeline pipeline{telemetry_config(), options};
+  sim::StudyGenerator generator{telemetry_config()};
+  core::StudyPipeline pipeline{&generator, options};
   const auto run = pipeline.run();
   ASSERT_TRUE(run.ok());
 
@@ -203,22 +205,23 @@ TEST(TelemetryStats, MetricsRegistrySnapshotExportsAsJson) {
 // --------------------------------------------------------- memory accounting --
 
 TEST(TelemetryMemory, RunStatsCarriesLedgerAnalysesAndPeakRss) {
-  core::StudyPipeline pipeline{telemetry_config()};
+  sim::StudyGenerator generator{telemetry_config()};
+  core::StudyPipeline pipeline{&generator};
   analysis::PersistenceAnalysis persistence;
   pipeline.add_analysis("persistence", &persistence);
   const auto run = pipeline.run();
   ASSERT_TRUE(run.ok());
 
-  EXPECT_GT(run->memory.ledger_bytes, 0u);
-  EXPECT_GT(run->memory.analyses_bytes, 0u);
-  EXPECT_EQ(run->memory.store_bytes, 0u);  // generator-backed run: no cached trace
+  EXPECT_GT(run->memory.ledger.resident_bytes, 0u);
+  EXPECT_GT(run->memory.analyses.resident_bytes, 0u);
+  EXPECT_EQ(run->memory.store.resident_bytes, 0u);  // generator-backed run: no cached trace
   EXPECT_EQ(run->memory.tracked_bytes(),
-            run->memory.ledger_bytes + run->memory.analyses_bytes);
+            run->memory.ledger.resident_bytes + run->memory.analyses.resident_bytes);
 #ifdef __linux__
   EXPECT_GT(run->memory.peak_rss_bytes, 0u);
 #endif
   // The ledger estimate at least covers its per-account payloads.
-  EXPECT_GE(run->memory.ledger_bytes,
+  EXPECT_GE(run->memory.ledger.resident_bytes,
             pipeline.ledger().accounts().size() * sizeof(energy::AppUserAccount));
 }
 
@@ -229,16 +232,17 @@ TEST(TelemetryMemory, CapturedTraceStoreReportsAndGrows) {
   trace::TraceStore small_store;
   ASSERT_TRUE(small_store.capture(small_gen).ok());
   ASSERT_GT(small_store.event_count(), 0u);
-  EXPECT_GT(small_store.memory_bytes(), 0u);
+  EXPECT_GT(small_store.memory_use().resident_bytes, 0u);
   // A whole-stream copy cannot fit in less than a PacketRecord per packet.
-  EXPECT_GE(small_store.memory_bytes(), small_store.event_count() * sizeof(std::uint32_t));
+  EXPECT_GE(small_store.memory_use().resident_bytes,
+            small_store.event_count() * sizeof(std::uint32_t));
 
   sim::StudyConfig big = telemetry_config();
   big.num_days = 20;
   sim::StudyGenerator big_gen{big};
   trace::TraceStore big_store;
   ASSERT_TRUE(big_store.capture(big_gen).ok());
-  EXPECT_GT(big_store.memory_bytes(), small_store.memory_bytes());
+  EXPECT_GT(big_store.memory_use().resident_bytes, small_store.memory_use().resident_bytes);
 }
 
 TEST(TelemetryMemory, PeakRssIsMonotone) {
@@ -271,7 +275,8 @@ TEST(TelemetryShardedProfile, StageCountersAndHistogramCountsMatchAcrossThreadCo
     core::PipelineOptions options;
     options.collect_stage_stats = true;
     options.num_threads = threads;
-    core::StudyPipeline pipeline{telemetry_config(), options};
+    sim::StudyGenerator generator{telemetry_config()};
+    core::StudyPipeline pipeline{&generator, options};
     const auto run = pipeline.run();
     ASSERT_TRUE(run.ok());
     ASSERT_TRUE(run->timed);
@@ -327,7 +332,7 @@ TEST(TelemetryShardedProfile, SweepScenarioStagesAreProfiledWhenRequested) {
                       }});
   const auto stats = sweep.run();
   ASSERT_TRUE(stats.ok());
-  EXPECT_GT(stats->memory.store_bytes, 0u);  // the cached trace is accounted
+  EXPECT_GT(stats->memory.store.resident_bytes, 0u);  // the cached trace is accounted
 
   for (const auto& result : sweep.results()) {
     SCOPED_TRACE(result.name);
